@@ -1,0 +1,176 @@
+//! Microbenches for the hot substrate paths: the trie, deaggregation, the
+//! cyclic permutation, the wire codecs, SipHash, set algebra, and the
+//! host-set merge that dominates strategy evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use tass_model::HostSet;
+use tass_net::{deagg, Prefix, PrefixSet, PrefixTrie};
+use tass_scan::cyclic::Cyclic;
+use tass_scan::siphash::SipHash24;
+use tass_scan::wire;
+
+fn random_prefixes(n: usize, seed: u64) -> Vec<Prefix> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(8u8..=24);
+            Prefix::new_truncate(rng.random::<u32>(), len).expect("len <= 32")
+        })
+        .collect()
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trie");
+    for n in [10_000usize, 100_000] {
+        let prefixes = random_prefixes(n, 1);
+        let trie: PrefixTrie<u32> =
+            prefixes.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let addrs: Vec<u32> = (0..10_000).map(|_| rng.random()).collect();
+        group.throughput(Throughput::Elements(addrs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("longest_match", n), &trie, |b, trie| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &a in &addrs {
+                    if trie.longest_match(black_box(a)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("shortest_match", n), &trie, |b, trie| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &a in &addrs {
+                    if trie.shortest_match(black_box(a)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("build", n), &prefixes, |b, ps| {
+            b.iter(|| {
+                let t: PrefixTrie<()> = ps.iter().map(|&p| (p, ())).collect();
+                t.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_deagg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deaggregation");
+    let scen = tass_bench::scenario();
+    let prefixes: Vec<Prefix> =
+        scen.universe.topology().synth.table.prefixes().collect();
+    group.throughput(Throughput::Elements(prefixes.len() as u64));
+    group.bench_function(format!("table_{}_entries", prefixes.len()), |b| {
+        b.iter(|| deagg::deaggregate_table(prefixes.iter().copied()).len())
+    });
+    // the paper's Figure 2 case, isolated
+    let root: Prefix = "100.0.0.0/8".parse().expect("static");
+    let inner: Prefix = "100.0.0.0/24".parse().expect("static");
+    group.bench_function("single_deep_split", |b| {
+        b.iter(|| deagg::partition_preserving(black_box(root), &[black_box(inner)]).len())
+    });
+    group.finish();
+}
+
+fn bench_cyclic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclic");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let cyc = Cyclic::ipv4(&mut rng);
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("ipv4_walk_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for e in cyc.iter().take(1_000_000) {
+                acc ^= e;
+            }
+            acc
+        })
+    });
+    group.bench_function("construct_random_generator", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(rng.random());
+            Cyclic::ipv4(&mut rng).generator()
+        })
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("build_syn", |b| {
+        let mut dst = 0u32;
+        b.iter(|| {
+            dst = dst.wrapping_add(1);
+            wire::build_syn(0x0A000001, black_box(dst), 40000, 443, 7)
+        })
+    });
+    let frame = wire::build_syn(1, 2, 3, 4, 5);
+    group.bench_function("parse_and_validate", |b| {
+        b.iter(|| wire::parse_frame(black_box(&frame)).expect("valid frame"))
+    });
+    group.finish();
+}
+
+fn bench_siphash(c: &mut Criterion) {
+    let h = SipHash24::new(0xA, 0xB);
+    let mut group = c.benchmark_group("siphash");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("probe_validation", |b| {
+        let mut a = 0u32;
+        b.iter(|| {
+            a = a.wrapping_add(1);
+            h.probe_validation(black_box(a))
+        })
+    });
+    group.finish();
+}
+
+fn bench_prefix_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_set");
+    let prefixes = random_prefixes(10_000, 5);
+    group.throughput(Throughput::Elements(prefixes.len() as u64));
+    group.bench_function("from_prefixes_10k", |b| {
+        b.iter(|| PrefixSet::from_prefixes(prefixes.iter().copied()).num_addrs())
+    });
+    let set = PrefixSet::from_prefixes(prefixes.iter().copied());
+    let mut rng = SmallRng::seed_from_u64(6);
+    let addrs: Vec<u32> = (0..10_000).map(|_| rng.random()).collect();
+    group.bench_function("contains_10k_queries", |b| {
+        b.iter(|| addrs.iter().filter(|&&a| set.contains_addr(a)).count())
+    });
+    group.finish();
+}
+
+fn bench_host_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_set");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let a: HostSet = (0..500_000).map(|_| rng.random::<u32>()).collect();
+    let b_set: HostSet = (0..500_000).map(|_| rng.random::<u32>()).collect();
+    group.throughput(Throughput::Elements(500_000));
+    group.bench_function("intersection_500k", |bch| {
+        bch.iter(|| a.intersection_count(black_box(&b_set)))
+    });
+    let p: Prefix = "128.0.0.0/2".parse().expect("static");
+    group.bench_function("count_in_prefix", |bch| {
+        bch.iter(|| a.count_in_prefix(black_box(p)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trie, bench_deagg, bench_cyclic, bench_wire, bench_siphash,
+              bench_prefix_set, bench_host_set
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared fixtures for the criterion benches.
+//!
+//! The exhibit benches all need a generated scenario; building it once per
+//! process (instead of once per bench) keeps `cargo bench` fast while still
+//! measuring the per-exhibit work.
+
+use std::sync::OnceLock;
+use tass_experiments::{Scenario, ScenarioConfig};
+
+/// Scale used by the exhibit benches (small enough that a full
+/// `cargo bench` stays in minutes, large enough to be meaningful).
+pub const BENCH_PREFIXES: usize = 400;
+
+/// The shared bench scenario, built on first use.
+pub fn scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        let cfg = ScenarioConfig {
+            seed: 0xBE7C,
+            l_prefix_count: BENCH_PREFIXES,
+            host_scale: 1.0,
+            months: 6,
+        };
+        Scenario::build(&cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scenario_builds_once() {
+        let a = super::scenario();
+        let b = super::scenario();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.config.l_prefix_count, super::BENCH_PREFIXES);
+    }
+}

@@ -1,0 +1,34 @@
+//! # tass-bgp — routing-table substrate for TASS
+//!
+//! The paper derives its scan units from **Routeviews prefix-to-AS mappings
+//! (pfx2as) provided by CAIDA**: a snapshot of the prefixes visible in
+//! global BGP tables together with their origin AS. This crate reproduces
+//! that substrate:
+//!
+//! * [`rib`] — the [`rib::RouteTable`]: announcements, l/m-prefix
+//!   classification, table statistics (the paper reports that the
+//!   2015/09/07 table had 595,644 prefixes of which 54 % were
+//!   more-specifics covering 34.4 % of the advertised space);
+//! * [`pfx2as`] — reader/writer for the **real CAIDA pfx2as text format**,
+//!   so genuine RouteViews data drops in directly;
+//! * [`views`] — the two address→scan-unit attributions evaluated in the
+//!   paper: the *less-specific* view (each address belongs to its
+//!   least-specific announced prefix) and the *more-specific* view (the
+//!   deaggregated partition of paper Figure 2);
+//! * [`synth`] — a seeded synthetic RouteViews-like table generator used in
+//!   place of the (unavailable) historical CAIDA snapshots, calibrated to
+//!   the table statistics above. AS behaviour classes assigned here
+//!   (hosting, residential, …) drive the ground-truth host model in
+//!   `tass-model`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pfx2as;
+pub mod rib;
+pub mod synth;
+pub mod views;
+
+pub use rib::{Announcement, Origin, RouteTable, TableStats};
+pub use synth::{AsClass, AsInfo, SynthConfig, SynthTable};
+pub use views::{ScanUnit, View, ViewKind};

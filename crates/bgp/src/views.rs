@@ -1,0 +1,296 @@
+//! The two address→scan-unit attributions evaluated in the paper.
+//!
+//! TASS needs every responsive address mapped to exactly one **scan unit**
+//! (a prefix that will either be rescanned wholesale or skipped). The paper
+//! studies two granularities:
+//!
+//! * [`View::less_specific`] — units are the table's l-prefixes; an address
+//!   belongs to its *least specific* announced covering prefix;
+//! * [`View::more_specific`] — units are the blocks of the Figure 2
+//!   deaggregation: every m-prefix survives intact and the remainders of
+//!   each l-prefix are split into the minimal set of CIDR blocks.
+//!
+//! Both views **partition** the announced address space, so attribution is
+//! unambiguous; [`View::attribute`] resolves it with one trie walk.
+
+use crate::rib::RouteTable;
+use serde::{Deserialize, Serialize};
+use tass_net::deagg;
+use tass_net::{Prefix, PrefixTrie};
+
+/// Which granularity a view uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViewKind {
+    /// l-prefixes: least-specific announced prefixes.
+    LessSpecific,
+    /// m-prefixes: the deaggregated partition (paper Figure 2).
+    MoreSpecific,
+}
+
+impl std::fmt::Display for ViewKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewKind::LessSpecific => write!(f, "less-specific"),
+            ViewKind::MoreSpecific => write!(f, "more-specific"),
+        }
+    }
+}
+
+/// One scan unit of a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanUnit {
+    /// The unit itself (an l-prefix, an m-prefix, or a remainder block).
+    pub prefix: Prefix,
+    /// The l-prefix the unit descends from (equals `prefix` in the
+    /// less-specific view).
+    pub root: Prefix,
+}
+
+/// A partition of the announced address space into scan units.
+///
+/// ```
+/// use tass_bgp::{RouteTable, Origin, View, ViewKind};
+///
+/// let mut t = RouteTable::new();
+/// t.insert("100.0.0.0/8".parse().unwrap(), Origin::Single(1));
+/// t.insert("100.0.0.0/12".parse().unwrap(), Origin::Single(2));
+///
+/// let l = View::less_specific(&t);
+/// assert_eq!(l.units().len(), 1); // just the /8
+///
+/// let m = View::more_specific(&t);
+/// assert_eq!(m.units().len(), 5); // Figure 2: /12 + /12 + /11 + /10 + /9
+///
+/// // attribution: 100.16.0.1 falls in the /12 sibling block
+/// let unit = m.unit(m.attribute(0x6410_0001).unwrap());
+/// assert_eq!(unit.prefix.to_string(), "100.16.0.0/12");
+/// assert_eq!(unit.root.to_string(), "100.0.0.0/8");
+/// ```
+#[derive(Debug, Clone)]
+pub struct View {
+    kind: ViewKind,
+    units: Vec<ScanUnit>,
+    trie: PrefixTrie<u32>,
+    total_space: u64,
+}
+
+impl View {
+    /// Build the less-specific (l-prefix) view of a table.
+    pub fn less_specific(table: &RouteTable) -> View {
+        let roots = table.l_prefixes();
+        let units: Vec<ScanUnit> =
+            roots.iter().map(|&p| ScanUnit { prefix: p, root: p }).collect();
+        Self::from_units(ViewKind::LessSpecific, units)
+    }
+
+    /// Build the more-specific (deaggregated) view of a table.
+    pub fn more_specific(table: &RouteTable) -> View {
+        let blocks = deagg::deaggregate_table(table.prefixes());
+        let units: Vec<ScanUnit> =
+            blocks.iter().map(|b| ScanUnit { prefix: b.prefix, root: b.root }).collect();
+        Self::from_units(ViewKind::MoreSpecific, units)
+    }
+
+    /// Build either view.
+    pub fn of(table: &RouteTable, kind: ViewKind) -> View {
+        match kind {
+            ViewKind::LessSpecific => Self::less_specific(table),
+            ViewKind::MoreSpecific => Self::more_specific(table),
+        }
+    }
+
+    fn from_units(kind: ViewKind, units: Vec<ScanUnit>) -> View {
+        let mut trie = PrefixTrie::with_capacity(units.len());
+        let mut total_space = 0u64;
+        for (i, u) in units.iter().enumerate() {
+            trie.insert(u.prefix, i as u32);
+            total_space += u.prefix.size();
+        }
+        View { kind, units, trie, total_space }
+    }
+
+    /// The view's granularity.
+    pub fn kind(&self) -> ViewKind {
+        self.kind
+    }
+
+    /// All scan units, sorted by prefix.
+    pub fn units(&self) -> &[ScanUnit] {
+        &self.units
+    }
+
+    /// Number of scan units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Is the view empty (empty routing table)?
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Look up a unit by index.
+    pub fn unit(&self, idx: u32) -> &ScanUnit {
+        &self.units[idx as usize]
+    }
+
+    /// Total announced address space covered by the view.
+    pub fn total_space(&self) -> u64 {
+        self.total_space
+    }
+
+    /// Map an address to the index of the unit containing it, or `None`
+    /// when the address is not in announced space.
+    ///
+    /// Units partition the space, so the longest trie match is the unique
+    /// match.
+    pub fn attribute(&self, addr: u32) -> Option<u32> {
+        self.trie.longest_match(addr).map(|(_, &i)| i)
+    }
+
+    /// Attribute a whole slice of addresses, counting hits per unit.
+    /// Returns `(counts, unattributed)` where `counts[i]` is the number of
+    /// addresses in unit `i`.
+    pub fn attribute_all(&self, addrs: &[u32]) -> (Vec<u64>, u64) {
+        let mut counts = vec![0u64; self.units.len()];
+        let mut missed = 0u64;
+        for &a in addrs {
+            match self.attribute(a) {
+                Some(i) => counts[i as usize] += 1,
+                None => missed += 1,
+            }
+        }
+        (counts, missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rib::Origin;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn table(entries: &[&str]) -> RouteTable {
+        let mut t = RouteTable::new();
+        for (i, s) in entries.iter().enumerate() {
+            t.insert(p(s), Origin::Single(64500 + i as u32));
+        }
+        t
+    }
+
+    #[test]
+    fn l_view_units_are_roots() {
+        let t = table(&["10.0.0.0/8", "10.16.0.0/12", "11.0.0.0/8"]);
+        let v = View::less_specific(&t);
+        assert_eq!(v.kind(), ViewKind::LessSpecific);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.units()[0].prefix, p("10.0.0.0/8"));
+        assert_eq!(v.units()[1].prefix, p("11.0.0.0/8"));
+        assert_eq!(v.total_space(), 2 << 24);
+        // attribution ignores the m-prefix
+        let idx = v.attribute(0x0A10_0001).unwrap();
+        assert_eq!(v.unit(idx).prefix, p("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn m_view_units_are_partition() {
+        let t = table(&["100.0.0.0/8", "100.0.0.0/12"]);
+        let v = View::more_specific(&t);
+        assert_eq!(v.kind(), ViewKind::MoreSpecific);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.total_space(), 1 << 24);
+        // address in the m-prefix
+        let idx = v.attribute(0x6400_0001).unwrap();
+        assert_eq!(v.unit(idx).prefix, p("100.0.0.0/12"));
+        // address in the remainder
+        let idx = v.attribute(0x64FF_0001).unwrap();
+        assert_eq!(v.unit(idx).prefix, p("100.128.0.0/9"));
+        assert_eq!(v.unit(idx).root, p("100.0.0.0/8"));
+    }
+
+    #[test]
+    fn attribute_outside_space() {
+        let t = table(&["10.0.0.0/8"]);
+        for v in [View::less_specific(&t), View::more_specific(&t)] {
+            assert_eq!(v.attribute(0x0B00_0001), None);
+        }
+    }
+
+    #[test]
+    fn empty_table_views() {
+        let t = RouteTable::new();
+        let v = View::less_specific(&t);
+        assert!(v.is_empty());
+        assert_eq!(v.total_space(), 0);
+        assert_eq!(v.attribute(1), None);
+    }
+
+    #[test]
+    fn of_dispatches() {
+        let t = table(&["10.0.0.0/8", "10.16.0.0/12"]);
+        assert_eq!(View::of(&t, ViewKind::LessSpecific).len(), 1);
+        assert_eq!(View::of(&t, ViewKind::MoreSpecific).len(), 5);
+    }
+
+    #[test]
+    fn attribute_all_counts() {
+        let t = table(&["10.0.0.0/8", "11.0.0.0/8"]);
+        let v = View::less_specific(&t);
+        let addrs = [0x0A000001u32, 0x0A000002, 0x0B000001, 0x0C000001];
+        let (counts, missed) = v.attribute_all(&addrs);
+        assert_eq!(counts, vec![2, 1]);
+        assert_eq!(missed, 1);
+    }
+
+    #[test]
+    fn both_views_same_total_space() {
+        let t = table(&["10.0.0.0/8", "10.16.0.0/12", "10.16.16.0/20", "12.0.0.0/14"]);
+        let l = View::less_specific(&t);
+        let m = View::more_specific(&t);
+        assert_eq!(l.total_space(), m.total_space());
+        assert!(m.len() > l.len());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ViewKind::LessSpecific.to_string(), "less-specific");
+        assert_eq!(ViewKind::MoreSpecific.to_string(), "more-specific");
+    }
+
+    proptest! {
+        /// For any table, both views attribute any announced address to a
+        /// unit containing it, agree on announced-space membership, and the
+        /// m-view unit is always inside the l-view unit.
+        #[test]
+        fn prop_views_consistent(
+            raw in proptest::collection::vec((any::<u32>(), 2u8..=16), 1..16),
+            addrs in proptest::collection::vec(any::<u32>(), 1..32),
+        ) {
+            let mut t = RouteTable::new();
+            for (i, &(a, l)) in raw.iter().enumerate() {
+                t.insert(Prefix::new_truncate(a, l).unwrap(), Origin::Single(i as u32));
+            }
+            let lv = View::less_specific(&t);
+            let mv = View::more_specific(&t);
+            prop_assert_eq!(lv.total_space(), mv.total_space());
+            for &addr in &addrs {
+                let li = lv.attribute(addr);
+                let mi = mv.attribute(addr);
+                prop_assert_eq!(li.is_some(), mi.is_some());
+                if let (Some(li), Some(mi)) = (li, mi) {
+                    let lu = lv.unit(li);
+                    let mu = mv.unit(mi);
+                    prop_assert!(lu.prefix.contains_addr(addr));
+                    prop_assert!(mu.prefix.contains_addr(addr));
+                    prop_assert!(lu.prefix.contains(&mu.prefix),
+                        "m-unit {} not inside l-unit {}", mu.prefix, lu.prefix);
+                    prop_assert_eq!(mu.root, lu.prefix);
+                }
+            }
+        }
+    }
+}

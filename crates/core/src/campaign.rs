@@ -1,0 +1,172 @@
+//! The §4 simulation: seed at t₀, evaluate monthly.
+//!
+//! "We simulated TASS and an address-based hitlist approach using monthly
+//! snapshots of full IPv4 scans … Then we determined the fraction of hosts
+//! that TASS and the hitlist approach would have uncovered in each scan
+//! cycle compared to a periodic full scan." — this module is that
+//! simulation, generalised over every [`StrategyKind`].
+
+use crate::metrics::MonthEval;
+use crate::strategy::{Prepared, StrategyKind};
+use serde::{Deserialize, Serialize};
+use tass_model::{Protocol, Universe};
+
+/// The monthly series of one strategy over one protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Strategy label (see [`StrategyKind::label`]).
+    pub strategy: String,
+    /// The protocol scanned.
+    pub protocol: Protocol,
+    /// Addresses probed per cycle.
+    pub probes_per_cycle: u64,
+    /// Fraction of announced space probed per cycle.
+    pub probe_space_fraction: f64,
+    /// Monthly evaluations, month 0 first.
+    pub months: Vec<MonthEval>,
+}
+
+impl CampaignResult {
+    /// Hitrate at a given month.
+    pub fn hitrate(&self, month: u32) -> f64 {
+        self.months[month as usize].eval.hitrate
+    }
+
+    /// The final month's hitrate.
+    pub fn final_hitrate(&self) -> f64 {
+        self.months.last().map(|m| m.eval.hitrate).unwrap_or(0.0)
+    }
+}
+
+/// Run one strategy over all months of a universe for one protocol.
+pub fn run_campaign(
+    universe: &Universe,
+    kind: StrategyKind,
+    protocol: Protocol,
+    seed: u64,
+) -> CampaignResult {
+    let t0 = universe.snapshot(0, protocol);
+    let prepared = Prepared::prepare(kind, universe.topology(), t0, seed);
+    let months = (0..=universe.months())
+        .map(|m| MonthEval {
+            month: m,
+            eval: prepared.evaluate(universe.snapshot(m, protocol), m),
+        })
+        .collect();
+    CampaignResult {
+        strategy: kind.label(),
+        protocol,
+        probes_per_cycle: prepared.probes_per_cycle,
+        probe_space_fraction: prepared.probe_space_fraction,
+        months,
+    }
+}
+
+/// Run several strategies over all four protocols.
+pub fn run_matrix(
+    universe: &Universe,
+    kinds: &[StrategyKind],
+    seed: u64,
+) -> Vec<CampaignResult> {
+    let mut out = Vec::new();
+    for proto in Protocol::ALL {
+        for &kind in kinds {
+            out.push(run_campaign(universe, kind, proto, seed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tass_bgp::ViewKind;
+    use tass_model::UniverseConfig;
+
+    fn universe() -> Universe {
+        Universe::generate(&UniverseConfig::small(31))
+    }
+
+    #[test]
+    fn campaign_covers_all_months() {
+        let u = universe();
+        let r = run_campaign(
+            &u,
+            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            Protocol::Http,
+            1,
+        );
+        assert_eq!(r.months.len(), 7);
+        assert_eq!(r.months[0].month, 0);
+        assert_eq!(r.months[6].month, 6);
+        assert_eq!(r.hitrate(0), 1.0);
+        assert!(r.final_hitrate() > 0.8);
+    }
+
+    #[test]
+    fn paper_ordering_holds_in_campaign() {
+        // full scan ≥ TASS(l, φ=1) ≥ TASS(m, φ=1) in accuracy;
+        // probes: full > TASS(l) > TASS(m)
+        let u = universe();
+        let full = run_campaign(&u, StrategyKind::FullScan, Protocol::Http, 1);
+        let l = run_campaign(
+            &u,
+            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            Protocol::Http,
+            1,
+        );
+        let m = run_campaign(
+            &u,
+            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+            Protocol::Http,
+            1,
+        );
+        assert!(full.probes_per_cycle > l.probes_per_cycle);
+        assert!(l.probes_per_cycle > m.probes_per_cycle);
+        for month in 0..=6u32 {
+            assert!(full.hitrate(month) >= l.hitrate(month) - 1e-12);
+            assert!(
+                l.hitrate(month) >= m.hitrate(month) - 0.02,
+                "month {month}: l {} should be ≥ m {} (±noise)",
+                l.hitrate(month),
+                m.hitrate(month)
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_runs_all_protocols() {
+        let u = universe();
+        let kinds = [StrategyKind::FullScan, StrategyKind::IpHitlist];
+        let rs = run_matrix(&u, &kinds, 1);
+        assert_eq!(rs.len(), 8);
+        // every protocol appears twice
+        for proto in Protocol::ALL {
+            assert_eq!(rs.iter().filter(|r| r.protocol == proto).count(), 2);
+        }
+    }
+
+    #[test]
+    fn cwmp_hitlist_decays_fastest() {
+        // Figure 5's signature: CWMP hitlist decays much faster than HTTP's.
+        let u = universe();
+        let http = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Http, 1);
+        let cwmp = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Cwmp, 1);
+        assert!(
+            cwmp.final_hitrate() < http.final_hitrate() - 0.1,
+            "CWMP {} vs HTTP {}",
+            cwmp.final_hitrate(),
+            http.final_hitrate()
+        );
+    }
+
+    #[test]
+    fn deterministic_campaigns() {
+        let u = universe();
+        let a = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Ftp, 5);
+        let b = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Ftp, 5);
+        for (x, y) in a.months.iter().zip(&b.months) {
+            assert_eq!(x.eval.found, y.eval.found);
+        }
+    }
+}

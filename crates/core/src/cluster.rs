@@ -1,0 +1,334 @@
+//! Prefix clustering — the paper's §5 future-work extension.
+//!
+//! "Finally, we suspect that more fine-grained prefixes may help to reduce
+//! the scanning overhead even further. Towards this end, it may be
+//! worthwhile to apply the clustering approach of Cai and Heidemann [2] to
+//! network prefixes."
+//!
+//! This module does exactly that: adjacent scan units under the same
+//! l-prefix whose densities are within a configurable ratio are merged
+//! into one **cluster**, which then participates in density ranking and
+//! φ-selection as a single unit. Clustering shrinks the number of units a
+//! scanner must track (and stabilises per-unit statistics) without
+//! changing what is scanned: a cluster's members are still the original
+//! CIDR blocks.
+
+use crate::density::DensityRank;
+use crate::select::Selection;
+use tass_bgp::View;
+use tass_model::HostSet;
+use tass_net::Prefix;
+
+/// Clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Two adjacent units merge when `max(ρ) / min(ρ) <= ratio` (both
+    /// densities must be nonzero). Cai & Heidemann used block-utilisation
+    /// similarity; a ratio of 4 is a reasonable default.
+    pub ratio: f64,
+    /// Whether empty (zero-density) units may join a cluster. Keeping them
+    /// out preserves TASS's "responsive prefixes only" semantics.
+    pub merge_empty: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { ratio: 4.0, merge_empty: false }
+    }
+}
+
+/// A cluster of adjacent same-root scan units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// The member prefixes, in address order.
+    pub members: Vec<Prefix>,
+    /// The l-prefix all members descend from.
+    pub root: Prefix,
+    /// Responsive addresses across members.
+    pub count: u64,
+    /// Total member address space.
+    pub size: u64,
+}
+
+impl Cluster {
+    /// Cluster density: count / size.
+    pub fn density(&self) -> f64 {
+        if self.size == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.size as f64
+        }
+    }
+}
+
+/// Cluster a view's units against a host set.
+///
+/// Units are scanned in address order; a unit joins the current cluster
+/// when it shares the root, is address-adjacent to it, and the density
+/// similarity test passes. Returns clusters in address order (including
+/// singleton clusters for units that merged with nothing).
+pub fn cluster_units(view: &View, hosts: &HostSet, cfg: &ClusterConfig) -> Vec<Cluster> {
+    let mut out: Vec<Cluster> = Vec::new();
+    let mut current: Option<Cluster> = None;
+
+    for unit in view.units() {
+        let count = hosts.count_in_prefix(unit.prefix) as u64;
+        let size = unit.prefix.size();
+        let density = count as f64 / size as f64;
+
+        let joinable = match &current {
+            Some(c) => {
+                let last = *c.members.last().expect("clusters are non-empty");
+                let adjacent = u64::from(last.last()) + 1 == u64::from(unit.prefix.first());
+                let same_root = c.root == unit.root;
+                let similar = if c.count == 0 || count == 0 {
+                    cfg.merge_empty && c.count == 0 && count == 0
+                } else {
+                    let (a, b) = (c.density(), density);
+                    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+                    hi / lo <= cfg.ratio
+                };
+                adjacent && same_root && similar
+            }
+            None => false,
+        };
+
+        if joinable {
+            let c = current.as_mut().expect("joinable implies current");
+            c.members.push(unit.prefix);
+            c.count += count;
+            c.size += size;
+        } else {
+            if let Some(c) = current.take() {
+                out.push(c);
+            }
+            current = Some(Cluster {
+                members: vec![unit.prefix],
+                root: unit.root,
+                count,
+                size,
+            });
+        }
+    }
+    if let Some(c) = current.take() {
+        out.push(c);
+    }
+    out
+}
+
+/// Rank clusters by density and select the minimal set with Σφ > φ —
+/// TASS's steps 2–4 with clusters as the unit. Returns the selection
+/// (member prefixes flattened) plus the number of clusters chosen.
+pub fn select_clusters(clusters: &[Cluster], total_space: u64, phi: f64) -> (Selection, usize) {
+    assert!(phi >= 0.0 && phi.is_finite(), "phi must be a finite non-negative fraction");
+    let total_hosts: u64 = clusters.iter().map(|c| c.count).sum();
+    let mut responsive: Vec<&Cluster> = clusters.iter().filter(|c| c.count > 0).collect();
+    responsive.sort_by(|a, b| {
+        b.density()
+            .partial_cmp(&a.density())
+            .expect("densities are finite")
+            .then_with(|| a.members[0].cmp(&b.members[0]))
+    });
+
+    let mut prefixes = Vec::new();
+    let mut cum = 0u64;
+    let mut space = 0u64;
+    let mut picked = 0usize;
+    let target = phi * total_hosts as f64;
+    for c in responsive {
+        if phi < 1.0 && cum as f64 > target {
+            break;
+        }
+        prefixes.extend(c.members.iter().copied());
+        cum += c.count;
+        space += c.size;
+        picked += 1;
+    }
+    let selection = Selection {
+        phi,
+        k: prefixes.len(),
+        prefixes,
+        achieved_coverage: if total_hosts > 0 { cum as f64 / total_hosts as f64 } else { 0.0 },
+        selected_space: space,
+        space_fraction: if total_space > 0 { space as f64 / total_space as f64 } else { 0.0 },
+        total_hosts,
+    };
+    (selection, picked)
+}
+
+/// Convenience: cluster, then select, straight from a view + host set.
+pub fn cluster_and_select(
+    view: &View,
+    hosts: &HostSet,
+    cfg: &ClusterConfig,
+    phi: f64,
+) -> (Selection, usize) {
+    let clusters = cluster_units(view, hosts, cfg);
+    select_clusters(&clusters, view.total_space(), phi)
+}
+
+/// How a clustered ranking compares against the plain per-unit ranking
+/// (see [`DensityRank`]): units tracked, selection size, space cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterComparison {
+    /// Responsive units in the plain ranking.
+    pub plain_units: usize,
+    /// Clusters after merging.
+    pub clustered_units: usize,
+    /// Space fraction of the plain selection at φ.
+    pub plain_space_fraction: f64,
+    /// Space fraction of the clustered selection at φ.
+    pub clustered_space_fraction: f64,
+}
+
+/// Compare clustered selection with the plain ranking at one φ.
+pub fn compare(
+    view: &View,
+    hosts: &HostSet,
+    rank: &DensityRank,
+    cfg: &ClusterConfig,
+    phi: f64,
+) -> ClusterComparison {
+    let plain = crate::select::select_prefixes(rank, phi);
+    let clusters = cluster_units(view, hosts, cfg);
+    let responsive = clusters.iter().filter(|c| c.count > 0).count();
+    let (clustered, _) = select_clusters(&clusters, view.total_space(), phi);
+    ClusterComparison {
+        plain_units: rank.len(),
+        clustered_units: responsive,
+        plain_space_fraction: plain.space_fraction,
+        clustered_space_fraction: clustered.space_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::rank_units;
+    use tass_bgp::{Origin, RouteTable};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// A /22 deaggregated around a /24: blocks /24 /24(announced) /23.
+    fn fixture() -> (View, HostSet) {
+        let mut t = RouteTable::new();
+        t.insert(p("10.0.0.0/22"), Origin::Single(1));
+        t.insert(p("10.0.1.0/24"), Origin::Single(2));
+        t.insert(p("20.0.0.0/24"), Origin::Single(3));
+        let view = View::more_specific(&t);
+        // similar densities in the first two blocks, dense third, some in 20/24
+        let mut addrs: Vec<u32> = (0..16).map(|i| 0x0A00_0000 + i * 16).collect(); // /24 @ ρ=1/16
+        addrs.extend((0..20).map(|i| 0x0A00_0100 + i * 12)); // /24 @ ρ≈1/13
+        addrs.extend((0..400).map(|i| 0x0A00_0200 + i)); // /23 @ ρ≈0.78
+        addrs.extend((0..8).map(|i| 0x1400_0000 + i * 30));
+        (view, HostSet::from_addrs(addrs))
+    }
+
+    #[test]
+    fn clusters_preserve_totals() {
+        let (view, hosts) = fixture();
+        let clusters = cluster_units(&view, &hosts, &ClusterConfig::default());
+        let total_size: u64 = clusters.iter().map(|c| c.size).sum();
+        assert_eq!(total_size, view.total_space());
+        let total_count: u64 = clusters.iter().map(|c| c.count).sum();
+        assert_eq!(total_count as usize, hosts.len());
+        // membership is exactly the view's units
+        let members: usize = clusters.iter().map(|c| c.members.len()).sum();
+        assert_eq!(members, view.len());
+    }
+
+    #[test]
+    fn similar_adjacent_blocks_merge() {
+        let (view, hosts) = fixture();
+        let clusters = cluster_units(&view, &hosts, &ClusterConfig::default());
+        // the two ρ≈1/16..1/13 blocks merge; the dense /23 stays apart;
+        // 20.0.0.0/24 is its own root
+        let merged = clusters.iter().find(|c| c.members.len() == 2).expect("a merged cluster");
+        assert_eq!(merged.members, vec![p("10.0.0.0/24"), p("10.0.1.0/24")]);
+        assert_eq!(merged.count, 36);
+        assert!(clusters.iter().all(|c| c.members.len() <= 2));
+    }
+
+    #[test]
+    fn ratio_one_merges_only_identical_densities() {
+        let (view, hosts) = fixture();
+        let cfg = ClusterConfig { ratio: 1.0, merge_empty: false };
+        let clusters = cluster_units(&view, &hosts, &cfg);
+        assert!(clusters.iter().all(|c| c.members.len() == 1), "densities differ");
+    }
+
+    #[test]
+    fn huge_ratio_merges_all_adjacent_nonzero_same_root() {
+        let (view, hosts) = fixture();
+        let cfg = ClusterConfig { ratio: f64::INFINITY, merge_empty: true };
+        let clusters = cluster_units(&view, &hosts, &cfg);
+        // all three 10/22 blocks collapse into one cluster, 20/24 separate
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].members.len(), 3);
+    }
+
+    #[test]
+    fn clusters_never_cross_roots() {
+        let (view, hosts) = fixture();
+        let cfg = ClusterConfig { ratio: f64::INFINITY, merge_empty: true };
+        for c in cluster_units(&view, &hosts, &cfg) {
+            for m in &c.members {
+                assert!(c.root.contains(m));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_selection_matches_plain_coverage() {
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        for phi in [1.0, 0.95, 0.7] {
+            let plain = crate::select::select_prefixes(&rank, phi);
+            let (clustered, picked) = cluster_and_select(&view, &hosts, &ClusterConfig::default(), phi);
+            assert!(clustered.achieved_coverage >= plain.phi.min(1.0) - 1e-12);
+            assert!(picked <= rank.len());
+            // clustering may cost a little extra space (coarser units) but
+            // never loses coverage
+            assert!(clustered.achieved_coverage >= plain.achieved_coverage - 0.15);
+        }
+    }
+
+    #[test]
+    fn comparison_reports_unit_reduction() {
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        let cmp = compare(&view, &hosts, &rank, &ClusterConfig::default(), 1.0);
+        assert!(cmp.clustered_units < cmp.plain_units);
+        assert!(cmp.plain_space_fraction > 0.0);
+        assert!(cmp.clustered_space_fraction >= cmp.plain_space_fraction - 1e-12);
+    }
+
+    #[test]
+    fn cluster_density_accessor() {
+        let c = Cluster { members: vec![p("10.0.0.0/24")], root: p("10.0.0.0/24"), count: 64, size: 256 };
+        assert!((c.density() - 0.25).abs() < 1e-12);
+        let z = Cluster { members: vec![], root: p("10.0.0.0/24"), count: 0, size: 0 };
+        assert_eq!(z.density(), 0.0);
+    }
+
+    #[test]
+    fn works_on_generated_universe() {
+        use tass_model::{Protocol, Universe, UniverseConfig};
+        let u = Universe::generate(&UniverseConfig::small(77));
+        let view = &u.topology().m_view;
+        let hosts = &u.snapshot(0, Protocol::Http).hosts;
+        let rank = rank_units(view, hosts);
+        let cmp = compare(view, hosts, &rank, &ClusterConfig::default(), 0.95);
+        // the paper's hoped-for effect: far fewer units to track
+        assert!(
+            (cmp.clustered_units as f64) < 0.9 * cmp.plain_units as f64,
+            "clustering should shrink the unit list: {} vs {}",
+            cmp.clustered_units,
+            cmp.plain_units
+        );
+        // at a modest extra space cost
+        assert!(cmp.clustered_space_fraction < cmp.plain_space_fraction + 0.15);
+    }
+}

@@ -1,0 +1,231 @@
+//! Steps 1–3 of TASS: count, densify, rank.
+//!
+//! Given a scan view (the paper's l- or m-prefixes) and the responsive
+//! host set of a full scan, compute for every **responsive** scan unit its
+//! count cᵢ, density ρᵢ = cᵢ / 2^(32−len), and relative host coverage
+//! φᵢ = cᵢ / N, then rank by descending density. This ranking is the
+//! paper's Figure 4: density falls sharply while cumulative host coverage
+//! rises much faster than cumulative address-space coverage — the entire
+//! reason TASS works.
+
+use serde::{Deserialize, Serialize};
+use tass_bgp::View;
+use tass_model::HostSet;
+use tass_net::Prefix;
+
+/// Per-unit statistics (only units with cᵢ > 0 are ranked).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixStat {
+    /// The scan unit's prefix.
+    pub prefix: Prefix,
+    /// Unit index in the originating view.
+    pub unit: u32,
+    /// Responsive addresses inside the unit (cᵢ).
+    pub count: u64,
+    /// Density ρᵢ = cᵢ / 2^(32−len).
+    pub density: f64,
+    /// Relative host coverage φᵢ = cᵢ / N.
+    pub coverage: f64,
+}
+
+/// The density ranking of all responsive units.
+#[derive(Debug, Clone, Default)]
+pub struct DensityRank {
+    /// Responsive units in descending density order (ties broken by
+    /// ascending prefix for determinism).
+    pub stats: Vec<PrefixStat>,
+    /// N: total responsive addresses attributed to the view.
+    pub total_hosts: u64,
+    /// Total announced space of the view (denominator of space coverage).
+    pub total_space: u64,
+}
+
+/// One point of the cumulative Figure 4 curves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankPoint {
+    /// 1-based rank.
+    pub rank: usize,
+    /// Density of the unit at this rank.
+    pub density: f64,
+    /// Cumulative relative host coverage Σφᵢ.
+    pub cum_host_coverage: f64,
+    /// Cumulative address-space coverage (fraction of the view's space).
+    pub cum_space_coverage: f64,
+}
+
+/// Build the density ranking for a view against a host set (the output of
+/// a full scan).
+pub fn rank_units(view: &View, hosts: &HostSet) -> DensityRank {
+    let mut stats = Vec::new();
+    let mut total = 0u64;
+    for (i, unit) in view.units().iter().enumerate() {
+        let c = hosts.count_in_prefix(unit.prefix) as u64;
+        total += c;
+        if c > 0 {
+            stats.push(PrefixStat {
+                prefix: unit.prefix,
+                unit: i as u32,
+                count: c,
+                density: c as f64 / unit.prefix.size() as f64,
+                coverage: 0.0, // filled below once N is known
+            });
+        }
+    }
+    for s in &mut stats {
+        s.coverage = if total > 0 { s.count as f64 / total as f64 } else { 0.0 };
+    }
+    // Step 3: descending density; deterministic tie-break on prefix.
+    stats.sort_unstable_by(|a, b| {
+        b.density
+            .partial_cmp(&a.density)
+            .expect("densities are finite")
+            .then_with(|| a.prefix.cmp(&b.prefix))
+    });
+    DensityRank { stats, total_hosts: total, total_space: view.total_space() }
+}
+
+impl DensityRank {
+    /// Number of responsive units.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Is the ranking empty (no responsive units)?
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// The cumulative curves of paper Figure 4, one point per rank.
+    pub fn curve(&self) -> Vec<RankPoint> {
+        let mut out = Vec::with_capacity(self.stats.len());
+        let mut cum_hosts = 0u64;
+        let mut cum_space = 0u64;
+        for (i, s) in self.stats.iter().enumerate() {
+            cum_hosts += s.count;
+            cum_space += s.prefix.size();
+            out.push(RankPoint {
+                rank: i + 1,
+                density: s.density,
+                cum_host_coverage: if self.total_hosts > 0 {
+                    cum_hosts as f64 / self.total_hosts as f64
+                } else {
+                    0.0
+                },
+                cum_space_coverage: if self.total_space > 0 {
+                    cum_space as f64 / self.total_space as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+        out
+    }
+
+    /// Address-space fraction of the view covered by responsive units —
+    /// the paper's "φ = 1" row of Table 1.
+    pub fn responsive_space_fraction(&self) -> f64 {
+        if self.total_space == 0 {
+            return 0.0;
+        }
+        let space: u64 = self.stats.iter().map(|s| s.prefix.size()).sum();
+        space as f64 / self.total_space as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tass_bgp::{Origin, RouteTable};
+
+    fn view_of(entries: &[&str]) -> View {
+        let mut t = RouteTable::new();
+        for (i, s) in entries.iter().enumerate() {
+            t.insert(s.parse().unwrap(), Origin::Single(i as u32));
+        }
+        View::less_specific(&t)
+    }
+
+    #[test]
+    fn counts_and_densities() {
+        // 10.0.0.0/24 with 128 hosts (ρ=.5); 11.0.0.0/24 with 64 (ρ=.25);
+        // 12.0.0.0/24 empty.
+        let view = view_of(&["10.0.0.0/24", "11.0.0.0/24", "12.0.0.0/24"]);
+        let mut addrs: Vec<u32> = (0..128).map(|i| 0x0A00_0000 + i).collect();
+        addrs.extend((0..64).map(|i| 0x0B00_0000 + i));
+        let hosts = HostSet::from_addrs(addrs);
+        let r = rank_units(&view, &hosts);
+        assert_eq!(r.total_hosts, 192);
+        assert_eq!(r.len(), 2, "empty unit must not be ranked");
+        assert_eq!(r.stats[0].prefix.to_string(), "10.0.0.0/24");
+        assert!((r.stats[0].density - 0.5).abs() < 1e-12);
+        assert!((r.stats[0].coverage - 128.0 / 192.0).abs() < 1e-12);
+        assert_eq!(r.stats[1].count, 64);
+        assert_eq!(r.total_space, 3 * 256);
+    }
+
+    #[test]
+    fn ranking_is_by_density_not_count() {
+        // /16 with 200 hosts (ρ≈0.003) vs /24 with 100 hosts (ρ≈0.39):
+        // the /24 must rank first despite having fewer hosts.
+        let view = view_of(&["10.0.0.0/16", "20.0.0.0/24"]);
+        let mut addrs: Vec<u32> = (0..200).map(|i| 0x0A00_0000 + i * 13).collect();
+        addrs.extend((0..100).map(|i| 0x1400_0000 + i));
+        let r = rank_units(&view, &HostSet::from_addrs(addrs));
+        assert_eq!(r.stats[0].prefix.to_string(), "20.0.0.0/24");
+    }
+
+    #[test]
+    fn tie_break_on_prefix_is_deterministic() {
+        let view = view_of(&["10.0.0.0/24", "11.0.0.0/24"]);
+        // equal densities
+        let mut addrs: Vec<u32> = (0..10).map(|i| 0x0A00_0000 + i).collect();
+        addrs.extend((0..10).map(|i| 0x0B00_0000 + i));
+        let r = rank_units(&view, &HostSet::from_addrs(addrs));
+        assert_eq!(r.stats[0].prefix.to_string(), "10.0.0.0/24");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let view = view_of(&["10.0.0.0/24", "11.0.0.0/24", "12.0.0.0/22"]);
+        let mut addrs: Vec<u32> = (0..100).map(|i| 0x0A00_0000 + i).collect();
+        addrs.extend((0..30).map(|i| 0x0B00_0000 + i));
+        addrs.extend((0..10).map(|i| 0x0C00_0000 + i * 3));
+        let r = rank_units(&view, &HostSet::from_addrs(addrs));
+        let curve = r.curve();
+        assert_eq!(curve.len(), 3);
+        for w in curve.windows(2) {
+            assert!(w[0].density >= w[1].density, "density must not increase");
+            assert!(w[0].cum_host_coverage <= w[1].cum_host_coverage);
+            assert!(w[0].cum_space_coverage <= w[1].cum_space_coverage);
+        }
+        let last = curve.last().unwrap();
+        assert!((last.cum_host_coverage - 1.0).abs() < 1e-12);
+        assert!(last.cum_space_coverage <= 1.0);
+    }
+
+    #[test]
+    fn empty_host_set() {
+        let view = view_of(&["10.0.0.0/24"]);
+        let r = rank_units(&view, &HostSet::default());
+        assert!(r.is_empty());
+        assert_eq!(r.total_hosts, 0);
+        assert!(r.curve().is_empty());
+        assert_eq!(r.responsive_space_fraction(), 0.0);
+    }
+
+    #[test]
+    fn responsive_space_fraction_partial() {
+        let view = view_of(&["10.0.0.0/24", "11.0.0.0/24", "12.0.0.0/24", "13.0.0.0/24"]);
+        let hosts = HostSet::from_addrs(vec![0x0A00_0001]);
+        let r = rank_units(&view, &hosts);
+        assert!((r.responsive_space_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hosts_outside_view_do_not_count() {
+        let view = view_of(&["10.0.0.0/24"]);
+        let hosts = HostSet::from_addrs(vec![0x0A00_0001, 0xDEAD_BEEF]);
+        let r = rank_units(&view, &hosts);
+        assert_eq!(r.total_hosts, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tass-core — the TASS algorithm (Klick et al., IMC 2016)
+//!
+//! The paper's contribution, implemented directly from its §3.1 recipe:
+//!
+//! > 1. At time t₀, perform a full scan and output all responsive
+//! >    addresses. Let N be their number. Count the number of responsive
+//! >    addresses cᵢ in each responsive prefix i.
+//! > 2. Calculate the density ρᵢ = cᵢ/2^(32−prefix length) of all
+//! >    responsive prefixes and their relative host coverage φᵢ = cᵢ/N.
+//! > 3. Sort the prefixes in the descending order of density.
+//! > 4. Find the smallest k so that Σ_{i=1..k} φᵢ > φ.
+//! > 5. Scan prefixes 1, …, k repeatedly until time t₀ + Δt, then start
+//! >    over at step 1.
+//!
+//! * [`density`] — steps 1–3: per-prefix counts, densities, the ranking;
+//! * [`select`] — step 4: the minimal-k cumulative-coverage cutoff;
+//! * [`strategy`] — TASS plus every baseline the paper discusses: the
+//!   periodic full scan, the IP-address hitlist (§4.1), random address
+//!   samples and Heidemann-style /24-block samples (§2), and a
+//!   random-prefix ablation;
+//! * [`metrics`] — hitrate/accuracy, probe cost, efficiency and traffic
+//!   reduction;
+//! * [`campaign`] — the §4 simulation: seed at t₀, re-evaluate monthly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod cluster;
+pub mod density;
+pub mod metrics;
+pub mod select;
+pub mod strategy;
+
+pub use campaign::{run_campaign, CampaignResult};
+pub use cluster::{cluster_units, Cluster, ClusterConfig};
+pub use density::{rank_units, DensityRank, PrefixStat};
+pub use metrics::{efficiency_ratio, MonthEval};
+pub use select::{select_prefixes, Selection};
+pub use strategy::{Prepared, StrategyKind};

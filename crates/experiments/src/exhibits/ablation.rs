@@ -1,0 +1,143 @@
+//! Ablation: is it the *density ranking* that wins, or merely scanning
+//! prefixes?
+//!
+//! The paper's §2 argues prior work traded off at the level of blocks and
+//! addresses; this exhibit pits TASS against (a) random scan units at the
+//! same address-space budget, (b) a Heidemann-style /24 panel at the same
+//! budget, and (c) a fresh uniform random sample — showing that the
+//! ranking, not the prefix granularity alone, carries the result.
+
+use crate::table::{f3, TextTable};
+use crate::{ExhibitOutput, Scenario};
+use tass_bgp::ViewKind;
+use tass_core::campaign::run_campaign;
+use tass_core::strategy::StrategyKind;
+use tass_model::Protocol;
+
+/// Run the exhibit.
+pub fn run(s: &Scenario) -> ExhibitOutput {
+    let mut t = TextTable::new([
+        "strategy",
+        "space frac",
+        "hitrate@0",
+        "hitrate@6",
+        "efficiency@6",
+    ]);
+    let proto = Protocol::Http;
+    let tass = run_campaign(
+        &s.universe,
+        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+        proto,
+        s.config.seed,
+    );
+    let budget = tass.probe_space_fraction;
+    let contenders = vec![
+        ("tass(m, phi=0.95)".to_string(), tass),
+        (
+            "random prefixes (same budget)".to_string(),
+            run_campaign(
+                &s.universe,
+                StrategyKind::RandomPrefix {
+                    view: ViewKind::MoreSpecific,
+                    space_fraction: budget,
+                },
+                proto,
+                s.config.seed,
+            ),
+        ),
+        (
+            "/24 panel (same budget)".to_string(),
+            run_campaign(
+                &s.universe,
+                StrategyKind::Block24Sample { fraction: budget },
+                proto,
+                s.config.seed,
+            ),
+        ),
+        (
+            "/24 panel (classic 1% budget)".to_string(),
+            run_campaign(
+                &s.universe,
+                StrategyKind::Block24Sample { fraction: 0.01 },
+                proto,
+                s.config.seed,
+            ),
+        ),
+        (
+            "uniform sample (same budget)".to_string(),
+            run_campaign(
+                &s.universe,
+                StrategyKind::RandomSample { fraction: budget },
+                proto,
+                s.config.seed,
+            ),
+        ),
+    ];
+    for (name, r) in &contenders {
+        t.row([
+            name.clone(),
+            f3(r.probe_space_fraction),
+            f3(r.hitrate(0)),
+            f3(r.final_hitrate()),
+            format!("{:.4}", r.months[6].eval.efficiency),
+        ]);
+    }
+    let text = format!(
+        "Ablation: density-ranked selection vs equal-budget alternatives (HTTP)\n\n{}\n\
+         Expected ordering: TASS far above the random-prefix and /24-panel\n\
+         baselines at the same probe budget; the uniform sample finds only\n\
+         a budget-sized fraction of hosts.\n",
+        t.render()
+    );
+    ExhibitOutput {
+        id: "ablation",
+        title: "Density ranking vs random selection at equal budget",
+        text,
+        csv: vec![("ablation".into(), t.to_csv())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioConfig;
+
+    #[test]
+    fn tass_dominates_equal_budget_baselines() {
+        let s = Scenario::build(&ScenarioConfig::small(3));
+        let proto = Protocol::Http;
+        let tass = run_campaign(
+            &s.universe,
+            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            proto,
+            3,
+        );
+        let budget = tass.probe_space_fraction;
+        let rand = run_campaign(
+            &s.universe,
+            StrategyKind::RandomPrefix { view: ViewKind::MoreSpecific, space_fraction: budget },
+            proto,
+            3,
+        );
+        let panel = run_campaign(
+            &s.universe,
+            StrategyKind::Block24Sample { fraction: budget },
+            proto,
+            3,
+        );
+        assert!(tass.final_hitrate() > rand.final_hitrate() + 0.2);
+        // the same-budget panel covers every responsive /24 at model scale
+        // (host sparsity), but must still decay faster than TASS
+        assert!(tass.final_hitrate() > panel.final_hitrate() + 0.03);
+        // at the classic 1% budget the panel is nowhere near TASS
+        let classic = run_campaign(
+            &s.universe,
+            StrategyKind::Block24Sample { fraction: 0.01 },
+            proto,
+            3,
+        );
+        assert!(tass.final_hitrate() > classic.final_hitrate() + 0.2);
+        let out = run(&s);
+        assert_eq!(out.csv.len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! The shared experiment scenario.
+//!
+//! All exhibits run against one [`Scenario`]: a generated universe at a
+//! chosen scale. The default scale approximates the paper's setting at
+//! roughly 1/14 of the real table size (20 K l-prefixes vs ~275 K) and a
+//! proportionally scaled host population; the `small` scale is for tests
+//! and quick runs. Same seed ⇒ same universe ⇒ identical exhibit output.
+
+use tass_bgp::synth::SynthConfig;
+use tass_model::{Universe, UniverseConfig};
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of l-prefixes in the synthetic table.
+    pub l_prefix_count: usize,
+    /// Density multiplier.
+    pub host_scale: f64,
+    /// Months simulated after t₀ (the paper used 6).
+    pub months: u32,
+}
+
+impl ScenarioConfig {
+    /// The default ("paper") scale: ~20 K l-prefixes, ~45 K table entries.
+    pub fn paper(seed: u64) -> ScenarioConfig {
+        ScenarioConfig { seed, l_prefix_count: 20_000, host_scale: 1.0, months: 6 }
+    }
+
+    /// A small scale for tests and smoke runs (~1 K l-prefixes).
+    pub fn small(seed: u64) -> ScenarioConfig {
+        ScenarioConfig { seed, l_prefix_count: 1_000, host_scale: 1.0, months: 6 }
+    }
+
+    fn to_universe_config(&self) -> UniverseConfig {
+        UniverseConfig {
+            seed: self.seed,
+            synth: SynthConfig {
+                seed: self.seed,
+                l_prefix_count: self.l_prefix_count,
+                ..SynthConfig::default()
+            },
+            months: self.months,
+            host_scale: self.host_scale,
+            ..UniverseConfig::default()
+        }
+    }
+}
+
+/// A built scenario: the universe every exhibit reads from.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The configuration it was built from.
+    pub config: ScenarioConfig,
+    /// The generated universe.
+    pub universe: Universe,
+}
+
+impl Scenario {
+    /// Generate the universe for a configuration.
+    pub fn build(config: &ScenarioConfig) -> Scenario {
+        let universe = Universe::generate(&config.to_universe_config());
+        Scenario { config: config.clone(), universe }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tass_model::Protocol;
+
+    #[test]
+    fn small_scenario_builds() {
+        let s = Scenario::build(&ScenarioConfig::small(5));
+        assert_eq!(s.universe.months(), 6);
+        assert!(!s.universe.snapshot(0, Protocol::Http).is_empty());
+        assert!(s.universe.topology().num_roots() >= 990);
+    }
+
+    #[test]
+    fn deterministic_scenarios() {
+        let a = Scenario::build(&ScenarioConfig::small(5));
+        let b = Scenario::build(&ScenarioConfig::small(5));
+        assert_eq!(
+            a.universe.snapshot(3, Protocol::Ftp).hosts,
+            b.universe.snapshot(3, Protocol::Ftp).hosts
+        );
+    }
+}

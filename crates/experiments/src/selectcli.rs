@@ -1,0 +1,230 @@
+//! The `tass-select` command-line tool: TASS for real scan data.
+//!
+//! This is the artifact a downstream scanning project would actually use:
+//! feed it a CAIDA pfx2as routing snapshot and the responsive-address list
+//! from a full scan, get back the density-ranked prefix selection to use
+//! for the next months of periodic scanning — in a format ZMap accepts as
+//! a whitelist.
+
+use std::fmt;
+use tass_bgp::{pfx2as, View, ViewKind};
+use tass_core::density::rank_units;
+use tass_core::select::{select_prefixes, Selection};
+use tass_model::HostSet;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The pfx2as input failed to parse.
+    Pfx2As(pfx2as::Pfx2AsError),
+    /// An address line failed to parse.
+    BadAddress {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// φ outside `[0, 1]`.
+    BadPhi(f64),
+    /// The routing table parsed but is empty.
+    EmptyTable,
+    /// No responsive addresses were attributable to the table.
+    NoResponsiveHosts,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Pfx2As(e) => write!(f, "{e}"),
+            CliError::BadAddress { line, text } => {
+                write!(f, "address list line {line}: cannot parse {text:?}")
+            }
+            CliError::BadPhi(phi) => write!(f, "phi {phi} must be within [0, 1]"),
+            CliError::EmptyTable => write!(f, "routing table is empty"),
+            CliError::NoResponsiveHosts => {
+                write!(f, "no responsive address falls inside the routing table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parse a responsive-address list: one dotted-quad per line, blank lines
+/// and `#` comments ignored.
+pub fn parse_address_list(text: &str) -> Result<HostSet, CliError> {
+    let mut addrs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before,
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let a: std::net::Ipv4Addr = line
+            .parse()
+            .map_err(|_| CliError::BadAddress { line: i + 1, text: line.to_string() })?;
+        addrs.push(u32::from(a));
+    }
+    Ok(HostSet::from_addrs(addrs))
+}
+
+/// The selection plus the numbers a CLI run reports.
+#[derive(Debug, Clone)]
+pub struct SelectOutcome {
+    /// The TASS selection itself.
+    pub selection: Selection,
+    /// Hosts attributable to the table (the N of the ranking).
+    pub attributed_hosts: u64,
+    /// Hosts in the input list, total.
+    pub input_hosts: u64,
+    /// Scan units in the chosen view.
+    pub view_units: usize,
+    /// Announced address space of the table.
+    pub announced_space: u64,
+}
+
+/// Run the full selection pipeline from raw text inputs.
+pub fn run_select(
+    pfx2as_text: &str,
+    addresses_text: &str,
+    view_kind: ViewKind,
+    phi: f64,
+) -> Result<SelectOutcome, CliError> {
+    if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
+        return Err(CliError::BadPhi(phi));
+    }
+    let table = pfx2as::read_table(pfx2as_text.as_bytes()).map_err(CliError::Pfx2As)?;
+    if table.is_empty() {
+        return Err(CliError::EmptyTable);
+    }
+    let hosts = parse_address_list(addresses_text)?;
+    let view = View::of(&table, view_kind);
+    let rank = rank_units(&view, &hosts);
+    if rank.total_hosts == 0 {
+        return Err(CliError::NoResponsiveHosts);
+    }
+    let selection = select_prefixes(&rank, phi);
+    Ok(SelectOutcome {
+        attributed_hosts: rank.total_hosts,
+        input_hosts: hosts.len() as u64,
+        view_units: view.len(),
+        announced_space: view.total_space(),
+        selection,
+    })
+}
+
+/// Render the selected prefixes as a ZMap-compatible whitelist (one CIDR
+/// per line, address order, with a provenance header comment).
+pub fn to_whitelist(outcome: &SelectOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# TASS selection: phi={} achieved={:.4} prefixes={} space={} ({:.2}% of announced)\n",
+        outcome.selection.phi,
+        outcome.selection.achieved_coverage,
+        outcome.selection.k,
+        outcome.selection.selected_space,
+        100.0 * outcome.selection.space_fraction,
+    ));
+    for p in outcome.selection.sorted_prefixes() {
+        out.push_str(&p.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = "\
+10.0.0.0\t22\t64500
+10.0.1.0\t24\t64501
+20.0.0.0\t24\t64502
+30.0.0.0\t24\t64503
+";
+
+    fn addresses() -> String {
+        let mut s = String::from("# full scan results\n");
+        for i in 0..200u32 {
+            s.push_str(&format!("10.0.1.{}\n", i % 256));
+        }
+        for i in 0..10u32 {
+            s.push_str(&format!("20.0.0.{}\n", i * 20));
+        }
+        s.push_str("8.8.8.8\n"); // outside the table
+        s
+    }
+
+    #[test]
+    fn end_to_end_selection() {
+        let out = run_select(TABLE, &addresses(), ViewKind::MoreSpecific, 0.9).unwrap();
+        assert_eq!(out.input_hosts, 200u64.min(256) + 10 + 1);
+        assert_eq!(out.attributed_hosts, out.input_hosts - 1, "8.8.8.8 unattributable");
+        // the dense announced /24 dominates; phi=0.9 should select it first
+        let wl = to_whitelist(&out);
+        assert!(wl.starts_with("# TASS selection"));
+        assert!(wl.contains("10.0.1.0/24"));
+        assert!(out.selection.achieved_coverage > 0.9);
+        assert!(out.selection.space_fraction < 1.0);
+    }
+
+    #[test]
+    fn view_kinds_differ() {
+        let l = run_select(TABLE, &addresses(), ViewKind::LessSpecific, 1.0).unwrap();
+        let m = run_select(TABLE, &addresses(), ViewKind::MoreSpecific, 1.0).unwrap();
+        assert!(m.selection.selected_space < l.selection.selected_space);
+        assert!(m.view_units > l.view_units);
+    }
+
+    #[test]
+    fn address_list_tolerates_comments_and_blanks() {
+        let hs = parse_address_list("# c\n\n1.2.3.4\n5.6.7.8 # inline\n").unwrap();
+        assert_eq!(hs.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            run_select("garbage", "1.2.3.4\n", ViewKind::LessSpecific, 0.5),
+            Err(CliError::Pfx2As(_))
+        ));
+        assert!(matches!(
+            run_select(TABLE, "not-an-ip\n", ViewKind::LessSpecific, 0.5),
+            Err(CliError::BadAddress { line: 1, .. })
+        ));
+        assert!(matches!(
+            run_select(TABLE, "1.2.3.4\n", ViewKind::LessSpecific, 1.5),
+            Err(CliError::BadPhi(_))
+        ));
+        assert!(matches!(
+            run_select("", "1.2.3.4\n", ViewKind::LessSpecific, 0.5),
+            Err(CliError::EmptyTable)
+        ));
+        // addresses entirely outside the table
+        assert!(matches!(
+            run_select(TABLE, "8.8.8.8\n", ViewKind::LessSpecific, 0.5),
+            Err(CliError::NoResponsiveHosts)
+        ));
+        // error display non-empty
+        for e in [
+            CliError::BadPhi(2.0),
+            CliError::EmptyTable,
+            CliError::NoResponsiveHosts,
+            CliError::BadAddress { line: 3, text: "x".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn whitelist_is_zmap_parsable() {
+        // our own Blocklist parser speaks the same CIDR-per-line format
+        let out = run_select(TABLE, &addresses(), ViewKind::MoreSpecific, 1.0).unwrap();
+        let wl = to_whitelist(&out);
+        let parsed = tass_scan::Blocklist::parse(&wl).unwrap();
+        assert_eq!(parsed.num_addrs(), out.selection.selected_space);
+    }
+}

@@ -1,0 +1,423 @@
+//! Monthly evolution of host populations.
+//!
+//! The paper's temporal findings all come down to *where* churn happens:
+//!
+//! * **intra-prefix address churn** (dynamic IPs): kills address hitlists
+//!   (Figure 5: ~80 % left after one month, 43 % for CWMP after six) but is
+//!   invisible to TASS, because the host resurfaces in the same prefix;
+//! * **cross-prefix movement and fresh deployments in previously empty
+//!   space**: the *only* losses TASS suffers (Figure 6: ~0.3 %/month with
+//!   l-prefixes, up to ~0.7 %/month with m-prefixes — sibling-block moves
+//!   hurt the finer granularity twice as much).
+//!
+//! [`advance_month`] applies exactly these processes, per behavioural
+//! class, with rates calibrated to reproduce the paper's decay curves.
+
+use crate::population::{random_addr_in, HostRecord, Population};
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tass_bgp::AsClass;
+
+use crate::distr::coin;
+
+/// Monthly churn rates for one behavioural class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassChurn {
+    /// Share of hosts on dynamically assigned addresses.
+    pub dynamic_host_prob: f64,
+    /// Monthly probability that a *dynamic* host's address is reassigned
+    /// (within its block).
+    pub dynamic_addr_churn: f64,
+    /// Monthly probability that a *static* host's address changes.
+    pub static_addr_churn: f64,
+    /// Monthly probability that a host disappears (service retired).
+    pub death_rate: f64,
+    /// Monthly births relative to the current population (slightly above
+    /// the death rate: the 2015 Internet was still growing).
+    pub birth_rate: f64,
+    /// Monthly probability that a host moves to a *sibling block* within
+    /// the same l-prefix (renumbering inside one operator). Invisible in
+    /// the less-specific view; a potential miss in the more-specific view.
+    pub sibling_move_rate: f64,
+    /// Monthly probability that a host moves across l-prefixes (provider
+    /// switch). Lands preferentially in already-populated space.
+    pub global_move_rate: f64,
+    /// Share of births placed uniformly at random over *all* blocks
+    /// (greenfield deployments — the process that erodes TASS coverage).
+    pub explore_rate: f64,
+}
+
+/// Default churn rates per class, calibrated against Figures 5 and 6.
+pub fn default_churn(class: AsClass) -> ClassChurn {
+    use AsClass::*;
+    match class {
+        Hosting => ClassChurn {
+            dynamic_host_prob: 0.05,
+            dynamic_addr_churn: 0.55,
+            static_addr_churn: 0.012,
+            death_rate: 0.035,
+            birth_rate: 0.038,
+            sibling_move_rate: 0.003,
+            global_move_rate: 0.002,
+            explore_rate: 0.10,
+        },
+        Residential => ClassChurn {
+            dynamic_host_prob: 0.48,
+            dynamic_addr_churn: 0.75,
+            static_addr_churn: 0.02,
+            death_rate: 0.030,
+            birth_rate: 0.032,
+            sibling_move_rate: 0.008,
+            global_move_rate: 0.003,
+            explore_rate: 0.12,
+        },
+        Enterprise => ClassChurn {
+            dynamic_host_prob: 0.15,
+            dynamic_addr_churn: 0.60,
+            static_addr_churn: 0.015,
+            death_rate: 0.030,
+            birth_rate: 0.033,
+            sibling_move_rate: 0.004,
+            global_move_rate: 0.003,
+            explore_rate: 0.12,
+        },
+        Academic => ClassChurn {
+            dynamic_host_prob: 0.08,
+            dynamic_addr_churn: 0.50,
+            static_addr_churn: 0.010,
+            death_rate: 0.020,
+            birth_rate: 0.022,
+            sibling_move_rate: 0.002,
+            global_move_rate: 0.001,
+            explore_rate: 0.06,
+        },
+        Mobile => ClassChurn {
+            dynamic_host_prob: 0.70,
+            dynamic_addr_churn: 0.85,
+            static_addr_churn: 0.03,
+            death_rate: 0.045,
+            birth_rate: 0.048,
+            sibling_move_rate: 0.010,
+            global_move_rate: 0.004,
+            explore_rate: 0.15,
+        },
+        Infrastructure => ClassChurn {
+            dynamic_host_prob: 0.10,
+            dynamic_addr_churn: 0.50,
+            static_addr_churn: 0.012,
+            death_rate: 0.025,
+            birth_rate: 0.027,
+            sibling_move_rate: 0.003,
+            global_move_rate: 0.002,
+            explore_rate: 0.08,
+        },
+    }
+}
+
+/// A churn-rate table with override support.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChurnTable {
+    overrides: BTreeMap<AsClass, ClassChurn>,
+}
+
+impl ChurnTable {
+    /// The default table (no overrides).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override one class's rates.
+    pub fn set(&mut self, class: AsClass, churn: ClassChurn) -> &mut Self {
+        self.overrides.insert(class, churn);
+        self
+    }
+
+    /// Rates for a class.
+    pub fn get(&self, class: AsClass) -> ClassChurn {
+        self.overrides.get(&class).copied().unwrap_or_else(|| default_churn(class))
+    }
+
+    /// A table with all churn processes disabled (frozen Internet).
+    pub fn frozen() -> Self {
+        let mut t = ChurnTable::new();
+        for class in AsClass::ALL {
+            t.set(
+                class,
+                ClassChurn {
+                    dynamic_host_prob: 0.0,
+                    dynamic_addr_churn: 0.0,
+                    static_addr_churn: 0.0,
+                    death_rate: 0.0,
+                    birth_rate: 0.0,
+                    sibling_move_rate: 0.0,
+                    global_move_rate: 0.0,
+                    explore_rate: 0.0,
+                },
+            );
+        }
+        t
+    }
+}
+
+/// Advance a population by one month in place.
+///
+/// Order of operations per host: death → cross-prefix move → sibling move →
+/// address churn. Births are applied afterwards, preferentially into blocks
+/// that already host the protocol (keeping the density mixture stable),
+/// with an `explore_rate` share landing uniformly anywhere.
+pub fn advance_month(
+    pop: &mut Population,
+    topo: &Topology,
+    table: &ChurnTable,
+    rng: &mut SmallRng,
+) {
+    let blocks = topo.blocks();
+    let mut survivors: Vec<HostRecord> = Vec::with_capacity(pop.hosts.len());
+    // class -> surviving host indices (into `survivors`) for preferential
+    // birth placement
+    let mut by_class: BTreeMap<AsClass, Vec<u32>> = BTreeMap::new();
+    let mut pop_per_class: BTreeMap<AsClass, usize> = BTreeMap::new();
+
+    for h in &pop.hosts {
+        let class = blocks[h.block as usize].class;
+        *pop_per_class.entry(class).or_insert(0) += 1;
+        let c = table.get(class);
+        if coin(rng, c.death_rate) {
+            continue;
+        }
+        let mut h2 = *h;
+        if coin(rng, c.global_move_rate) {
+            // provider switch: move into the block of a random current host
+            // (preferential attachment keeps densities realistic)
+            if !pop.hosts.is_empty() {
+                let other = &pop.hosts[rng.random_range(0..pop.hosts.len())];
+                h2.block = other.block;
+                h2.addr = random_addr_in(rng, blocks[other.block as usize].prefix);
+                h2.dynamic = coin(
+                    rng,
+                    table.get(blocks[other.block as usize].class).dynamic_host_prob,
+                );
+            }
+        } else if coin(rng, c.sibling_move_rate) {
+            // renumbering within the same operator: a different block under
+            // the same l-prefix (if one exists)
+            let root = blocks[h.block as usize].root_idx;
+            let siblings = topo.root_blocks(root);
+            if siblings.len() > 1 {
+                loop {
+                    let cand = siblings[rng.random_range(0..siblings.len())];
+                    if cand != h.block {
+                        h2.block = cand;
+                        break;
+                    }
+                }
+                h2.addr = random_addr_in(rng, blocks[h2.block as usize].prefix);
+            } else {
+                // single-block root: degenerates to an address change
+                h2.addr = random_addr_in(rng, blocks[h2.block as usize].prefix);
+            }
+        } else {
+            let p_addr =
+                if h.dynamic { c.dynamic_addr_churn } else { c.static_addr_churn };
+            if coin(rng, p_addr) {
+                h2.addr = random_addr_in(rng, blocks[h2.block as usize].prefix);
+            }
+        }
+        let idx = survivors.len() as u32;
+        survivors.push(h2);
+        by_class.entry(blocks[h2.block as usize].class).or_default().push(idx);
+    }
+
+    // births
+    let num_blocks = blocks.len();
+    let mut births: Vec<HostRecord> = Vec::new();
+    for (&class, &count) in &pop_per_class {
+        let c = table.get(class);
+        let expect = c.birth_rate * count as f64;
+        let mut n = expect.floor() as usize;
+        if coin(rng, expect.fract()) {
+            n += 1;
+        }
+        for _ in 0..n {
+            let block = if coin(rng, c.explore_rate) || !by_class.contains_key(&class) {
+                // greenfield: anywhere in announced space
+                rng.random_range(0..num_blocks as u32)
+            } else {
+                // preferential: join an existing same-class host's block
+                let peers = &by_class[&class];
+                if peers.is_empty() {
+                    rng.random_range(0..num_blocks as u32)
+                } else {
+                    survivors[peers[rng.random_range(0..peers.len())] as usize].block
+                }
+            };
+            let b = &blocks[block as usize];
+            births.push(HostRecord {
+                addr: random_addr_in(rng, b.prefix),
+                block,
+                dynamic: coin(rng, table.get(b.class).dynamic_host_prob),
+            });
+        }
+    }
+    survivors.extend(births);
+    pop.hosts = survivors;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{DensityTable, Population};
+    use crate::protocol::Protocol;
+    use rand::SeedableRng;
+    use tass_bgp::synth::{generate, SynthConfig};
+
+    fn topo(n: usize) -> Topology {
+        Topology::build(generate(&SynthConfig {
+            seed: 123,
+            l_prefix_count: n,
+            ..Default::default()
+        }))
+    }
+
+    fn seeded(topo: &Topology, proto: Protocol) -> (Population, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let pop = Population::seed(
+            topo,
+            proto,
+            &DensityTable::new(),
+            &ChurnTable::new(),
+            1.0,
+            &mut rng,
+        );
+        (pop, rng)
+    }
+
+    #[test]
+    fn frozen_table_changes_nothing() {
+        let t = topo(300);
+        let (mut pop, mut rng) = seeded(&t, Protocol::Http);
+        let before = pop.host_set();
+        advance_month(&mut pop, &t, &ChurnTable::frozen(), &mut rng);
+        assert_eq!(pop.host_set(), before);
+    }
+
+    #[test]
+    fn population_size_roughly_stable() {
+        let t = topo(400);
+        let (mut pop, mut rng) = seeded(&t, Protocol::Http);
+        let n0 = pop.len() as f64;
+        assert!(n0 > 100.0, "need a real population, got {n0}");
+        let table = ChurnTable::new();
+        for _ in 0..6 {
+            advance_month(&mut pop, &t, &table, &mut rng);
+        }
+        let n6 = pop.len() as f64;
+        // births ≈ deaths + ~0.2-0.3 %/month growth; after 6 months the
+        // population should be within a few percent of the start
+        assert!(
+            (0.9..1.15).contains(&(n6 / n0)),
+            "population drifted {n0} -> {n6}"
+        );
+    }
+
+    #[test]
+    fn hosts_stay_inside_blocks_after_churn() {
+        let t = topo(300);
+        let (mut pop, mut rng) = seeded(&t, Protocol::Cwmp);
+        let table = ChurnTable::new();
+        for _ in 0..3 {
+            advance_month(&mut pop, &t, &table, &mut rng);
+        }
+        for h in &pop.hosts {
+            let b = &t.blocks()[h.block as usize];
+            assert!(b.prefix.contains_addr(h.addr));
+        }
+    }
+
+    #[test]
+    fn dynamic_hosts_churn_addresses_faster() {
+        let t = topo(500);
+        let (pop0, mut rng) = seeded(&t, Protocol::Cwmp);
+        let mut pop = pop0.clone();
+        // kill death/birth/moves; keep address churn only
+        let mut table = ChurnTable::new();
+        for class in AsClass::ALL {
+            let mut c = default_churn(class);
+            c.death_rate = 0.0;
+            c.birth_rate = 0.0;
+            c.sibling_move_rate = 0.0;
+            c.global_move_rate = 0.0;
+            table.set(class, c);
+        }
+        advance_month(&mut pop, &t, &table, &mut rng);
+        assert_eq!(pop.len(), pop0.len(), "no births/deaths");
+        let mut dyn_moved = 0usize;
+        let mut dyn_total = 0usize;
+        let mut stat_moved = 0usize;
+        let mut stat_total = 0usize;
+        for (a, b) in pop0.hosts.iter().zip(&pop.hosts) {
+            if a.dynamic {
+                dyn_total += 1;
+                if a.addr != b.addr {
+                    dyn_moved += 1;
+                }
+            } else {
+                stat_total += 1;
+                if a.addr != b.addr {
+                    stat_moved += 1;
+                }
+            }
+        }
+        assert!(dyn_total > 50 && stat_total > 50);
+        let dyn_rate = dyn_moved as f64 / dyn_total as f64;
+        let stat_rate = stat_moved as f64 / stat_total as f64;
+        assert!(
+            dyn_rate > 5.0 * stat_rate,
+            "dynamic {dyn_rate} vs static {stat_rate}"
+        );
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let t = topo(300);
+        let run = || {
+            let (mut pop, mut rng) = seeded(&t, Protocol::Ftp);
+            advance_month(&mut pop, &t, &ChurnTable::new(), &mut rng);
+            pop.host_set()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn table_overrides_apply() {
+        let mut table = ChurnTable::new();
+        let mut c = default_churn(AsClass::Hosting);
+        c.death_rate = 0.9;
+        table.set(AsClass::Hosting, c);
+        assert_eq!(table.get(AsClass::Hosting).death_rate, 0.9);
+        assert_eq!(
+            table.get(AsClass::Residential).death_rate,
+            default_churn(AsClass::Residential).death_rate
+        );
+    }
+
+    #[test]
+    fn high_death_rate_shrinks_population() {
+        let t = topo(300);
+        let (mut pop, mut rng) = seeded(&t, Protocol::Http);
+        let n0 = pop.len();
+        let mut table = ChurnTable::new();
+        for class in AsClass::ALL {
+            let mut c = default_churn(class);
+            c.death_rate = 0.5;
+            c.birth_rate = 0.0;
+            table.set(class, c);
+        }
+        advance_month(&mut pop, &t, &table, &mut rng);
+        let ratio = pop.len() as f64 / n0 as f64;
+        assert!((0.42..0.58).contains(&ratio), "survival {ratio}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # tass-model — synthetic Internet ground-truth substrate
+//!
+//! Replaces the paper's censys.io dataset (28 full IPv4 scans, 4.1 TB) with
+//! a seeded, class-driven simulation of protocol host populations and their
+//! monthly evolution. See DESIGN.md §3.3 for the substitution argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod distr;
+pub mod population;
+pub mod protocol;
+pub mod snapshot;
+pub mod topology;
+pub mod universe;
+
+pub use churn::{default_churn, ChurnTable, ClassChurn};
+pub use population::{default_density, DensityParams, DensityTable, Population};
+pub use protocol::Protocol;
+pub use snapshot::{HostSet, Snapshot};
+pub use topology::{BlockMeta, Topology};
+pub use universe::{Universe, UniverseConfig};

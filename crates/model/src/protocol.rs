@@ -1,0 +1,166 @@
+//! The four protocols the paper evaluates.
+//!
+//! FTP, HTTP, HTTPS and CWMP (TR-069, the CPE WAN Management Protocol).
+//! The paper chose CWMP "for contrast because its purpose differs markedly
+//! from the other" protocols: it speaks to residential gateways on dynamic
+//! addresses, which is exactly what makes address-based hitlists decay so
+//! fast for it (paper Figure 5).
+
+use serde::{Deserialize, Serialize};
+
+/// A scanned protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// File Transfer Protocol, TCP/21.
+    Ftp,
+    /// Hypertext Transfer Protocol, TCP/80.
+    Http,
+    /// HTTP over TLS, TCP/443.
+    Https,
+    /// CPE WAN Management Protocol (TR-069), TCP/7547.
+    Cwmp,
+}
+
+impl Protocol {
+    /// All four protocols in the paper's order (Table 1 column order).
+    pub const ALL: [Protocol; 4] = [Protocol::Ftp, Protocol::Http, Protocol::Https, Protocol::Cwmp];
+
+    /// Number of protocols.
+    pub const COUNT: usize = 4;
+
+    /// Stable index in `0..4`, usable for array storage.
+    #[inline]
+    pub fn index(&self) -> usize {
+        match self {
+            Protocol::Ftp => 0,
+            Protocol::Http => 1,
+            Protocol::Https => 2,
+            Protocol::Cwmp => 3,
+        }
+    }
+
+    /// Inverse of [`Protocol::index`].
+    pub fn from_index(i: usize) -> Option<Protocol> {
+        Protocol::ALL.get(i).copied()
+    }
+
+    /// IANA-assigned TCP port probed by the scanner.
+    pub fn port(&self) -> u16 {
+        match self {
+            Protocol::Ftp => 21,
+            Protocol::Http => 80,
+            Protocol::Https => 443,
+            Protocol::Cwmp => 7547,
+        }
+    }
+
+    /// Display name as used in the paper's tables and figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Ftp => "FTP",
+            Protocol::Http => "HTTP",
+            Protocol::Https => "HTTPS",
+            Protocol::Cwmp => "CWMP",
+        }
+    }
+
+    /// A plausible banner/first-response line for a simulated host, used by
+    /// the scanner simulator's banner-grab phase. `variant` selects among a
+    /// few realistic implementations.
+    pub fn banner(&self, variant: u8) -> &'static str {
+        match self {
+            Protocol::Ftp => match variant % 4 {
+                0 => "220 ProFTPD 1.3.5 Server ready.",
+                1 => "220 (vsFTPd 3.0.2)",
+                2 => "220 Microsoft FTP Service",
+                _ => "220 FTP server ready.",
+            },
+            Protocol::Http => match variant % 4 {
+                0 => "HTTP/1.1 200 OK\r\nServer: Apache/2.4.10",
+                1 => "HTTP/1.1 200 OK\r\nServer: nginx/1.6.2",
+                2 => "HTTP/1.1 403 Forbidden\r\nServer: Microsoft-IIS/7.5",
+                _ => "HTTP/1.1 200 OK\r\nServer: lighttpd/1.4.35",
+            },
+            Protocol::Https => match variant % 3 {
+                0 => "TLSv1.2 ServerHello, ECDHE-RSA-AES128-GCM-SHA256",
+                1 => "TLSv1.0 ServerHello, AES256-SHA",
+                _ => "TLSv1.2 ServerHello, DHE-RSA-AES256-GCM-SHA384",
+            },
+            Protocol::Cwmp => match variant % 2 {
+                0 => "HTTP/1.1 401 Unauthorized\r\nServer: RomPager/4.07 UPnP/1.0",
+                _ => "HTTP/1.1 404 Not Found\r\nServer: gSOAP/2.8",
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ftp" => Ok(Protocol::Ftp),
+            "http" => Ok(Protocol::Http),
+            "https" => Ok(Protocol::Https),
+            "cwmp" | "tr-069" | "tr069" => Ok(Protocol::Cwmp),
+            other => Err(format!("unknown protocol {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_roundtrip() {
+        for (i, p) in Protocol::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Protocol::from_index(i), Some(*p));
+        }
+        assert_eq!(Protocol::from_index(4), None);
+        assert_eq!(Protocol::COUNT, Protocol::ALL.len());
+    }
+
+    #[test]
+    fn well_known_ports() {
+        assert_eq!(Protocol::Ftp.port(), 21);
+        assert_eq!(Protocol::Http.port(), 80);
+        assert_eq!(Protocol::Https.port(), 443);
+        assert_eq!(Protocol::Cwmp.port(), 7547);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Protocol::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["FTP", "HTTP", "HTTPS", "CWMP"]);
+        assert_eq!(Protocol::Cwmp.to_string(), "CWMP");
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!("ftp".parse::<Protocol>().unwrap(), Protocol::Ftp);
+        assert_eq!("HTTPS".parse::<Protocol>().unwrap(), Protocol::Https);
+        assert_eq!("TR-069".parse::<Protocol>().unwrap(), Protocol::Cwmp);
+        assert!("gopher".parse::<Protocol>().is_err());
+    }
+
+    #[test]
+    fn banners_nonempty_and_vary() {
+        for p in Protocol::ALL {
+            let b0 = p.banner(0);
+            let b1 = p.banner(1);
+            assert!(!b0.is_empty());
+            assert_ne!(b0, b1, "{p} banners should vary by variant");
+        }
+        // FTP banners look like FTP
+        assert!(Protocol::Ftp.banner(0).starts_with("220"));
+        assert!(Protocol::Cwmp.banner(0).contains("RomPager"));
+    }
+}

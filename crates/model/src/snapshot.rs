@@ -1,0 +1,336 @@
+//! Monthly ground-truth snapshots.
+//!
+//! A [`Snapshot`] is what one full scan of the announced space would have
+//! produced for one protocol in one month: the sorted set of responsive
+//! addresses. The paper's evaluation uses 7 monthly snapshots × 4 protocols
+//! from censys.io as ground truth; this module provides the same object,
+//! sourced from the simulation, with the set operations the strategies
+//! need (membership, intersection counting) and a compact binary
+//! serialisation so generated universes can be cached on disk.
+
+use crate::protocol::Protocol;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// A sorted, deduplicated set of responsive IPv4 addresses.
+///
+/// This is the "host set" unit of the whole evaluation: hitrates are
+/// ratios of intersections of these sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostSet {
+    addrs: Vec<u32>,
+}
+
+impl HostSet {
+    /// Build from an arbitrary address list (sorted and deduplicated here).
+    pub fn from_addrs(mut addrs: Vec<u32>) -> Self {
+        addrs.sort_unstable();
+        addrs.dedup();
+        HostSet { addrs }
+    }
+
+    /// Build from a list that is already sorted and unique.
+    ///
+    /// Panics in debug builds if the precondition is violated.
+    pub fn from_sorted_unique(addrs: Vec<u32>) -> Self {
+        debug_assert!(addrs.windows(2).all(|w| w[0] < w[1]), "addrs not sorted/unique");
+        HostSet { addrs }
+    }
+
+    /// The addresses, sorted ascending.
+    pub fn addrs(&self) -> &[u32] {
+        &self.addrs
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, addr: u32) -> bool {
+        self.addrs.binary_search(&addr).is_ok()
+    }
+
+    /// Size of the intersection with another host set (linear merge).
+    pub fn intersection_count(&self, other: &HostSet) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.addrs, &other.addrs);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Count how many members fall within `[first, last]` (inclusive).
+    /// O(log n) — used to count hosts per prefix.
+    pub fn count_in_range(&self, first: u32, last: u32) -> usize {
+        let lo = self.addrs.partition_point(|&a| a < first);
+        let hi = self.addrs.partition_point(|&a| a <= last);
+        hi - lo
+    }
+
+    /// Count members covered by a prefix.
+    pub fn count_in_prefix(&self, p: tass_net::Prefix) -> usize {
+        self.count_in_range(p.first(), p.last())
+    }
+
+    /// Iterate members ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.addrs.iter().copied()
+    }
+}
+
+impl FromIterator<u32> for HostSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        HostSet::from_addrs(iter.into_iter().collect())
+    }
+}
+
+/// One protocol's ground truth for one month.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The protocol scanned.
+    pub protocol: Protocol,
+    /// Month index since the seeding scan (0 = t₀).
+    pub month: u32,
+    /// The responsive hosts.
+    pub hosts: HostSet,
+}
+
+impl Snapshot {
+    /// Construct a snapshot.
+    pub fn new(protocol: Protocol, month: u32, hosts: HostSet) -> Self {
+        Snapshot { protocol, month, hosts }
+    }
+
+    /// Number of responsive hosts (the paper's `N` at t₀).
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+}
+
+/// Errors decoding the binary snapshot format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes at the start.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown protocol tag.
+    BadProtocol(u8),
+    /// Input shorter than the declared payload.
+    Truncated,
+    /// Addresses not strictly ascending (corrupt payload).
+    Unsorted,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "snapshot: bad magic"),
+            DecodeError::BadVersion(v) => write!(f, "snapshot: unsupported version {v}"),
+            DecodeError::BadProtocol(p) => write!(f, "snapshot: unknown protocol tag {p}"),
+            DecodeError::Truncated => write!(f, "snapshot: truncated input"),
+            DecodeError::Unsorted => write!(f, "snapshot: addresses not sorted"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"TSS1";
+const VERSION: u8 = 1;
+
+impl Snapshot {
+    /// Encode to the compact binary format:
+    /// `magic(4) version(1) protocol(1) month(4 LE) count(8 LE) addrs(4·n LE)`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(18 + 4 * self.hosts.len());
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.protocol.index() as u8);
+        buf.put_u32_le(self.month);
+        buf.put_u64_le(self.hosts.len() as u64);
+        for a in self.hosts.iter() {
+            buf.put_u32_le(a);
+        }
+        buf.freeze()
+    }
+
+    /// Decode the binary format produced by [`Snapshot::encode`].
+    pub fn decode(mut data: &[u8]) -> Result<Snapshot, DecodeError> {
+        if data.remaining() < 18 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = data.get_u8();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let ptag = data.get_u8();
+        let protocol =
+            Protocol::from_index(ptag as usize).ok_or(DecodeError::BadProtocol(ptag))?;
+        let month = data.get_u32_le();
+        let count = data.get_u64_le() as usize;
+        if data.remaining() < count * 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut addrs = Vec::with_capacity(count);
+        let mut prev: Option<u32> = None;
+        for _ in 0..count {
+            let a = data.get_u32_le();
+            if let Some(p) = prev {
+                if a <= p {
+                    return Err(DecodeError::Unsorted);
+                }
+            }
+            prev = Some(a);
+            addrs.push(a);
+        }
+        Ok(Snapshot { protocol, month, hosts: HostSet::from_sorted_unique(addrs) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(v: &[u32]) -> HostSet {
+        HostSet::from_addrs(v.to_vec())
+    }
+
+    #[test]
+    fn from_addrs_sorts_and_dedups() {
+        let s = hs(&[5, 1, 3, 3, 1]);
+        assert_eq!(s.addrs(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(HostSet::default().is_empty());
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let s = hs(&[10, 20, 30]);
+        assert!(s.contains(10) && s.contains(30));
+        assert!(!s.contains(15) && !s.contains(0) && !s.contains(40));
+    }
+
+    #[test]
+    fn intersection_count_merge() {
+        let a = hs(&[1, 2, 3, 5, 8]);
+        let b = hs(&[2, 3, 4, 8, 9]);
+        assert_eq!(a.intersection_count(&b), 3);
+        assert_eq!(b.intersection_count(&a), 3);
+        assert_eq!(a.intersection_count(&HostSet::default()), 0);
+        assert_eq!(a.intersection_count(&a), a.len());
+    }
+
+    #[test]
+    fn range_and_prefix_counts() {
+        let s = hs(&[0x0A00_0001, 0x0A00_0002, 0x0A00_0100, 0x0B00_0000]);
+        assert_eq!(s.count_in_range(0x0A00_0000, 0x0A00_00FF), 2);
+        let p24: tass_net::Prefix = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(s.count_in_prefix(p24), 2);
+        let p8: tass_net::Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(s.count_in_prefix(p8), 3);
+        let all: tass_net::Prefix = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(s.count_in_prefix(all), 4);
+        let none: tass_net::Prefix = "12.0.0.0/8".parse().unwrap();
+        assert_eq!(s.count_in_prefix(none), 0);
+    }
+
+    #[test]
+    fn count_at_space_boundaries() {
+        let s = hs(&[0, u32::MAX]);
+        assert_eq!(s.count_in_range(0, u32::MAX), 2);
+        assert_eq!(s.count_in_range(1, u32::MAX - 1), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = Snapshot::new(Protocol::Https, 3, hs(&[1, 7, 0xFFFF_FFFF]));
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn encode_decode_empty() {
+        let snap = Snapshot::new(Protocol::Ftp, 0, HostSet::default());
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.len(), 0);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Snapshot::decode(b""), Err(DecodeError::Truncated));
+        assert_eq!(Snapshot::decode(b"XXXX..............."), Err(DecodeError::BadMagic));
+        // valid header but truncated payload
+        let snap = Snapshot::new(Protocol::Http, 1, hs(&[1, 2, 3]));
+        let bytes = snap.encode();
+        let cut = &bytes[..bytes.len() - 2];
+        assert_eq!(Snapshot::decode(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_bad_version_and_protocol() {
+        let snap = Snapshot::new(Protocol::Http, 1, hs(&[1]));
+        let mut bytes = snap.encode().to_vec();
+        bytes[4] = 9; // version
+        assert_eq!(Snapshot::decode(&bytes), Err(DecodeError::BadVersion(9)));
+        let mut bytes = snap.encode().to_vec();
+        bytes[5] = 77; // protocol tag
+        assert_eq!(Snapshot::decode(&bytes), Err(DecodeError::BadProtocol(77)));
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_payload() {
+        let snap = Snapshot::new(Protocol::Http, 1, hs(&[1, 2]));
+        let mut bytes = snap.encode().to_vec();
+        // swap the two addresses
+        let n = bytes.len();
+        bytes.swap(n - 8, n - 4);
+        bytes.swap(n - 7, n - 3);
+        bytes.swap(n - 6, n - 2);
+        bytes.swap(n - 5, n - 1);
+        assert_eq!(Snapshot::decode(&bytes), Err(DecodeError::Unsorted));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        for e in [
+            DecodeError::BadMagic,
+            DecodeError::BadVersion(2),
+            DecodeError::BadProtocol(8),
+            DecodeError::Truncated,
+            DecodeError::Unsorted,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The complete simulated dataset: topology + monthly snapshots.
+//!
+//! A [`Universe`] is this repository's stand-in for the paper's 4.1 TB
+//! censys.io corpus: one routing topology plus, for each month 0..=N and
+//! each of the four protocols, the ground-truth set of responsive
+//! addresses. Generation is deterministic in the seed, so experiments are
+//! exactly reproducible.
+
+use crate::churn::{advance_month, ChurnTable};
+use crate::population::{DensityTable, Population};
+use crate::protocol::Protocol;
+use crate::snapshot::Snapshot;
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tass_bgp::synth::{self, SynthConfig};
+
+/// Configuration of a simulated universe.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Routing-table generator configuration.
+    pub synth: SynthConfig,
+    /// Number of months simulated *after* the seeding month (the paper's
+    /// evaluation horizon is 6, giving 7 snapshots).
+    pub months: u32,
+    /// Global density multiplier (1.0 = default model scale).
+    pub host_scale: f64,
+    /// Density mixture table (override for ablations).
+    pub density: DensityTable,
+    /// Churn rate table (override for ablations).
+    pub churn: ChurnTable,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            seed: 0x1A55,
+            synth: SynthConfig::default(),
+            months: 6,
+            host_scale: 1.0,
+            density: DensityTable::new(),
+            churn: ChurnTable::new(),
+        }
+    }
+}
+
+impl UniverseConfig {
+    /// A small configuration for tests and examples: a few hundred
+    /// l-prefixes, still exhibiting all qualitative behaviours.
+    pub fn small(seed: u64) -> Self {
+        UniverseConfig {
+            seed,
+            synth: SynthConfig { seed, l_prefix_count: 600, ..SynthConfig::default() },
+            ..UniverseConfig::default()
+        }
+    }
+}
+
+/// Topology plus all ground-truth snapshots.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    topology: Topology,
+    /// `snapshots[month][protocol.index()]`
+    snapshots: Vec<Vec<Snapshot>>,
+    /// Final host populations (after the last month), for inspection.
+    final_populations: Vec<Population>,
+}
+
+impl Universe {
+    /// Generate a universe from a configuration.
+    pub fn generate(cfg: &UniverseConfig) -> Universe {
+        let synth_table = synth::generate(&cfg.synth);
+        let topology = Topology::build(synth_table);
+
+        let mut snapshots: Vec<Vec<Snapshot>> =
+            (0..=cfg.months).map(|_| Vec::with_capacity(Protocol::COUNT)).collect();
+        let mut final_populations = Vec::with_capacity(Protocol::COUNT);
+
+        for proto in Protocol::ALL {
+            // independent, seed-derived RNG stream per protocol
+            let stream = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(proto.index() as u64 + 1));
+            let mut rng = SmallRng::seed_from_u64(stream);
+            let mut pop = Population::seed(
+                &topology,
+                proto,
+                &cfg.density,
+                &cfg.churn,
+                cfg.host_scale,
+                &mut rng,
+            );
+            snapshots[0].push(Snapshot::new(proto, 0, pop.host_set()));
+            for month in 1..=cfg.months {
+                advance_month(&mut pop, &topology, &cfg.churn, &mut rng);
+                snapshots[month as usize].push(Snapshot::new(proto, month, pop.host_set()));
+            }
+            final_populations.push(pop);
+        }
+        Universe { topology, snapshots, final_populations }
+    }
+
+    /// The static structure.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of months after t₀ (total snapshots per protocol = months+1).
+    pub fn months(&self) -> u32 {
+        self.snapshots.len() as u32 - 1
+    }
+
+    /// Ground truth for `(month, protocol)`. Panics when out of range.
+    pub fn snapshot(&self, month: u32, proto: Protocol) -> &Snapshot {
+        &self.snapshots[month as usize][proto.index()]
+    }
+
+    /// All snapshots of one protocol, month ascending.
+    pub fn series(&self, proto: Protocol) -> Vec<&Snapshot> {
+        self.snapshots.iter().map(|m| &m[proto.index()]).collect()
+    }
+
+    /// The population state after the final month (for inspection/tests).
+    pub fn final_population(&self, proto: Protocol) -> &Population {
+        &self.final_populations[proto.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Universe {
+        Universe::generate(&UniverseConfig::small(7))
+    }
+
+    #[test]
+    fn generates_all_snapshots() {
+        let u = small();
+        assert_eq!(u.months(), 6);
+        for month in 0..=6 {
+            for proto in Protocol::ALL {
+                let s = u.snapshot(month, proto);
+                assert_eq!(s.month, month);
+                assert_eq!(s.protocol, proto);
+                assert!(!s.is_empty(), "{proto} month {month} empty");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Universe::generate(&UniverseConfig::small(9));
+        let b = Universe::generate(&UniverseConfig::small(9));
+        for month in 0..=6u32 {
+            for proto in Protocol::ALL {
+                assert_eq!(month, a.snapshot(month, proto).month);
+                assert_eq!(a.snapshot(month, proto).hosts, b.snapshot(month, proto).hosts);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Universe::generate(&UniverseConfig::small(1));
+        let b = Universe::generate(&UniverseConfig::small(2));
+        assert_ne!(a.snapshot(0, Protocol::Http).hosts, b.snapshot(0, Protocol::Http).hosts);
+    }
+
+    #[test]
+    fn protocols_have_independent_populations() {
+        let u = small();
+        let ftp = u.snapshot(0, Protocol::Ftp);
+        let http = u.snapshot(0, Protocol::Http);
+        assert_ne!(ftp.hosts, http.hosts);
+    }
+
+    #[test]
+    fn hosts_inside_announced_space() {
+        let u = small();
+        for proto in Protocol::ALL {
+            let s = u.snapshot(0, proto);
+            for a in s.hosts.iter().step_by(13) {
+                assert!(
+                    u.topology().block_of_addr(a).is_some(),
+                    "{proto}: host {a:#x} outside announced space"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn series_is_month_ordered() {
+        let u = small();
+        let series = u.series(Protocol::Cwmp);
+        assert_eq!(series.len(), 7);
+        for (i, s) in series.iter().enumerate() {
+            assert_eq!(s.month as usize, i);
+        }
+    }
+
+    #[test]
+    fn populations_evolve_over_time() {
+        let u = small();
+        for proto in Protocol::ALL {
+            let t0 = u.snapshot(0, proto);
+            let t6 = u.snapshot(6, proto);
+            assert_ne!(t0.hosts, t6.hosts, "{proto} did not evolve");
+            // but the sizes stay in the same ballpark
+            let ratio = t6.len() as f64 / t0.len() as f64;
+            assert!((0.85..1.2).contains(&ratio), "{proto} size drifted by {ratio}");
+        }
+    }
+
+    #[test]
+    fn final_population_matches_last_snapshot() {
+        let u = small();
+        for proto in Protocol::ALL {
+            assert_eq!(
+                u.final_population(proto).host_set(),
+                u.snapshot(6, proto).hosts
+            );
+        }
+    }
+}

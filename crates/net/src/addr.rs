@@ -1,0 +1,352 @@
+//! IPv4 address helpers and inclusive address ranges.
+//!
+//! Addresses are carried as host-order `u32` throughout the workspace: the
+//! simulator manipulates hundreds of millions of them and `u32` keeps
+//! snapshots compact and comparisons branch-free. Conversion to and from
+//! [`std::net::Ipv4Addr`] lives here so the rest of the code never repeats
+//! byte-order fiddling.
+
+use crate::error::NetError;
+use crate::prefix::Prefix;
+use std::net::Ipv4Addr;
+
+/// Convert an [`Ipv4Addr`] into its host-order `u32` value.
+///
+/// ```
+/// use tass_net::addr_to_u32;
+/// assert_eq!(addr_to_u32("1.2.3.4".parse().unwrap()), 0x0102_0304);
+/// ```
+#[inline]
+pub fn addr_to_u32(a: Ipv4Addr) -> u32 {
+    u32::from(a)
+}
+
+/// Convert a host-order `u32` into an [`Ipv4Addr`].
+///
+/// ```
+/// use tass_net::addr_from_u32;
+/// assert_eq!(addr_from_u32(0x0102_0304).to_string(), "1.2.3.4");
+/// ```
+#[inline]
+pub fn addr_from_u32(v: u32) -> Ipv4Addr {
+    Ipv4Addr::from(v)
+}
+
+/// Render a `u32` address in dotted-quad notation (convenience for logs).
+pub fn fmt_addr(v: u32) -> String {
+    addr_from_u32(v).to_string()
+}
+
+/// An **inclusive** range of IPv4 addresses `[first, last]`.
+///
+/// Inclusive bounds are deliberate: `[0, u32::MAX]` (the whole space) is
+/// representable, which a half-open `u32` range cannot do without widening.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct AddrRange {
+    first: u32,
+    last: u32,
+}
+
+impl AddrRange {
+    /// Create a range; errors when `first > last`.
+    pub fn new(first: u32, last: u32) -> Result<Self, NetError> {
+        if first > last {
+            return Err(NetError::EmptyRange);
+        }
+        Ok(AddrRange { first, last })
+    }
+
+    /// The range covering the entire IPv4 space.
+    pub const FULL: AddrRange = AddrRange { first: 0, last: u32::MAX };
+
+    /// A single-address range.
+    pub fn single(addr: u32) -> Self {
+        AddrRange { first: addr, last: addr }
+    }
+
+    /// First (lowest) address.
+    #[inline]
+    pub fn first(&self) -> u32 {
+        self.first
+    }
+
+    /// Last (highest) address.
+    #[inline]
+    pub fn last(&self) -> u32 {
+        self.last
+    }
+
+    /// Number of addresses in the range (up to 2^32, hence `u64`).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        u64::from(self.last - self.first) + 1
+    }
+
+    /// Ranges are never empty by construction; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the range contain `addr`?
+    #[inline]
+    pub fn contains(&self, addr: u32) -> bool {
+        self.first <= addr && addr <= self.last
+    }
+
+    /// Do two ranges share at least one address?
+    #[inline]
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.first <= other.last && other.first <= self.last
+    }
+
+    /// Are the ranges adjacent (other starts right after self or vice versa)?
+    pub fn adjacent(&self, other: &AddrRange) -> bool {
+        (self.last != u32::MAX && self.last + 1 == other.first)
+            || (other.last != u32::MAX && other.last + 1 == self.first)
+    }
+
+    /// Merge two overlapping or adjacent ranges; `None` when disjoint.
+    pub fn merge(&self, other: &AddrRange) -> Option<AddrRange> {
+        if self.overlaps(other) || self.adjacent(other) {
+            Some(AddrRange {
+                first: self.first.min(other.first),
+                last: self.last.max(other.last),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Intersection of two ranges, if any.
+    pub fn intersect(&self, other: &AddrRange) -> Option<AddrRange> {
+        if self.overlaps(other) {
+            Some(AddrRange {
+                first: self.first.max(other.first),
+                last: self.last.min(other.last),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Decompose the range into the **minimal** list of CIDR prefixes whose
+    /// union is exactly this range (the classic greedy largest-block-first
+    /// algorithm). Result is sorted by address.
+    ///
+    /// ```
+    /// use tass_net::AddrRange;
+    /// let r = AddrRange::new(0x0A000000, 0x0A0000FF).unwrap(); // 10.0.0.0-10.0.0.255
+    /// let cover = r.to_prefixes();
+    /// assert_eq!(cover.len(), 1);
+    /// assert_eq!(cover[0].to_string(), "10.0.0.0/24");
+    /// ```
+    pub fn to_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        let mut cur = u64::from(self.first);
+        let end = u64::from(self.last) + 1; // exclusive, fits in u64
+        while cur < end {
+            // Largest block starting at `cur`: limited by alignment of `cur`
+            // and by the remaining span.
+            let align = if cur == 0 { 64 } else { cur.trailing_zeros() };
+            let span = end - cur;
+            // max block size by alignment
+            let max_by_align: u64 = if align >= 32 { 1 << 32 } else { 1u64 << align };
+            // max block size by remaining span (round down to power of two)
+            let max_by_span: u64 = {
+                let b = 63 - span.leading_zeros();
+                1u64 << b
+            };
+            let block = max_by_align.min(max_by_span);
+            let len = 32 - block.trailing_zeros() as u8;
+            out.push(
+                Prefix::new(cur as u32, len)
+                    .expect("block is aligned by construction"),
+            );
+            cur += block;
+        }
+        out
+    }
+
+    /// Iterate every address in the range.
+    ///
+    /// For the full /0 this yields 2^32 items — callers should size ranges
+    /// sensibly (the scanner uses permutations instead of linear sweeps).
+    pub fn iter(&self) -> AddrRangeIter {
+        AddrRangeIter { next: u64::from(self.first), end: u64::from(self.last) + 1 }
+    }
+}
+
+/// Iterator over the addresses of an [`AddrRange`].
+#[derive(Debug, Clone)]
+pub struct AddrRangeIter {
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for AddrRangeIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next < self.end {
+            let v = self.next as u32;
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AddrRangeIter {}
+
+impl IntoIterator for AddrRange {
+    type Item = u32;
+    type IntoIter = AddrRangeIter;
+
+    fn into_iter(self) -> AddrRangeIter {
+        self.iter()
+    }
+}
+
+impl From<Prefix> for AddrRange {
+    fn from(p: Prefix) -> Self {
+        AddrRange { first: p.first(), last: p.last() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_roundtrip() {
+        for v in [0u32, 1, 0x7F00_0001, 0xFFFF_FFFF, 0x0A00_0001] {
+            assert_eq!(addr_to_u32(addr_from_u32(v)), v);
+        }
+    }
+
+    #[test]
+    fn fmt_addr_dotted_quad() {
+        assert_eq!(fmt_addr(0), "0.0.0.0");
+        assert_eq!(fmt_addr(u32::MAX), "255.255.255.255");
+        assert_eq!(fmt_addr(0x7F00_0001), "127.0.0.1");
+    }
+
+    #[test]
+    fn range_rejects_inverted_bounds() {
+        assert_eq!(AddrRange::new(5, 4), Err(NetError::EmptyRange));
+        assert!(AddrRange::new(4, 4).is_ok());
+    }
+
+    #[test]
+    fn full_range_len() {
+        assert_eq!(AddrRange::FULL.len(), 1 << 32);
+        assert!(AddrRange::FULL.contains(0));
+        assert!(AddrRange::FULL.contains(u32::MAX));
+    }
+
+    #[test]
+    fn contains_and_overlap() {
+        let r = AddrRange::new(10, 20).unwrap();
+        assert!(r.contains(10) && r.contains(20) && r.contains(15));
+        assert!(!r.contains(9) && !r.contains(21));
+        let s = AddrRange::new(20, 30).unwrap();
+        assert!(r.overlaps(&s));
+        let t = AddrRange::new(21, 30).unwrap();
+        assert!(!r.overlaps(&t));
+        assert!(r.adjacent(&t));
+        assert!(t.adjacent(&r));
+    }
+
+    #[test]
+    fn merge_and_intersect() {
+        let r = AddrRange::new(10, 20).unwrap();
+        let s = AddrRange::new(15, 30).unwrap();
+        assert_eq!(r.merge(&s), Some(AddrRange::new(10, 30).unwrap()));
+        assert_eq!(r.intersect(&s), Some(AddrRange::new(15, 20).unwrap()));
+        let t = AddrRange::new(40, 50).unwrap();
+        assert_eq!(r.merge(&t), None);
+        assert_eq!(r.intersect(&t), None);
+        // adjacent merge
+        let u = AddrRange::new(21, 25).unwrap();
+        assert_eq!(r.merge(&u), Some(AddrRange::new(10, 25).unwrap()));
+    }
+
+    #[test]
+    fn merge_at_space_boundary_no_overflow() {
+        let hi = AddrRange::new(u32::MAX - 1, u32::MAX).unwrap();
+        let lo = AddrRange::new(0, 1).unwrap();
+        // The key property: no panic and no wrap-around merge or adjacency.
+        assert!(!hi.adjacent(&lo));
+        assert_eq!(hi.merge(&lo), None);
+    }
+
+    #[test]
+    fn to_prefixes_aligned_block() {
+        let r = AddrRange::new(0x0A00_0000, 0x0AFF_FFFF).unwrap();
+        let c = r.to_prefixes();
+        assert_eq!(c, vec!["10.0.0.0/8".parse().unwrap()]);
+    }
+
+    #[test]
+    fn to_prefixes_unaligned() {
+        // 10.0.0.1 - 10.0.0.6 => 1 + 2 + 2 + 1 addresses: /32 /31 /31 /32
+        let r = AddrRange::new(0x0A00_0001, 0x0A00_0006).unwrap();
+        let c = r.to_prefixes();
+        let total: u64 = c.iter().map(|p| p.size()).sum();
+        assert_eq!(total, r.len());
+        // disjoint + sorted
+        for w in c.windows(2) {
+            assert!(w[0].last() < w[1].first());
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn to_prefixes_full_space() {
+        let c = AddrRange::FULL.to_prefixes();
+        assert_eq!(c, vec![Prefix::new(0, 0).unwrap()]);
+    }
+
+    #[test]
+    fn to_prefixes_covers_exactly() {
+        let r = AddrRange::new(3, 17).unwrap();
+        let c = r.to_prefixes();
+        let mut addrs: Vec<u32> = c.iter().flat_map(|p| AddrRange::from(*p).iter()).collect();
+        addrs.sort_unstable();
+        let expect: Vec<u32> = (3..=17).collect();
+        assert_eq!(addrs, expect);
+    }
+
+    #[test]
+    fn iter_counts() {
+        let r = AddrRange::new(100, 104).unwrap();
+        let v: Vec<u32> = r.iter().collect();
+        assert_eq!(v, vec![100, 101, 102, 103, 104]);
+        assert_eq!(r.iter().len(), 5);
+    }
+
+    #[test]
+    fn single_range() {
+        let r = AddrRange::single(42);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_prefixes(), vec![Prefix::new(42, 32).unwrap()]);
+    }
+
+    #[test]
+    fn range_from_prefix() {
+        let p: Prefix = "192.168.0.0/16".parse().unwrap();
+        let r = AddrRange::from(p);
+        assert_eq!(r.first(), 0xC0A8_0000);
+        assert_eq!(r.last(), 0xC0A8_FFFF);
+        assert_eq!(r.len(), 65536);
+    }
+}

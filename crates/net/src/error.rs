@@ -1,0 +1,59 @@
+//! Error types for address and prefix parsing and construction.
+
+use std::fmt;
+
+/// Errors produced by `tass-net` constructors and parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A prefix length outside `0..=32`.
+    InvalidPrefixLength(u8),
+    /// A prefix whose address has bits set below the prefix length
+    /// (e.g. `10.0.0.1/8`); canonical prefixes require host bits to be zero.
+    HostBitsSet {
+        /// The offending address in dotted-quad form.
+        addr: String,
+        /// The prefix length it was combined with.
+        len: u8,
+    },
+    /// Textual input that does not parse as `a.b.c.d/len` or `a.b.c.d`.
+    ParseError(String),
+    /// An inclusive range whose first address is greater than its last.
+    EmptyRange,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidPrefixLength(len) => {
+                write!(f, "invalid IPv4 prefix length /{len} (must be 0..=32)")
+            }
+            NetError::HostBitsSet { addr, len } => {
+                write!(f, "{addr}/{len} is not canonical: host bits are set")
+            }
+            NetError::ParseError(s) => write!(f, "cannot parse {s:?} as IPv4 prefix"),
+            NetError::EmptyRange => write!(f, "address range first > last"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NetError::InvalidPrefixLength(33).to_string().contains("/33"));
+        let e = NetError::HostBitsSet { addr: "10.0.0.1".into(), len: 8 };
+        assert!(e.to_string().contains("10.0.0.1/8"));
+        assert!(NetError::ParseError("x".into()).to_string().contains("x"));
+        assert!(!NetError::EmptyRange.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(NetError::EmptyRange);
+        assert!(e.source().is_none());
+    }
+}

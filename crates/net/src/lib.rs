@@ -1,0 +1,57 @@
+//! # tass-net — IPv4 address & prefix substrate
+//!
+//! Foundation crate for the TASS reproduction (Klick et al., *Towards Better
+//! Internet Citizenship: Reducing the Footprint of Internet-wide Scans by
+//! Topology Aware Prefix Selection*, IMC 2016).
+//!
+//! Everything in the paper is expressed in terms of IPv4 **prefixes**: BGP
+//! announcements, the deaggregation of less-specific prefixes around their
+//! more-specific announcements (paper Figure 2), prefix *density*
+//! (responsive hosts per address), and prefix selection. This crate provides
+//! those primitives from scratch, with no external CIDR dependency, because
+//! the prefix math *is* part of the system under reproduction:
+//!
+//! * [`Prefix`] — a canonical IPv4 CIDR prefix (`addr/len`, host bits zero),
+//! * [`AddrRange`] — inclusive address ranges and minimal CIDR covers,
+//! * [`PrefixSet`] — a canonicalising set of disjoint address space with
+//!   union / intersection / subtraction algebra,
+//! * [`PrefixTrie`] — an arena-allocated binary trie with longest- and
+//!   shortest-prefix match, the engine behind address→prefix attribution,
+//! * [`deagg`] — the paper's Figure 2 decomposition: split a less-specific
+//!   prefix into the minimal partition that preserves every more-specific
+//!   announcement,
+//! * [`iana`] — IANA special-purpose registries (RFC 6890 and friends) used
+//!   for scan blocklists and the paper's Figure 1 scoping pyramid.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tass_net::{Prefix, deagg};
+//!
+//! let l: Prefix = "100.0.0.0/8".parse().unwrap();
+//! let m: Prefix = "100.0.0.0/12".parse().unwrap();
+//! // Paper Figure 2: /8 decomposes into the /12 plus the remainder blocks.
+//! let parts = deagg::partition_preserving(l, &[m]);
+//! assert_eq!(parts.len(), 5); // /12 + /12-sibling + /11 + /10 + /9
+//! assert!(parts.contains(&m));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod deagg;
+pub mod error;
+pub mod iana;
+pub mod prefix;
+pub mod set;
+pub mod trie;
+
+pub use addr::{addr_from_u32, addr_to_u32, AddrRange};
+pub use error::NetError;
+pub use prefix::Prefix;
+pub use set::PrefixSet;
+pub use trie::PrefixTrie;
+
+/// Total size of the IPv4 address space (2^32).
+pub const IPV4_SPACE: u64 = 1 << 32;

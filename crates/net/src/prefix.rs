@@ -1,0 +1,503 @@
+//! The canonical IPv4 CIDR prefix type.
+//!
+//! A [`Prefix`] is an address plus a length in `0..=32` whose host bits are
+//! all zero (canonical form). The paper's entire machinery — BGP tables,
+//! deaggregation, density ρᵢ = cᵢ / 2^(32−len), prefix selection — operates
+//! on values of this type, so correctness here underpins everything else.
+
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// A canonical IPv4 network prefix in CIDR notation, e.g. `10.0.0.0/8`.
+///
+/// Invariants (enforced by every constructor):
+/// * `len <= 32`;
+/// * all bits of `addr` below `len` are zero.
+///
+/// Ordering is lexicographic by `(addr, len)`, which places a less-specific
+/// prefix immediately before its first more-specific sub-prefix — convenient
+/// for table dumps and deterministic tie-breaking in selection.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+#[allow(clippy::len_without_is_empty)] // len() is the CIDR prefix length
+impl Prefix {
+    /// The whole IPv4 space, `0.0.0.0/0`.
+    pub const ZERO: Prefix = Prefix { addr: 0, len: 0 };
+
+    /// Create a prefix, rejecting non-canonical input.
+    ///
+    /// ```
+    /// use tass_net::Prefix;
+    /// assert!(Prefix::new(0x0A000000, 8).is_ok());   // 10.0.0.0/8
+    /// assert!(Prefix::new(0x0A000001, 8).is_err());  // host bits set
+    /// assert!(Prefix::new(0, 33).is_err());          // bad length
+    /// ```
+    pub fn new(addr: u32, len: u8) -> Result<Self, NetError> {
+        if len > 32 {
+            return Err(NetError::InvalidPrefixLength(len));
+        }
+        let p = Prefix { addr, len };
+        if addr & !p.netmask() != 0 {
+            return Err(NetError::HostBitsSet {
+                addr: Ipv4Addr::from(addr).to_string(),
+                len,
+            });
+        }
+        Ok(p)
+    }
+
+    /// Create a prefix, zeroing any host bits instead of rejecting them.
+    pub fn new_truncate(addr: u32, len: u8) -> Result<Self, NetError> {
+        if len > 32 {
+            return Err(NetError::InvalidPrefixLength(len));
+        }
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Ok(Prefix { addr: addr & mask, len })
+    }
+
+    /// The prefix containing a single address, `addr/32`.
+    #[inline]
+    pub fn host(addr: u32) -> Self {
+        Prefix { addr, len: 32 }
+    }
+
+    /// Network address (the prefix's lowest address).
+    #[inline]
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Prefix length in bits.
+    #[inline]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` only for `/32` prefixes (single host). Named for clippy's
+    /// `len`/`is_empty` convention; a prefix is never empty of addresses.
+    #[inline]
+    pub fn is_host(&self) -> bool {
+        self.len == 32
+    }
+
+    /// The netmask as a `u32` (e.g. `/8` → `0xFF000000`).
+    #[inline]
+    pub fn netmask(&self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        }
+    }
+
+    /// Number of addresses covered: `2^(32 − len)`.
+    ///
+    /// This is the denominator of the paper's density
+    /// ρᵢ = cᵢ / 2^(32 − prefix length).
+    #[inline]
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// First covered address (== `addr()`).
+    #[inline]
+    pub fn first(&self) -> u32 {
+        self.addr
+    }
+
+    /// Last covered address (broadcast address for subnets).
+    #[inline]
+    pub fn last(&self) -> u32 {
+        self.addr | !self.netmask()
+    }
+
+    /// Does this prefix cover `addr`?
+    #[inline]
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        addr & self.netmask() == self.addr
+    }
+
+    /// Does this prefix fully contain `other` (including equality)?
+    #[inline]
+    pub fn contains(&self, other: &Prefix) -> bool {
+        self.len <= other.len && self.contains_addr(other.addr)
+    }
+
+    /// Strict containment: contains `other` and is shorter.
+    #[inline]
+    pub fn contains_strictly(&self, other: &Prefix) -> bool {
+        self.len < other.len && self.contains_addr(other.addr)
+    }
+
+    /// Do the two prefixes share any address? (Equivalent to one containing
+    /// the other, since CIDR blocks are nested or disjoint.)
+    #[inline]
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// The immediate parent (one bit shorter); `None` for `/0`.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            return None;
+        }
+        let len = self.len - 1;
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Some(Prefix { addr: self.addr & mask, len })
+    }
+
+    /// The sibling sharing this prefix's parent; `None` for `/0`.
+    ///
+    /// ```
+    /// use tass_net::Prefix;
+    /// let p: Prefix = "10.0.0.0/9".parse().unwrap();
+    /// assert_eq!(p.sibling().unwrap().to_string(), "10.128.0.0/9");
+    /// ```
+    pub fn sibling(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = 1u32 << (32 - self.len);
+        Some(Prefix { addr: self.addr ^ bit, len: self.len })
+    }
+
+    /// The two children one bit longer; `None` for `/32`.
+    pub fn children(&self) -> Option<(Prefix, Prefix)> {
+        if self.len == 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let bit = 1u32 << (32 - len);
+        Some((Prefix { addr: self.addr, len }, Prefix { addr: self.addr | bit, len }))
+    }
+
+    /// The value of the bit that distinguishes the two children of this
+    /// prefix in `addr` — i.e. bit `len` (0-indexed from the MSB) of `addr`.
+    /// Used by the trie to pick a branch.
+    #[inline]
+    pub fn branch_bit(&self, addr: u32) -> usize {
+        debug_assert!(self.len < 32);
+        ((addr >> (31 - self.len)) & 1) as usize
+    }
+
+    /// Ancestor at a given (shorter or equal) length.
+    pub fn ancestor_at(&self, len: u8) -> Result<Prefix, NetError> {
+        if len > self.len {
+            return Err(NetError::InvalidPrefixLength(len));
+        }
+        Prefix::new_truncate(self.addr, len)
+    }
+
+    /// All sub-prefixes of a given (longer or equal) length, in order.
+    ///
+    /// `10.0.0.0/8`.subnets(10) yields the four /10s inside the /8.
+    pub fn subnets(&self, len: u8) -> Result<SubnetIter, NetError> {
+        if len > 32 {
+            return Err(NetError::InvalidPrefixLength(len));
+        }
+        if len < self.len {
+            return Err(NetError::InvalidPrefixLength(len));
+        }
+        Ok(SubnetIter {
+            next: u64::from(self.addr),
+            end: u64::from(self.last()) + 1,
+            step: 1u64 << (32 - len),
+            len,
+        })
+    }
+
+    /// The longest common prefix of two prefixes.
+    pub fn common(&self, other: &Prefix) -> Prefix {
+        let max_len = self.len.min(other.len);
+        let diff = self.addr ^ other.addr;
+        let common_bits = diff.leading_zeros().min(u32::from(max_len)) as u8;
+        Prefix::new_truncate(self.addr, common_bits).expect("len <= 32")
+    }
+}
+
+/// Iterator over fixed-length subnets of a prefix (see [`Prefix::subnets`]).
+#[derive(Debug, Clone)]
+pub struct SubnetIter {
+    next: u64,
+    end: u64,
+    step: u64,
+    len: u8,
+}
+
+impl Iterator for SubnetIter {
+    type Item = Prefix;
+
+    fn next(&mut self) -> Option<Prefix> {
+        if self.next < self.end {
+            let p = Prefix { addr: self.next as u32, len: self.len };
+            self.next += self.step;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = ((self.end - self.next) / self.step) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SubnetIter {}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.addr), self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = NetError;
+
+    /// Parse `a.b.c.d/len`; a bare `a.b.c.d` is treated as a /32.
+    /// Host bits must be zero (use [`Prefix::new_truncate`] to mask instead).
+    fn from_str(s: &str) -> Result<Self, NetError> {
+        let (addr_s, len_s) = match s.split_once('/') {
+            Some((a, l)) => (a, Some(l)),
+            None => (s, None),
+        };
+        let addr: Ipv4Addr =
+            addr_s.parse().map_err(|_| NetError::ParseError(s.to_string()))?;
+        let len: u8 = match len_s {
+            Some(l) => l.parse().map_err(|_| NetError::ParseError(s.to_string()))?,
+            None => 32,
+        };
+        Prefix::new(u32::from(addr), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_construction() {
+        let p = Prefix::new(0x0A00_0000, 8).unwrap();
+        assert_eq!(p.addr(), 0x0A00_0000);
+        assert_eq!(p.len(), 8);
+        assert_eq!(Prefix::new(0x0A00_0001, 8), Err(NetError::HostBitsSet {
+            addr: "10.0.0.1".into(),
+            len: 8
+        }));
+        assert_eq!(Prefix::new(0, 33), Err(NetError::InvalidPrefixLength(33)));
+    }
+
+    #[test]
+    fn truncation() {
+        let p = Prefix::new_truncate(0x0A01_0203, 8).unwrap();
+        assert_eq!(p, "10.0.0.0/8".parse().unwrap());
+        let q = Prefix::new_truncate(0xFFFF_FFFF, 0).unwrap();
+        assert_eq!(q, Prefix::ZERO);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32", "128.0.0.0/1"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        // bare address = /32
+        let p: Prefix = "8.8.8.8".parse().unwrap();
+        assert_eq!(p.to_string(), "8.8.8.8/32");
+        // garbage
+        assert!("10.0.0.0/8/9".parse::<Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/ 8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/-1".parse::<Prefix>().is_err());
+        assert!("".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn sizes_and_masks() {
+        let cases: &[(&str, u32, u64)] = &[
+            ("0.0.0.0/0", 0x0000_0000, 1 << 32),
+            ("128.0.0.0/1", 0x8000_0000, 1 << 31),
+            ("10.0.0.0/8", 0xFF00_0000, 1 << 24),
+            ("192.168.0.0/16", 0xFFFF_0000, 65536),
+            ("192.168.1.0/24", 0xFFFF_FF00, 256),
+            ("1.2.3.4/32", 0xFFFF_FFFF, 1),
+        ];
+        for (s, mask, size) in cases {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.netmask(), *mask, "{s}");
+            assert_eq!(p.size(), *size, "{s}");
+        }
+    }
+
+    #[test]
+    fn first_last_contains() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.first(), 0x0A00_0000);
+        assert_eq!(p.last(), 0x0AFF_FFFF);
+        assert!(p.contains_addr(0x0A12_3456));
+        assert!(!p.contains_addr(0x0B00_0000));
+        assert!(!p.contains_addr(0x09FF_FFFF));
+    }
+
+    #[test]
+    fn containment_relations() {
+        let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p12: Prefix = "10.16.0.0/12".parse().unwrap();
+        let other: Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(p8.contains(&p12));
+        assert!(p8.contains_strictly(&p12));
+        assert!(!p12.contains(&p8));
+        assert!(p8.contains(&p8));
+        assert!(!p8.contains_strictly(&p8));
+        assert!(!p8.overlaps(&other));
+        assert!(p8.overlaps(&p12) && p12.overlaps(&p8));
+    }
+
+    #[test]
+    fn family_tree() {
+        let p: Prefix = "10.128.0.0/9".parse().unwrap();
+        assert_eq!(p.parent().unwrap(), "10.0.0.0/8".parse().unwrap());
+        assert_eq!(p.sibling().unwrap(), "10.0.0.0/9".parse().unwrap());
+        let (a, b) = p.children().unwrap();
+        assert_eq!(a, "10.128.0.0/10".parse().unwrap());
+        assert_eq!(b, "10.192.0.0/10".parse().unwrap());
+        assert_eq!(Prefix::ZERO.parent(), None);
+        assert_eq!(Prefix::ZERO.sibling(), None);
+        assert_eq!(Prefix::host(1).children(), None);
+    }
+
+    #[test]
+    fn ancestors_and_subnets() {
+        let p: Prefix = "10.16.0.0/12".parse().unwrap();
+        assert_eq!(p.ancestor_at(8).unwrap(), "10.0.0.0/8".parse().unwrap());
+        assert_eq!(p.ancestor_at(12).unwrap(), p);
+        assert!(p.ancestor_at(13).is_err());
+        let subs: Vec<Prefix> = "10.0.0.0/8".parse::<Prefix>().unwrap()
+            .subnets(10).unwrap().collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0], "10.0.0.0/10".parse().unwrap());
+        assert_eq!(subs[3], "10.192.0.0/10".parse().unwrap());
+        // identity
+        let same: Vec<Prefix> = p.subnets(12).unwrap().collect();
+        assert_eq!(same, vec![p]);
+        assert!(p.subnets(11).is_err());
+        assert!(p.subnets(33).is_err());
+    }
+
+    #[test]
+    fn subnets_of_host_prefix() {
+        let h = Prefix::host(7);
+        let subs: Vec<Prefix> = h.subnets(32).unwrap().collect();
+        assert_eq!(subs, vec![h]);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a: Prefix = "10.0.0.0/16".parse().unwrap();
+        let b: Prefix = "10.1.0.0/16".parse().unwrap();
+        assert_eq!(a.common(&b), "10.0.0.0/15".parse().unwrap());
+        assert_eq!(a.common(&a), a);
+        let c: Prefix = "192.0.0.0/8".parse().unwrap();
+        assert_eq!(a.common(&c), Prefix::ZERO);
+    }
+
+    #[test]
+    fn branch_bit_picks_children() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let (lo, hi) = p.children().unwrap();
+        assert_eq!(p.branch_bit(lo.addr()), 0);
+        assert_eq!(p.branch_bit(hi.addr()), 1);
+        assert_eq!(p.branch_bit(0x0A80_0001), 1);
+        assert_eq!(p.branch_bit(0x0A7F_FFFF), 0);
+    }
+
+    #[test]
+    fn ordering_parent_before_child() {
+        let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p9: Prefix = "10.0.0.0/9".parse().unwrap();
+        let p9h: Prefix = "10.128.0.0/9".parse().unwrap();
+        assert!(p8 < p9);
+        assert!(p9 < p9h);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p: Prefix = "172.16.0.0/12".parse().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: Prefix = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_truncate_is_canonical(addr in any::<u32>(), len in 0u8..=32) {
+            let p = Prefix::new_truncate(addr, len).unwrap();
+            prop_assert!(Prefix::new(p.addr(), p.len()).is_ok());
+            prop_assert!(p.contains_addr(addr));
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(addr in any::<u32>(), len in 0u8..=32) {
+            let p = Prefix::new_truncate(addr, len).unwrap();
+            let s = p.to_string();
+            let q: Prefix = s.parse().unwrap();
+            prop_assert_eq!(p, q);
+        }
+
+        #[test]
+        fn prop_children_partition_parent(addr in any::<u32>(), len in 0u8..=31) {
+            let p = Prefix::new_truncate(addr, len).unwrap();
+            let (a, b) = p.children().unwrap();
+            prop_assert_eq!(a.size() + b.size(), p.size());
+            prop_assert_eq!(a.first(), p.first());
+            prop_assert_eq!(b.last(), p.last());
+            prop_assert_eq!(a.last() + 1, b.first());
+            prop_assert_eq!(a.sibling().unwrap(), b);
+            prop_assert_eq!(a.parent().unwrap(), p);
+            prop_assert_eq!(b.parent().unwrap(), p);
+        }
+
+        #[test]
+        fn prop_containment_matches_ranges(a in any::<u32>(), la in 0u8..=32,
+                                           b in any::<u32>(), lb in 0u8..=32) {
+            let p = Prefix::new_truncate(a, la).unwrap();
+            let q = Prefix::new_truncate(b, lb).unwrap();
+            let range_contains =
+                p.first() <= q.first() && q.last() <= p.last();
+            prop_assert_eq!(p.contains(&q), range_contains);
+            // CIDR blocks are laminar: overlap iff nested
+            let overlap = p.first().max(q.first()) <= p.last().min(q.last());
+            prop_assert_eq!(p.overlaps(&q), overlap);
+        }
+
+        #[test]
+        fn prop_common_is_ancestor_of_both(a in any::<u32>(), la in 0u8..=32,
+                                           b in any::<u32>(), lb in 0u8..=32) {
+            let p = Prefix::new_truncate(a, la).unwrap();
+            let q = Prefix::new_truncate(b, lb).unwrap();
+            let c = p.common(&q);
+            prop_assert!(c.contains(&p));
+            prop_assert!(c.contains(&q));
+            // maximality: children of c cannot both contain p and q
+            if let Some((x, y)) = c.children() {
+                let both_x = x.contains(&p) && x.contains(&q);
+                let both_y = y.contains(&p) && y.contains(&q);
+                prop_assert!(!(both_x || both_y));
+            }
+        }
+    }
+}

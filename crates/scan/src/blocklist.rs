@@ -1,0 +1,156 @@
+//! Scan exclusion lists.
+//!
+//! Good Internet citizenship — the paper's title — starts with never
+//! probing space that cannot host public services or whose owners opted
+//! out. ZMap ships a blocklist file of CIDR ranges; this module implements
+//! the same mechanism: IANA special-purpose space is blocked by default
+//! and operator-specific exclusions can be parsed from the ZMap blocklist
+//! text format (one CIDR per line, `#` comments).
+
+use tass_net::{iana, NetError, Prefix, PrefixSet};
+
+/// A set of excluded prefixes with fast membership queries.
+#[derive(Debug, Clone, Default)]
+pub struct Blocklist {
+    set: PrefixSet,
+}
+
+impl Blocklist {
+    /// An empty blocklist (nothing excluded).
+    pub fn empty() -> Blocklist {
+        Blocklist { set: PrefixSet::new() }
+    }
+
+    /// The default blocklist: all IANA special-purpose space (RFC 1918,
+    /// loopback, multicast, 240/4, …).
+    pub fn iana_default() -> Blocklist {
+        Blocklist { set: iana::reserved_set() }
+    }
+
+    /// Parse a ZMap-style blocklist file: one `a.b.c.d/len` per line,
+    /// blank lines and `#` comments ignored. Inline ` # comment` suffixes
+    /// are accepted too.
+    pub fn parse(text: &str) -> Result<Blocklist, NetError> {
+        let mut set = PrefixSet::new();
+        for line in text.lines() {
+            let line = match line.split_once('#') {
+                Some((before, _)) => before,
+                None => line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            set.insert(line.parse::<Prefix>()?);
+        }
+        Ok(Blocklist { set })
+    }
+
+    /// Add a prefix to the blocklist.
+    pub fn block(&mut self, p: Prefix) -> &mut Self {
+        self.set.insert(p);
+        self
+    }
+
+    /// Merge another blocklist into this one.
+    pub fn merge(&mut self, other: &Blocklist) -> &mut Self {
+        self.set = self.set.union(&other.set);
+        self
+    }
+
+    /// Is this address excluded?
+    #[inline]
+    pub fn is_blocked(&self, addr: u32) -> bool {
+        self.set.contains_addr(addr)
+    }
+
+    /// Is any part of the prefix excluded?
+    pub fn overlaps(&self, p: Prefix) -> bool {
+        self.set.intersects(p)
+    }
+
+    /// Number of excluded addresses.
+    pub fn num_addrs(&self) -> u64 {
+        self.set.num_addrs()
+    }
+
+    /// The exclusion set as canonical CIDR prefixes.
+    pub fn to_prefixes(&self) -> Vec<Prefix> {
+        self.set.to_prefixes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_blocks_nothing() {
+        let b = Blocklist::empty();
+        assert!(!b.is_blocked(0x7F00_0001));
+        assert_eq!(b.num_addrs(), 0);
+    }
+
+    #[test]
+    fn iana_default_blocks_reserved() {
+        let b = Blocklist::iana_default();
+        assert!(b.is_blocked(0x7F00_0001)); // 127.0.0.1
+        assert!(b.is_blocked(0x0A000001)); // 10.0.0.1
+        assert!(b.is_blocked(0xE0000001)); // 224.0.0.1
+        assert!(!b.is_blocked(0x08080808)); // 8.8.8.8
+        assert!(b.num_addrs() > 500_000_000); // ~592M special-purpose addrs
+    }
+
+    #[test]
+    fn parse_zmap_format() {
+        let text = "\
+# ZMap blocklist
+10.0.0.0/8        # RFC1918
+192.168.0.0/16
+
+0.0.0.0/8 # zero net
+";
+        let b = Blocklist::parse(text).unwrap();
+        assert!(b.is_blocked(0x0A123456));
+        assert!(b.is_blocked(0xC0A80101));
+        assert!(b.is_blocked(0x00000001));
+        assert!(!b.is_blocked(0x08080808));
+    }
+
+    #[test]
+    fn parse_rejects_bad_cidr() {
+        assert!(Blocklist::parse("10.0.0.0/33\n").is_err());
+        assert!(Blocklist::parse("not-a-prefix\n").is_err());
+        // host bits set is an error in strict parsing
+        assert!(Blocklist::parse("10.0.0.1/8\n").is_err());
+    }
+
+    #[test]
+    fn block_and_merge() {
+        let mut a = Blocklist::empty();
+        a.block("1.0.0.0/24".parse().unwrap());
+        let mut b = Blocklist::empty();
+        b.block("2.0.0.0/24".parse().unwrap());
+        a.merge(&b);
+        assert!(a.is_blocked(0x01000001));
+        assert!(a.is_blocked(0x02000001));
+        assert_eq!(a.num_addrs(), 512);
+    }
+
+    #[test]
+    fn overlap_queries() {
+        let mut b = Blocklist::empty();
+        b.block("10.0.0.0/8".parse().unwrap());
+        assert!(b.overlaps("10.5.0.0/16".parse().unwrap()));
+        assert!(b.overlaps("0.0.0.0/0".parse().unwrap()));
+        assert!(!b.overlaps("11.0.0.0/8".parse().unwrap()));
+    }
+
+    #[test]
+    fn to_prefixes_canonical() {
+        let mut b = Blocklist::empty();
+        b.block("10.0.0.0/9".parse().unwrap());
+        b.block("10.128.0.0/9".parse().unwrap());
+        assert_eq!(b.to_prefixes(), vec!["10.0.0.0/8".parse().unwrap()]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tass-scan — ZMap-style scanner simulator substrate
+//!
+//! The paper's measurements were taken with ZMap-class Internet-wide
+//! scanners feeding censys.io. This crate reproduces that instrument as a
+//! packet-level simulation so the TASS pipeline can be exercised end to
+//! end — permutation, probing, validation, rate control, banner grabs —
+//! without sending a single real packet:
+//!
+//! * [`siphash`] — SipHash-2-4, used (as in ZMap) to derive probe
+//!   validation state from the destination address so the scanner stays
+//!   stateless;
+//! * [`wire`] — Ethernet/IPv4/TCP codecs with real header checksums; the
+//!   simulated network parses and validates actual frames;
+//! * [`cyclic`] — ZMap's address permutation: iteration of the
+//!   multiplicative group modulo the prime 2³² + 15, with sharding;
+//! * [`rate`] — token-bucket rate limiting on a virtual clock, so scan
+//!   duration is simulated (packets / rate), not wall-clock;
+//! * [`blocklist`] — CIDR exclusion lists (IANA special-purpose space is
+//!   blocked by default, as any responsible scanner must);
+//! * [`net`] — the simulated network with smoltcp-style fault injection
+//!   (loss, duplication);
+//! * [`responder`] — answers SYNs and banner requests from ground-truth
+//!   host sets;
+//! * [`engine`] — the multi-threaded scan engine tying it all together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocklist;
+pub mod cyclic;
+pub mod engine;
+pub mod net;
+pub mod rate;
+pub mod responder;
+pub mod siphash;
+pub mod wire;
+
+pub use blocklist::Blocklist;
+pub use cyclic::Cyclic;
+pub use engine::{ScanConfig, ScanEngine, ScanReport};
+pub use net::{FaultConfig, SimNetwork};
+pub use responder::Responder;

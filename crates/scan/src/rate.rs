@@ -1,0 +1,162 @@
+//! Token-bucket rate limiting on a virtual clock.
+//!
+//! Responsible scanning means capping probes per second; ZMap's `-r` flag
+//! is a token bucket. The simulator runs on **virtual time** — the bucket
+//! is advanced by the simulated clock, and "when would the next packet be
+//! allowed" is answered analytically — so simulated scan campaigns report
+//! realistic durations without sleeping.
+
+/// A token bucket: capacity `burst`, refilled at `rate` tokens/second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    /// Virtual timestamp of the last update, in seconds.
+    now: f64,
+}
+
+impl TokenBucket {
+    /// Create a bucket that starts full. `rate` must be positive; use
+    /// [`TokenBucket::unlimited`] to disable limiting.
+    pub fn new(rate: f64, burst: f64) -> TokenBucket {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(burst >= 1.0, "burst must allow at least one token");
+        TokenBucket { rate, burst, tokens: burst, now: 0.0 }
+    }
+
+    /// A bucket that never limits (infinite rate).
+    pub fn unlimited() -> TokenBucket {
+        TokenBucket { rate: f64::INFINITY, burst: f64::INFINITY, tokens: f64::INFINITY, now: 0.0 }
+    }
+
+    /// The configured rate in tokens/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance the virtual clock to `t` seconds, refilling tokens.
+    /// Time never moves backwards (earlier `t` is ignored).
+    pub fn advance_to(&mut self, t: f64) {
+        if t <= self.now {
+            return;
+        }
+        if self.rate.is_finite() {
+            self.tokens = (self.tokens + (t - self.now) * self.rate).min(self.burst);
+        }
+        self.now = t;
+    }
+
+    /// Try to take one token at the current virtual time.
+    pub fn try_take(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Take one token, advancing the virtual clock to the earliest time it
+    /// is available. Returns the (possibly advanced) virtual time — this is
+    /// how the simulator "waits" without sleeping.
+    pub fn take_blocking(&mut self) -> f64 {
+        if !self.try_take() {
+            let deficit = 1.0 - self.tokens;
+            let wait = deficit / self.rate;
+            let t = self.now + wait;
+            self.advance_to(t);
+            // guard against float rounding leaving us a hair short
+            if !self.try_take() {
+                self.tokens = 0.0;
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(10.0, 3.0);
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take(), "burst of 3 exhausted");
+    }
+
+    #[test]
+    fn refills_with_time() {
+        let mut b = TokenBucket::new(10.0, 1.0);
+        assert!(b.try_take());
+        assert!(!b.try_take());
+        b.advance_to(0.1); // 1 token refilled
+        assert!(b.try_take());
+        assert!(!b.try_take());
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(1000.0, 5.0);
+        b.advance_to(100.0);
+        let mut taken = 0;
+        while b.try_take() {
+            taken += 1;
+        }
+        assert_eq!(taken, 5, "tokens must cap at burst");
+    }
+
+    #[test]
+    fn time_never_goes_backwards() {
+        let mut b = TokenBucket::new(10.0, 1.0);
+        b.advance_to(5.0);
+        b.advance_to(1.0);
+        assert_eq!(b.now(), 5.0);
+    }
+
+    #[test]
+    fn blocking_take_reports_send_times() {
+        // rate 2/s, burst 1: sends at t=0, 0.5, 1.0, 1.5 ...
+        let mut b = TokenBucket::new(2.0, 1.0);
+        let t0 = b.take_blocking();
+        let t1 = b.take_blocking();
+        let t2 = b.take_blocking();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 0.5).abs() < 1e-9, "{t1}");
+        assert!((t2 - 1.0).abs() < 1e-9, "{t2}");
+    }
+
+    #[test]
+    fn simulated_duration_matches_rate() {
+        // 1000 packets at 100 pps should take ~10 virtual seconds
+        let mut b = TokenBucket::new(100.0, 10.0);
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            last = b.take_blocking();
+        }
+        assert!((9.0..10.5).contains(&last), "duration {last}");
+    }
+
+    #[test]
+    fn unlimited_never_blocks() {
+        let mut b = TokenBucket::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.try_take());
+        }
+        assert_eq!(b.take_blocking(), 0.0, "virtual time must not advance");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        TokenBucket::new(0.0, 1.0);
+    }
+}

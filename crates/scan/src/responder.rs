@@ -1,0 +1,193 @@
+//! The simulated far end: hosts answering probes.
+//!
+//! A [`Responder`] represents "the Internet" as seen by the scanner: it
+//! owns, per TCP port, the ground-truth set of addresses that complete a
+//! handshake (taken from a `tass-model` snapshot), answers SYNs with
+//! SYN-ACKs (open), RSTs (live host, closed port) or silence (no host),
+//! and serves protocol banners for the banner-grab phase.
+
+use crate::siphash::SipHash24;
+use crate::wire::{self, tcp_flags, TcpFrame};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use tass_model::{HostSet, Protocol};
+
+/// Answers probes from ground-truth host sets.
+#[derive(Debug, Default)]
+pub struct Responder {
+    /// port -> responsive addresses
+    services: BTreeMap<u16, HostSet>,
+    /// port -> protocol (for banner synthesis)
+    protocols: BTreeMap<u16, Protocol>,
+    /// ISN/banner variation key
+    key: Option<SipHash24>,
+}
+
+impl Responder {
+    /// An empty responder (no hosts anywhere).
+    pub fn new() -> Responder {
+        Responder::default()
+    }
+
+    /// Register a protocol's responsive host set on its well-known port.
+    pub fn with_service(mut self, protocol: Protocol, hosts: HostSet) -> Responder {
+        self.services.insert(protocol.port(), hosts);
+        self.protocols.insert(protocol.port(), protocol);
+        self
+    }
+
+    /// Register hosts on an arbitrary port (no banner synthesis).
+    pub fn with_port(mut self, port: u16, hosts: HostSet) -> Responder {
+        self.services.insert(port, hosts);
+        self
+    }
+
+    /// Total number of (port, host) service endpoints.
+    pub fn num_endpoints(&self) -> usize {
+        self.services.values().map(|h| h.len()).sum()
+    }
+
+    fn hash(&self) -> SipHash24 {
+        self.key.unwrap_or_else(|| SipHash24::new(0x7E57_AB1E, 0x5EED))
+    }
+
+    /// Does `addr` answer on `port`?
+    pub fn is_open(&self, addr: u32, port: u16) -> bool {
+        self.services.get(&port).is_some_and(|h| h.contains(addr))
+    }
+
+    /// Is `addr` a live host on any registered port?
+    pub fn is_live(&self, addr: u32) -> bool {
+        self.services.values().any(|h| h.contains(addr))
+    }
+
+    /// Answer a parsed probe frame: SYN-ACK for open, RST+ACK from a live
+    /// host with the port closed, silence otherwise. Non-SYN segments are
+    /// ignored (the simulated hosts are stateless).
+    pub fn respond(&self, probe: &TcpFrame) -> Option<Bytes> {
+        if probe.flags & tcp_flags::SYN == 0 || probe.flags & tcp_flags::ACK != 0 {
+            return None;
+        }
+        if self.is_open(probe.dst_ip, probe.dst_port) {
+            // deterministic per-(host, port) initial sequence number
+            let isn = (self
+                .hash()
+                .hash(&[probe.dst_ip.to_le_bytes(), u32::from(probe.dst_port).to_le_bytes()].concat())
+                & 0xFFFF_FFFF) as u32;
+            Some(wire::build_syn_ack(probe, isn))
+        } else if self.is_live(probe.dst_ip) {
+            Some(wire::build_rst(probe))
+        } else {
+            None
+        }
+    }
+
+    /// The banner an open service would present, `None` if closed. The
+    /// variant is a deterministic function of the address, so repeated
+    /// grabs are stable.
+    pub fn banner(&self, addr: u32, port: u16) -> Option<&'static str> {
+        if !self.is_open(addr, port) {
+            return None;
+        }
+        let proto = self.protocols.get(&port)?;
+        let variant = (self.hash().hash_u64(u64::from(addr)) & 0xFF) as u8;
+        Some(proto.banner(variant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{build_syn, parse_frame};
+
+    fn responder() -> Responder {
+        Responder::new()
+            .with_service(Protocol::Http, HostSet::from_addrs(vec![100, 200]))
+            .with_service(Protocol::Ftp, HostSet::from_addrs(vec![100]))
+    }
+
+    #[test]
+    fn open_closed_dead() {
+        let r = responder();
+        assert!(r.is_open(100, 80));
+        assert!(r.is_open(100, 21));
+        assert!(!r.is_open(200, 21));
+        assert!(r.is_live(200));
+        assert!(!r.is_live(300));
+        assert_eq!(r.num_endpoints(), 3);
+    }
+
+    #[test]
+    fn syn_to_open_port_gets_syn_ack() {
+        let r = responder();
+        let probe = parse_frame(&build_syn(1, 100, 40000, 80, 777)).unwrap();
+        let resp = r.respond(&probe).unwrap();
+        let f = parse_frame(&resp).unwrap();
+        assert_eq!(f.flags, tcp_flags::SYN | tcp_flags::ACK);
+        assert_eq!(f.ack, 778);
+        assert_eq!(f.src_ip, 100);
+        assert_eq!(f.dst_ip, 1);
+    }
+
+    #[test]
+    fn syn_to_closed_port_on_live_host_gets_rst() {
+        let r = responder();
+        let probe = parse_frame(&build_syn(1, 200, 40000, 21, 5)).unwrap();
+        let resp = r.respond(&probe).unwrap();
+        let f = parse_frame(&resp).unwrap();
+        assert_eq!(f.flags & tcp_flags::RST, tcp_flags::RST);
+    }
+
+    #[test]
+    fn syn_to_dead_address_gets_silence() {
+        let r = responder();
+        let probe = parse_frame(&build_syn(1, 999, 40000, 80, 5)).unwrap();
+        assert!(r.respond(&probe).is_none());
+    }
+
+    #[test]
+    fn non_syn_ignored() {
+        let r = responder();
+        let mut spec = crate::wire::FrameSpec {
+            dst_ip: 100,
+            dst_port: 80,
+            flags: tcp_flags::ACK,
+            ..Default::default()
+        };
+        spec.src_ip = 1;
+        let frame = crate::wire::build_frame(&spec);
+        let probe = parse_frame(&frame).unwrap();
+        assert!(r.respond(&probe).is_none());
+    }
+
+    #[test]
+    fn isn_deterministic_per_host() {
+        let r = responder();
+        let probe = parse_frame(&build_syn(1, 100, 40000, 80, 9)).unwrap();
+        let a = parse_frame(&r.respond(&probe).unwrap()).unwrap().seq;
+        let b = parse_frame(&r.respond(&probe).unwrap()).unwrap().seq;
+        assert_eq!(a, b);
+        let probe2 = parse_frame(&build_syn(1, 200, 40000, 80, 9)).unwrap();
+        let c = parse_frame(&r.respond(&probe2).unwrap()).unwrap().seq;
+        assert_ne!(a, c, "different hosts, different ISNs");
+    }
+
+    #[test]
+    fn banners_for_open_services_only() {
+        let r = responder();
+        let b = r.banner(100, 21).unwrap();
+        assert!(b.starts_with("220"), "FTP banner: {b}");
+        assert!(r.banner(100, 80).unwrap().starts_with("HTTP/1.1"));
+        assert!(r.banner(200, 21).is_none(), "closed port");
+        assert!(r.banner(300, 80).is_none(), "dead host");
+        // stable across calls
+        assert_eq!(r.banner(100, 21), r.banner(100, 21));
+    }
+
+    #[test]
+    fn arbitrary_port_without_banner() {
+        let r = Responder::new().with_port(2323, HostSet::from_addrs(vec![5]));
+        assert!(r.is_open(5, 2323));
+        assert!(r.banner(5, 2323).is_none(), "no protocol registered");
+    }
+}

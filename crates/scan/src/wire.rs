@@ -1,0 +1,422 @@
+//! Ethernet II / IPv4 / TCP frame codecs.
+//!
+//! The simulated scanner builds genuine 54-byte TCP-SYN frames and the
+//! simulated network parses and validates them — header checksums
+//! included — so the probe path exercises the same encode/decode work a
+//! real ZMap-class scanner performs. Checksums follow RFC 1071 (Internet
+//! checksum) with the TCP pseudo-header of RFC 793.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors while parsing a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than the fixed header layout requires.
+    Truncated,
+    /// EtherType other than IPv4 (0x0800).
+    NotIpv4,
+    /// IP version field not 4 or IHL < 5.
+    BadIpHeader,
+    /// IPv4 header checksum mismatch.
+    BadIpChecksum,
+    /// Layer-4 protocol other than TCP (6).
+    NotTcp,
+    /// TCP checksum mismatch (over the pseudo-header).
+    BadTcpChecksum,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireError::Truncated => "frame truncated",
+            WireError::NotIpv4 => "not an IPv4 frame",
+            WireError::BadIpHeader => "malformed IPv4 header",
+            WireError::BadIpChecksum => "IPv4 checksum mismatch",
+            WireError::NotTcp => "not a TCP segment",
+            WireError::BadTcpChecksum => "TCP checksum mismatch",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// TCP flag bits.
+pub mod tcp_flags {
+    /// Synchronise sequence numbers.
+    pub const SYN: u8 = 0x02;
+    /// Acknowledgement field significant.
+    pub const ACK: u8 = 0x10;
+    /// Reset the connection.
+    pub const RST: u8 = 0x04;
+    /// No more data from sender.
+    pub const FIN: u8 = 0x01;
+}
+
+/// A parsed (Ethernet+IPv4+TCP) frame, borrowing nothing: all fields copied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpFrame {
+    /// Destination MAC.
+    pub eth_dst: [u8; 6],
+    /// Source MAC.
+    pub eth_src: [u8; 6],
+    /// IPv4 TTL.
+    pub ttl: u8,
+    /// IPv4 source address (host order).
+    pub src_ip: u32,
+    /// IPv4 destination address (host order).
+    pub dst_ip: u32,
+    /// TCP source port.
+    pub src_port: u16,
+    /// TCP destination port.
+    pub dst_port: u16,
+    /// TCP sequence number.
+    pub seq: u32,
+    /// TCP acknowledgement number.
+    pub ack: u32,
+    /// TCP flags byte.
+    pub flags: u8,
+    /// TCP window.
+    pub window: u16,
+}
+
+/// RFC 1071 Internet checksum over a byte slice (odd lengths padded).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// TCP checksum over pseudo-header + segment (RFC 793).
+pub fn tcp_checksum(src_ip: u32, dst_ip: u32, segment: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + segment.len());
+    pseudo.extend_from_slice(&src_ip.to_be_bytes());
+    pseudo.extend_from_slice(&dst_ip.to_be_bytes());
+    pseudo.push(0);
+    pseudo.push(6); // TCP
+    pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
+    pseudo.extend_from_slice(segment);
+    internet_checksum(&pseudo)
+}
+
+/// Frame layout constants.
+pub const ETH_HDR_LEN: usize = 14;
+/// IPv4 header length without options.
+pub const IP_HDR_LEN: usize = 20;
+/// TCP header length without options.
+pub const TCP_HDR_LEN: usize = 20;
+/// Total length of the probe frames this crate builds.
+pub const FRAME_LEN: usize = ETH_HDR_LEN + IP_HDR_LEN + TCP_HDR_LEN;
+
+/// Parameters for building a TCP frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameSpec {
+    /// Destination MAC (the simulated gateway).
+    pub eth_dst: [u8; 6],
+    /// Source MAC.
+    pub eth_src: [u8; 6],
+    /// IPv4 TTL (ZMap uses 255 by default).
+    pub ttl: u8,
+    /// Source address (host order).
+    pub src_ip: u32,
+    /// Destination address (host order).
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flags byte (see [`tcp_flags`]).
+    pub flags: u8,
+    /// Advertised window.
+    pub window: u16,
+    /// IPv4 identification field.
+    pub ip_id: u16,
+}
+
+impl Default for FrameSpec {
+    fn default() -> Self {
+        FrameSpec {
+            eth_dst: [0x02, 0, 0, 0, 0, 0x01],
+            eth_src: [0x02, 0, 0, 0, 0, 0x02],
+            ttl: 255,
+            src_ip: 0,
+            dst_ip: 0,
+            src_port: 0,
+            dst_port: 0,
+            seq: 0,
+            ack: 0,
+            flags: tcp_flags::SYN,
+            window: 65535,
+            ip_id: 54321,
+        }
+    }
+}
+
+/// Build a checksummed Ethernet+IPv4+TCP frame from a spec.
+pub fn build_frame(spec: &FrameSpec) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_LEN);
+    // Ethernet
+    buf.put_slice(&spec.eth_dst);
+    buf.put_slice(&spec.eth_src);
+    buf.put_u16(0x0800);
+    // IPv4
+    let ip_start = buf.len();
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8(0); // DSCP/ECN
+    buf.put_u16((IP_HDR_LEN + TCP_HDR_LEN) as u16);
+    buf.put_u16(spec.ip_id);
+    buf.put_u16(0); // flags+fragment offset
+    buf.put_u8(spec.ttl);
+    buf.put_u8(6); // TCP
+    buf.put_u16(0); // checksum placeholder
+    buf.put_u32(spec.src_ip);
+    buf.put_u32(spec.dst_ip);
+    let ip_csum = internet_checksum(&buf[ip_start..ip_start + IP_HDR_LEN]);
+    buf[ip_start + 10..ip_start + 12].copy_from_slice(&ip_csum.to_be_bytes());
+    // TCP
+    let tcp_start = buf.len();
+    buf.put_u16(spec.src_port);
+    buf.put_u16(spec.dst_port);
+    buf.put_u32(spec.seq);
+    buf.put_u32(spec.ack);
+    buf.put_u8(0x50); // data offset 5, reserved 0
+    buf.put_u8(spec.flags);
+    buf.put_u16(spec.window);
+    buf.put_u16(0); // checksum placeholder
+    buf.put_u16(0); // urgent pointer
+    let tcp_csum = tcp_checksum(spec.src_ip, spec.dst_ip, &buf[tcp_start..]);
+    buf[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_csum.to_be_bytes());
+    buf.freeze()
+}
+
+/// Build a TCP SYN probe (the scanner's packet).
+pub fn build_syn(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, seq: u32) -> Bytes {
+    build_frame(&FrameSpec {
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        seq,
+        flags: tcp_flags::SYN,
+        ..FrameSpec::default()
+    })
+}
+
+/// Build a SYN-ACK answer to a parsed SYN (the responder's packet).
+pub fn build_syn_ack(probe: &TcpFrame, server_isn: u32) -> Bytes {
+    build_frame(&FrameSpec {
+        eth_dst: probe.eth_src,
+        eth_src: probe.eth_dst,
+        src_ip: probe.dst_ip,
+        dst_ip: probe.src_ip,
+        src_port: probe.dst_port,
+        dst_port: probe.src_port,
+        seq: server_isn,
+        ack: probe.seq.wrapping_add(1),
+        flags: tcp_flags::SYN | tcp_flags::ACK,
+        ttl: 64,
+        ..FrameSpec::default()
+    })
+}
+
+/// Build a RST answer (closed port).
+pub fn build_rst(probe: &TcpFrame) -> Bytes {
+    build_frame(&FrameSpec {
+        eth_dst: probe.eth_src,
+        eth_src: probe.eth_dst,
+        src_ip: probe.dst_ip,
+        dst_ip: probe.src_ip,
+        src_port: probe.dst_port,
+        dst_port: probe.src_port,
+        seq: 0,
+        ack: probe.seq.wrapping_add(1),
+        flags: tcp_flags::RST | tcp_flags::ACK,
+        ttl: 64,
+        ..FrameSpec::default()
+    })
+}
+
+/// Parse and validate a frame (checksums verified).
+pub fn parse_frame(frame: &[u8]) -> Result<TcpFrame, WireError> {
+    if frame.len() < FRAME_LEN {
+        return Err(WireError::Truncated);
+    }
+    let eth_dst: [u8; 6] = frame[0..6].try_into().expect("6 bytes");
+    let eth_src: [u8; 6] = frame[6..12].try_into().expect("6 bytes");
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != 0x0800 {
+        return Err(WireError::NotIpv4);
+    }
+    let ip = &frame[ETH_HDR_LEN..];
+    if ip[0] >> 4 != 4 || (ip[0] & 0x0F) < 5 {
+        return Err(WireError::BadIpHeader);
+    }
+    let ihl = usize::from(ip[0] & 0x0F) * 4;
+    if frame.len() < ETH_HDR_LEN + ihl + TCP_HDR_LEN {
+        return Err(WireError::Truncated);
+    }
+    if internet_checksum(&ip[..ihl]) != 0 {
+        return Err(WireError::BadIpChecksum);
+    }
+    if ip[9] != 6 {
+        return Err(WireError::NotTcp);
+    }
+    let ttl = ip[8];
+    let src_ip = u32::from_be_bytes(ip[12..16].try_into().expect("4 bytes"));
+    let dst_ip = u32::from_be_bytes(ip[16..20].try_into().expect("4 bytes"));
+    let tcp = &frame[ETH_HDR_LEN + ihl..];
+    // verify TCP checksum over the whole remaining segment
+    if tcp_checksum(src_ip, dst_ip, tcp) != 0 {
+        return Err(WireError::BadTcpChecksum);
+    }
+    Ok(TcpFrame {
+        eth_dst,
+        eth_src,
+        ttl,
+        src_ip,
+        dst_ip,
+        src_port: u16::from_be_bytes([tcp[0], tcp[1]]),
+        dst_port: u16::from_be_bytes([tcp[2], tcp[3]]),
+        seq: u32::from_be_bytes(tcp[4..8].try_into().expect("4 bytes")),
+        ack: u32::from_be_bytes(tcp[8..12].try_into().expect("4 bytes")),
+        flags: tcp[13],
+        window: u16::from_be_bytes([tcp[14], tcp[15]]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_style_checksum() {
+        // Classic worked example: checksum of 00 01 f2 03 f4 f5 f6 f7
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> 0xddf2 ->
+        // complement 0x220d
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_odd_length_pads_zero() {
+        assert_eq!(internet_checksum(&[0xFF]), !0xFF00u16);
+    }
+
+    #[test]
+    fn checksum_of_zeroes_is_ffff() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let syn = build_syn(0x0A000001, 0xC0A80001, 40000, 443, 0xDEADBEEF);
+        assert_eq!(syn.len(), FRAME_LEN);
+        let f = parse_frame(&syn).unwrap();
+        assert_eq!(f.src_ip, 0x0A000001);
+        assert_eq!(f.dst_ip, 0xC0A80001);
+        assert_eq!(f.src_port, 40000);
+        assert_eq!(f.dst_port, 443);
+        assert_eq!(f.seq, 0xDEADBEEF);
+        assert_eq!(f.flags, tcp_flags::SYN);
+        assert_eq!(f.ttl, 255);
+    }
+
+    #[test]
+    fn syn_ack_swaps_endpoints_and_acks() {
+        let syn = build_syn(1, 2, 3, 4, 100);
+        let probe = parse_frame(&syn).unwrap();
+        let sa = build_syn_ack(&probe, 5555);
+        let f = parse_frame(&sa).unwrap();
+        assert_eq!(f.src_ip, 2);
+        assert_eq!(f.dst_ip, 1);
+        assert_eq!(f.src_port, 4);
+        assert_eq!(f.dst_port, 3);
+        assert_eq!(f.seq, 5555);
+        assert_eq!(f.ack, 101);
+        assert_eq!(f.flags, tcp_flags::SYN | tcp_flags::ACK);
+        assert_eq!(f.eth_dst, probe.eth_src);
+    }
+
+    #[test]
+    fn rst_answer() {
+        let syn = build_syn(1, 2, 3, 4, u32::MAX);
+        let probe = parse_frame(&syn).unwrap();
+        let rst = build_rst(&probe);
+        let f = parse_frame(&rst).unwrap();
+        assert_eq!(f.flags, tcp_flags::RST | tcp_flags::ACK);
+        assert_eq!(f.ack, 0, "seq u32::MAX + 1 wraps to 0");
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let syn = build_syn(0x01020304, 0x05060708, 1000, 80, 42);
+        // truncation
+        assert_eq!(parse_frame(&syn[..10]), Err(WireError::Truncated));
+        // wrong ethertype
+        let mut bad = syn.to_vec();
+        bad[12] = 0x86;
+        bad[13] = 0xDD; // IPv6
+        assert_eq!(parse_frame(&bad), Err(WireError::NotIpv4));
+        // IP version
+        let mut bad = syn.to_vec();
+        bad[ETH_HDR_LEN] = 0x65;
+        assert_eq!(parse_frame(&bad), Err(WireError::BadIpHeader));
+        // flip a bit in the IP header -> checksum fails
+        let mut bad = syn.to_vec();
+        bad[ETH_HDR_LEN + 8] ^= 0xFF; // ttl
+        assert_eq!(parse_frame(&bad), Err(WireError::BadIpChecksum));
+        // flip a TCP payload bit -> TCP checksum fails
+        let mut bad = syn.to_vec();
+        bad[FRAME_LEN - 3] ^= 0x01; // window low byte
+        assert_eq!(parse_frame(&bad), Err(WireError::BadTcpChecksum));
+        // non-TCP protocol (fix IP checksum accordingly)
+        let mut bad = syn.to_vec();
+        bad[ETH_HDR_LEN + 9] = 17; // UDP
+        bad[ETH_HDR_LEN + 10] = 0;
+        bad[ETH_HDR_LEN + 11] = 0;
+        let csum = internet_checksum(&bad[ETH_HDR_LEN..ETH_HDR_LEN + IP_HDR_LEN]);
+        bad[ETH_HDR_LEN + 10..ETH_HDR_LEN + 12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(parse_frame(&bad), Err(WireError::NotTcp));
+    }
+
+    #[test]
+    fn ip_and_tcp_checksums_self_verify() {
+        let syn = build_syn(0xAABBCCDD, 0x11223344, 55555, 7547, 7);
+        let ip = &syn[ETH_HDR_LEN..ETH_HDR_LEN + IP_HDR_LEN];
+        assert_eq!(internet_checksum(ip), 0, "IP header must checksum to 0");
+        let tcp = &syn[ETH_HDR_LEN + IP_HDR_LEN..];
+        assert_eq!(
+            tcp_checksum(0xAABBCCDD, 0x11223344, tcp),
+            0,
+            "TCP segment must checksum to 0 over pseudo-header"
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            WireError::Truncated,
+            WireError::NotIpv4,
+            WireError::BadIpHeader,
+            WireError::BadIpChecksum,
+            WireError::NotTcp,
+            WireError::BadTcpChecksum,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

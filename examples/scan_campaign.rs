@@ -1,0 +1,69 @@
+//! A six-month periodic scanning campaign, strategy by strategy.
+//!
+//! Reproduces the paper's §4 evaluation narrative on a freshly generated
+//! universe: the full scan as ground truth, the IP hitlist that decays
+//! within months (Figure 5), and TASS at both prefix granularities and two
+//! coverage targets (Figure 6) — with the probe budgets that justify the
+//! efficiency claims.
+//!
+//! Run with: `cargo run --release --example scan_campaign [seed]`
+
+use tass::bgp::ViewKind;
+use tass::core::campaign::run_campaign;
+use tass::core::metrics::{efficiency_ratio, monthly_decay, traffic_reduction};
+use tass::core::strategy::StrategyKind;
+use tass::model::{Protocol, Universe, UniverseConfig};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14u64);
+    println!("generating universe (seed {seed})…\n");
+    let universe = Universe::generate(&UniverseConfig::small(seed));
+
+    let strategies = [
+        StrategyKind::FullScan,
+        StrategyKind::IpHitlist,
+        StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+    ];
+
+    for proto in Protocol::ALL {
+        println!("=== {proto} ===");
+        println!(
+            "{:<28} {:>12} {:>9} {:>9} {:>9} {:>10} {:>8}",
+            "strategy", "probes/cycle", "hit@m1", "hit@m3", "hit@m6", "decay/mo", "eff x"
+        );
+        let full = run_campaign(&universe, StrategyKind::FullScan, proto, seed);
+        for kind in strategies {
+            let r = run_campaign(&universe, kind, proto, seed);
+            let eff = efficiency_ratio(&r.months[6].eval, &full.months[6].eval);
+            println!(
+                "{:<28} {:>12} {:>8.1}% {:>8.1}% {:>8.1}% {:>9.2}% {:>8.2}",
+                r.strategy,
+                r.probes_per_cycle,
+                100.0 * r.hitrate(1),
+                100.0 * r.hitrate(3),
+                100.0 * r.hitrate(6),
+                100.0 * monthly_decay(&r.months),
+                eff,
+            );
+        }
+        let tass = run_campaign(
+            &universe,
+            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            proto,
+            seed,
+        );
+        println!(
+            "traffic reduction of tass(m, phi=0.95) vs full scan: {:.1}%\n",
+            100.0 * traffic_reduction(&tass.months[6].eval, &full.months[6].eval)
+        );
+    }
+
+    println!(
+        "reading guide: the hitlist matches TASS at month 0 but collapses\n\
+         (hardest for CWMP — dynamic residential addresses); TASS keeps 90+%\n\
+         of hosts for six months at a fraction of the probes. That is the\n\
+         paper's argument in one table."
+    );
+}

@@ -1,0 +1,60 @@
+//! # tass — Topology Aware Scanning Strategy
+//!
+//! A full reproduction of Klick, Lau, Wählisch & Roth, *"Towards Better
+//! Internet Citizenship: Reducing the Footprint of Internet-wide Scans by
+//! Topology Aware Prefix Selection"* (ACM IMC 2016), as a Rust workspace.
+//!
+//! This umbrella crate re-exports the workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`net`] — IPv4 prefix math, tries, deaggregation, IANA registries;
+//! * [`bgp`] — routing tables, CAIDA pfx2as I/O, l/m scan views, the
+//!   synthetic RouteViews-like generator;
+//! * [`model`] — the simulated ground truth (protocol host populations and
+//!   their monthly churn) standing in for the paper's censys.io corpus;
+//! * [`scan`] — the ZMap-style packet-level scanner simulator;
+//! * [`core`] — TASS itself: density ranking, the φ-coverage selection,
+//!   all baseline strategies, and the campaign evaluation;
+//! * [`experiments`] — the table/figure reproduction harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tass::model::{Protocol, Universe, UniverseConfig};
+//! use tass::core::{density::rank_units, select::select_prefixes};
+//!
+//! // A small simulated Internet with 7 monthly snapshots.
+//! let universe = Universe::generate(&UniverseConfig::small(42));
+//! let t0 = universe.snapshot(0, Protocol::Http);
+//!
+//! // TASS: rank the more-specific scan units by density, keep 95% of hosts.
+//! let rank = rank_units(&universe.topology().m_view, &t0.hosts);
+//! let sel = select_prefixes(&rank, 0.95);
+//!
+//! assert!(sel.achieved_coverage > 0.95);
+//! assert!(sel.space_fraction < 0.5, "scan far less than half the space");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tass_bgp as bgp;
+pub use tass_core as core;
+pub use tass_experiments as experiments;
+pub use tass_model as model;
+pub use tass_net as net;
+pub use tass_scan as scan;
+
+/// Workspace version (all member crates share it).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_resolve() {
+        let p: crate::net::Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p.size(), 1 << 24);
+        assert_eq!(crate::model::Protocol::Cwmp.port(), 7547);
+        assert!(!crate::VERSION.is_empty());
+    }
+}
