@@ -15,6 +15,7 @@
 //! | `fig6_campaign`     | Figure 6 (a and b) |
 //! | `efficiency_claims` | abstract / §5      |
 //! | `ablation_random`   | ablation (ours)    |
+//! | `adaptive_feedback` | feedback loop (ours) |
 //! | `scan_validation`   | engine-in-the-loop |
 //! | `universe_generation` | the seeding "full scan" itself |
 
@@ -41,6 +42,7 @@ fn exhibits_benches(c: &mut Criterion) {
     bench_exhibit(c, "fig6_campaign", "fig6a");
     bench_exhibit(c, "efficiency_claims", "efficiency");
     bench_exhibit(c, "ablation_random", "ablation");
+    bench_exhibit(c, "adaptive_feedback", "adaptive");
     bench_exhibit(c, "scan_validation", "scan_validation");
 }
 
@@ -53,7 +55,10 @@ fn universe_generation(c: &mut Criterion) {
                 host_scale: 1.0,
                 months: 6,
             };
-            Scenario::build(black_box(&cfg)).universe.snapshot(6, tass_model::Protocol::Http).len()
+            Scenario::build(black_box(&cfg))
+                .universe
+                .snapshot(6, tass_model::Protocol::Http)
+                .len()
         })
     });
 }

@@ -26,8 +26,11 @@ fn bench_trie(c: &mut Criterion) {
     let mut group = c.benchmark_group("trie");
     for n in [10_000usize, 100_000] {
         let prefixes = random_prefixes(n, 1);
-        let trie: PrefixTrie<u32> =
-            prefixes.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let trie: PrefixTrie<u32> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
         let mut rng = SmallRng::seed_from_u64(2);
         let addrs: Vec<u32> = (0..10_000).map(|_| rng.random()).collect();
         group.throughput(Throughput::Elements(addrs.len() as u64));
@@ -66,8 +69,7 @@ fn bench_trie(c: &mut Criterion) {
 fn bench_deagg(c: &mut Criterion) {
     let mut group = c.benchmark_group("deaggregation");
     let scen = tass_bench::scenario();
-    let prefixes: Vec<Prefix> =
-        scen.universe.topology().synth.table.prefixes().collect();
+    let prefixes: Vec<Prefix> = scen.universe.topology().synth.table.prefixes().collect();
     group.throughput(Throughput::Elements(prefixes.len() as u64));
     group.bench_function(format!("table_{}_entries", prefixes.len()), |b| {
         b.iter(|| deagg::deaggregate_table(prefixes.iter().copied()).len())

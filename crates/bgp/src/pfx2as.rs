@@ -109,7 +109,10 @@ pub fn read<R: BufRead>(reader: R) -> Result<Vec<Announcement>, Pfx2AsError> {
         }
         let fields: Vec<&str> = t.split_whitespace().collect();
         if fields.len() != 3 {
-            return Err(Pfx2AsError::BadLine { line: lineno, text: t.to_string() });
+            return Err(Pfx2AsError::BadLine {
+                line: lineno,
+                text: t.to_string(),
+            });
         }
         let addr: std::net::Ipv4Addr = fields[0].parse().map_err(|_| Pfx2AsError::BadField {
             line: lineno,
@@ -231,16 +234,41 @@ mod tests {
     #[test]
     fn error_on_bad_fields() {
         let e = read_str("10.0.0\t8\t64500\n").unwrap_err();
-        assert!(matches!(e, Pfx2AsError::BadField { field: "prefix", .. }));
+        assert!(matches!(
+            e,
+            Pfx2AsError::BadField {
+                field: "prefix",
+                ..
+            }
+        ));
         let e = read_str("10.0.0.0\t40\t64500\n").unwrap_err();
-        assert!(matches!(e, Pfx2AsError::BadField { field: "length", .. }));
+        assert!(matches!(
+            e,
+            Pfx2AsError::BadField {
+                field: "length",
+                ..
+            }
+        ));
         let e = read_str("10.0.0.0\tx\t64500\n").unwrap_err();
-        assert!(matches!(e, Pfx2AsError::BadField { field: "length", .. }));
+        assert!(matches!(
+            e,
+            Pfx2AsError::BadField {
+                field: "length",
+                ..
+            }
+        ));
         let e = read_str("ok\n10.0.0.0\t8\tAS64500\n").unwrap_err();
         // first line fails before the second is reached
         assert!(matches!(e, Pfx2AsError::BadLine { line: 1, .. }));
         let e = read_str("10.0.0.0\t8\tAS64500\n").unwrap_err();
-        assert!(matches!(e, Pfx2AsError::BadField { field: "origin", line: 1, .. }));
+        assert!(matches!(
+            e,
+            Pfx2AsError::BadField {
+                field: "origin",
+                line: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -269,9 +297,16 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = Pfx2AsError::BadLine { line: 3, text: "x".into() };
+        let e = Pfx2AsError::BadLine {
+            line: 3,
+            text: "x".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = Pfx2AsError::BadField { line: 1, field: "origin", text: "y".into() };
+        let e = Pfx2AsError::BadField {
+            line: 1,
+            field: "origin",
+            text: "y".into(),
+        };
         assert!(e.to_string().contains("origin"));
         assert!(Pfx2AsError::BadOrigin("z".into()).to_string().contains("z"));
     }

@@ -121,7 +121,10 @@ pub struct RouteTable {
 impl RouteTable {
     /// An empty table.
     pub fn new() -> Self {
-        RouteTable { entries: BTreeMap::new(), trie: PrefixTrie::new() }
+        RouteTable {
+            entries: BTreeMap::new(),
+            trie: PrefixTrie::new(),
+        }
     }
 
     /// Build from announcements (later duplicates replace earlier ones).
@@ -227,7 +230,11 @@ impl RouteTable {
             entries,
             l_prefixes,
             m_prefixes,
-            m_share: if entries == 0 { 0.0 } else { m_prefixes as f64 / entries as f64 },
+            m_share: if entries == 0 {
+                0.0
+            } else {
+                m_prefixes as f64 / entries as f64
+            },
             advertised_addrs,
             m_space_share: if advertised_addrs == 0 {
                 0.0
@@ -255,7 +262,10 @@ mod tests {
     fn table(entries: &[(&str, u32)]) -> RouteTable {
         entries
             .iter()
-            .map(|&(s, asn)| Announcement { prefix: p(s), origin: Origin::Single(asn) })
+            .map(|&(s, asn)| Announcement {
+                prefix: p(s),
+                origin: Origin::Single(asn),
+            })
             .collect()
     }
 

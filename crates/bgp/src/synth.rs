@@ -319,7 +319,13 @@ pub fn generate(cfg: &SynthConfig) -> SynthTable {
     let mut range_idx = 0usize;
     let mut cursor: u64 = match ranges.first() {
         Some(r) => u64::from(r.first()),
-        None => return SynthTable { table, ases, class_by_asn },
+        None => {
+            return SynthTable {
+                table,
+                ases,
+                class_by_asn,
+            }
+        }
     };
 
     let mut generated = 0usize;
@@ -340,7 +346,7 @@ pub fn generate(cfg: &SynthConfig) -> SynthTable {
         let size = 1u64 << (32 - len);
 
         // align cursor up to the block boundary
-        let aligned = (cursor + size - 1) / size * size;
+        let aligned = cursor.div_ceil(size) * size;
         if aligned + size > range_end {
             // no room left in this allocated range; move to the next
             range_idx += 1;
@@ -430,7 +436,11 @@ pub fn generate(cfg: &SynthConfig) -> SynthTable {
         cursor += gap;
     }
 
-    SynthTable { table, ases, class_by_asn }
+    SynthTable {
+        table,
+        ases,
+        class_by_asn,
+    }
 }
 
 #[cfg(test)]
@@ -438,7 +448,11 @@ mod tests {
     use super::*;
 
     fn small_cfg(seed: u64) -> SynthConfig {
-        SynthConfig { seed, l_prefix_count: 800, ..SynthConfig::default() }
+        SynthConfig {
+            seed,
+            l_prefix_count: 800,
+            ..SynthConfig::default()
+        }
     }
 
     #[test]
@@ -472,7 +486,11 @@ mod tests {
 
     #[test]
     fn m_share_near_paper() {
-        let t = generate(&SynthConfig { seed: 3, l_prefix_count: 4000, ..Default::default() });
+        let t = generate(&SynthConfig {
+            seed: 3,
+            l_prefix_count: 4000,
+            ..Default::default()
+        });
         let s = t.table.stats();
         assert!(
             (0.40..0.68).contains(&s.m_share),
@@ -491,10 +509,7 @@ mod tests {
         let t = generate(&small_cfg(9));
         let reserved = tass_net::iana::reserved_set();
         for p in t.table.prefixes() {
-            assert!(
-                !reserved.intersects(p),
-                "{p} overlaps reserved space"
-            );
+            assert!(!reserved.intersects(p), "{p} overlaps reserved space");
         }
     }
 
@@ -530,7 +545,11 @@ mod tests {
 
     #[test]
     fn all_classes_present_in_large_table() {
-        let t = generate(&SynthConfig { seed: 23, l_prefix_count: 3000, ..Default::default() });
+        let t = generate(&SynthConfig {
+            seed: 23,
+            l_prefix_count: 3000,
+            ..Default::default()
+        });
         for class in AsClass::ALL {
             assert!(
                 t.ases.iter().any(|a| a.class == class),
@@ -541,7 +560,11 @@ mod tests {
 
     #[test]
     fn announced_fraction_in_ballpark() {
-        let t = generate(&SynthConfig { seed: 5, l_prefix_count: 6000, ..Default::default() });
+        let t = generate(&SynthConfig {
+            seed: 5,
+            l_prefix_count: 6000,
+            ..Default::default()
+        });
         let allocated = tass_net::iana::allocated_set().num_addrs() as f64;
         let announced = t.table.stats().advertised_addrs as f64;
         let frac = announced / allocated;
@@ -563,7 +586,11 @@ mod tests {
 
     #[test]
     fn empty_target_yields_empty_table() {
-        let t = generate(&SynthConfig { seed: 1, l_prefix_count: 0, ..Default::default() });
+        let t = generate(&SynthConfig {
+            seed: 1,
+            l_prefix_count: 0,
+            ..Default::default()
+        });
         assert!(t.table.is_empty());
         assert!(t.ases.is_empty());
     }

@@ -78,16 +78,23 @@ impl View {
     /// Build the less-specific (l-prefix) view of a table.
     pub fn less_specific(table: &RouteTable) -> View {
         let roots = table.l_prefixes();
-        let units: Vec<ScanUnit> =
-            roots.iter().map(|&p| ScanUnit { prefix: p, root: p }).collect();
+        let units: Vec<ScanUnit> = roots
+            .iter()
+            .map(|&p| ScanUnit { prefix: p, root: p })
+            .collect();
         Self::from_units(ViewKind::LessSpecific, units)
     }
 
     /// Build the more-specific (deaggregated) view of a table.
     pub fn more_specific(table: &RouteTable) -> View {
         let blocks = deagg::deaggregate_table(table.prefixes());
-        let units: Vec<ScanUnit> =
-            blocks.iter().map(|b| ScanUnit { prefix: b.prefix, root: b.root }).collect();
+        let units: Vec<ScanUnit> = blocks
+            .iter()
+            .map(|b| ScanUnit {
+                prefix: b.prefix,
+                root: b.root,
+            })
+            .collect();
         Self::from_units(ViewKind::MoreSpecific, units)
     }
 
@@ -106,7 +113,12 @@ impl View {
             trie.insert(u.prefix, i as u32);
             total_space += u.prefix.size();
         }
-        View { kind, units, trie, total_space }
+        View {
+            kind,
+            units,
+            trie,
+            total_space,
+        }
     }
 
     /// The view's granularity.

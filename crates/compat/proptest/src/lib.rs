@@ -1,0 +1,321 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Provides the [`Strategy`] trait (ranges, tuples, `any::<T>()`,
+//! `prop_map`, `collection::vec`), the `proptest!` test macro, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic RNG;
+//! there is no shrinking — a failing case panics with the assertion
+//! message, which is enough to reproduce (generation is seeded and
+//! deterministic).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of cases each `proptest!` test runs.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Deterministic per-test RNG.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// A deterministic generator (fixed seed; same cases every run).
+    pub fn deterministic() -> TestRng {
+        TestRng {
+            inner: SmallRng::seed_from_u64(0x_5EED_CA5E_u64),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random::<u64>()
+    }
+
+    /// Uniform `usize` below `bound` (`0` when `bound == 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.random_range(0..bound)
+        }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type generated.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for a type: any value at all.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64) - (start as u64) + 1;
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                self.start + (self.end - self.start) * u as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                // 53-bit grid including both endpoints
+                let u = (rng.next_u64() >> 11) as f64
+                    / ((1u64 << 53) - 1) as f64;
+                start + (end - start) * u as $t
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9, K: 10, L: 11);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for vectors with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `vec(element, min..max)` — a vector of `element` values with a
+    /// length in the given range.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            element,
+            min: len.start,
+            max_exclusive: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.min + rng.below(self.max_exclusive - self.min);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The macro-based test harness.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($pat:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic();
+                for __case in 0..$crate::DEFAULT_CASES {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skip a case that does not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, Just, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        any::<u32>().prop_map(|x| x & !1)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u8..=9, y in 0usize..5) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn mapped_strategy_applies(v in arb_even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in collection::vec(any::<u16>(), 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's offline serde
+//! stand-in.
+//!
+//! A deliberately small hand-rolled parser (no `syn`/`quote` — the
+//! registry is unreachable) covering the shapes this workspace derives:
+//! structs (named, tuple, unit), enums (unit / named / tuple variants),
+//! and simple type generics. Serialization follows serde's externally
+//! tagged convention: structs become maps, unit variants become strings,
+//! data variants become single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Generic parameter declaration as written, e.g. `T: Clone, U`.
+    generics_decl: String,
+    /// Just the parameter names, e.g. `["T", "U"]`.
+    generics_names: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => map_of_fields(fields, "&self."),
+        Kind::Enum(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\"))"
+                        ),
+                        Shape::Named(fields) => {
+                            let pat: Vec<&str> = fields.iter().map(String::as_str).collect();
+                            let inner = map_of_fields(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})])",
+                                pat.join(", ")
+                            )
+                        }
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Seq(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    };
+    render_impl(
+        &input,
+        "Serialize",
+        &format!("fn to_value(&self) -> ::serde::Value {{ {body} }}"),
+    )
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("let _ = v; ::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value(::serde::value_seq_get(v, {i})?)?")
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields.iter().map(|f| named_field_de(f, "v")).collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let mut data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    Shape::Unit => None,
+                    Shape::Named(fields) => {
+                        let items: Vec<String> =
+                            fields.iter().map(|f| named_field_de(f, "inner")).collect();
+                        Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                            items.join(", "),
+                            vn = v.name
+                        ))
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(\
+                                     ::serde::value_seq_get(inner, {i})?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),",
+                            items.join(", "),
+                            vn = v.name
+                        ))
+                    }
+                })
+                .collect();
+            let err_arm = format!(
+                "other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"unknown {name} variant {{other}}\"))),"
+            );
+            unit_arms.push(err_arm.clone());
+            data_arms.push(err_arm);
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit}\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{data}\n}}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 ::std::format!(\"cannot deserialize {name} from {{other:?}}\"))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    render_impl(
+        &input,
+        "Deserialize",
+        &format!(
+            "fn from_value(v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{ {body} }}"
+        ),
+    )
+}
+
+/// `Value::Map(vec![("f", Serialize::to_value(<prefix>f)), ...])`
+fn map_of_fields(fields: &[String], prefix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value({prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+}
+
+/// `f: Deserialize::from_value(value_get(<source>, "f")?)?`
+fn named_field_de(field: &str, source: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(::serde::value_get({source}, \"{field}\")?)?"
+    )
+}
+
+fn render_impl(input: &Input, trait_name: &str, body: &str) -> TokenStream {
+    let name = &input.name;
+    let (impl_generics, ty_generics, where_clause) = if input.generics_names.is_empty() {
+        (String::new(), String::new(), String::new())
+    } else {
+        let bounds: Vec<String> = input
+            .generics_names
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        (
+            format!("<{}>", input.generics_decl),
+            format!("<{}>", input.generics_names.join(", ")),
+            format!("where {}", bounds.join(", ")),
+        )
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::{trait_name} for {name}{ty_generics} {where_clause} {{\n\
+         {body}\n\
+         }}"
+    );
+    out.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{out}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    let (generics_decl, generics_names) = parse_generics(&toks, &mut i);
+    // tolerate (and skip) a where clause before the body
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: enum {name} has no body: {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, got {other}"),
+    };
+    Input {
+        name,
+        generics_decl,
+        generics_names,
+        kind,
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // #[...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Parse `<...>` after the type name, returning (decl-as-written,
+/// param names). Lifetimes and const params are not supported — the
+/// workspace never derives serde on such types.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (String, Vec<String>) {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), Vec::new()),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                inner.push(toks[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+                inner.push(toks[*i].clone());
+            }
+            t => inner.push(t.clone()),
+        }
+        *i += 1;
+    }
+    let decl: String = inner
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    // split params on top-level commas; the param name is the first ident
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut want_name = true;
+    for t in &inner {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => want_name = true,
+            TokenTree::Ident(id) if want_name => {
+                names.push(id.to_string());
+                want_name = false;
+            }
+            _ => {}
+        }
+    }
+    (decl, names)
+}
+
+/// Field names of a named-field body (struct or enum variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        fields.push(name);
+        // expect ':', then skip the type until a comma at angle-depth 0
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Arity of a tuple body: top-level commas + 1 (0 for an empty body).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // skip an optional discriminant, then the separating comma
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

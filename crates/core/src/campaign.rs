@@ -1,26 +1,36 @@
-//! The §4 simulation: seed at t₀, evaluate monthly.
+//! The §4 simulation: seed at t₀, then drive the strategy lifecycle
+//! monthly.
 //!
 //! "We simulated TASS and an address-based hitlist approach using monthly
 //! snapshots of full IPv4 scans … Then we determined the fraction of hosts
 //! that TASS and the hitlist approach would have uncovered in each scan
 //! cycle compared to a periodic full scan." — this module is that
-//! simulation, generalised over every [`StrategyKind`].
+//! simulation, generalised over every [`Strategy`]: each month the
+//! prepared strategy [`plans`](crate::strategy::PreparedStrategy::plan)
+//! its probes, the plan is evaluated against that month's ground truth,
+//! and the [`CycleOutcome`] is fed back through
+//! [`observe`](crate::strategy::PreparedStrategy::observe) so
+//! feedback-driven strategies (re-seeding, adaptive) can react.
 
 use crate::metrics::MonthEval;
-use crate::strategy::{Prepared, StrategyKind};
+use crate::plan::CycleOutcome;
+use crate::strategy::{Strategy, StrategyKind};
 use serde::{Deserialize, Serialize};
 use tass_model::{Protocol, Universe};
 
 /// The monthly series of one strategy over one protocol.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignResult {
-    /// Strategy label (see [`StrategyKind::label`]).
+    /// Strategy label (see [`Strategy::label`]).
     pub strategy: String,
     /// The protocol scanned.
     pub protocol: Protocol,
-    /// Addresses probed per cycle.
+    /// Addresses probed in the t₀ cycle. For static strategies every
+    /// cycle probes this much; feedback strategies may vary per cycle
+    /// (see [`CampaignResult::avg_probes_per_cycle`] and the per-month
+    /// [`crate::strategy::Eval::probes`]).
     pub probes_per_cycle: u64,
-    /// Fraction of announced space probed per cycle.
+    /// Fraction of announced space probed in the t₀ cycle.
     pub probe_space_fraction: f64,
     /// Monthly evaluations, month 0 first.
     pub months: Vec<MonthEval>,
@@ -36,38 +46,77 @@ impl CampaignResult {
     pub fn final_hitrate(&self) -> f64 {
         self.months.last().map(|m| m.eval.hitrate).unwrap_or(0.0)
     }
+
+    /// Mean addresses probed per cycle across the whole campaign —
+    /// the honest probe cost of strategies whose plans vary by cycle.
+    pub fn avg_probes_per_cycle(&self) -> f64 {
+        if self.months.is_empty() {
+            return 0.0;
+        }
+        self.months
+            .iter()
+            .map(|m| m.eval.probes as f64)
+            .sum::<f64>()
+            / self.months.len() as f64
+    }
 }
 
-/// Run one strategy over all months of a universe for one protocol.
+/// Run one strategy's full lifecycle over all months of a universe for
+/// one protocol: prepare at t₀, then `plan → evaluate → observe` each
+/// month.
+pub fn run_campaign_strategy(
+    universe: &Universe,
+    strategy: &dyn Strategy,
+    protocol: Protocol,
+    seed: u64,
+) -> CampaignResult {
+    let topo = universe.topology();
+    let announced = topo.announced_space();
+    let t0 = universe.snapshot(0, protocol);
+    let mut prepared = strategy.prepare(topo, t0, seed);
+    let mut months = Vec::with_capacity(universe.months() as usize + 1);
+    for m in 0..=universe.months() {
+        let truth = universe.snapshot(m, protocol);
+        let plan = prepared.plan(m);
+        let eval = plan.evaluate(truth, m, announced);
+        // materialising the cycle's responsive set is O(hosts); skip it
+        // for static strategies whose observe() discards it anyway
+        if prepared.wants_feedback() {
+            let outcome = CycleOutcome {
+                cycle: m,
+                probes: eval.probes,
+                responsive: plan.observed(truth, m, announced),
+            };
+            prepared.observe(m, &outcome);
+        }
+        months.push(MonthEval { month: m, eval });
+    }
+    CampaignResult {
+        strategy: strategy.label(),
+        protocol,
+        probes_per_cycle: months[0].eval.probes,
+        probe_space_fraction: if announced > 0 {
+            months[0].eval.probes as f64 / announced as f64
+        } else {
+            0.0
+        },
+        months,
+    }
+}
+
+/// Run one registry strategy over all months of a universe for one
+/// protocol (convenience wrapper over [`run_campaign_strategy`]).
 pub fn run_campaign(
     universe: &Universe,
     kind: StrategyKind,
     protocol: Protocol,
     seed: u64,
 ) -> CampaignResult {
-    let t0 = universe.snapshot(0, protocol);
-    let prepared = Prepared::prepare(kind, universe.topology(), t0, seed);
-    let months = (0..=universe.months())
-        .map(|m| MonthEval {
-            month: m,
-            eval: prepared.evaluate(universe.snapshot(m, protocol), m),
-        })
-        .collect();
-    CampaignResult {
-        strategy: kind.label(),
-        protocol,
-        probes_per_cycle: prepared.probes_per_cycle,
-        probe_space_fraction: prepared.probe_space_fraction,
-        months,
-    }
+    run_campaign_strategy(universe, &*kind.strategy(), protocol, seed)
 }
 
 /// Run several strategies over all four protocols.
-pub fn run_matrix(
-    universe: &Universe,
-    kinds: &[StrategyKind],
-    seed: u64,
-) -> Vec<CampaignResult> {
+pub fn run_matrix(universe: &Universe, kinds: &[StrategyKind], seed: u64) -> Vec<CampaignResult> {
     let mut out = Vec::new();
     for proto in Protocol::ALL {
         for &kind in kinds {
@@ -80,6 +129,7 @@ pub fn run_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::ReseedingTass;
     use tass_bgp::ViewKind;
     use tass_model::UniverseConfig;
 
@@ -92,7 +142,10 @@ mod tests {
         let u = universe();
         let r = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
             Protocol::Http,
             1,
         );
@@ -111,13 +164,19 @@ mod tests {
         let full = run_campaign(&u, StrategyKind::FullScan, Protocol::Http, 1);
         let l = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
             Protocol::Http,
             1,
         );
         let m = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 1.0,
+            },
             Protocol::Http,
             1,
         );
@@ -167,6 +226,62 @@ mod tests {
         let b = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Ftp, 5);
         for (x, y) in a.months.iter().zip(&b.months) {
             assert_eq!(x.eval.found, y.eval.found);
+        }
+    }
+
+    #[test]
+    fn reseeding_campaign_recovers_at_reseed_cycles() {
+        let u = universe();
+        let r = run_campaign(
+            &u,
+            StrategyKind::ReseedingTass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+                delta_t: 3,
+            },
+            Protocol::Http,
+            1,
+        );
+        // re-seed cycles are full scans: perfect hitrate, full probe cost
+        let announced = u.topology().announced_space();
+        for m in [3u32, 6] {
+            assert_eq!(r.hitrate(m), 1.0, "month {m} is a re-seed full scan");
+            assert_eq!(r.months[m as usize].eval.probes, announced);
+        }
+        // in-between cycles probe far less
+        assert!(r.months[1].eval.probes < announced / 2);
+        // and the average cost stays below a monthly full scan
+        assert!(r.avg_probes_per_cycle() < announced as f64 * 0.75);
+    }
+
+    #[test]
+    fn reseeding_never_equals_static_tass_exactly() {
+        let u = universe();
+        for proto in Protocol::ALL {
+            let stat = run_campaign(
+                &u,
+                StrategyKind::Tass {
+                    view: ViewKind::LessSpecific,
+                    phi: 1.0,
+                },
+                proto,
+                1,
+            );
+            let never = run_campaign(
+                &u,
+                StrategyKind::ReseedingTass {
+                    view: ViewKind::LessSpecific,
+                    phi: 1.0,
+                    delta_t: ReseedingTass::NEVER,
+                },
+                proto,
+                1,
+            );
+            assert_eq!(
+                stat.months, never.months,
+                "{proto}: Δt=∞ must equal static TASS"
+            );
+            assert_eq!(stat.probes_per_cycle, never.probes_per_cycle);
         }
     }
 }

@@ -33,7 +33,10 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { ratio: 4.0, merge_empty: false }
+        ClusterConfig {
+            ratio: 4.0,
+            merge_empty: false,
+        }
     }
 }
 
@@ -120,7 +123,10 @@ pub fn cluster_units(view: &View, hosts: &HostSet, cfg: &ClusterConfig) -> Vec<C
 /// TASS's steps 2–4 with clusters as the unit. Returns the selection
 /// (member prefixes flattened) plus the number of clusters chosen.
 pub fn select_clusters(clusters: &[Cluster], total_space: u64, phi: f64) -> (Selection, usize) {
-    assert!(phi >= 0.0 && phi.is_finite(), "phi must be a finite non-negative fraction");
+    assert!(
+        phi >= 0.0 && phi.is_finite(),
+        "phi must be a finite non-negative fraction"
+    );
     let total_hosts: u64 = clusters.iter().map(|c| c.count).sum();
     let mut responsive: Vec<&Cluster> = clusters.iter().filter(|c| c.count > 0).collect();
     responsive.sort_by(|a, b| {
@@ -148,9 +154,17 @@ pub fn select_clusters(clusters: &[Cluster], total_space: u64, phi: f64) -> (Sel
         phi,
         k: prefixes.len(),
         prefixes,
-        achieved_coverage: if total_hosts > 0 { cum as f64 / total_hosts as f64 } else { 0.0 },
+        achieved_coverage: if total_hosts > 0 {
+            cum as f64 / total_hosts as f64
+        } else {
+            0.0
+        },
         selected_space: space,
-        space_fraction: if total_space > 0 { space as f64 / total_space as f64 } else { 0.0 },
+        space_fraction: if total_space > 0 {
+            space as f64 / total_space as f64
+        } else {
+            0.0
+        },
         total_hosts,
     };
     (selection, picked)
@@ -245,7 +259,10 @@ mod tests {
         let clusters = cluster_units(&view, &hosts, &ClusterConfig::default());
         // the two ρ≈1/16..1/13 blocks merge; the dense /23 stays apart;
         // 20.0.0.0/24 is its own root
-        let merged = clusters.iter().find(|c| c.members.len() == 2).expect("a merged cluster");
+        let merged = clusters
+            .iter()
+            .find(|c| c.members.len() == 2)
+            .expect("a merged cluster");
         assert_eq!(merged.members, vec![p("10.0.0.0/24"), p("10.0.1.0/24")]);
         assert_eq!(merged.count, 36);
         assert!(clusters.iter().all(|c| c.members.len() <= 2));
@@ -254,15 +271,24 @@ mod tests {
     #[test]
     fn ratio_one_merges_only_identical_densities() {
         let (view, hosts) = fixture();
-        let cfg = ClusterConfig { ratio: 1.0, merge_empty: false };
+        let cfg = ClusterConfig {
+            ratio: 1.0,
+            merge_empty: false,
+        };
         let clusters = cluster_units(&view, &hosts, &cfg);
-        assert!(clusters.iter().all(|c| c.members.len() == 1), "densities differ");
+        assert!(
+            clusters.iter().all(|c| c.members.len() == 1),
+            "densities differ"
+        );
     }
 
     #[test]
     fn huge_ratio_merges_all_adjacent_nonzero_same_root() {
         let (view, hosts) = fixture();
-        let cfg = ClusterConfig { ratio: f64::INFINITY, merge_empty: true };
+        let cfg = ClusterConfig {
+            ratio: f64::INFINITY,
+            merge_empty: true,
+        };
         let clusters = cluster_units(&view, &hosts, &cfg);
         // all three 10/22 blocks collapse into one cluster, 20/24 separate
         assert_eq!(clusters.len(), 2);
@@ -272,7 +298,10 @@ mod tests {
     #[test]
     fn clusters_never_cross_roots() {
         let (view, hosts) = fixture();
-        let cfg = ClusterConfig { ratio: f64::INFINITY, merge_empty: true };
+        let cfg = ClusterConfig {
+            ratio: f64::INFINITY,
+            merge_empty: true,
+        };
         for c in cluster_units(&view, &hosts, &cfg) {
             for m in &c.members {
                 assert!(c.root.contains(m));
@@ -286,7 +315,8 @@ mod tests {
         let rank = rank_units(&view, &hosts);
         for phi in [1.0, 0.95, 0.7] {
             let plain = crate::select::select_prefixes(&rank, phi);
-            let (clustered, picked) = cluster_and_select(&view, &hosts, &ClusterConfig::default(), phi);
+            let (clustered, picked) =
+                cluster_and_select(&view, &hosts, &ClusterConfig::default(), phi);
             assert!(clustered.achieved_coverage >= plain.phi.min(1.0) - 1e-12);
             assert!(picked <= rank.len());
             // clustering may cost a little extra space (coarser units) but
@@ -307,9 +337,19 @@ mod tests {
 
     #[test]
     fn cluster_density_accessor() {
-        let c = Cluster { members: vec![p("10.0.0.0/24")], root: p("10.0.0.0/24"), count: 64, size: 256 };
+        let c = Cluster {
+            members: vec![p("10.0.0.0/24")],
+            root: p("10.0.0.0/24"),
+            count: 64,
+            size: 256,
+        };
         assert!((c.density() - 0.25).abs() < 1e-12);
-        let z = Cluster { members: vec![], root: p("10.0.0.0/24"), count: 0, size: 0 };
+        let z = Cluster {
+            members: vec![],
+            root: p("10.0.0.0/24"),
+            count: 0,
+            size: 0,
+        };
         assert_eq!(z.density(), 0.0);
     }
 

@@ -72,7 +72,11 @@ pub fn rank_units(view: &View, hosts: &HostSet) -> DensityRank {
         }
     }
     for s in &mut stats {
-        s.coverage = if total > 0 { s.count as f64 / total as f64 } else { 0.0 };
+        s.coverage = if total > 0 {
+            s.count as f64 / total as f64
+        } else {
+            0.0
+        };
     }
     // Step 3: descending density; deterministic tie-break on prefix.
     stats.sort_unstable_by(|a, b| {
@@ -81,7 +85,51 @@ pub fn rank_units(view: &View, hosts: &HostSet) -> DensityRank {
             .expect("densities are finite")
             .then_with(|| a.prefix.cmp(&b.prefix))
     });
-    DensityRank { stats, total_hosts: total, total_space: view.total_space() }
+    DensityRank {
+        stats,
+        total_hosts: total,
+        total_space: view.total_space(),
+    }
+}
+
+/// Build the density ranking from per-unit responsive counts (one entry
+/// per view unit, index-aligned with `view.units()`).
+///
+/// This is the ranking half of [`rank_units`] for callers that maintain
+/// their own count estimates instead of a concrete host set — the
+/// adaptive strategies re-rank through this exact code path, so their
+/// steps 2–4 cannot drift from the seeding scan's.
+pub fn rank_from_counts(view: &View, counts: &[u64]) -> DensityRank {
+    assert_eq!(counts.len(), view.len(), "one count per view unit");
+    let total: u64 = counts.iter().sum();
+    let mut stats = Vec::new();
+    for (i, (&c, unit)) in counts.iter().zip(view.units()).enumerate() {
+        if c > 0 {
+            stats.push(PrefixStat {
+                prefix: unit.prefix,
+                unit: i as u32,
+                count: c,
+                density: c as f64 / unit.prefix.size() as f64,
+                coverage: if total > 0 {
+                    c as f64 / total as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    // Step 3: descending density; deterministic tie-break on prefix.
+    stats.sort_unstable_by(|a, b| {
+        b.density
+            .partial_cmp(&a.density)
+            .expect("densities are finite")
+            .then_with(|| a.prefix.cmp(&b.prefix))
+    });
+    DensityRank {
+        stats,
+        total_hosts: total,
+        total_space: view.total_space(),
+    }
 }
 
 impl DensityRank {

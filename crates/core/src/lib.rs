@@ -12,15 +12,28 @@
 //! > 5. Scan prefixes 1, …, k repeatedly until time t₀ + Δt, then start
 //! >    over at step 1.
 //!
+//! Step 5 is a **loop**, and the strategy layer models it as one: a
+//! [`strategy::Strategy`] is prepared once from the t₀ scan, then each
+//! cycle emits a typed [`plan::ProbePlan`] (what to probe) and receives a
+//! [`plan::CycleOutcome`] (what the probes found) — so re-seeding,
+//! adaptive density updates, and user-defined strategies are all
+//! first-class. The closed [`strategy::StrategyKind`] enum survives as a
+//! serializable constructor registry over the trait.
+//!
 //! * [`density`] — steps 1–3: per-prefix counts, densities, the ranking;
 //! * [`select`] — step 4: the minimal-k cumulative-coverage cutoff;
-//! * [`strategy`] — TASS plus every baseline the paper discusses: the
-//!   periodic full scan, the IP-address hitlist (§4.1), random address
-//!   samples and Heidemann-style /24-block samples (§2), and a
-//!   random-prefix ablation;
+//! * [`plan`] — the lifecycle vocabulary: typed probe plans and cycle
+//!   feedback, accepted directly by `tass-scan`'s `ScanEngine::run_plan`;
+//! * [`strategy`] — the `Strategy`/`PreparedStrategy` lifecycle, TASS,
+//!   every baseline the paper discusses (periodic full scan, §4.1
+//!   IP-address hitlist, §2 random address samples and Heidemann-style
+//!   /24-block samples, a random-prefix ablation) plus the two
+//!   feedback-driven strategies the redesign enables: the literal Δt
+//!   re-seeding loop and feedback-only adaptive TASS;
 //! * [`metrics`] — hitrate/accuracy, probe cost, efficiency and traffic
 //!   reduction;
-//! * [`campaign`] — the §4 simulation: seed at t₀, re-evaluate monthly.
+//! * [`campaign`] — the §4 simulation: seed at t₀, then drive
+//!   `plan → evaluate → observe` monthly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,12 +42,17 @@ pub mod campaign;
 pub mod cluster;
 pub mod density;
 pub mod metrics;
+pub mod plan;
 pub mod select;
 pub mod strategy;
 
-pub use campaign::{run_campaign, CampaignResult};
+pub use campaign::{run_campaign, run_campaign_strategy, run_matrix, CampaignResult};
 pub use cluster::{cluster_units, Cluster, ClusterConfig};
-pub use density::{rank_units, DensityRank, PrefixStat};
+pub use density::{rank_from_counts, rank_units, DensityRank, PrefixStat};
 pub use metrics::{efficiency_ratio, MonthEval};
+pub use plan::{CycleOutcome, Eval, ProbePlan};
 pub use select::{select_prefixes, Selection};
-pub use strategy::{Prepared, StrategyKind};
+pub use strategy::{
+    AdaptiveTass, Block24Sample, FullScan, IpHitlist, Prepared, PreparedStrategy, RandomPrefix,
+    RandomSample, ReseedingTass, Strategy, StrategyKind, Tass,
+};

@@ -64,9 +64,17 @@ mod tests {
         Eval {
             found,
             total,
-            hitrate: if total > 0 { found as f64 / total as f64 } else { 0.0 },
+            hitrate: if total > 0 {
+                found as f64 / total as f64
+            } else {
+                0.0
+            },
             probes,
-            efficiency: if probes > 0 { found as f64 / probes as f64 } else { 0.0 },
+            efficiency: if probes > 0 {
+                found as f64 / probes as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -97,9 +105,18 @@ mod tests {
     #[test]
     fn monthly_decay_from_series() {
         let series = vec![
-            MonthEval { month: 0, eval: eval(100, 100, 10) },
-            MonthEval { month: 3, eval: eval(97, 100, 10) },
-            MonthEval { month: 6, eval: eval(94, 100, 10) },
+            MonthEval {
+                month: 0,
+                eval: eval(100, 100, 10),
+            },
+            MonthEval {
+                month: 3,
+                eval: eval(97, 100, 10),
+            },
+            MonthEval {
+                month: 6,
+                eval: eval(94, 100, 10),
+            },
         ];
         let d = monthly_decay(&series);
         assert!((d - 0.01).abs() < 1e-12, "1% per month, got {d}");

@@ -1,0 +1,250 @@
+//! Typed probe plans and cycle feedback — the vocabulary of the strategy
+//! lifecycle.
+//!
+//! A [`ProbePlan`] is what a prepared strategy decides to probe in one
+//! scan cycle: the whole announced space, a prefix list, a fixed address
+//! set, or a fresh random sample. It replaces the old private `Covered`
+//! enum so the selection layer can hand the *typed* plan straight to the
+//! packet-level engine (`tass-scan`'s `ScanEngine::run_plan`) instead of
+//! lossy `Vec<Prefix>` plumbing, and so campaign simulation and real
+//! scanning evaluate the very same object.
+//!
+//! A [`CycleOutcome`] is what the cycle reported back: the probes spent
+//! and the responsive hosts found. Feedback-driven strategies (the
+//! re-seeding Δt loop of the paper's §3.1 step 5, adaptive density
+//! updates) consume it in `PreparedStrategy::observe`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tass_model::{HostSet, Snapshot};
+use tass_net::Prefix;
+
+/// What one scan cycle probes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbePlan {
+    /// Everything announced (a full scan).
+    All,
+    /// A set of disjoint prefixes, sorted by address.
+    Prefixes(Vec<Prefix>),
+    /// A fixed set of addresses (an IP hitlist).
+    Addrs(HostSet),
+    /// A fresh uniform random address sample, re-drawn every cycle.
+    FreshSample {
+        /// Addresses sampled per cycle.
+        per_cycle: u64,
+        /// Base seed; the cycle index is mixed in when sampling.
+        seed: u64,
+    },
+}
+
+impl ProbePlan {
+    /// Addresses this plan probes in one cycle.
+    pub fn probe_count(&self, announced_space: u64) -> u64 {
+        match self {
+            ProbePlan::All => announced_space,
+            ProbePlan::Prefixes(ps) => ps.iter().map(|p| p.size()).sum(),
+            ProbePlan::Addrs(a) => a.len() as u64,
+            ProbePlan::FreshSample { per_cycle, .. } => *per_cycle,
+        }
+    }
+
+    /// Fraction of the announced space this plan probes per cycle.
+    pub fn space_fraction(&self, announced_space: u64) -> f64 {
+        if announced_space == 0 {
+            return 0.0;
+        }
+        self.probe_count(announced_space) as f64 / announced_space as f64
+    }
+
+    /// Evaluate the plan against one cycle's ground truth.
+    ///
+    /// `cycle` feeds the fresh-sample RNG so repeated samples differ
+    /// cycle to cycle, as they would in a real campaign. The arithmetic
+    /// is byte-identical to the seed implementation's `Prepared::evaluate`.
+    pub fn evaluate(&self, truth: &Snapshot, cycle: u32, announced_space: u64) -> Eval {
+        let total = truth.hosts.len() as u64;
+        let found = match self {
+            ProbePlan::All => total,
+            ProbePlan::Prefixes(ps) => ps
+                .iter()
+                .map(|p| truth.hosts.count_in_prefix(*p) as u64)
+                .sum(),
+            ProbePlan::Addrs(a) => a.intersection_count(&truth.hosts) as u64,
+            ProbePlan::FreshSample { per_cycle, seed } => {
+                // A fresh uniform sample over announced space hits each
+                // responsive host independently: found ~ Binomial(n, p)
+                // with p = |truth| / announced. Draw exactly for small n,
+                // by normal approximation for campaign-scale n.
+                let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(cycle) << 32));
+                let n = *per_cycle;
+                let p = truth.hosts.len() as f64 / announced_space.max(1) as f64;
+                if n <= 10_000 {
+                    (0..n).filter(|_| rng.random::<f64>() < p).count() as u64
+                } else {
+                    let mean = n as f64 * p;
+                    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+                    let draw = mean + sd * tass_model::distr::standard_normal(&mut rng);
+                    draw.round().clamp(0.0, n as f64) as u64
+                }
+            }
+        };
+        let probes = self.probe_count(announced_space);
+        Eval {
+            found,
+            total,
+            hitrate: if total > 0 {
+                found as f64 / total as f64
+            } else {
+                0.0
+            },
+            probes,
+            efficiency: if probes > 0 {
+                found as f64 / probes as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The concrete responsive hosts this plan would have observed against
+    /// one cycle's ground truth — the feedback half of the lifecycle.
+    ///
+    /// For prefix/address plans this is exact. For a fresh sample the
+    /// membership is drawn per host (deterministically from the seed and
+    /// cycle), so its *size* approximates the binomial draw used by
+    /// [`ProbePlan::evaluate`] without being forced to match it.
+    pub fn observed(&self, truth: &Snapshot, cycle: u32, announced_space: u64) -> HostSet {
+        match self {
+            ProbePlan::All => truth.hosts.clone(),
+            ProbePlan::Prefixes(ps) => {
+                let mut addrs = Vec::new();
+                for p in ps {
+                    let lo = truth.hosts.addrs().partition_point(|&a| a < p.first());
+                    let hi = truth.hosts.addrs().partition_point(|&a| a <= p.last());
+                    addrs.extend_from_slice(&truth.hosts.addrs()[lo..hi]);
+                }
+                addrs.sort_unstable();
+                addrs.dedup();
+                HostSet::from_addrs(addrs)
+            }
+            ProbePlan::Addrs(a) => {
+                let addrs: Vec<u32> = a.iter().filter(|&x| truth.hosts.contains(x)).collect();
+                HostSet::from_sorted_unique(addrs)
+            }
+            ProbePlan::FreshSample { per_cycle, seed } => {
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (u64::from(cycle) << 32) ^ 0x0B5E_12FE);
+                let p = *per_cycle as f64 / announced_space.max(1) as f64;
+                let addrs: Vec<u32> = truth
+                    .hosts
+                    .iter()
+                    .filter(|_| rng.random::<f64>() < p)
+                    .collect();
+                HostSet::from_sorted_unique(addrs)
+            }
+        }
+    }
+}
+
+/// Outcome of evaluating a probe plan against one cycle's ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Eval {
+    /// Hosts the plan covers this cycle.
+    pub found: u64,
+    /// Hosts a full scan finds this cycle (the denominator).
+    pub total: u64,
+    /// found / total — the paper's hitrate relative to a full scan.
+    pub hitrate: f64,
+    /// Addresses probed this cycle.
+    pub probes: u64,
+    /// found / probes — raw scan efficiency.
+    pub efficiency: f64,
+}
+
+/// What one completed scan cycle reported back to its strategy.
+///
+/// This is the feedback edge of the lifecycle: `plan → scan → observe`.
+/// In campaign simulation it is derived from the ground-truth snapshot;
+/// when driving the packet-level engine it comes from the actual
+/// `ScanReport`.
+#[derive(Debug, Clone)]
+pub struct CycleOutcome {
+    /// The cycle index (months since t₀ in the §4 simulation).
+    pub cycle: u32,
+    /// Addresses probed during the cycle.
+    pub probes: u64,
+    /// The responsive hosts the cycle's probes found.
+    pub responsive: HostSet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tass_model::Protocol;
+
+    fn truth(addrs: Vec<u32>) -> Snapshot {
+        Snapshot::new(Protocol::Http, 0, HostSet::from_addrs(addrs))
+    }
+
+    #[test]
+    fn probe_counts_by_variant() {
+        let announced = 1_000u64;
+        assert_eq!(ProbePlan::All.probe_count(announced), announced);
+        let ps = ProbePlan::Prefixes(vec!["10.0.0.0/24".parse().unwrap()]);
+        assert_eq!(ps.probe_count(announced), 256);
+        let ad = ProbePlan::Addrs(HostSet::from_addrs(vec![1, 2, 3]));
+        assert_eq!(ad.probe_count(announced), 3);
+        let fs = ProbePlan::FreshSample {
+            per_cycle: 42,
+            seed: 1,
+        };
+        assert_eq!(fs.probe_count(announced), 42);
+        assert!((fs.space_fraction(announced) - 0.042).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_prefixes_counts_truth_inside() {
+        let t = truth((0..64u32).map(|i| 0x0A00_0000 + i * 8).collect());
+        let plan = ProbePlan::Prefixes(vec!["10.0.0.0/24".parse().unwrap()]);
+        let e = plan.evaluate(&t, 0, 4096);
+        assert_eq!(e.total, 64);
+        assert_eq!(e.found, 32, "first 32 hosts fall inside the /24");
+        assert_eq!(e.probes, 256);
+    }
+
+    #[test]
+    fn observed_matches_evaluate_for_exact_plans() {
+        let t = truth((0..100u32).map(|i| 0x0A00_0000 + i).collect());
+        let plans = [
+            ProbePlan::All,
+            ProbePlan::Prefixes(vec!["10.0.0.0/26".parse().unwrap()]),
+            ProbePlan::Addrs(HostSet::from_addrs(
+                (0..10).map(|i| 0x0A00_0000 + i).collect(),
+            )),
+        ];
+        for plan in plans {
+            let e = plan.evaluate(&t, 0, 1 << 16);
+            let got = plan.observed(&t, 0, 1 << 16);
+            assert_eq!(got.len() as u64, e.found, "{plan:?}");
+            assert!(got.iter().all(|a| t.hosts.contains(a)));
+        }
+    }
+
+    #[test]
+    fn fresh_sample_observed_size_tracks_expectation() {
+        let t = truth((0..4096u32).map(|i| 0x0A00_0000 + i).collect());
+        let plan = ProbePlan::FreshSample {
+            per_cycle: 1 << 15,
+            seed: 9,
+        };
+        let announced = 1u64 << 16;
+        let got = plan.observed(&t, 3, announced);
+        // expectation: |truth| * per_cycle/announced = 4096 * 0.5 = 2048
+        assert!((1800..2300).contains(&got.len()), "got {}", got.len());
+        // deterministic
+        assert_eq!(plan.observed(&t, 3, announced), got);
+        // different cycles differ
+        assert_ne!(plan.observed(&t, 4, announced), got);
+    }
+}

@@ -36,7 +36,10 @@ pub struct Selection {
 ///
 /// Panics if `phi` is negative or NaN — a programming error.
 pub fn select_prefixes(rank: &DensityRank, phi: f64) -> Selection {
-    assert!(phi >= 0.0 && phi.is_finite(), "phi must be a finite non-negative fraction");
+    assert!(
+        phi >= 0.0 && phi.is_finite(),
+        "phi must be a finite non-negative fraction"
+    );
     let mut prefixes = Vec::new();
     let mut cum_hosts = 0u64;
     let mut space = 0u64;

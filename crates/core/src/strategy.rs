@@ -1,39 +1,109 @@
-//! The scanning strategies the paper evaluates and compares against.
+//! The scanning strategies the paper evaluates — as an open, trait-based
+//! lifecycle.
 //!
-//! Every strategy is *prepared* once from the seeding scan at t₀ (the full
-//! scan the paper amortises) and then *evaluated* against later months'
-//! ground truth. Preparation fixes what will be probed each cycle;
-//! evaluation asks: of the hosts a full scan would find this month, how
-//! many does the strategy's probe set cover (the paper's hitrate), and at
-//! what probe cost?
+//! The paper's §3.1 recipe is a *loop*: "scan prefixes 1…k repeatedly
+//! until t₀ + Δt, **then start over at step 1**". The strategy layer
+//! models exactly that loop:
+//!
+//! 1. [`Strategy::prepare`] — seed from the t₀ full scan, yielding a
+//!    stateful [`PreparedStrategy`];
+//! 2. [`PreparedStrategy::plan`] — each cycle, decide *what to probe* as a
+//!    typed [`ProbePlan`] (prefix list / address set / fresh sample /
+//!    everything);
+//! 3. [`PreparedStrategy::observe`] — receive the cycle's
+//!    [`CycleOutcome`] and adapt: re-rank densities, re-seed, or ignore it
+//!    (the static baselines do).
+//!
+//! [`StrategyKind`] remains as a thin constructor/registry so CLIs,
+//! serde, and exhibit tables can still name strategies as plain data;
+//! [`StrategyKind::strategy`] opens any kind into the trait object.
 //!
 //! Implemented strategies:
 //!
-//! * [`StrategyKind::FullScan`] — the baseline everything is measured
-//!   against;
-//! * [`StrategyKind::Tass`] — the paper's contribution, parameterised by
-//!   view granularity and host-coverage target φ;
-//! * [`StrategyKind::IpHitlist`] — §4.1: re-probe exactly the addresses
-//!   responsive at t₀ (maximally efficient, decays fastest);
-//! * [`StrategyKind::RandomSample`] — §2: probe a uniform random sample
-//!   of announced space each cycle (Rossow-style);
-//! * [`StrategyKind::Block24Sample`] — §2: Heidemann-style /24-block
-//!   panel: 50 % random blocks, 25 % previously-responsive blocks, 25 %
-//!   policy-selected (densest) blocks;
-//! * [`StrategyKind::RandomPrefix`] — ablation: select random scan units
-//!   under the same address-space budget as a TASS selection, to show the
-//!   density ranking (not mere prefix scanning) is what wins.
+//! * [`FullScan`] — the baseline everything is measured against;
+//! * [`Tass`] — the paper's contribution, parameterised by view
+//!   granularity and host-coverage target φ;
+//! * [`IpHitlist`] — §4.1: re-probe exactly the addresses responsive at
+//!   t₀ (maximally efficient, decays fastest);
+//! * [`RandomSample`] — §2: probe a uniform random sample of announced
+//!   space each cycle (Rossow-style);
+//! * [`Block24Sample`] — §2: Heidemann-style /24-block panel: 50 % random
+//!   blocks, 25 % previously-responsive blocks, 25 % densest blocks;
+//! * [`RandomPrefix`] — ablation: random scan units under the same
+//!   address-space budget as a TASS selection;
+//! * [`ReseedingTass`] — the paper's literal Δt loop: full re-scan and
+//!   re-rank every Δt cycles (feedback-driven; new in the trait redesign);
+//! * [`AdaptiveTass`] — re-ranks densities from each cycle's *own*
+//!   observed responses plus a small rotating exploration budget — no
+//!   full re-scan ever (feedback-driven; new in the trait redesign).
 
 use crate::density::rank_units;
+use crate::plan::{CycleOutcome, ProbePlan};
 use crate::select::{select_prefixes, Selection};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tass_bgp::ViewKind;
-use tass_model::{HostSet, Snapshot, Topology};
+use std::fmt;
+use tass_bgp::{View, ViewKind};
+use tass_model::{Snapshot, Topology};
 use tass_net::Prefix;
 
-/// Which strategy to prepare.
+pub use crate::plan::Eval;
+
+/// A scanning strategy: a recipe for seeding from a t₀ full scan.
+///
+/// Implement this (plus [`PreparedStrategy`] for the per-campaign state)
+/// to plug a new strategy into [`crate::campaign::run_campaign_strategy`],
+/// the exhibits, and the scan engine. All built-in strategies go through
+/// this same interface.
+pub trait Strategy: fmt::Debug {
+    /// Short human-readable label (used in tables and CSV).
+    fn label(&self) -> String;
+
+    /// Seed the strategy from the t₀ ground truth, producing the stateful
+    /// per-campaign lifecycle object.
+    ///
+    /// `seed` drives the randomized strategies (samples, random prefixes);
+    /// TASS and the hitlist are deterministic.
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy>;
+}
+
+/// The per-campaign lifecycle of a prepared strategy.
+///
+/// Driven as `plan(0) → observe(0) → plan(1) → observe(1) → …` by
+/// [`crate::campaign::run_campaign_strategy`] (or by a real scanning
+/// loop feeding actual `ScanReport`s back in).
+pub trait PreparedStrategy: fmt::Debug {
+    /// Decide what to probe this cycle.
+    fn plan(&mut self, cycle: u32) -> ProbePlan;
+
+    /// Receive the cycle's outcome. Static strategies ignore it; adaptive
+    /// ones re-rank, re-seed, or otherwise update state.
+    fn observe(&mut self, cycle: u32, outcome: &CycleOutcome) {
+        let _ = (cycle, outcome);
+    }
+
+    /// Whether this strategy consumes [`observe`](Self::observe)
+    /// feedback. Defaults to `true` so user-defined strategies get their
+    /// outcomes without opting in; the built-in static strategies return
+    /// `false`, letting the campaign driver skip materialising each
+    /// cycle's responsive host set.
+    fn wants_feedback(&self) -> bool {
+        true
+    }
+
+    /// The TASS selection details, when the strategy has one (for tables
+    /// and the CLI whitelist output). Reflects the *current* selection for
+    /// adaptive strategies.
+    fn selection(&self) -> Option<&Selection> {
+        None
+    }
+}
+
+/// Which strategy to prepare — the closed, serializable registry form.
+///
+/// This is plain data for CLIs, config files, and exhibit tables; call
+/// [`StrategyKind::strategy`] to open it into the trait-based lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StrategyKind {
     /// Scan the whole announced space every cycle.
@@ -67,41 +137,537 @@ pub enum StrategyKind {
         /// Address-space budget as a fraction of announced space.
         space_fraction: f64,
     },
+    /// The paper's literal Δt loop: scan the selection each cycle, and
+    /// every `delta_t` cycles run a full re-scan and re-rank from it.
+    ReseedingTass {
+        /// l-prefixes or the deaggregated m-partition.
+        view: ViewKind,
+        /// Host-coverage target φ.
+        phi: f64,
+        /// Re-seed period in cycles ([`ReseedingTass::NEVER`] = never).
+        delta_t: u32,
+    },
+    /// Feedback-only TASS: re-rank densities from each cycle's own
+    /// observed responses plus a rotating exploration budget.
+    AdaptiveTass {
+        /// l-prefixes or the deaggregated m-partition.
+        view: ViewKind,
+        /// Host-coverage target φ.
+        phi: f64,
+        /// Fraction of announced space explored per cycle outside the
+        /// current selection.
+        explore: f64,
+    },
 }
 
 impl StrategyKind {
-    /// Short human-readable label.
+    /// Short human-readable label. Matches the corresponding
+    /// [`Strategy::label`] without allocating a trait object (exhibit
+    /// tables call this in loops).
     pub fn label(&self) -> String {
-        match self {
-            StrategyKind::FullScan => "full-scan".into(),
-            StrategyKind::Tass { view, phi } => format!("tass-{view}-phi{phi}"),
-            StrategyKind::IpHitlist => "ip-hitlist".into(),
-            StrategyKind::RandomSample { fraction } => format!("random-sample-{fraction}"),
-            StrategyKind::Block24Sample { fraction } => format!("block24-sample-{fraction}"),
-            StrategyKind::RandomPrefix { view, space_fraction } => {
-                format!("random-prefix-{view}-{space_fraction}")
+        match *self {
+            StrategyKind::FullScan => FullScan.label(),
+            StrategyKind::Tass { view, phi } => Tass { view, phi }.label(),
+            StrategyKind::IpHitlist => IpHitlist.label(),
+            StrategyKind::RandomSample { fraction } => RandomSample { fraction }.label(),
+            StrategyKind::Block24Sample { fraction } => Block24Sample { fraction }.label(),
+            StrategyKind::RandomPrefix {
+                view,
+                space_fraction,
+            } => RandomPrefix {
+                view,
+                space_fraction,
+            }
+            .label(),
+            StrategyKind::ReseedingTass { view, phi, delta_t } => {
+                ReseedingTass { view, phi, delta_t }.label()
+            }
+            StrategyKind::AdaptiveTass { view, phi, explore } => {
+                AdaptiveTass { view, phi, explore }.label()
+            }
+        }
+    }
+
+    /// Open the registry entry into the trait-based lifecycle.
+    pub fn strategy(&self) -> Box<dyn Strategy> {
+        match *self {
+            StrategyKind::FullScan => Box::new(FullScan),
+            StrategyKind::Tass { view, phi } => Box::new(Tass { view, phi }),
+            StrategyKind::IpHitlist => Box::new(IpHitlist),
+            StrategyKind::RandomSample { fraction } => Box::new(RandomSample { fraction }),
+            StrategyKind::Block24Sample { fraction } => Box::new(Block24Sample { fraction }),
+            StrategyKind::RandomPrefix {
+                view,
+                space_fraction,
+            } => Box::new(RandomPrefix {
+                view,
+                space_fraction,
+            }),
+            StrategyKind::ReseedingTass { view, phi, delta_t } => {
+                Box::new(ReseedingTass { view, phi, delta_t })
+            }
+            StrategyKind::AdaptiveTass { view, phi, explore } => {
+                Box::new(AdaptiveTass { view, phi, explore })
             }
         }
     }
 }
 
-/// What a prepared strategy probes each cycle.
+// ------------------------------------------------------------------ static
+
+/// A prepared strategy with a fixed plan: probes the same targets every
+/// cycle and ignores feedback. All six seed strategies reduce to this.
 #[derive(Debug, Clone)]
-enum Covered {
-    /// Everything announced.
-    All,
-    /// A fixed set of disjoint prefixes (sorted by address).
-    Prefixes(Vec<Prefix>),
-    /// A fixed set of addresses.
-    Addrs(HostSet),
-    /// A fresh random address sample each cycle.
-    FreshSample {
-        per_cycle: u64,
-        seed: u64,
-    },
+pub struct StaticPrepared {
+    plan: ProbePlan,
+    selection: Option<Selection>,
 }
 
-/// A strategy fixed at t₀, ready for monthly evaluation.
+impl StaticPrepared {
+    /// Wrap a fixed plan (and optional selection details).
+    pub fn new(plan: ProbePlan, selection: Option<Selection>) -> StaticPrepared {
+        StaticPrepared { plan, selection }
+    }
+}
+
+impl PreparedStrategy for StaticPrepared {
+    fn plan(&mut self, _cycle: u32) -> ProbePlan {
+        self.plan.clone()
+    }
+
+    fn wants_feedback(&self) -> bool {
+        false
+    }
+
+    fn selection(&self) -> Option<&Selection> {
+        self.selection.as_ref()
+    }
+}
+
+/// Build the fixed plan of one of the six static strategy kinds. This is
+/// the seed implementation's preparation logic, verbatim — the single
+/// source of truth both for the trait impls and for the [`Prepared`]
+/// compatibility wrapper, so the two paths cannot drift apart.
+fn prepare_static(
+    kind: StrategyKind,
+    topo: &Topology,
+    t0: &Snapshot,
+    seed: u64,
+) -> (ProbePlan, Option<Selection>) {
+    let announced = topo.announced_space();
+    match kind {
+        StrategyKind::FullScan => (ProbePlan::All, None),
+        StrategyKind::Tass { view, phi } => {
+            let v = view_of(topo, view);
+            let rank = rank_units(v, &t0.hosts);
+            let sel = select_prefixes(&rank, phi);
+            (ProbePlan::Prefixes(sel.sorted_prefixes()), Some(sel))
+        }
+        StrategyKind::IpHitlist => (ProbePlan::Addrs(t0.hosts.clone()), None),
+        StrategyKind::RandomSample { fraction } => {
+            let per_cycle = (announced as f64 * fraction).round() as u64;
+            (ProbePlan::FreshSample { per_cycle, seed }, None)
+        }
+        StrategyKind::Block24Sample { fraction } => (
+            ProbePlan::Prefixes(block24_panel(topo, t0, fraction, seed)),
+            None,
+        ),
+        StrategyKind::RandomPrefix {
+            view,
+            space_fraction,
+        } => {
+            let v = view_of(topo, view);
+            let budget = (announced as f64 * space_fraction) as u64;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut picked = Vec::new();
+            let mut space = 0u64;
+            let n = v.len();
+            let mut tried = std::collections::HashSet::new();
+            while space < budget && tried.len() < n {
+                let i = rng.random_range(0..n);
+                if tried.insert(i) {
+                    let p = v.units()[i].prefix;
+                    picked.push(p);
+                    space += p.size();
+                }
+            }
+            picked.sort_unstable();
+            (ProbePlan::Prefixes(picked), None)
+        }
+        StrategyKind::ReseedingTass { .. } | StrategyKind::AdaptiveTass { .. } => {
+            unreachable!("feedback strategies have their own prepare")
+        }
+    }
+}
+
+/// The periodic full scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullScan;
+
+impl Strategy for FullScan {
+    fn label(&self) -> String {
+        "full-scan".into()
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy> {
+        let (plan, sel) = prepare_static(StrategyKind::FullScan, topo, t0, seed);
+        Box::new(StaticPrepared::new(plan, sel))
+    }
+}
+
+/// TASS, seeded once at t₀ (the paper's §4 evaluation setting).
+#[derive(Debug, Clone, Copy)]
+pub struct Tass {
+    /// l-prefixes or the deaggregated m-partition.
+    pub view: ViewKind,
+    /// Host-coverage target φ.
+    pub phi: f64,
+}
+
+impl Strategy for Tass {
+    fn label(&self) -> String {
+        format!("tass-{}-phi{}", self.view, self.phi)
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy> {
+        let (plan, sel) = prepare_static(
+            StrategyKind::Tass {
+                view: self.view,
+                phi: self.phi,
+            },
+            topo,
+            t0,
+            seed,
+        );
+        Box::new(StaticPrepared::new(plan, sel))
+    }
+}
+
+/// The §4.1 IP-address hitlist.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpHitlist;
+
+impl Strategy for IpHitlist {
+    fn label(&self) -> String {
+        "ip-hitlist".into()
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy> {
+        let (plan, sel) = prepare_static(StrategyKind::IpHitlist, topo, t0, seed);
+        Box::new(StaticPrepared::new(plan, sel))
+    }
+}
+
+/// A fresh uniform random address sample each cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSample {
+    /// Fraction of announced addresses sampled per cycle.
+    pub fraction: f64,
+}
+
+impl Strategy for RandomSample {
+    fn label(&self) -> String {
+        format!("random-sample-{}", self.fraction)
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy> {
+        let (plan, sel) = prepare_static(
+            StrategyKind::RandomSample {
+                fraction: self.fraction,
+            },
+            topo,
+            t0,
+            seed,
+        );
+        Box::new(StaticPrepared::new(plan, sel))
+    }
+}
+
+/// The Heidemann-style /24-block panel.
+#[derive(Debug, Clone, Copy)]
+pub struct Block24Sample {
+    /// Fraction of announced space covered by the panel.
+    pub fraction: f64,
+}
+
+impl Strategy for Block24Sample {
+    fn label(&self) -> String {
+        format!("block24-sample-{}", self.fraction)
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy> {
+        let (plan, sel) = prepare_static(
+            StrategyKind::Block24Sample {
+                fraction: self.fraction,
+            },
+            topo,
+            t0,
+            seed,
+        );
+        Box::new(StaticPrepared::new(plan, sel))
+    }
+}
+
+/// Random scan units at a fixed space budget (ablation).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPrefix {
+    /// View granularity to draw units from.
+    pub view: ViewKind,
+    /// Address-space budget as a fraction of announced space.
+    pub space_fraction: f64,
+}
+
+impl Strategy for RandomPrefix {
+    fn label(&self) -> String {
+        format!("random-prefix-{}-{}", self.view, self.space_fraction)
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy> {
+        let (plan, sel) = prepare_static(
+            StrategyKind::RandomPrefix {
+                view: self.view,
+                space_fraction: self.space_fraction,
+            },
+            topo,
+            t0,
+            seed,
+        );
+        Box::new(StaticPrepared::new(plan, sel))
+    }
+}
+
+// ---------------------------------------------------------------- feedback
+
+fn view_of(topo: &Topology, kind: ViewKind) -> &View {
+    match kind {
+        ViewKind::LessSpecific => &topo.l_view,
+        ViewKind::MoreSpecific => &topo.m_view,
+    }
+}
+
+/// The paper's §3.1 step 5, taken literally: "scan prefixes 1…k
+/// repeatedly until t₀ + Δt, then start over at step 1". Every `delta_t`
+/// cycles the strategy plans a full re-scan; its observed responses
+/// become the new seeding scan and the selection is re-ranked from them.
+///
+/// With `delta_t == `[`ReseedingTass::NEVER`] it never re-seeds and is
+/// exactly the static [`Tass`] evaluated in §4.
+#[derive(Debug, Clone, Copy)]
+pub struct ReseedingTass {
+    /// l-prefixes or the deaggregated m-partition.
+    pub view: ViewKind,
+    /// Host-coverage target φ.
+    pub phi: f64,
+    /// Re-seed period in cycles ([`ReseedingTass::NEVER`] disables).
+    pub delta_t: u32,
+}
+
+impl ReseedingTass {
+    /// Sentinel `delta_t`: never re-seed (equivalent to static TASS).
+    pub const NEVER: u32 = u32::MAX;
+}
+
+impl Strategy for ReseedingTass {
+    fn label(&self) -> String {
+        if self.delta_t == Self::NEVER {
+            format!("reseeding-tass-{}-phi{}-never", self.view, self.phi)
+        } else {
+            format!(
+                "reseeding-tass-{}-phi{}-dt{}",
+                self.view, self.phi, self.delta_t
+            )
+        }
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, _seed: u64) -> Box<dyn PreparedStrategy> {
+        let view = view_of(topo, self.view).clone();
+        let rank = rank_units(&view, &t0.hosts);
+        let selection = select_prefixes(&rank, self.phi);
+        Box::new(ReseedingPrepared {
+            view,
+            phi: self.phi,
+            delta_t: self.delta_t,
+            selection,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ReseedingPrepared {
+    view: View,
+    phi: f64,
+    delta_t: u32,
+    selection: Selection,
+}
+
+impl ReseedingPrepared {
+    fn is_reseed_cycle(&self, cycle: u32) -> bool {
+        self.delta_t != ReseedingTass::NEVER
+            && self.delta_t > 0
+            && cycle > 0
+            && cycle.is_multiple_of(self.delta_t)
+    }
+}
+
+impl PreparedStrategy for ReseedingPrepared {
+    fn plan(&mut self, cycle: u32) -> ProbePlan {
+        if self.is_reseed_cycle(cycle) {
+            // step 1 again: the amortised full scan
+            ProbePlan::All
+        } else {
+            ProbePlan::Prefixes(self.selection.sorted_prefixes())
+        }
+    }
+
+    fn observe(&mut self, cycle: u32, outcome: &CycleOutcome) {
+        if self.is_reseed_cycle(cycle) {
+            // steps 2–4 from the fresh scan's responses
+            let rank = rank_units(&self.view, &outcome.responsive);
+            self.selection = select_prefixes(&rank, self.phi);
+        }
+    }
+
+    fn selection(&self) -> Option<&Selection> {
+        Some(&self.selection)
+    }
+}
+
+/// Feedback-only TASS: never re-scans everything. Each cycle it probes
+/// the current selection plus a small rotating *exploration* slice of
+/// unselected units, then re-ranks densities from what the cycle actually
+/// observed. Host churn into previously-unselected prefixes is discovered
+/// by exploration and pulled into the selection — so accuracy decays more
+/// slowly than the t₀-frozen [`Tass`] at a small, bounded probe overhead.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveTass {
+    /// l-prefixes or the deaggregated m-partition.
+    pub view: ViewKind,
+    /// Host-coverage target φ.
+    pub phi: f64,
+    /// Fraction of announced space explored per cycle outside the
+    /// current selection (e.g. `0.1`).
+    pub explore: f64,
+}
+
+impl Strategy for AdaptiveTass {
+    fn label(&self) -> String {
+        format!(
+            "adaptive-tass-{}-phi{}-explore{}",
+            self.view, self.phi, self.explore
+        )
+    }
+
+    fn prepare(&self, topo: &Topology, t0: &Snapshot, _seed: u64) -> Box<dyn PreparedStrategy> {
+        let view = view_of(topo, self.view).clone();
+        let (counts, _) = view.attribute_all(t0.hosts.addrs());
+        let mut prepared = AdaptivePrepared {
+            phi: self.phi,
+            explore: self.explore,
+            counts,
+            selection: Selection::default(),
+            selected: Vec::new(),
+            explore_cursor: 0,
+            last_planned: Vec::new(),
+            view,
+        };
+        prepared.reselect();
+        Box::new(prepared)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AdaptivePrepared {
+    view: View,
+    phi: f64,
+    explore: f64,
+    /// Last observed responsive count per scan unit (seeded from t₀).
+    counts: Vec<u64>,
+    selection: Selection,
+    /// Unit indices currently selected, for membership tests.
+    selected: Vec<u32>,
+    /// Rotating cursor over unit indices for exploration.
+    explore_cursor: usize,
+    /// Unit indices probed by the most recent plan (selection + explored).
+    last_planned: Vec<u32>,
+}
+
+impl AdaptivePrepared {
+    /// Re-run TASS steps 2–4 over the current per-unit count estimates.
+    fn reselect(&mut self) {
+        let rank = crate::density::rank_from_counts(&self.view, &self.counts);
+        self.selection = select_prefixes(&rank, self.phi);
+        self.selected = self
+            .selection
+            .prefixes
+            .iter()
+            .map(|p| {
+                self.view
+                    .attribute(p.first())
+                    .expect("selected prefixes come from the view")
+            })
+            .collect();
+        self.selected.sort_unstable();
+    }
+
+    fn is_selected(&self, unit: u32) -> bool {
+        self.selected.binary_search(&unit).is_ok()
+    }
+}
+
+impl PreparedStrategy for AdaptivePrepared {
+    fn plan(&mut self, _cycle: u32) -> ProbePlan {
+        let mut planned: Vec<u32> = self.selected.clone();
+        // rotate an exploration budget through the unselected units
+        let budget = (self.view.total_space() as f64 * self.explore) as u64;
+        let n = self.view.len();
+        let mut spent = 0u64;
+        let mut visited = 0usize;
+        while spent < budget && visited < n {
+            let idx = ((self.explore_cursor + visited) % n) as u32;
+            visited += 1;
+            if self.is_selected(idx) {
+                continue;
+            }
+            planned.push(idx);
+            spent += self.view.units()[idx as usize].prefix.size();
+        }
+        self.explore_cursor = (self.explore_cursor + visited) % n.max(1);
+        planned.sort_unstable();
+        planned.dedup();
+        self.last_planned = planned.clone();
+        let mut prefixes: Vec<Prefix> = planned
+            .iter()
+            .map(|&i| self.view.units()[i as usize].prefix)
+            .collect();
+        prefixes.sort_unstable();
+        ProbePlan::Prefixes(prefixes)
+    }
+
+    fn observe(&mut self, _cycle: u32, outcome: &CycleOutcome) {
+        // update the density estimate of every unit this cycle probed,
+        // from the cycle's own responses — no full scan anywhere
+        for &unit in &self.last_planned {
+            let prefix = self.view.units()[unit as usize].prefix;
+            self.counts[unit as usize] = outcome.responsive.count_in_prefix(prefix) as u64;
+        }
+        self.reselect();
+    }
+
+    fn selection(&self) -> Option<&Selection> {
+        Some(&self.selection)
+    }
+}
+
+// ------------------------------------------------------- compat wrapper
+
+/// A strategy frozen at t₀ — the static snapshot view of the lifecycle.
+///
+/// This is the seed API, kept as a thin wrapper over
+/// [`StrategyKind::strategy`] + [`PreparedStrategy::plan`]`(0)`: it holds
+/// the first cycle's plan and evaluates it against any month. For the six
+/// static strategies this is the *whole* behaviour; feedback strategies
+/// ([`ReseedingTass`], [`AdaptiveTass`]) need the full lifecycle loop in
+/// [`crate::campaign::run_campaign_strategy`] and cannot be frozen here.
 #[derive(Debug, Clone)]
 pub struct Prepared {
     /// The strategy that was prepared.
@@ -112,95 +678,37 @@ pub struct Prepared {
     pub probe_space_fraction: f64,
     /// The TASS selection details (present for TASS strategies).
     pub selection: Option<Selection>,
-    covered: Covered,
+    /// The fixed plan probed each cycle.
+    pub plan: ProbePlan,
     announced_space: u64,
 }
 
-/// Outcome of evaluating a prepared strategy against one month.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Eval {
-    /// Hosts the strategy's probe set covers this month.
-    pub found: u64,
-    /// Hosts a full scan finds this month (the denominator).
-    pub total: u64,
-    /// found / total — the paper's hitrate relative to a full scan.
-    pub hitrate: f64,
-    /// Addresses probed this cycle.
-    pub probes: u64,
-    /// found / probes — raw scan efficiency.
-    pub efficiency: f64,
-}
-
 impl Prepared {
-    /// Prepare a strategy from the t₀ ground truth.
+    /// Prepare a static strategy from the t₀ ground truth.
     ///
     /// `seed` drives the randomized strategies (samples, random prefixes);
     /// TASS and the hitlist are deterministic.
-    pub fn prepare(
-        kind: StrategyKind,
-        topo: &Topology,
-        t0: &Snapshot,
-        seed: u64,
-    ) -> Prepared {
+    ///
+    /// Panics for the feedback strategies — they are not expressible as a
+    /// frozen probe set; drive them through
+    /// [`crate::campaign::run_campaign_strategy`] instead.
+    pub fn prepare(kind: StrategyKind, topo: &Topology, t0: &Snapshot, seed: u64) -> Prepared {
+        assert!(
+            !matches!(
+                kind,
+                StrategyKind::ReseedingTass { .. } | StrategyKind::AdaptiveTass { .. }
+            ),
+            "feedback strategies cannot be frozen into a static Prepared; \
+             use run_campaign_strategy"
+        );
         let announced = topo.announced_space();
-        let (covered, selection): (Covered, Option<Selection>) = match kind {
-            StrategyKind::FullScan => (Covered::All, None),
-            StrategyKind::Tass { view, phi } => {
-                let v = match view {
-                    ViewKind::LessSpecific => &topo.l_view,
-                    ViewKind::MoreSpecific => &topo.m_view,
-                };
-                let rank = rank_units(v, &t0.hosts);
-                let sel = select_prefixes(&rank, phi);
-                (Covered::Prefixes(sel.sorted_prefixes()), Some(sel))
-            }
-            StrategyKind::IpHitlist => (Covered::Addrs(t0.hosts.clone()), None),
-            StrategyKind::RandomSample { fraction } => {
-                let per_cycle = (announced as f64 * fraction).round() as u64;
-                (Covered::FreshSample { per_cycle, seed }, None)
-            }
-            StrategyKind::Block24Sample { fraction } => {
-                (Covered::Prefixes(block24_panel(topo, t0, fraction, seed)), None)
-            }
-            StrategyKind::RandomPrefix { view, space_fraction } => {
-                let v = match view {
-                    ViewKind::LessSpecific => &topo.l_view,
-                    ViewKind::MoreSpecific => &topo.m_view,
-                };
-                let budget = (announced as f64 * space_fraction) as u64;
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let mut picked = Vec::new();
-                let mut space = 0u64;
-                let n = v.len();
-                let mut tried = std::collections::HashSet::new();
-                while space < budget && tried.len() < n {
-                    let i = rng.random_range(0..n);
-                    if tried.insert(i) {
-                        let p = v.units()[i].prefix;
-                        picked.push(p);
-                        space += p.size();
-                    }
-                }
-                picked.sort_unstable();
-                (Covered::Prefixes(picked), None)
-            }
-        };
-        let probes_per_cycle = match &covered {
-            Covered::All => announced,
-            Covered::Prefixes(ps) => ps.iter().map(|p| p.size()).sum(),
-            Covered::Addrs(a) => a.len() as u64,
-            Covered::FreshSample { per_cycle, .. } => *per_cycle,
-        };
+        let (plan, selection) = prepare_static(kind, topo, t0, seed);
         Prepared {
             kind,
-            probes_per_cycle,
-            probe_space_fraction: if announced > 0 {
-                probes_per_cycle as f64 / announced as f64
-            } else {
-                0.0
-            },
+            probes_per_cycle: plan.probe_count(announced),
+            probe_space_fraction: plan.space_fraction(announced),
             selection,
-            covered,
+            plan,
             announced_space: announced,
         }
     }
@@ -210,42 +718,7 @@ impl Prepared {
     /// `month` feeds the fresh-sample RNG so repeated samples differ
     /// month to month, as they would in a real campaign.
     pub fn evaluate(&self, truth: &Snapshot, month: u32) -> Eval {
-        let total = truth.hosts.len() as u64;
-        let found = match &self.covered {
-            Covered::All => total,
-            Covered::Prefixes(ps) => {
-                ps.iter().map(|p| truth.hosts.count_in_prefix(*p) as u64).sum()
-            }
-            Covered::Addrs(a) => a.intersection_count(&truth.hosts) as u64,
-            Covered::FreshSample { per_cycle, seed } => {
-                // A fresh uniform sample over announced space hits each
-                // responsive host independently: found ~ Binomial(n, p)
-                // with p = |truth| / announced. Draw exactly for small n,
-                // by normal approximation for campaign-scale n.
-                let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(month) << 32));
-                let n = *per_cycle;
-                let p = truth.hosts.len() as f64 / self.announced_space.max(1) as f64;
-                if n <= 10_000 {
-                    (0..n).filter(|_| rng.random::<f64>() < p).count() as u64
-                } else {
-                    let mean = n as f64 * p;
-                    let sd = (n as f64 * p * (1.0 - p)).sqrt();
-                    let draw = mean + sd * tass_model::distr::standard_normal(&mut rng);
-                    draw.round().clamp(0.0, n as f64) as u64
-                }
-            }
-        };
-        Eval {
-            found,
-            total,
-            hitrate: if total > 0 { found as f64 / total as f64 } else { 0.0 },
-            probes: self.probes_per_cycle,
-            efficiency: if self.probes_per_cycle > 0 {
-                found as f64 / self.probes_per_cycle as f64
-            } else {
-                0.0
-            },
-        }
+        self.plan.evaluate(truth, month, self.announced_space)
     }
 }
 
@@ -309,8 +782,12 @@ mod tests {
     #[test]
     fn full_scan_always_perfect() {
         let u = small_universe();
-        let prep =
-            Prepared::prepare(StrategyKind::FullScan, u.topology(), u.snapshot(0, Protocol::Http), 1);
+        let prep = Prepared::prepare(
+            StrategyKind::FullScan,
+            u.topology(),
+            u.snapshot(0, Protocol::Http),
+            1,
+        );
         for month in 0..=6 {
             let e = prep.evaluate(u.snapshot(month, Protocol::Http), month);
             assert_eq!(e.found, e.total);
@@ -324,14 +801,13 @@ mod tests {
         let u = small_universe();
         let t0 = u.snapshot(0, Protocol::Ftp);
         for view in [ViewKind::LessSpecific, ViewKind::MoreSpecific] {
-            let prep = Prepared::prepare(
-                StrategyKind::Tass { view, phi: 1.0 },
-                u.topology(),
-                t0,
-                1,
-            );
+            let prep =
+                Prepared::prepare(StrategyKind::Tass { view, phi: 1.0 }, u.topology(), t0, 1);
             let e = prep.evaluate(t0, 0);
-            assert_eq!(e.hitrate, 1.0, "{view}: all t0 hosts are in responsive prefixes");
+            assert_eq!(
+                e.hitrate, 1.0,
+                "{view}: all t0 hosts are in responsive prefixes"
+            );
             assert!(prep.probes_per_cycle < u.topology().announced_space());
         }
     }
@@ -341,13 +817,20 @@ mod tests {
         let u = small_universe();
         let t0 = u.snapshot(0, Protocol::Http);
         let prep = Prepared::prepare(
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             u.topology(),
             t0,
             1,
         );
         let e = prep.evaluate(t0, 0);
-        assert!(e.hitrate > 0.95, "hitrate {} must exceed phi at t0", e.hitrate);
+        assert!(
+            e.hitrate > 0.95,
+            "hitrate {} must exceed phi at t0",
+            e.hitrate
+        );
         assert!(e.hitrate < 1.0, "phi=0.95 should not cover everything");
         let sel = prep.selection.as_ref().unwrap();
         assert!(sel.space_fraction < 1.0);
@@ -358,13 +841,19 @@ mod tests {
         let u = small_universe();
         let t0 = u.snapshot(0, Protocol::Http);
         let l = Prepared::prepare(
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
             u.topology(),
             t0,
             1,
         );
         let m = Prepared::prepare(
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 1.0,
+            },
             u.topology(),
             t0,
             1,
@@ -387,7 +876,11 @@ mod tests {
         assert_eq!(e0.hitrate, 1.0);
         let e3 = prep.evaluate(u.snapshot(3, Protocol::Cwmp), 3);
         let e6 = prep.evaluate(u.snapshot(6, Protocol::Cwmp), 6);
-        assert!(e3.hitrate < 0.95, "CWMP hitlist must decay, got {}", e3.hitrate);
+        assert!(
+            e3.hitrate < 0.95,
+            "CWMP hitlist must decay, got {}",
+            e3.hitrate
+        );
         assert!(e6.hitrate < e3.hitrate, "decay must continue");
     }
 
@@ -396,7 +889,10 @@ mod tests {
         let u = small_universe();
         let t0 = u.snapshot(0, Protocol::Http);
         let tass = Prepared::prepare(
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
             u.topology(),
             t0,
             1,
@@ -409,7 +905,10 @@ mod tests {
             tass6 > hit6 + 0.05,
             "paper's core claim: TASS {tass6} must hold up much better than hitlist {hit6}"
         );
-        assert!(tass6 > 0.9, "TASS l-view phi=1 should stay above 0.9 over 6 months");
+        assert!(
+            tass6 > 0.9,
+            "TASS l-view phi=1 should stay above 0.9 over 6 months"
+        );
     }
 
     #[test]
@@ -417,14 +916,20 @@ mod tests {
         let u = small_universe();
         let t0 = u.snapshot(0, Protocol::Http);
         let tass = Prepared::prepare(
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             u.topology(),
             t0,
             1,
         );
         let budget = tass.probe_space_fraction;
         let rand = Prepared::prepare(
-            StrategyKind::RandomPrefix { view: ViewKind::MoreSpecific, space_fraction: budget },
+            StrategyKind::RandomPrefix {
+                view: ViewKind::MoreSpecific,
+                space_fraction: budget,
+            },
             u.topology(),
             t0,
             99,
@@ -484,15 +989,135 @@ mod tests {
     fn labels_are_distinct() {
         let kinds = [
             StrategyKind::FullScan,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 1.0,
+            },
             StrategyKind::IpHitlist,
             StrategyKind::RandomSample { fraction: 0.01 },
             StrategyKind::Block24Sample { fraction: 0.01 },
-            StrategyKind::RandomPrefix { view: ViewKind::LessSpecific, space_fraction: 0.1 },
+            StrategyKind::RandomPrefix {
+                view: ViewKind::LessSpecific,
+                space_fraction: 0.1,
+            },
+            StrategyKind::ReseedingTass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+                delta_t: 3,
+            },
+            StrategyKind::ReseedingTass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+                delta_t: ReseedingTass::NEVER,
+            },
+            StrategyKind::AdaptiveTass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+                explore: 0.1,
+            },
         ];
-        let labels: std::collections::BTreeSet<String> =
-            kinds.iter().map(|k| k.label()).collect();
+        let labels: std::collections::BTreeSet<String> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn trait_prepare_matches_static_prepared() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let kind = StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+        };
+        let mut prepared = kind.strategy().prepare(u.topology(), t0, 1);
+        let frozen = Prepared::prepare(kind, u.topology(), t0, 1);
+        // the lifecycle's cycle-0 plan is the frozen plan, bit for bit
+        assert_eq!(prepared.plan(0), frozen.plan);
+        assert_eq!(
+            prepared.selection().unwrap().prefixes,
+            frozen.selection.as_ref().unwrap().prefixes
+        );
+    }
+
+    #[test]
+    fn prepared_rejects_feedback_strategies() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let result = std::panic::catch_unwind(|| {
+            Prepared::prepare(
+                StrategyKind::AdaptiveTass {
+                    view: ViewKind::MoreSpecific,
+                    phi: 0.95,
+                    explore: 0.1,
+                },
+                u.topology(),
+                t0,
+                1,
+            )
+        });
+        assert!(result.is_err(), "freezing an adaptive strategy must panic");
+    }
+
+    #[test]
+    fn reseeding_plans_full_scan_on_schedule() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let strat = ReseedingTass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+            delta_t: 3,
+        };
+        let mut prepared = strat.prepare(u.topology(), t0, 1);
+        for cycle in 0..=6u32 {
+            let plan = prepared.plan(cycle);
+            if cycle > 0 && cycle % 3 == 0 {
+                assert_eq!(plan, ProbePlan::All, "cycle {cycle} must re-seed");
+            } else {
+                assert!(
+                    matches!(plan, ProbePlan::Prefixes(_)),
+                    "cycle {cycle} scans the selection"
+                );
+            }
+            let truth = u.snapshot(cycle, Protocol::Http);
+            let outcome = CycleOutcome {
+                cycle,
+                probes: plan.probe_count(u.topology().announced_space()),
+                responsive: plan.observed(truth, cycle, u.topology().announced_space()),
+            };
+            prepared.observe(cycle, &outcome);
+        }
+    }
+
+    #[test]
+    fn adaptive_explores_beyond_selection() {
+        let u = small_universe();
+        let t0 = u.snapshot(0, Protocol::Http);
+        let strat = AdaptiveTass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+            explore: 0.1,
+        };
+        let mut prepared = strat.prepare(u.topology(), t0, 1);
+        let announced = u.topology().announced_space();
+        let static_probes = Prepared::prepare(
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
+            u.topology(),
+            t0,
+            1,
+        )
+        .probes_per_cycle;
+        let plan = prepared.plan(0);
+        let probes = plan.probe_count(announced);
+        assert!(probes > static_probes, "exploration adds probes");
+        assert!(
+            probes < announced,
+            "but stays far below a full scan: {probes} vs {announced}"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! repro [OPTIONS] [EXHIBIT ...]
 //!
 //! EXHIBIT      any of: calibration fig1 fig2 fig3 fig4 table1 sec34 fig5
-//!              fig6a fig6b efficiency ablation scan_validation
+//!              fig6a fig6b efficiency ablation adaptive scan_validation
 //!              (default: all)
 //!
 //! OPTIONS
@@ -49,7 +49,9 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--small] [--seed N] [--out DIR] [--no-files] [EXHIBIT ...]");
+                println!(
+                    "usage: repro [--small] [--seed N] [--out DIR] [--no-files] [EXHIBIT ...]"
+                );
                 println!("exhibits:");
                 for (id, _) in exhibits::all() {
                     println!("  {id}");
@@ -68,19 +70,29 @@ fn main() {
         }
     }
 
-    let cfg = if small { ScenarioConfig::small(seed) } else { ScenarioConfig::paper(seed) };
+    let cfg = if small {
+        ScenarioConfig::small(seed)
+    } else {
+        ScenarioConfig::paper(seed)
+    };
     eprintln!(
         "# building scenario: {} l-prefixes, seed {seed} (this is the paper's full-scan step)…",
         cfg.l_prefix_count
     );
     let t_start = std::time::Instant::now();
     let scenario = Scenario::build(&cfg);
-    eprintln!("# scenario ready in {:.1}s\n", t_start.elapsed().as_secs_f64());
+    eprintln!(
+        "# scenario ready in {:.1}s\n",
+        t_start.elapsed().as_secs_f64()
+    );
 
     let selected: Vec<(&'static str, exhibits::ExhibitFn)> = if wanted.is_empty() {
         exhibits::all()
     } else {
-        exhibits::all().into_iter().filter(|(id, _)| wanted.iter().any(|w| w == id)).collect()
+        exhibits::all()
+            .into_iter()
+            .filter(|(id, _)| wanted.iter().any(|w| w == id))
+            .collect()
     };
 
     if write_files {
@@ -99,15 +111,15 @@ fn main() {
         eprintln!("# {id} took {:.1}s", t.elapsed().as_secs_f64());
         if write_files {
             let txt = out_dir.join(format!("{id}.txt"));
-            if let Err(e) = std::fs::File::create(&txt)
-                .and_then(|mut fh| fh.write_all(out.text.as_bytes()))
+            if let Err(e) =
+                std::fs::File::create(&txt).and_then(|mut fh| fh.write_all(out.text.as_bytes()))
             {
                 eprintln!("# warning: cannot write {}: {e}", txt.display());
             }
             for (stem, csv) in &out.csv {
                 let path = out_dir.join(format!("{stem}.csv"));
-                if let Err(e) = std::fs::File::create(&path)
-                    .and_then(|mut fh| fh.write_all(csv.as_bytes()))
+                if let Err(e) =
+                    std::fs::File::create(&path).and_then(|mut fh| fh.write_all(csv.as_bytes()))
                 {
                     eprintln!("# warning: cannot write {}: {e}", path.display());
                 }

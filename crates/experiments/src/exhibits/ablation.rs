@@ -26,7 +26,10 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
     let proto = Protocol::Http;
     let tass = run_campaign(
         &s.universe,
-        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+        },
         proto,
         s.config.seed,
     );
@@ -108,14 +111,20 @@ mod tests {
         let proto = Protocol::Http;
         let tass = run_campaign(
             &s.universe,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             proto,
             3,
         );
         let budget = tass.probe_space_fraction;
         let rand = run_campaign(
             &s.universe,
-            StrategyKind::RandomPrefix { view: ViewKind::MoreSpecific, space_fraction: budget },
+            StrategyKind::RandomPrefix {
+                view: ViewKind::MoreSpecific,
+                space_fraction: budget,
+            },
             proto,
             3,
         );

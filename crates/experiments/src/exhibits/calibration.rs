@@ -17,14 +17,26 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
     let stats = topo.synth.table.stats();
 
     let mut t = TextTable::new(["statistic", "paper (2015/09/07)", "this scenario"]);
-    t.row(["table entries".to_string(), "595,644".to_string(), thousands(stats.entries as u64)]);
+    t.row([
+        "table entries".to_string(),
+        "595,644".to_string(),
+        thousands(stats.entries as u64),
+    ]);
     t.row([
         "l-prefixes".to_string(),
         "~275,000".to_string(),
         thousands(stats.l_prefixes as u64),
     ]);
-    t.row(["m-prefix share".to_string(), "0.54".to_string(), f3(stats.m_share)]);
-    t.row(["m-prefix space share".to_string(), "0.344".to_string(), f3(stats.m_space_share)]);
+    t.row([
+        "m-prefix share".to_string(),
+        "0.54".to_string(),
+        f3(stats.m_share),
+    ]);
+    t.row([
+        "m-prefix space share".to_string(),
+        "0.344".to_string(),
+        f3(stats.m_space_share),
+    ]);
     t.row([
         "advertised addresses".to_string(),
         "~2.8 billion".to_string(),

@@ -66,7 +66,12 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
             (ViewKind::MoreSpecific, "more"),
         ] {
             let a = run_campaign(&s.universe, StrategyKind::Tass { view, phi: 1.0 }, proto, 1);
-            let b = run_campaign(&s.universe, StrategyKind::Tass { view, phi: 0.99 }, proto, 1);
+            let b = run_campaign(
+                &s.universe,
+                StrategyKind::Tass { view, phi: 0.99 },
+                proto,
+                1,
+            );
             let saved = 1.0 - b.probes_per_cycle as f64 / a.probes_per_cycle.max(1) as f64;
             cut.row([proto.name().to_string(), vname.to_string(), pct(saved)]);
         }
@@ -100,7 +105,10 @@ mod tests {
         let full = run_campaign(&s.universe, StrategyKind::FullScan, Protocol::Http, 1);
         let tass = run_campaign(
             &s.universe,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             Protocol::Http,
             1,
         );
@@ -120,13 +128,19 @@ mod tests {
         let s = Scenario::build(&ScenarioConfig::small(3));
         let a = run_campaign(
             &s.universe,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
             Protocol::Http,
             1,
         );
         let b = run_campaign(
             &s.universe,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 0.99 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 0.99,
+            },
             Protocol::Http,
             1,
         );

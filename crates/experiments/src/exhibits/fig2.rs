@@ -16,7 +16,11 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
     let parts = deagg::partition_preserving(l, &[m]);
     let mut ex = TextTable::new(["resulting block", "size", "role"]);
     for p in &parts {
-        let role = if *p == m { "the announced m-prefix" } else { "remainder block" };
+        let role = if *p == m {
+            "the announced m-prefix"
+        } else {
+            "remainder block"
+        };
         ex.row([p.to_string(), thousands(p.size()), role.to_string()]);
     }
 
@@ -25,11 +29,26 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
     let blocks = topo.m_view.len();
     let announced_blocks = topo.blocks().iter().filter(|b| b.announced).count();
     let mut st = TextTable::new(["statistic", "value"]);
-    st.row(["l-prefixes (roots)".to_string(), thousands(topo.l_view.len() as u64)]);
-    st.row(["table entries".to_string(), thousands(topo.synth.table.len() as u64)]);
-    st.row(["blocks after deaggregation".to_string(), thousands(blocks as u64)]);
-    st.row(["  of which announced prefixes".to_string(), thousands(announced_blocks as u64)]);
-    st.row(["  of which remainder blocks".to_string(), thousands((blocks - announced_blocks) as u64)]);
+    st.row([
+        "l-prefixes (roots)".to_string(),
+        thousands(topo.l_view.len() as u64),
+    ]);
+    st.row([
+        "table entries".to_string(),
+        thousands(topo.synth.table.len() as u64),
+    ]);
+    st.row([
+        "blocks after deaggregation".to_string(),
+        thousands(blocks as u64),
+    ]);
+    st.row([
+        "  of which announced prefixes".to_string(),
+        thousands(announced_blocks as u64),
+    ]);
+    st.row([
+        "  of which remainder blocks".to_string(),
+        thousands((blocks - announced_blocks) as u64),
+    ]);
 
     let text = format!(
         "Figure 2: deaggregation of l-prefixes around their m-prefixes\n\n\
@@ -56,7 +75,13 @@ mod tests {
     fn paper_example_blocks() {
         let s = Scenario::build(&ScenarioConfig::small(3));
         let out = run(&s);
-        for block in ["100.0.0.0/12", "100.16.0.0/12", "100.32.0.0/11", "100.64.0.0/10", "100.128.0.0/9"] {
+        for block in [
+            "100.0.0.0/12",
+            "100.16.0.0/12",
+            "100.32.0.0/11",
+            "100.64.0.0/10",
+            "100.128.0.0/9",
+        ] {
             assert!(out.text.contains(block), "missing {block}");
         }
         assert!(out.text.contains("the announced m-prefix"));

@@ -31,8 +31,16 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
     );
     let mut csv = TextTable::new(["protocol", "view", "length", "month", "hosts"]);
 
-    for proto in [Protocol::Ftp, Protocol::Https, Protocol::Http, Protocol::Cwmp] {
-        for (view, vname) in [(&topo.l_view, "less-specific"), (&topo.m_view, "more-specific")] {
+    for proto in [
+        Protocol::Ftp,
+        Protocol::Https,
+        Protocol::Http,
+        Protocol::Cwmp,
+    ] {
+        for (view, vname) in [
+            (&topo.l_view, "less-specific"),
+            (&topo.m_view, "more-specific"),
+        ] {
             // collect per-month distributions
             let months: Vec<[u64; 33]> = (0..=s.universe.months())
                 .map(|m| hosts_by_length(view, s.universe.snapshot(m, proto)))
@@ -46,7 +54,11 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
                 if hi == 0 {
                     continue;
                 }
-                let spread = if mean > 0.0 { (hi - lo) as f64 / mean } else { 0.0 };
+                let spread = if mean > 0.0 {
+                    (hi - lo) as f64 / mean
+                } else {
+                    0.0
+                };
                 t.row([
                     format!("/{len}"),
                     lo.to_string(),
@@ -64,7 +76,11 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
                     ]);
                 }
             }
-            text.push_str(&format!("{} / {vname} prefixes:\n{}\n", proto.name(), t.render()));
+            text.push_str(&format!(
+                "{} / {vname} prefixes:\n{}\n",
+                proto.name(),
+                t.render()
+            ));
         }
     }
     text.push_str(
@@ -110,7 +126,11 @@ mod tests {
         let m0 = hosts_by_length(&topo.m_view, s.universe.snapshot(0, Protocol::Http));
         let weighted = |d: &[u64; 33]| -> f64 {
             let total: u64 = d.iter().sum();
-            d.iter().enumerate().map(|(l, &c)| l as f64 * c as f64).sum::<f64>() / total as f64
+            d.iter()
+                .enumerate()
+                .map(|(l, &c)| l as f64 * c as f64)
+                .sum::<f64>()
+                / total as f64
         };
         assert!(
             weighted(&m0) > weighted(&l0),

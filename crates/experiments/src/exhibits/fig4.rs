@@ -14,13 +14,15 @@ use tass_model::Protocol;
 /// Run the exhibit.
 pub fn run(s: &Scenario) -> ExhibitOutput {
     let topo = s.universe.topology();
-    let mut text = String::from(
-        "Figure 4: responsive prefixes ranked by density (t0 snapshot)\n\n",
-    );
+    let mut text =
+        String::from("Figure 4: responsive prefixes ranked by density (t0 snapshot)\n\n");
     let mut csvs = Vec::new();
 
     for proto in [Protocol::Ftp, Protocol::Http] {
-        for (view, vname) in [(&topo.l_view, "less-specific"), (&topo.m_view, "more-specific")] {
+        for (view, vname) in [
+            (&topo.l_view, "less-specific"),
+            (&topo.m_view, "more-specific"),
+        ] {
             let rank = rank_units(view, &s.universe.snapshot(0, proto).hosts);
             let curve = rank.curve();
             let n = curve.len();
@@ -56,12 +58,8 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
             // full curve CSV (every point for small scenarios; stride to
             // cap at ~5000 rows)
             let stride = (n / 5000).max(1);
-            let mut csv = TextTable::new([
-                "rank",
-                "density",
-                "cum_host_coverage",
-                "cum_space_coverage",
-            ]);
+            let mut csv =
+                TextTable::new(["rank", "density", "cum_host_coverage", "cum_space_coverage"]);
             for p in curve.iter().step_by(stride) {
                 csv.row([
                     p.rank.to_string(),
@@ -71,7 +69,11 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
                 ]);
             }
             csvs.push((
-                format!("fig4_{}_{}", proto.name().to_lowercase(), vname.replace('-', "_")),
+                format!(
+                    "fig4_{}_{}",
+                    proto.name().to_lowercase(),
+                    vname.replace('-', "_")
+                ),
                 csv.to_csv(),
             ));
         }
@@ -100,7 +102,10 @@ mod tests {
         let topo = s.universe.topology();
         let rank = rank_units(&topo.m_view, &s.universe.snapshot(0, Protocol::Http).hosts);
         let curve = rank.curve();
-        assert!(curve.len() > 50, "need a meaningful number of responsive units");
+        assert!(
+            curve.len() > 50,
+            "need a meaningful number of responsive units"
+        );
         // density at the top vs the bottom: orders of magnitude apart
         let top = curve.first().unwrap().density;
         let bottom = curve.last().unwrap().density;

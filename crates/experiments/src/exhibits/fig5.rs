@@ -14,10 +14,15 @@ use tass_model::Protocol;
 pub fn run(s: &Scenario) -> ExhibitOutput {
     let mut t = TextTable::new(["month", "CWMP", "FTP", "HTTP", "HTTPS"]);
     let mut csv = TextTable::new(["protocol", "month", "hitrate"]);
-    let results: Vec<_> = [Protocol::Cwmp, Protocol::Ftp, Protocol::Http, Protocol::Https]
-        .iter()
-        .map(|&p| run_campaign(&s.universe, StrategyKind::IpHitlist, p, s.config.seed))
-        .collect();
+    let results: Vec<_> = [
+        Protocol::Cwmp,
+        Protocol::Ftp,
+        Protocol::Http,
+        Protocol::Https,
+    ]
+    .iter()
+    .map(|&p| run_campaign(&s.universe, StrategyKind::IpHitlist, p, s.config.seed))
+    .collect();
     for month in 0..=s.universe.months() {
         let mut row = vec![month.to_string()];
         for r in &results {

@@ -17,17 +17,27 @@ fn run_phi(s: &Scenario, phi: f64, id: &'static str, title: &'static str) -> Exh
     let mut csv = TextTable::new(["protocol", "view", "month", "hitrate"]);
     let mut decays = TextTable::new(["protocol", "view", "avg decay %/month"]);
 
-    for (view, vname) in
-        [(ViewKind::LessSpecific, "less-specific"), (ViewKind::MoreSpecific, "more-specific")]
-    {
+    for (view, vname) in [
+        (ViewKind::LessSpecific, "less-specific"),
+        (ViewKind::MoreSpecific, "more-specific"),
+    ] {
         let mut t = TextTable::new(["month", "CWMP", "FTP", "HTTP", "HTTPS"]);
-        let results: Vec<CampaignResult> =
-            [Protocol::Cwmp, Protocol::Ftp, Protocol::Http, Protocol::Https]
-                .iter()
-                .map(|&p| {
-                    run_campaign(&s.universe, StrategyKind::Tass { view, phi }, p, s.config.seed)
-                })
-                .collect();
+        let results: Vec<CampaignResult> = [
+            Protocol::Cwmp,
+            Protocol::Ftp,
+            Protocol::Http,
+            Protocol::Https,
+        ]
+        .iter()
+        .map(|&p| {
+            run_campaign(
+                &s.universe,
+                StrategyKind::Tass { view, phi },
+                p,
+                s.config.seed,
+            )
+        })
+        .collect();
         for month in 0..=s.universe.months() {
             let mut row = vec![month.to_string()];
             for r in &results {
@@ -56,17 +66,32 @@ fn run_phi(s: &Scenario, phi: f64, id: &'static str, title: &'static str) -> Exh
          ~0.7%/month (m); phi=0.95 sits ~5 points lower (0.90-0.94 at month\n\
          six); both dramatically outlast the Figure 5 hitlist.\n",
     );
-    ExhibitOutput { id, title, text, csv: vec![(id.to_string(), csv.to_csv())] }
+    ExhibitOutput {
+        id,
+        title,
+        text,
+        csv: vec![(id.to_string(), csv.to_csv())],
+    }
 }
 
 /// Figure 6(a): φ = 1.
 pub fn run_a(s: &Scenario) -> ExhibitOutput {
-    run_phi(s, 1.0, "fig6a", "TASS hitrate over time, phi = 1 (Figure 6a)")
+    run_phi(
+        s,
+        1.0,
+        "fig6a",
+        "TASS hitrate over time, phi = 1 (Figure 6a)",
+    )
 }
 
 /// Figure 6(b): φ = 0.95.
 pub fn run_b(s: &Scenario) -> ExhibitOutput {
-    run_phi(s, 0.95, "fig6b", "TASS hitrate over time, phi = 0.95 (Figure 6b)")
+    run_phi(
+        s,
+        0.95,
+        "fig6b",
+        "TASS hitrate over time, phi = 0.95 (Figure 6b)",
+    )
 }
 
 #[cfg(test)]
@@ -80,13 +105,19 @@ mod tests {
         for proto in [Protocol::Http, Protocol::Ftp] {
             let l = run_campaign(
                 &s.universe,
-                StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+                StrategyKind::Tass {
+                    view: ViewKind::LessSpecific,
+                    phi: 1.0,
+                },
                 proto,
                 3,
             );
             let m = run_campaign(
                 &s.universe,
-                StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+                StrategyKind::Tass {
+                    view: ViewKind::MoreSpecific,
+                    phi: 1.0,
+                },
                 proto,
                 3,
             );
@@ -110,7 +141,10 @@ mod tests {
         let s = Scenario::build(&ScenarioConfig::small(3));
         let r = run_campaign(
             &s.universe,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             Protocol::Http,
             3,
         );

@@ -1,6 +1,7 @@
 //! One module per paper exhibit. See DESIGN.md §4 for the index.
 
 pub mod ablation;
+pub mod adaptive;
 pub mod calibration;
 pub mod efficiency;
 pub mod fig1;
@@ -33,13 +34,17 @@ pub fn all() -> Vec<(&'static str, ExhibitFn)> {
         ("fig6b", fig6::run_b as ExhibitFn),
         ("efficiency", efficiency::run as ExhibitFn),
         ("ablation", ablation::run as ExhibitFn),
+        ("adaptive", adaptive::run as ExhibitFn),
         ("scan_validation", scan_validation::run as ExhibitFn),
     ]
 }
 
 /// Look up an exhibit by id.
 pub fn by_id(id: &str) -> Option<ExhibitFn> {
-    all().into_iter().find(|(name, _)| *name == id).map(|(_, f)| f)
+    all()
+        .into_iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, f)| f)
 }
 
 #[cfg(test)]

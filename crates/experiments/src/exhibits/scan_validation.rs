@@ -37,45 +37,73 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
     }
 
     let responder = Responder::new().with_service(proto, t0.hosts.clone());
-    let network = Arc::new(SimNetwork::new(responder, FaultConfig::default(), s.config.seed));
+    let network = Arc::new(SimNetwork::new(
+        responder,
+        FaultConfig::default(),
+        s.config.seed,
+    ));
     let engine = ScanEngine::new(network);
 
-    let report = engine.run(&ScanConfig {
-        targets: targets.clone(),
-        port: proto.port(),
-        rate_pps: 10_000_000.0,
-        threads: 4,
-        blocklist: Blocklist::iana_default(),
-        banner_grab: true,
-        wire_level: false, // logical probes: full space at campaign scale
-        ..ScanConfig::default()
-    });
+    let report = engine.run(
+        &ScanConfig::for_port(proto.port())
+            .targets(targets.clone())
+            .rate(10_000_000.0)
+            .threads(4)
+            .blocklist(Blocklist::iana_default())
+            .banner_grab(true)
+            .wire_level(false), // logical probes: full space at campaign scale
+    );
 
     // ground truth inside the scanned prefixes
-    let expected: u64 = targets.iter().map(|p| t0.hosts.count_in_prefix(*p) as u64).sum();
+    let expected: u64 = targets
+        .iter()
+        .map(|p| t0.hosts.count_in_prefix(*p) as u64)
+        .sum();
 
     let mut t = TextTable::new(["quantity", "value"]);
     t.row(["protocol".to_string(), proto.name().to_string()]);
-    t.row(["selected prefixes (phi=0.95, m-view)".to_string(), thousands(sel.k as u64)]);
-    t.row(["  of which scanned under probe budget".to_string(), thousands(targets.len() as u64)]);
+    t.row([
+        "selected prefixes (phi=0.95, m-view)".to_string(),
+        thousands(sel.k as u64),
+    ]);
+    t.row([
+        "  of which scanned under probe budget".to_string(),
+        thousands(targets.len() as u64),
+    ]);
     t.row(["probes sent".to_string(), thousands(report.probes_sent)]);
-    t.row(["selection-wide probes per cycle".to_string(), thousands(sel.selected_space)]);
+    t.row([
+        "selection-wide probes per cycle".to_string(),
+        thousands(sel.selected_space),
+    ]);
     t.row([
         "traffic reduction vs full scan".to_string(),
         pct(1.0 - sel.selected_space as f64 / topo.announced_space() as f64),
     ]);
-    t.row(["responsive found by engine".to_string(), thousands(report.responsive.len() as u64)]);
+    t.row([
+        "responsive found by engine".to_string(),
+        thousands(report.responsive.len() as u64),
+    ]);
     t.row(["ground truth in selection".to_string(), thousands(expected)]);
-    t.row(["banners grabbed".to_string(), thousands(report.banners_grabbed)]);
+    t.row([
+        "banners grabbed".to_string(),
+        thousands(report.banners_grabbed),
+    ]);
     t.row(["engine hitrate".to_string(), f3(report.hitrate)]);
-    t.row(["simulated duration (s)".to_string(), format!("{:.1}", report.duration_secs)]);
+    t.row([
+        "simulated duration (s)".to_string(),
+        format!("{:.1}", report.duration_secs),
+    ]);
 
     let agree = report.responsive.len() as u64 == expected;
     let text = format!(
         "Scanner-in-the-loop validation (FTP, TASS phi=0.95 selection)\n\n{}\n\
          Engine results {} ground truth. Sample banner: {}\n",
         t.render(),
-        if agree { "exactly match" } else { "DIVERGE FROM" },
+        if agree {
+            "exactly match"
+        } else {
+            "DIVERGE FROM"
+        },
         report
             .sample_banners
             .first()

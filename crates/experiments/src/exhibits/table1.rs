@@ -108,6 +108,7 @@ mod tests {
     use crate::ScenarioConfig;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // indexing a 3-D measurement cube
     fn table1_shape_holds() {
         let s = Scenario::build(&ScenarioConfig::small(3));
         let m = measure(&s);

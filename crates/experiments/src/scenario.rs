@@ -25,12 +25,22 @@ pub struct ScenarioConfig {
 impl ScenarioConfig {
     /// The default ("paper") scale: ~20 K l-prefixes, ~45 K table entries.
     pub fn paper(seed: u64) -> ScenarioConfig {
-        ScenarioConfig { seed, l_prefix_count: 20_000, host_scale: 1.0, months: 6 }
+        ScenarioConfig {
+            seed,
+            l_prefix_count: 20_000,
+            host_scale: 1.0,
+            months: 6,
+        }
     }
 
     /// A small scale for tests and smoke runs (~1 K l-prefixes).
     pub fn small(seed: u64) -> ScenarioConfig {
-        ScenarioConfig { seed, l_prefix_count: 1_000, host_scale: 1.0, months: 6 }
+        ScenarioConfig {
+            seed,
+            l_prefix_count: 1_000,
+            host_scale: 1.0,
+            months: 6,
+        }
     }
 
     fn to_universe_config(&self) -> UniverseConfig {
@@ -61,7 +71,10 @@ impl Scenario {
     /// Generate the universe for a configuration.
     pub fn build(config: &ScenarioConfig) -> Scenario {
         let universe = Universe::generate(&config.to_universe_config());
-        Scenario { config: config.clone(), universe }
+        Scenario {
+            config: config.clone(),
+            universe,
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 use std::fmt;
 use tass_bgp::{pfx2as, View, ViewKind};
 use tass_core::density::rank_units;
+use tass_core::plan::ProbePlan;
 use tass_core::select::{select_prefixes, Selection};
 use tass_model::HostSet;
 
@@ -63,9 +64,10 @@ pub fn parse_address_list(text: &str) -> Result<HostSet, CliError> {
         if line.is_empty() {
             continue;
         }
-        let a: std::net::Ipv4Addr = line
-            .parse()
-            .map_err(|_| CliError::BadAddress { line: i + 1, text: line.to_string() })?;
+        let a: std::net::Ipv4Addr = line.parse().map_err(|_| CliError::BadAddress {
+            line: i + 1,
+            text: line.to_string(),
+        })?;
         addrs.push(u32::from(a));
     }
     Ok(HostSet::from_addrs(addrs))
@@ -116,6 +118,16 @@ pub fn run_select(
     })
 }
 
+impl SelectOutcome {
+    /// The selection as a typed [`ProbePlan`], ready to hand to
+    /// `tass_scan::ScanEngine::run_plan` for the follow-up cycles — the
+    /// same object the campaign simulation evaluates, so a CLI user and
+    /// the simulation probe byte-identical targets.
+    pub fn probe_plan(&self) -> ProbePlan {
+        ProbePlan::Prefixes(self.selection.sorted_prefixes())
+    }
+}
+
 /// Render the selected prefixes as a ZMap-compatible whitelist (one CIDR
 /// per line, address order, with a provenance header comment).
 pub fn to_whitelist(outcome: &SelectOutcome) -> String {
@@ -161,8 +173,12 @@ mod tests {
     #[test]
     fn end_to_end_selection() {
         let out = run_select(TABLE, &addresses(), ViewKind::MoreSpecific, 0.9).unwrap();
-        assert_eq!(out.input_hosts, 200u64.min(256) + 10 + 1);
-        assert_eq!(out.attributed_hosts, out.input_hosts - 1, "8.8.8.8 unattributable");
+        assert_eq!(out.input_hosts, 200u64 + 10 + 1);
+        assert_eq!(
+            out.attributed_hosts,
+            out.input_hosts - 1,
+            "8.8.8.8 unattributable"
+        );
         // the dense announced /24 dominates; phi=0.9 should select it first
         let wl = to_whitelist(&out);
         assert!(wl.starts_with("# TASS selection"));
@@ -213,7 +229,10 @@ mod tests {
             CliError::BadPhi(2.0),
             CliError::EmptyTable,
             CliError::NoResponsiveHosts,
-            CliError::BadAddress { line: 3, text: "x".into() },
+            CliError::BadAddress {
+                line: 3,
+                text: "x".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }
@@ -226,5 +245,18 @@ mod tests {
         let wl = to_whitelist(&out);
         let parsed = tass_scan::Blocklist::parse(&wl).unwrap();
         assert_eq!(parsed.num_addrs(), out.selection.selected_space);
+    }
+
+    #[test]
+    fn probe_plan_matches_whitelist() {
+        let out = run_select(TABLE, &addresses(), ViewKind::MoreSpecific, 0.9).unwrap();
+        let ProbePlan::Prefixes(prefixes) = out.probe_plan() else {
+            panic!("selection plans are prefix plans");
+        };
+        assert_eq!(prefixes, out.selection.sorted_prefixes());
+        assert_eq!(
+            out.probe_plan().probe_count(out.announced_space),
+            out.selection.selected_space
+        );
     }
 }

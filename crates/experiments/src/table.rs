@@ -14,7 +14,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with a header row.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a data row (shorter rows are padded with empty cells).
@@ -71,7 +74,9 @@ impl TextTable {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -115,7 +120,7 @@ pub fn thousands(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

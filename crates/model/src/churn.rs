@@ -137,7 +137,10 @@ impl ChurnTable {
 
     /// Rates for a class.
     pub fn get(&self, class: AsClass) -> ClassChurn {
-        self.overrides.get(&class).copied().unwrap_or_else(|| default_churn(class))
+        self.overrides
+            .get(&class)
+            .copied()
+            .unwrap_or_else(|| default_churn(class))
     }
 
     /// A table with all churn processes disabled (frozen Internet).
@@ -198,7 +201,9 @@ pub fn advance_month(
                 h2.addr = random_addr_in(rng, blocks[other.block as usize].prefix);
                 h2.dynamic = coin(
                     rng,
-                    table.get(blocks[other.block as usize].class).dynamic_host_prob,
+                    table
+                        .get(blocks[other.block as usize].class)
+                        .dynamic_host_prob,
                 );
             }
         } else if coin(rng, c.sibling_move_rate) {
@@ -220,15 +225,21 @@ pub fn advance_month(
                 h2.addr = random_addr_in(rng, blocks[h2.block as usize].prefix);
             }
         } else {
-            let p_addr =
-                if h.dynamic { c.dynamic_addr_churn } else { c.static_addr_churn };
+            let p_addr = if h.dynamic {
+                c.dynamic_addr_churn
+            } else {
+                c.static_addr_churn
+            };
             if coin(rng, p_addr) {
                 h2.addr = random_addr_in(rng, blocks[h2.block as usize].prefix);
             }
         }
         let idx = survivors.len() as u32;
         survivors.push(h2);
-        by_class.entry(blocks[h2.block as usize].class).or_default().push(idx);
+        by_class
+            .entry(blocks[h2.block as usize].class)
+            .or_default()
+            .push(idx);
     }
 
     // births

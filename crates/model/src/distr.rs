@@ -183,7 +183,10 @@ mod tests {
             let emp = sum / n as f64;
             let ana = d.mean();
             let rel = (emp - ana).abs() / ana;
-            assert!(rel < 0.05, "alpha={alpha}: empirical {emp} vs analytical {ana}");
+            assert!(
+                rel < 0.05,
+                "alpha={alpha}: empirical {emp} vs analytical {ana}"
+            );
         }
     }
 

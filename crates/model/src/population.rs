@@ -96,7 +96,13 @@ pub fn default_density(class: AsClass, proto: Protocol) -> DensityParams {
         (Infrastructure, Https) => (0.27, 0.62, 0.95, 8e-5, 5e-3),
         (Infrastructure, Cwmp) => (0.90, 0.99, 1.5, 1e-5, 1e-4),
     };
-    DensityParams { p_zero_root, p_zero, alpha, rho_lo, rho_hi }
+    DensityParams {
+        p_zero_root,
+        p_zero,
+        alpha,
+        rho_lo,
+        rho_hi,
+    }
 }
 
 /// A table of density parameters with override support.
@@ -119,7 +125,10 @@ impl DensityTable {
 
     /// Parameters for a (class, protocol) pair.
     pub fn get(&self, class: AsClass, proto: Protocol) -> DensityParams {
-        self.overrides.get(&(class, proto)).copied().unwrap_or_else(|| default_density(class, proto))
+        self.overrides
+            .get(&(class, proto))
+            .copied()
+            .unwrap_or_else(|| default_density(class, proto))
     }
 }
 
@@ -250,7 +259,8 @@ impl Population {
     pub fn count_per_class(&self, topo: &Topology) -> BTreeMap<AsClass, usize> {
         let mut out = BTreeMap::new();
         for h in &self.hosts {
-            *out.entry(topo.blocks()[h.block as usize].class).or_insert(0) += 1;
+            *out.entry(topo.blocks()[h.block as usize].class)
+                .or_insert(0) += 1;
         }
         out
     }
@@ -264,12 +274,23 @@ mod tests {
     use tass_bgp::synth::{generate, SynthConfig};
 
     fn topo(n: usize) -> Topology {
-        Topology::build(generate(&SynthConfig { seed: 77, l_prefix_count: n, ..Default::default() }))
+        Topology::build(generate(&SynthConfig {
+            seed: 77,
+            l_prefix_count: n,
+            ..Default::default()
+        }))
     }
 
     fn seed_pop(topo: &Topology, proto: Protocol, scale: f64, seed: u64) -> Population {
         let mut rng = SmallRng::seed_from_u64(seed);
-        Population::seed(topo, proto, &DensityTable::new(), &ChurnTable::new(), scale, &mut rng)
+        Population::seed(
+            topo,
+            proto,
+            &DensityTable::new(),
+            &ChurnTable::new(),
+            scale,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -288,7 +309,12 @@ mod tests {
         assert!(!p.is_empty(), "default scale should produce FTP hosts");
         for h in &p.hosts {
             let b = &t.blocks()[h.block as usize];
-            assert!(b.prefix.contains_addr(h.addr), "{} outside {}", h.addr, b.prefix);
+            assert!(
+                b.prefix.contains_addr(h.addr),
+                "{} outside {}",
+                h.addr,
+                b.prefix
+            );
         }
     }
 
@@ -352,7 +378,13 @@ mod tests {
     #[test]
     fn density_table_overrides() {
         let mut d = DensityTable::new();
-        let custom = DensityParams { p_zero_root: 0.0, p_zero: 0.0, alpha: 2.0, rho_lo: 1e-3, rho_hi: 1e-2 };
+        let custom = DensityParams {
+            p_zero_root: 0.0,
+            p_zero: 0.0,
+            alpha: 2.0,
+            rho_lo: 1e-3,
+            rho_hi: 1e-2,
+        };
         d.set(AsClass::Hosting, Protocol::Ftp, custom);
         assert_eq!(d.get(AsClass::Hosting, Protocol::Ftp), custom);
         // untouched pair falls through to defaults

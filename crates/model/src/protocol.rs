@@ -23,7 +23,12 @@ pub enum Protocol {
 
 impl Protocol {
     /// All four protocols in the paper's order (Table 1 column order).
-    pub const ALL: [Protocol; 4] = [Protocol::Ftp, Protocol::Http, Protocol::Https, Protocol::Cwmp];
+    pub const ALL: [Protocol; 4] = [
+        Protocol::Ftp,
+        Protocol::Http,
+        Protocol::Https,
+        Protocol::Cwmp,
+    ];
 
     /// Number of protocols.
     pub const COUNT: usize = 4;

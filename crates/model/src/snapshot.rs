@@ -33,7 +33,10 @@ impl HostSet {
     ///
     /// Panics in debug builds if the precondition is violated.
     pub fn from_sorted_unique(addrs: Vec<u32>) -> Self {
-        debug_assert!(addrs.windows(2).all(|w| w[0] < w[1]), "addrs not sorted/unique");
+        debug_assert!(
+            addrs.windows(2).all(|w| w[0] < w[1]),
+            "addrs not sorted/unique"
+        );
         HostSet { addrs }
     }
 
@@ -114,7 +117,11 @@ pub struct Snapshot {
 impl Snapshot {
     /// Construct a snapshot.
     pub fn new(protocol: Protocol, month: u32, hosts: HostSet) -> Self {
-        Snapshot { protocol, month, hosts }
+        Snapshot {
+            protocol,
+            month,
+            hosts,
+        }
     }
 
     /// Number of responsive hosts (the paper's `N` at t₀).
@@ -191,8 +198,7 @@ impl Snapshot {
             return Err(DecodeError::BadVersion(version));
         }
         let ptag = data.get_u8();
-        let protocol =
-            Protocol::from_index(ptag as usize).ok_or(DecodeError::BadProtocol(ptag))?;
+        let protocol = Protocol::from_index(ptag as usize).ok_or(DecodeError::BadProtocol(ptag))?;
         let month = data.get_u32_le();
         let count = data.get_u64_le() as usize;
         if data.remaining() < count * 4 {
@@ -210,7 +216,11 @@ impl Snapshot {
             prev = Some(a);
             addrs.push(a);
         }
-        Ok(Snapshot { protocol, month, hosts: HostSet::from_sorted_unique(addrs) })
+        Ok(Snapshot {
+            protocol,
+            month,
+            hosts: HostSet::from_sorted_unique(addrs),
+        })
     }
 }
 
@@ -289,7 +299,10 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(Snapshot::decode(b""), Err(DecodeError::Truncated));
-        assert_eq!(Snapshot::decode(b"XXXX..............."), Err(DecodeError::BadMagic));
+        assert_eq!(
+            Snapshot::decode(b"XXXX..............."),
+            Err(DecodeError::BadMagic)
+        );
         // valid header but truncated payload
         let snap = Snapshot::new(Protocol::Http, 1, hs(&[1, 2, 3]));
         let bytes = snap.encode();

@@ -72,7 +72,13 @@ impl Topology {
             });
             blocks_by_root[root_idx as usize].push(i as u32);
         }
-        Topology { synth, l_view, m_view, blocks, blocks_by_root }
+        Topology {
+            synth,
+            l_view,
+            m_view,
+            blocks,
+            blocks_by_root,
+        }
     }
 
     /// All blocks, index-aligned with the more-specific view's units.
@@ -112,7 +118,11 @@ mod tests {
     use tass_bgp::synth::{generate, SynthConfig};
 
     fn topo(seed: u64, n: usize) -> Topology {
-        Topology::build(generate(&SynthConfig { seed, l_prefix_count: n, ..Default::default() }))
+        Topology::build(generate(&SynthConfig {
+            seed,
+            l_prefix_count: n,
+            ..Default::default()
+        }))
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl UniverseConfig {
     pub fn small(seed: u64) -> Self {
         UniverseConfig {
             seed,
-            synth: SynthConfig { seed, l_prefix_count: 600, ..SynthConfig::default() },
+            synth: SynthConfig {
+                seed,
+                l_prefix_count: 600,
+                ..SynthConfig::default()
+            },
             ..UniverseConfig::default()
         }
     }
@@ -74,13 +78,15 @@ impl Universe {
         let synth_table = synth::generate(&cfg.synth);
         let topology = Topology::build(synth_table);
 
-        let mut snapshots: Vec<Vec<Snapshot>> =
-            (0..=cfg.months).map(|_| Vec::with_capacity(Protocol::COUNT)).collect();
+        let mut snapshots: Vec<Vec<Snapshot>> = (0..=cfg.months)
+            .map(|_| Vec::with_capacity(Protocol::COUNT))
+            .collect();
         let mut final_populations = Vec::with_capacity(Protocol::COUNT);
 
         for proto in Protocol::ALL {
             // independent, seed-derived RNG stream per protocol
-            let stream = cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(proto.index() as u64 + 1));
+            let stream =
+                cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(proto.index() as u64 + 1));
             let mut rng = SmallRng::seed_from_u64(stream);
             let mut pop = Population::seed(
                 &topology,
@@ -97,7 +103,11 @@ impl Universe {
             }
             final_populations.push(pop);
         }
-        Universe { topology, snapshots, final_populations }
+        Universe {
+            topology,
+            snapshots,
+            final_populations,
+        }
     }
 
     /// The static structure.
@@ -155,7 +165,10 @@ mod tests {
         for month in 0..=6u32 {
             for proto in Protocol::ALL {
                 assert_eq!(month, a.snapshot(month, proto).month);
-                assert_eq!(a.snapshot(month, proto).hosts, b.snapshot(month, proto).hosts);
+                assert_eq!(
+                    a.snapshot(month, proto).hosts,
+                    b.snapshot(month, proto).hosts
+                );
             }
         }
     }
@@ -164,7 +177,10 @@ mod tests {
     fn different_seeds_differ() {
         let a = Universe::generate(&UniverseConfig::small(1));
         let b = Universe::generate(&UniverseConfig::small(2));
-        assert_ne!(a.snapshot(0, Protocol::Http).hosts, b.snapshot(0, Protocol::Http).hosts);
+        assert_ne!(
+            a.snapshot(0, Protocol::Http).hosts,
+            b.snapshot(0, Protocol::Http).hosts
+        );
     }
 
     #[test]
@@ -208,7 +224,10 @@ mod tests {
             assert_ne!(t0.hosts, t6.hosts, "{proto} did not evolve");
             // but the sizes stay in the same ballpark
             let ratio = t6.len() as f64 / t0.len() as f64;
-            assert!((0.85..1.2).contains(&ratio), "{proto} size drifted by {ratio}");
+            assert!(
+                (0.85..1.2).contains(&ratio),
+                "{proto} size drifted by {ratio}"
+            );
         }
     }
 

@@ -59,11 +59,17 @@ impl AddrRange {
     }
 
     /// The range covering the entire IPv4 space.
-    pub const FULL: AddrRange = AddrRange { first: 0, last: u32::MAX };
+    pub const FULL: AddrRange = AddrRange {
+        first: 0,
+        last: u32::MAX,
+    };
 
     /// A single-address range.
     pub fn single(addr: u32) -> Self {
-        AddrRange { first: addr, last: addr }
+        AddrRange {
+            first: addr,
+            last: addr,
+        }
     }
 
     /// First (lowest) address.
@@ -161,10 +167,7 @@ impl AddrRange {
             };
             let block = max_by_align.min(max_by_span);
             let len = 32 - block.trailing_zeros() as u8;
-            out.push(
-                Prefix::new(cur as u32, len)
-                    .expect("block is aligned by construction"),
-            );
+            out.push(Prefix::new(cur as u32, len).expect("block is aligned by construction"));
             cur += block;
         }
         out
@@ -175,7 +178,10 @@ impl AddrRange {
     /// For the full /0 this yields 2^32 items — callers should size ranges
     /// sensibly (the scanner uses permutations instead of linear sweeps).
     pub fn iter(&self) -> AddrRangeIter {
-        AddrRangeIter { next: u64::from(self.first), end: u64::from(self.last) + 1 }
+        AddrRangeIter {
+            next: u64::from(self.first),
+            end: u64::from(self.last) + 1,
+        }
     }
 }
 
@@ -218,7 +224,10 @@ impl IntoIterator for AddrRange {
 
 impl From<Prefix> for AddrRange {
     fn from(p: Prefix) -> Self {
-        AddrRange { first: p.first(), last: p.last() }
+        AddrRange {
+            first: p.first(),
+            last: p.last(),
+        }
     }
 }
 

@@ -53,9 +53,7 @@ fn split_rec(p: Prefix, announced: &PrefixTrie<()>, out: &mut Vec<Prefix>) {
         out.push(p);
         return;
     }
-    let (lo, hi) = p
-        .children()
-        .expect("a /32 cannot have strict descendants");
+    let (lo, hi) = p.children().expect("a /32 cannot have strict descendants");
     split_rec(lo, announced, out);
     split_rec(hi, announced, out);
 }
@@ -100,7 +98,11 @@ where
 
 fn split_table_rec(p: Prefix, root: Prefix, trie: &PrefixTrie<()>, out: &mut Vec<Block>) {
     if !trie.has_strict_descendants(p) {
-        out.push(Block { prefix: p, root, announced: trie.contains(p) });
+        out.push(Block {
+            prefix: p,
+            root,
+            announced: trie.contains(p),
+        });
         return;
     }
     let (lo, hi) = p.children().expect("a /32 cannot have strict descendants");
@@ -135,7 +137,10 @@ mod tests {
 
     #[test]
     fn no_inner_yields_root() {
-        assert_eq!(partition_preserving(p("10.0.0.0/8"), &[]), vec![p("10.0.0.0/8")]);
+        assert_eq!(
+            partition_preserving(p("10.0.0.0/8"), &[]),
+            vec![p("10.0.0.0/8")]
+        );
     }
 
     #[test]
@@ -168,8 +173,7 @@ mod tests {
 
     #[test]
     fn two_inner_prefixes() {
-        let parts =
-            partition_preserving(p("10.0.0.0/8"), &[p("10.0.0.0/12"), p("10.128.0.0/12")]);
+        let parts = partition_preserving(p("10.0.0.0/8"), &[p("10.0.0.0/12"), p("10.128.0.0/12")]);
         let total: u64 = parts.iter().map(|q| q.size()).sum();
         assert_eq!(total, 1 << 24);
         assert!(parts.contains(&p("10.0.0.0/12")));
@@ -185,10 +189,7 @@ mod tests {
     #[test]
     fn nested_inner_prefixes() {
         // /12 inside /8, /16 inside the /12: both preserved.
-        let parts = partition_preserving(
-            p("10.0.0.0/8"),
-            &[p("10.16.0.0/12"), p("10.16.16.0/20")],
-        );
+        let parts = partition_preserving(p("10.0.0.0/8"), &[p("10.16.0.0/12"), p("10.16.16.0/20")]);
         assert!(parts.contains(&p("10.16.16.0/20")));
         // the /12 itself must be split (it contains the /20), so it is NOT
         // in the partition
@@ -207,35 +208,38 @@ mod tests {
 
     #[test]
     fn table_deagg_basic() {
-        let blocks = deaggregate_table([
-            p("100.0.0.0/8"),
-            p("100.0.0.0/12"),
-            p("200.0.0.0/16"),
-        ]);
+        let blocks = deaggregate_table([p("100.0.0.0/8"), p("100.0.0.0/12"), p("200.0.0.0/16")]);
         // 100/8 splits into 5 blocks, 200.0/16 stays whole
         assert_eq!(blocks.len(), 6);
-        let m = blocks.iter().find(|b| b.prefix == p("100.0.0.0/12")).unwrap();
+        let m = blocks
+            .iter()
+            .find(|b| b.prefix == p("100.0.0.0/12"))
+            .unwrap();
         assert!(m.announced);
         assert_eq!(m.root, p("100.0.0.0/8"));
-        let rem = blocks.iter().find(|b| b.prefix == p("100.128.0.0/9")).unwrap();
+        let rem = blocks
+            .iter()
+            .find(|b| b.prefix == p("100.128.0.0/9"))
+            .unwrap();
         assert!(!rem.announced);
         assert_eq!(rem.root, p("100.0.0.0/8"));
-        let solo = blocks.iter().find(|b| b.prefix == p("200.0.0.0/16")).unwrap();
+        let solo = blocks
+            .iter()
+            .find(|b| b.prefix == p("200.0.0.0/16"))
+            .unwrap();
         assert!(solo.announced);
         assert_eq!(solo.root, p("200.0.0.0/16"));
     }
 
     #[test]
     fn table_deagg_multilevel() {
-        let blocks = deaggregate_table([
-            p("10.0.0.0/8"),
-            p("10.16.0.0/12"),
-            p("10.16.16.0/20"),
-        ]);
+        let blocks = deaggregate_table([p("10.0.0.0/8"), p("10.16.0.0/12"), p("10.16.16.0/20")]);
         let total: u64 = blocks.iter().map(|b| b.prefix.size()).sum();
         assert_eq!(total, 1 << 24);
         // the /20 is a block; the /12 is not (it was split)
-        assert!(blocks.iter().any(|b| b.prefix == p("10.16.16.0/20") && b.announced));
+        assert!(blocks
+            .iter()
+            .any(|b| b.prefix == p("10.16.16.0/20") && b.announced));
         assert!(!blocks.iter().any(|b| b.prefix == p("10.16.0.0/12")));
         // every block's root is the /8
         assert!(blocks.iter().all(|b| b.root == p("10.0.0.0/8")));
@@ -243,8 +247,7 @@ mod tests {
 
     #[test]
     fn table_deagg_duplicates_tolerated() {
-        let blocks =
-            deaggregate_table([p("10.0.0.0/8"), p("10.0.0.0/8"), p("10.0.0.0/9")]);
+        let blocks = deaggregate_table([p("10.0.0.0/8"), p("10.0.0.0/8"), p("10.0.0.0/9")]);
         let total: u64 = blocks.iter().map(|b| b.prefix.size()).sum();
         assert_eq!(total, 1 << 24);
         assert_eq!(blocks.len(), 2); // /9 announced + /9 sibling remainder
@@ -278,8 +281,7 @@ mod tests {
     // ---- property tests ----
 
     fn arb_prefix(max_len: u8) -> impl Strategy<Value = Prefix> {
-        (any::<u32>(), 0..=max_len)
-            .prop_map(|(a, l)| Prefix::new_truncate(a, l).unwrap())
+        (any::<u32>(), 0..=max_len).prop_map(|(a, l)| Prefix::new_truncate(a, l).unwrap())
     }
 
     proptest! {

@@ -44,8 +44,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(NetError::InvalidPrefixLength(33).to_string().contains("/33"));
-        let e = NetError::HostBitsSet { addr: "10.0.0.1".into(), len: 8 };
+        assert!(NetError::InvalidPrefixLength(33)
+            .to_string()
+            .contains("/33"));
+        let e = NetError::HostBitsSet {
+            addr: "10.0.0.1".into(),
+            len: 8,
+        };
         assert!(e.to_string().contains("10.0.0.1/8"));
         assert!(NetError::ParseError("x".into()).to_string().contains("x"));
         assert!(!NetError::EmptyRange.to_string().is_empty());

@@ -71,7 +71,12 @@ pub fn special_purpose_registry() -> Vec<SpecialEntry> {
     vec![
         entry!(0x0000_0000, 8, ThisNetwork, "This host on this network"),
         entry!(0x0A00_0000, 8, PrivateUse, "Private-Use (10/8)"),
-        entry!(0x6440_0000, 10, SharedAddressSpace, "Shared Address Space (CGN)"),
+        entry!(
+            0x6440_0000,
+            10,
+            SharedAddressSpace,
+            "Shared Address Space (CGN)"
+        ),
         entry!(0x7F00_0000, 8, Loopback, "Loopback"),
         entry!(0xA9FE_0000, 16, LinkLocal, "Link Local"),
         entry!(0xAC10_0000, 12, PrivateUse, "Private-Use (172.16/12)"),
@@ -106,7 +111,9 @@ pub fn allocated_set() -> PrefixSet {
 pub fn is_reserved(addr: u32) -> bool {
     // The registry is small; scan it. Hot paths should use `reserved_set()`
     // once and query the PrefixSet.
-    special_purpose_registry().iter().any(|e| e.prefix.contains_addr(addr))
+    special_purpose_registry()
+        .iter()
+        .any(|e| e.prefix.contains_addr(addr))
 }
 
 #[cfg(test)]

@@ -59,7 +59,10 @@ impl Prefix {
             return Err(NetError::InvalidPrefixLength(len));
         }
         let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
-        Ok(Prefix { addr: addr & mask, len })
+        Ok(Prefix {
+            addr: addr & mask,
+            len,
+        })
     }
 
     /// The prefix containing a single address, `addr/32`.
@@ -150,7 +153,10 @@ impl Prefix {
         }
         let len = self.len - 1;
         let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
-        Some(Prefix { addr: self.addr & mask, len })
+        Some(Prefix {
+            addr: self.addr & mask,
+            len,
+        })
     }
 
     /// The sibling sharing this prefix's parent; `None` for `/0`.
@@ -165,7 +171,10 @@ impl Prefix {
             return None;
         }
         let bit = 1u32 << (32 - self.len);
-        Some(Prefix { addr: self.addr ^ bit, len: self.len })
+        Some(Prefix {
+            addr: self.addr ^ bit,
+            len: self.len,
+        })
     }
 
     /// The two children one bit longer; `None` for `/32`.
@@ -175,7 +184,16 @@ impl Prefix {
         }
         let len = self.len + 1;
         let bit = 1u32 << (32 - len);
-        Some((Prefix { addr: self.addr, len }, Prefix { addr: self.addr | bit, len }))
+        Some((
+            Prefix {
+                addr: self.addr,
+                len,
+            },
+            Prefix {
+                addr: self.addr | bit,
+                len,
+            },
+        ))
     }
 
     /// The value of the bit that distinguishes the two children of this
@@ -236,7 +254,10 @@ impl Iterator for SubnetIter {
 
     fn next(&mut self) -> Option<Prefix> {
         if self.next < self.end {
-            let p = Prefix { addr: self.next as u32, len: self.len };
+            let p = Prefix {
+                addr: self.next as u32,
+                len: self.len,
+            };
             self.next += self.step;
             Some(p)
         } else {
@@ -274,8 +295,9 @@ impl FromStr for Prefix {
             Some((a, l)) => (a, Some(l)),
             None => (s, None),
         };
-        let addr: Ipv4Addr =
-            addr_s.parse().map_err(|_| NetError::ParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr_s
+            .parse()
+            .map_err(|_| NetError::ParseError(s.to_string()))?;
         let len: u8 = match len_s {
             Some(l) => l.parse().map_err(|_| NetError::ParseError(s.to_string()))?,
             None => 32,
@@ -294,10 +316,13 @@ mod tests {
         let p = Prefix::new(0x0A00_0000, 8).unwrap();
         assert_eq!(p.addr(), 0x0A00_0000);
         assert_eq!(p.len(), 8);
-        assert_eq!(Prefix::new(0x0A00_0001, 8), Err(NetError::HostBitsSet {
-            addr: "10.0.0.1".into(),
-            len: 8
-        }));
+        assert_eq!(
+            Prefix::new(0x0A00_0001, 8),
+            Err(NetError::HostBitsSet {
+                addr: "10.0.0.1".into(),
+                len: 8
+            })
+        );
         assert_eq!(Prefix::new(0, 33), Err(NetError::InvalidPrefixLength(33)));
     }
 
@@ -311,7 +336,13 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24", "1.2.3.4/32", "128.0.0.0/1"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "192.168.1.0/24",
+            "1.2.3.4/32",
+            "128.0.0.0/1",
+        ] {
             let p: Prefix = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }
@@ -386,8 +417,12 @@ mod tests {
         assert_eq!(p.ancestor_at(8).unwrap(), "10.0.0.0/8".parse().unwrap());
         assert_eq!(p.ancestor_at(12).unwrap(), p);
         assert!(p.ancestor_at(13).is_err());
-        let subs: Vec<Prefix> = "10.0.0.0/8".parse::<Prefix>().unwrap()
-            .subnets(10).unwrap().collect();
+        let subs: Vec<Prefix> = "10.0.0.0/8"
+            .parse::<Prefix>()
+            .unwrap()
+            .subnets(10)
+            .unwrap()
+            .collect();
         assert_eq!(subs.len(), 4);
         assert_eq!(subs[0], "10.0.0.0/10".parse().unwrap());
         assert_eq!(subs[3], "10.192.0.0/10".parse().unwrap());

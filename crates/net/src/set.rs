@@ -39,7 +39,9 @@ impl PrefixSet {
 
     /// The set covering all of IPv4 (`0.0.0.0/0`).
     pub fn full() -> Self {
-        PrefixSet { ranges: vec![AddrRange::FULL] }
+        PrefixSet {
+            ranges: vec![AddrRange::FULL],
+        }
     }
 
     /// Build from prefixes (duplicates/overlaps/adjacency are canonicalised).
@@ -350,9 +352,7 @@ mod tests {
 
     #[test]
     fn debug_formatting_caps() {
-        let s = PrefixSet::from_prefixes(
-            (0u32..20).map(|i| Prefix::new(i << 12, 24).unwrap()),
-        );
+        let s = PrefixSet::from_prefixes((0u32..20).map(|i| Prefix::new(i << 12, 24).unwrap()));
         let d = format!("{s:?}");
         assert!(d.contains("…"));
     }
@@ -363,8 +363,10 @@ mod tests {
         let v: Vec<u32> = s.iter_addrs().collect();
         assert_eq!(
             v,
-            vec![0x0A000000, 0x0A000001, 0x0A000002, 0x0A000003,
-                 0x0A000008, 0x0A000009, 0x0A00000A, 0x0A00000B]
+            vec![
+                0x0A000000, 0x0A000001, 0x0A000002, 0x0A000003, 0x0A000008, 0x0A000009, 0x0A00000A,
+                0x0A00000B
+            ]
         );
     }
 
@@ -379,7 +381,7 @@ mod tests {
             let len = 24 + (len % 9);
             let width = 32 - len;
             let base = (0x0A00_0000u32 | u32::from(start)) & !((1u32 << width) - 1);
-            s.insert(Prefix::new(base, len as u8).unwrap());
+            s.insert(Prefix::new(base, len).unwrap());
         }
         s
     }

@@ -34,7 +34,11 @@ struct Node<T> {
 
 impl<T> Node<T> {
     fn new() -> Self {
-        Node { value: None, children: [NIL, NIL], weight: 0 }
+        Node {
+            value: None,
+            children: [NIL, NIL],
+            weight: 0,
+        }
     }
 }
 
@@ -72,7 +76,10 @@ impl<T> Default for PrefixTrie<T> {
 impl<T> PrefixTrie<T> {
     /// Create an empty trie.
     pub fn new() -> Self {
-        PrefixTrie { nodes: vec![Node::new()], len: 0 }
+        PrefixTrie {
+            nodes: vec![Node::new()],
+            len: 0,
+        }
     }
 
     /// Create an empty trie with room for roughly `n` prefixes.
@@ -542,8 +549,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let t: PrefixTrie<u32> =
-            [(p("10.0.0.0/8"), 1u32), (p("11.0.0.0/8"), 2)].into_iter().collect();
+        let t: PrefixTrie<u32> = [(p("10.0.0.0/8"), 1u32), (p("11.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(p("11.0.0.0/8")), Some(&2));
     }

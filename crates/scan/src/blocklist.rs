@@ -18,13 +18,17 @@ pub struct Blocklist {
 impl Blocklist {
     /// An empty blocklist (nothing excluded).
     pub fn empty() -> Blocklist {
-        Blocklist { set: PrefixSet::new() }
+        Blocklist {
+            set: PrefixSet::new(),
+        }
     }
 
     /// The default blocklist: all IANA special-purpose space (RFC 1918,
     /// loopback, multicast, 240/4, …).
     pub fn iana_default() -> Blocklist {
-        Blocklist { set: iana::reserved_set() }
+        Blocklist {
+            set: iana::reserved_set(),
+        }
     }
 
     /// Parse a ZMap-style blocklist file: one `a.b.c.d/len` per line,

@@ -43,12 +43,12 @@ pub fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -61,9 +61,9 @@ pub fn prime_factors(mut n: u64) -> Vec<u64> {
     let mut out = Vec::new();
     let mut d = 2u64;
     while u128::from(d) * u128::from(d) <= u128::from(n) {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             out.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -179,7 +179,10 @@ impl Cyclic {
     /// elements above `limit` (for the IPv4 prime: `limit = 2³²` skips the
     /// 15 out-of-range values and yields every address exactly once).
     pub fn addresses(&self, shard: u64, total: u64, limit: u64) -> AddressIter {
-        AddressIter { inner: self.iter_shard(shard, total), limit }
+        AddressIter {
+            inner: self.iter_shard(shard, total),
+            limit,
+        }
     }
 
     /// Address iterator over the full IPv4 space.
@@ -189,10 +192,12 @@ impl Cyclic {
 }
 
 fn is_primitive_root(g: u64, p: u64, factors_of_order: &[u64]) -> bool {
-    if g % p == 0 {
+    if g.is_multiple_of(p) {
         return false;
     }
-    factors_of_order.iter().all(|&q| powmod(g, (p - 1) / q, p) != 1)
+    factors_of_order
+        .iter()
+        .all(|&q| powmod(g, (p - 1) / q, p) != 1)
 }
 
 /// Iterator over group elements (see [`Cyclic::iter_shard`]).
@@ -337,11 +342,17 @@ mod tests {
     fn rejects_bad_parameters() {
         let mut rng = SmallRng::seed_from_u64(9);
         assert_eq!(Cyclic::new(100, &mut rng), Err(CyclicError::NotPrime(100)));
-        assert_eq!(Cyclic::with_generator(101, 1), Err(CyclicError::NotPrimitiveRoot(1)));
+        assert_eq!(
+            Cyclic::with_generator(101, 1),
+            Err(CyclicError::NotPrimitiveRoot(1))
+        );
         // 2^k elements: for p=7, the quadratic residues {1,2,4} are not
         // primitive roots; 3 is.
         assert!(Cyclic::with_generator(7, 3).is_ok());
-        assert_eq!(Cyclic::with_generator(7, 2), Err(CyclicError::NotPrimitiveRoot(2)));
+        assert_eq!(
+            Cyclic::with_generator(7, 2),
+            Err(CyclicError::NotPrimitiveRoot(2))
+        );
     }
 
     #[test]
@@ -364,7 +375,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), sample.len());
         // elements are in range
-        assert!(sample.iter().all(|&e| e >= 1 && e < ZMAP_PRIME));
+        assert!(sample.iter().all(|&e| (1..ZMAP_PRIME).contains(&e)));
     }
 
     #[test]
@@ -383,6 +394,20 @@ mod tests {
     fn deterministic_walk_for_fixed_generator() {
         let c = Cyclic::with_generator(257, 3).unwrap();
         let a: Vec<u64> = c.iter().take(10).collect();
-        assert_eq!(a, vec![3, 9, 27, 81, 243, 729 % 257, 2187 % 257, 6561 % 257, 19683 % 257, 59049 % 257]);
+        assert_eq!(
+            a,
+            vec![
+                3,
+                9,
+                27,
+                81,
+                243,
+                729 % 257,
+                2187 % 257,
+                6561 % 257,
+                19683 % 257,
+                59049 % 257
+            ]
+        );
     }
 }

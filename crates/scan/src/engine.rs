@@ -20,10 +20,11 @@ use crate::net::SimNetwork;
 use crate::rate::TokenBucket;
 use crate::siphash::SipHash24;
 use crate::wire::{self, tcp_flags};
-use crossbeam::channel;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::sync::mpsc;
 use std::sync::Arc;
+use tass_core::ProbePlan;
 use tass_model::HostSet;
 use tass_net::Prefix;
 
@@ -63,6 +64,81 @@ impl Default for ScanConfig {
             source_ip: 0xC633_6401, // 198.51.100.1 (TEST-NET-2)
             seed: 0x5CAA_77E5,
         }
+    }
+}
+
+impl ScanConfig {
+    /// Start a builder-style config for a destination port, with the
+    /// defaults of [`ScanConfig::default`] for everything else:
+    ///
+    /// ```
+    /// use tass_scan::{Blocklist, ScanConfig};
+    ///
+    /// let cfg = ScanConfig::for_port(443)
+    ///     .rate(100_000.0)
+    ///     .threads(8)
+    ///     .blocklist(Blocklist::empty());
+    /// assert_eq!(cfg.port, 443);
+    /// assert_eq!(cfg.threads, 8);
+    /// ```
+    pub fn for_port(port: u16) -> ScanConfig {
+        ScanConfig {
+            port,
+            ..ScanConfig::default()
+        }
+    }
+
+    /// Set the prefixes to scan (used by [`ScanEngine::run`]).
+    pub fn targets(mut self, targets: Vec<Prefix>) -> Self {
+        self.targets = targets;
+        self
+    }
+
+    /// Set the aggregate probe rate in packets per second.
+    pub fn rate(mut self, pps: f64) -> Self {
+        self.rate_pps = pps;
+        self
+    }
+
+    /// Remove the rate limit (simulation-speed scanning).
+    pub fn unlimited_rate(self) -> Self {
+        self.rate(f64::INFINITY)
+    }
+
+    /// Set the number of worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the blocklist.
+    pub fn blocklist(mut self, blocklist: Blocklist) -> Self {
+        self.blocklist = blocklist;
+        self
+    }
+
+    /// Enable or disable banner grabbing.
+    pub fn banner_grab(mut self, yes: bool) -> Self {
+        self.banner_grab = yes;
+        self
+    }
+
+    /// Choose between wire-level frames and fast logical probes.
+    pub fn wire_level(mut self, yes: bool) -> Self {
+        self.wire_level = yes;
+        self
+    }
+
+    /// Set the scanner source address.
+    pub fn source_ip(mut self, ip: u32) -> Self {
+        self.source_ip = ip;
+        self
+    }
+
+    /// Set the permutation/validation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -120,20 +196,61 @@ impl ScanEngine {
         &self.network
     }
 
-    /// Run a scan. Targets are distributed round-robin over worker
-    /// threads; each worker permutes its prefixes with a per-prefix cyclic
-    /// group and rate-limits at `rate_pps / threads`.
+    /// Run a scan over `cfg.targets`. Targets are distributed round-robin
+    /// over worker threads; each worker permutes its prefixes with a
+    /// per-prefix cyclic group and rate-limits at `rate_pps / threads`.
     pub fn run(&self, cfg: &ScanConfig) -> ScanReport {
+        self.run_work(
+            cfg,
+            cfg.targets.iter().map(|&p| ScanWork::Prefix(p)).collect(),
+        )
+    }
+
+    /// Run one cycle of a strategy's [`ProbePlan`] — the direct bridge
+    /// from `tass-core`'s selection layer to the packet level, with no
+    /// lossy `Vec<Prefix>` plumbing in between:
+    ///
+    /// * `ProbePlan::All` scans every `announced` prefix;
+    /// * `ProbePlan::Prefixes` scans the selected prefixes;
+    /// * `ProbePlan::Addrs` probes the hitlist addresses individually;
+    /// * `ProbePlan::FreshSample` draws the cycle's random sample
+    ///   (seeded by the plan's seed and `cycle`, so re-runs are
+    ///   reproducible and different cycles sample differently) from the
+    ///   announced space, weighted by prefix size.
+    ///
+    /// `cfg.targets` is ignored; the plan is the target.
+    pub fn run_plan(
+        &self,
+        plan: &ProbePlan,
+        cycle: u32,
+        announced: &[Prefix],
+        cfg: &ScanConfig,
+    ) -> ScanReport {
+        let work: Vec<ScanWork> = match plan {
+            ProbePlan::All => announced.iter().map(|&p| ScanWork::Prefix(p)).collect(),
+            ProbePlan::Prefixes(ps) => ps.iter().map(|&p| ScanWork::Prefix(p)).collect(),
+            ProbePlan::Addrs(hs) => hs.iter().map(ScanWork::Addr).collect(),
+            ProbePlan::FreshSample { per_cycle, seed } => {
+                sample_announced(announced, *per_cycle, seed ^ (u64::from(cycle) << 32))
+                    .into_iter()
+                    .map(ScanWork::Addr)
+                    .collect()
+            }
+        };
+        self.run_work(cfg, work)
+    }
+
+    fn run_work(&self, cfg: &ScanConfig, work: Vec<ScanWork>) -> ScanReport {
         let threads = cfg.threads.max(1);
-        let (tx, rx) = channel::unbounded::<WorkerResult>();
+        let (tx, rx) = mpsc::channel::<WorkerResult>();
         let key = SipHash24::new(cfg.seed, cfg.seed.rotate_left(17) ^ 0xA5A5_A5A5);
 
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let tx = tx.clone();
                 let network = Arc::clone(&self.network);
-                let targets: Vec<Prefix> =
-                    cfg.targets.iter().copied().skip(t).step_by(threads).collect();
+                let targets: Vec<ScanWork> =
+                    work.iter().copied().skip(t).step_by(threads).collect();
                 let cfg = cfg.clone();
                 scope.spawn(move || {
                     let res = scan_worker(&network, &cfg, key, t as u64, targets);
@@ -168,6 +285,39 @@ impl ScanEngine {
     }
 }
 
+/// One unit of scan work for a worker thread.
+#[derive(Debug, Clone, Copy)]
+enum ScanWork {
+    /// A prefix, walked in cyclic-permutation order.
+    Prefix(Prefix),
+    /// A single explicit address (hitlists, samples).
+    Addr(u32),
+}
+
+/// Draw `n` addresses uniformly from the announced space (prefixes
+/// weighted by size, with replacement — matching the fresh-sample model
+/// the campaign evaluation uses).
+fn sample_announced(announced: &[Prefix], n: u64, seed: u64) -> Vec<u32> {
+    // cumulative space offsets so each draw is a binary search
+    let mut cum = Vec::with_capacity(announced.len());
+    let mut total = 0u64;
+    for p in announced {
+        cum.push(total);
+        total += p.size();
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let off = rng.random_range(0..total);
+            let i = cum.partition_point(|&c| c <= off) - 1;
+            (u64::from(announced[i].first()) + (off - cum[i])) as u32
+        })
+        .collect()
+}
+
 /// Permuted iteration order for one prefix: a cyclic group over the
 /// smallest prime exceeding the prefix size (single-address prefixes are
 /// yielded directly).
@@ -181,7 +331,10 @@ fn prefix_permutation(prefix: Prefix, rng: &mut SmallRng) -> Vec<u32> {
         p += 1;
     }
     let group = Cyclic::new(p, rng).expect("p is prime");
-    group.addresses(0, 1, size).map(|off| (u64::from(prefix.addr()) + u64::from(off)) as u32).collect()
+    group
+        .addresses(0, 1, size)
+        .map(|off| (u64::from(prefix.addr()) + u64::from(off)) as u32)
+        .collect()
 }
 
 fn scan_worker(
@@ -189,7 +342,7 @@ fn scan_worker(
     cfg: &ScanConfig,
     key: SipHash24,
     worker_id: u64,
-    targets: Vec<Prefix>,
+    targets: Vec<ScanWork>,
 ) -> WorkerResult {
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (worker_id.wrapping_mul(0x9E37_79B9)));
     let mut bucket = if cfg.rate_pps.is_finite() && cfg.rate_pps > 0.0 {
@@ -211,65 +364,74 @@ fn scan_worker(
     let mut seen = std::collections::HashSet::new();
     let responder = network.responder();
 
-    for prefix in targets {
-        for addr in prefix_permutation(prefix, &mut rng) {
-            if cfg.blocklist.is_blocked(addr) {
-                out.blocked_skipped += 1;
-                continue;
-            }
-            let t = bucket.take_blocking();
-            out.probes_sent += 1;
-            out.duration_secs = t;
+    let mut probe_one = |addr: u32, out: &mut WorkerResult| {
+        if cfg.blocklist.is_blocked(addr) {
+            out.blocked_skipped += 1;
+            return;
+        }
+        let t = bucket.take_blocking();
+        out.probes_sent += 1;
+        out.duration_secs = t;
 
-            let expected_seq = key.probe_validation(addr);
-            let src_port = 32768 + (key.hash_u64(u64::from(addr)) % 28232) as u16;
+        let expected_seq = key.probe_validation(addr);
+        let src_port = 32768 + (key.hash_u64(u64::from(addr)) % 28232) as u16;
 
-            if cfg.wire_level {
-                let syn = wire::build_syn(cfg.source_ip, addr, src_port, cfg.port, expected_seq);
-                let replies = match network.transmit(&syn) {
-                    Ok(r) => r,
-                    Err(_) => continue,
+        if cfg.wire_level {
+            let syn = wire::build_syn(cfg.source_ip, addr, src_port, cfg.port, expected_seq);
+            let replies = match network.transmit(&syn) {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            for reply in replies {
+                let Ok(f) = wire::parse_frame(&reply) else {
+                    out.validation_failures += 1;
+                    continue;
                 };
-                for reply in replies {
-                    let Ok(f) = wire::parse_frame(&reply) else {
-                        out.validation_failures += 1;
-                        continue;
-                    };
-                    // stateless validation, as ZMap does
-                    let valid = f.src_ip == addr
-                        && f.dst_ip == cfg.source_ip
-                        && f.src_port == cfg.port
-                        && f.dst_port == src_port
-                        && f.ack == expected_seq.wrapping_add(1);
-                    if !valid {
-                        out.validation_failures += 1;
-                        continue;
-                    }
-                    if f.flags & tcp_flags::RST != 0 {
-                        out.rst_responses += 1;
-                    } else if f.flags & (tcp_flags::SYN | tcp_flags::ACK)
-                        == (tcp_flags::SYN | tcp_flags::ACK)
-                    {
-                        out.responses += 1;
-                        if seen.insert(addr) {
-                            out.responsive.push(addr);
-                        }
-                    }
+                // stateless validation, as ZMap does
+                let valid = f.src_ip == addr
+                    && f.dst_ip == cfg.source_ip
+                    && f.src_port == cfg.port
+                    && f.dst_port == src_port
+                    && f.ack == expected_seq.wrapping_add(1);
+                if !valid {
+                    out.validation_failures += 1;
+                    continue;
                 }
-            } else {
-                // logical probe: same semantics (and the same fault
-                // injection) as the wire path, without the codec
-                match network.probe_logical(addr, cfg.port) {
-                    Some(true) => {
-                        out.responses += 1;
-                        if seen.insert(addr) {
-                            out.responsive.push(addr);
-                        }
+                if f.flags & tcp_flags::RST != 0 {
+                    out.rst_responses += 1;
+                } else if f.flags & (tcp_flags::SYN | tcp_flags::ACK)
+                    == (tcp_flags::SYN | tcp_flags::ACK)
+                {
+                    out.responses += 1;
+                    if seen.insert(addr) {
+                        out.responsive.push(addr);
                     }
-                    Some(false) => out.rst_responses += 1,
-                    None => {}
                 }
             }
+        } else {
+            // logical probe: same semantics (and the same fault
+            // injection) as the wire path, without the codec
+            match network.probe_logical(addr, cfg.port) {
+                Some(true) => {
+                    out.responses += 1;
+                    if seen.insert(addr) {
+                        out.responsive.push(addr);
+                    }
+                }
+                Some(false) => out.rst_responses += 1,
+                None => {}
+            }
+        }
+    };
+
+    for item in targets {
+        match item {
+            ScanWork::Prefix(prefix) => {
+                for addr in prefix_permutation(prefix, &mut rng) {
+                    probe_one(addr, &mut out);
+                }
+            }
+            ScanWork::Addr(addr) => probe_one(addr, &mut out),
         }
     }
 
@@ -300,23 +462,20 @@ mod tests {
     /// Hosts: every 8th address of 1.0.0.0/24 runs HTTP.
     fn demo_network(faults: FaultConfig) -> Arc<SimNetwork> {
         let base = 0x0100_0000u32;
-        let hosts: Vec<u32> = (0..256u32).filter(|i| i % 8 == 0).map(|i| base + i).collect();
-        let responder =
-            Responder::new().with_service(Protocol::Http, HostSet::from_addrs(hosts));
+        let hosts: Vec<u32> = (0..256u32)
+            .filter(|i| i % 8 == 0)
+            .map(|i| base + i)
+            .collect();
+        let responder = Responder::new().with_service(Protocol::Http, HostSet::from_addrs(hosts));
         Arc::new(SimNetwork::new(responder, faults, 7))
     }
 
     fn base_cfg() -> ScanConfig {
-        ScanConfig {
-            targets: vec![p("1.0.0.0/24")],
-            port: 80,
-            rate_pps: f64::INFINITY,
-            threads: 2,
-            blocklist: Blocklist::empty(),
-            banner_grab: false,
-            wire_level: true,
-            ..ScanConfig::default()
-        }
+        ScanConfig::for_port(80)
+            .targets(vec![p("1.0.0.0/24")])
+            .unlimited_rate()
+            .threads(2)
+            .blocklist(Blocklist::empty())
     }
 
     #[test]
@@ -334,7 +493,10 @@ mod tests {
     fn logical_and_wire_level_agree() {
         let engine = ScanEngine::new(demo_network(FaultConfig::default()));
         let wire = engine.run(&base_cfg());
-        let logical = engine.run(&ScanConfig { wire_level: false, ..base_cfg() });
+        let logical = engine.run(&ScanConfig {
+            wire_level: false,
+            ..base_cfg()
+        });
         assert_eq!(wire.responsive, logical.responsive);
         assert_eq!(wire.probes_sent, logical.probes_sent);
     }
@@ -389,7 +551,11 @@ mod tests {
         cfg.threads = 1;
         let report = engine.run(&cfg);
         // 256 probes at 1000 pps ≈ 0.25 s minus the initial burst
-        assert!(report.duration_secs > 0.1, "duration {}", report.duration_secs);
+        assert!(
+            report.duration_secs > 0.1,
+            "duration {}",
+            report.duration_secs
+        );
     }
 
     #[test]
@@ -406,10 +572,12 @@ mod tests {
     #[test]
     fn multiple_prefixes_and_threads() {
         let base = 0x0100_0000u32;
-        let mut hosts: Vec<u32> = (0..256u32).filter(|i| i % 8 == 0).map(|i| base + i).collect();
+        let mut hosts: Vec<u32> = (0..256u32)
+            .filter(|i| i % 8 == 0)
+            .map(|i| base + i)
+            .collect();
         hosts.extend((0..256u32).filter(|i| i % 4 == 0).map(|i| 0x0200_0000 + i));
-        let responder =
-            Responder::new().with_service(Protocol::Http, HostSet::from_addrs(hosts));
+        let responder = Responder::new().with_service(Protocol::Http, HostSet::from_addrs(hosts));
         let engine = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
         let mut cfg = base_cfg();
         cfg.targets = vec![p("1.0.0.0/24"), p("2.0.0.0/24"), p("3.0.0.0/24")];
@@ -446,6 +614,93 @@ mod tests {
     #[test]
     fn single_address_prefix() {
         let mut rng = SmallRng::seed_from_u64(4);
-        assert_eq!(prefix_permutation(p("9.9.9.9/32"), &mut rng), vec![0x09090909]);
+        assert_eq!(
+            prefix_permutation(p("9.9.9.9/32"), &mut rng),
+            vec![0x09090909]
+        );
+    }
+
+    #[test]
+    fn run_plan_prefixes_equals_run_with_targets() {
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let cfg = base_cfg();
+        let by_targets = engine.run(&cfg);
+        let plan = ProbePlan::Prefixes(vec![p("1.0.0.0/24")]);
+        let by_plan = engine.run_plan(&plan, 0, &[], &cfg.clone().targets(Vec::new()));
+        assert_eq!(by_plan.responsive, by_targets.responsive);
+        assert_eq!(by_plan.probes_sent, by_targets.probes_sent);
+    }
+
+    #[test]
+    fn run_plan_all_scans_announced() {
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let announced = vec![p("1.0.0.0/24"), p("2.0.0.0/24")];
+        let report = engine.run_plan(&ProbePlan::All, 0, &announced, &base_cfg());
+        assert_eq!(report.probes_sent, 512);
+        assert_eq!(report.responsive.len(), 32);
+    }
+
+    #[test]
+    fn run_plan_addrs_probes_hitlist() {
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let base = 0x0100_0000u32;
+        // the 32 real hosts plus 8 dead addresses
+        let hitlist: HostSet = (0..256u32)
+            .filter(|i| i % 8 == 0)
+            .map(|i| base + i)
+            .chain(500..508)
+            .collect();
+        let report = engine.run_plan(&ProbePlan::Addrs(hitlist.clone()), 0, &[], &base_cfg());
+        assert_eq!(report.probes_sent, hitlist.len() as u64);
+        assert_eq!(report.responsive.len(), 32, "exactly the live hosts answer");
+    }
+
+    #[test]
+    fn run_plan_fresh_sample_is_cycle_seeded() {
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let announced = vec![p("1.0.0.0/24")];
+        let plan = ProbePlan::FreshSample {
+            per_cycle: 64,
+            seed: 11,
+        };
+        let a = engine.run_plan(&plan, 1, &announced, &base_cfg());
+        let b = engine.run_plan(&plan, 1, &announced, &base_cfg());
+        let c = engine.run_plan(&plan, 2, &announced, &base_cfg());
+        assert_eq!(a.probes_sent, 64);
+        assert_eq!(a.responsive, b.responsive, "same cycle → same sample");
+        assert_ne!(a.responsive, c.responsive, "different cycle → fresh sample");
+        // sample density ≈ host density: 1/8 of addresses are live
+        assert!(a.responsive.len() <= 20);
+    }
+
+    #[test]
+    fn sample_announced_stays_in_space() {
+        let announced = vec![p("1.0.0.0/24"), p("9.0.0.0/30")];
+        let addrs = sample_announced(&announced, 1000, 3);
+        assert_eq!(addrs.len(), 1000);
+        assert!(addrs
+            .iter()
+            .all(|&a| announced.iter().any(|pre| pre.contains_addr(a))));
+        // both prefixes get hit eventually (the /30 is tiny but nonzero)
+        assert!(addrs.iter().any(|&a| a >= 0x0900_0000));
+    }
+
+    #[test]
+    fn builder_matches_struct_literal() {
+        let built = ScanConfig::for_port(443)
+            .rate(5000.0)
+            .threads(3)
+            .banner_grab(true)
+            .wire_level(false)
+            .source_ip(7)
+            .seed(99);
+        assert_eq!(built.port, 443);
+        assert_eq!(built.rate_pps, 5000.0);
+        assert_eq!(built.threads, 3);
+        assert!(built.banner_grab);
+        assert!(!built.wire_level);
+        assert_eq!(built.source_ip, 7);
+        assert_eq!(built.seed, 99);
+        assert!(built.targets.is_empty());
     }
 }

@@ -22,12 +22,22 @@ impl TokenBucket {
     pub fn new(rate: f64, burst: f64) -> TokenBucket {
         assert!(rate > 0.0, "rate must be positive");
         assert!(burst >= 1.0, "burst must allow at least one token");
-        TokenBucket { rate, burst, tokens: burst, now: 0.0 }
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            now: 0.0,
+        }
     }
 
     /// A bucket that never limits (infinite rate).
     pub fn unlimited() -> TokenBucket {
-        TokenBucket { rate: f64::INFINITY, burst: f64::INFINITY, tokens: f64::INFINITY, now: 0.0 }
+        TokenBucket {
+            rate: f64::INFINITY,
+            burst: f64::INFINITY,
+            tokens: f64::INFINITY,
+            now: 0.0,
+        }
     }
 
     /// The configured rate in tokens/second.

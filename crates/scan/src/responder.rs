@@ -48,7 +48,8 @@ impl Responder {
     }
 
     fn hash(&self) -> SipHash24 {
-        self.key.unwrap_or_else(|| SipHash24::new(0x7E57_AB1E, 0x5EED))
+        self.key
+            .unwrap_or_else(|| SipHash24::new(0x7E57_AB1E, 0x5EED))
     }
 
     /// Does `addr` answer on `port`?
@@ -70,10 +71,13 @@ impl Responder {
         }
         if self.is_open(probe.dst_ip, probe.dst_port) {
             // deterministic per-(host, port) initial sequence number
-            let isn = (self
-                .hash()
-                .hash(&[probe.dst_ip.to_le_bytes(), u32::from(probe.dst_port).to_le_bytes()].concat())
-                & 0xFFFF_FFFF) as u32;
+            let isn = (self.hash().hash(
+                &[
+                    probe.dst_ip.to_le_bytes(),
+                    u32::from(probe.dst_port).to_le_bytes(),
+                ]
+                .concat(),
+            ) & 0xFFFF_FFFF) as u32;
             Some(wire::build_syn_ack(probe, isn))
         } else if self.is_live(probe.dst_ip) {
             Some(wire::build_rst(probe))

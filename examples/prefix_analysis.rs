@@ -31,9 +31,17 @@ fn main() {
     // Figure 2: the deaggregated (more-specific) view.
     let l = View::less_specific(&table);
     let m = View::more_specific(&table);
-    println!("\nless-specific view: {} units; more-specific view: {} units", l.len(), m.len());
+    println!(
+        "\nless-specific view: {} units; more-specific view: {} units",
+        l.len(),
+        m.len()
+    );
     println!("blocks carved out of 198.0.0.0/16 around its /24:");
-    for u in m.units().iter().filter(|u| u.root.to_string() == "198.0.0.0/16") {
+    for u in m
+        .units()
+        .iter()
+        .filter(|u| u.root.to_string() == "198.0.0.0/16")
+    {
         println!("  {}", u.prefix);
     }
 

@@ -28,7 +28,10 @@ fn main() {
 
     // 3. TASS: rank prefixes by density, pick the cheapest set covering phi.
     println!("TASS selections on the deaggregated (more-specific) view:");
-    println!("{:>6}  {:>10}  {:>16}  {:>14}", "phi", "prefixes", "space fraction", "t0 coverage");
+    println!(
+        "{:>6}  {:>10}  {:>16}  {:>14}",
+        "phi", "prefixes", "space fraction", "t0 coverage"
+    );
     let rank = rank_units(&topo.m_view, &t0.hosts);
     for phi in [1.0, 0.99, 0.95, 0.7, 0.5] {
         let sel = select_prefixes(&rank, phi);

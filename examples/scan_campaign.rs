@@ -15,16 +15,28 @@ use tass::core::strategy::StrategyKind;
 use tass::model::{Protocol, Universe, UniverseConfig};
 
 fn main() {
-    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14u64);
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14u64);
     println!("generating universe (seed {seed})…\n");
     let universe = Universe::generate(&UniverseConfig::small(seed));
 
     let strategies = [
         StrategyKind::FullScan,
         StrategyKind::IpHitlist,
-        StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
-        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
-        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+        StrategyKind::Tass {
+            view: ViewKind::LessSpecific,
+            phi: 1.0,
+        },
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 1.0,
+        },
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+        },
     ];
 
     for proto in Protocol::ALL {
@@ -50,7 +62,10 @@ fn main() {
         }
         let tass = run_campaign(
             &universe,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             proto,
             seed,
         );

@@ -10,9 +10,7 @@
 use std::sync::Arc;
 use tass::model::{HostSet, Protocol};
 use tass::net::Prefix;
-use tass::scan::{
-    Blocklist, FaultConfig, Responder, ScanConfig, ScanEngine, SimNetwork,
-};
+use tass::scan::{Blocklist, FaultConfig, Responder, ScanConfig, ScanEngine, SimNetwork};
 
 fn main() {
     // Ground truth: FTP servers sprinkled over two /20s.
@@ -36,20 +34,16 @@ fn main() {
     let network = Arc::new(SimNetwork::new(responder, faults, 7));
     let engine = ScanEngine::new(Arc::clone(&network));
 
-    let cfg = ScanConfig {
-        targets: vec![
+    let cfg = ScanConfig::for_port(Protocol::Ftp.port())
+        .targets(vec![
             "203.0.16.0/20".parse::<Prefix>().unwrap(),
             "198.19.64.0/20".parse::<Prefix>().unwrap(),
-        ],
-        port: Protocol::Ftp.port(),
-        rate_pps: 50_000.0,
-        threads: 4,
-        blocklist: Blocklist::iana_default(),
-        banner_grab: true,
-        wire_level: true,
-        seed: 0xF7B,
-        ..ScanConfig::default()
-    };
+        ])
+        .rate(50_000.0)
+        .threads(4)
+        .blocklist(Blocklist::iana_default())
+        .banner_grab(true)
+        .seed(0xF7B);
 
     println!(
         "scanning {} addresses at {} pps over {} threads (wire level)…",

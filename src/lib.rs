@@ -14,26 +14,92 @@
 //!   their monthly churn) standing in for the paper's censys.io corpus;
 //! * [`scan`] — the ZMap-style packet-level scanner simulator;
 //! * [`core`] — TASS itself: density ranking, the φ-coverage selection,
-//!   all baseline strategies, and the campaign evaluation;
+//!   and the trait-based strategy lifecycle
+//!   (`Strategy` → `PreparedStrategy` → `ProbePlan` → `CycleOutcome`);
 //! * [`experiments`] — the table/figure reproduction harness.
 //!
-//! ## Quickstart
+//! ## Quickstart: the strategy lifecycle
+//!
+//! The paper's §3.1 recipe is a loop — seed from a full scan, probe the
+//! density-ranked selection each cycle, then start over. The strategy
+//! layer models that loop directly: a `Strategy` is *prepared* once at
+//! t₀, then each cycle *plans* a typed [`core::ProbePlan`] and *observes*
+//! a [`core::CycleOutcome`]:
 //!
 //! ```
+//! use tass::bgp::ViewKind;
+//! use tass::core::campaign::run_campaign;
+//! use tass::core::StrategyKind;
 //! use tass::model::{Protocol, Universe, UniverseConfig};
-//! use tass::core::{density::rank_units, select::select_prefixes};
 //!
 //! // A small simulated Internet with 7 monthly snapshots.
 //! let universe = Universe::generate(&UniverseConfig::small(42));
+//!
+//! // TASS frozen at t0 (the paper's §4 setting)…
+//! let frozen = run_campaign(
+//!     &universe,
+//!     StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+//!     Protocol::Http,
+//!     42,
+//! );
+//! assert!(frozen.hitrate(0) > 0.95);
+//! assert!(frozen.probe_space_fraction < 0.5, "scan far less than half the space");
+//!
+//! // …and the paper's literal Δt loop: full re-scan + re-rank every 3
+//! // cycles, expressible only through the lifecycle's feedback edge.
+//! let reseeding = run_campaign(
+//!     &universe,
+//!     StrategyKind::ReseedingTass { view: ViewKind::MoreSpecific, phi: 0.95, delta_t: 3 },
+//!     Protocol::Http,
+//!     42,
+//! );
+//! assert!(reseeding.final_hitrate() >= frozen.final_hitrate());
+//! ```
+//!
+//! ## Driving a cycle yourself
+//!
+//! [`core::ProbePlan`] is the hand-off point between selection and
+//! probing: the packet-level engine accepts it directly, and the
+//! strategy consumes the scan's outcome:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tass::core::plan::CycleOutcome;
+//! use tass::core::{Strategy, Tass};
+//! use tass::bgp::ViewKind;
+//! use tass::model::{Protocol, Universe, UniverseConfig};
+//! use tass::scan::{Blocklist, Responder, ScanConfig, ScanEngine, SimNetwork};
+//!
+//! let universe = Universe::generate(&UniverseConfig::small(7));
+//! let topo = universe.topology();
 //! let t0 = universe.snapshot(0, Protocol::Http);
 //!
-//! // TASS: rank the more-specific scan units by density, keep 95% of hosts.
-//! let rank = rank_units(&universe.topology().m_view, &t0.hosts);
-//! let sel = select_prefixes(&rank, 0.95);
+//! // prepare the strategy and plan cycle 0
+//! let strategy = Tass { view: ViewKind::MoreSpecific, phi: 0.95 };
+//! let mut prepared = strategy.prepare(topo, t0, 7);
+//! let plan = prepared.plan(0);
 //!
-//! assert!(sel.achieved_coverage > 0.95);
-//! assert!(sel.space_fraction < 0.5, "scan far less than half the space");
+//! // run the plan on the packet-level engine
+//! let responder = Responder::new().with_service(Protocol::Http, t0.hosts.clone());
+//! let engine = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
+//! let announced: Vec<_> = topo.m_view.units().iter().map(|u| u.prefix).collect();
+//! let cfg = ScanConfig::for_port(80)
+//!     .unlimited_rate()
+//!     .blocklist(Blocklist::empty())
+//!     .wire_level(false);
+//! let report = engine.run_plan(&plan, 0, &announced, &cfg);
+//!
+//! // feed the outcome back — adaptive strategies re-rank on this edge
+//! prepared.observe(0, &CycleOutcome {
+//!     cycle: 0,
+//!     probes: report.probes_sent,
+//!     responsive: report.responsive.clone(),
+//! });
+//! assert!(report.hitrate > 0.0);
 //! ```
+//!
+//! User-defined strategies implement the same two traits — see
+//! `examples/adaptive_strategy.rs` for a complete one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -56,7 +56,10 @@ fn intro_coverage_space_band() {
     for proto in Protocol::ALL {
         let r = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             proto,
             1,
         );
@@ -83,21 +86,33 @@ fn tass_decay_rates() {
     for proto in Protocol::ALL {
         let l = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
             proto,
             1,
         );
         let m = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 1.0,
+            },
             proto,
             1,
         );
         let dl = monthly_decay(&l.months);
         let dm = monthly_decay(&m.months);
-        assert!(dl >= 0.0 && dl < 0.01, "{proto}: l decay {dl} out of band (≈0.3%/mo)");
+        assert!(
+            (0.0..0.01).contains(&dl),
+            "{proto}: l decay {dl} out of band (≈0.3%/mo)"
+        );
         assert!(dm < 0.015, "{proto}: m decay {dm} out of band (≤~1%/mo)");
-        assert!(dm >= dl - 1e-4, "{proto}: m must decay at least as fast as l");
+        assert!(
+            dm >= dl - 1e-4,
+            "{proto}: m must decay at least as fast as l"
+        );
     }
 }
 
@@ -110,10 +125,22 @@ fn hitlist_decay_fig5() {
     let http = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Http, 1);
     let cwmp = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Cwmp, 1);
     // month 1: noticeable cliff for web (paper ~0.8; accept 0.75..0.92)
-    assert!((0.70..0.95).contains(&http.hitrate(1)), "HTTP month-1 {}", http.hitrate(1));
+    assert!(
+        (0.70..0.95).contains(&http.hitrate(1)),
+        "HTTP month-1 {}",
+        http.hitrate(1)
+    );
     // six-month: HTTP around 0.6-0.75, CWMP way below
-    assert!((0.5..0.8).contains(&http.final_hitrate()), "HTTP {}", http.final_hitrate());
-    assert!((0.2..0.55).contains(&cwmp.final_hitrate()), "CWMP {}", cwmp.final_hitrate());
+    assert!(
+        (0.5..0.8).contains(&http.final_hitrate()),
+        "HTTP {}",
+        http.final_hitrate()
+    );
+    assert!(
+        (0.2..0.55).contains(&cwmp.final_hitrate()),
+        "CWMP {}",
+        cwmp.final_hitrate()
+    );
     assert!(cwmp.final_hitrate() < http.final_hitrate() - 0.15);
     // monotone decay
     for r in [&http, &cwmp] {
@@ -130,7 +157,10 @@ fn ftp_six_month_coverage() {
     let u = universe();
     let r = run_campaign(
         &u,
-        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 1.0,
+        },
         Protocol::Ftp,
         1,
     );
@@ -150,22 +180,34 @@ fn efficiency_multiples() {
     let full = run_campaign(&u, StrategyKind::FullScan, Protocol::Ftp, 1);
     let phi1 = run_campaign(
         &u,
-        StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 1.0 },
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 1.0,
+        },
         Protocol::Ftp,
         1,
     );
     let e1 = efficiency_ratio(&phi1.months[6].eval, &full.months[6].eval);
-    assert!(e1 >= 1.5, "FTP phi=1 efficiency {e1} should be roughly 2x the full scan");
+    assert!(
+        e1 >= 1.5,
+        "FTP phi=1 efficiency {e1} should be roughly 2x the full scan"
+    );
     for proto in Protocol::ALL {
         let full = run_campaign(&u, StrategyKind::FullScan, proto, 1);
         let t = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             proto,
             1,
         );
         let e = efficiency_ratio(&t.months[6].eval, &full.months[6].eval);
-        assert!(e >= 1.25, "{proto}: efficiency {e} below the paper's 1.25x floor");
+        assert!(
+            e >= 1.25,
+            "{proto}: efficiency {e} below the paper's 1.25x floor"
+        );
     }
 }
 
@@ -184,8 +226,14 @@ fn phi_relaxation_cuts_overhead() {
     }
     // at least half the protocols land in/above the paper's band
     let big = cuts.iter().filter(|&&c| c >= 0.15).count();
-    assert!(big >= 2, "phi 1->0.99 cuts {cuts:?}, expected 20-30% for most protocols");
-    assert!(cuts.iter().all(|&c| c > 0.02), "every protocol must save something: {cuts:?}");
+    assert!(
+        big >= 2,
+        "phi 1->0.99 cuts {cuts:?}, expected 20-30% for most protocols"
+    );
+    assert!(
+        cuts.iter().all(|&c| c > 0.02),
+        "every protocol must save something: {cuts:?}"
+    );
 }
 
 /// "TASS compiles prefix hitlists and exhibits only 1-10% fluctuation
@@ -196,14 +244,20 @@ fn prefix_vs_address_stability() {
     for proto in [Protocol::Http, Protocol::Ftp] {
         let tass = run_campaign(
             &u,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
             proto,
             1,
         );
         let hit = run_campaign(&u, StrategyKind::IpHitlist, proto, 1);
         let tass_fluct = 1.0 - tass.final_hitrate();
         let addr_fluct = 1.0 - hit.final_hitrate();
-        assert!(tass_fluct <= 0.10, "{proto}: TASS fluctuation {tass_fluct} above 10%");
+        assert!(
+            tass_fluct <= 0.10,
+            "{proto}: TASS fluctuation {tass_fluct} above 10%"
+        );
         assert!(
             addr_fluct > 3.0 * tass_fluct,
             "{proto}: prefixes must be far more stable than addresses ({tass_fluct} vs {addr_fluct})"

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use tass::bgp::ViewKind;
 use tass::core::density::rank_units;
+use tass::core::plan::ProbePlan;
 use tass::core::select::select_prefixes;
 use tass::core::strategy::{Prepared, StrategyKind};
 use tass::model::{Protocol, Universe, UniverseConfig};
@@ -30,23 +31,23 @@ fn scan_seeded_tass_matches_truth_seeded_tass() {
     let t0 = u.snapshot(0, proto);
 
     // Seeding scan over the whole announced space with the real engine
-    // (logical probes for speed; perfect network).
+    // (logical probes for speed; perfect network) — driven by the typed
+    // probe plan, exactly as a strategy's re-seed cycle would be.
     let responder = Responder::new().with_service(proto, t0.hosts.clone());
     let engine = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
-    let targets: Vec<_> = topo.l_view.units().iter().map(|un| un.prefix).collect();
-    let report = engine.run(&ScanConfig {
-        targets,
-        port: proto.port(),
-        rate_pps: f64::INFINITY,
-        threads: 8,
-        blocklist: Blocklist::empty(),
-        banner_grab: false,
-        wire_level: false,
-        ..ScanConfig::default()
-    });
+    let announced: Vec<_> = topo.l_view.units().iter().map(|un| un.prefix).collect();
+    let cfg = ScanConfig::for_port(proto.port())
+        .unlimited_rate()
+        .threads(8)
+        .blocklist(Blocklist::empty())
+        .wire_level(false);
+    let report = engine.run_plan(&ProbePlan::All, 0, &announced, &cfg);
 
     // The engine's scan result must equal the ground truth…
-    assert_eq!(report.responsive, t0.hosts, "lossless scan must find exactly the truth");
+    assert_eq!(
+        report.responsive, t0.hosts,
+        "lossless scan must find exactly the truth"
+    );
     assert_eq!(report.probes_sent, topo.announced_space());
 
     // …and therefore produce the identical TASS selection.
@@ -68,20 +69,23 @@ fn lossy_seeding_scan_still_yields_a_good_selection() {
     let responder = Responder::new().with_service(proto, t0.hosts.clone());
     let engine = ScanEngine::new(Arc::new(SimNetwork::new(
         responder,
-        FaultConfig { probe_loss: 0.05, response_loss: 0.03, duplicate: 0.02, latency_ms: 30.0 },
+        FaultConfig {
+            probe_loss: 0.05,
+            response_loss: 0.03,
+            duplicate: 0.02,
+            latency_ms: 30.0,
+        },
         0xBAD,
     )));
     let targets: Vec<_> = topo.l_view.units().iter().map(|un| un.prefix).collect();
-    let report = engine.run(&ScanConfig {
-        targets,
-        port: proto.port(),
-        rate_pps: f64::INFINITY,
-        threads: 8,
-        blocklist: Blocklist::empty(),
-        banner_grab: false,
-        wire_level: false,
-        ..ScanConfig::default()
-    });
+    let report = engine.run(
+        &ScanConfig::for_port(proto.port())
+            .targets(targets)
+            .unlimited_rate()
+            .threads(8)
+            .blocklist(Blocklist::empty())
+            .wire_level(false),
+    );
 
     // ~8% of hosts lost to the network…
     let found_frac = report.responsive.len() as f64 / t0.len() as f64;
@@ -90,8 +94,11 @@ fn lossy_seeding_scan_still_yields_a_good_selection() {
     // …but the φ=0.95 selection built from the lossy scan still covers
     // almost the same ground truth as the ideal selection.
     let sel = select_prefixes(&rank_units(&topo.m_view, &report.responsive), 0.95);
-    let covered: u64 =
-        sel.sorted_prefixes().iter().map(|p| t0.hosts.count_in_prefix(*p) as u64).sum();
+    let covered: u64 = sel
+        .sorted_prefixes()
+        .iter()
+        .map(|p| t0.hosts.count_in_prefix(*p) as u64)
+        .sum();
     let coverage = covered as f64 / t0.len() as f64;
     assert!(
         coverage > 0.9,
@@ -106,12 +113,20 @@ fn full_matrix_hitrates_ordered_and_bounded() {
         let t0 = u.snapshot(0, proto);
         let strategies = [
             StrategyKind::FullScan,
-            StrategyKind::Tass { view: ViewKind::LessSpecific, phi: 1.0 },
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+            },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             StrategyKind::IpHitlist,
         ];
-        let prepared: Vec<Prepared> =
-            strategies.iter().map(|&k| Prepared::prepare(k, u.topology(), t0, 7)).collect();
+        let prepared: Vec<Prepared> = strategies
+            .iter()
+            .map(|&k| Prepared::prepare(k, u.topology(), t0, 7))
+            .collect();
         for month in 0..=u.months() {
             let truth = u.snapshot(month, proto);
             let evals: Vec<_> = prepared.iter().map(|p| p.evaluate(truth, month)).collect();
@@ -140,7 +155,10 @@ fn headline_claim_traffic_cut_vs_coverage_loss() {
     for proto in Protocol::ALL {
         let t0 = u.snapshot(0, proto);
         let prep = Prepared::prepare(
-            StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 },
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
             u.topology(),
             t0,
             7,

@@ -25,13 +25,22 @@ fn pfx2as_to_views_to_attribution() {
 
     // Address in the m-prefix: l-view says /8, m-view says /12.
     let a = 0x0A40_0001;
-    assert_eq!(l.unit(l.attribute(a).unwrap()).prefix.to_string(), "10.0.0.0/8");
-    assert_eq!(m.unit(m.attribute(a).unwrap()).prefix.to_string(), "10.64.0.0/12");
+    assert_eq!(
+        l.unit(l.attribute(a).unwrap()).prefix.to_string(),
+        "10.0.0.0/8"
+    );
+    assert_eq!(
+        m.unit(m.attribute(a).unwrap()).prefix.to_string(),
+        "10.64.0.0/12"
+    );
 
     // Round-trip the table through the text format.
     let anns: Vec<_> = table
         .iter()
-        .map(|(p, o)| tass::bgp::Announcement { prefix: *p, origin: o.clone() })
+        .map(|(p, o)| tass::bgp::Announcement {
+            prefix: *p,
+            origin: o.clone(),
+        })
         .collect();
     let text2 = pfx2as::write_str(&anns);
     let again = pfx2as::read_table(text2.as_bytes()).unwrap();
@@ -72,21 +81,22 @@ fn wire_level_engine_respects_blocklist_and_finds_hosts() {
     let engine = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
     let mut blocklist = Blocklist::empty();
     blocklist.block("11.0.1.0/24".parse::<Prefix>().unwrap());
-    let report = engine.run(&ScanConfig {
-        targets: vec!["11.0.0.0/22".parse::<Prefix>().unwrap()],
-        port: 80,
-        rate_pps: f64::INFINITY,
-        threads: 3,
-        blocklist,
-        banner_grab: true,
-        wire_level: true,
-        ..ScanConfig::default()
-    });
+    let report = engine.run(
+        &ScanConfig::for_port(80)
+            .targets(vec!["11.0.0.0/22".parse::<Prefix>().unwrap()])
+            .unlimited_rate()
+            .threads(3)
+            .blocklist(blocklist)
+            .banner_grab(true),
+    );
     assert_eq!(report.probes_sent, 1024 - 256);
     assert_eq!(report.blocked_skipped, 256);
     // hosts at even offsets: 512 total, 128 of them inside the blocked /24
     assert_eq!(report.responsive.len(), 384);
-    assert!(report.responsive.iter().all(|a| !(0x0B00_0100..0x0B00_0200).contains(&a)));
+    assert!(report
+        .responsive
+        .iter()
+        .all(|a| !(0x0B00_0100..0x0B00_0200).contains(&a)));
     assert_eq!(report.banners_grabbed, 384);
 }
 
@@ -99,7 +109,14 @@ fn prefix_set_algebra_spans_scopes() {
         "93.0.0.0/8".parse::<Prefix>().unwrap(),
     ]);
     let routable = announced.intersection(&allocated);
-    assert_eq!(routable.num_addrs(), 1 << 24, "10/8 is reserved, only 93/8 survives");
+    assert_eq!(
+        routable.num_addrs(),
+        1 << 24,
+        "10/8 is reserved, only 93/8 survives"
+    );
     let dark = allocated.subtract(&routable);
-    assert_eq!(dark.num_addrs() + routable.num_addrs(), allocated.num_addrs());
+    assert_eq!(
+        dark.num_addrs() + routable.num_addrs(),
+        allocated.num_addrs()
+    );
 }

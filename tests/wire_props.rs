@@ -4,9 +4,7 @@
 //! (Ethernet MAC bytes are not checksummed — exactly as on real networks).
 
 use proptest::prelude::*;
-use tass::scan::wire::{
-    self, build_frame, parse_frame, FrameSpec, ETH_HDR_LEN, FRAME_LEN,
-};
+use tass::scan::wire::{self, build_frame, parse_frame, FrameSpec, ETH_HDR_LEN, FRAME_LEN};
 
 fn arb_spec() -> impl Strategy<Value = FrameSpec> {
     (
@@ -22,20 +20,18 @@ fn arb_spec() -> impl Strategy<Value = FrameSpec> {
         1u8..=255,
     )
         .prop_map(
-            |(src_ip, dst_ip, src_port, dst_port, seq, ack, flags, window, ip_id, ttl)| {
-                FrameSpec {
-                    src_ip,
-                    dst_ip,
-                    src_port,
-                    dst_port,
-                    seq,
-                    ack,
-                    flags,
-                    window,
-                    ip_id,
-                    ttl,
-                    ..FrameSpec::default()
-                }
+            |(src_ip, dst_ip, src_port, dst_port, seq, ack, flags, window, ip_id, ttl)| FrameSpec {
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window,
+                ip_id,
+                ttl,
+                ..FrameSpec::default()
             },
         )
 }
