@@ -155,7 +155,7 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, usize);
+impl_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(

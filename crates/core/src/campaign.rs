@@ -11,15 +11,24 @@
 //! and the [`CycleOutcome`] is fed back through
 //! [`observe`](crate::strategy::PreparedStrategy::observe) so
 //! feedback-driven strategies (re-seeding, adaptive) can react.
+//!
+//! Campaigns are independent and deterministic per seed, so the matrix
+//! shards for free: [`run_matrix`] fans its campaigns out over a
+//! [`CampaignPool`] of `std::thread` workers (sized by the
+//! `CAMPAIGN_WORKERS` environment variable, default: all cores) and
+//! gathers results in input order — byte-identical to the serial path at
+//! any worker count.
 
 use crate::metrics::MonthEval;
 use crate::plan::CycleOutcome;
 use crate::strategy::{Strategy, StrategyKind};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use tass_model::{Protocol, Universe};
 
 /// The monthly series of one strategy over one protocol.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignResult {
     /// Strategy label (see [`Strategy::label`]).
     pub strategy: String,
@@ -37,9 +46,12 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Hitrate at a given month.
+    /// Hitrate at a given month; `0.0` for months the campaign never ran
+    /// (empty campaigns, or a month beyond the horizon).
     pub fn hitrate(&self, month: u32) -> f64 {
-        self.months[month as usize].eval.hitrate
+        self.months
+            .get(month as usize)
+            .map_or(0.0, |m| m.eval.hitrate)
     }
 
     /// The final month's hitrate.
@@ -115,15 +127,127 @@ pub fn run_campaign(
     run_campaign_strategy(universe, &*kind.strategy(), protocol, seed)
 }
 
-/// Run several strategies over all four protocols.
-pub fn run_matrix(universe: &Universe, kinds: &[StrategyKind], seed: u64) -> Vec<CampaignResult> {
-    let mut out = Vec::new();
-    for proto in Protocol::ALL {
-        for &kind in kinds {
-            out.push(run_campaign(universe, kind, proto, seed));
+/// A pool of campaign workers for sharding independent campaigns over
+/// threads.
+///
+/// Every campaign in a matrix is independent (its own strategy state,
+/// its own RNG seeded from the campaign seed) and deterministic, so
+/// distributing campaigns over threads cannot change any result — only
+/// the wall clock. The pool gathers results **in input order**, so
+/// [`CampaignPool::run_matrix`] at any worker count is byte-identical to
+/// the serial loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignPool {
+    workers: usize,
+}
+
+impl CampaignPool {
+    /// A pool with the given number of worker threads (minimum 1).
+    pub fn new(workers: usize) -> CampaignPool {
+        CampaignPool {
+            workers: workers.max(1),
         }
     }
-    out
+
+    /// The serial pool: one worker, no threads spawned.
+    pub fn serial() -> CampaignPool {
+        CampaignPool::new(1)
+    }
+
+    /// Size the pool from the environment: the `CAMPAIGN_WORKERS`
+    /// variable when set to a positive integer, otherwise all available
+    /// cores. This is what the free [`run_matrix`] uses, so CI can pin
+    /// the whole test suite to a worker count.
+    pub fn from_env() -> CampaignPool {
+        let workers = std::env::var("CAMPAIGN_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        CampaignPool::new(workers)
+    }
+
+    /// Worker threads this pool runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run an explicit list of campaigns, one per `(strategy, protocol)`
+    /// job, returning results in job order.
+    ///
+    /// Jobs are claimed dynamically (an atomic cursor, not round-robin)
+    /// so uneven campaigns — a full scan next to a hitlist — balance
+    /// across workers.
+    pub fn run_campaigns(
+        &self,
+        universe: &Universe,
+        jobs: &[(StrategyKind, Protocol)],
+        seed: u64,
+    ) -> Vec<CampaignResult> {
+        let workers = self.workers.min(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|&(kind, proto)| run_campaign(universe, kind, proto, seed))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, CampaignResult)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(kind, proto)) = jobs.get(i) else {
+                        break;
+                    };
+                    let result = run_campaign(universe, kind, proto, seed);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<CampaignResult>> = vec![None; jobs.len()];
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every job ran exactly once"))
+                .collect()
+        })
+    }
+
+    /// Run several strategies over all four protocols on this pool;
+    /// results are ordered protocol-major, matching the serial loop.
+    pub fn run_matrix(
+        &self,
+        universe: &Universe,
+        kinds: &[StrategyKind],
+        seed: u64,
+    ) -> Vec<CampaignResult> {
+        let jobs: Vec<(StrategyKind, Protocol)> = Protocol::ALL
+            .iter()
+            .flat_map(|&proto| kinds.iter().map(move |&kind| (kind, proto)))
+            .collect();
+        self.run_campaigns(universe, &jobs, seed)
+    }
+}
+
+impl Default for CampaignPool {
+    fn default() -> CampaignPool {
+        CampaignPool::from_env()
+    }
+}
+
+/// Run several strategies over all four protocols, sharded over a
+/// [`CampaignPool::from_env`] worker pool (`CAMPAIGN_WORKERS` workers
+/// when set, all cores otherwise). Results are byte-identical to the
+/// serial loop at any worker count, in protocol-major input order.
+pub fn run_matrix(universe: &Universe, kinds: &[StrategyKind], seed: u64) -> Vec<CampaignResult> {
+    CampaignPool::from_env().run_matrix(universe, kinds, seed)
 }
 
 #[cfg(test)]
@@ -217,6 +341,69 @@ mod tests {
             cwmp.final_hitrate(),
             http.final_hitrate()
         );
+    }
+
+    #[test]
+    fn empty_campaign_metrics_are_zero_not_panic() {
+        let empty = CampaignResult {
+            strategy: "empty".into(),
+            protocol: Protocol::Http,
+            probes_per_cycle: 0,
+            probe_space_fraction: 0.0,
+            months: Vec::new(),
+        };
+        assert_eq!(empty.hitrate(0), 0.0);
+        assert_eq!(empty.hitrate(6), 0.0);
+        assert_eq!(empty.final_hitrate(), 0.0);
+        assert_eq!(empty.avg_probes_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn hitrate_beyond_horizon_is_zero() {
+        let u = universe();
+        let r = run_campaign(&u, StrategyKind::FullScan, Protocol::Http, 1);
+        assert_eq!(r.hitrate(6), 1.0);
+        assert_eq!(r.hitrate(7), 0.0, "month past the horizon");
+        assert_eq!(r.hitrate(u32::MAX), 0.0);
+    }
+
+    #[test]
+    fn pool_sizes_clamp_and_parse() {
+        assert_eq!(CampaignPool::new(0).workers(), 1);
+        assert_eq!(CampaignPool::new(8).workers(), 8);
+        assert_eq!(CampaignPool::serial().workers(), 1);
+        assert!(CampaignPool::from_env().workers() >= 1);
+    }
+
+    #[test]
+    fn pooled_matrix_matches_serial_in_order_and_bytes() {
+        let u = universe();
+        let kinds = [
+            StrategyKind::FullScan,
+            StrategyKind::IpHitlist,
+            StrategyKind::RandomSample { fraction: 0.02 },
+        ];
+        let serial = CampaignPool::serial().run_matrix(&u, &kinds, 9);
+        for workers in [2usize, 5, 32] {
+            let pooled = CampaignPool::new(workers).run_matrix(&u, &kinds, 9);
+            assert_eq!(serial, pooled, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn run_campaigns_preserves_job_order() {
+        let u = universe();
+        let jobs = [
+            (StrategyKind::IpHitlist, Protocol::Cwmp),
+            (StrategyKind::FullScan, Protocol::Http),
+            (StrategyKind::IpHitlist, Protocol::Http),
+        ];
+        let rs = CampaignPool::new(3).run_campaigns(&u, &jobs, 2);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].protocol, Protocol::Cwmp);
+        assert_eq!(rs[1].strategy, "full-scan");
+        assert_eq!(rs[2].protocol, Protocol::Http);
+        assert_eq!(rs[2].strategy, "ip-hitlist");
     }
 
     #[test]

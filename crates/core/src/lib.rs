@@ -23,7 +23,10 @@
 //! * [`density`] — steps 1–3: per-prefix counts, densities, the ranking;
 //! * [`select`] — step 4: the minimal-k cumulative-coverage cutoff;
 //! * [`plan`] — the lifecycle vocabulary: typed probe plans and cycle
-//!   feedback, accepted directly by `tass-scan`'s `ScanEngine::run_plan`;
+//!   feedback, accepted directly by `tass-scan`'s `ScanEngine::run_plan`.
+//!   Plans stream: [`plan::ProbePlan::stream`] yields targets lazily in
+//!   cyclic-permutation order with O(1) state per prefix, and shards
+//!   partition the stream for multi-threaded consumption;
 //! * [`strategy`] — the `Strategy`/`PreparedStrategy` lifecycle, TASS,
 //!   every baseline the paper discusses (periodic full scan, §4.1
 //!   IP-address hitlist, §2 random address samples and Heidemann-style
@@ -33,7 +36,9 @@
 //! * [`metrics`] — hitrate/accuracy, probe cost, efficiency and traffic
 //!   reduction;
 //! * [`campaign`] — the §4 simulation: seed at t₀, then drive
-//!   `plan → evaluate → observe` monthly.
+//!   `plan → evaluate → observe` monthly. Campaign matrices shard over a
+//!   [`campaign::CampaignPool`] of threads (campaigns are independent and
+//!   deterministic, so parallel results are byte-identical to serial).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,11 +51,11 @@ pub mod plan;
 pub mod select;
 pub mod strategy;
 
-pub use campaign::{run_campaign, run_campaign_strategy, run_matrix, CampaignResult};
+pub use campaign::{run_campaign, run_campaign_strategy, run_matrix, CampaignPool, CampaignResult};
 pub use cluster::{cluster_units, Cluster, ClusterConfig};
 pub use density::{rank_from_counts, rank_units, DensityRank, PrefixStat};
 pub use metrics::{efficiency_ratio, MonthEval};
-pub use plan::{CycleOutcome, Eval, ProbePlan};
+pub use plan::{CycleOutcome, Eval, PlanStream, ProbePlan};
 pub use select::{select_prefixes, Selection};
 pub use strategy::{
     AdaptiveTass, Block24Sample, FullScan, IpHitlist, Prepared, PreparedStrategy, RandomPrefix,

@@ -13,11 +13,21 @@
 //! and the responsive hosts found. Feedback-driven strategies (the
 //! re-seeding Δt loop of the paper's §3.1 step 5, adaptive density
 //! updates) consume it in `PreparedStrategy::observe`.
+//!
+//! Plans are **streamed**, not buffered: [`ProbePlan::stream`] yields the
+//! cycle's target addresses lazily through a [`PlanStream`], walking each
+//! prefix in ZMap's cyclic-permutation order
+//! ([`tass_net::cyclic`]) with O(1) state per prefix — a full `/0` scan
+//! holds a couple of machine words, never a 2³²-entry vector. Streams
+//! shard ([`ProbePlan::stream_shard`]): shards `0..k` partition the
+//! cycle's targets exactly, which is how the scan engine fans one plan
+//! out over worker threads.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tass_model::{HostSet, Snapshot};
+use tass_net::cyclic::{self, AddressIter, Cyclic};
 use tass_net::Prefix;
 
 /// What one scan cycle probes.
@@ -145,6 +155,308 @@ impl ProbePlan {
             }
         }
     }
+
+    /// Stream the cycle's target addresses lazily.
+    ///
+    /// Equivalent to [`ProbePlan::stream_shard`] with a single shard: the
+    /// stream yields every address the plan probes this cycle, exactly
+    /// once for `All`/`Prefixes`/`Addrs` (assuming disjoint prefixes) and
+    /// with replacement for `FreshSample`, in permuted order, without
+    /// ever materialising the target set.
+    pub fn stream<'a>(
+        &'a self,
+        cycle: u32,
+        announced: &'a [Prefix],
+        perm_seed: u64,
+    ) -> PlanStream<'a> {
+        self.stream_shard(cycle, announced, perm_seed, 0, 1)
+    }
+
+    /// Stream shard `shard` of `total` of the cycle's targets.
+    ///
+    /// The shards partition the stream: for any `total ≥ 1`, the union of
+    /// shards `0..total` is exactly the single-shard stream's multiset,
+    /// with no overlap. Memory per stream is O(1) beyond the borrowed
+    /// prefix list (`FreshSample` additionally holds one cumulative-size
+    /// vector over `announced`, the *input*, never the target set) — this
+    /// is what lets the scan engine start probing an Internet-scale plan
+    /// immediately and fan it out across worker threads.
+    ///
+    /// `perm_seed` picks the per-prefix permutation order (all shards of
+    /// one stream must agree on it). It does **not** affect *which*
+    /// addresses are yielded: prefix and address plans are set-determined,
+    /// and `FreshSample` draws from its own seed mixed with `cycle`, so
+    /// the sampled multiset is a property of the plan, not of the walker.
+    ///
+    /// `announced` is only consulted by `ProbePlan::All` (the space to
+    /// scan) and `ProbePlan::FreshSample` (the space to draw from).
+    ///
+    /// Panics if `total == 0` or `shard >= total`.
+    pub fn stream_shard<'a>(
+        &'a self,
+        cycle: u32,
+        announced: &'a [Prefix],
+        perm_seed: u64,
+        shard: u64,
+        total: u64,
+    ) -> PlanStream<'a> {
+        assert!(total > 0, "total shards must be > 0");
+        assert!(shard < total, "shard index out of range");
+        let inner = match self {
+            ProbePlan::All => {
+                StreamInner::Prefixes(PrefixStream::new(announced, perm_seed, shard, total))
+            }
+            ProbePlan::Prefixes(ps) => {
+                StreamInner::Prefixes(PrefixStream::new(ps, perm_seed, shard, total))
+            }
+            ProbePlan::Addrs(hs) => StreamInner::Addrs(AddrStream {
+                addrs: hs.addrs(),
+                idx: shard as usize,
+                stride: total as usize,
+            }),
+            ProbePlan::FreshSample { per_cycle, seed } => StreamInner::Sample(SampleStream::new(
+                announced,
+                *per_cycle,
+                seed ^ (u64::from(cycle) << 32),
+                shard,
+                total,
+            )),
+        };
+        PlanStream { inner }
+    }
+
+    /// Materialise the cycle's full target multiset, sorted — the eager
+    /// path [`ProbePlan::stream`] replaces.
+    ///
+    /// This expands every prefix linearly (no permutation), so it is an
+    /// *independent* oracle for the streaming path: collecting and
+    /// sorting any stream must yield exactly this vector. Intended for
+    /// tests and small plans; an Internet-scale `All` plan will allocate
+    /// the whole target set here, which is precisely what streaming
+    /// avoids.
+    pub fn materialize(&self, cycle: u32, announced: &[Prefix]) -> Vec<u32> {
+        fn expand(prefixes: &[Prefix]) -> Vec<u32> {
+            let mut out: Vec<u32> =
+                Vec::with_capacity(prefixes.iter().map(|p| p.size() as usize).sum());
+            for p in prefixes {
+                out.extend((0..p.size()).map(|off| (u64::from(p.first()) + off) as u32));
+            }
+            out.sort_unstable();
+            out
+        }
+        match self {
+            ProbePlan::All => expand(announced),
+            ProbePlan::Prefixes(ps) => expand(ps),
+            ProbePlan::Addrs(hs) => hs.addrs().to_vec(),
+            ProbePlan::FreshSample { .. } => {
+                let mut out: Vec<u32> = self.stream(cycle, announced, 0).collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+}
+
+/// A lazy, shardable iterator over one cycle's target addresses.
+///
+/// Created by [`ProbePlan::stream`] / [`ProbePlan::stream_shard`]. Holds
+/// O(1) state per prefix (a cyclic-group walk position), so consuming an
+/// Internet-scale plan never materialises its target set.
+#[derive(Debug, Clone)]
+pub struct PlanStream<'a> {
+    inner: StreamInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum StreamInner<'a> {
+    Prefixes(PrefixStream<'a>),
+    Addrs(AddrStream<'a>),
+    Sample(SampleStream<'a>),
+}
+
+impl Iterator for PlanStream<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match &mut self.inner {
+            StreamInner::Prefixes(s) => s.next(),
+            StreamInner::Addrs(s) => s.next(),
+            StreamInner::Sample(s) => s.next(),
+        }
+    }
+}
+
+/// The deterministic per-prefix permutation walk shared by every shard of
+/// a stream: a cyclic group over the smallest prime exceeding the prefix
+/// size, generated from `perm_seed` and the prefix identity only (never
+/// the shard), so shards of the same prefix walk the same permutation and
+/// partition it by exponent residue.
+fn prefix_walk(prefix: Prefix, perm_seed: u64, shard: u64, total: u64) -> Option<Walk> {
+    let size = prefix.size();
+    if size == 1 {
+        // a single-address prefix has no permutation; it belongs to the
+        // stream's shard 0 (callers rotate shards per prefix for balance)
+        return (shard == 0).then_some(Walk::Single(prefix.addr()));
+    }
+    let mut rng = SmallRng::seed_from_u64(
+        perm_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(prefix.addr()))
+            .rotate_left(u32::from(prefix.len())),
+    );
+    let mut p = size + 1;
+    while !cyclic::is_prime(p) {
+        p += 1;
+    }
+    let group = Cyclic::new(p, &mut rng).expect("p is prime");
+    Some(Walk::Cyclic {
+        base: prefix.first(),
+        offsets: group.addresses(shard, total, size),
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Walk {
+    Single(u32),
+    Cyclic { base: u32, offsets: AddressIter },
+}
+
+impl Iterator for Walk {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            Walk::Single(addr) => {
+                let out = *addr;
+                *self = Walk::Cyclic {
+                    base: 0,
+                    offsets: AddressIter::empty(),
+                };
+                Some(out)
+            }
+            Walk::Cyclic { base, offsets } => offsets
+                .next()
+                .map(|off| (u64::from(*base) + u64::from(off)) as u32),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PrefixStream<'a> {
+    prefixes: &'a [Prefix],
+    /// Ordinal of the next prefix to open.
+    next: usize,
+    walk: Option<Walk>,
+    perm_seed: u64,
+    shard: u64,
+    total: u64,
+}
+
+impl<'a> PrefixStream<'a> {
+    fn new(prefixes: &'a [Prefix], perm_seed: u64, shard: u64, total: u64) -> PrefixStream<'a> {
+        PrefixStream {
+            prefixes,
+            next: 0,
+            walk: None,
+            perm_seed,
+            shard,
+            total,
+        }
+    }
+}
+
+impl Iterator for PrefixStream<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if let Some(walk) = &mut self.walk {
+                if let Some(addr) = walk.next() {
+                    return Some(addr);
+                }
+                self.walk = None;
+            }
+            let ordinal = self.next;
+            let prefix = *self.prefixes.get(ordinal)?;
+            self.next += 1;
+            // rotate the shard assignment by prefix ordinal so small
+            // prefixes (below `total` addresses) spread over all shards
+            // instead of piling onto shard 0
+            let s = (self.shard + ordinal as u64) % self.total;
+            self.walk = prefix_walk(prefix, self.perm_seed, s, self.total);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct AddrStream<'a> {
+    addrs: &'a [u32],
+    idx: usize,
+    stride: usize,
+}
+
+impl Iterator for AddrStream<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let out = self.addrs.get(self.idx).copied()?;
+        self.idx += self.stride;
+        Some(out)
+    }
+}
+
+/// The fresh-sample draw sequence: every shard replays the same RNG so
+/// the sampled multiset is shard-independent, and keeps draw `i` iff
+/// `i ≡ shard (mod total)`.
+#[derive(Debug, Clone)]
+struct SampleStream<'a> {
+    rng: SmallRng,
+    prefixes: &'a [Prefix],
+    /// Cumulative announced-space offset of each prefix.
+    cum: Vec<u64>,
+    total_space: u64,
+    i: u64,
+    n: u64,
+    shard: u64,
+    total: u64,
+}
+
+impl<'a> SampleStream<'a> {
+    fn new(announced: &'a [Prefix], n: u64, seed: u64, shard: u64, total: u64) -> SampleStream<'a> {
+        let mut cum = Vec::with_capacity(announced.len());
+        let mut total_space = 0u64;
+        for p in announced {
+            cum.push(total_space);
+            total_space += p.size();
+        }
+        SampleStream {
+            rng: SmallRng::seed_from_u64(seed),
+            prefixes: announced,
+            cum,
+            total_space,
+            i: 0,
+            n: if total_space == 0 { 0 } else { n },
+            shard,
+            total,
+        }
+    }
+}
+
+impl Iterator for SampleStream<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.i < self.n {
+            let off = self.rng.random_range(0..self.total_space);
+            let keep = self.i % self.total == self.shard;
+            self.i += 1;
+            if keep {
+                let j = self.cum.partition_point(|&c| c <= off) - 1;
+                return Some((u64::from(self.prefixes[j].first()) + (off - self.cum[j])) as u32);
+            }
+        }
+        None
+    }
 }
 
 /// Outcome of evaluating a probe plan against one cycle's ground truth.
@@ -229,6 +541,101 @@ mod tests {
             assert_eq!(got.len() as u64, e.found, "{plan:?}");
             assert!(got.iter().all(|a| t.hosts.contains(a)));
         }
+    }
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn stream_matches_materialize_for_every_variant() {
+        let announced = vec![pfx("10.0.0.0/24"), pfx("10.1.0.0/26"), pfx("9.9.9.9/32")];
+        let plans = [
+            ProbePlan::All,
+            ProbePlan::Prefixes(vec![pfx("10.0.0.0/25"), pfx("172.16.0.0/30")]),
+            ProbePlan::Addrs(HostSet::from_addrs(vec![5, 99, 0xFFFF_FFFF, 7])),
+            ProbePlan::FreshSample {
+                per_cycle: 500,
+                seed: 3,
+            },
+        ];
+        for plan in &plans {
+            for cycle in [0u32, 4] {
+                let mut streamed: Vec<u32> = plan.stream(cycle, &announced, 42).collect();
+                streamed.sort_unstable();
+                assert_eq!(
+                    streamed,
+                    plan.materialize(cycle, &announced),
+                    "{plan:?} cycle {cycle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_shards_partition_the_targets() {
+        let announced = vec![pfx("10.0.0.0/24"), pfx("9.9.9.9/32"), pfx("8.8.8.0/31")];
+        let plans = [
+            ProbePlan::All,
+            ProbePlan::Addrs(HostSet::from_addrs((0..100).collect())),
+            ProbePlan::FreshSample {
+                per_cycle: 333,
+                seed: 17,
+            },
+        ];
+        for plan in &plans {
+            let whole = plan.materialize(2, &announced);
+            for total in [1u64, 2, 3, 8] {
+                let mut union: Vec<u32> = Vec::new();
+                for shard in 0..total {
+                    union.extend(plan.stream_shard(2, &announced, 7, shard, total));
+                }
+                union.sort_unstable();
+                assert_eq!(union, whole, "{plan:?} with {total} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_order_is_permuted_but_seed_deterministic() {
+        let plan = ProbePlan::Prefixes(vec![pfx("10.0.0.0/24")]);
+        let a: Vec<u32> = plan.stream(0, &[], 1).collect();
+        let b: Vec<u32> = plan.stream(0, &[], 1).collect();
+        let c: Vec<u32> = plan.stream(0, &[], 2).collect();
+        assert_eq!(a, b, "same perm_seed, same order");
+        assert_ne!(a, c, "different perm_seed shuffles differently");
+        let linear: Vec<u32> = (0..256).map(|i| 0x0A00_0000 + i).collect();
+        assert_ne!(a, linear, "cyclic walk must not be linear");
+    }
+
+    #[test]
+    fn single_address_prefixes_rotate_over_shards() {
+        // 8 host prefixes, 4 shards: the ordinal rotation must spread
+        // them 2 per shard instead of piling all on shard 0
+        let hosts: Vec<Prefix> = (0..8u32).map(|i| Prefix::host(0x0808_0800 + i)).collect();
+        let plan = ProbePlan::Prefixes(hosts);
+        for shard in 0..4u64 {
+            let got: Vec<u32> = plan.stream_shard(0, &[], 9, shard, 4).collect();
+            assert_eq!(got.len(), 2, "shard {shard} got {got:?}");
+        }
+    }
+
+    #[test]
+    fn fresh_sample_stream_stays_in_announced_space() {
+        let announced = vec![pfx("10.0.0.0/24"), pfx("192.168.0.0/30")];
+        let plan = ProbePlan::FreshSample {
+            per_cycle: 2000,
+            seed: 5,
+        };
+        let drawn: Vec<u32> = plan.stream(1, &announced, 0).collect();
+        assert_eq!(drawn.len(), 2000);
+        assert!(drawn
+            .iter()
+            .all(|&a| announced.iter().any(|p| p.contains_addr(a))));
+        // the tiny /30 is hit eventually (weighted with replacement)
+        assert!(drawn.iter().any(|&a| a >= 0xC0A8_0000));
+        // empty space yields an empty sample rather than spinning
+        assert_eq!(plan.stream(1, &[], 0).count(), 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::table::{f3, TextTable};
 use crate::{ExhibitOutput, Scenario};
 use tass_bgp::ViewKind;
-use tass_core::campaign::{run_campaign, CampaignResult};
+use tass_core::campaign::{CampaignPool, CampaignResult};
 use tass_core::strategy::StrategyKind;
 use tass_model::Protocol;
 
@@ -62,27 +62,34 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
     let mut csv = TextTable::new(["protocol", "strategy", "month", "hitrate", "probes"]);
     let announced = s.universe.topology().announced_space();
 
+    // one pooled pass over every (protocol, contender) campaign
+    let mut jobs: Vec<(&'static str, StrategyKind, Protocol)> = Vec::new();
     for proto in [Protocol::Http, Protocol::Cwmp] {
         for (name, kind) in contenders(ViewKind::MoreSpecific, 0.95) {
-            let r = run_campaign(&s.universe, kind, proto, s.config.seed);
-            for m in &r.months {
-                csv.row([
-                    proto.name().to_string(),
-                    name.to_string(),
-                    m.month.to_string(),
-                    format!("{:.5}", m.eval.hitrate),
-                    m.eval.probes.to_string(),
-                ]);
-            }
-            t.row([
+            jobs.push((name, kind, proto));
+        }
+    }
+    let pool_jobs: Vec<_> = jobs.iter().map(|&(_, kind, proto)| (kind, proto)).collect();
+    let results = CampaignPool::from_env().run_campaigns(&s.universe, &pool_jobs, s.config.seed);
+
+    for ((name, _, proto), r) in jobs.into_iter().zip(results) {
+        for m in &r.months {
+            csv.row([
                 proto.name().to_string(),
                 name.to_string(),
-                f3(r.hitrate(1)),
-                f3(r.hitrate(3)),
-                f3(r.final_hitrate()),
-                f3(probes_vs_full(&r, announced)),
+                m.month.to_string(),
+                format!("{:.5}", m.eval.hitrate),
+                m.eval.probes.to_string(),
             ]);
         }
+        t.row([
+            proto.name().to_string(),
+            name.to_string(),
+            f3(r.hitrate(1)),
+            f3(r.hitrate(3)),
+            f3(r.final_hitrate()),
+            f3(probes_vs_full(&r, announced)),
+        ]);
     }
 
     let text = format!(
@@ -107,6 +114,7 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
 mod tests {
     use super::*;
     use crate::ScenarioConfig;
+    use tass_core::campaign::run_campaign;
 
     #[test]
     fn feedback_beats_frozen_by_month_six() {

@@ -6,7 +6,7 @@
 
 use crate::table::TextTable;
 use crate::{ExhibitOutput, Scenario};
-use tass_core::campaign::run_campaign;
+use tass_core::campaign::CampaignPool;
 use tass_core::strategy::StrategyKind;
 use tass_model::Protocol;
 
@@ -14,15 +14,16 @@ use tass_model::Protocol;
 pub fn run(s: &Scenario) -> ExhibitOutput {
     let mut t = TextTable::new(["month", "CWMP", "FTP", "HTTP", "HTTPS"]);
     let mut csv = TextTable::new(["protocol", "month", "hitrate"]);
-    let results: Vec<_> = [
+    let jobs: Vec<_> = [
         Protocol::Cwmp,
         Protocol::Ftp,
         Protocol::Http,
         Protocol::Https,
     ]
     .iter()
-    .map(|&p| run_campaign(&s.universe, StrategyKind::IpHitlist, p, s.config.seed))
+    .map(|&p| (StrategyKind::IpHitlist, p))
     .collect();
+    let results = CampaignPool::from_env().run_campaigns(&s.universe, &jobs, s.config.seed);
     for month in 0..=s.universe.months() {
         let mut row = vec![month.to_string()];
         for r in &results {
@@ -54,6 +55,7 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
 mod tests {
     use super::*;
     use crate::ScenarioConfig;
+    use tass_core::campaign::run_campaign;
 
     #[test]
     fn decay_shape_matches_paper() {

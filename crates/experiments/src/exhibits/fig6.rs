@@ -7,7 +7,7 @@
 use crate::table::TextTable;
 use crate::{ExhibitOutput, Scenario};
 use tass_bgp::ViewKind;
-use tass_core::campaign::{run_campaign, CampaignResult};
+use tass_core::campaign::{CampaignPool, CampaignResult};
 use tass_core::metrics::monthly_decay;
 use tass_core::strategy::StrategyKind;
 use tass_model::Protocol;
@@ -22,22 +22,17 @@ fn run_phi(s: &Scenario, phi: f64, id: &'static str, title: &'static str) -> Exh
         (ViewKind::MoreSpecific, "more-specific"),
     ] {
         let mut t = TextTable::new(["month", "CWMP", "FTP", "HTTP", "HTTPS"]);
-        let results: Vec<CampaignResult> = [
+        let jobs: Vec<_> = [
             Protocol::Cwmp,
             Protocol::Ftp,
             Protocol::Http,
             Protocol::Https,
         ]
         .iter()
-        .map(|&p| {
-            run_campaign(
-                &s.universe,
-                StrategyKind::Tass { view, phi },
-                p,
-                s.config.seed,
-            )
-        })
+        .map(|&p| (StrategyKind::Tass { view, phi }, p))
         .collect();
+        let results: Vec<CampaignResult> =
+            CampaignPool::from_env().run_campaigns(&s.universe, &jobs, s.config.seed);
         for month in 0..=s.universe.months() {
             let mut row = vec![month.to_string()];
             for r in &results {
@@ -98,6 +93,7 @@ pub fn run_b(s: &Scenario) -> ExhibitOutput {
 mod tests {
     use super::*;
     use crate::ScenarioConfig;
+    use tass_core::campaign::run_campaign;
 
     #[test]
     fn phi1_decay_rates_match_paper_shape() {

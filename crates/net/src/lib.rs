@@ -21,7 +21,10 @@
 //!   prefix into the minimal partition that preserves every more-specific
 //!   announcement,
 //! * [`iana`] — IANA special-purpose registries (RFC 6890 and friends) used
-//!   for scan blocklists and the paper's Figure 1 scoping pyramid.
+//!   for scan blocklists and the paper's Figure 1 scoping pyramid,
+//! * [`cyclic`] — ZMap's address permutation (multiplicative-group
+//!   iteration with sharding), the streaming substrate shared by the
+//!   scan engine and `tass-core`'s lazy probe-plan iterators.
 //!
 //! ## Quick example
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod cyclic;
 pub mod deagg;
 pub mod error;
 pub mod iana;
@@ -48,6 +52,7 @@ pub mod set;
 pub mod trie;
 
 pub use addr::{addr_from_u32, addr_to_u32, AddrRange};
+pub use cyclic::{Cyclic, CyclicError};
 pub use error::NetError;
 pub use prefix::Prefix;
 pub use set::PrefixSet;

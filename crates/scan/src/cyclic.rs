@@ -1,413 +1,8 @@
-//! ZMap's address permutation: multiplicative-group iteration.
+//! ZMap's address permutation — re-exported from [`tass_net::cyclic`].
 //!
-//! To spread probes evenly over the Internet (and over every target
-//! network's intrusion detection thresholds), ZMap iterates the IPv4 space
-//! in the order of a random cyclic-group walk: pick a random primitive
-//! root `g` of ℤ*_p for the prime `p = 2³² + 15`, then visit
-//! `g¹, g², …, g^(p−1)` — a permutation of `1..p`, of which the 15 values
-//! above 2³² are skipped. The walk needs O(1) state, is trivially
-//! shardable (shard *i* of *k* visits exponents ≡ i (mod k)), and is
-//! reproduced here exactly.
-//!
-//! The modulus is configurable so small groups can be tested exhaustively;
-//! [`Cyclic::ipv4`] uses ZMap's prime.
+//! The cyclic-group walk moved into `tass-net` so the selection layer
+//! (`tass-core`'s streaming [`ProbePlan`](tass_core::ProbePlan) iterators)
+//! can share the exact permutation the engine scans with. This module
+//! keeps the historical `tass_scan::cyclic` path working.
 
-use rand::Rng;
-
-/// ZMap's scanning prime: the smallest prime larger than 2³².
-pub const ZMAP_PRIME: u64 = 4_294_967_311; // 2^32 + 15
-
-/// `(a * b) mod m` without overflow (via u128).
-#[inline]
-pub fn mulmod(a: u64, b: u64, m: u64) -> u64 {
-    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
-}
-
-/// `(base ^ exp) mod m` by square-and-multiply.
-pub fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
-    let mut acc = 1u64 % m;
-    base %= m;
-    while exp > 0 {
-        if exp & 1 == 1 {
-            acc = mulmod(acc, base, m);
-        }
-        base = mulmod(base, base, m);
-        exp >>= 1;
-    }
-    acc
-}
-
-/// Trial-division primality test (sufficient for the ≤ 33-bit moduli used
-/// here; the scanning prime is fixed and small primes are test-only).
-pub fn is_prime(n: u64) -> bool {
-    if n < 2 {
-        return false;
-    }
-    if n.is_multiple_of(2) {
-        return n == 2;
-    }
-    let mut d = 3u64;
-    while d.saturating_mul(d) <= n {
-        if n.is_multiple_of(d) {
-            return false;
-        }
-        d += 2;
-    }
-    true
-}
-
-/// Distinct prime factors of `n` by trial division.
-pub fn prime_factors(mut n: u64) -> Vec<u64> {
-    let mut out = Vec::new();
-    let mut d = 2u64;
-    while u128::from(d) * u128::from(d) <= u128::from(n) {
-        if n.is_multiple_of(d) {
-            out.push(d);
-            while n.is_multiple_of(d) {
-                n /= d;
-            }
-        }
-        d += if d == 2 { 1 } else { 2 };
-    }
-    if n > 1 {
-        out.push(n);
-    }
-    out
-}
-
-/// Errors constructing a cyclic permutation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CyclicError {
-    /// The modulus is not prime.
-    NotPrime(u64),
-    /// The proposed generator is not a primitive root of the group.
-    NotPrimitiveRoot(u64),
-}
-
-impl std::fmt::Display for CyclicError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CyclicError::NotPrime(p) => write!(f, "{p} is not prime"),
-            CyclicError::NotPrimitiveRoot(g) => write!(f, "{g} is not a primitive root"),
-        }
-    }
-}
-
-impl std::error::Error for CyclicError {}
-
-/// A full-cycle permutation of `1..p` via a primitive root of ℤ*_p.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Cyclic {
-    p: u64,
-    generator: u64,
-}
-
-impl Cyclic {
-    /// Build over ℤ*_p with a randomly chosen primitive root.
-    pub fn new<R: Rng + ?Sized>(p: u64, rng: &mut R) -> Result<Cyclic, CyclicError> {
-        if !is_prime(p) {
-            return Err(CyclicError::NotPrime(p));
-        }
-        let factors = prime_factors(p - 1);
-        loop {
-            let g = rng.random_range(2..p);
-            if is_primitive_root(g, p, &factors) {
-                return Ok(Cyclic { p, generator: g });
-            }
-        }
-    }
-
-    /// Build with an explicit generator (validated).
-    pub fn with_generator(p: u64, g: u64) -> Result<Cyclic, CyclicError> {
-        if !is_prime(p) {
-            return Err(CyclicError::NotPrime(p));
-        }
-        let factors = prime_factors(p - 1);
-        if g < 2 || g >= p || !is_primitive_root(g, p, &factors) {
-            return Err(CyclicError::NotPrimitiveRoot(g));
-        }
-        Ok(Cyclic { p, generator: g })
-    }
-
-    /// Build over the IPv4 scanning prime with a random primitive root.
-    pub fn ipv4<R: Rng + ?Sized>(rng: &mut R) -> Cyclic {
-        Cyclic::new(ZMAP_PRIME, rng).expect("ZMAP_PRIME is prime")
-    }
-
-    /// The modulus.
-    pub fn modulus(&self) -> u64 {
-        self.p
-    }
-
-    /// The generator.
-    pub fn generator(&self) -> u64 {
-        self.generator
-    }
-
-    /// Group order (p − 1): the number of elements in the full cycle.
-    pub fn order(&self) -> u64 {
-        self.p - 1
-    }
-
-    /// Iterate the whole group: `g¹, g², …, g^(p−1)`.
-    pub fn iter(&self) -> CyclicIter {
-        self.iter_shard(0, 1)
-    }
-
-    /// Iterate shard `shard` of `total`: exponents `shard+1, shard+1+total,
-    /// …` — together the shards partition the group, ZMap's `--shards`.
-    ///
-    /// Panics if `shard >= total` or `total == 0`.
-    pub fn iter_shard(&self, shard: u64, total: u64) -> CyclicIter {
-        assert!(total > 0, "total shards must be > 0");
-        assert!(shard < total, "shard index out of range");
-        let first_exp = shard + 1;
-        let remaining = if self.order() >= first_exp {
-            (self.order() - first_exp) / total + 1
-        } else {
-            0
-        };
-        CyclicIter {
-            cur: powmod(self.generator, first_exp, self.p),
-            step: powmod(self.generator, total, self.p),
-            p: self.p,
-            remaining,
-        }
-    }
-
-    /// Iterate group elements mapped to addresses `element − 1`, skipping
-    /// elements above `limit` (for the IPv4 prime: `limit = 2³²` skips the
-    /// 15 out-of-range values and yields every address exactly once).
-    pub fn addresses(&self, shard: u64, total: u64, limit: u64) -> AddressIter {
-        AddressIter {
-            inner: self.iter_shard(shard, total),
-            limit,
-        }
-    }
-
-    /// Address iterator over the full IPv4 space.
-    pub fn ipv4_addresses(&self) -> AddressIter {
-        self.addresses(0, 1, 1 << 32)
-    }
-}
-
-fn is_primitive_root(g: u64, p: u64, factors_of_order: &[u64]) -> bool {
-    if g.is_multiple_of(p) {
-        return false;
-    }
-    factors_of_order
-        .iter()
-        .all(|&q| powmod(g, (p - 1) / q, p) != 1)
-}
-
-/// Iterator over group elements (see [`Cyclic::iter_shard`]).
-#[derive(Debug, Clone)]
-pub struct CyclicIter {
-    cur: u64,
-    step: u64,
-    p: u64,
-    remaining: u64,
-}
-
-impl Iterator for CyclicIter {
-    type Item = u64;
-
-    fn next(&mut self) -> Option<u64> {
-        if self.remaining == 0 {
-            return None;
-        }
-        self.remaining -= 1;
-        let out = self.cur;
-        self.cur = mulmod(self.cur, self.step, self.p);
-        Some(out)
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.remaining as usize;
-        (n, Some(n))
-    }
-}
-
-/// Iterator over addresses derived from group elements (see
-/// [`Cyclic::addresses`]).
-#[derive(Debug, Clone)]
-pub struct AddressIter {
-    inner: CyclicIter,
-    limit: u64,
-}
-
-impl Iterator for AddressIter {
-    type Item = u32;
-
-    fn next(&mut self) -> Option<u32> {
-        for e in self.inner.by_ref() {
-            if e <= self.limit {
-                return Some((e - 1) as u32);
-            }
-        }
-        None
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-
-    #[test]
-    fn primality_basics() {
-        assert!(is_prime(2) && is_prime(3) && is_prime(257) && is_prime(65537));
-        assert!(!is_prime(0) && !is_prime(1) && !is_prime(4) && !is_prime(65535));
-        assert!(is_prime(ZMAP_PRIME), "ZMap's prime must be prime");
-    }
-
-    #[test]
-    fn factorisation() {
-        assert_eq!(prime_factors(1), Vec::<u64>::new());
-        assert_eq!(prime_factors(12), vec![2, 3]);
-        assert_eq!(prime_factors(256), vec![2]);
-        assert_eq!(prime_factors(97), vec![97]);
-        // p-1 for the ZMap prime: verify the product of factor powers
-        let fs = prime_factors(ZMAP_PRIME - 1);
-        assert!(!fs.is_empty());
-        for f in &fs {
-            assert!(is_prime(*f));
-            assert_eq!((ZMAP_PRIME - 1) % f, 0);
-        }
-    }
-
-    #[test]
-    fn powmod_matches_naive() {
-        for (b, e, m) in [(2u64, 10u64, 1000u64), (3, 0, 7), (5, 3, 13), (7, 6, 13)] {
-            let naive = (0..e).fold(1u64, |acc, _| acc * b % m);
-            assert_eq!(powmod(b, e, m), naive);
-        }
-    }
-
-    #[test]
-    fn full_cycle_is_permutation_small_prime() {
-        let mut rng = SmallRng::seed_from_u64(5);
-        let c = Cyclic::new(257, &mut rng).unwrap();
-        let mut seen: Vec<u64> = c.iter().collect();
-        assert_eq!(seen.len(), 256);
-        seen.sort_unstable();
-        let want: Vec<u64> = (1..257).collect();
-        assert_eq!(seen, want, "cycle must visit every element once");
-    }
-
-    #[test]
-    fn shards_partition_the_cycle() {
-        let mut rng = SmallRng::seed_from_u64(6);
-        let c = Cyclic::new(1009, &mut rng).unwrap();
-        for total in [1u64, 2, 3, 7, 16] {
-            let mut all: Vec<u64> = Vec::new();
-            for shard in 0..total {
-                all.extend(c.iter_shard(shard, total));
-            }
-            assert_eq!(all.len(), 1008, "total={total}");
-            all.sort_unstable();
-            all.dedup();
-            assert_eq!(all.len(), 1008, "shards must not overlap (total={total})");
-        }
-    }
-
-    #[test]
-    fn addresses_cover_limit_exactly() {
-        let mut rng = SmallRng::seed_from_u64(7);
-        // 1009 is prime; limit 1000 addresses => elements 1..=1000
-        let c = Cyclic::new(1009, &mut rng).unwrap();
-        let mut addrs: Vec<u32> = c.addresses(0, 1, 1000).collect();
-        assert_eq!(addrs.len(), 1000);
-        addrs.sort_unstable();
-        let want: Vec<u32> = (0..1000).collect();
-        assert_eq!(addrs, want);
-    }
-
-    #[test]
-    fn sharded_addresses_partition() {
-        let mut rng = SmallRng::seed_from_u64(8);
-        let c = Cyclic::new(521, &mut rng).unwrap();
-        let mut all: Vec<u32> = Vec::new();
-        for shard in 0..4 {
-            all.extend(c.addresses(shard, 4, 500));
-        }
-        assert_eq!(all.len(), 500);
-        all.sort_unstable();
-        all.dedup();
-        assert_eq!(all.len(), 500);
-    }
-
-    #[test]
-    fn rejects_bad_parameters() {
-        let mut rng = SmallRng::seed_from_u64(9);
-        assert_eq!(Cyclic::new(100, &mut rng), Err(CyclicError::NotPrime(100)));
-        assert_eq!(
-            Cyclic::with_generator(101, 1),
-            Err(CyclicError::NotPrimitiveRoot(1))
-        );
-        // 2^k elements: for p=7, the quadratic residues {1,2,4} are not
-        // primitive roots; 3 is.
-        assert!(Cyclic::with_generator(7, 3).is_ok());
-        assert_eq!(
-            Cyclic::with_generator(7, 2),
-            Err(CyclicError::NotPrimitiveRoot(2))
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "shard index out of range")]
-    fn shard_bounds_checked() {
-        let c = Cyclic::with_generator(7, 3).unwrap();
-        let _ = c.iter_shard(2, 2);
-    }
-
-    #[test]
-    fn ipv4_group_spot_checks() {
-        let mut rng = SmallRng::seed_from_u64(10);
-        let c = Cyclic::ipv4(&mut rng);
-        assert_eq!(c.modulus(), ZMAP_PRIME);
-        assert_eq!(c.order(), (1 << 32) + 14);
-        // first 100k elements of a shard are distinct
-        let sample: Vec<u64> = c.iter_shard(0, 256).take(100_000).collect();
-        let mut dedup = sample.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), sample.len());
-        // elements are in range
-        assert!(sample.iter().all(|&e| (1..ZMAP_PRIME).contains(&e)));
-    }
-
-    #[test]
-    fn different_generators_different_orders() {
-        let mut rng1 = SmallRng::seed_from_u64(11);
-        let mut rng2 = SmallRng::seed_from_u64(12);
-        let c1 = Cyclic::ipv4(&mut rng1);
-        let c2 = Cyclic::ipv4(&mut rng2);
-        assert_ne!(c1.generator(), c2.generator());
-        let a: Vec<u64> = c1.iter().take(16).collect();
-        let b: Vec<u64> = c2.iter().take(16).collect();
-        assert_ne!(a, b, "different walks");
-    }
-
-    #[test]
-    fn deterministic_walk_for_fixed_generator() {
-        let c = Cyclic::with_generator(257, 3).unwrap();
-        let a: Vec<u64> = c.iter().take(10).collect();
-        assert_eq!(
-            a,
-            vec![
-                3,
-                9,
-                27,
-                81,
-                243,
-                729 % 257,
-                2187 % 257,
-                6561 % 257,
-                19683 % 257,
-                59049 % 257
-            ]
-        );
-    }
-}
+pub use tass_net::cyclic::*;

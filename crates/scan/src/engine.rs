@@ -7,6 +7,12 @@
 //! prefix size), which is how one scans a *selected prefix list* — TASS's
 //! output — rather than the whole Internet.
 //!
+//! Targets are **streamed, never buffered**: each worker thread consumes
+//! its own shard of the plan's [`PlanStream`]
+//! ([`ProbePlan::stream_shard`]), so even a full scan of the announced
+//! space holds O(1) target state per worker — the engine starts probing
+//! immediately and memory stays flat at any scale.
+//!
 //! Two probe paths are provided:
 //!
 //! * **wire level** (default): every probe is a real encoded frame, parsed
@@ -15,13 +21,10 @@
 //!   when simulating Internet-scale campaigns; identical semantics.
 
 use crate::blocklist::Blocklist;
-use crate::cyclic::{self, Cyclic};
 use crate::net::SimNetwork;
 use crate::rate::TokenBucket;
 use crate::siphash::SipHash24;
 use crate::wire::{self, tcp_flags};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::mpsc;
 use std::sync::Arc;
 use tass_core::ProbePlan;
@@ -196,14 +199,11 @@ impl ScanEngine {
         &self.network
     }
 
-    /// Run a scan over `cfg.targets`. Targets are distributed round-robin
-    /// over worker threads; each worker permutes its prefixes with a
-    /// per-prefix cyclic group and rate-limits at `rate_pps / threads`.
+    /// Run a scan over `cfg.targets`: exactly
+    /// [`run_plan`](ScanEngine::run_plan) with a
+    /// [`ProbePlan::Prefixes`] plan over the configured prefixes.
     pub fn run(&self, cfg: &ScanConfig) -> ScanReport {
-        self.run_work(
-            cfg,
-            cfg.targets.iter().map(|&p| ScanWork::Prefix(p)).collect(),
-        )
+        self.run_plan(&ProbePlan::Prefixes(cfg.targets.clone()), 0, &[], cfg)
     }
 
     /// Run one cycle of a strategy's [`ProbePlan`] — the direct bridge
@@ -218,6 +218,13 @@ impl ScanEngine {
     ///   reproducible and different cycles sample differently) from the
     ///   announced space, weighted by prefix size.
     ///
+    /// The plan is never materialised: each worker thread lazily consumes
+    /// its own shard of the plan's stream
+    /// ([`ProbePlan::stream_shard`], one shard per thread), permuted per
+    /// prefix by the cyclic group seeded from `cfg.seed`, and rate-limits
+    /// at `rate_pps / threads`. Together the shards cover the plan
+    /// exactly, so the responsive set is independent of the thread count.
+    ///
     /// `cfg.targets` is ignored; the plan is the target.
     pub fn run_plan(
         &self,
@@ -226,21 +233,6 @@ impl ScanEngine {
         announced: &[Prefix],
         cfg: &ScanConfig,
     ) -> ScanReport {
-        let work: Vec<ScanWork> = match plan {
-            ProbePlan::All => announced.iter().map(|&p| ScanWork::Prefix(p)).collect(),
-            ProbePlan::Prefixes(ps) => ps.iter().map(|&p| ScanWork::Prefix(p)).collect(),
-            ProbePlan::Addrs(hs) => hs.iter().map(ScanWork::Addr).collect(),
-            ProbePlan::FreshSample { per_cycle, seed } => {
-                sample_announced(announced, *per_cycle, seed ^ (u64::from(cycle) << 32))
-                    .into_iter()
-                    .map(ScanWork::Addr)
-                    .collect()
-            }
-        };
-        self.run_work(cfg, work)
-    }
-
-    fn run_work(&self, cfg: &ScanConfig, work: Vec<ScanWork>) -> ScanReport {
         let threads = cfg.threads.max(1);
         let (tx, rx) = mpsc::channel::<WorkerResult>();
         let key = SipHash24::new(cfg.seed, cfg.seed.rotate_left(17) ^ 0xA5A5_A5A5);
@@ -249,11 +241,11 @@ impl ScanEngine {
             for t in 0..threads {
                 let tx = tx.clone();
                 let network = Arc::clone(&self.network);
-                let targets: Vec<ScanWork> =
-                    work.iter().copied().skip(t).step_by(threads).collect();
                 let cfg = cfg.clone();
                 scope.spawn(move || {
-                    let res = scan_worker(&network, &cfg, key, t as u64, targets);
+                    let targets =
+                        plan.stream_shard(cycle, announced, cfg.seed, t as u64, threads as u64);
+                    let res = scan_worker(&network, &cfg, key, targets);
                     tx.send(res).expect("aggregator alive");
                 });
             }
@@ -285,66 +277,13 @@ impl ScanEngine {
     }
 }
 
-/// One unit of scan work for a worker thread.
-#[derive(Debug, Clone, Copy)]
-enum ScanWork {
-    /// A prefix, walked in cyclic-permutation order.
-    Prefix(Prefix),
-    /// A single explicit address (hitlists, samples).
-    Addr(u32),
-}
-
-/// Draw `n` addresses uniformly from the announced space (prefixes
-/// weighted by size, with replacement — matching the fresh-sample model
-/// the campaign evaluation uses).
-fn sample_announced(announced: &[Prefix], n: u64, seed: u64) -> Vec<u32> {
-    // cumulative space offsets so each draw is a binary search
-    let mut cum = Vec::with_capacity(announced.len());
-    let mut total = 0u64;
-    for p in announced {
-        cum.push(total);
-        total += p.size();
-    }
-    if total == 0 {
-        return Vec::new();
-    }
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let off = rng.random_range(0..total);
-            let i = cum.partition_point(|&c| c <= off) - 1;
-            (u64::from(announced[i].first()) + (off - cum[i])) as u32
-        })
-        .collect()
-}
-
-/// Permuted iteration order for one prefix: a cyclic group over the
-/// smallest prime exceeding the prefix size (single-address prefixes are
-/// yielded directly).
-fn prefix_permutation(prefix: Prefix, rng: &mut SmallRng) -> Vec<u32> {
-    let size = prefix.size();
-    if size == 1 {
-        return vec![prefix.addr()];
-    }
-    let mut p = size + 1;
-    while !cyclic::is_prime(p) {
-        p += 1;
-    }
-    let group = Cyclic::new(p, rng).expect("p is prime");
-    group
-        .addresses(0, 1, size)
-        .map(|off| (u64::from(prefix.addr()) + u64::from(off)) as u32)
-        .collect()
-}
-
+/// Probe every address of a lazily streamed target shard.
 fn scan_worker(
     network: &SimNetwork,
     cfg: &ScanConfig,
     key: SipHash24,
-    worker_id: u64,
-    targets: Vec<ScanWork>,
+    targets: impl Iterator<Item = u32>,
 ) -> WorkerResult {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (worker_id.wrapping_mul(0x9E37_79B9)));
     let mut bucket = if cfg.rate_pps.is_finite() && cfg.rate_pps > 0.0 {
         TokenBucket::new(cfg.rate_pps / cfg.threads.max(1) as f64, 128.0)
     } else {
@@ -424,15 +363,8 @@ fn scan_worker(
         }
     };
 
-    for item in targets {
-        match item {
-            ScanWork::Prefix(prefix) => {
-                for addr in prefix_permutation(prefix, &mut rng) {
-                    probe_one(addr, &mut out);
-                }
-            }
-            ScanWork::Addr(addr) => probe_one(addr, &mut out),
-        }
+    for addr in targets {
+        probe_one(addr, &mut out);
     }
 
     if cfg.banner_grab {
@@ -599,10 +531,9 @@ mod tests {
     }
 
     #[test]
-    fn permutation_covers_prefix_exactly_once() {
-        let mut rng = SmallRng::seed_from_u64(3);
-        let pref = p("10.0.0.0/24");
-        let mut addrs = prefix_permutation(pref, &mut rng);
+    fn streamed_permutation_covers_prefix_exactly_once() {
+        let plan = ProbePlan::Prefixes(vec![p("10.0.0.0/24")]);
+        let mut addrs: Vec<u32> = plan.stream(0, &[], 3).collect();
         assert_eq!(addrs.len(), 256);
         // not in linear order (overwhelmingly likely for a random generator)
         let linear: Vec<u32> = (0..256).map(|i| 0x0A00_0000 + i).collect();
@@ -613,11 +544,9 @@ mod tests {
 
     #[test]
     fn single_address_prefix() {
-        let mut rng = SmallRng::seed_from_u64(4);
-        assert_eq!(
-            prefix_permutation(p("9.9.9.9/32"), &mut rng),
-            vec![0x09090909]
-        );
+        let plan = ProbePlan::Prefixes(vec![p("9.9.9.9/32")]);
+        let addrs: Vec<u32> = plan.stream(0, &[], 4).collect();
+        assert_eq!(addrs, vec![0x09090909]);
     }
 
     #[test]
@@ -674,15 +603,43 @@ mod tests {
     }
 
     #[test]
-    fn sample_announced_stays_in_space() {
+    fn sampled_targets_stay_in_space() {
         let announced = vec![p("1.0.0.0/24"), p("9.0.0.0/30")];
-        let addrs = sample_announced(&announced, 1000, 3);
+        let plan = ProbePlan::FreshSample {
+            per_cycle: 1000,
+            seed: 3,
+        };
+        let addrs: Vec<u32> = plan.stream(0, &announced, 0).collect();
         assert_eq!(addrs.len(), 1000);
         assert!(addrs
             .iter()
             .all(|&a| announced.iter().any(|pre| pre.contains_addr(a))));
         // both prefixes get hit eventually (the /30 is tiny but nonzero)
         assert!(addrs.iter().any(|&a| a >= 0x0900_0000));
+    }
+
+    #[test]
+    fn responsive_set_is_thread_count_invariant() {
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let announced = vec![p("1.0.0.0/24"), p("2.0.0.0/26")];
+        let plans = [
+            ProbePlan::All,
+            ProbePlan::Prefixes(vec![p("1.0.0.0/25")]),
+            ProbePlan::Addrs((0x0100_0000..0x0100_0040).collect()),
+            ProbePlan::FreshSample {
+                per_cycle: 128,
+                seed: 21,
+            },
+        ];
+        for plan in &plans {
+            let one = engine.run_plan(plan, 1, &announced, &base_cfg().threads(1));
+            for threads in [2usize, 3, 8] {
+                let many = engine.run_plan(plan, 1, &announced, &base_cfg().threads(threads));
+                assert_eq!(one.responsive, many.responsive, "{plan:?} x{threads}");
+                assert_eq!(one.probes_sent, many.probes_sent, "{plan:?} x{threads}");
+                assert_eq!(one.blocked_skipped, many.blocked_skipped);
+            }
+        }
     }
 
     #[test]

@@ -100,6 +100,51 @@
 //!
 //! User-defined strategies implement the same two traits — see
 //! `examples/adaptive_strategy.rs` for a complete one.
+//!
+//! ## Streaming plans, sharded matrices
+//!
+//! Plans are consumed as **streams**, and campaign matrices shard over
+//! **threads** — both are pure optimisations, byte-identical to the
+//! serial/materialised semantics (locked down by
+//! `tests/matrix_parallel.rs` and the property suite):
+//!
+//! * [`core::ProbePlan::stream`] yields a cycle's targets lazily, each
+//!   prefix walked in ZMap's cyclic-permutation order with O(1) state —
+//!   a full scan starts probing immediately and memory stays flat at
+//!   Internet scale. [`core::ProbePlan::stream_shard`] splits the same
+//!   stream into disjoint shards, which is how `ScanEngine::run_plan`
+//!   fans a plan out over its worker threads.
+//! * [`core::campaign::CampaignPool`] runs independent campaigns on a
+//!   thread pool and gathers results in input order; the free
+//!   [`core::campaign::run_matrix`] sizes the pool from the
+//!   `CAMPAIGN_WORKERS` environment variable (default: all cores).
+//!
+//! ```
+//! use tass::core::campaign::CampaignPool;
+//! use tass::core::{ProbePlan, StrategyKind};
+//! use tass::model::{Universe, UniverseConfig};
+//!
+//! let universe = Universe::generate(&UniverseConfig::small(9));
+//! let announced: Vec<_> = universe
+//!     .topology()
+//!     .m_view
+//!     .units()
+//!     .iter()
+//!     .map(|u| u.prefix)
+//!     .collect();
+//!
+//! // a full-scan plan streams its first targets without building a set
+//! let first: Vec<u32> = ProbePlan::All.stream(0, &announced, 1).take(3).collect();
+//! assert_eq!(first.len(), 3);
+//!
+//! // the matrix shards across workers; results are byte-identical
+//! let kinds = [StrategyKind::FullScan, StrategyKind::IpHitlist];
+//! let serial = CampaignPool::serial().run_matrix(&universe, &kinds, 9);
+//! let pooled = CampaignPool::new(4).run_matrix(&universe, &kinds, 9);
+//! assert_eq!(serial, pooled);
+//! ```
+//!
+//! See `examples/parallel_matrix.rs` for the timed version.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,140 @@
+//! Property tests for the streaming plan layer.
+//!
+//! The properties that make streaming safe to trust:
+//!
+//! * a [`PlanStream`](tass::core::PlanStream) yields **exactly** the set
+//!   a materialised plan would — no duplicates, no misses — for random
+//!   prefix sets, random address sets, and random fresh-sample weights;
+//! * shards partition the stream for any shard count;
+//! * the cyclic permutation underneath covers each address of a random
+//!   limit exactly once per cycle, sharded or not.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tass::core::ProbePlan;
+use tass::model::HostSet;
+use tass::net::cyclic::{is_prime, Cyclic};
+use tass::net::Prefix;
+
+/// Collapse random `(addr, len)` pairs into a sorted, disjoint prefix
+/// set (overlapping candidates are dropped, keeping the earlier one).
+fn disjoint_prefixes(raw: &[(u32, u8)]) -> Vec<Prefix> {
+    let mut candidates: Vec<Prefix> = raw
+        .iter()
+        .map(|&(addr, len)| {
+            Prefix::new_truncate(addr, 20 + len % 13).expect("len in 20..=32 is valid")
+        })
+        .collect();
+    candidates.sort_unstable();
+    let mut out: Vec<Prefix> = Vec::new();
+    for p in candidates {
+        if out.last().is_none_or(|q| q.last() < p.first()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn prefix_stream_yields_exactly_the_materialised_set(
+        raw in proptest::collection::vec((any::<u32>(), any::<u8>()), 1..7),
+        perm_seed in any::<u64>(),
+    ) {
+        let prefixes = disjoint_prefixes(&raw);
+        prop_assume!(!prefixes.is_empty());
+        let plan = ProbePlan::Prefixes(prefixes.clone());
+        let want = plan.materialize(0, &[]);
+        // no misses, no duplicates: the sorted stream IS the target set
+        let got = sorted(plan.stream(0, &[], perm_seed).collect());
+        prop_assert_eq!(&got, &want);
+        // and `All` over the same prefixes as announced space agrees
+        let all = sorted(ProbePlan::All.stream(0, &prefixes, perm_seed).collect());
+        prop_assert_eq!(&all, &want);
+    }
+
+    #[test]
+    fn stream_shards_partition_for_any_worker_count(
+        raw in proptest::collection::vec((any::<u32>(), any::<u8>()), 1..6),
+        perm_seed in any::<u64>(),
+        total in 1u64..10,
+    ) {
+        let prefixes = disjoint_prefixes(&raw);
+        prop_assume!(!prefixes.is_empty());
+        let plan = ProbePlan::Prefixes(prefixes);
+        let mut union: Vec<u32> = Vec::new();
+        for shard in 0..total {
+            union.extend(plan.stream_shard(0, &[], perm_seed, shard, total));
+        }
+        // partition = union covers everything AND sizes add up (no overlap)
+        prop_assert_eq!(sorted(union), plan.materialize(0, &[]));
+    }
+
+    #[test]
+    fn addr_stream_matches_hitlist_for_any_shard_count(
+        addrs in proptest::collection::vec(any::<u32>(), 0..200),
+        total in 1u64..6,
+    ) {
+        let plan = ProbePlan::Addrs(HostSet::from_addrs(addrs));
+        let want = plan.materialize(0, &[]);
+        let mut union: Vec<u32> = Vec::new();
+        for shard in 0..total {
+            union.extend(plan.stream_shard(0, &[], 0, shard, total));
+        }
+        prop_assert_eq!(sorted(union), want);
+    }
+
+    #[test]
+    fn fresh_sample_draws_exactly_per_cycle_weighted_into_space(
+        raw in proptest::collection::vec((any::<u32>(), any::<u8>()), 1..5),
+        per_cycle in 0u64..1500,
+        seed in any::<u64>(),
+        cycle in 0u32..5,
+        total in 1u64..6,
+    ) {
+        let announced = disjoint_prefixes(&raw);
+        prop_assume!(!announced.is_empty());
+        let plan = ProbePlan::FreshSample { per_cycle, seed };
+        let drawn: Vec<u32> = plan.stream(cycle, &announced, 0).collect();
+        // exactly the advertised weight, every draw inside announced space
+        prop_assert_eq!(drawn.len() as u64, per_cycle);
+        prop_assert!(drawn
+            .iter()
+            .all(|&a| announced.iter().any(|p| p.contains_addr(a))));
+        // deterministic in (seed, cycle), and shard-invariant as a multiset
+        let again: Vec<u32> = plan.stream(cycle, &announced, 99).collect();
+        prop_assert_eq!(&drawn, &again, "perm_seed must not change the sample");
+        let mut union: Vec<u32> = Vec::new();
+        for shard in 0..total {
+            union.extend(plan.stream_shard(cycle, &announced, 0, shard, total));
+        }
+        prop_assert_eq!(sorted(union), sorted(drawn));
+    }
+
+    #[test]
+    fn cyclic_iterator_covers_each_address_exactly_once_per_cycle(
+        limit in 1u64..1800,
+        seed in any::<u64>(),
+        total in 1u64..5,
+    ) {
+        // smallest prime strictly above the limit, as the walks use
+        let mut p = limit + 1;
+        while !is_prime(p) {
+            p += 1;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let group = Cyclic::new(p, &mut rng).expect("p is prime");
+        let mut addrs: Vec<u32> = (0..total)
+            .flat_map(|s| group.addresses(s, total, limit))
+            .collect();
+        addrs.sort_unstable();
+        let want: Vec<u32> = (0..limit as u32).collect();
+        prop_assert_eq!(addrs, want, "one full cycle = one visit per address");
+    }
+}
