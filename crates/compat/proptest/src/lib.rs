@@ -93,6 +93,12 @@ macro_rules! impl_arbitrary_int {
 }
 impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1

@@ -104,6 +104,37 @@ macro_rules! impl_sample_range {
 }
 impl_sample_range!(u8, u16, u32, u64, usize);
 
+// `u128` ranges: spans that fit `u64` consume exactly one `next_u64` with
+// the same multiply-shift as the `u64` impl, so generic address-family
+// code drawing from an IPv4-sized space reproduces the `u64` draw (and
+// RNG state) bit for bit. Wider spans combine two words.
+impl SampleRange<u128> for core::ops::Range<u128> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        if let Ok(span64) = u64::try_from(span) {
+            let hi = ((u128::from(rng.next_u64()) * u128::from(span64)) >> 64) as u64;
+            return self.start + u128::from(hi);
+        }
+        // widemul(next_u128, span) >> 128 via 64-bit limbs
+        let x = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        self.start + widemul_hi(x, span)
+    }
+}
+
+/// High 128 bits of the 256-bit product `a * b`.
+fn widemul_hi(a: u128, b: u128) -> u128 {
+    let (a_hi, a_lo) = (a >> 64, a & u128::from(u64::MAX));
+    let (b_hi, b_lo) = (b >> 64, b & u128::from(u64::MAX));
+    let lo_lo = a_lo * b_lo;
+    let hi_lo = a_hi * b_lo;
+    let lo_hi = a_lo * b_hi;
+    let hi_hi = a_hi * b_hi;
+    let carry =
+        ((lo_lo >> 64) + (hi_lo & u128::from(u64::MAX)) + (lo_hi & u128::from(u64::MAX))) >> 64;
+    hi_hi + (hi_lo >> 64) + (lo_hi >> 64) + carry
+}
+
 /// User-facing extension methods, mirroring `rand::Rng`.
 pub trait Rng: RngCore {
     /// Sample a standard-distributed value (uniform over the type's

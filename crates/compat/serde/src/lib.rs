@@ -145,6 +145,45 @@ macro_rules! impl_serde_float {
 }
 impl_serde_float!(f32, f64);
 
+// `u128` exceeds the value tree's native integer width: values that fit
+// `u64` serialize as plain integers (so IPv4-sized quantities look
+// unchanged on the wire); wider values fall back to a decimal string.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::U64(n),
+            Err(_) => Value::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::U64(n) => Ok(u128::from(*n)),
+            Value::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| DeError(format!("cannot parse {s:?} as u128"))),
+            other => Err(DeError(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: ?Sized> Serialize for std::marker::PhantomData<T> {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: ?Sized> Deserialize for std::marker::PhantomData<T>
+where
+    std::marker::PhantomData<T>: Default,
+{
+    fn from_value(_v: &Value) -> Result<Self, DeError> {
+        Ok(Default::default())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

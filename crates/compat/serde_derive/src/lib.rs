@@ -344,7 +344,31 @@ fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (String, Vec<String>) {
         }
         *i += 1;
     }
-    let decl: String = inner
+    // Re-render the declaration, dropping parameter defaults (`= V4`):
+    // defaults are legal on the type definition but not in impl headers.
+    let mut decl_parts: Vec<TokenTree> = Vec::new();
+    {
+        let mut depth = 0usize;
+        let mut in_default = false;
+        for t in &inner {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == '=' && depth == 0 => {
+                    in_default = true;
+                    continue;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    in_default = false;
+                }
+                _ => {}
+            }
+            if !in_default {
+                decl_parts.push(t.clone());
+            }
+        }
+    }
+    let decl: String = decl_parts
         .iter()
         .map(|t| t.to_string())
         .collect::<Vec<_>>()

@@ -25,7 +25,7 @@ use crate::strategy::{Strategy, StrategyKind};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use tass_model::{Protocol, Universe};
+use tass_model::{Protocol, Universe, V6Universe};
 
 /// The monthly series of one strategy over one protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,6 +106,47 @@ pub fn run_campaign_strategy(
     CampaignResult {
         strategy: strategy.label(),
         protocol,
+        probes_per_cycle: months[0].eval.probes,
+        probe_space_fraction: if announced > 0 {
+            months[0].eval.probes as f64 / announced as f64
+        } else {
+            0.0
+        },
+        months,
+    }
+}
+
+/// Run one IPv6 strategy's full lifecycle over a seeded [`V6Universe`]:
+/// the same `prepare → plan → evaluate → observe` loop as
+/// [`run_campaign_strategy`], seeded from the v6 space instead of a BGP
+/// topology. Results are directly comparable: hitrates are relative to
+/// the month's ground truth, probe costs are absolute address counts.
+pub fn run_campaign_v6(
+    universe: &V6Universe,
+    strategy: &dyn Strategy<tass_net::V6>,
+    seed: u64,
+) -> CampaignResult {
+    let announced = universe.space().announced_space();
+    let t0 = universe.snapshot(0);
+    let mut prepared = strategy.prepare(universe.space(), t0, seed);
+    let mut months = Vec::with_capacity(universe.months() as usize + 1);
+    for m in 0..=universe.months() {
+        let truth = universe.snapshot(m);
+        let plan = prepared.plan(m);
+        let eval = plan.evaluate(truth, m, announced);
+        if prepared.wants_feedback() {
+            let outcome = CycleOutcome {
+                cycle: m,
+                probes: eval.probes,
+                responsive: plan.observed(truth, m, announced),
+            };
+            prepared.observe(m, &outcome);
+        }
+        months.push(MonthEval { month: m, eval });
+    }
+    CampaignResult {
+        strategy: strategy.label(),
+        protocol: t0.protocol,
         probes_per_cycle: months[0].eval.probes,
         probe_space_fraction: if announced > 0 {
             months[0].eval.probes as f64 / announced as f64

@@ -2,7 +2,7 @@
 //!
 //! "Finally, we suspect that more fine-grained prefixes may help to reduce
 //! the scanning overhead even further. Towards this end, it may be
-//! worthwhile to apply the clustering approach of Cai and Heidemann [2] to
+//! worthwhile to apply the clustering approach of Cai and Heidemann \[2\] to
 //! network prefixes."
 //!
 //! This module does exactly that: adjacent scan units under the same

@@ -11,18 +11,18 @@
 use serde::{Deserialize, Serialize};
 use tass_bgp::View;
 use tass_model::HostSet;
-use tass_net::Prefix;
+use tass_net::{AddrFamily, Prefix, V4};
 
 /// Per-unit statistics (only units with cᵢ > 0 are ranked).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct PrefixStat {
+pub struct PrefixStat<F: AddrFamily = V4> {
     /// The scan unit's prefix.
-    pub prefix: Prefix,
+    pub prefix: Prefix<F>,
     /// Unit index in the originating view.
     pub unit: u32,
     /// Responsive addresses inside the unit (cᵢ).
     pub count: u64,
-    /// Density ρᵢ = cᵢ / 2^(32−len).
+    /// Density ρᵢ = cᵢ / 2^(BITS−len).
     pub density: f64,
     /// Relative host coverage φᵢ = cᵢ / N.
     pub coverage: f64,
@@ -30,14 +30,14 @@ pub struct PrefixStat {
 
 /// The density ranking of all responsive units.
 #[derive(Debug, Clone, Default)]
-pub struct DensityRank {
+pub struct DensityRank<F: AddrFamily = V4> {
     /// Responsive units in descending density order (ties broken by
     /// ascending prefix for determinism).
-    pub stats: Vec<PrefixStat>,
+    pub stats: Vec<PrefixStat<F>>,
     /// N: total responsive addresses attributed to the view.
     pub total_hosts: u64,
     /// Total announced space of the view (denominator of space coverage).
-    pub total_space: u64,
+    pub total_space: F::Wide,
 }
 
 /// One point of the cumulative Figure 4 curves.
@@ -132,7 +132,58 @@ pub fn rank_from_counts(view: &View, counts: &[u64]) -> DensityRank {
     }
 }
 
-impl DensityRank {
+/// Build a density ranking directly from a prefix list and a host set —
+/// the family-generic core of [`rank_units`], and the seeding path for
+/// address families that have no BGP view object (an IPv6 campaign ranks
+/// the dense blocks its hitlist discovered). Unit indices are positions
+/// in `units`.
+pub fn rank_prefixes<F: AddrFamily>(units: &[Prefix<F>], hosts: &HostSet<F>) -> DensityRank<F> {
+    let counts: Vec<u64> = units
+        .iter()
+        .map(|p| hosts.count_in_prefix(*p) as u64)
+        .collect();
+    rank_prefix_counts(units, &counts)
+}
+
+/// Build a density ranking from a prefix list and **maintained per-unit
+/// counts** (index-aligned with `units`) — the generic counterpart of
+/// [`rank_from_counts`], used by feedback strategies that track their own
+/// count estimates instead of re-deriving them from a host set.
+pub fn rank_prefix_counts<F: AddrFamily>(units: &[Prefix<F>], counts: &[u64]) -> DensityRank<F> {
+    assert_eq!(counts.len(), units.len(), "one count per unit");
+    let total: u64 = counts.iter().sum();
+    let mut total_space = 0u128;
+    let mut stats = Vec::new();
+    for (i, (&c, &prefix)) in counts.iter().zip(units).enumerate() {
+        total_space = total_space.saturating_add(prefix.size_u128());
+        if c > 0 {
+            stats.push(PrefixStat {
+                prefix,
+                unit: i as u32,
+                count: c,
+                density: c as f64 / prefix.size_u128() as f64,
+                coverage: if total > 0 {
+                    c as f64 / total as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    stats.sort_unstable_by(|a, b| {
+        b.density
+            .partial_cmp(&a.density)
+            .expect("densities are finite")
+            .then_with(|| a.prefix.cmp(&b.prefix))
+    });
+    DensityRank {
+        stats,
+        total_hosts: total,
+        total_space: F::wide_from_u128(total_space),
+    }
+}
+
+impl<F: AddrFamily> DensityRank<F> {
     /// Number of responsive units.
     pub fn len(&self) -> usize {
         self.stats.len()
@@ -145,12 +196,13 @@ impl DensityRank {
 
     /// The cumulative curves of paper Figure 4, one point per rank.
     pub fn curve(&self) -> Vec<RankPoint> {
+        let total_space = F::wide_to_u128(self.total_space);
         let mut out = Vec::with_capacity(self.stats.len());
         let mut cum_hosts = 0u64;
-        let mut cum_space = 0u64;
+        let mut cum_space = 0u128;
         for (i, s) in self.stats.iter().enumerate() {
             cum_hosts += s.count;
-            cum_space += s.prefix.size();
+            cum_space = cum_space.saturating_add(s.prefix.size_u128());
             out.push(RankPoint {
                 rank: i + 1,
                 density: s.density,
@@ -159,8 +211,8 @@ impl DensityRank {
                 } else {
                     0.0
                 },
-                cum_space_coverage: if self.total_space > 0 {
-                    cum_space as f64 / self.total_space as f64
+                cum_space_coverage: if total_space > 0 {
+                    cum_space as f64 / total_space as f64
                 } else {
                     0.0
                 },
@@ -172,11 +224,15 @@ impl DensityRank {
     /// Address-space fraction of the view covered by responsive units —
     /// the paper's "φ = 1" row of Table 1.
     pub fn responsive_space_fraction(&self) -> f64 {
-        if self.total_space == 0 {
+        let total_space = F::wide_to_u128(self.total_space);
+        if total_space == 0 {
             return 0.0;
         }
-        let space: u64 = self.stats.iter().map(|s| s.prefix.size()).sum();
-        space as f64 / self.total_space as f64
+        let space = self
+            .stats
+            .iter()
+            .fold(0u128, |acc, s| acc.saturating_add(s.prefix.size_u128()));
+        space as f64 / total_space as f64
     }
 }
 

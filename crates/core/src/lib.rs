@@ -51,13 +51,18 @@ pub mod plan;
 pub mod select;
 pub mod strategy;
 
-pub use campaign::{run_campaign, run_campaign_strategy, run_matrix, CampaignPool, CampaignResult};
+pub use campaign::{
+    run_campaign, run_campaign_strategy, run_campaign_v6, run_matrix, CampaignPool, CampaignResult,
+};
 pub use cluster::{cluster_units, Cluster, ClusterConfig};
-pub use density::{rank_from_counts, rank_units, DensityRank, PrefixStat};
+pub use density::{
+    rank_from_counts, rank_prefix_counts, rank_prefixes, rank_units, DensityRank, PrefixStat,
+};
 pub use metrics::{efficiency_ratio, MonthEval};
 pub use plan::{CycleOutcome, Eval, PlanStream, ProbePlan};
 pub use select::{select_prefixes, Selection};
 pub use strategy::{
-    AdaptiveTass, Block24Sample, FullScan, IpHitlist, Prepared, PreparedStrategy, RandomPrefix,
-    RandomSample, ReseedingTass, Strategy, StrategyKind, Tass,
+    AdaptiveTass, Block24Sample, FamilySpace, FullScan, IpHitlist, Prepared, PreparedStrategy,
+    RandomPrefix, RandomSample, ReseedingTass, Strategy, StrategyKind, Tass, V6BlockTass,
+    V6FreshSample, V6Hitlist,
 };

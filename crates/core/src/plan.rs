@@ -1,5 +1,5 @@
 //! Typed probe plans and cycle feedback — the vocabulary of the strategy
-//! lifecycle.
+//! lifecycle, generic over the address family.
 //!
 //! A [`ProbePlan`] is what a prepared strategy decides to probe in one
 //! scan cycle: the whole announced space, a prefix list, a fixed address
@@ -8,6 +8,14 @@
 //! packet-level engine (`tass-scan`'s `ScanEngine::run_plan`) instead of
 //! lossy `Vec<Prefix>` plumbing, and so campaign simulation and real
 //! scanning evaluate the very same object.
+//!
+//! Nothing here is IPv4-specific: the plan, its streams, and the cycle
+//! feedback are parameterised by an [`AddrFamily`] with a [`V4`] default,
+//! so `ProbePlan` written bare is the pre-generic type and
+//! `ProbePlan<V6>` plans 128-bit space. For v6 the `All` variant is a
+//! *seeded*-space scan (the announced list is the seeded /48–/64
+//! prefixes) — brute-forcing 2¹²⁸ addresses is impossible, which is
+//! exactly why the typed prefix/hitlist plans matter there.
 //!
 //! A [`CycleOutcome`] is what the cycle reported back: the probes spent
 //! and the responsive hosts found. Feedback-driven strategies (the
@@ -28,17 +36,18 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tass_model::{HostSet, Snapshot};
 use tass_net::cyclic::{self, AddressIter, Cyclic};
-use tass_net::Prefix;
+use tass_net::{AddrFamily, Prefix, V4};
 
 /// What one scan cycle probes.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ProbePlan {
-    /// Everything announced (a full scan).
+pub enum ProbePlan<F: AddrFamily = V4> {
+    /// Everything announced (a full scan; for v6, a full sweep of the
+    /// *seeded* announced prefixes).
     All,
     /// A set of disjoint prefixes, sorted by address.
-    Prefixes(Vec<Prefix>),
+    Prefixes(Vec<Prefix<F>>),
     /// A fixed set of addresses (an IP hitlist).
-    Addrs(HostSet),
+    Addrs(HostSet<F>),
     /// A fresh uniform random address sample, re-drawn every cycle.
     FreshSample {
         /// Addresses sampled per cycle.
@@ -48,31 +57,37 @@ pub enum ProbePlan {
     },
 }
 
-impl ProbePlan {
+impl<F: AddrFamily> ProbePlan<F> {
     /// Addresses this plan probes in one cycle.
-    pub fn probe_count(&self, announced_space: u64) -> u64 {
+    pub fn probe_count(&self, announced_space: F::Wide) -> F::Wide {
         match self {
             ProbePlan::All => announced_space,
-            ProbePlan::Prefixes(ps) => ps.iter().map(|p| p.size()).sum(),
-            ProbePlan::Addrs(a) => a.len() as u64,
-            ProbePlan::FreshSample { per_cycle, .. } => *per_cycle,
+            ProbePlan::Prefixes(ps) => F::wide_from_u128(
+                ps.iter()
+                    .fold(0u128, |acc, p| acc.saturating_add(p.size_u128())),
+            ),
+            ProbePlan::Addrs(a) => F::wide_from_u128(a.len() as u128),
+            ProbePlan::FreshSample { per_cycle, .. } => F::wide_from_u128(u128::from(*per_cycle)),
         }
     }
 
     /// Fraction of the announced space this plan probes per cycle.
-    pub fn space_fraction(&self, announced_space: u64) -> f64 {
-        if announced_space == 0 {
+    pub fn space_fraction(&self, announced_space: F::Wide) -> f64 {
+        let space = F::wide_to_u128(announced_space);
+        if space == 0 {
             return 0.0;
         }
-        self.probe_count(announced_space) as f64 / announced_space as f64
+        F::wide_to_u128(self.probe_count(announced_space)) as f64 / space as f64
     }
 
     /// Evaluate the plan against one cycle's ground truth.
     ///
     /// `cycle` feeds the fresh-sample RNG so repeated samples differ
     /// cycle to cycle, as they would in a real campaign. The arithmetic
-    /// is byte-identical to the seed implementation's `Prepared::evaluate`.
-    pub fn evaluate(&self, truth: &Snapshot, cycle: u32, announced_space: u64) -> Eval {
+    /// is byte-identical to the seed implementation's `Prepared::evaluate`
+    /// for IPv4 (probe counts above 2⁶⁴ — possible only for v6 prefix
+    /// plans — saturate [`Eval::probes`]).
+    pub fn evaluate(&self, truth: &Snapshot<F>, cycle: u32, announced_space: F::Wide) -> Eval {
         let total = truth.hosts.len() as u64;
         let found = match self {
             ProbePlan::All => total,
@@ -88,7 +103,7 @@ impl ProbePlan {
                 // by normal approximation for campaign-scale n.
                 let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(cycle) << 32));
                 let n = *per_cycle;
-                let p = truth.hosts.len() as f64 / announced_space.max(1) as f64;
+                let p = truth.hosts.len() as f64 / F::wide_to_u128(announced_space).max(1) as f64;
                 if n <= 10_000 {
                     (0..n).filter(|_| rng.random::<f64>() < p).count() as u64
                 } else {
@@ -99,7 +114,8 @@ impl ProbePlan {
                 }
             }
         };
-        let probes = self.probe_count(announced_space);
+        let probes =
+            u64::try_from(F::wide_to_u128(self.probe_count(announced_space))).unwrap_or(u64::MAX);
         Eval {
             found,
             total,
@@ -124,7 +140,12 @@ impl ProbePlan {
     /// membership is drawn per host (deterministically from the seed and
     /// cycle), so its *size* approximates the binomial draw used by
     /// [`ProbePlan::evaluate`] without being forced to match it.
-    pub fn observed(&self, truth: &Snapshot, cycle: u32, announced_space: u64) -> HostSet {
+    pub fn observed(
+        &self,
+        truth: &Snapshot<F>,
+        cycle: u32,
+        announced_space: F::Wide,
+    ) -> HostSet<F> {
         match self {
             ProbePlan::All => truth.hosts.clone(),
             ProbePlan::Prefixes(ps) => {
@@ -139,14 +160,14 @@ impl ProbePlan {
                 HostSet::from_addrs(addrs)
             }
             ProbePlan::Addrs(a) => {
-                let addrs: Vec<u32> = a.iter().filter(|&x| truth.hosts.contains(x)).collect();
+                let addrs: Vec<F::Addr> = a.iter().filter(|&x| truth.hosts.contains(x)).collect();
                 HostSet::from_sorted_unique(addrs)
             }
             ProbePlan::FreshSample { per_cycle, seed } => {
                 let mut rng =
                     SmallRng::seed_from_u64(seed ^ (u64::from(cycle) << 32) ^ 0x0B5E_12FE);
-                let p = *per_cycle as f64 / announced_space.max(1) as f64;
-                let addrs: Vec<u32> = truth
+                let p = *per_cycle as f64 / F::wide_to_u128(announced_space).max(1) as f64;
+                let addrs: Vec<F::Addr> = truth
                     .hosts
                     .iter()
                     .filter(|_| rng.random::<f64>() < p)
@@ -166,9 +187,9 @@ impl ProbePlan {
     pub fn stream<'a>(
         &'a self,
         cycle: u32,
-        announced: &'a [Prefix],
+        announced: &'a [Prefix<F>],
         perm_seed: u64,
-    ) -> PlanStream<'a> {
+    ) -> PlanStream<'a, F> {
         self.stream_shard(cycle, announced, perm_seed, 0, 1)
     }
 
@@ -195,11 +216,11 @@ impl ProbePlan {
     pub fn stream_shard<'a>(
         &'a self,
         cycle: u32,
-        announced: &'a [Prefix],
+        announced: &'a [Prefix<F>],
         perm_seed: u64,
         shard: u64,
         total: u64,
-    ) -> PlanStream<'a> {
+    ) -> PlanStream<'a, F> {
         assert!(total > 0, "total shards must be > 0");
         assert!(shard < total, "shard index out of range");
         let inner = match self {
@@ -233,13 +254,17 @@ impl ProbePlan {
     /// sorting any stream must yield exactly this vector. Intended for
     /// tests and small plans; an Internet-scale `All` plan will allocate
     /// the whole target set here, which is precisely what streaming
-    /// avoids.
-    pub fn materialize(&self, cycle: u32, announced: &[Prefix]) -> Vec<u32> {
-        fn expand(prefixes: &[Prefix]) -> Vec<u32> {
-            let mut out: Vec<u32> =
-                Vec::with_capacity(prefixes.iter().map(|p| p.size() as usize).sum());
+    /// avoids (and a wide v6 prefix plan will simply not fit — keep
+    /// materialisation to seeded-block scale).
+    pub fn materialize(&self, cycle: u32, announced: &[Prefix<F>]) -> Vec<F::Addr> {
+        fn expand<F: AddrFamily>(prefixes: &[Prefix<F>]) -> Vec<F::Addr> {
+            let cap = prefixes
+                .iter()
+                .fold(0u128, |acc, p| acc.saturating_add(p.size_u128()));
+            let mut out: Vec<F::Addr> = Vec::with_capacity(usize::try_from(cap).unwrap_or(0));
             for p in prefixes {
-                out.extend((0..p.size()).map(|off| (u64::from(p.first()) + off) as u32));
+                let base = F::addr_to_u128(p.first());
+                out.extend((0..p.size_u128()).map(|off| F::addr_from_u128(base + off)));
             }
             out.sort_unstable();
             out
@@ -249,7 +274,7 @@ impl ProbePlan {
             ProbePlan::Prefixes(ps) => expand(ps),
             ProbePlan::Addrs(hs) => hs.addrs().to_vec(),
             ProbePlan::FreshSample { .. } => {
-                let mut out: Vec<u32> = self.stream(cycle, announced, 0).collect();
+                let mut out: Vec<F::Addr> = self.stream(cycle, announced, 0).collect();
                 out.sort_unstable();
                 out
             }
@@ -263,21 +288,21 @@ impl ProbePlan {
 /// O(1) state per prefix (a cyclic-group walk position), so consuming an
 /// Internet-scale plan never materialises its target set.
 #[derive(Debug, Clone)]
-pub struct PlanStream<'a> {
-    inner: StreamInner<'a>,
+pub struct PlanStream<'a, F: AddrFamily = V4> {
+    inner: StreamInner<'a, F>,
 }
 
 #[derive(Debug, Clone)]
-enum StreamInner<'a> {
-    Prefixes(PrefixStream<'a>),
-    Addrs(AddrStream<'a>),
-    Sample(SampleStream<'a>),
+enum StreamInner<'a, F: AddrFamily> {
+    Prefixes(PrefixStream<'a, F>),
+    Addrs(AddrStream<'a, F>),
+    Sample(SampleStream<'a, F>),
 }
 
-impl Iterator for PlanStream<'_> {
-    type Item = u32;
+impl<F: AddrFamily> Iterator for PlanStream<'_, F> {
+    type Item = F::Addr;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<F::Addr> {
         match &mut self.inner {
             StreamInner::Prefixes(s) => s.next(),
             StreamInner::Addrs(s) => s.next(),
@@ -291,24 +316,44 @@ impl Iterator for PlanStream<'_> {
 /// size, generated from `perm_seed` and the prefix identity only (never
 /// the shard), so shards of the same prefix walk the same permutation and
 /// partition it by exponent residue.
-fn prefix_walk(prefix: Prefix, perm_seed: u64, shard: u64, total: u64) -> Option<Walk> {
-    let size = prefix.size();
+fn prefix_walk<F: AddrFamily>(
+    prefix: Prefix<F>,
+    perm_seed: u64,
+    shard: u64,
+    total: u64,
+) -> Option<Walk<F>> {
+    let size = prefix.size_u128();
+    // Streaming enumerates every address of the prefix, so anything past
+    // 2^64 addresses is not a scan plan, it is a hang (and the group
+    // construction would overflow or spin factoring a 2^80-sized
+    // modulus). Fail loudly instead: v6 plans must name enumerable
+    // sub-prefixes (dense blocks), which is the entire point of
+    // topology-aware selection at 128 bits.
+    assert!(
+        size <= 1u128 << 64,
+        "cannot stream {} prefix {prefix}: {size} addresses exceed the 2^64 enumerable bound — plan dense sub-prefixes instead",
+        F::NAME,
+    );
     if size == 1 {
         // a single-address prefix has no permutation; it belongs to the
         // stream's shard 0 (callers rotate shards per prefix for balance)
         return (shard == 0).then_some(Walk::Single(prefix.addr()));
     }
+    // fold the (possibly 128-bit) prefix address into the 64-bit seed mix;
+    // for v4 the high word is zero and this is the pre-generic mix exactly
+    let a = F::addr_to_u128(prefix.addr());
+    let addr_mix = (a as u64) ^ ((a >> 64) as u64);
     let mut rng = SmallRng::seed_from_u64(
         perm_seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(prefix.addr()))
+            .wrapping_add(addr_mix)
             .rotate_left(u32::from(prefix.len())),
     );
     let mut p = size + 1;
-    while !cyclic::is_prime(p) {
+    while !cyclic::is_prime_u128(p) {
         p += 1;
     }
-    let group = Cyclic::new(p, &mut rng).expect("p is prime");
+    let group: Cyclic<F> = Cyclic::new(p, &mut rng).expect("p is prime");
     Some(Walk::Cyclic {
         base: prefix.first(),
         offsets: group.addresses(shard, total, size),
@@ -316,44 +361,52 @@ fn prefix_walk(prefix: Prefix, perm_seed: u64, shard: u64, total: u64) -> Option
 }
 
 #[derive(Debug, Clone)]
-enum Walk {
-    Single(u32),
-    Cyclic { base: u32, offsets: AddressIter },
+enum Walk<F: AddrFamily> {
+    Single(F::Addr),
+    Cyclic {
+        base: F::Addr,
+        offsets: AddressIter<F>,
+    },
 }
 
-impl Iterator for Walk {
-    type Item = u32;
+impl<F: AddrFamily> Iterator for Walk<F> {
+    type Item = F::Addr;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<F::Addr> {
         match self {
             Walk::Single(addr) => {
                 let out = *addr;
                 *self = Walk::Cyclic {
-                    base: 0,
+                    base: F::addr_from_u128(0),
                     offsets: AddressIter::empty(),
                 };
                 Some(out)
             }
             Walk::Cyclic { base, offsets } => offsets
                 .next()
-                .map(|off| (u64::from(*base) + u64::from(off)) as u32),
+                .map(|off| F::addr_from_u128(F::addr_to_u128(*base) + F::addr_to_u128(off))),
         }
     }
 }
 
 #[derive(Debug, Clone)]
-struct PrefixStream<'a> {
-    prefixes: &'a [Prefix],
+struct PrefixStream<'a, F: AddrFamily> {
+    prefixes: &'a [Prefix<F>],
     /// Ordinal of the next prefix to open.
     next: usize,
-    walk: Option<Walk>,
+    walk: Option<Walk<F>>,
     perm_seed: u64,
     shard: u64,
     total: u64,
 }
 
-impl<'a> PrefixStream<'a> {
-    fn new(prefixes: &'a [Prefix], perm_seed: u64, shard: u64, total: u64) -> PrefixStream<'a> {
+impl<'a, F: AddrFamily> PrefixStream<'a, F> {
+    fn new(
+        prefixes: &'a [Prefix<F>],
+        perm_seed: u64,
+        shard: u64,
+        total: u64,
+    ) -> PrefixStream<'a, F> {
         PrefixStream {
             prefixes,
             next: 0,
@@ -365,10 +418,10 @@ impl<'a> PrefixStream<'a> {
     }
 }
 
-impl Iterator for PrefixStream<'_> {
-    type Item = u32;
+impl<F: AddrFamily> Iterator for PrefixStream<'_, F> {
+    type Item = F::Addr;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<F::Addr> {
         loop {
             if let Some(walk) = &mut self.walk {
                 if let Some(addr) = walk.next() {
@@ -389,16 +442,16 @@ impl Iterator for PrefixStream<'_> {
 }
 
 #[derive(Debug, Clone)]
-struct AddrStream<'a> {
-    addrs: &'a [u32],
+struct AddrStream<'a, F: AddrFamily> {
+    addrs: &'a [F::Addr],
     idx: usize,
     stride: usize,
 }
 
-impl Iterator for AddrStream<'_> {
-    type Item = u32;
+impl<F: AddrFamily> Iterator for AddrStream<'_, F> {
+    type Item = F::Addr;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<F::Addr> {
         let out = self.addrs.get(self.idx).copied()?;
         self.idx += self.stride;
         Some(out)
@@ -409,25 +462,31 @@ impl Iterator for AddrStream<'_> {
 /// the sampled multiset is shard-independent, and keeps draw `i` iff
 /// `i ≡ shard (mod total)`.
 #[derive(Debug, Clone)]
-struct SampleStream<'a> {
+struct SampleStream<'a, F: AddrFamily> {
     rng: SmallRng,
-    prefixes: &'a [Prefix],
+    prefixes: &'a [Prefix<F>],
     /// Cumulative announced-space offset of each prefix.
-    cum: Vec<u64>,
-    total_space: u64,
+    cum: Vec<u128>,
+    total_space: u128,
     i: u64,
     n: u64,
     shard: u64,
     total: u64,
 }
 
-impl<'a> SampleStream<'a> {
-    fn new(announced: &'a [Prefix], n: u64, seed: u64, shard: u64, total: u64) -> SampleStream<'a> {
+impl<'a, F: AddrFamily> SampleStream<'a, F> {
+    fn new(
+        announced: &'a [Prefix<F>],
+        n: u64,
+        seed: u64,
+        shard: u64,
+        total: u64,
+    ) -> SampleStream<'a, F> {
         let mut cum = Vec::with_capacity(announced.len());
-        let mut total_space = 0u64;
+        let mut total_space = 0u128;
         for p in announced {
             cum.push(total_space);
-            total_space += p.size();
+            total_space = total_space.saturating_add(p.size_u128());
         }
         SampleStream {
             rng: SmallRng::seed_from_u64(seed),
@@ -442,17 +501,21 @@ impl<'a> SampleStream<'a> {
     }
 }
 
-impl Iterator for SampleStream<'_> {
-    type Item = u32;
+impl<F: AddrFamily> Iterator for SampleStream<'_, F> {
+    type Item = F::Addr;
 
-    fn next(&mut self) -> Option<u32> {
+    fn next(&mut self) -> Option<F::Addr> {
         while self.i < self.n {
+            // the u128 range draw consumes the RNG exactly like the old
+            // u64 draw whenever the space fits u64 (every v4 space does)
             let off = self.rng.random_range(0..self.total_space);
             let keep = self.i % self.total == self.shard;
             self.i += 1;
             if keep {
                 let j = self.cum.partition_point(|&c| c <= off) - 1;
-                return Some((u64::from(self.prefixes[j].first()) + (off - self.cum[j])) as u32);
+                return Some(F::addr_from_u128(
+                    F::addr_to_u128(self.prefixes[j].first()) + (off - self.cum[j]),
+                ));
             }
         }
         None
@@ -468,7 +531,8 @@ pub struct Eval {
     pub total: u64,
     /// found / total — the paper's hitrate relative to a full scan.
     pub hitrate: f64,
-    /// Addresses probed this cycle.
+    /// Addresses probed this cycle (saturating at `u64::MAX` for
+    /// above-2⁶⁴ v6 prefix plans).
     pub probes: u64,
     /// found / probes — raw scan efficiency.
     pub efficiency: f64,
@@ -481,19 +545,20 @@ pub struct Eval {
 /// when driving the packet-level engine it comes from the actual
 /// `ScanReport`.
 #[derive(Debug, Clone)]
-pub struct CycleOutcome {
+pub struct CycleOutcome<F: AddrFamily = V4> {
     /// The cycle index (months since t₀ in the §4 simulation).
     pub cycle: u32,
     /// Addresses probed during the cycle.
     pub probes: u64,
     /// The responsive hosts the cycle's probes found.
-    pub responsive: HostSet,
+    pub responsive: HostSet<F>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use tass_model::Protocol;
+    use tass_net::V6;
 
     fn truth(addrs: Vec<u32>) -> Snapshot {
         Snapshot::new(Protocol::Http, 0, HostSet::from_addrs(addrs))
@@ -502,17 +567,43 @@ mod tests {
     #[test]
     fn probe_counts_by_variant() {
         let announced = 1_000u64;
-        assert_eq!(ProbePlan::All.probe_count(announced), announced);
-        let ps = ProbePlan::Prefixes(vec!["10.0.0.0/24".parse().unwrap()]);
+        assert_eq!(ProbePlan::<V4>::All.probe_count(announced), announced);
+        let ps: ProbePlan = ProbePlan::Prefixes(vec!["10.0.0.0/24".parse().unwrap()]);
         assert_eq!(ps.probe_count(announced), 256);
-        let ad = ProbePlan::Addrs(HostSet::from_addrs(vec![1, 2, 3]));
+        let ad: ProbePlan = ProbePlan::Addrs(HostSet::from_addrs(vec![1, 2, 3]));
         assert_eq!(ad.probe_count(announced), 3);
-        let fs = ProbePlan::FreshSample {
+        let fs = ProbePlan::<V4>::FreshSample {
             per_cycle: 42,
             seed: 1,
         };
         assert_eq!(fs.probe_count(announced), 42);
         assert!((fs.space_fraction(announced) - 0.042).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v6_probe_counts_and_saturation() {
+        let seeded: Vec<Prefix<V6>> =
+            vec!["2600::/48".parse().unwrap(), "2600:1::/64".parse().unwrap()];
+        let plan = ProbePlan::Prefixes(seeded.clone());
+        assert_eq!(plan.probe_count(0), (1u128 << 80) + (1u128 << 64));
+        // a /0 v6 "prefix plan" saturates rather than overflowing
+        let absurd = ProbePlan::Prefixes(vec![Prefix::<V6>::zero()]);
+        assert_eq!(absurd.probe_count(0), u128::MAX);
+        let e = absurd.evaluate(
+            &Snapshot::new(Protocol::Http, 0, HostSet::<V6>::default()),
+            0,
+            u128::MAX,
+        );
+        assert_eq!(e.probes, u64::MAX, "Eval::probes saturates");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the 2^64 enumerable bound")]
+    fn streaming_an_unenumerable_v6_prefix_fails_loudly() {
+        // a seeded /48 is 2^80 addresses: not a scan plan, a hang —
+        // the stream must reject it instead of spinning
+        let plan = ProbePlan::Prefixes(vec!["2600::/48".parse::<Prefix<V6>>().unwrap()]);
+        let _ = plan.stream(0, &[], 1).next();
     }
 
     #[test]
@@ -568,6 +659,38 @@ mod tests {
                     plan.materialize(cycle, &announced),
                     "{plan:?} cycle {cycle}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn v6_stream_matches_materialize_and_shards_partition() {
+        let announced: Vec<Prefix<V6>> = vec![
+            "2600::/116".parse().unwrap(),
+            "2600:1::/120".parse().unwrap(),
+            "2600:2::7/128".parse().unwrap(),
+        ];
+        let plans = [
+            ProbePlan::<V6>::All,
+            ProbePlan::Prefixes(vec!["2600::/118".parse().unwrap()]),
+            ProbePlan::Addrs((0u128..64).map(|i| (0x2600u128 << 112) + i * 3).collect()),
+            ProbePlan::FreshSample {
+                per_cycle: 700,
+                seed: 13,
+            },
+        ];
+        for plan in &plans {
+            let want = plan.materialize(1, &announced);
+            let mut got: Vec<u128> = plan.stream(1, &announced, 9).collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "{plan:?}");
+            for total in [2u64, 3, 8] {
+                let mut union: Vec<u128> = Vec::new();
+                for shard in 0..total {
+                    union.extend(plan.stream_shard(1, &announced, 9, shard, total));
+                }
+                union.sort_unstable();
+                assert_eq!(union, want, "{plan:?} with {total} shards");
             }
         }
     }
@@ -636,6 +759,33 @@ mod tests {
         assert!(drawn.iter().any(|&a| a >= 0xC0A8_0000));
         // empty space yields an empty sample rather than spinning
         assert_eq!(plan.stream(1, &[], 0).count(), 0);
+    }
+
+    #[test]
+    fn v6_fresh_sample_draws_from_wide_seeded_space() {
+        // seeded space wider than u64 (two /48s = 2^81 addresses): the
+        // u128 offset draw must stay inside the announced prefixes
+        let announced: Vec<Prefix<V6>> =
+            vec!["2600::/48".parse().unwrap(), "2610::/48".parse().unwrap()];
+        let plan = ProbePlan::<V6>::FreshSample {
+            per_cycle: 400,
+            seed: 2,
+        };
+        let drawn: Vec<u128> = plan.stream(0, &announced, 0).collect();
+        assert_eq!(drawn.len(), 400);
+        assert!(drawn
+            .iter()
+            .all(|&a| announced.iter().any(|p| p.contains_addr(a))));
+        // both prefixes are hit (equal weight)
+        assert!(drawn.iter().any(|&a| a < (0x2610u128 << 112)));
+        assert!(drawn.iter().any(|&a| a >= (0x2610u128 << 112)));
+        // deterministic per (seed, cycle)
+        let again: Vec<u128> = plan.stream(0, &announced, 7).collect();
+        let mut x = drawn.clone();
+        let mut y = again.clone();
+        x.sort_unstable();
+        y.sort_unstable();
+        assert_eq!(x, y, "sampled multiset is walker-independent");
     }
 
     #[test]

@@ -7,21 +7,22 @@
 
 use crate::density::DensityRank;
 use serde::{Deserialize, Serialize};
-use tass_net::Prefix;
+use tass_net::{AddrFamily, Prefix, V4};
 
 /// The outcome of prefix selection at a host-coverage target φ.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Selection {
+pub struct Selection<F: AddrFamily = V4> {
     /// The target φ requested.
     pub phi: f64,
     /// Selected prefixes, in density-rank order.
-    pub prefixes: Vec<Prefix>,
+    pub prefixes: Vec<Prefix<F>>,
     /// k: number of selected prefixes.
     pub k: usize,
     /// Achieved host coverage at t₀ (≥ φ, except when φ ≥ 1).
     pub achieved_coverage: f64,
-    /// Addresses that must be probed per scan cycle.
-    pub selected_space: u64,
+    /// Addresses that must be probed per scan cycle (saturating for
+    /// above-2⁶⁴ v6 selections, like every other space count).
+    pub selected_space: F::Wide,
     /// Fraction of the view's announced space selected — the paper's
     /// "Address Space Coverage" (Table 1).
     pub space_fraction: f64,
@@ -35,14 +36,15 @@ pub struct Selection {
 /// "all prefixes with non-zero density, that is, ρ > 0").
 ///
 /// Panics if `phi` is negative or NaN — a programming error.
-pub fn select_prefixes(rank: &DensityRank, phi: f64) -> Selection {
+pub fn select_prefixes<F: AddrFamily>(rank: &DensityRank<F>, phi: f64) -> Selection<F> {
     assert!(
         phi >= 0.0 && phi.is_finite(),
         "phi must be a finite non-negative fraction"
     );
+    let total_space = F::wide_to_u128(rank.total_space);
     let mut prefixes = Vec::new();
     let mut cum_hosts = 0u64;
-    let mut space = 0u64;
+    let mut space = 0u128;
     // integer-exact cutoff: stop once cum_hosts > phi * N
     let target = phi * rank.total_hosts as f64;
     for s in &rank.stats {
@@ -52,7 +54,7 @@ pub fn select_prefixes(rank: &DensityRank, phi: f64) -> Selection {
         if phi >= 1.0 || cum_hosts as f64 <= target {
             prefixes.push(s.prefix);
             cum_hosts += s.count;
-            space += s.prefix.size();
+            space = space.saturating_add(s.prefix.size_u128());
         }
     }
     // trim: the loop above adds until strictly past the target; for phi<1
@@ -69,9 +71,9 @@ pub fn select_prefixes(rank: &DensityRank, phi: f64) -> Selection {
         } else {
             0.0
         },
-        selected_space: space,
-        space_fraction: if rank.total_space > 0 {
-            space as f64 / rank.total_space as f64
+        selected_space: F::wide_from_u128(space),
+        space_fraction: if total_space > 0 {
+            space as f64 / total_space as f64
         } else {
             0.0
         },
@@ -79,19 +81,19 @@ pub fn select_prefixes(rank: &DensityRank, phi: f64) -> Selection {
     }
 }
 
-impl Selection {
+impl<F: AddrFamily> Selection<F> {
     /// Do the selected prefixes cover this address?
     ///
     /// Selected prefixes come from a partition, so a sorted binary search
     /// over first-addresses suffices; kept simple (linear over a sorted
     /// copy is built once) because hot-path membership is done via
     /// [`Selection::sorted_prefixes`] + `HostSet::count_in_prefix`.
-    pub fn covers_addr(&self, addr: u32) -> bool {
+    pub fn covers_addr(&self, addr: F::Addr) -> bool {
         self.prefixes.iter().any(|p| p.contains_addr(addr))
     }
 
     /// The selected prefixes sorted by address (they are disjoint).
-    pub fn sorted_prefixes(&self) -> Vec<Prefix> {
+    pub fn sorted_prefixes(&self) -> Vec<Prefix<F>> {
         let mut v = self.prefixes.clone();
         v.sort_unstable();
         v

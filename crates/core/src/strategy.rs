@@ -45,18 +45,66 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use tass_bgp::{View, ViewKind};
-use tass_model::{Snapshot, Topology};
-use tass_net::Prefix;
+use tass_model::{Snapshot, Topology, V6Space};
+use tass_net::{AddrFamily, Prefix, V4, V6};
 
 pub use crate::plan::Eval;
 
-/// A scanning strategy: a recipe for seeding from a t₀ full scan.
+/// Binds an address family to its campaign **seeding context** — the
+/// object a [`Strategy`] ranks and selects over. IPv4 strategies seed
+/// from the BGP [`Topology`] (l/m views, announced space); IPv6
+/// strategies seed from the announced [`V6Space`] of /48–/64 operator
+/// prefixes, because there is no enumerable v6 routing view.
+///
+/// This is what lets one `Strategy` trait span both families while every
+/// pre-generic `impl Strategy for …` signature (`topo: &Topology`)
+/// continues to compile verbatim: for the default `F = V4`,
+/// `F::Space = Topology`.
+pub trait FamilySpace: AddrFamily {
+    /// The seeding context (`Topology` for v4, [`V6Space`] for v6).
+    type Space;
+
+    /// The announced prefixes of the space, sorted by address — what the
+    /// scan engine receives as the `announced` list.
+    fn announced_prefixes(space: &Self::Space) -> Vec<Prefix<Self>>;
+
+    /// Total announced address count.
+    fn announced_space(space: &Self::Space) -> Self::Wide;
+}
+
+impl FamilySpace for V4 {
+    type Space = Topology;
+
+    fn announced_prefixes(topo: &Topology) -> Vec<Prefix> {
+        topo.m_view.units().iter().map(|u| u.prefix).collect()
+    }
+
+    fn announced_space(topo: &Topology) -> u64 {
+        topo.announced_space()
+    }
+}
+
+impl FamilySpace for V6 {
+    type Space = V6Space;
+
+    fn announced_prefixes(space: &V6Space) -> Vec<Prefix<V6>> {
+        space.announced().to_vec()
+    }
+
+    fn announced_space(space: &V6Space) -> u128 {
+        space.announced_space()
+    }
+}
+
+/// A scanning strategy: a recipe for seeding from a t₀ full scan,
+/// generic over the address family (default IPv4).
 ///
 /// Implement this (plus [`PreparedStrategy`] for the per-campaign state)
-/// to plug a new strategy into [`crate::campaign::run_campaign_strategy`],
-/// the exhibits, and the scan engine. All built-in strategies go through
-/// this same interface.
-pub trait Strategy: fmt::Debug {
+/// to plug a new strategy into [`crate::campaign::run_campaign_strategy`]
+/// (or [`crate::campaign::run_campaign_v6`]), the exhibits, and the scan
+/// engine. All built-in strategies go through this same interface; the
+/// seeding context is the family's [`FamilySpace::Space`].
+pub trait Strategy<F: FamilySpace = V4>: fmt::Debug {
     /// Short human-readable label (used in tables and CSV).
     fn label(&self) -> String;
 
@@ -65,21 +113,27 @@ pub trait Strategy: fmt::Debug {
     ///
     /// `seed` drives the randomized strategies (samples, random prefixes);
     /// TASS and the hitlist are deterministic.
-    fn prepare(&self, topo: &Topology, t0: &Snapshot, seed: u64) -> Box<dyn PreparedStrategy>;
+    fn prepare(
+        &self,
+        space: &F::Space,
+        t0: &Snapshot<F>,
+        seed: u64,
+    ) -> Box<dyn PreparedStrategy<F>>;
 }
 
-/// The per-campaign lifecycle of a prepared strategy.
+/// The per-campaign lifecycle of a prepared strategy, generic over the
+/// address family (default IPv4).
 ///
 /// Driven as `plan(0) → observe(0) → plan(1) → observe(1) → …` by
 /// [`crate::campaign::run_campaign_strategy`] (or by a real scanning
 /// loop feeding actual `ScanReport`s back in).
-pub trait PreparedStrategy: fmt::Debug {
+pub trait PreparedStrategy<F: AddrFamily = V4>: fmt::Debug {
     /// Decide what to probe this cycle.
-    fn plan(&mut self, cycle: u32) -> ProbePlan;
+    fn plan(&mut self, cycle: u32) -> ProbePlan<F>;
 
     /// Receive the cycle's outcome. Static strategies ignore it; adaptive
     /// ones re-rank, re-seed, or otherwise update state.
-    fn observe(&mut self, cycle: u32, outcome: &CycleOutcome) {
+    fn observe(&mut self, cycle: u32, outcome: &CycleOutcome<F>) {
         let _ = (cycle, outcome);
     }
 
@@ -95,7 +149,7 @@ pub trait PreparedStrategy: fmt::Debug {
     /// The TASS selection details, when the strategy has one (for tables
     /// and the CLI whitelist output). Reflects the *current* selection for
     /// adaptive strategies.
-    fn selection(&self) -> Option<&Selection> {
+    fn selection(&self) -> Option<&Selection<F>> {
         None
     }
 }
@@ -216,22 +270,23 @@ impl StrategyKind {
 // ------------------------------------------------------------------ static
 
 /// A prepared strategy with a fixed plan: probes the same targets every
-/// cycle and ignores feedback. All six seed strategies reduce to this.
+/// cycle and ignores feedback. All six seed strategies reduce to this
+/// (and so do the static v6 strategies — the type is family-generic).
 #[derive(Debug, Clone)]
-pub struct StaticPrepared {
-    plan: ProbePlan,
-    selection: Option<Selection>,
+pub struct StaticPrepared<F: AddrFamily = V4> {
+    plan: ProbePlan<F>,
+    selection: Option<Selection<F>>,
 }
 
-impl StaticPrepared {
+impl<F: AddrFamily> StaticPrepared<F> {
     /// Wrap a fixed plan (and optional selection details).
-    pub fn new(plan: ProbePlan, selection: Option<Selection>) -> StaticPrepared {
+    pub fn new(plan: ProbePlan<F>, selection: Option<Selection<F>>) -> StaticPrepared<F> {
         StaticPrepared { plan, selection }
     }
 }
 
-impl PreparedStrategy for StaticPrepared {
-    fn plan(&mut self, _cycle: u32) -> ProbePlan {
+impl<F: AddrFamily> PreparedStrategy<F> for StaticPrepared<F> {
+    fn plan(&mut self, _cycle: u32) -> ProbePlan<F> {
         self.plan.clone()
     }
 
@@ -239,7 +294,7 @@ impl PreparedStrategy for StaticPrepared {
         false
     }
 
-    fn selection(&self) -> Option<&Selection> {
+    fn selection(&self) -> Option<&Selection<F>> {
         self.selection.as_ref()
     }
 }
@@ -655,6 +710,168 @@ impl PreparedStrategy for AdaptivePrepared {
 
     fn selection(&self) -> Option<&Selection> {
         Some(&self.selection)
+    }
+}
+
+// ----------------------------------------------------------------- IPv6
+
+/// Re-probe the exact v6 addresses responsive at t₀ — the only v6
+/// baseline that exists in practice (public hitlists), maximally
+/// efficient and fastest to decay, as in §4.1 for v4.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct V6Hitlist;
+
+impl Strategy<V6> for V6Hitlist {
+    fn label(&self) -> String {
+        "v6-hitlist".into()
+    }
+
+    fn prepare(
+        &self,
+        _space: &V6Space,
+        t0: &Snapshot<V6>,
+        _seed: u64,
+    ) -> Box<dyn PreparedStrategy<V6>> {
+        Box::new(StaticPrepared::new(
+            ProbePlan::Addrs(t0.hosts.clone()),
+            None,
+        ))
+    }
+}
+
+/// TASS transplanted to IPv6: attribute the t₀ hitlist's hosts to their
+/// enclosing `/block_len` blocks, rank the blocks by density
+/// ρᵢ = cᵢ / 2^(128−block_len), and select the smallest set covering a
+/// fraction φ of hosts — then probe those blocks exhaustively each
+/// cycle, re-ranking from each cycle's own responses (the hosts churn
+/// *within* pools, so the dense blocks persist even as addresses
+/// change). This is the regime where topology-aware selection is not an
+/// optimisation but the only option: the enclosing space is 2⁸⁰⁺
+/// addresses.
+#[derive(Debug, Clone, Copy)]
+pub struct V6BlockTass {
+    /// Host-coverage target φ.
+    pub phi: f64,
+    /// Block granularity the hitlist is attributed at (e.g. 116).
+    pub block_len: u8,
+}
+
+impl Strategy<V6> for V6BlockTass {
+    fn label(&self) -> String {
+        format!("v6-block-tass-len{}-phi{}", self.block_len, self.phi)
+    }
+
+    fn prepare(
+        &self,
+        _space: &V6Space,
+        t0: &Snapshot<V6>,
+        _seed: u64,
+    ) -> Box<dyn PreparedStrategy<V6>> {
+        let blocks = blocks_of(&t0.hosts, self.block_len);
+        let counts: Vec<u64> = blocks
+            .iter()
+            .map(|b| t0.hosts.count_in_prefix(*b) as u64)
+            .collect();
+        let mut prepared = V6BlockPrepared {
+            phi: self.phi,
+            block_len: self.block_len,
+            blocks,
+            counts,
+            selection: Selection::default(),
+        };
+        prepared.reselect();
+        Box::new(prepared)
+    }
+}
+
+/// The distinct `/len` blocks a host set occupies (sorted).
+fn blocks_of(hosts: &tass_model::HostSet<V6>, block_len: u8) -> Vec<Prefix<V6>> {
+    let mut blocks: Vec<Prefix<V6>> = hosts
+        .iter()
+        .map(|a| Prefix::<V6>::new_truncate(a, block_len).expect("block_len <= 128"))
+        .collect();
+    blocks.dedup(); // hosts are sorted, so equal blocks are adjacent
+    blocks
+}
+
+#[derive(Debug, Clone)]
+struct V6BlockPrepared {
+    phi: f64,
+    block_len: u8,
+    /// Every dense block ever observed, sorted by address.
+    blocks: Vec<Prefix<V6>>,
+    /// Last observed responsive count per block (index-aligned). Counts
+    /// of unprobed blocks persist — the φ cutoff always ranks the *whole*
+    /// known table, so the selection never compounds its own cutoff.
+    counts: Vec<u64>,
+    selection: Selection<V6>,
+}
+
+impl V6BlockPrepared {
+    /// Steps 2–4 over the maintained per-block counts.
+    fn reselect(&mut self) {
+        let rank = crate::density::rank_prefix_counts(&self.blocks, &self.counts);
+        self.selection = select_prefixes(&rank, self.phi);
+    }
+}
+
+impl PreparedStrategy<V6> for V6BlockPrepared {
+    fn plan(&mut self, _cycle: u32) -> ProbePlan<V6> {
+        ProbePlan::Prefixes(self.selection.sorted_prefixes())
+    }
+
+    fn observe(&mut self, _cycle: u32, outcome: &CycleOutcome<V6>) {
+        // update the counts of every block this cycle probed from its own
+        // responses (blocks persist even as hosts renumber inside them),
+        // and adopt any newly discovered blocks
+        for block in &self.selection.prefixes {
+            if let Ok(i) = self.blocks.binary_search(block) {
+                self.counts[i] = outcome.responsive.count_in_prefix(*block) as u64;
+            }
+        }
+        for block in blocks_of(&outcome.responsive, self.block_len) {
+            if let Err(i) = self.blocks.binary_search(&block) {
+                self.blocks.insert(i, block);
+                self.counts
+                    .insert(i, outcome.responsive.count_in_prefix(block) as u64);
+            }
+        }
+        self.reselect();
+    }
+
+    fn selection(&self) -> Option<&Selection<V6>> {
+        Some(&self.selection)
+    }
+}
+
+/// A fresh uniform random sample of the seeded v6 space each cycle —
+/// the §2 baseline transplanted to v6, where it collapses: the announced
+/// space is 2⁸⁰⁺ addresses, so any affordable sample has a hitrate
+/// indistinguishable from zero. Included to *show* that collapse.
+#[derive(Debug, Clone, Copy)]
+pub struct V6FreshSample {
+    /// Addresses sampled per cycle.
+    pub per_cycle: u64,
+}
+
+impl Strategy<V6> for V6FreshSample {
+    fn label(&self) -> String {
+        format!("v6-fresh-sample-{}", self.per_cycle)
+    }
+
+    fn prepare(
+        &self,
+        _space: &V6Space,
+        _t0: &Snapshot<V6>,
+        seed: u64,
+    ) -> Box<dyn PreparedStrategy<V6>> {
+        Box::new(StaticPrepared::new(
+            ProbePlan::FreshSample {
+                per_cycle: self.per_cycle,
+                seed,
+            },
+            None,
+        ))
     }
 }
 

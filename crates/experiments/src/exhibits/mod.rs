@@ -10,6 +10,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod ipv6;
 pub mod scan_validation;
 pub mod sec34;
 pub mod table1;
@@ -35,6 +36,7 @@ pub fn all() -> Vec<(&'static str, ExhibitFn)> {
         ("efficiency", efficiency::run as ExhibitFn),
         ("ablation", ablation::run as ExhibitFn),
         ("adaptive", adaptive::run as ExhibitFn),
+        ("ipv6", ipv6::run as ExhibitFn),
         ("scan_validation", scan_validation::run as ExhibitFn),
     ]
 }

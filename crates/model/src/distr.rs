@@ -134,7 +134,7 @@ pub fn sample_count_geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize 
     n
 }
 
-/// Bernoulli draw that tolerates probabilities outside [0,1] by clamping —
+/// Bernoulli draw that tolerates probabilities outside \[0,1\] by clamping —
 /// convenient for composed model parameters.
 pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
     if p <= 0.0 {

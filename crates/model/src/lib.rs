@@ -3,6 +3,13 @@
 //! Replaces the paper's censys.io dataset (28 full IPv4 scans, 4.1 TB) with
 //! a seeded, class-driven simulation of protocol host populations and their
 //! monthly evolution. See DESIGN.md §3.3 for the substitution argument.
+//!
+//! Ground-truth containers ([`HostSet`], [`Snapshot`]) are generic over
+//! the address family with an IPv4 default; [`V6Universe`] synthesises a
+//! sparse IPv6 universe from seeded /48–/64 operator prefixes whose
+//! responsive hosts cluster in dense blocks — the regime where
+//! topology-aware target selection is not merely cheaper but the only
+//! feasible strategy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,8 +23,11 @@ pub mod topology;
 pub mod universe;
 
 pub use churn::{default_churn, ChurnTable, ClassChurn};
-pub use population::{default_density, DensityParams, DensityTable, Population};
+pub use population::{
+    default_density, random_v6_addr_in, seed_v6_block_hosts, DensityParams, DensityTable,
+    Population,
+};
 pub use protocol::Protocol;
 pub use snapshot::{HostSet, Snapshot};
 pub use topology::{BlockMeta, Topology};
-pub use universe::{Universe, UniverseConfig};
+pub use universe::{Universe, UniverseConfig, V6Space, V6Universe, V6UniverseConfig};

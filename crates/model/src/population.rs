@@ -160,6 +160,40 @@ pub(crate) fn random_addr_in(rng: &mut SmallRng, prefix: tass_net::Prefix) -> u3
     (u64::from(prefix.first()) + off) as u32
 }
 
+/// Draw a uniform random IPv6 address inside a prefix. Prefix sizes are
+/// powers of two, so masking 128 random bits is exact and rejection-free.
+pub fn random_v6_addr_in(rng: &mut SmallRng, prefix: tass_net::Prefix<tass_net::V6>) -> u128 {
+    let host_mask = if prefix.len() == 0 {
+        u128::MAX
+    } else {
+        (1u128 << (128 - prefix.len())) - 1
+    };
+    prefix.first() | (rng.random::<u128>() & host_mask)
+}
+
+/// Seed `count` distinct IPv6 hosts uniformly inside a dense block —
+/// the v6 analogue of a block's `ρ · |block|` materialisation. The v6
+/// population model has no per-address-class mixture (there is no
+/// per-/24 census to calibrate one against); density structure lives in
+/// *which blocks exist*, which is exactly the paper's point transplanted
+/// to v6: responsive space is vanishingly sparse and heavily clustered.
+pub fn seed_v6_block_hosts(
+    rng: &mut SmallRng,
+    block: tass_net::Prefix<tass_net::V6>,
+    count: usize,
+) -> Vec<u128> {
+    let cap = usize::try_from(block.size_u128() / 2).unwrap_or(usize::MAX);
+    let count = count.min(cap);
+    let mut used: HashSet<u128> = HashSet::with_capacity(count);
+    while used.len() < count {
+        used.insert(random_v6_addr_in(rng, block));
+    }
+    // deterministic order for downstream RNG stability
+    let mut addrs: Vec<u128> = used.into_iter().collect();
+    addrs.sort_unstable();
+    addrs
+}
+
 impl Population {
     /// Seed the initial population over a topology.
     ///

@@ -11,19 +11,22 @@
 use crate::protocol::Protocol;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
+use tass_net::{AddrFamily, Prefix, V4};
 
-/// A sorted, deduplicated set of responsive IPv4 addresses.
+/// A sorted, deduplicated set of responsive addresses, generic over the
+/// address family (the default `HostSet` is IPv4, `HostSet<V6>` carries
+/// `u128` addresses).
 ///
 /// This is the "host set" unit of the whole evaluation: hitrates are
 /// ratios of intersections of these sets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct HostSet {
-    addrs: Vec<u32>,
+pub struct HostSet<F: AddrFamily = V4> {
+    addrs: Vec<F::Addr>,
 }
 
-impl HostSet {
+impl<F: AddrFamily> HostSet<F> {
     /// Build from an arbitrary address list (sorted and deduplicated here).
-    pub fn from_addrs(mut addrs: Vec<u32>) -> Self {
+    pub fn from_addrs(mut addrs: Vec<F::Addr>) -> Self {
         addrs.sort_unstable();
         addrs.dedup();
         HostSet { addrs }
@@ -32,7 +35,7 @@ impl HostSet {
     /// Build from a list that is already sorted and unique.
     ///
     /// Panics in debug builds if the precondition is violated.
-    pub fn from_sorted_unique(addrs: Vec<u32>) -> Self {
+    pub fn from_sorted_unique(addrs: Vec<F::Addr>) -> Self {
         debug_assert!(
             addrs.windows(2).all(|w| w[0] < w[1]),
             "addrs not sorted/unique"
@@ -41,7 +44,7 @@ impl HostSet {
     }
 
     /// The addresses, sorted ascending.
-    pub fn addrs(&self) -> &[u32] {
+    pub fn addrs(&self) -> &[F::Addr] {
         &self.addrs
     }
 
@@ -56,12 +59,12 @@ impl HostSet {
     }
 
     /// Membership test (binary search).
-    pub fn contains(&self, addr: u32) -> bool {
+    pub fn contains(&self, addr: F::Addr) -> bool {
         self.addrs.binary_search(&addr).is_ok()
     }
 
     /// Size of the intersection with another host set (linear merge).
-    pub fn intersection_count(&self, other: &HostSet) -> usize {
+    pub fn intersection_count(&self, other: &HostSet<F>) -> usize {
         let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
         let (a, b) = (&self.addrs, &other.addrs);
         while i < a.len() && j < b.len() {
@@ -80,43 +83,43 @@ impl HostSet {
 
     /// Count how many members fall within `[first, last]` (inclusive).
     /// O(log n) — used to count hosts per prefix.
-    pub fn count_in_range(&self, first: u32, last: u32) -> usize {
+    pub fn count_in_range(&self, first: F::Addr, last: F::Addr) -> usize {
         let lo = self.addrs.partition_point(|&a| a < first);
         let hi = self.addrs.partition_point(|&a| a <= last);
         hi - lo
     }
 
     /// Count members covered by a prefix.
-    pub fn count_in_prefix(&self, p: tass_net::Prefix) -> usize {
+    pub fn count_in_prefix(&self, p: Prefix<F>) -> usize {
         self.count_in_range(p.first(), p.last())
     }
 
     /// Iterate members ascending.
-    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = F::Addr> + '_ {
         self.addrs.iter().copied()
     }
 }
 
-impl FromIterator<u32> for HostSet {
-    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+impl<F: AddrFamily> FromIterator<F::Addr> for HostSet<F> {
+    fn from_iter<I: IntoIterator<Item = F::Addr>>(iter: I) -> Self {
         HostSet::from_addrs(iter.into_iter().collect())
     }
 }
 
-/// One protocol's ground truth for one month.
+/// One protocol's ground truth for one month, generic over the family.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Snapshot {
+pub struct Snapshot<F: AddrFamily = V4> {
     /// The protocol scanned.
     pub protocol: Protocol,
     /// Month index since the seeding scan (0 = t₀).
     pub month: u32,
     /// The responsive hosts.
-    pub hosts: HostSet,
+    pub hosts: HostSet<F>,
 }
 
-impl Snapshot {
+impl<F: AddrFamily> Snapshot<F> {
     /// Construct a snapshot.
-    pub fn new(protocol: Protocol, month: u32, hosts: HostSet) -> Self {
+    pub fn new(protocol: Protocol, month: u32, hosts: HostSet<F>) -> Self {
         Snapshot {
             protocol,
             month,
@@ -238,7 +241,7 @@ mod tests {
         assert_eq!(s.addrs(), &[1, 3, 5]);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
-        assert!(HostSet::default().is_empty());
+        assert!(HostSet::<tass_net::V4>::default().is_empty());
     }
 
     #[test]

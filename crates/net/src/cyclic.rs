@@ -1,4 +1,5 @@
-//! ZMap's address permutation: multiplicative-group iteration.
+//! ZMap's address permutation: multiplicative-group iteration, generic
+//! over the address family.
 //!
 //! To spread probes evenly over the Internet (and over every target
 //! network's intrusion detection thresholds), ZMap iterates the IPv4 space
@@ -9,10 +10,22 @@
 //! shardable (shard *i* of *k* visits exponents ≡ i (mod k)), and is
 //! reproduced here exactly.
 //!
+//! The group is generic over the [`AddrFamily`]: for [`V4`] the modulus
+//! lives in `u64` (the pre-generic API, bit for bit); for
+//! [`V6`](crate::V6) it lives in `u128`, with modular
+//! multiplication falling back to a 256-bit limb product only when the
+//! modulus exceeds 64 bits. In practice v6 walks permute *prefix-sized*
+//! sub-spaces (a seeded /116 block, say) whose moduli are far below
+//! 2⁶⁴ — the u128 path exists so the arithmetic is correct at any width,
+//! not because whole-space v6 enumeration is sensible (it is not; that is
+//! the point of topology-aware selection).
+//!
 //! The modulus is configurable so small groups can be tested exhaustively;
 //! [`Cyclic::ipv4`] uses ZMap's prime.
 
+use crate::family::{AddrFamily, V4};
 use rand::Rng;
+use std::marker::PhantomData;
 
 /// ZMap's scanning prime: the smallest prime larger than 2³².
 pub const ZMAP_PRIME: u64 = 4_294_967_311; // 2^32 + 15
@@ -37,30 +50,121 @@ pub fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
     acc
 }
 
-/// Trial-division primality test (sufficient for the ≤ 33-bit moduli used
-/// here; the scanning prime is fixed and small primes are test-only).
+/// `(a * b) mod m` at u128 width. Takes the single-multiply u64 path
+/// whenever the modulus allows (the overwhelmingly common case, and the
+/// one the v4 permutation exercises); otherwise reduces a 256-bit limb
+/// product.
+#[inline]
+pub fn mulmod_u128(a: u128, b: u128, m: u128) -> u128 {
+    if let (Ok(a64), Ok(b64), Ok(m64)) =
+        (u64::try_from(a % m), u64::try_from(b % m), u64::try_from(m))
+    {
+        return u128::from(mulmod(a64, b64, m64));
+    }
+    // Russian-peasant double-and-add: O(128) additions, each safe because
+    // every intermediate stays below 2·m ≤ 2¹²⁹ via pre-reduction and the
+    // subtract-on-overflow step.
+    let (mut a, mut b) = (a % m, b % m);
+    let mut acc: u128 = 0;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc = addmod_u128(acc, a, m);
+        }
+        a = addmod_u128(a, a, m);
+        b >>= 1;
+    }
+    acc
+}
+
+/// `(a + b) mod m` for already-reduced operands, overflow-safe.
+#[inline]
+fn addmod_u128(a: u128, b: u128, m: u128) -> u128 {
+    debug_assert!(a < m && b < m);
+    let (sum, carried) = a.overflowing_add(b);
+    if carried || sum >= m {
+        // a + b − m < m holds in both cases; wrapping_sub realises the
+        // 2¹²⁸-modular arithmetic when the addition carried
+        sum.wrapping_sub(m)
+    } else {
+        sum
+    }
+}
+
+/// `(base ^ exp) mod m` at u128 width.
+pub fn powmod_u128(mut base: u128, mut exp: u128, m: u128) -> u128 {
+    let mut acc = 1u128 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod_u128(acc, base, m);
+        }
+        base = mulmod_u128(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Primality test (Miller–Rabin; see [`is_prime_u128`]).
 pub fn is_prime(n: u64) -> bool {
+    is_prime_u128(u128::from(n))
+}
+
+/// Witness set for Miller–Rabin: the first twelve primes decide
+/// primality *deterministically* for every n < 3.3·10²⁴ ≈ 2⁸¹ — far
+/// beyond any modulus a prefix-sized permutation can produce.
+const MR_WITNESSES: [u128; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Miller–Rabin primality at u128 width: O(log² n) per witness instead
+/// of the old O(√n) trial division, so the u128 modulus path costs the
+/// same a few dozen `powmod`s as the u64 one (deterministic below 2⁸¹,
+/// vanishingly improbable to err above — no practical modulus gets
+/// there).
+pub fn is_prime_u128(n: u128) -> bool {
     if n < 2 {
         return false;
     }
-    if n.is_multiple_of(2) {
-        return n == 2;
-    }
-    let mut d = 3u64;
-    while d.saturating_mul(d) <= n {
-        if n.is_multiple_of(d) {
-            return false;
+    for &p in &MR_WITNESSES {
+        if n.is_multiple_of(p) {
+            return n == p;
         }
-        d += 2;
+    }
+    // n − 1 = d · 2^s with d odd
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &MR_WITNESSES {
+        let mut x = powmod_u128(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mulmod_u128(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
     }
     true
 }
 
 /// Distinct prime factors of `n` by trial division.
-pub fn prime_factors(mut n: u64) -> Vec<u64> {
+pub fn prime_factors(n: u64) -> Vec<u64> {
+    prime_factors_u128(u128::from(n))
+        .into_iter()
+        .map(|f| f as u64)
+        .collect()
+}
+
+/// Distinct prime factors at u128 width (trial division; same cost note
+/// as [`is_prime_u128`]).
+pub fn prime_factors_u128(mut n: u128) -> Vec<u128> {
     let mut out = Vec::new();
-    let mut d = 2u64;
-    while u128::from(d) * u128::from(d) <= u128::from(n) {
+    let mut d = 2u128;
+    while d.saturating_mul(d) <= n {
         if n.is_multiple_of(d) {
             out.push(d);
             while n.is_multiple_of(d) {
@@ -79,9 +183,9 @@ pub fn prime_factors(mut n: u64) -> Vec<u64> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CyclicError {
     /// The modulus is not prime.
-    NotPrime(u64),
+    NotPrime(u128),
     /// The proposed generator is not a primitive root of the group.
-    NotPrimitiveRoot(u64),
+    NotPrimitiveRoot(u128),
 }
 
 impl std::fmt::Display for CyclicError {
@@ -95,73 +199,114 @@ impl std::fmt::Display for CyclicError {
 
 impl std::error::Error for CyclicError {}
 
-/// A full-cycle permutation of `1..p` via a primitive root of ℤ*_p.
+/// Draw a uniform value in `[lo, hi)` at u128 width, consuming the RNG
+/// exactly like the pre-generic u64 draw whenever the bounds permit — the
+/// v4 permutation's random generators are reproduced bit for bit.
+fn random_range_u128<R: Rng + ?Sized>(rng: &mut R, lo: u128, hi: u128) -> u128 {
+    if let (Ok(lo64), Ok(hi64)) = (u64::try_from(lo), u64::try_from(hi)) {
+        u128::from(rng.random_range(lo64..hi64))
+    } else {
+        rng.random_range(lo..hi)
+    }
+}
+
+/// A full-cycle permutation of `1..p` via a primitive root of ℤ*_p,
+/// generic over the address family whose space it walks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Cyclic {
-    p: u64,
-    generator: u64,
+pub struct Cyclic<F: AddrFamily = V4> {
+    p: u128,
+    generator: u128,
+    _family: PhantomData<F>,
 }
 
 impl Cyclic {
-    /// Build over ℤ*_p with a randomly chosen primitive root.
-    pub fn new<R: Rng + ?Sized>(p: u64, rng: &mut R) -> Result<Cyclic, CyclicError> {
-        if !is_prime(p) {
-            return Err(CyclicError::NotPrime(p));
-        }
-        if p == 2 {
-            // ℤ*_2 is the trivial group {1}; 1 generates it
-            return Ok(Cyclic { p, generator: 1 });
-        }
-        let factors = prime_factors(p - 1);
-        loop {
-            let g = rng.random_range(2..p);
-            if is_primitive_root(g, p, &factors) {
-                return Ok(Cyclic { p, generator: g });
-            }
-        }
-    }
-
-    /// Build with an explicit generator (validated).
-    pub fn with_generator(p: u64, g: u64) -> Result<Cyclic, CyclicError> {
-        if !is_prime(p) {
-            return Err(CyclicError::NotPrime(p));
-        }
-        if p == 2 {
-            return if g == 1 {
-                Ok(Cyclic { p, generator: 1 })
-            } else {
-                Err(CyclicError::NotPrimitiveRoot(g))
-            };
-        }
-        let factors = prime_factors(p - 1);
-        if g < 2 || g >= p || !is_primitive_root(g, p, &factors) {
-            return Err(CyclicError::NotPrimitiveRoot(g));
-        }
-        Ok(Cyclic { p, generator: g })
-    }
-
     /// Build over the IPv4 scanning prime with a random primitive root.
     pub fn ipv4<R: Rng + ?Sized>(rng: &mut R) -> Cyclic {
         Cyclic::new(ZMAP_PRIME, rng).expect("ZMAP_PRIME is prime")
     }
 
+    /// Address iterator over the full IPv4 space.
+    pub fn ipv4_addresses(&self) -> AddressIter {
+        self.addresses(0, 1, 1u64 << 32)
+    }
+}
+
+impl<F: AddrFamily> Cyclic<F> {
+    /// Build over ℤ*_p with a randomly chosen primitive root.
+    pub fn new<R: Rng + ?Sized, W: Into<u128>>(
+        p: W,
+        rng: &mut R,
+    ) -> Result<Cyclic<F>, CyclicError> {
+        let p = p.into();
+        if !is_prime_u128(p) {
+            return Err(CyclicError::NotPrime(p));
+        }
+        if p == 2 {
+            // ℤ*_2 is the trivial group {1}; 1 generates it
+            return Ok(Cyclic {
+                p,
+                generator: 1,
+                _family: PhantomData,
+            });
+        }
+        let factors = prime_factors_u128(p - 1);
+        loop {
+            let g = random_range_u128(rng, 2, p);
+            if is_primitive_root(g, p, &factors) {
+                return Ok(Cyclic {
+                    p,
+                    generator: g,
+                    _family: PhantomData,
+                });
+            }
+        }
+    }
+
+    /// Build with an explicit generator (validated).
+    pub fn with_generator<W: Into<u128>>(p: W, g: W) -> Result<Cyclic<F>, CyclicError> {
+        let (p, g) = (p.into(), g.into());
+        if !is_prime_u128(p) {
+            return Err(CyclicError::NotPrime(p));
+        }
+        if p == 2 {
+            return if g == 1 {
+                Ok(Cyclic {
+                    p,
+                    generator: 1,
+                    _family: PhantomData,
+                })
+            } else {
+                Err(CyclicError::NotPrimitiveRoot(g))
+            };
+        }
+        let factors = prime_factors_u128(p - 1);
+        if g < 2 || g >= p || !is_primitive_root(g, p, &factors) {
+            return Err(CyclicError::NotPrimitiveRoot(g));
+        }
+        Ok(Cyclic {
+            p,
+            generator: g,
+            _family: PhantomData,
+        })
+    }
+
     /// The modulus.
-    pub fn modulus(&self) -> u64 {
-        self.p
+    pub fn modulus(&self) -> F::Wide {
+        F::wide_from_u128(self.p)
     }
 
     /// The generator.
-    pub fn generator(&self) -> u64 {
-        self.generator
+    pub fn generator(&self) -> F::Wide {
+        F::wide_from_u128(self.generator)
     }
 
     /// Group order (p − 1): the number of elements in the full cycle.
-    pub fn order(&self) -> u64 {
-        self.p - 1
+    pub fn order(&self) -> F::Wide {
+        F::wide_from_u128(self.p - 1)
     }
 
     /// Iterate the whole group: `g¹, g², …, g^(p−1)`.
-    pub fn iter(&self) -> CyclicIter {
+    pub fn iter(&self) -> CyclicIter<F> {
         self.iter_shard(0, 1)
     }
 
@@ -169,72 +314,70 @@ impl Cyclic {
     /// …` — together the shards partition the group, ZMap's `--shards`.
     ///
     /// Panics if `shard >= total` or `total == 0`.
-    pub fn iter_shard(&self, shard: u64, total: u64) -> CyclicIter {
+    pub fn iter_shard(&self, shard: u64, total: u64) -> CyclicIter<F> {
         assert!(total > 0, "total shards must be > 0");
         assert!(shard < total, "shard index out of range");
-        let first_exp = shard + 1;
-        let remaining = if self.order() >= first_exp {
-            (self.order() - first_exp) / total + 1
+        let order = self.p - 1;
+        let first_exp = u128::from(shard) + 1;
+        let remaining = if order >= first_exp {
+            (order - first_exp) / u128::from(total) + 1
         } else {
             0
         };
         CyclicIter {
-            cur: powmod(self.generator, first_exp, self.p),
-            step: powmod(self.generator, total, self.p),
+            cur: powmod_u128(self.generator, first_exp, self.p),
+            step: powmod_u128(self.generator, u128::from(total), self.p),
             p: self.p,
             remaining,
+            _family: PhantomData,
         }
     }
 
     /// Iterate group elements mapped to addresses `element − 1`, skipping
     /// elements above `limit` (for the IPv4 prime: `limit = 2³²` skips the
     /// 15 out-of-range values and yields every address exactly once).
-    pub fn addresses(&self, shard: u64, total: u64, limit: u64) -> AddressIter {
+    pub fn addresses<W: Into<u128>>(&self, shard: u64, total: u64, limit: W) -> AddressIter<F> {
         AddressIter {
             inner: self.iter_shard(shard, total),
-            limit,
+            limit: limit.into(),
         }
-    }
-
-    /// Address iterator over the full IPv4 space.
-    pub fn ipv4_addresses(&self) -> AddressIter {
-        self.addresses(0, 1, 1 << 32)
     }
 }
 
-fn is_primitive_root(g: u64, p: u64, factors_of_order: &[u64]) -> bool {
+fn is_primitive_root(g: u128, p: u128, factors_of_order: &[u128]) -> bool {
     if g.is_multiple_of(p) {
         return false;
     }
     factors_of_order
         .iter()
-        .all(|&q| powmod(g, (p - 1) / q, p) != 1)
+        .all(|&q| powmod_u128(g, (p - 1) / q, p) != 1)
 }
 
 /// Iterator over group elements (see [`Cyclic::iter_shard`]).
 #[derive(Debug, Clone)]
-pub struct CyclicIter {
-    cur: u64,
-    step: u64,
-    p: u64,
-    remaining: u64,
+pub struct CyclicIter<F: AddrFamily = V4> {
+    cur: u128,
+    step: u128,
+    p: u128,
+    remaining: u128,
+    _family: PhantomData<F>,
 }
 
-impl Iterator for CyclicIter {
-    type Item = u64;
+impl<F: AddrFamily> Iterator for CyclicIter<F> {
+    type Item = F::Wide;
 
-    fn next(&mut self) -> Option<u64> {
+    fn next(&mut self) -> Option<F::Wide> {
         if self.remaining == 0 {
             return None;
         }
         self.remaining -= 1;
         let out = self.cur;
-        self.cur = mulmod(self.cur, self.step, self.p);
-        Some(out)
+        self.cur = mulmod_u128(self.cur, self.step, self.p);
+        Some(F::wide_from_u128(out))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.remaining as usize;
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
         (n, Some(n))
     }
 }
@@ -242,33 +385,37 @@ impl Iterator for CyclicIter {
 /// Iterator over addresses derived from group elements (see
 /// [`Cyclic::addresses`]).
 #[derive(Debug, Clone)]
-pub struct AddressIter {
-    inner: CyclicIter,
-    limit: u64,
+pub struct AddressIter<F: AddrFamily = V4> {
+    inner: CyclicIter<F>,
+    limit: u128,
 }
 
-impl AddressIter {
+impl<F: AddrFamily> AddressIter<F> {
     /// An exhausted iterator, for callers that need a placeholder walk.
-    pub fn empty() -> AddressIter {
+    pub fn empty() -> AddressIter<F> {
         AddressIter {
             inner: CyclicIter {
                 cur: 0,
                 step: 0,
                 p: 1,
                 remaining: 0,
+                _family: PhantomData,
             },
             limit: 0,
         }
     }
 }
 
-impl Iterator for AddressIter {
-    type Item = u32;
+impl<F: AddrFamily> Iterator for AddressIter<F> {
+    type Item = F::Addr;
 
-    fn next(&mut self) -> Option<u32> {
-        for e in self.inner.by_ref() {
+    fn next(&mut self) -> Option<F::Addr> {
+        while self.inner.remaining > 0 {
+            self.inner.remaining -= 1;
+            let e = self.inner.cur;
+            self.inner.cur = mulmod_u128(self.inner.cur, self.inner.step, self.inner.p);
             if e <= self.limit {
-                return Some((e - 1) as u32);
+                return Some(F::addr_from_u128(e - 1));
             }
         }
         None
@@ -278,6 +425,7 @@ impl Iterator for AddressIter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::family::V6;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -286,6 +434,9 @@ mod tests {
         assert!(is_prime(2) && is_prime(3) && is_prime(257) && is_prime(65537));
         assert!(!is_prime(0) && !is_prime(1) && !is_prime(4) && !is_prime(65535));
         assert!(is_prime(ZMAP_PRIME), "ZMap's prime must be prime");
+        // above-u64 width
+        assert!(is_prime_u128((1u128 << 64) + 13));
+        assert!(!is_prime_u128(1u128 << 64));
     }
 
     #[test]
@@ -312,9 +463,30 @@ mod tests {
     }
 
     #[test]
+    fn wide_mulmod_agrees_with_narrow_and_handles_128_bits() {
+        // narrow agreement
+        for (a, b, m) in [(3u64, 5u64, 7u64), (u64::MAX, u64::MAX, ZMAP_PRIME)] {
+            assert_eq!(
+                mulmod_u128(u128::from(a), u128::from(b), u128::from(m)),
+                u128::from(mulmod(a, b, m))
+            );
+        }
+        // beyond u64: (2^64)·(2^64) mod (2^64+13) — peasant path.
+        // 2^64 ≡ −13, so the product ≡ 169.
+        let m = (1u128 << 64) + 13;
+        assert_eq!(mulmod_u128(1u128 << 64, 1u128 << 64, m), 169);
+        assert_eq!(powmod_u128(1u128 << 64, 2, m), 169);
+        // identity laws at full width
+        let big = u128::MAX - 58; // arbitrary reduced operand
+        let m2 = u128::MAX - 56;
+        assert_eq!(mulmod_u128(big, 1, m2), big);
+        assert_eq!(mulmod_u128(1, big, m2), big);
+    }
+
+    #[test]
     fn full_cycle_is_permutation_small_prime() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let c = Cyclic::new(257, &mut rng).unwrap();
+        let c: Cyclic = Cyclic::new(257u64, &mut rng).unwrap();
         let mut seen: Vec<u64> = c.iter().collect();
         assert_eq!(seen.len(), 256);
         seen.sort_unstable();
@@ -323,9 +495,24 @@ mod tests {
     }
 
     #[test]
+    fn v6_cycle_is_permutation_small_prime() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let c: Cyclic<V6> = Cyclic::new(257u64, &mut rng).unwrap();
+        let mut seen: Vec<u128> = c.iter().collect();
+        assert_eq!(seen.len(), 256);
+        seen.sort_unstable();
+        let want: Vec<u128> = (1..257).collect();
+        assert_eq!(seen, want);
+        // and addresses land in u128 space
+        let mut addrs: Vec<u128> = c.addresses(0, 1, 256u64).collect();
+        addrs.sort_unstable();
+        assert_eq!(addrs, (0u128..256).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn shards_partition_the_cycle() {
         let mut rng = SmallRng::seed_from_u64(6);
-        let c = Cyclic::new(1009, &mut rng).unwrap();
+        let c: Cyclic = Cyclic::new(1009u64, &mut rng).unwrap();
         for total in [1u64, 2, 3, 7, 16] {
             let mut all: Vec<u64> = Vec::new();
             for shard in 0..total {
@@ -342,8 +529,8 @@ mod tests {
     fn addresses_cover_limit_exactly() {
         let mut rng = SmallRng::seed_from_u64(7);
         // 1009 is prime; limit 1000 addresses => elements 1..=1000
-        let c = Cyclic::new(1009, &mut rng).unwrap();
-        let mut addrs: Vec<u32> = c.addresses(0, 1, 1000).collect();
+        let c: Cyclic = Cyclic::new(1009u64, &mut rng).unwrap();
+        let mut addrs: Vec<u32> = c.addresses(0, 1, 1000u64).collect();
         assert_eq!(addrs.len(), 1000);
         addrs.sort_unstable();
         let want: Vec<u32> = (0..1000).collect();
@@ -353,10 +540,10 @@ mod tests {
     #[test]
     fn sharded_addresses_partition() {
         let mut rng = SmallRng::seed_from_u64(8);
-        let c = Cyclic::new(521, &mut rng).unwrap();
+        let c: Cyclic = Cyclic::new(521u64, &mut rng).unwrap();
         let mut all: Vec<u32> = Vec::new();
         for shard in 0..4 {
-            all.extend(c.addresses(shard, 4, 500));
+            all.extend(c.addresses(shard, 4, 500u64));
         }
         assert_eq!(all.len(), 500);
         all.sort_unstable();
@@ -367,14 +554,17 @@ mod tests {
     #[test]
     fn smallest_prime_group_is_trivial_not_a_panic() {
         let mut rng = SmallRng::seed_from_u64(13);
-        let c = Cyclic::new(2, &mut rng).unwrap();
+        let c: Cyclic = Cyclic::new(2u64, &mut rng).unwrap();
         assert_eq!(c.generator(), 1);
         assert_eq!(c.order(), 1);
         assert_eq!(c.iter().collect::<Vec<u64>>(), vec![1]);
-        assert_eq!(c.addresses(0, 1, 1).collect::<Vec<u32>>(), vec![0]);
-        assert_eq!(Cyclic::with_generator(2, 1).unwrap().generator(), 1);
+        assert_eq!(c.addresses(0, 1, 1u64).collect::<Vec<u32>>(), vec![0]);
         assert_eq!(
-            Cyclic::with_generator(2, 0),
+            Cyclic::<V4>::with_generator(2u64, 1).unwrap().generator(),
+            1
+        );
+        assert_eq!(
+            Cyclic::<V4>::with_generator(2u64, 0),
             Err(CyclicError::NotPrimitiveRoot(0))
         );
     }
@@ -382,16 +572,19 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let mut rng = SmallRng::seed_from_u64(9);
-        assert_eq!(Cyclic::new(100, &mut rng), Err(CyclicError::NotPrime(100)));
         assert_eq!(
-            Cyclic::with_generator(101, 1),
+            Cyclic::<V4>::new(100u64, &mut rng),
+            Err(CyclicError::NotPrime(100))
+        );
+        assert_eq!(
+            Cyclic::<V4>::with_generator(101u64, 1),
             Err(CyclicError::NotPrimitiveRoot(1))
         );
         // 2^k elements: for p=7, the quadratic residues {1,2,4} are not
         // primitive roots; 3 is.
-        assert!(Cyclic::with_generator(7, 3).is_ok());
+        assert!(Cyclic::<V4>::with_generator(7u64, 3).is_ok());
         assert_eq!(
-            Cyclic::with_generator(7, 2),
+            Cyclic::<V4>::with_generator(7u64, 2),
             Err(CyclicError::NotPrimitiveRoot(2))
         );
     }
@@ -399,7 +592,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "shard index out of range")]
     fn shard_bounds_checked() {
-        let c = Cyclic::with_generator(7, 3).unwrap();
+        let c: Cyclic = Cyclic::with_generator(7u64, 3).unwrap();
         let _ = c.iter_shard(2, 2);
     }
 
@@ -433,7 +626,7 @@ mod tests {
 
     #[test]
     fn deterministic_walk_for_fixed_generator() {
-        let c = Cyclic::with_generator(257, 3).unwrap();
+        let c: Cyclic = Cyclic::with_generator(257u64, 3).unwrap();
         let a: Vec<u64> = c.iter().take(10).collect();
         assert_eq!(
             a,
@@ -450,5 +643,26 @@ mod tests {
                 59049 % 257
             ]
         );
+    }
+
+    #[test]
+    fn v6_wide_modulus_walk_is_a_permutation_of_its_prefix() {
+        // A prime above 2^64 exercises the peasant mulmod on every step;
+        // the walk must still be duplicate-free and in range. A c·2^64+1
+        // prime keeps p−1 smooth so the primitive-root factoring stays
+        // cheap.
+        let p = (0..)
+            .map(|c| (2 * c + 3) << 64 | 1)
+            .find(|&p| is_prime_u128(p))
+            .unwrap();
+        assert!(p > 1u128 << 64);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let c: Cyclic<V6> = Cyclic::new(p, &mut rng).unwrap();
+        let sample: Vec<u128> = c.iter().take(4096).collect();
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sample.len(), "no repeats in the walk head");
+        assert!(sample.iter().all(|&e| (1..p).contains(&e)));
     }
 }

@@ -292,7 +292,7 @@ mod tests {
             root_raw in (any::<u32>(), 0u8..=8),
             inner_raw in proptest::collection::vec((any::<u32>(), 0u8..=16), 0..8),
         ) {
-            let root = Prefix::new_truncate(root_raw.0, root_raw.1).unwrap();
+            let root: Prefix = Prefix::new_truncate(root_raw.0, root_raw.1).unwrap();
             // embed inner prefixes inside the root by overwriting the top bits
             let inner: Vec<Prefix> = inner_raw
                 .iter()

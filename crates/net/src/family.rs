@@ -1,0 +1,272 @@
+//! The address-family axis: one trait, two instantiations.
+//!
+//! Nothing in the paper's model is IPv4-specific — density
+//! ρᵢ = cᵢ / 2^(BITS−len), topology-aware selection, and the
+//! cyclic-permutation walk are all defined over an arbitrary fixed-width
+//! address space. [`AddrFamily`] captures exactly the width-dependent
+//! surface: the machine representation of one address ([`AddrFamily::Addr`]),
+//! the integer wide enough to *count* addresses ([`AddrFamily::Wide`]),
+//! the bit width, and text conversion. Everything else in the workspace —
+//! [`Prefix`](crate::Prefix), [`AddrRange`](crate::AddrRange),
+//! [`PrefixTrie`](crate::PrefixTrie), [`Cyclic`](crate::Cyclic), probe
+//! plans, the scan engine core — is generic over an `F: AddrFamily`.
+//!
+//! ## The v4-default compatibility story
+//!
+//! Every generic type defaults its family parameter to [`V4`]
+//! (`Prefix<F = V4>`, `AddrRange<F = V4>`, …), and for `V4` the associated
+//! types resolve to exactly the pre-refactor concrete types
+//! (`Addr = u32`, `Wide = u64`). A caller that writes `Prefix`, parses
+//! `"10.0.0.0/8"`, or pattern-matches a `u32` address sees the identical
+//! API — the refactor is invisible until a second family is named. All
+//! internal arithmetic funnels through `u128` (wide enough for both
+//! families), and the v4 code paths are bit-identical to the pre-generic
+//! implementation: same masks, same RNG consumption, same serialization.
+//!
+//! ## IPv6 and scale
+//!
+//! [`V6`] carries addresses as host-order `u128`. One deliberate
+//! asymmetry: the full 2¹²⁸ space is *not countable* in any machine
+//! integer, so size-type conversions saturate
+//! ([`AddrFamily::wide_from_u128`] documents this) — the whole-space
+//! `Prefix::<V6>::zero().size()` reports `u128::MAX`. Since v6 scanning
+//! is only ever hitlist- or prefix-seeded (brute-force enumeration of
+//! 2¹²⁸ addresses is impossible — the entire reason topology-aware
+//! selection matters most there), the saturation is unobservable in
+//! practice and every exact quantity (range lengths below full space,
+//! prefix sizes of seeded /48–/64 blocks, probe counts) stays exact.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hash;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A fixed-width IP address family: the width-dependent surface that
+/// [`Prefix`](crate::Prefix), [`AddrRange`](crate::AddrRange), tries,
+/// permutations, and probe plans are generic over.
+///
+/// Implementations are zero-sized marker types ([`V4`], [`V6`]); the
+/// trait is object-unsafe by design (associated consts and types) and
+/// only ever appears as a type parameter.
+pub trait AddrFamily:
+    Copy
+    + Clone
+    + fmt::Debug
+    + Default
+    + PartialEq
+    + Eq
+    + PartialOrd
+    + Ord
+    + Hash
+    + Send
+    + Sync
+    + 'static
+{
+    /// Machine representation of one address (`u32` for v4, `u128` for
+    /// v6), carried host-order throughout the workspace.
+    type Addr: Copy
+        + Clone
+        + fmt::Debug
+        + Default
+        + PartialEq
+        + Eq
+        + PartialOrd
+        + Ord
+        + Hash
+        + Send
+        + Sync
+        + Serialize
+        + Deserialize
+        + 'static;
+
+    /// The integer used to *count* addresses: wide enough for any single
+    /// prefix or range of the family (`u64` for v4 — 2³² fits; `u128`
+    /// for v6, saturating only at the uncountable full space).
+    type Wide: Copy
+        + Clone
+        + fmt::Debug
+        + PartialEq
+        + Eq
+        + PartialOrd
+        + Ord
+        + Hash
+        + Send
+        + Sync
+        + Serialize
+        + Deserialize
+        + 'static;
+
+    /// Address width in bits (32 or 128).
+    const BITS: u8;
+
+    /// Human-readable family name (`"IPv4"` / `"IPv6"`).
+    const NAME: &'static str;
+
+    /// Widen an address to `u128` (zero-extending).
+    fn addr_to_u128(a: Self::Addr) -> u128;
+
+    /// Narrow a `u128` to an address. Values above the family's maximum
+    /// address are a logic error; debug builds assert.
+    fn addr_from_u128(v: u128) -> Self::Addr;
+
+    /// Widen a count to `u128`.
+    fn wide_to_u128(w: Self::Wide) -> u128;
+
+    /// Narrow a `u128` count, **saturating** at `Wide::MAX`. The only
+    /// lossy case is the full v6 space (2¹²⁸ does not fit `u128`), which
+    /// reports `u128::MAX` — see the module docs.
+    fn wide_from_u128(v: u128) -> Self::Wide;
+
+    /// Render one address in the family's canonical text form.
+    fn fmt_addr(a: Self::Addr, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Parse one address from the family's canonical text form.
+    fn parse_addr(s: &str) -> Option<Self::Addr>;
+
+    /// The family's highest address, as `u128`.
+    #[inline]
+    fn max_addr_u128() -> u128 {
+        if Self::BITS >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << Self::BITS) - 1
+        }
+    }
+}
+
+/// The IPv4 family: `Addr = u32`, `Wide = u64` — the workspace's
+/// pre-refactor concrete types, and the default `F` everywhere.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct V4;
+
+impl AddrFamily for V4 {
+    type Addr = u32;
+    type Wide = u64;
+    const BITS: u8 = 32;
+    const NAME: &'static str = "IPv4";
+
+    #[inline]
+    fn addr_to_u128(a: u32) -> u128 {
+        u128::from(a)
+    }
+
+    #[inline]
+    fn addr_from_u128(v: u128) -> u32 {
+        debug_assert!(v <= u128::from(u32::MAX), "address {v:#x} exceeds IPv4");
+        v as u32
+    }
+
+    #[inline]
+    fn wide_to_u128(w: u64) -> u128 {
+        u128::from(w)
+    }
+
+    #[inline]
+    fn wide_from_u128(v: u128) -> u64 {
+        if v > u128::from(u64::MAX) {
+            u64::MAX
+        } else {
+            v as u64
+        }
+    }
+
+    fn fmt_addr(a: u32, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Ipv4Addr::from(a))
+    }
+
+    fn parse_addr(s: &str) -> Option<u32> {
+        s.parse::<Ipv4Addr>().ok().map(u32::from)
+    }
+}
+
+/// The IPv6 family: `Addr = u128`, `Wide = u128` (saturating at the
+/// uncountable full space — see the module docs).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct V6;
+
+impl AddrFamily for V6 {
+    type Addr = u128;
+    type Wide = u128;
+    const BITS: u8 = 128;
+    const NAME: &'static str = "IPv6";
+
+    #[inline]
+    fn addr_to_u128(a: u128) -> u128 {
+        a
+    }
+
+    #[inline]
+    fn addr_from_u128(v: u128) -> u128 {
+        v
+    }
+
+    #[inline]
+    fn wide_to_u128(w: u128) -> u128 {
+        w
+    }
+
+    #[inline]
+    fn wide_from_u128(v: u128) -> u128 {
+        v
+    }
+
+    fn fmt_addr(a: u128, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Ipv6Addr::from(a))
+    }
+
+    fn parse_addr(s: &str) -> Option<u128> {
+        s.parse::<Ipv6Addr>().ok().map(u128::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_conversions_roundtrip() {
+        for a in [0u32, 1, 0x7F00_0001, u32::MAX] {
+            assert_eq!(V4::addr_from_u128(V4::addr_to_u128(a)), a);
+        }
+        assert_eq!(V4::max_addr_u128(), u128::from(u32::MAX));
+        assert_eq!(V4::wide_from_u128(1 << 32), 1u64 << 32);
+        assert_eq!(V4::wide_from_u128(u128::MAX), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn v6_conversions_roundtrip() {
+        for a in [0u128, 1, u128::from(u64::MAX) + 7, u128::MAX] {
+            assert_eq!(V6::addr_from_u128(V6::addr_to_u128(a)), a);
+        }
+        assert_eq!(V6::max_addr_u128(), u128::MAX);
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(V4::parse_addr("1.2.3.4"), Some(0x0102_0304));
+        assert_eq!(V4::parse_addr("::1"), None);
+        assert_eq!(V6::parse_addr("::1"), Some(1));
+        assert_eq!(V6::parse_addr("2001:db8::"), Some(0x2001_0db8 << 96));
+        assert_eq!(V6::parse_addr("1.2.3.4/24"), None);
+        struct D<F: AddrFamily>(F::Addr);
+        impl<F: AddrFamily> fmt::Display for D<F> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                F::fmt_addr(self.0, f)
+            }
+        }
+        assert_eq!(D::<V4>(0x0102_0304).to_string(), "1.2.3.4");
+        assert_eq!(D::<V6>(1).to_string(), "::1");
+    }
+
+    #[test]
+    fn names_and_widths() {
+        assert_eq!(V4::BITS, 32);
+        assert_eq!(V6::BITS, 128);
+        assert_eq!(V4::NAME, "IPv4");
+        assert_eq!(V6::NAME, "IPv6");
+    }
+}

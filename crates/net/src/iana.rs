@@ -116,6 +116,78 @@ pub fn is_reserved(addr: u32) -> bool {
         .any(|e| e.prefix.contains_addr(addr))
 }
 
+/// Why an IPv6 address block is special-purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialUse6 {
+    /// The unspecified address `::` (RFC 4291).
+    Unspecified,
+    /// Loopback `::1` (RFC 4291).
+    Loopback,
+    /// IPv4-mapped addresses `::ffff:0:0/96` (RFC 4291).
+    V4Mapped,
+    /// IPv4-IPv6 translation `64:ff9b::/96` (RFC 6052).
+    V4Translation,
+    /// Discard-only `100::/64` (RFC 6666).
+    Discard,
+    /// IETF protocol assignments `2001::/23` (RFC 2928).
+    IetfProtocol,
+    /// Documentation `2001:db8::/32` (RFC 3849).
+    Documentation,
+    /// 6to4 `2002::/16` (RFC 3056).
+    SixToFour,
+    /// Unique local addresses `fc00::/7` (RFC 4193).
+    UniqueLocal,
+    /// Link-local unicast `fe80::/10` (RFC 4291).
+    LinkLocal,
+    /// Multicast `ff00::/8` (RFC 4291).
+    Multicast,
+}
+
+/// One entry of the IPv6 special-purpose registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecialEntry6 {
+    /// The reserved block.
+    pub prefix: Prefix<crate::V6>,
+    /// Why it is reserved.
+    pub kind: SpecialUse6,
+    /// Registry name.
+    pub name: &'static str,
+}
+
+/// The IPv6 special-purpose registry (RFC 6890 and updates): the blocks a
+/// v6 scanning campaign must never target, and the complement of the
+/// globally routable unicast space its plans are seeded from.
+pub fn special_purpose_registry_v6() -> Vec<SpecialEntry6> {
+    use SpecialUse6::*;
+    fn entry(s: &str, kind: SpecialUse6, name: &'static str) -> SpecialEntry6 {
+        SpecialEntry6 {
+            prefix: s.parse().expect("registry constants are canonical"),
+            kind,
+            name,
+        }
+    }
+    vec![
+        entry("::/128", Unspecified, "Unspecified Address"),
+        entry("::1/128", Loopback, "Loopback Address"),
+        entry("::ffff:0:0/96", V4Mapped, "IPv4-mapped Addresses"),
+        entry("64:ff9b::/96", V4Translation, "IPv4-IPv6 Translation"),
+        entry("100::/64", Discard, "Discard-Only Address Block"),
+        entry("2001::/23", IetfProtocol, "IETF Protocol Assignments"),
+        entry("2001:db8::/32", Documentation, "Documentation"),
+        entry("2002::/16", SixToFour, "6to4"),
+        entry("fc00::/7", UniqueLocal, "Unique-Local"),
+        entry("fe80::/10", LinkLocal, "Link-Local Unicast"),
+        entry("ff00::/8", Multicast, "Multicast"),
+    ]
+}
+
+/// Is the v6 address inside any special-purpose block?
+pub fn is_reserved_v6(addr: u128) -> bool {
+    special_purpose_registry_v6()
+        .iter()
+        .any(|e| e.prefix.contains_addr(addr))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +244,25 @@ mod tests {
         let a = allocated_set();
         assert_eq!(r.num_addrs() + a.num_addrs(), 1u64 << 32);
         assert!(r.intersection(&a).is_empty());
+    }
+
+    #[test]
+    fn v6_registry_is_canonical_and_classifies_well_known_addresses() {
+        let reg = special_purpose_registry_v6();
+        assert_eq!(reg.len(), 11);
+        let mut names: Vec<&str> = reg.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11, "names unique");
+        // ::1, link-local, ULA, multicast, documentation are reserved
+        assert!(is_reserved_v6(1));
+        assert!(is_reserved_v6(0xFE80u128 << 112 | 7));
+        assert!(is_reserved_v6(0xFC00u128 << 112));
+        assert!(is_reserved_v6(0xFF02u128 << 112 | 1));
+        assert!(is_reserved_v6(0x2001_0db8u128 << 96 | 42));
+        // global unicast (2600::/12 area, where the simulator seeds) is not
+        assert!(!is_reserved_v6(0x2600u128 << 112));
+        assert!(!is_reserved_v6(0x2a00u128 << 112 | 99));
     }
 
     #[test]

@@ -1,17 +1,25 @@
-//! # tass-net — IPv4 address & prefix substrate
+//! # tass-net — address & prefix substrate, generic over the family
 //!
 //! Foundation crate for the TASS reproduction (Klick et al., *Towards Better
 //! Internet Citizenship: Reducing the Footprint of Internet-wide Scans by
 //! Topology Aware Prefix Selection*, IMC 2016).
 //!
-//! Everything in the paper is expressed in terms of IPv4 **prefixes**: BGP
+//! Everything in the paper is expressed in terms of **prefixes**: BGP
 //! announcements, the deaggregation of less-specific prefixes around their
 //! more-specific announcements (paper Figure 2), prefix *density*
 //! (responsive hosts per address), and prefix selection. This crate provides
 //! those primitives from scratch, with no external CIDR dependency, because
-//! the prefix math *is* part of the system under reproduction:
+//! the prefix math *is* part of the system under reproduction — and none
+//! of it is IPv4-specific. The [`family`] module opens the address-family
+//! axis: every core type is generic over an [`AddrFamily`] with a
+//! [`V4`] default (`Addr = u32`, exactly the pre-generic API) and a
+//! [`V6`] instantiation (`Addr = u128`) for the space where
+//! topology-aware selection matters most — 2¹²⁸ addresses cannot be
+//! brute-forced, so hitlist- and prefix-seeded plans are the only viable
+//! strategy. See [`family`] for the compatibility and saturation rules.
 //!
-//! * [`Prefix`] — a canonical IPv4 CIDR prefix (`addr/len`, host bits zero),
+//! * [`Prefix`] — a canonical CIDR prefix (`addr/len`, host bits zero),
+//!   `Prefix<V6>` for 128-bit space,
 //! * [`AddrRange`] — inclusive address ranges and minimal CIDR covers,
 //! * [`PrefixSet`] — a canonicalising set of disjoint address space with
 //!   union / intersection / subtraction algebra,
@@ -46,14 +54,16 @@ pub mod addr;
 pub mod cyclic;
 pub mod deagg;
 pub mod error;
+pub mod family;
 pub mod iana;
 pub mod prefix;
 pub mod set;
 pub mod trie;
 
-pub use addr::{addr_from_u32, addr_to_u32, AddrRange};
+pub use addr::{addr_from_u128, addr_from_u32, addr_to_u128, addr_to_u32, AddrRange};
 pub use cyclic::{Cyclic, CyclicError};
 pub use error::NetError;
+pub use family::{AddrFamily, V4, V6};
 pub use prefix::Prefix;
 pub use set::PrefixSet;
 pub use trie::PrefixTrie;

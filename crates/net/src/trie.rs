@@ -1,4 +1,4 @@
-//! An arena-allocated binary trie keyed by IPv4 prefixes.
+//! An arena-allocated binary trie keyed by CIDR prefixes (any family).
 //!
 //! [`PrefixTrie`] is the workhorse behind the paper's two address→prefix
 //! attributions:
@@ -18,8 +18,10 @@
 //! table of ~600 K prefixes needs a few million nodes, and the arena keeps
 //! them cache-friendly with no per-node allocation.
 
+use crate::family::{AddrFamily, V4};
 use crate::prefix::Prefix;
 use serde::{Deserialize, Serialize};
+use std::marker::PhantomData;
 
 const NIL: u32 = u32::MAX;
 
@@ -42,12 +44,14 @@ impl<T> Node<T> {
     }
 }
 
-/// A map from IPv4 prefixes to values, organised as a binary trie.
+/// A map from prefixes to values, organised as a binary trie. The family
+/// parameter defaults to [`V4`]; `PrefixTrie<T, V6>` is the same arena at
+/// 128-bit depth.
 ///
 /// ```
 /// use tass_net::{Prefix, PrefixTrie};
 ///
-/// let mut t = PrefixTrie::new();
+/// let mut t: PrefixTrie<&str> = PrefixTrie::new();
 /// t.insert("10.0.0.0/8".parse().unwrap(), "l");
 /// t.insert("10.16.0.0/12".parse().unwrap(), "m");
 ///
@@ -62,23 +66,31 @@ impl<T> Node<T> {
 /// assert_eq!(*v, "l");
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct PrefixTrie<T> {
+pub struct PrefixTrie<T, F: AddrFamily = V4> {
     nodes: Vec<Node<T>>,
     len: usize,
+    _family: PhantomData<F>,
 }
 
-impl<T> Default for PrefixTrie<T> {
+impl<T, F: AddrFamily> Default for PrefixTrie<T, F> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> PrefixTrie<T> {
+/// Bit `depth` (0-indexed from the MSB) of `addr`, the trie branch choice.
+#[inline]
+fn bit_at<F: AddrFamily>(addr: F::Addr, depth: u8) -> usize {
+    ((F::addr_to_u128(addr) >> (F::BITS - 1 - depth)) & 1) as usize
+}
+
+impl<T, F: AddrFamily> PrefixTrie<T, F> {
     /// Create an empty trie.
     pub fn new() -> Self {
         PrefixTrie {
             nodes: vec![Node::new()],
             len: 0,
+            _family: PhantomData,
         }
     }
 
@@ -86,7 +98,11 @@ impl<T> PrefixTrie<T> {
     pub fn with_capacity(n: usize) -> Self {
         let mut nodes = Vec::with_capacity(n.saturating_mul(2).max(1));
         nodes.push(Node::new());
-        PrefixTrie { nodes, len: 0 }
+        PrefixTrie {
+            nodes,
+            len: 0,
+            _family: PhantomData,
+        }
     }
 
     /// Number of stored prefixes.
@@ -101,10 +117,10 @@ impl<T> PrefixTrie<T> {
 
     /// Walk from the root towards `p`, returning the node index for `p`,
     /// creating intermediate nodes as needed.
-    fn walk_or_create(&mut self, p: Prefix) -> usize {
+    fn walk_or_create(&mut self, p: Prefix<F>) -> usize {
         let mut idx = 0usize;
         for depth in 0..p.len() {
-            let bit = ((p.addr() >> (31 - depth)) & 1) as usize;
+            let bit = bit_at::<F>(p.addr(), depth);
             let child = self.nodes[idx].children[bit];
             let next = if child == NIL {
                 let ni = self.nodes.len() as u32;
@@ -120,10 +136,10 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Walk without creating; `None` if the path does not exist.
-    fn walk(&self, p: Prefix) -> Option<usize> {
+    fn walk(&self, p: Prefix<F>) -> Option<usize> {
         let mut idx = 0usize;
         for depth in 0..p.len() {
-            let bit = ((p.addr() >> (31 - depth)) & 1) as usize;
+            let bit = bit_at::<F>(p.addr(), depth);
             let child = self.nodes[idx].children[bit];
             if child == NIL {
                 return None;
@@ -134,7 +150,7 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Insert `value` at `p`, returning the previous value if any.
-    pub fn insert(&mut self, p: Prefix, value: T) -> Option<T> {
+    pub fn insert(&mut self, p: Prefix<F>, value: T) -> Option<T> {
         let idx = self.walk_or_create(p);
         let old = self.nodes[idx].value.replace(value);
         if old.is_none() {
@@ -146,11 +162,11 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Apply `f` to every node on the path from root to `p` inclusive.
-    fn for_path_mut(&mut self, p: Prefix, mut f: impl FnMut(&mut Node<T>)) {
+    fn for_path_mut(&mut self, p: Prefix<F>, mut f: impl FnMut(&mut Node<T>)) {
         let mut idx = 0usize;
         f(&mut self.nodes[idx]);
         for depth in 0..p.len() {
-            let bit = ((p.addr() >> (31 - depth)) & 1) as usize;
+            let bit = bit_at::<F>(p.addr(), depth);
             idx = self.nodes[idx].children[bit] as usize;
             f(&mut self.nodes[idx]);
         }
@@ -158,7 +174,7 @@ impl<T> PrefixTrie<T> {
 
     /// Remove the value at exactly `p`, if present. (Nodes are not pruned;
     /// tables in this workspace only shrink transiently in tests.)
-    pub fn remove(&mut self, p: Prefix) -> Option<T> {
+    pub fn remove(&mut self, p: Prefix<F>) -> Option<T> {
         let idx = self.walk(p)?;
         let old = self.nodes[idx].value.take();
         if old.is_some() {
@@ -169,32 +185,32 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Value stored at exactly `p`.
-    pub fn get(&self, p: Prefix) -> Option<&T> {
+    pub fn get(&self, p: Prefix<F>) -> Option<&T> {
         let idx = self.walk(p)?;
         self.nodes[idx].value.as_ref()
     }
 
     /// Mutable value stored at exactly `p`.
-    pub fn get_mut(&mut self, p: Prefix) -> Option<&mut T> {
+    pub fn get_mut(&mut self, p: Prefix<F>) -> Option<&mut T> {
         let idx = self.walk(p)?;
         self.nodes[idx].value.as_mut()
     }
 
     /// Does the trie contain exactly `p`?
-    pub fn contains(&self, p: Prefix) -> bool {
+    pub fn contains(&self, p: Prefix<F>) -> bool {
         self.get(p).is_some()
     }
 
     /// Longest-prefix match for an address: the most specific stored prefix
     /// covering `addr`.
-    pub fn longest_match(&self, addr: u32) -> Option<(Prefix, &T)> {
+    pub fn longest_match(&self, addr: F::Addr) -> Option<(Prefix<F>, &T)> {
         let mut best: Option<(u8, usize)> = None;
         let mut idx = 0usize;
         if self.nodes[0].value.is_some() {
             best = Some((0, 0));
         }
-        for depth in 0..32u8 {
-            let bit = ((addr >> (31 - depth)) & 1) as usize;
+        for depth in 0..F::BITS {
+            let bit = bit_at::<F>(addr, depth);
             let child = self.nodes[idx].children[bit];
             if child == NIL {
                 break;
@@ -205,27 +221,30 @@ impl<T> PrefixTrie<T> {
             }
         }
         best.map(|(len, i)| {
-            let p = Prefix::new_truncate(addr, len).expect("len <= 32");
+            let p = Prefix::new_truncate(addr, len).expect("len <= BITS");
             (p, self.nodes[i].value.as_ref().expect("checked"))
         })
     }
 
     /// Least-specific match for an address: the *shortest* stored prefix
     /// covering `addr` — the paper's l-prefix attribution.
-    pub fn shortest_match(&self, addr: u32) -> Option<(Prefix, &T)> {
+    pub fn shortest_match(&self, addr: F::Addr) -> Option<(Prefix<F>, &T)> {
         let mut idx = 0usize;
         if self.nodes[0].value.is_some() {
-            return Some((Prefix::ZERO, self.nodes[0].value.as_ref().expect("checked")));
+            return Some((
+                Prefix::zero(),
+                self.nodes[0].value.as_ref().expect("checked"),
+            ));
         }
-        for depth in 0..32u8 {
-            let bit = ((addr >> (31 - depth)) & 1) as usize;
+        for depth in 0..F::BITS {
+            let bit = bit_at::<F>(addr, depth);
             let child = self.nodes[idx].children[bit];
             if child == NIL {
                 return None;
             }
             idx = child as usize;
             if self.nodes[idx].value.is_some() {
-                let p = Prefix::new_truncate(addr, depth + 1).expect("len <= 32");
+                let p = Prefix::new_truncate(addr, depth + 1).expect("len <= BITS");
                 return Some((p, self.nodes[idx].value.as_ref().expect("checked")));
             }
         }
@@ -233,21 +252,21 @@ impl<T> PrefixTrie<T> {
     }
 
     /// All stored prefixes covering `addr`, least specific first.
-    pub fn matches(&self, addr: u32) -> Vec<(Prefix, &T)> {
+    pub fn matches(&self, addr: F::Addr) -> Vec<(Prefix<F>, &T)> {
         let mut out = Vec::new();
         let mut idx = 0usize;
         if let Some(v) = self.nodes[0].value.as_ref() {
-            out.push((Prefix::ZERO, v));
+            out.push((Prefix::zero(), v));
         }
-        for depth in 0..32u8 {
-            let bit = ((addr >> (31 - depth)) & 1) as usize;
+        for depth in 0..F::BITS {
+            let bit = bit_at::<F>(addr, depth);
             let child = self.nodes[idx].children[bit];
             if child == NIL {
                 break;
             }
             idx = child as usize;
             if let Some(v) = self.nodes[idx].value.as_ref() {
-                let p = Prefix::new_truncate(addr, depth + 1).expect("len <= 32");
+                let p = Prefix::new_truncate(addr, depth + 1).expect("len <= BITS");
                 out.push((p, v));
             }
         }
@@ -255,7 +274,7 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Number of stored prefixes at or below `p` (including `p` itself).
-    pub fn descendant_count(&self, p: Prefix) -> usize {
+    pub fn descendant_count(&self, p: Prefix<F>) -> usize {
         match self.walk(p) {
             Some(idx) => self.nodes[idx].weight as usize,
             None => 0,
@@ -263,7 +282,7 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Does `p` have stored prefixes *strictly* below it?
-    pub fn has_strict_descendants(&self, p: Prefix) -> bool {
+    pub fn has_strict_descendants(&self, p: Prefix<F>) -> bool {
         match self.walk(p) {
             Some(idx) => {
                 let w = self.nodes[idx].weight as usize;
@@ -275,13 +294,13 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Does any stored prefix *strictly* contain `p`?
-    pub fn has_strict_ancestor(&self, p: Prefix) -> bool {
+    pub fn has_strict_ancestor(&self, p: Prefix<F>) -> bool {
         let mut idx = 0usize;
         if p.len() > 0 && self.nodes[0].value.is_some() {
             return true;
         }
         for depth in 0..p.len().saturating_sub(1) {
-            let bit = ((p.addr() >> (31 - depth)) & 1) as usize;
+            let bit = bit_at::<F>(p.addr(), depth);
             let child = self.nodes[idx].children[bit];
             if child == NIL {
                 return false;
@@ -295,7 +314,7 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Iterate stored prefixes at or below `p`, in lexicographic order.
-    pub fn descendants(&self, p: Prefix) -> DescendantIter<'_, T> {
+    pub fn descendants(&self, p: Prefix<F>) -> DescendantIter<'_, T, F> {
         let stack = match self.walk(p) {
             Some(idx) => vec![(idx as u32, p)],
             None => Vec::new(),
@@ -304,16 +323,16 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Iterate all stored `(Prefix, &T)` pairs in lexicographic order.
-    pub fn iter(&self) -> DescendantIter<'_, T> {
-        self.descendants(Prefix::ZERO)
+    pub fn iter(&self) -> DescendantIter<'_, T, F> {
+        self.descendants(Prefix::zero())
     }
 
     /// The stored prefixes that have no stored ancestor (table "roots" —
     /// the paper's candidate l-prefixes).
-    pub fn roots(&self) -> Vec<Prefix> {
+    pub fn roots(&self) -> Vec<Prefix<F>> {
         let mut out = Vec::new();
         // DFS; stop descending once a value is found.
-        let mut stack: Vec<(u32, Prefix)> = vec![(0, Prefix::ZERO)];
+        let mut stack: Vec<(u32, Prefix<F>)> = vec![(0, Prefix::zero())];
         while let Some((idx, p)) = stack.pop() {
             let node = &self.nodes[idx as usize];
             if node.value.is_some() {
@@ -344,13 +363,13 @@ impl<T> PrefixTrie<T> {
 }
 
 /// Depth-first iterator over stored prefixes below a starting point.
-pub struct DescendantIter<'a, T> {
-    trie: &'a PrefixTrie<T>,
-    stack: Vec<(u32, Prefix)>,
+pub struct DescendantIter<'a, T, F: AddrFamily = V4> {
+    trie: &'a PrefixTrie<T, F>,
+    stack: Vec<(u32, Prefix<F>)>,
 }
 
-impl<'a, T> Iterator for DescendantIter<'a, T> {
-    type Item = (Prefix, &'a T);
+impl<'a, T, F: AddrFamily> Iterator for DescendantIter<'a, T, F> {
+    type Item = (Prefix<F>, &'a T);
 
     fn next(&mut self) -> Option<Self::Item> {
         while let Some((idx, p)) = self.stack.pop() {
@@ -377,8 +396,8 @@ impl<'a, T> Iterator for DescendantIter<'a, T> {
     }
 }
 
-impl<T> FromIterator<(Prefix, T)> for PrefixTrie<T> {
-    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+impl<T, F: AddrFamily> FromIterator<(Prefix<F>, T)> for PrefixTrie<T, F> {
+    fn from_iter<I: IntoIterator<Item = (Prefix<F>, T)>>(iter: I) -> Self {
         let mut t = PrefixTrie::new();
         for (p, v) in iter {
             t.insert(p, v);

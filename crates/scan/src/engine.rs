@@ -8,7 +8,7 @@
 //! output — rather than the whole Internet.
 //!
 //! Targets are **streamed, never buffered**: each worker thread consumes
-//! its own shard of the plan's [`PlanStream`]
+//! its own shard of the plan's `PlanStream`
 //! ([`ProbePlan::stream_shard`]), so even a full scan of the announced
 //! space holds O(1) target state per worker — the engine starts probing
 //! immediately and memory stays flat at any scale.
@@ -29,7 +29,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use tass_core::ProbePlan;
 use tass_model::HostSet;
-use tass_net::Prefix;
+use tass_net::{AddrFamily, Prefix, V4, V6};
 
 /// Scan-engine configuration.
 #[derive(Debug, Clone)]
@@ -145,9 +145,105 @@ impl ScanConfig {
     }
 }
 
-/// Result of a scan.
+/// The per-family hooks of the engine core: how to consult the (v4-only)
+/// blocklist and whether a wire-level codec exists. The engine's
+/// streaming, sharding, rate limiting, deduplication, and banner logic
+/// are family-generic; only these two touch points differ.
+pub trait ScanFamily: AddrFamily {
+    /// Does this family have a wire-level codec? When `false`, the
+    /// engine serves `wire_level` configs through the logical path.
+    const HAS_WIRE: bool;
+
+    /// Is the address excluded by the configured blocklist? The blocklist
+    /// is CIDR-v4; other families never block (v6 campaigns are seeded
+    /// from curated space and have no default exclusion list yet).
+    fn is_blocked(blocklist: &Blocklist, addr: Self::Addr) -> bool;
+
+    /// Probe at wire level, returning the reply counters; `None` when the
+    /// family has no wire codec (the engine falls back to the logical
+    /// path, which has identical response and fault semantics).
+    fn wire_probe(
+        network: &SimNetwork<Self>,
+        cfg: &ScanConfig,
+        key: SipHash24,
+        addr: Self::Addr,
+    ) -> Option<WireReplies>;
+}
+
+/// Counters from one wire-level probe's replies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireReplies {
+    /// Valid SYN-ACKs received (duplicates possible).
+    pub syn_acks: u64,
+    /// Valid RSTs received.
+    pub rsts: u64,
+    /// Replies that failed parsing or stateless validation.
+    pub validation_failures: u64,
+}
+
+impl ScanFamily for V4 {
+    const HAS_WIRE: bool = true;
+
+    fn is_blocked(blocklist: &Blocklist, addr: u32) -> bool {
+        blocklist.is_blocked(addr)
+    }
+
+    fn wire_probe(
+        network: &SimNetwork,
+        cfg: &ScanConfig,
+        key: SipHash24,
+        addr: u32,
+    ) -> Option<WireReplies> {
+        let expected_seq = key.probe_validation(addr);
+        let src_port = 32768 + (key.hash_u64(u64::from(addr)) % 28232) as u16;
+        let syn = wire::build_syn(cfg.source_ip, addr, src_port, cfg.port, expected_seq);
+        let replies = network.transmit(&syn).ok()?;
+        let mut out = WireReplies::default();
+        for reply in replies {
+            let Ok(f) = wire::parse_frame(&reply) else {
+                out.validation_failures += 1;
+                continue;
+            };
+            // stateless validation, as ZMap does
+            let valid = f.src_ip == addr
+                && f.dst_ip == cfg.source_ip
+                && f.src_port == cfg.port
+                && f.dst_port == src_port
+                && f.ack == expected_seq.wrapping_add(1);
+            if !valid {
+                out.validation_failures += 1;
+            } else if f.flags & tcp_flags::RST != 0 {
+                out.rsts += 1;
+            } else if f.flags & (tcp_flags::SYN | tcp_flags::ACK)
+                == (tcp_flags::SYN | tcp_flags::ACK)
+            {
+                out.syn_acks += 1;
+            }
+        }
+        Some(out)
+    }
+}
+
+impl ScanFamily for V6 {
+    const HAS_WIRE: bool = false;
+
+    fn is_blocked(_blocklist: &Blocklist, _addr: u128) -> bool {
+        false
+    }
+
+    fn wire_probe(
+        _network: &SimNetwork<V6>,
+        _cfg: &ScanConfig,
+        _key: SipHash24,
+        _addr: u128,
+    ) -> Option<WireReplies> {
+        None // no v6 wire codec yet; the logical path carries v6 probes
+    }
+}
+
+/// Result of a scan, generic over the address family.
 #[derive(Debug, Clone, Default)]
-pub struct ScanReport {
+pub struct ScanReport<F: AddrFamily = V4> {
     /// Probes actually sent.
     pub probes_sent: u64,
     /// Addresses skipped because they were blocklisted.
@@ -159,51 +255,57 @@ pub struct ScanReport {
     /// Responses that failed stateless validation (wrong ack/endpoint).
     pub validation_failures: u64,
     /// Distinct responsive addresses.
-    pub responsive: HostSet,
+    pub responsive: HostSet<F>,
     /// Banners grabbed (equals responsive hosts when `banner_grab`).
     pub banners_grabbed: u64,
     /// A few sample banners for inspection.
-    pub sample_banners: Vec<(u32, String)>,
+    pub sample_banners: Vec<(F::Addr, String)>,
     /// Simulated scan duration in seconds (from the token bucket clock).
     pub duration_secs: f64,
     /// Successful handshakes per probe — the paper's efficiency metric.
     pub hitrate: f64,
 }
 
-/// The scan engine: a [`SimNetwork`] plus configuration defaults.
+/// The scan engine: a [`SimNetwork`] plus configuration defaults. The
+/// engine core — streaming shards, rate limiting, validation/dedup,
+/// banners — is generic over the [`ScanFamily`]; `ScanEngine` written
+/// bare is the IPv4 engine, `ScanEngine<V6>` drives IPv6 plans through
+/// the logical probe path.
 #[derive(Debug)]
-pub struct ScanEngine {
-    network: Arc<SimNetwork>,
+pub struct ScanEngine<F: ScanFamily = V4> {
+    network: Arc<SimNetwork<F>>,
 }
 
-struct WorkerResult {
+struct WorkerResult<F: AddrFamily> {
     probes_sent: u64,
     blocked_skipped: u64,
     responses: u64,
     rst_responses: u64,
     validation_failures: u64,
-    responsive: Vec<u32>,
+    responsive: Vec<F::Addr>,
     banners_grabbed: u64,
-    sample_banners: Vec<(u32, String)>,
+    sample_banners: Vec<(F::Addr, String)>,
     duration_secs: f64,
 }
 
 impl ScanEngine {
-    /// Create an engine over a simulated network.
-    pub fn new(network: Arc<SimNetwork>) -> ScanEngine {
-        ScanEngine { network }
-    }
-
-    /// The underlying network.
-    pub fn network(&self) -> &SimNetwork {
-        &self.network
-    }
-
     /// Run a scan over `cfg.targets`: exactly
     /// [`run_plan`](ScanEngine::run_plan) with a
     /// [`ProbePlan::Prefixes`] plan over the configured prefixes.
     pub fn run(&self, cfg: &ScanConfig) -> ScanReport {
         self.run_plan(&ProbePlan::Prefixes(cfg.targets.clone()), 0, &[], cfg)
+    }
+}
+
+impl<F: ScanFamily> ScanEngine<F> {
+    /// Create an engine over a simulated network.
+    pub fn new(network: Arc<SimNetwork<F>>) -> ScanEngine<F> {
+        ScanEngine { network }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &SimNetwork<F> {
+        &self.network
     }
 
     /// Run one cycle of a strategy's [`ProbePlan`] — the direct bridge
@@ -228,13 +330,13 @@ impl ScanEngine {
     /// `cfg.targets` is ignored; the plan is the target.
     pub fn run_plan(
         &self,
-        plan: &ProbePlan,
+        plan: &ProbePlan<F>,
         cycle: u32,
-        announced: &[Prefix],
+        announced: &[Prefix<F>],
         cfg: &ScanConfig,
-    ) -> ScanReport {
+    ) -> ScanReport<F> {
         let threads = cfg.threads.max(1);
-        let (tx, rx) = mpsc::channel::<WorkerResult>();
+        let (tx, rx) = mpsc::channel::<WorkerResult<F>>();
         let key = SipHash24::new(cfg.seed, cfg.seed.rotate_left(17) ^ 0xA5A5_A5A5);
 
         std::thread::scope(|scope| {
@@ -250,8 +352,8 @@ impl ScanEngine {
                 });
             }
             drop(tx);
-            let mut report = ScanReport::default();
-            let mut responsive: Vec<u32> = Vec::new();
+            let mut report = ScanReport::<F>::default();
+            let mut responsive: Vec<F::Addr> = Vec::new();
             for r in rx {
                 report.probes_sent += r.probes_sent;
                 report.blocked_skipped += r.blocked_skipped;
@@ -278,12 +380,12 @@ impl ScanEngine {
 }
 
 /// Probe every address of a lazily streamed target shard.
-fn scan_worker(
-    network: &SimNetwork,
+fn scan_worker<F: ScanFamily>(
+    network: &SimNetwork<F>,
     cfg: &ScanConfig,
     key: SipHash24,
-    targets: impl Iterator<Item = u32>,
-) -> WorkerResult {
+    targets: impl Iterator<Item = F::Addr>,
+) -> WorkerResult<F> {
     let mut bucket = if cfg.rate_pps.is_finite() && cfg.rate_pps > 0.0 {
         TokenBucket::new(cfg.rate_pps / cfg.threads.max(1) as f64, 128.0)
     } else {
@@ -303,8 +405,8 @@ fn scan_worker(
     let mut seen = std::collections::HashSet::new();
     let responder = network.responder();
 
-    let mut probe_one = |addr: u32, out: &mut WorkerResult| {
-        if cfg.blocklist.is_blocked(addr) {
+    let mut probe_one = |addr: F::Addr, out: &mut WorkerResult<F>| {
+        if F::is_blocked(&cfg.blocklist, addr) {
             out.blocked_skipped += 1;
             return;
         }
@@ -312,44 +414,23 @@ fn scan_worker(
         out.probes_sent += 1;
         out.duration_secs = t;
 
-        let expected_seq = key.probe_validation(addr);
-        let src_port = 32768 + (key.hash_u64(u64::from(addr)) % 28232) as u16;
-
-        if cfg.wire_level {
-            let syn = wire::build_syn(cfg.source_ip, addr, src_port, cfg.port, expected_seq);
-            let replies = match network.transmit(&syn) {
-                Ok(r) => r,
-                Err(_) => return,
+        if cfg.wire_level && F::HAS_WIRE {
+            // wire path (families with a codec): counters from the frames
+            let Some(replies) = F::wire_probe(network, cfg, key, addr) else {
+                return; // malformed frame / transmit error: no replies
             };
-            for reply in replies {
-                let Ok(f) = wire::parse_frame(&reply) else {
-                    out.validation_failures += 1;
-                    continue;
-                };
-                // stateless validation, as ZMap does
-                let valid = f.src_ip == addr
-                    && f.dst_ip == cfg.source_ip
-                    && f.src_port == cfg.port
-                    && f.dst_port == src_port
-                    && f.ack == expected_seq.wrapping_add(1);
-                if !valid {
-                    out.validation_failures += 1;
-                    continue;
-                }
-                if f.flags & tcp_flags::RST != 0 {
-                    out.rst_responses += 1;
-                } else if f.flags & (tcp_flags::SYN | tcp_flags::ACK)
-                    == (tcp_flags::SYN | tcp_flags::ACK)
-                {
-                    out.responses += 1;
-                    if seen.insert(addr) {
-                        out.responsive.push(addr);
-                    }
+            out.validation_failures += replies.validation_failures;
+            out.rst_responses += replies.rsts;
+            if replies.syn_acks > 0 {
+                out.responses += replies.syn_acks;
+                if seen.insert(addr) {
+                    out.responsive.push(addr);
                 }
             }
         } else {
             // logical probe: same semantics (and the same fault
-            // injection) as the wire path, without the codec
+            // injection) as the wire path, without the codec — and the
+            // only path for families without one (v6)
             match network.probe_logical(addr, cfg.port) {
                 Some(true) => {
                     out.responses += 1;

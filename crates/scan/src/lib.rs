@@ -22,6 +22,14 @@
 //! * [`responder`] — answers SYNs and banner requests from ground-truth
 //!   host sets;
 //! * [`engine`] — the multi-threaded scan engine tying it all together.
+//!
+//! The engine core is generic over the address family
+//! ([`engine::ScanFamily`]): `ScanEngine` written bare is the IPv4
+//! engine (wire frames, blocklist, permutation — the pre-generic
+//! behaviour exactly), while `ScanEngine<V6>` drives `ProbePlan<V6>`
+//! streams through the logical probe path — wire codec and blocklist
+//! remain v4-only, the streaming/sharding/validation/dedup core is
+//! shared.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +45,6 @@ pub mod wire;
 
 pub use blocklist::Blocklist;
 pub use cyclic::Cyclic;
-pub use engine::{ScanConfig, ScanEngine, ScanReport};
+pub use engine::{ScanConfig, ScanEngine, ScanFamily, ScanReport, WireReplies};
 pub use net::{FaultConfig, SimNetwork};
 pub use responder::Responder;

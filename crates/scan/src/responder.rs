@@ -11,33 +11,44 @@ use crate::wire::{self, tcp_flags, TcpFrame};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use tass_model::{HostSet, Protocol};
+use tass_net::{AddrFamily, V4};
 
-/// Answers probes from ground-truth host sets.
+/// Fold an address of any family into 64 bits for hashing; the v4 value
+/// is the address itself, so pre-generic hashes are reproduced exactly.
+#[inline]
+pub(crate) fn addr_hash64<F: AddrFamily>(addr: F::Addr) -> u64 {
+    let a = F::addr_to_u128(addr);
+    (a as u64) ^ ((a >> 64) as u64)
+}
+
+/// Answers probes from ground-truth host sets, generic over the address
+/// family (the wire-level [`Responder::respond`] path exists for IPv4
+/// only; the logical path — open/live/banner — is family-generic).
 #[derive(Debug, Default)]
-pub struct Responder {
+pub struct Responder<F: AddrFamily = V4> {
     /// port -> responsive addresses
-    services: BTreeMap<u16, HostSet>,
+    services: BTreeMap<u16, HostSet<F>>,
     /// port -> protocol (for banner synthesis)
     protocols: BTreeMap<u16, Protocol>,
     /// ISN/banner variation key
     key: Option<SipHash24>,
 }
 
-impl Responder {
+impl<F: AddrFamily> Responder<F> {
     /// An empty responder (no hosts anywhere).
-    pub fn new() -> Responder {
+    pub fn new() -> Responder<F> {
         Responder::default()
     }
 
     /// Register a protocol's responsive host set on its well-known port.
-    pub fn with_service(mut self, protocol: Protocol, hosts: HostSet) -> Responder {
+    pub fn with_service(mut self, protocol: Protocol, hosts: HostSet<F>) -> Responder<F> {
         self.services.insert(protocol.port(), hosts);
         self.protocols.insert(protocol.port(), protocol);
         self
     }
 
     /// Register hosts on an arbitrary port (no banner synthesis).
-    pub fn with_port(mut self, port: u16, hosts: HostSet) -> Responder {
+    pub fn with_port(mut self, port: u16, hosts: HostSet<F>) -> Responder<F> {
         self.services.insert(port, hosts);
         self
     }
@@ -53,18 +64,33 @@ impl Responder {
     }
 
     /// Does `addr` answer on `port`?
-    pub fn is_open(&self, addr: u32, port: u16) -> bool {
+    pub fn is_open(&self, addr: F::Addr, port: u16) -> bool {
         self.services.get(&port).is_some_and(|h| h.contains(addr))
     }
 
     /// Is `addr` a live host on any registered port?
-    pub fn is_live(&self, addr: u32) -> bool {
+    pub fn is_live(&self, addr: F::Addr) -> bool {
         self.services.values().any(|h| h.contains(addr))
     }
 
+    /// The banner an open service would present, `None` if closed. The
+    /// variant is a deterministic function of the address, so repeated
+    /// grabs are stable.
+    pub fn banner(&self, addr: F::Addr, port: u16) -> Option<&'static str> {
+        if !self.is_open(addr, port) {
+            return None;
+        }
+        let proto = self.protocols.get(&port)?;
+        let variant = (self.hash().hash_u64(addr_hash64::<F>(addr)) & 0xFF) as u8;
+        Some(proto.banner(variant))
+    }
+}
+
+impl Responder {
     /// Answer a parsed probe frame: SYN-ACK for open, RST+ACK from a live
     /// host with the port closed, silence otherwise. Non-SYN segments are
-    /// ignored (the simulated hosts are stateless).
+    /// ignored (the simulated hosts are stateless). IPv4 only: frames are
+    /// the v4 wire codec's.
     pub fn respond(&self, probe: &TcpFrame) -> Option<Bytes> {
         if probe.flags & tcp_flags::SYN == 0 || probe.flags & tcp_flags::ACK != 0 {
             return None;
@@ -84,18 +110,6 @@ impl Responder {
         } else {
             None
         }
-    }
-
-    /// The banner an open service would present, `None` if closed. The
-    /// variant is a deterministic function of the address, so repeated
-    /// grabs are stable.
-    pub fn banner(&self, addr: u32, port: u16) -> Option<&'static str> {
-        if !self.is_open(addr, port) {
-            return None;
-        }
-        let proto = self.protocols.get(&port)?;
-        let variant = (self.hash().hash_u64(u64::from(addr)) & 0xFF) as u8;
-        Some(proto.banner(variant))
     }
 }
 
@@ -190,7 +204,7 @@ mod tests {
 
     #[test]
     fn arbitrary_port_without_banner() {
-        let r = Responder::new().with_port(2323, HostSet::from_addrs(vec![5]));
+        let r: Responder = Responder::new().with_port(2323, HostSet::from_addrs(vec![5]));
         assert!(r.is_open(5, 2323));
         assert!(r.banner(5, 2323).is_none(), "no protocol registered");
     }

@@ -1,0 +1,99 @@
+//! A hitlist-seeded IPv6 scanning campaign, end to end.
+//!
+//! IPv6 is where topology-aware target selection stops being an
+//! optimisation and becomes the only option: the seeded announced space
+//! below is ~2⁸¹ addresses, so brute-force enumeration and uniform
+//! sampling are both dead on arrival — hitlist- and prefix-seeded plans
+//! are all there is. This example drives the full lifecycle against the
+//! packet-level engine every cycle, nothing analytic in the loop:
+//!
+//! ```text
+//! Strategy<V6>::prepare → ProbePlan<V6> → ScanEngine::<V6>::run_plan
+//!        ↑                                        │
+//!        └────────── CycleOutcome ←───────────────┘
+//! ```
+//!
+//! Run with `cargo run --release --example ipv6_hitlist`.
+
+use std::sync::Arc;
+use tass::core::plan::CycleOutcome;
+use tass::core::strategy::{Strategy, V6BlockTass, V6FreshSample, V6Hitlist};
+use tass::model::{V6Universe, V6UniverseConfig};
+use tass::net::V6;
+use tass::scan::{Blocklist, Responder, ScanConfig, ScanEngine, SimNetwork};
+
+fn main() {
+    // A sparse synthetic v6 universe: seeded /48–/64 operator prefixes,
+    // responsive hosts clustered in dense /116 blocks, monthly churn.
+    let universe = V6Universe::generate(&V6UniverseConfig::small(42));
+    let space = universe.space();
+    let announced = space.announced();
+    let t0 = universe.snapshot(0);
+    println!(
+        "seeded space : {} prefixes (/48–/64), 2^{:.1} addresses",
+        announced.len(),
+        (space.announced_space() as f64).log2()
+    );
+    println!("t0 hitlist   : {} responsive hosts\n", t0.len());
+
+    let strategies: Vec<Box<dyn Strategy<V6>>> = vec![
+        Box::new(V6Hitlist),
+        Box::new(V6BlockTass {
+            phi: 0.95,
+            block_len: 116,
+        }),
+        Box::new(V6FreshSample { per_cycle: 200_000 }),
+    ];
+
+    println!(
+        "{:<34} {:>6} {:>6} {:>6} {:>6}  {:>13}",
+        "strategy (engine-driven)", "hit@0", "hit@2", "hit@4", "hit@6", "probes/cycle"
+    );
+    for strategy in &strategies {
+        let mut prepared = strategy.prepare(space, t0, 42);
+        let mut hitrates = Vec::new();
+        let mut probes = 0u64;
+        for month in 0..=universe.months() {
+            let truth = universe.snapshot(month);
+            // the month's ground truth answers the engine's probes
+            let responder: Responder<V6> =
+                Responder::new().with_service(truth.protocol, truth.hosts.clone());
+            let engine: ScanEngine<V6> = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
+            let cfg = ScanConfig::for_port(truth.protocol.port())
+                .unlimited_rate()
+                .threads(4)
+                .blocklist(Blocklist::empty())
+                .wire_level(false);
+
+            let plan = prepared.plan(month);
+            let report = engine.run_plan(&plan, month, announced, &cfg);
+            hitrates.push(report.responsive.len() as f64 / truth.len().max(1) as f64);
+            probes = report.probes_sent;
+
+            // close the loop: the scan report is the strategy's feedback
+            prepared.observe(
+                month,
+                &CycleOutcome {
+                    cycle: month,
+                    probes: report.probes_sent,
+                    responsive: report.responsive.clone(),
+                },
+            );
+        }
+        println!(
+            "{:<34} {:>6.3} {:>6.3} {:>6.3} {:>6.3}  {:>13}",
+            strategy.label(),
+            hitrates[0],
+            hitrates[2],
+            hitrates[4],
+            hitrates[6],
+            probes
+        );
+    }
+
+    println!(
+        "\nThe point: over 2^81 addresses a uniform sample finds nothing, the t0\n\
+         hitlist decays with churn, and the density-ranked /116 block selection\n\
+         (TASS transplanted to v6) holds its hitrate at a bounded probe budget."
+    );
+}

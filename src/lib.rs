@@ -7,7 +7,9 @@
 //! This umbrella crate re-exports the workspace so downstream users can
 //! depend on a single crate:
 //!
-//! * [`net`] — IPv4 prefix math, tries, deaggregation, IANA registries;
+//! * [`net`] — prefix math, tries, deaggregation, IANA registries —
+//!   generic over the address family (`AddrFamily`, with an IPv4 default
+//!   and an IPv6 instantiation; see `tass::net::family`);
 //! * [`bgp`] — routing tables, CAIDA pfx2as I/O, l/m scan views, the
 //!   synthetic RouteViews-like generator;
 //! * [`model`] — the simulated ground truth (protocol host populations and
@@ -100,6 +102,46 @@
 //!
 //! User-defined strategies implement the same two traits — see
 //! `examples/adaptive_strategy.rs` for a complete one.
+//!
+//! ## IPv6: the same machinery at 128 bits
+//!
+//! Every address-carrying type is generic over an address family with an
+//! IPv4 default — `Prefix<V6>`, `ProbePlan<V6>`, `ScanEngine<V6>` are
+//! the identical machinery over `u128` addresses. IPv6 is where
+//! topology-aware selection stops being an optimisation: a seeded
+//! announced space of a few /48s already holds 2⁸⁰⁺ addresses, so
+//! brute-force enumeration and uniform sampling are impossible and
+//! hitlist-/prefix-seeded plans are the only strategy:
+//!
+//! ```
+//! use tass::core::campaign::run_campaign_v6;
+//! use tass::core::strategy::{V6BlockTass, V6FreshSample};
+//! use tass::model::{V6Universe, V6UniverseConfig};
+//!
+//! // A sparse seeded v6 universe: /48–/64 operator prefixes, responsive
+//! // hosts clustered in dense /116 blocks, monthly churn.
+//! let universe = V6Universe::generate(&V6UniverseConfig::small(42));
+//! assert!(universe.space().announced_space() > 1u128 << 64);
+//!
+//! // TASS transplanted to v6: rank the hitlist's /116 blocks by density,
+//! // select phi = 0.95, re-rank from each cycle's own responses.
+//! let tass = run_campaign_v6(
+//!     &universe,
+//!     &V6BlockTass { phi: 0.95, block_len: 116 },
+//!     42,
+//! );
+//! assert!(tass.hitrate(0) > 0.95);
+//! assert!(tass.final_hitrate() > 0.9, "dense blocks persist through churn");
+//!
+//! // …while a uniform sample of 2^81 addresses finds nothing at all.
+//! let sample = run_campaign_v6(&universe, &V6FreshSample { per_cycle: 100_000 }, 42);
+//! assert!(sample.final_hitrate() < 1e-3);
+//! ```
+//!
+//! The full engine-driven loop (`Strategy<V6>` → `ProbePlan<V6>` →
+//! `ScanEngine::<V6>::run_plan` → `CycleOutcome`) is demonstrated in
+//! `examples/ipv6_hitlist.rs` and exercised by `tests/ipv6_campaign.rs`;
+//! the `ipv6` exhibit prints the hitrate-vs-probes table.
 //!
 //! ## Streaming plans, sharded matrices
 //!

@@ -93,6 +93,34 @@ fn pooled_matrix_is_byte_identical_to_serial_for_all_kinds() {
     }
 }
 
+/// FNV-1a 64-bit, self-contained so the digest below depends on nothing
+/// but the serialized campaign results themselves.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn v4_matrix_digest_is_pinned() {
+    // Equivalence lock-down for the address-family refactor: the serial
+    // matrix over every registry strategy kind, serialized to JSON and
+    // hashed. Any refactor that changes a single byte of any v4 campaign
+    // result — a density tie-break, an RNG draw, a serialization field —
+    // flips this digest. Pinned on the pre-refactor tree (PR 2 state);
+    // the generic address layer must reproduce it bit for bit.
+    let u = universe();
+    let serial = CampaignPool::serial().run_matrix(&u, &all_kinds(), 7);
+    let digest = fnv1a(to_bytes(&serial).as_bytes());
+    assert_eq!(
+        digest, 0xD9A9_7A7C_5394_F9FD,
+        "serialized v4 matrix drifted: digest {digest:#018X}"
+    );
+}
+
 #[test]
 fn pooled_jobs_return_in_input_order_regardless_of_cost() {
     // deliberately interleave expensive (full-scan / adaptive) and cheap

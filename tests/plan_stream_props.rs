@@ -7,15 +7,19 @@
 //!   prefix sets, random address sets, and random fresh-sample weights;
 //! * shards partition the stream for any shard count;
 //! * the cyclic permutation underneath covers each address of a random
-//!   limit exactly once per cycle, sharded or not.
+//!   limit exactly once per cycle, sharded or not;
+//! * the same laws hold for the generic layer at `u128` width:
+//!   `Prefix<V6>` parse/format round-trips and canonicalises,
+//!   `Cyclic<V6>` is exactly-once per cycle on small moduli, and v6
+//!   streams shard-partition exactly like v4 ones.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tass::core::ProbePlan;
 use tass::model::HostSet;
-use tass::net::cyclic::{is_prime, Cyclic};
-use tass::net::Prefix;
+use tass::net::cyclic::{is_prime, is_prime_u128, Cyclic};
+use tass::net::{Prefix, V6};
 
 /// Collapse random `(addr, len)` pairs into a sorted, disjoint prefix
 /// set (overlapping candidates are dropped, keeping the earlier one).
@@ -81,7 +85,7 @@ proptest! {
         addrs in proptest::collection::vec(any::<u32>(), 0..200),
         total in 1u64..6,
     ) {
-        let plan = ProbePlan::Addrs(HostSet::from_addrs(addrs));
+        let plan: ProbePlan = ProbePlan::Addrs(HostSet::from_addrs(addrs));
         let want = plan.materialize(0, &[]);
         let mut union: Vec<u32> = Vec::new();
         for shard in 0..total {
@@ -129,12 +133,98 @@ proptest! {
             p += 1;
         }
         let mut rng = SmallRng::seed_from_u64(seed);
-        let group = Cyclic::new(p, &mut rng).expect("p is prime");
+        let group: Cyclic = Cyclic::new(p, &mut rng).expect("p is prime");
         let mut addrs: Vec<u32> = (0..total)
             .flat_map(|s| group.addresses(s, total, limit))
             .collect();
         addrs.sort_unstable();
         let want: Vec<u32> = (0..limit as u32).collect();
         prop_assert_eq!(addrs, want, "one full cycle = one visit per address");
+    }
+
+    // ---- the generic layer at u128 width ----
+
+    #[test]
+    fn v6_prefix_parse_format_roundtrip_and_canonicalisation(
+        addr in any::<u128>(),
+        len in 0u8..=128,
+    ) {
+        // truncation canonicalises: the result reconstructs exactly and
+        // still covers the seed address
+        let p = Prefix::<V6>::new_truncate(addr, len).unwrap();
+        prop_assert!(Prefix::<V6>::new(p.addr(), p.len()).is_ok());
+        prop_assert!(p.contains_addr(addr));
+        // text round-trip through RFC 5952 formatting
+        let q: Prefix<V6> = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, q);
+        // non-canonical text is rejected unless the host bits are zero
+        if p.len() > 0 && !p.is_host() {
+            let hosty = Prefix::<V6>::host(p.first() | 1);
+            let non_canonical = format!("{}/{}", hosty.to_string().trim_end_matches("/128"), p.len());
+            prop_assert!(non_canonical.parse::<Prefix<V6>>().is_err());
+        }
+    }
+
+    #[test]
+    fn v6_cyclic_exactly_once_per_cycle_on_small_moduli(
+        limit in 1u64..1200,
+        seed in any::<u64>(),
+        total in 1u64..5,
+    ) {
+        let mut p = u128::from(limit) + 1;
+        while !is_prime_u128(p) {
+            p += 1;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let group: Cyclic<V6> = Cyclic::new(p, &mut rng).expect("p is prime");
+        let mut addrs: Vec<u128> = (0..total)
+            .flat_map(|s| group.addresses(s, total, u128::from(limit)))
+            .collect();
+        addrs.sort_unstable();
+        let want: Vec<u128> = (0..u128::from(limit)).collect();
+        prop_assert_eq!(addrs, want, "one full v6 cycle = one visit per address");
+    }
+
+    #[test]
+    fn v6_streams_shard_partition_at_u128_width(
+        raw in proptest::collection::vec((any::<u128>(), any::<u8>()), 1..5),
+        per_cycle in 0u64..600,
+        sample_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        total in 1u64..6,
+    ) {
+        // disjoint v6 prefixes at enumerable block scale (/116–/128),
+        // spread across the full 128-bit space
+        let mut candidates: Vec<Prefix<V6>> = raw
+            .iter()
+            .map(|&(addr, len)| {
+                Prefix::<V6>::new_truncate(addr, 116 + len % 13).expect("len in 116..=128")
+            })
+            .collect();
+        candidates.sort_unstable();
+        let mut announced: Vec<Prefix<V6>> = Vec::new();
+        for p in candidates {
+            if announced.last().is_none_or(|q| q.last() < p.first()) {
+                announced.push(p);
+            }
+        }
+        prop_assume!(!announced.is_empty());
+
+        for plan in [
+            ProbePlan::<V6>::All,
+            ProbePlan::FreshSample { per_cycle, seed: sample_seed },
+        ] {
+            let want = plan.materialize(3, &announced);
+            let got: Vec<u128> = plan.stream(3, &announced, perm_seed).collect();
+            let mut got_sorted = got;
+            got_sorted.sort_unstable();
+            prop_assert_eq!(&got_sorted, &want, "{:?}", plan);
+            let mut union: Vec<u128> = Vec::new();
+            for shard in 0..total {
+                union.extend(plan.stream_shard(3, &announced, perm_seed, shard, total));
+            }
+            union.sort_unstable();
+            prop_assert_eq!(&union, &want, "{:?} sharded {}", plan, total);
+        }
     }
 }
