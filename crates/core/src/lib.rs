@@ -59,7 +59,7 @@ pub use density::{
     rank_from_counts, rank_prefix_counts, rank_prefixes, rank_units, DensityRank, PrefixStat,
 };
 pub use metrics::{efficiency_ratio, MonthEval};
-pub use plan::{CycleOutcome, Eval, PlanStream, ProbePlan};
+pub use plan::{CycleOutcome, Eval, PlanStream, ProbePlan, StreamError};
 pub use select::{select_prefixes, Selection};
 pub use strategy::{
     AdaptiveTass, Block24Sample, FamilySpace, FullScan, IpHitlist, Prepared, PreparedStrategy,

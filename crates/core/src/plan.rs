@@ -15,7 +15,14 @@
 //! `ProbePlan<V6>` plans 128-bit space. For v6 the `All` variant is a
 //! *seeded*-space scan (the announced list is the seeded /48–/64
 //! prefixes) — brute-forcing 2¹²⁸ addresses is impossible, which is
-//! exactly why the typed prefix/hitlist plans matter there.
+//! exactly why the typed prefix/hitlist plans matter there. Note the
+//! asymmetry that implies: [`ProbePlan::evaluate`]/[`ProbePlan::observed`]
+//! handle arbitrarily wide prefixes analytically, but **streaming**
+//! enumerates every address, so `All`/`Prefixes` plans can only stream
+//! prefixes of at most 2⁶⁴ addresses ([`ProbePlan::check_streamable`]) —
+//! over wider seeded space, stream dense sub-prefix or hitlist plans
+//! instead (`FreshSample` draws rather than enumerates and is always
+//! streamable).
 //!
 //! A [`CycleOutcome`] is what the cycle reported back: the probes spent
 //! and the responsive hosts found. Feedback-driven strategies (the
@@ -56,6 +63,38 @@ pub enum ProbePlan<F: AddrFamily = V4> {
         seed: u64,
     },
 }
+
+/// A plan cannot be streamed: one of the prefixes it would enumerate
+/// holds more than 2⁶⁴ addresses.
+///
+/// Streaming walks every address of every planned prefix, so a wider
+/// prefix is not a scan plan, it is a hang (and the cyclic-group
+/// construction would spin factoring a 2⁸⁰-sized modulus). The analytic
+/// paths ([`ProbePlan::evaluate`], [`ProbePlan::observed`]) have no such
+/// bound — v6 plans over seeded /48–/64 space must either stay analytic
+/// or stream dense sub-prefixes, which is the entire point of
+/// topology-aware selection at 128 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamError {
+    /// The offending prefix, formatted (`2600::/48`).
+    pub prefix: String,
+    /// Its address count.
+    pub size: u128,
+    /// The address family's name (`"IPv4"` / `"IPv6"`).
+    pub family: &'static str,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot stream {} prefix {}: {} addresses exceed the 2^64 enumerable bound — plan dense sub-prefixes instead",
+            self.family, self.prefix, self.size,
+        )
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 impl<F: AddrFamily> ProbePlan<F> {
     /// Addresses this plan probes in one cycle.
@@ -177,6 +216,42 @@ impl<F: AddrFamily> ProbePlan<F> {
         }
     }
 
+    /// Can this plan's targets be streamed ([`ProbePlan::stream`])?
+    ///
+    /// Streaming enumerates every address of every planned prefix, so an
+    /// `All`/`Prefixes` plan naming a prefix wider than 2⁶⁴ addresses (a
+    /// seeded v6 /48 is 2⁸⁰) is rejected with a [`StreamError`] naming
+    /// the offending prefix. `Addrs` probes a listed set and
+    /// `FreshSample` *draws* from `announced` without enumerating it, so
+    /// both are always streamable — as is every v4 plan (a v4 prefix
+    /// tops out at 2³²).
+    ///
+    /// `announced` matters only for `All` (the list it would walk).
+    ///
+    /// The bound is about *enumerability*, not practicality: per-prefix
+    /// permutation setup factors a prime just above the prefix size by
+    /// trial division, so it (like the walk itself) grows steeply toward
+    /// the 2⁶⁴ edge — real plans stream dense sub-prefixes orders of
+    /// magnitude below the bound.
+    pub fn check_streamable(&self, announced: &[Prefix<F>]) -> Result<(), StreamError> {
+        let walked: &[Prefix<F>] = match self {
+            ProbePlan::All => announced,
+            ProbePlan::Prefixes(ps) => ps,
+            ProbePlan::Addrs(_) | ProbePlan::FreshSample { .. } => &[],
+        };
+        for p in walked {
+            let size = p.size_u128();
+            if size > 1u128 << 64 {
+                return Err(StreamError {
+                    prefix: p.to_string(),
+                    size,
+                    family: F::NAME,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Stream the cycle's target addresses lazily.
     ///
     /// Equivalent to [`ProbePlan::stream_shard`] with a single shard: the
@@ -184,6 +259,9 @@ impl<F: AddrFamily> ProbePlan<F> {
     /// once for `All`/`Prefixes`/`Addrs` (assuming disjoint prefixes) and
     /// with replacement for `FreshSample`, in permuted order, without
     /// ever materialising the target set.
+    ///
+    /// Panics if the plan is not streamable ([`ProbePlan::try_stream`]
+    /// is the checked variant).
     pub fn stream<'a>(
         &'a self,
         cycle: u32,
@@ -191,6 +269,18 @@ impl<F: AddrFamily> ProbePlan<F> {
         perm_seed: u64,
     ) -> PlanStream<'a, F> {
         self.stream_shard(cycle, announced, perm_seed, 0, 1)
+    }
+
+    /// Checked [`ProbePlan::stream`]: fails with a [`StreamError`]
+    /// instead of panicking when the plan walks a prefix wider than the
+    /// 2⁶⁴-address enumerable bound.
+    pub fn try_stream<'a>(
+        &'a self,
+        cycle: u32,
+        announced: &'a [Prefix<F>],
+        perm_seed: u64,
+    ) -> Result<PlanStream<'a, F>, StreamError> {
+        self.try_stream_shard(cycle, announced, perm_seed, 0, 1)
     }
 
     /// Stream shard `shard` of `total` of the cycle's targets.
@@ -212,7 +302,9 @@ impl<F: AddrFamily> ProbePlan<F> {
     /// `announced` is only consulted by `ProbePlan::All` (the space to
     /// scan) and `ProbePlan::FreshSample` (the space to draw from).
     ///
-    /// Panics if `total == 0` or `shard >= total`.
+    /// Panics if `total == 0`, `shard >= total`, or the plan is not
+    /// streamable ([`ProbePlan::try_stream_shard`] is the checked
+    /// variant).
     pub fn stream_shard<'a>(
         &'a self,
         cycle: u32,
@@ -221,8 +313,28 @@ impl<F: AddrFamily> ProbePlan<F> {
         shard: u64,
         total: u64,
     ) -> PlanStream<'a, F> {
+        match self.try_stream_shard(cycle, announced, perm_seed, shard, total) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked [`ProbePlan::stream_shard`]: fails with a [`StreamError`]
+    /// instead of panicking when the plan walks a prefix wider than the
+    /// 2⁶⁴-address enumerable bound (still panics on a sharding-contract
+    /// violation — `total == 0` or `shard >= total` is programmer error,
+    /// not data).
+    pub fn try_stream_shard<'a>(
+        &'a self,
+        cycle: u32,
+        announced: &'a [Prefix<F>],
+        perm_seed: u64,
+        shard: u64,
+        total: u64,
+    ) -> Result<PlanStream<'a, F>, StreamError> {
         assert!(total > 0, "total shards must be > 0");
         assert!(shard < total, "shard index out of range");
+        self.check_streamable(announced)?;
         let inner = match self {
             ProbePlan::All => {
                 StreamInner::Prefixes(PrefixStream::new(announced, perm_seed, shard, total))
@@ -243,7 +355,7 @@ impl<F: AddrFamily> ProbePlan<F> {
                 total,
             )),
         };
-        PlanStream { inner }
+        Ok(PlanStream { inner })
     }
 
     /// Materialise the cycle's full target multiset, sorted — the eager
@@ -323,12 +435,10 @@ fn prefix_walk<F: AddrFamily>(
     total: u64,
 ) -> Option<Walk<F>> {
     let size = prefix.size_u128();
-    // Streaming enumerates every address of the prefix, so anything past
-    // 2^64 addresses is not a scan plan, it is a hang (and the group
-    // construction would overflow or spin factoring a 2^80-sized
-    // modulus). Fail loudly instead: v6 plans must name enumerable
-    // sub-prefixes (dense blocks), which is the entire point of
-    // topology-aware selection at 128 bits.
+    // Invariant: every stream constructor runs `check_streamable` first
+    // (try_stream_shard), so an unenumerable prefix cannot reach the
+    // walk — this backstop keeps the hang impossible even if a new
+    // constructor forgets the check.
     assert!(
         size <= 1u128 << 64,
         "cannot stream {} prefix {prefix}: {size} addresses exceed the 2^64 enumerable bound — plan dense sub-prefixes instead",
@@ -601,9 +711,33 @@ mod tests {
     #[should_panic(expected = "exceed the 2^64 enumerable bound")]
     fn streaming_an_unenumerable_v6_prefix_fails_loudly() {
         // a seeded /48 is 2^80 addresses: not a scan plan, a hang —
-        // the stream must reject it instead of spinning
+        // the unchecked stream constructor must reject it eagerly
+        // instead of spinning
         let plan = ProbePlan::Prefixes(vec!["2600::/48".parse::<Prefix<V6>>().unwrap()]);
         let _ = plan.stream(0, &[], 1).next();
+    }
+
+    #[test]
+    fn try_stream_reports_unenumerable_prefixes_as_errors() {
+        let announced = vec!["2600::/48".parse::<Prefix<V6>>().unwrap()];
+        let err = ProbePlan::<V6>::All
+            .try_stream(0, &announced, 1)
+            .unwrap_err();
+        assert_eq!(err.prefix, "2600::/48");
+        assert_eq!(err.size, 1u128 << 80);
+        assert_eq!(err.family, "IPv6");
+        assert!(err.to_string().contains("exceed the 2^64 enumerable bound"));
+        // only the enumerating variants are bounded: a sample *draws*
+        // from the same wide announced space and streams fine
+        let sample = ProbePlan::<V6>::FreshSample {
+            per_cycle: 10,
+            seed: 1,
+        };
+        assert!(sample.check_streamable(&announced).is_ok());
+        assert_eq!(sample.try_stream(0, &announced, 1).unwrap().count(), 10);
+        // a /64 (exactly 2^64 addresses) sits on the bound: streamable
+        let edge = ProbePlan::Prefixes(vec!["2600::/64".parse::<Prefix<V6>>().unwrap()]);
+        assert!(edge.check_streamable(&[]).is_ok());
     }
 
     #[test]

@@ -94,7 +94,9 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
         .threads(4)
         .blocklist(Blocklist::empty())
         .wire_level(false);
-    let report = engine.run_plan(&plan, 0, universe.space().announced(), &cfg);
+    let report = engine
+        .run_plan(&plan, 0, universe.space().announced(), &cfg)
+        .expect("block-TASS plans dense sub-prefixes");
     let eval = plan.evaluate(t0, 0, announced);
     let engine_line = format!(
         "engine check: ScanEngine::<V6>::run_plan sent {} probes, found {} of {} hosts \

@@ -262,7 +262,9 @@ impl V6Universe {
             let operator = Prefix::new_truncate(within, len).expect("len <= 64");
             announced.push(operator);
 
-            let n_blocks = 1 + rng.random_range(0..cfg.max_blocks_per_operator);
+            // the `.max(1)` keeps the documented "at least one each" true
+            // for a zero config instead of panicking on an empty range
+            let n_blocks = 1 + rng.random_range(0..cfg.max_blocks_per_operator.max(1));
             let mut op_blocks = Vec::with_capacity(n_blocks as usize);
             for _ in 0..n_blocks {
                 let b = Prefix::new_truncate(random_v6_addr_in(&mut rng, operator), cfg.block_len)
@@ -467,6 +469,22 @@ mod tests {
         let space = a.space().announced_space();
         assert!(space > 1u128 << 64);
         assert!((t0.len() as u128) < space >> 40, "sparsity is the point");
+    }
+
+    #[test]
+    fn v6_zero_max_blocks_still_seeds_one_block_per_operator() {
+        // regression: `max_blocks_per_operator: 0` used to panic on an
+        // empty RNG range; the documented "at least one each" must hold
+        let u = V6Universe::generate(&V6UniverseConfig {
+            max_blocks_per_operator: 0,
+            ..V6UniverseConfig::small(9)
+        });
+        assert_eq!(
+            u.dense_blocks().len(),
+            u.space().announced().len(),
+            "exactly one block per operator"
+        );
+        assert!(!u.snapshot(0).is_empty());
     }
 
     #[test]

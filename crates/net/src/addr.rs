@@ -249,8 +249,15 @@ impl<F: AddrFamily> AddrRange<F> {
             } else {
                 cur.trailing_zeros().min(u32::from(F::BITS))
             };
-            // max block size by alignment
-            let max_by_align: u128 = 1u128 << align;
+            // max block size by alignment; `align == 128` (a v6 range
+            // starting at ::) would overflow the shift, but the span
+            // bound below already caps the block (the full space was
+            // early-returned), so saturate instead
+            let max_by_align: u128 = if align >= 128 {
+                u128::MAX
+            } else {
+                1u128 << align
+            };
             // max block size by remaining span (round down to power of two)
             let max_by_span: u128 = {
                 let b = 127 - remaining.leading_zeros();
@@ -407,6 +414,25 @@ mod tests {
         let r4: AddrRange = AddrRange::new(1, u32::MAX).unwrap();
         let total4: u64 = r4.to_prefixes().iter().map(|p| p.size()).sum();
         assert_eq!(total4, u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn v6_cover_of_bottom_of_space_does_not_overflow() {
+        // regression: a v6 range starting at :: has alignment 128, and
+        // `1u128 << 128` overflowed the alignment bound (debug panic;
+        // in release a degenerate one-/128-per-address cover)
+        let r = AddrRange::<V6>::new(0, 999).unwrap();
+        let cover = r.to_prefixes();
+        let total = cover.iter().fold(0u128, |acc, p| acc + p.size_u128());
+        assert_eq!(total, 1000, "1000 addresses covered exactly");
+        assert!(cover.len() <= 12, "greedy cover, not one /128 each");
+        assert_eq!(cover[0].to_string(), "::/119", "largest block leads");
+        for w in cover.windows(2) {
+            assert!(w[0].last() < w[1].first(), "disjoint + sorted");
+        }
+        // an aligned power-of-two block at :: is a single prefix
+        let b = AddrRange::<V6>::new(0, (1u128 << 64) - 1).unwrap();
+        assert_eq!(b.to_prefixes(), vec![Prefix::<V6>::new(0, 64).unwrap()]);
     }
 
     #[test]

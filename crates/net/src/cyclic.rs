@@ -109,10 +109,12 @@ pub fn is_prime(n: u64) -> bool {
     is_prime_u128(u128::from(n))
 }
 
-/// Witness set for Miller–Rabin: the first twelve primes decide
+/// Witness set for Miller–Rabin: the first **thirteen** primes decide
 /// primality *deterministically* for every n < 3.3·10²⁴ ≈ 2⁸¹ — far
-/// beyond any modulus a prefix-sized permutation can produce.
-const MR_WITNESSES: [u128; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+/// beyond any modulus a prefix-sized permutation can produce. (Twelve
+/// are not enough: 318665857834031151167461 ≈ 2⁷⁸ is a strong
+/// pseudoprime to every base up to 37.)
+const MR_WITNESSES: [u128; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
 
 /// Miller–Rabin primality at u128 width: O(log² n) per witness instead
 /// of the old O(√n) trial division, so the u128 modulus path costs the
@@ -437,6 +439,9 @@ mod tests {
         // above-u64 width
         assert!(is_prime_u128((1u128 << 64) + 13));
         assert!(!is_prime_u128(1u128 << 64));
+        // strong pseudoprime to all twelve bases ≤ 37 — the composite
+        // that forces the thirteenth witness (41) into MR_WITNESSES
+        assert!(!is_prime_u128(318_665_857_834_031_151_167_461));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::siphash::SipHash24;
 use crate::wire::{self, tcp_flags};
 use std::sync::mpsc;
 use std::sync::Arc;
-use tass_core::ProbePlan;
+use tass_core::{ProbePlan, StreamError};
 use tass_model::HostSet;
 use tass_net::{AddrFamily, Prefix, V4, V6};
 
@@ -294,6 +294,7 @@ impl ScanEngine {
     /// [`ProbePlan::Prefixes`] plan over the configured prefixes.
     pub fn run(&self, cfg: &ScanConfig) -> ScanReport {
         self.run_plan(&ProbePlan::Prefixes(cfg.targets.clone()), 0, &[], cfg)
+            .expect("v4 prefixes are always enumerable")
     }
 }
 
@@ -327,6 +328,14 @@ impl<F: ScanFamily> ScanEngine<F> {
     /// at `rate_pps / threads`. Together the shards cover the plan
     /// exactly, so the responsive set is independent of the thread count.
     ///
+    /// Because streaming enumerates every planned address, the plan must
+    /// be streamable ([`ProbePlan::check_streamable`]): an `All` or
+    /// `Prefixes` plan naming a prefix wider than 2⁶⁴ addresses — e.g.
+    /// v6 `All` over /48–/64 seeded announced space — fails here with a
+    /// [`StreamError`] *before* any probe is sent, so callers can fall
+    /// back to dense sub-prefix, hitlist, or sampling plans. Every v4
+    /// plan is streamable; v4 callers may unwrap.
+    ///
     /// `cfg.targets` is ignored; the plan is the target.
     pub fn run_plan(
         &self,
@@ -334,12 +343,13 @@ impl<F: ScanFamily> ScanEngine<F> {
         cycle: u32,
         announced: &[Prefix<F>],
         cfg: &ScanConfig,
-    ) -> ScanReport<F> {
+    ) -> Result<ScanReport<F>, StreamError> {
+        plan.check_streamable(announced)?;
         let threads = cfg.threads.max(1);
         let (tx, rx) = mpsc::channel::<WorkerResult<F>>();
         let key = SipHash24::new(cfg.seed, cfg.seed.rotate_left(17) ^ 0xA5A5_A5A5);
 
-        std::thread::scope(|scope| {
+        Ok(std::thread::scope(|scope| {
             for t in 0..threads {
                 let tx = tx.clone();
                 let network = Arc::clone(&self.network);
@@ -375,7 +385,7 @@ impl<F: ScanFamily> ScanEngine<F> {
                 0.0
             };
             report
-        })
+        }))
     }
 }
 
@@ -636,7 +646,9 @@ mod tests {
         let cfg = base_cfg();
         let by_targets = engine.run(&cfg);
         let plan = ProbePlan::Prefixes(vec![p("1.0.0.0/24")]);
-        let by_plan = engine.run_plan(&plan, 0, &[], &cfg.clone().targets(Vec::new()));
+        let by_plan = engine
+            .run_plan(&plan, 0, &[], &cfg.clone().targets(Vec::new()))
+            .unwrap();
         assert_eq!(by_plan.responsive, by_targets.responsive);
         assert_eq!(by_plan.probes_sent, by_targets.probes_sent);
     }
@@ -645,7 +657,9 @@ mod tests {
     fn run_plan_all_scans_announced() {
         let engine = ScanEngine::new(demo_network(FaultConfig::default()));
         let announced = vec![p("1.0.0.0/24"), p("2.0.0.0/24")];
-        let report = engine.run_plan(&ProbePlan::All, 0, &announced, &base_cfg());
+        let report = engine
+            .run_plan(&ProbePlan::All, 0, &announced, &base_cfg())
+            .unwrap();
         assert_eq!(report.probes_sent, 512);
         assert_eq!(report.responsive.len(), 32);
     }
@@ -660,7 +674,9 @@ mod tests {
             .map(|i| base + i)
             .chain(500..508)
             .collect();
-        let report = engine.run_plan(&ProbePlan::Addrs(hitlist.clone()), 0, &[], &base_cfg());
+        let report = engine
+            .run_plan(&ProbePlan::Addrs(hitlist.clone()), 0, &[], &base_cfg())
+            .unwrap();
         assert_eq!(report.probes_sent, hitlist.len() as u64);
         assert_eq!(report.responsive.len(), 32, "exactly the live hosts answer");
     }
@@ -673,9 +689,9 @@ mod tests {
             per_cycle: 64,
             seed: 11,
         };
-        let a = engine.run_plan(&plan, 1, &announced, &base_cfg());
-        let b = engine.run_plan(&plan, 1, &announced, &base_cfg());
-        let c = engine.run_plan(&plan, 2, &announced, &base_cfg());
+        let a = engine.run_plan(&plan, 1, &announced, &base_cfg()).unwrap();
+        let b = engine.run_plan(&plan, 1, &announced, &base_cfg()).unwrap();
+        let c = engine.run_plan(&plan, 2, &announced, &base_cfg()).unwrap();
         assert_eq!(a.probes_sent, 64);
         assert_eq!(a.responsive, b.responsive, "same cycle → same sample");
         assert_ne!(a.responsive, c.responsive, "different cycle → fresh sample");
@@ -713,9 +729,13 @@ mod tests {
             },
         ];
         for plan in &plans {
-            let one = engine.run_plan(plan, 1, &announced, &base_cfg().threads(1));
+            let one = engine
+                .run_plan(plan, 1, &announced, &base_cfg().threads(1))
+                .unwrap();
             for threads in [2usize, 3, 8] {
-                let many = engine.run_plan(plan, 1, &announced, &base_cfg().threads(threads));
+                let many = engine
+                    .run_plan(plan, 1, &announced, &base_cfg().threads(threads))
+                    .unwrap();
                 assert_eq!(one.responsive, many.responsive, "{plan:?} x{threads}");
                 assert_eq!(one.probes_sent, many.probes_sent, "{plan:?} x{threads}");
                 assert_eq!(one.blocked_skipped, many.blocked_skipped);

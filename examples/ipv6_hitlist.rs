@@ -66,7 +66,9 @@ fn main() {
                 .wire_level(false);
 
             let plan = prepared.plan(month);
-            let report = engine.run_plan(&plan, month, announced, &cfg);
+            let report = engine
+                .run_plan(&plan, month, announced, &cfg)
+                .expect("v6 strategies plan enumerable prefixes");
             hitrates.push(report.responsive.len() as f64 / truth.len().max(1) as f64);
             probes = report.probes_sent;
 

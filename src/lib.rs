@@ -89,7 +89,7 @@
 //!     .unlimited_rate()
 //!     .blocklist(Blocklist::empty())
 //!     .wire_level(false);
-//! let report = engine.run_plan(&plan, 0, &announced, &cfg);
+//! let report = engine.run_plan(&plan, 0, &announced, &cfg).unwrap();
 //!
 //! // feed the outcome back — adaptive strategies re-rank on this edge
 //! prepared.observe(0, &CycleOutcome {

@@ -44,7 +44,9 @@ fn engine_campaign(u: &V6Universe, strategy: &dyn Strategy<V6>) -> Vec<f64> {
         let truth = u.snapshot(month);
         let engine = engine_for(truth);
         let plan = prepared.plan(month);
-        let report = engine.run_plan(&plan, month, u.space().announced(), &cfg());
+        let report = engine
+            .run_plan(&plan, month, u.space().announced(), &cfg())
+            .unwrap();
         hitrates.push(report.responsive.len() as f64 / truth.len().max(1) as f64);
         prepared.observe(
             month,
@@ -106,13 +108,40 @@ fn v6_engine_matches_analytic_evaluation_on_perfect_network() {
     // analytic campaign (run_campaign_v6) vs engine-driven at month 0
     let analytic = run_campaign_v6(&u, &strategy, 7);
     let plan = strategy.prepare(u.space(), t0, 7).plan(0);
-    let report = engine_for(t0).run_plan(&plan, 0, u.space().announced(), &cfg());
+    let report = engine_for(t0)
+        .run_plan(&plan, 0, u.space().announced(), &cfg())
+        .unwrap();
     assert_eq!(
         report.responsive.len() as u64,
         analytic.months[0].eval.found
     );
     assert_eq!(report.probes_sent, analytic.months[0].eval.probes);
     assert!(report.hitrate > 0.0, "nonzero engine hitrate");
+}
+
+#[test]
+fn v6_all_over_seeded_space_errors_before_probing() {
+    // `All` over the raw seeded announced space (/48–/64 operator
+    // prefixes, 2^80+ addresses each) cannot be streamed; the engine
+    // must refuse with a typed error *before* sending a single probe
+    // instead of panicking in a worker thread
+    let u = universe();
+    let t0 = u.snapshot(0);
+    let err = engine_for(t0)
+        .run_plan(&ProbePlan::<V6>::All, 0, u.space().announced(), &cfg())
+        .unwrap_err();
+    assert_eq!(err.family, "IPv6");
+    assert!(err.size > 1u128 << 64, "a seeded prefix is the culprit");
+    assert!(err.to_string().contains("exceed the 2^64 enumerable bound"));
+    // the same announced space is fine for non-enumerating plans
+    let plan = ProbePlan::<V6>::FreshSample {
+        per_cycle: 1000,
+        seed: 5,
+    };
+    let report = engine_for(t0)
+        .run_plan(&plan, 0, u.space().announced(), &cfg())
+        .unwrap();
+    assert_eq!(report.probes_sent, 1000);
 }
 
 #[test]
@@ -134,10 +163,14 @@ fn v6_run_plan_is_thread_count_invariant() {
     let blocks: Vec<Prefix<V6>> = u.dense_blocks().to_vec();
     for plan in &plans {
         let engine = engine_for(t0);
-        let one = engine.run_plan(plan, 1, &blocks, &cfg().threads(1));
+        let one = engine
+            .run_plan(plan, 1, &blocks, &cfg().threads(1))
+            .unwrap();
         for threads in [2usize, 5] {
             let engine = engine_for(t0);
-            let many = engine.run_plan(plan, 1, &blocks, &cfg().threads(threads));
+            let many = engine
+                .run_plan(plan, 1, &blocks, &cfg().threads(threads))
+                .unwrap();
             assert_eq!(one.responsive, many.responsive, "{plan:?} x{threads}");
             assert_eq!(one.probes_sent, many.probes_sent, "{plan:?} x{threads}");
         }

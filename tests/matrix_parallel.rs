@@ -196,7 +196,7 @@ fn streaming_run_plan_matches_materialised_plans_probe_for_probe() {
                 .threads(threads)
                 .blocklist(Blocklist::empty())
                 .wire_level(false);
-            let report = engine.run_plan(plan, 2, &announced, &cfg);
+            let report = engine.run_plan(plan, 2, &announced, &cfg).unwrap();
             assert_eq!(
                 report.probes_sent,
                 targets.len() as u64,

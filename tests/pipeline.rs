@@ -41,7 +41,9 @@ fn scan_seeded_tass_matches_truth_seeded_tass() {
         .threads(8)
         .blocklist(Blocklist::empty())
         .wire_level(false);
-    let report = engine.run_plan(&ProbePlan::All, 0, &announced, &cfg);
+    let report = engine
+        .run_plan(&ProbePlan::All, 0, &announced, &cfg)
+        .unwrap();
 
     // The engine's scan result must equal the ground truth…
     assert_eq!(

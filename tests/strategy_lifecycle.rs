@@ -222,7 +222,7 @@ fn lifecycle_drives_packet_engine_with_real_feedback() {
         let engine = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
 
         let plan = prepared.plan(cycle);
-        let report = engine.run_plan(&plan, cycle, &announced, &cfg);
+        let report = engine.run_plan(&plan, cycle, &announced, &cfg).unwrap();
         prepared.observe(
             cycle,
             &CycleOutcome {
