@@ -7,8 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 use tass_model::HostSet;
-use tass_net::{deagg, Prefix, PrefixSet, PrefixTrie};
-use tass_scan::cyclic::Cyclic;
+use tass_net::{deagg, Cyclic, Prefix, PrefixSet, PrefixTrie};
 use tass_scan::siphash::SipHash24;
 use tass_scan::wire;
 

@@ -130,6 +130,11 @@ pub trait BufMut {
         self.put_slice(&v.to_be_bytes());
     }
 
+    /// Append a big-endian u128 (e.g. an IPv6 address).
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
     /// Append a little-endian u16.
     fn put_u16_le(&mut self, v: u16) {
         self.put_slice(&v.to_le_bytes());

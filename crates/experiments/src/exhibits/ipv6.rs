@@ -15,10 +15,11 @@
 //!   *same* probe budget as block-TASS (collapses to ≈ 0).
 //!
 //! The campaign also runs **end to end through the packet-level
-//! engine**: cycle 0 of the block-TASS plan is executed by
+//! engine at wire level**: cycle 0 of the block-TASS plan is executed by
 //! `ScanEngine::<V6>::run_plan`, streaming shards of `ProbePlan<V6>`
-//! over the logical probe path, and the report's responsive set must
-//! agree with the analytic evaluation.
+//! as encoded, checksum-validated Ethernet/IPv6/TCP frames with the v6
+//! IANA blocklist enforced, and the report's responsive set must agree
+//! with the analytic evaluation.
 
 use crate::table::{f3, thousands, TextTable};
 use crate::{ExhibitOutput, Scenario};
@@ -85,27 +86,30 @@ pub fn run(s: &Scenario) -> ExhibitOutput {
         ]);
     }
 
-    // --- end-to-end: cycle 0 of block-TASS through the packet engine ---
+    // --- end-to-end: cycle 0 of block-TASS through the packet engine,
+    // at wire level with the v6 IANA blocklist enforced ---
     let responder: Responder<V6> = Responder::new().with_service(t0.protocol, t0.hosts.clone());
     let engine: ScanEngine<V6> = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
     let plan = tass.prepare(universe.space(), t0, s.config.seed).plan(0);
     let cfg = ScanConfig::for_port(t0.protocol.port())
         .unlimited_rate()
         .threads(4)
-        .blocklist(Blocklist::empty())
-        .wire_level(false);
+        .blocklist(Blocklist::iana_default())
+        .wire_level(true);
     let report = engine
         .run_plan(&plan, 0, universe.space().announced(), &cfg)
         .expect("block-TASS plans dense sub-prefixes");
     let eval = plan.evaluate(t0, 0, announced);
     let engine_line = format!(
-        "engine check: ScanEngine::<V6>::run_plan sent {} probes, found {} of {} hosts \
-         (hitrate vs full scan {:.3}; analytic evaluation found {})",
+        "engine check (wire level): ScanEngine::<V6>::run_plan sent {} encoded v6 frames, \
+         found {} of {} hosts (hitrate vs full scan {:.3}; analytic evaluation found {}; \
+         validation failures {})",
         thousands(report.probes_sent),
         thousands(report.responsive.len() as u64),
         thousands(t0.len() as u64),
         report.responsive.len() as f64 / t0.len().max(1) as f64,
         thousands(eval.found),
+        report.validation_failures,
     );
 
     let text = format!(

@@ -243,7 +243,7 @@ mod tests {
         // our own Blocklist parser speaks the same CIDR-per-line format
         let out = run_select(TABLE, &addresses(), ViewKind::MoreSpecific, 1.0).unwrap();
         let wl = to_whitelist(&out);
-        let parsed = tass_scan::Blocklist::parse(&wl).unwrap();
+        let parsed: tass_scan::Blocklist = tass_scan::Blocklist::parse(&wl).unwrap();
         assert_eq!(parsed.num_addrs(), out.selection.selected_space);
     }
 

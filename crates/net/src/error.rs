@@ -5,17 +5,19 @@ use std::fmt;
 /// Errors produced by `tass-net` constructors and parsers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
-    /// A prefix length outside `0..=32`.
+    /// A prefix length beyond the family's address width (`> 32` for
+    /// IPv4, `> 128` for IPv6).
     InvalidPrefixLength(u8),
     /// A prefix whose address has bits set below the prefix length
     /// (e.g. `10.0.0.1/8`); canonical prefixes require host bits to be zero.
     HostBitsSet {
-        /// The offending address in dotted-quad form.
+        /// The offending address in its canonical text form.
         addr: String,
         /// The prefix length it was combined with.
         len: u8,
     },
-    /// Textual input that does not parse as `a.b.c.d/len` or `a.b.c.d`.
+    /// Textual input that does not parse as `addr/len` or a bare address
+    /// of the expected family.
     ParseError(String),
     /// An inclusive range whose first address is greater than its last.
     EmptyRange,
@@ -25,12 +27,14 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::InvalidPrefixLength(len) => {
-                write!(f, "invalid IPv4 prefix length /{len} (must be 0..=32)")
+                write!(f, "invalid prefix length /{len} for the address family")
             }
             NetError::HostBitsSet { addr, len } => {
                 write!(f, "{addr}/{len} is not canonical: host bits are set")
             }
-            NetError::ParseError(s) => write!(f, "cannot parse {s:?} as IPv4 prefix"),
+            NetError::ParseError(s) => {
+                write!(f, "cannot parse {s:?} as a prefix of the expected family")
+            }
             NetError::EmptyRange => write!(f, "address range first > last"),
         }
     }

@@ -181,6 +181,13 @@ pub fn special_purpose_registry_v6() -> Vec<SpecialEntry6> {
     ]
 }
 
+/// All IPv6 special-purpose space as a canonical [`PrefixSet`] — the
+/// default blocklist of a v6 scanning campaign, exactly as
+/// [`reserved_set`] is for v4.
+pub fn reserved_set_v6() -> PrefixSet<crate::V6> {
+    PrefixSet::from_prefixes(special_purpose_registry_v6().into_iter().map(|e| e.prefix))
+}
+
 /// Is the v6 address inside any special-purpose block?
 pub fn is_reserved_v6(addr: u128) -> bool {
     special_purpose_registry_v6()
@@ -263,6 +270,31 @@ mod tests {
         // global unicast (2600::/12 area, where the simulator seeds) is not
         assert!(!is_reserved_v6(0x2600u128 << 112));
         assert!(!is_reserved_v6(0x2a00u128 << 112 | 99));
+    }
+
+    #[test]
+    fn v6_reserved_set_matches_registry_scan() {
+        let set = reserved_set_v6();
+        for e in special_purpose_registry_v6() {
+            assert!(set.contains_addr(e.prefix.first()), "{}", e.name);
+            assert!(set.contains_addr(e.prefix.last()), "{}", e.name);
+        }
+        // the set agrees with the linear scan on a spread of addresses
+        for a in [
+            0u128,
+            1,
+            0x64_ff9bu128 << 96,
+            0x2001_0db8u128 << 96 | 7,
+            0x2600u128 << 112,
+            0xFE80u128 << 112 | 1,
+            0xFF00u128 << 112,
+            u128::MAX,
+        ] {
+            assert_eq!(set.contains_addr(a), is_reserved_v6(a), "{a:#x}");
+        }
+        // ::/128 and ::1/128 are adjacent and merge into one range; the
+        // v4-mapped /96 stays separate
+        assert!(set.ranges().len() >= 5);
     }
 
     #[test]

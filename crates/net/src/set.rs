@@ -1,4 +1,4 @@
-//! A canonicalising set of IPv4 address space.
+//! A canonicalising set of address space, generic over the family.
 //!
 //! [`PrefixSet`] stores address space as a sorted list of **disjoint,
 //! non-adjacent inclusive ranges** and converts to the minimal CIDR cover on
@@ -6,14 +6,18 @@
 //! complement) simple and obviously correct; CIDR conversion is only needed
 //! at the edges (scan scheduling, table dumps). This is the representation
 //! behind scan blocklists, the IANA registries, and the "announced address
-//! space" bookkeeping in the routing substrate.
+//! space" bookkeeping in the routing substrate. The algorithms are
+//! width-agnostic: the family parameter defaults to [`V4`], so `PrefixSet`
+//! written bare is the IPv4 set exactly as before, and `PrefixSet<V6>` is
+//! the same machinery over 128-bit ranges (backing the v6 blocklist).
 
 use crate::addr::AddrRange;
+use crate::family::{AddrFamily, V4};
 use crate::prefix::Prefix;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A set of IPv4 addresses, canonically stored as disjoint ranges.
+/// A set of addresses, canonically stored as disjoint ranges.
 ///
 /// ```
 /// use tass_net::{Prefix, PrefixSet};
@@ -25,27 +29,38 @@ use std::fmt;
 /// assert_eq!(s.to_prefixes(), vec!["10.0.0.0/8".parse::<Prefix>().unwrap()]);
 /// assert_eq!(s.num_addrs(), 1 << 24);
 /// ```
+///
+/// The same algebra at 128 bits:
+///
+/// ```
+/// use tass_net::{Prefix, PrefixSet, V6};
+///
+/// let mut s: PrefixSet<V6> = PrefixSet::new();
+/// s.insert("2001:db8::/33".parse().unwrap());
+/// s.insert("2001:db8:8000::/33".parse().unwrap());
+/// assert_eq!(s.to_prefixes(), vec!["2001:db8::/32".parse::<Prefix<V6>>().unwrap()]);
+/// ```
 #[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PrefixSet {
+pub struct PrefixSet<F: AddrFamily = V4> {
     /// Sorted, pairwise disjoint and non-adjacent.
-    ranges: Vec<AddrRange>,
+    ranges: Vec<AddrRange<F>>,
 }
 
-impl PrefixSet {
+impl<F: AddrFamily> PrefixSet<F> {
     /// The empty set.
     pub fn new() -> Self {
         PrefixSet { ranges: Vec::new() }
     }
 
-    /// The set covering all of IPv4 (`0.0.0.0/0`).
+    /// The set covering the family's whole space (`0.0.0.0/0` / `::/0`).
     pub fn full() -> Self {
         PrefixSet {
-            ranges: vec![AddrRange::FULL],
+            ranges: vec![AddrRange::full()],
         }
     }
 
     /// Build from prefixes (duplicates/overlaps/adjacency are canonicalised).
-    pub fn from_prefixes<I: IntoIterator<Item = Prefix>>(iter: I) -> Self {
+    pub fn from_prefixes<I: IntoIterator<Item = Prefix<F>>>(iter: I) -> Self {
         let mut s = PrefixSet::new();
         for p in iter {
             s.insert(p);
@@ -54,7 +69,7 @@ impl PrefixSet {
     }
 
     /// Build from raw ranges.
-    pub fn from_ranges<I: IntoIterator<Item = AddrRange>>(iter: I) -> Self {
+    pub fn from_ranges<I: IntoIterator<Item = AddrRange<F>>>(iter: I) -> Self {
         let mut s = PrefixSet::new();
         for r in iter {
             s.insert_range(r);
@@ -62,9 +77,14 @@ impl PrefixSet {
         s
     }
 
-    /// Number of distinct addresses in the set.
-    pub fn num_addrs(&self) -> u64 {
-        self.ranges.iter().map(|r| r.len()).sum()
+    /// Number of distinct addresses in the set (saturating only for sets
+    /// covering the full v6 space, like every count in the workspace).
+    pub fn num_addrs(&self) -> F::Wide {
+        F::wide_from_u128(
+            self.ranges
+                .iter()
+                .fold(0u128, |acc, r| acc.saturating_add(r.len_u128())),
+        )
     }
 
     /// Is the set empty?
@@ -73,17 +93,17 @@ impl PrefixSet {
     }
 
     /// The canonical disjoint ranges (sorted).
-    pub fn ranges(&self) -> &[AddrRange] {
+    pub fn ranges(&self) -> &[AddrRange<F>] {
         &self.ranges
     }
 
     /// Insert one prefix.
-    pub fn insert(&mut self, p: Prefix) {
+    pub fn insert(&mut self, p: Prefix<F>) {
         self.insert_range(AddrRange::from(p));
     }
 
     /// Insert an arbitrary inclusive range, merging as needed. O(n) per call.
-    pub fn insert_range(&mut self, r: AddrRange) {
+    pub fn insert_range(&mut self, r: AddrRange<F>) {
         // Find insertion window: all ranges overlapping or adjacent to r.
         let start = self.ranges.partition_point(|x| {
             // strictly before r and not adjacent
@@ -104,38 +124,40 @@ impl PrefixSet {
     }
 
     /// Remove one prefix's address space from the set.
-    pub fn remove(&mut self, p: Prefix) {
+    pub fn remove(&mut self, p: Prefix<F>) {
         self.remove_range(AddrRange::from(p));
     }
 
     /// Remove an arbitrary inclusive range.
-    pub fn remove_range(&mut self, r: AddrRange) {
+    pub fn remove_range(&mut self, r: AddrRange<F>) {
         let mut out = Vec::with_capacity(self.ranges.len() + 1);
         for cur in &self.ranges {
             if !cur.overlaps(&r) {
                 out.push(*cur);
                 continue;
             }
-            // Left remainder
+            // Left remainder (r.first() > cur.first() >= 0, so -1 is safe)
             if cur.first() < r.first() {
-                out.push(AddrRange::new(cur.first(), r.first() - 1).expect("ordered"));
+                let below = F::addr_from_u128(F::addr_to_u128(r.first()) - 1);
+                out.push(AddrRange::new(cur.first(), below).expect("ordered"));
             }
-            // Right remainder
+            // Right remainder (r.last() < cur.last() <= max, so +1 is safe)
             if cur.last() > r.last() {
-                out.push(AddrRange::new(r.last() + 1, cur.last()).expect("ordered"));
+                let above = F::addr_from_u128(F::addr_to_u128(r.last()) + 1);
+                out.push(AddrRange::new(above, cur.last()).expect("ordered"));
             }
         }
         self.ranges = out;
     }
 
     /// Membership test for a single address. O(log n).
-    pub fn contains_addr(&self, addr: u32) -> bool {
+    pub fn contains_addr(&self, addr: F::Addr) -> bool {
         let i = self.ranges.partition_point(|r| r.last() < addr);
         i < self.ranges.len() && self.ranges[i].contains(addr)
     }
 
     /// Is the whole prefix covered by the set?
-    pub fn covers(&self, p: Prefix) -> bool {
+    pub fn covers(&self, p: Prefix<F>) -> bool {
         let r = AddrRange::from(p);
         let i = self.ranges.partition_point(|x| x.last() < r.first());
         i < self.ranges.len()
@@ -144,14 +166,14 @@ impl PrefixSet {
     }
 
     /// Does the set share at least one address with the prefix?
-    pub fn intersects(&self, p: Prefix) -> bool {
+    pub fn intersects(&self, p: Prefix<F>) -> bool {
         let r = AddrRange::from(p);
         let i = self.ranges.partition_point(|x| x.last() < r.first());
         i < self.ranges.len() && self.ranges[i].first() <= r.last()
     }
 
     /// Set union.
-    pub fn union(&self, other: &PrefixSet) -> PrefixSet {
+    pub fn union(&self, other: &PrefixSet<F>) -> PrefixSet<F> {
         let mut out = self.clone();
         for r in &other.ranges {
             out.insert_range(*r);
@@ -160,7 +182,7 @@ impl PrefixSet {
     }
 
     /// Set intersection.
-    pub fn intersection(&self, other: &PrefixSet) -> PrefixSet {
+    pub fn intersection(&self, other: &PrefixSet<F>) -> PrefixSet<F> {
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.ranges.len() && j < other.ranges.len() {
@@ -178,7 +200,7 @@ impl PrefixSet {
     }
 
     /// Set difference `self \ other`.
-    pub fn subtract(&self, other: &PrefixSet) -> PrefixSet {
+    pub fn subtract(&self, other: &PrefixSet<F>) -> PrefixSet<F> {
         let mut out = self.clone();
         for r in &other.ranges {
             out.remove_range(*r);
@@ -186,28 +208,28 @@ impl PrefixSet {
         out
     }
 
-    /// Complement within the full IPv4 space.
-    pub fn complement(&self) -> PrefixSet {
+    /// Complement within the family's full space.
+    pub fn complement(&self) -> PrefixSet<F> {
         PrefixSet::full().subtract(self)
     }
 
     /// The minimal CIDR cover of the set, sorted by address.
-    pub fn to_prefixes(&self) -> Vec<Prefix> {
+    pub fn to_prefixes(&self) -> Vec<Prefix<F>> {
         self.ranges.iter().flat_map(|r| r.to_prefixes()).collect()
     }
 
     /// Iterate every address in the set (ascending). Use with care on
     /// large sets.
-    pub fn iter_addrs(&self) -> impl Iterator<Item = u32> + '_ {
+    pub fn iter_addrs(&self) -> impl Iterator<Item = F::Addr> + '_ {
         self.ranges.iter().flat_map(|r| r.iter())
     }
 }
 
-impl fmt::Debug for PrefixSet {
+impl<F: AddrFamily> fmt::Debug for PrefixSet<F> {
     /// Debug prints the CIDR cover, capped at 8 prefixes for readability.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ps = self.to_prefixes();
-        write!(f, "PrefixSet[{} addrs; ", self.num_addrs())?;
+        write!(f, "PrefixSet[{:?} addrs; ", self.num_addrs())?;
         for (i, p) in ps.iter().take(8).enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -221,8 +243,8 @@ impl fmt::Debug for PrefixSet {
     }
 }
 
-impl FromIterator<Prefix> for PrefixSet {
-    fn from_iter<I: IntoIterator<Item = Prefix>>(iter: I) -> Self {
+impl<F: AddrFamily> FromIterator<Prefix<F>> for PrefixSet<F> {
+    fn from_iter<I: IntoIterator<Item = Prefix<F>>>(iter: I) -> Self {
         PrefixSet::from_prefixes(iter)
     }
 }
@@ -230,15 +252,20 @@ impl FromIterator<Prefix> for PrefixSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::family::V6;
     use proptest::prelude::*;
 
     fn p(s: &str) -> Prefix {
         s.parse().unwrap()
     }
 
+    fn p6(s: &str) -> Prefix<V6> {
+        s.parse().unwrap()
+    }
+
     #[test]
     fn empty_and_full() {
-        let e = PrefixSet::new();
+        let e: PrefixSet = PrefixSet::new();
         assert!(e.is_empty());
         assert_eq!(e.num_addrs(), 0);
         assert!(e.to_prefixes().is_empty());
@@ -351,8 +378,45 @@ mod tests {
     }
 
     #[test]
+    fn v6_set_algebra_and_canonicalisation() {
+        let s = PrefixSet::from_prefixes([p6("2001:db8::/33"), p6("2001:db8:8000::/33")]);
+        assert_eq!(s.to_prefixes(), vec![p6("2001:db8::/32")]);
+        assert_eq!(s.num_addrs(), 1u128 << 96);
+        assert!(s.contains_addr((0x2001_0db8u128 << 96) | 42));
+        assert!(!s.contains_addr(0x2001_0db9u128 << 96));
+        assert!(s.covers(p6("2001:db8:1234::/48")));
+        assert!(s.intersects(p6("2001::/16")));
+        // remove splits at 128-bit width
+        let mut t = s.clone();
+        t.remove(p6("2001:db8:8000::/33"));
+        assert_eq!(t.to_prefixes(), vec![p6("2001:db8::/33")]);
+        // subtraction/union laws
+        let d = s.subtract(&t);
+        assert_eq!(d.to_prefixes(), vec![p6("2001:db8:8000::/33")]);
+        assert_eq!(t.union(&d), s);
+    }
+
+    #[test]
+    fn v6_full_space_and_complement() {
+        let f: PrefixSet<V6> = PrefixSet::full();
+        assert!(f.contains_addr(0) && f.contains_addr(u128::MAX));
+        assert_eq!(f.num_addrs(), u128::MAX, "uncountable space saturates");
+        assert_eq!(f.to_prefixes(), vec![Prefix::<V6>::zero()]);
+        let hosts = PrefixSet::from_prefixes([
+            p6("::/128"),
+            p6("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff/128"),
+        ]);
+        let c = hosts.complement();
+        assert!(!c.contains_addr(0));
+        assert!(!c.contains_addr(u128::MAX));
+        assert!(c.contains_addr(1));
+        assert_eq!(c.num_addrs(), u128::MAX - 1, "2^128 - 2, exact");
+    }
+
+    #[test]
     fn debug_formatting_caps() {
-        let s = PrefixSet::from_prefixes((0u32..20).map(|i| Prefix::new(i << 12, 24).unwrap()));
+        let s: PrefixSet =
+            PrefixSet::from_prefixes((0..20u32).map(|i| Prefix::new(i << 12, 24).unwrap()));
         let d = format!("{s:?}");
         assert!(d.contains("…"));
     }
@@ -381,6 +445,19 @@ mod tests {
             let len = 24 + (len % 9);
             let width = 32 - len;
             let base = (0x0A00_0000u32 | u32::from(start)) & !((1u32 << width) - 1);
+            s.insert(Prefix::new(base, len).unwrap());
+        }
+        s
+    }
+
+    /// The same embedding shifted into 2001:db8::/120 — the oracle checks
+    /// that the generic algorithms behave identically at 128-bit width.
+    fn build_set_v6(ps: &[(u8, u8)]) -> PrefixSet<V6> {
+        let mut s = PrefixSet::new();
+        for &(start, len) in ps {
+            let len = 120 + (len % 9);
+            let width = 128 - len;
+            let base = ((0x2001_0db8u128 << 96) | u128::from(start)) & !((1u128 << width) - 1);
             s.insert(Prefix::new(base, len).unwrap());
         }
         s
@@ -448,6 +525,28 @@ mod tests {
                     prop_assert!(!(s0 == w[1] && p0.contains(&w[1])),
                         "mergeable siblings {} {}", w[0], w[1]);
                 }
+            }
+        }
+
+        /// The v4 and v6 instantiations of the same ops agree: the generic
+        /// algorithms are address-width invariant.
+        #[test]
+        fn prop_v4_v6_embeddings_agree(a in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+                                       b in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..8)) {
+            let (sa4, sb4) = (build_set(&a), build_set(&b));
+            let (sa6, sb6) = (build_set_v6(&a), build_set_v6(&b));
+            prop_assert_eq!(u128::from(sa4.num_addrs()), sa6.num_addrs());
+            prop_assert_eq!(u128::from(sa4.union(&sb4).num_addrs()),
+                            sa6.union(&sb6).num_addrs());
+            prop_assert_eq!(u128::from(sa4.intersection(&sb4).num_addrs()),
+                            sa6.intersection(&sb6).num_addrs());
+            prop_assert_eq!(u128::from(sa4.subtract(&sb4).num_addrs()),
+                            sa6.subtract(&sb6).num_addrs());
+            prop_assert_eq!(sa4.to_prefixes().len(), sa6.to_prefixes().len());
+            for off in 0u32..256 {
+                let a4 = 0x0A00_0000u32 | off;
+                let a6 = (0x2001_0db8u128 << 96) | u128::from(off);
+                prop_assert_eq!(sa4.contains_addr(a4), sa6.contains_addr(a6));
             }
         }
     }

@@ -1,42 +1,72 @@
-//! Scan exclusion lists.
+//! Scan exclusion lists, generic over the address family.
 //!
 //! Good Internet citizenship — the paper's title — starts with never
 //! probing space that cannot host public services or whose owners opted
 //! out. ZMap ships a blocklist file of CIDR ranges; this module implements
-//! the same mechanism: IANA special-purpose space is blocked by default
-//! and operator-specific exclusions can be parsed from the ZMap blocklist
-//! text format (one CIDR per line, `#` comments).
+//! the same mechanism for both families: IANA special-purpose space is
+//! blocked by default ([`Blocklist::iana_default`] picks the family's
+//! registry) and operator-specific exclusions can be parsed from the ZMap
+//! blocklist text format (one CIDR per line, `#` comments). Parse errors
+//! carry the 1-based line number and the offending text, so a stray v6
+//! CIDR in a v4 blocklist names its line instead of failing opaquely.
 
-use tass_net::{iana, NetError, Prefix, PrefixSet};
+use crate::engine::ScanFamily;
+use std::fmt;
+use tass_net::{AddrFamily, NetError, Prefix, PrefixSet, V4};
 
-/// A set of excluded prefixes with fast membership queries.
-#[derive(Debug, Clone, Default)]
-pub struct Blocklist {
-    set: PrefixSet,
+/// A [`Blocklist::parse`] failure, carrying the position and text of the
+/// offending line alongside the underlying [`NetError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlocklistParseError {
+    /// 1-based line number of the bad entry.
+    pub line: usize,
+    /// The offending text (trimmed, comments stripped).
+    pub text: String,
+    /// Why it did not parse as a prefix of the blocklist's family.
+    pub error: NetError,
 }
 
-impl Blocklist {
+impl fmt::Display for BlocklistParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "blocklist line {}: {:?}: {}",
+            self.line, self.text, self.error
+        )
+    }
+}
+
+impl std::error::Error for BlocklistParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A set of excluded prefixes with fast membership queries. The family
+/// parameter defaults to [`V4`], so `Blocklist` written bare is the IPv4
+/// blocklist exactly as before; `Blocklist<V6>` is the same mechanism
+/// over 128-bit prefixes.
+#[derive(Debug, Clone, Default)]
+pub struct Blocklist<F: AddrFamily = V4> {
+    set: PrefixSet<F>,
+}
+
+impl<F: AddrFamily> Blocklist<F> {
     /// An empty blocklist (nothing excluded).
-    pub fn empty() -> Blocklist {
+    pub fn empty() -> Blocklist<F> {
         Blocklist {
             set: PrefixSet::new(),
         }
     }
 
-    /// The default blocklist: all IANA special-purpose space (RFC 1918,
-    /// loopback, multicast, 240/4, …).
-    pub fn iana_default() -> Blocklist {
-        Blocklist {
-            set: iana::reserved_set(),
-        }
-    }
-
-    /// Parse a ZMap-style blocklist file: one `a.b.c.d/len` per line,
-    /// blank lines and `#` comments ignored. Inline ` # comment` suffixes
-    /// are accepted too.
-    pub fn parse(text: &str) -> Result<Blocklist, NetError> {
+    /// Parse a ZMap-style blocklist file: one CIDR of the blocklist's
+    /// family per line (`a.b.c.d/len`, or `aaaa::/len` for
+    /// `Blocklist<V6>`), blank lines and `#` comments ignored. Inline
+    /// ` # comment` suffixes are accepted too. A malformed or
+    /// wrong-family line fails with its line number and text.
+    pub fn parse(text: &str) -> Result<Blocklist<F>, BlocklistParseError> {
         let mut set = PrefixSet::new();
-        for line in text.lines() {
+        for (idx, line) in text.lines().enumerate() {
             let line = match line.split_once('#') {
                 Some((before, _)) => before,
                 None => line,
@@ -45,64 +75,98 @@ impl Blocklist {
             if line.is_empty() {
                 continue;
             }
-            set.insert(line.parse::<Prefix>()?);
+            match line.parse::<Prefix<F>>() {
+                Ok(p) => set.insert(p),
+                Err(error) => {
+                    return Err(BlocklistParseError {
+                        line: idx + 1,
+                        text: line.to_string(),
+                        error,
+                    })
+                }
+            }
         }
         Ok(Blocklist { set })
     }
 
     /// Add a prefix to the blocklist.
-    pub fn block(&mut self, p: Prefix) -> &mut Self {
+    pub fn block(&mut self, p: Prefix<F>) -> &mut Self {
         self.set.insert(p);
         self
     }
 
     /// Merge another blocklist into this one.
-    pub fn merge(&mut self, other: &Blocklist) -> &mut Self {
+    pub fn merge(&mut self, other: &Blocklist<F>) -> &mut Self {
         self.set = self.set.union(&other.set);
         self
     }
 
     /// Is this address excluded?
     #[inline]
-    pub fn is_blocked(&self, addr: u32) -> bool {
+    pub fn is_blocked(&self, addr: F::Addr) -> bool {
         self.set.contains_addr(addr)
     }
 
     /// Is any part of the prefix excluded?
-    pub fn overlaps(&self, p: Prefix) -> bool {
+    pub fn overlaps(&self, p: Prefix<F>) -> bool {
         self.set.intersects(p)
     }
 
     /// Number of excluded addresses.
-    pub fn num_addrs(&self) -> u64 {
+    pub fn num_addrs(&self) -> F::Wide {
         self.set.num_addrs()
     }
 
     /// The exclusion set as canonical CIDR prefixes.
-    pub fn to_prefixes(&self) -> Vec<Prefix> {
+    pub fn to_prefixes(&self) -> Vec<Prefix<F>> {
         self.set.to_prefixes()
+    }
+}
+
+impl<F: ScanFamily> Blocklist<F> {
+    /// The default blocklist: the family's IANA special-purpose space
+    /// (for v4: RFC 1918, loopback, multicast, 240/4, …; for v6:
+    /// `::1`, link-local, unique-local, multicast, documentation, …).
+    pub fn iana_default() -> Blocklist<F> {
+        Blocklist {
+            set: F::iana_reserved(),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tass_net::V6;
 
     #[test]
     fn empty_blocks_nothing() {
-        let b = Blocklist::empty();
+        let b: Blocklist = Blocklist::empty();
         assert!(!b.is_blocked(0x7F00_0001));
         assert_eq!(b.num_addrs(), 0);
     }
 
     #[test]
     fn iana_default_blocks_reserved() {
-        let b = Blocklist::iana_default();
+        let b: Blocklist = Blocklist::iana_default();
         assert!(b.is_blocked(0x7F00_0001)); // 127.0.0.1
         assert!(b.is_blocked(0x0A000001)); // 10.0.0.1
         assert!(b.is_blocked(0xE0000001)); // 224.0.0.1
         assert!(!b.is_blocked(0x08080808)); // 8.8.8.8
         assert!(b.num_addrs() > 500_000_000); // ~592M special-purpose addrs
+    }
+
+    #[test]
+    fn v6_iana_default_blocks_reserved() {
+        let b: Blocklist<V6> = Blocklist::iana_default();
+        assert!(b.is_blocked(1)); // ::1
+        assert!(b.is_blocked(0xFE80u128 << 112 | 7)); // link-local
+        assert!(b.is_blocked(0xFF02u128 << 112 | 1)); // multicast
+        assert!(b.is_blocked(0x2001_0db8u128 << 96 | 9)); // documentation
+        assert!(b.is_blocked(0xFC00u128 << 112)); // ULA
+        assert!(!b.is_blocked(0x2600u128 << 112), "global unicast scans");
+        assert!(b.overlaps("ff00::/8".parse().unwrap()));
+        assert!(!b.overlaps("2600::/12".parse().unwrap()));
     }
 
     #[test]
@@ -114,7 +178,7 @@ mod tests {
 
 0.0.0.0/8 # zero net
 ";
-        let b = Blocklist::parse(text).unwrap();
+        let b: Blocklist = Blocklist::parse(text).unwrap();
         assert!(b.is_blocked(0x0A123456));
         assert!(b.is_blocked(0xC0A80101));
         assert!(b.is_blocked(0x00000001));
@@ -122,18 +186,68 @@ mod tests {
     }
 
     #[test]
+    fn parse_v6_zmap_format() {
+        let text = "\
+# operator opt-outs
+2001:db8::/32   # docs
+fe80::/10
+2600:1234::/32
+";
+        let b: Blocklist<V6> = Blocklist::parse(text).unwrap();
+        assert!(b.is_blocked(0x2001_0db8u128 << 96 | 1));
+        assert!(b.is_blocked((0x2600u128 << 112) | (0x1234u128 << 96)));
+        assert!(!b.is_blocked(0x2600u128 << 112));
+    }
+
+    #[test]
     fn parse_rejects_bad_cidr() {
-        assert!(Blocklist::parse("10.0.0.0/33\n").is_err());
-        assert!(Blocklist::parse("not-a-prefix\n").is_err());
+        assert!(Blocklist::<V4>::parse("10.0.0.0/33\n").is_err());
+        assert!(Blocklist::<V4>::parse("not-a-prefix\n").is_err());
         // host bits set is an error in strict parsing
-        assert!(Blocklist::parse("10.0.0.1/8\n").is_err());
+        assert!(Blocklist::<V4>::parse("10.0.0.1/8\n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_context() {
+        let text = "\
+# header comment
+10.0.0.0/8
+192.168.0.0/16
+
+10.0.0.0/33  # bad length
+";
+        let err = Blocklist::<V4>::parse(text).unwrap_err();
+        assert_eq!(err.line, 5, "1-based, counting comments and blanks");
+        assert_eq!(err.text, "10.0.0.0/33");
+        assert_eq!(err.error, NetError::InvalidPrefixLength(33));
+        let msg = err.to_string();
+        assert!(msg.contains("line 5"), "{msg}");
+        assert!(msg.contains("10.0.0.0/33"), "{msg}");
+        // the underlying NetError is preserved as the source
+        let src = std::error::Error::source(&err).expect("source");
+        assert!(src.to_string().contains("/33"));
+    }
+
+    #[test]
+    fn v6_line_in_v4_blocklist_names_the_line() {
+        // the regression the satellite asks for: a wrong-family CIDR
+        // reports where it is instead of a bare parse error
+        let text = "10.0.0.0/8\n2001:db8::/32\n";
+        let err = Blocklist::<V4>::parse(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.text, "2001:db8::/32");
+        assert!(matches!(err.error, NetError::ParseError(_)));
+        // and the converse: a v4 line fed to a v6 blocklist
+        let err = Blocklist::<V6>::parse("fe80::/10\n10.0.0.0/8\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.text, "10.0.0.0/8");
     }
 
     #[test]
     fn block_and_merge() {
-        let mut a = Blocklist::empty();
+        let mut a: Blocklist = Blocklist::empty();
         a.block("1.0.0.0/24".parse().unwrap());
-        let mut b = Blocklist::empty();
+        let mut b: Blocklist = Blocklist::empty();
         b.block("2.0.0.0/24".parse().unwrap());
         a.merge(&b);
         assert!(a.is_blocked(0x01000001));
@@ -143,7 +257,7 @@ mod tests {
 
     #[test]
     fn overlap_queries() {
-        let mut b = Blocklist::empty();
+        let mut b: Blocklist = Blocklist::empty();
         b.block("10.0.0.0/8".parse().unwrap());
         assert!(b.overlaps("10.5.0.0/16".parse().unwrap()));
         assert!(b.overlaps("0.0.0.0/0".parse().unwrap()));
@@ -152,7 +266,7 @@ mod tests {
 
     #[test]
     fn to_prefixes_canonical() {
-        let mut b = Blocklist::empty();
+        let mut b: Blocklist = Blocklist::empty();
         b.block("10.0.0.0/9".parse().unwrap());
         b.block("10.128.0.0/9".parse().unwrap());
         assert_eq!(b.to_prefixes(), vec!["10.0.0.0/8".parse().unwrap()]);

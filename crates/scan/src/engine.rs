@@ -13,29 +13,34 @@
 //! space holds O(1) target state per worker — the engine starts probing
 //! immediately and memory stays flat at any scale.
 //!
-//! Two probe paths are provided:
+//! Two probe paths are provided, both generic over the address family:
 //!
-//! * **wire level** (default): every probe is a real encoded frame, parsed
-//!   and checksum-validated by the simulated network — full fidelity;
+//! * **wire level** (default): every probe is a real encoded frame of the
+//!   family's codec (54-byte v4 / 74-byte v6), parsed and
+//!   checksum-validated by the simulated network — full fidelity;
 //! * **logical level** (`wire_level = false`): skips the codec for speed
 //!   when simulating Internet-scale campaigns; identical semantics.
 
 use crate::blocklist::Blocklist;
 use crate::net::SimNetwork;
 use crate::rate::TokenBucket;
+use crate::responder::addr_hash64;
 use crate::siphash::SipHash24;
-use crate::wire::{self, tcp_flags};
+use crate::wire::{self, tcp_flags, WireFamily};
 use std::sync::mpsc;
 use std::sync::Arc;
 use tass_core::{ProbePlan, StreamError};
 use tass_model::HostSet;
-use tass_net::{AddrFamily, Prefix, V4, V6};
+use tass_net::{iana, AddrFamily, Prefix, PrefixSet, V4, V6};
 
-/// Scan-engine configuration.
+/// Scan-engine configuration, generic over the address family.
+/// `ScanConfig` written bare is the IPv4 config exactly as before;
+/// `ScanConfig<V6>` carries 128-bit targets, source address, and
+/// blocklist.
 #[derive(Debug, Clone)]
-pub struct ScanConfig {
+pub struct ScanConfig<F: ScanFamily = V4> {
     /// Prefixes to scan (TASS's selected prefixes, or a whole view).
-    pub targets: Vec<Prefix>,
+    pub targets: Vec<Prefix<F>>,
     /// Destination TCP port.
     pub port: u16,
     /// Probes per second across all threads.
@@ -43,18 +48,18 @@ pub struct ScanConfig {
     /// Worker threads.
     pub threads: usize,
     /// Excluded space (checked before sending).
-    pub blocklist: Blocklist,
+    pub blocklist: Blocklist<F>,
     /// Grab a banner from every responsive host.
     pub banner_grab: bool,
     /// Build/parse real frames (slower, full fidelity).
     pub wire_level: bool,
     /// Scanner source address.
-    pub source_ip: u32,
+    pub source_ip: F::Addr,
     /// Seed for permutation and validation keys.
     pub seed: u64,
 }
 
-impl Default for ScanConfig {
+impl<F: ScanFamily> Default for ScanConfig<F> {
     fn default() -> Self {
         ScanConfig {
             targets: Vec::new(),
@@ -64,27 +69,27 @@ impl Default for ScanConfig {
             blocklist: Blocklist::iana_default(),
             banner_grab: false,
             wire_level: true,
-            source_ip: 0xC633_6401, // 198.51.100.1 (TEST-NET-2)
+            source_ip: F::default_source_ip(),
             seed: 0x5CAA_77E5,
         }
     }
 }
 
-impl ScanConfig {
+impl<F: ScanFamily> ScanConfig<F> {
     /// Start a builder-style config for a destination port, with the
     /// defaults of [`ScanConfig::default`] for everything else:
     ///
     /// ```
     /// use tass_scan::{Blocklist, ScanConfig};
     ///
-    /// let cfg = ScanConfig::for_port(443)
+    /// let cfg: ScanConfig = ScanConfig::for_port(443)
     ///     .rate(100_000.0)
     ///     .threads(8)
     ///     .blocklist(Blocklist::empty());
     /// assert_eq!(cfg.port, 443);
     /// assert_eq!(cfg.threads, 8);
     /// ```
-    pub fn for_port(port: u16) -> ScanConfig {
+    pub fn for_port(port: u16) -> ScanConfig<F> {
         ScanConfig {
             port,
             ..ScanConfig::default()
@@ -92,7 +97,7 @@ impl ScanConfig {
     }
 
     /// Set the prefixes to scan (used by [`ScanEngine::run`]).
-    pub fn targets(mut self, targets: Vec<Prefix>) -> Self {
+    pub fn targets(mut self, targets: Vec<Prefix<F>>) -> Self {
         self.targets = targets;
         self
     }
@@ -115,7 +120,7 @@ impl ScanConfig {
     }
 
     /// Set the blocklist.
-    pub fn blocklist(mut self, blocklist: Blocklist) -> Self {
+    pub fn blocklist(mut self, blocklist: Blocklist<F>) -> Self {
         self.blocklist = blocklist;
         self
     }
@@ -133,7 +138,7 @@ impl ScanConfig {
     }
 
     /// Set the scanner source address.
-    pub fn source_ip(mut self, ip: u32) -> Self {
+    pub fn source_ip(mut self, ip: F::Addr) -> Self {
         self.source_ip = ip;
         self
     }
@@ -145,62 +150,44 @@ impl ScanConfig {
     }
 }
 
-/// The per-family hooks of the engine core: how to consult the (v4-only)
-/// blocklist and whether a wire-level codec exists. The engine's
-/// streaming, sharding, rate limiting, deduplication, and banner logic
-/// are family-generic; only these two touch points differ.
-pub trait ScanFamily: AddrFamily {
-    /// Does this family have a wire-level codec? When `false`, the
-    /// engine serves `wire_level` configs through the logical path.
-    const HAS_WIRE: bool;
+/// The per-family hooks of the engine core. The engine's streaming,
+/// sharding, rate limiting, blocklist checks, wire probing, validation,
+/// deduplication, and banner logic are all family-generic over the
+/// [`WireFamily`] codec; what remains per family is only genuine policy —
+/// which IANA registry backs the default blocklist and which documentation
+/// address the scanner sources from. `wire_probe` ships a real
+/// codec-backed default for every wire family: both `ScanEngine` (IPv4)
+/// and `ScanEngine<V6>` encode, transmit, parse, and statelessly validate
+/// genuine frames when `wire_level` is set.
+pub trait ScanFamily: WireFamily {
+    /// The family's IANA special-purpose space — the default blocklist
+    /// ([`Blocklist::iana_default`]).
+    fn iana_reserved() -> PrefixSet<Self>;
 
-    /// Is the address excluded by the configured blocklist? The blocklist
-    /// is CIDR-v4; other families never block (v6 campaigns are seeded
-    /// from curated space and have no default exclusion list yet).
-    fn is_blocked(blocklist: &Blocklist, addr: Self::Addr) -> bool;
+    /// The default scanner source address (a documentation address:
+    /// 198.51.100.1 / 2001:db8::1).
+    fn default_source_ip() -> Self::Addr;
 
-    /// Probe at wire level, returning the reply counters; `None` when the
-    /// family has no wire codec (the engine falls back to the logical
-    /// path, which has identical response and fault semantics).
+    /// Probe at wire level: encode a checksummed SYN frame, transmit it
+    /// through the simulated network (which parses and validates it),
+    /// and statelessly validate the replies, as ZMap does. Returns the
+    /// reply counters, or `None` when the network rejected the frame.
     fn wire_probe(
         network: &SimNetwork<Self>,
-        cfg: &ScanConfig,
+        cfg: &ScanConfig<Self>,
         key: SipHash24,
         addr: Self::Addr,
-    ) -> Option<WireReplies>;
-}
-
-/// Counters from one wire-level probe's replies.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct WireReplies {
-    /// Valid SYN-ACKs received (duplicates possible).
-    pub syn_acks: u64,
-    /// Valid RSTs received.
-    pub rsts: u64,
-    /// Replies that failed parsing or stateless validation.
-    pub validation_failures: u64,
-}
-
-impl ScanFamily for V4 {
-    const HAS_WIRE: bool = true;
-
-    fn is_blocked(blocklist: &Blocklist, addr: u32) -> bool {
-        blocklist.is_blocked(addr)
-    }
-
-    fn wire_probe(
-        network: &SimNetwork,
-        cfg: &ScanConfig,
-        key: SipHash24,
-        addr: u32,
     ) -> Option<WireReplies> {
-        let expected_seq = key.probe_validation(addr);
-        let src_port = 32768 + (key.hash_u64(u64::from(addr)) % 28232) as u16;
-        let syn = wire::build_syn(cfg.source_ip, addr, src_port, cfg.port, expected_seq);
+        let expected_seq = key.probe_validation_addr::<Self>(addr);
+        // for v4, `addr_hash64` is the address itself — the pre-generic
+        // source-port derivation bit for bit
+        let src_port = 32768 + (key.hash_u64(addr_hash64::<Self>(addr)) % 28232) as u16;
+        let syn =
+            wire::build_syn_for::<Self>(cfg.source_ip, addr, src_port, cfg.port, expected_seq);
         let replies = network.transmit(&syn).ok()?;
         let mut out = WireReplies::default();
         for reply in replies {
-            let Ok(f) = wire::parse_frame(&reply) else {
+            let Ok(f) = wire::parse_frame_for::<Self>(&reply) else {
                 out.validation_failures += 1;
                 continue;
             };
@@ -224,20 +211,34 @@ impl ScanFamily for V4 {
     }
 }
 
-impl ScanFamily for V6 {
-    const HAS_WIRE: bool = false;
+/// Counters from one wire-level probe's replies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireReplies {
+    /// Valid SYN-ACKs received (duplicates possible).
+    pub syn_acks: u64,
+    /// Valid RSTs received.
+    pub rsts: u64,
+    /// Replies that failed parsing or stateless validation.
+    pub validation_failures: u64,
+}
 
-    fn is_blocked(_blocklist: &Blocklist, _addr: u128) -> bool {
-        false
+impl ScanFamily for V4 {
+    fn iana_reserved() -> PrefixSet<V4> {
+        iana::reserved_set()
     }
 
-    fn wire_probe(
-        _network: &SimNetwork<V6>,
-        _cfg: &ScanConfig,
-        _key: SipHash24,
-        _addr: u128,
-    ) -> Option<WireReplies> {
-        None // no v6 wire codec yet; the logical path carries v6 probes
+    fn default_source_ip() -> u32 {
+        0xC633_6401 // 198.51.100.1 (TEST-NET-2)
+    }
+}
+
+impl ScanFamily for V6 {
+    fn iana_reserved() -> PrefixSet<V6> {
+        iana::reserved_set_v6()
+    }
+
+    fn default_source_ip() -> u128 {
+        (0x2001_0db8u128 << 96) | 1 // 2001:db8::1 (documentation)
     }
 }
 
@@ -267,10 +268,11 @@ pub struct ScanReport<F: AddrFamily = V4> {
 }
 
 /// The scan engine: a [`SimNetwork`] plus configuration defaults. The
-/// engine core — streaming shards, rate limiting, validation/dedup,
-/// banners — is generic over the [`ScanFamily`]; `ScanEngine` written
-/// bare is the IPv4 engine, `ScanEngine<V6>` drives IPv6 plans through
-/// the logical probe path.
+/// engine core — streaming shards, rate limiting, blocklist, wire
+/// codec, validation/dedup, banners — is generic over the
+/// [`ScanFamily`]; `ScanEngine` written bare is the IPv4 engine, and
+/// `ScanEngine<V6>` performs the identical per-probe work over 74-byte
+/// v6 frames.
 #[derive(Debug)]
 pub struct ScanEngine<F: ScanFamily = V4> {
     network: Arc<SimNetwork<F>>,
@@ -342,7 +344,7 @@ impl<F: ScanFamily> ScanEngine<F> {
         plan: &ProbePlan<F>,
         cycle: u32,
         announced: &[Prefix<F>],
-        cfg: &ScanConfig,
+        cfg: &ScanConfig<F>,
     ) -> Result<ScanReport<F>, StreamError> {
         plan.check_streamable(announced)?;
         let threads = cfg.threads.max(1);
@@ -392,7 +394,7 @@ impl<F: ScanFamily> ScanEngine<F> {
 /// Probe every address of a lazily streamed target shard.
 fn scan_worker<F: ScanFamily>(
     network: &SimNetwork<F>,
-    cfg: &ScanConfig,
+    cfg: &ScanConfig<F>,
     key: SipHash24,
     targets: impl Iterator<Item = F::Addr>,
 ) -> WorkerResult<F> {
@@ -416,7 +418,7 @@ fn scan_worker<F: ScanFamily>(
     let responder = network.responder();
 
     let mut probe_one = |addr: F::Addr, out: &mut WorkerResult<F>| {
-        if F::is_blocked(&cfg.blocklist, addr) {
+        if cfg.blocklist.is_blocked(addr) {
             out.blocked_skipped += 1;
             return;
         }
@@ -424,8 +426,9 @@ fn scan_worker<F: ScanFamily>(
         out.probes_sent += 1;
         out.duration_secs = t;
 
-        if cfg.wire_level && F::HAS_WIRE {
-            // wire path (families with a codec): counters from the frames
+        if cfg.wire_level {
+            // wire path: every probe is an encoded, checksum-validated
+            // frame of the family's codec; counters come from the frames
             let Some(replies) = F::wire_probe(network, cfg, key, addr) else {
                 return; // malformed frame / transmit error: no replies
             };
@@ -439,8 +442,7 @@ fn scan_worker<F: ScanFamily>(
             }
         } else {
             // logical probe: same semantics (and the same fault
-            // injection) as the wire path, without the codec — and the
-            // only path for families without one (v6)
+            // injection) as the wire path, without the codec
             match network.probe_logical(addr, cfg.port) {
                 Some(true) => {
                     out.responses += 1;
@@ -743,9 +745,105 @@ mod tests {
         }
     }
 
+    /// v6 hosts: every 8th address of a /120 block in global unicast.
+    fn demo_network_v6() -> Arc<SimNetwork<V6>> {
+        let base = 0x2600u128 << 112;
+        let hosts: Vec<u128> = (0..256u128)
+            .filter(|i| i % 8 == 0)
+            .map(|i| base + i)
+            .collect();
+        let responder: Responder<V6> =
+            Responder::new().with_service(Protocol::Http, HostSet::from_addrs(hosts));
+        Arc::new(SimNetwork::new(responder, FaultConfig::default(), 7))
+    }
+
+    fn base_cfg_v6() -> ScanConfig<V6> {
+        ScanConfig::for_port(80)
+            .unlimited_rate()
+            .threads(2)
+            .blocklist(Blocklist::empty())
+    }
+
+    #[test]
+    fn v6_wire_scan_finds_every_host() {
+        let engine: ScanEngine<V6> = ScanEngine::new(demo_network_v6());
+        let plan = ProbePlan::Prefixes(vec!["2600::/120".parse().unwrap()]);
+        let report = engine.run_plan(&plan, 0, &[], &base_cfg_v6()).unwrap();
+        assert_eq!(report.probes_sent, 256);
+        assert_eq!(report.responsive.len(), 32);
+        assert_eq!(report.validation_failures, 0);
+        // wire_level defaults to true: the network really parsed frames
+        assert_eq!(engine.network().stats().frames_in, 256);
+        assert_eq!(engine.network().stats().malformed, 0);
+    }
+
+    #[test]
+    fn v6_wire_and_logical_agree_on_perfect_network() {
+        let engine: ScanEngine<V6> = ScanEngine::new(demo_network_v6());
+        let plan = ProbePlan::Prefixes(vec!["2600::/120".parse().unwrap()]);
+        let wire = engine.run_plan(&plan, 0, &[], &base_cfg_v6()).unwrap();
+        let logical = engine
+            .run_plan(&plan, 0, &[], &base_cfg_v6().wire_level(false))
+            .unwrap();
+        assert_eq!(wire.responsive, logical.responsive);
+        assert_eq!(wire.probes_sent, logical.probes_sent);
+    }
+
+    #[test]
+    fn v6_lossy_network_costs_wire_coverage_too() {
+        let base = 0x2600u128 << 112;
+        let hosts: Vec<u128> = (0..256u128).map(|i| base + i).collect();
+        let responder: Responder<V6> =
+            Responder::new().with_service(Protocol::Http, HostSet::from_addrs(hosts));
+        let engine: ScanEngine<V6> = ScanEngine::new(Arc::new(SimNetwork::new(
+            responder,
+            FaultConfig {
+                probe_loss: 0.4,
+                response_loss: 0.2,
+                duplicate: 0.0,
+                latency_ms: 10.0,
+            },
+            13,
+        )));
+        let plan = ProbePlan::Prefixes(vec!["2600::/120".parse().unwrap()]);
+        let report = engine.run_plan(&plan, 0, &[], &base_cfg_v6()).unwrap();
+        assert!(report.responsive.len() < 256, "loss must cost coverage");
+        assert!(report.responsive.len() > 50, "but not everything");
+    }
+
+    #[test]
+    fn v6_default_config_blocks_reserved_space() {
+        let engine: ScanEngine<V6> = ScanEngine::new(demo_network_v6());
+        let cfg = ScanConfig::<V6>::for_port(80).unlimited_rate().threads(2);
+        // default blocklist is the v6 IANA registry; loopback/link-local
+        // targets are suppressed before transmission
+        let targets: HostSet<V6> = [1u128, 0xFE80u128 << 112 | 3, 0x2600u128 << 112]
+            .into_iter()
+            .collect();
+        let report = engine
+            .run_plan(&ProbePlan::Addrs(targets), 0, &[], &cfg)
+            .unwrap();
+        assert_eq!(report.blocked_skipped, 2);
+        assert_eq!(report.probes_sent, 1);
+        assert_eq!(report.responsive.len(), 1);
+        // and the default v6 source is the documentation address
+        assert_eq!(cfg.source_ip, (0x2001_0db8u128 << 96) | 1);
+    }
+
+    #[test]
+    fn v6_banner_grab_over_wire() {
+        let engine: ScanEngine<V6> = ScanEngine::new(demo_network_v6());
+        let plan = ProbePlan::Prefixes(vec!["2600::/121".parse().unwrap()]);
+        let report = engine
+            .run_plan(&plan, 0, &[], &base_cfg_v6().banner_grab(true))
+            .unwrap();
+        assert_eq!(report.banners_grabbed, 16);
+        assert!(report.sample_banners[0].1.contains("HTTP/1.1"));
+    }
+
     #[test]
     fn builder_matches_struct_literal() {
-        let built = ScanConfig::for_port(443)
+        let built: ScanConfig = ScanConfig::for_port(443)
             .rate(5000.0)
             .threads(3)
             .banner_grab(true)

@@ -9,33 +9,36 @@
 //! * [`siphash`] — SipHash-2-4, used (as in ZMap) to derive probe
 //!   validation state from the destination address so the scanner stays
 //!   stateless;
-//! * [`wire`] — Ethernet/IPv4/TCP codecs with real header checksums; the
-//!   simulated network parses and validates actual frames;
-//! * [`cyclic`] — ZMap's address permutation: iteration of the
-//!   multiplicative group modulo the prime 2³² + 15, with sharding;
+//! * [`wire`] — family-parameterised Ethernet/IP/TCP codecs with real
+//!   header checksums (54-byte v4 and 74-byte v6 TCP-SYN frames, plus
+//!   ICMPv6 echo); the simulated network parses and validates actual
+//!   frames;
 //! * [`rate`] — token-bucket rate limiting on a virtual clock, so scan
 //!   duration is simulated (packets / rate), not wall-clock;
-//! * [`blocklist`] — CIDR exclusion lists (IANA special-purpose space is
-//!   blocked by default, as any responsible scanner must);
+//! * [`blocklist`] — CIDR exclusion lists per family (the IANA
+//!   special-purpose registries are blocked by default, as any
+//!   responsible scanner must);
 //! * [`net`] — the simulated network with smoltcp-style fault injection
 //!   (loss, duplication);
 //! * [`responder`] — answers SYNs and banner requests from ground-truth
 //!   host sets;
 //! * [`engine`] — the multi-threaded scan engine tying it all together.
 //!
-//! The engine core is generic over the address family
+//! ZMap's cyclic address permutation lives in [`tass_net::cyclic`]
+//! (shared with the streaming probe-plan iterators); the engine consumes
+//! it through plan streams.
+//!
+//! The whole substrate is generic over the address family
 //! ([`engine::ScanFamily`]): `ScanEngine` written bare is the IPv4
 //! engine (wire frames, blocklist, permutation — the pre-generic
-//! behaviour exactly), while `ScanEngine<V6>` drives `ProbePlan<V6>`
-//! streams through the logical probe path — wire codec and blocklist
-//! remain v4-only, the streaming/sharding/validation/dedup core is
-//! shared.
+//! behaviour exactly), and `ScanEngine<V6>` performs the same per-probe
+//! work at 128 bits — encoded/checksummed v6 frames, the v6 IANA
+//! blocklist, streaming/sharding/validation/dedup all shared.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocklist;
-pub mod cyclic;
 pub mod engine;
 pub mod net;
 pub mod rate;
@@ -43,8 +46,8 @@ pub mod responder;
 pub mod siphash;
 pub mod wire;
 
-pub use blocklist::Blocklist;
-pub use cyclic::Cyclic;
+pub use blocklist::{Blocklist, BlocklistParseError};
 pub use engine::{ScanConfig, ScanEngine, ScanFamily, ScanReport, WireReplies};
 pub use net::{FaultConfig, SimNetwork};
 pub use responder::Responder;
+pub use wire::WireFamily;

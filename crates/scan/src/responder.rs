@@ -7,7 +7,7 @@
 //! and serves protocol banners for the banner-grab phase.
 
 use crate::siphash::SipHash24;
-use crate::wire::{self, tcp_flags, TcpFrame};
+use crate::wire::{self, tcp_flags, TcpFrame, WireFamily};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use tass_model::{HostSet, Protocol};
@@ -22,8 +22,10 @@ pub(crate) fn addr_hash64<F: AddrFamily>(addr: F::Addr) -> u64 {
 }
 
 /// Answers probes from ground-truth host sets, generic over the address
-/// family (the wire-level [`Responder::respond`] path exists for IPv4
-/// only; the logical path — open/live/banner — is family-generic).
+/// family. Both probe paths are family-generic: the wire-level
+/// [`Responder::respond`] answers parsed frames of any [`WireFamily`]
+/// (IPv4 and IPv6 alike), and the logical path — open/live/banner —
+/// needs only the [`AddrFamily`].
 #[derive(Debug, Default)]
 pub struct Responder<F: AddrFamily = V4> {
     /// port -> responsive addresses
@@ -86,24 +88,27 @@ impl<F: AddrFamily> Responder<F> {
     }
 }
 
-impl Responder {
+impl<F: WireFamily> Responder<F> {
     /// Answer a parsed probe frame: SYN-ACK for open, RST+ACK from a live
     /// host with the port closed, silence otherwise. Non-SYN segments are
-    /// ignored (the simulated hosts are stateless). IPv4 only: frames are
-    /// the v4 wire codec's.
-    pub fn respond(&self, probe: &TcpFrame) -> Option<Bytes> {
+    /// ignored (the simulated hosts are stateless). The answer is built
+    /// by the probe's own wire codec, so a v6 responder emits genuine
+    /// 74-byte v6 frames.
+    pub fn respond(&self, probe: &TcpFrame<F>) -> Option<Bytes> {
         if probe.flags & tcp_flags::SYN == 0 || probe.flags & tcp_flags::ACK != 0 {
             return None;
         }
         if self.is_open(probe.dst_ip, probe.dst_port) {
-            // deterministic per-(host, port) initial sequence number
-            let isn = (self.hash().hash(
-                &[
-                    probe.dst_ip.to_le_bytes(),
-                    u32::from(probe.dst_port).to_le_bytes(),
-                ]
-                .concat(),
-            ) & 0xFFFF_FFFF) as u32;
+            // deterministic per-(host, port) initial sequence number,
+            // hashed over addr-LE ++ port-LE in a stack buffer (the v4
+            // input is the pre-generic 4-byte form exactly)
+            let addr_le = F::addr_bytes_le(probe.dst_ip);
+            let addr_le = addr_le.as_ref();
+            let mut input = [0u8; 20]; // 16-byte address max + 4-byte port
+            input[..addr_le.len()].copy_from_slice(addr_le);
+            input[addr_le.len()..addr_le.len() + 4]
+                .copy_from_slice(&u32::from(probe.dst_port).to_le_bytes());
+            let isn = (self.hash().hash(&input[..addr_le.len() + 4]) & 0xFFFF_FFFF) as u32;
             Some(wire::build_syn_ack(probe, isn))
         } else if self.is_live(probe.dst_ip) {
             Some(wire::build_rst(probe))
@@ -166,7 +171,7 @@ mod tests {
     #[test]
     fn non_syn_ignored() {
         let r = responder();
-        let mut spec = crate::wire::FrameSpec {
+        let mut spec: crate::wire::FrameSpec = crate::wire::FrameSpec {
             dst_ip: 100,
             dst_port: 80,
             flags: tcp_flags::ACK,
@@ -200,6 +205,36 @@ mod tests {
         assert!(r.banner(300, 80).is_none(), "dead host");
         // stable across calls
         assert_eq!(r.banner(100, 21), r.banner(100, 21));
+    }
+
+    #[test]
+    fn v6_respond_builds_real_frames() {
+        use crate::wire::{build_syn_v6, parse_frame_v6};
+        use tass_net::V6;
+        let host = (0x2600u128 << 112) | 0x42;
+        let live = (0x2600u128 << 112) | 0x43;
+        let r: Responder<V6> = Responder::new()
+            .with_service(Protocol::Http, HostSet::from_addrs(vec![host]))
+            .with_port(22, HostSet::from_addrs(vec![live]));
+        // open port answers with a checksummed v6 SYN-ACK
+        let probe = parse_frame_v6(&build_syn_v6(1, host, 40000, 80, 777)).unwrap();
+        let f = parse_frame_v6(&r.respond(&probe).unwrap()).unwrap();
+        assert_eq!(f.flags, tcp_flags::SYN | tcp_flags::ACK);
+        assert_eq!(f.ack, 778);
+        assert_eq!(f.src_ip, host);
+        assert_eq!(f.dst_ip, 1);
+        // closed port on a live host answers RST
+        let probe = parse_frame_v6(&build_syn_v6(1, live, 40000, 80, 5)).unwrap();
+        let f = parse_frame_v6(&r.respond(&probe).unwrap()).unwrap();
+        assert_eq!(f.flags & tcp_flags::RST, tcp_flags::RST);
+        // dead space is silent
+        let probe = parse_frame_v6(&build_syn_v6(1, 999, 40000, 80, 5)).unwrap();
+        assert!(r.respond(&probe).is_none());
+        // ISNs are deterministic and distinct per host
+        let pa = parse_frame_v6(&build_syn_v6(1, host, 40000, 80, 9)).unwrap();
+        let a = parse_frame_v6(&r.respond(&pa).unwrap()).unwrap().seq;
+        let b = parse_frame_v6(&r.respond(&pa).unwrap()).unwrap().seq;
+        assert_eq!(a, b);
     }
 
     #[test]

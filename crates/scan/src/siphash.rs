@@ -99,6 +99,13 @@ impl SipHash24 {
     pub fn probe_validation(&self, daddr: u32) -> u32 {
         (self.hash(&daddr.to_le_bytes()) & 0xFFFF_FFFF) as u32
     }
+
+    /// [`SipHash24::probe_validation`] for any wire family: hashes the
+    /// address's little-endian bytes (4 for v4 — bit-identical to the
+    /// concrete method — or 16 for v6).
+    pub fn probe_validation_addr<F: crate::wire::WireFamily>(&self, daddr: F::Addr) -> u32 {
+        (self.hash(F::addr_bytes_le(daddr).as_ref()) & 0xFFFF_FFFF) as u32
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +175,20 @@ mod tests {
             .filter(|&i| h.probe_validation(i) == h.probe_validation(i + 1))
             .count();
         assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn family_generic_validation_matches_v4() {
+        use tass_net::{V4, V6};
+        let h = SipHash24::new(0xAA, 0xBB);
+        for a in [0u32, 1, 0x0A00_0001, u32::MAX] {
+            assert_eq!(h.probe_validation_addr::<V4>(a), h.probe_validation(a));
+        }
+        // v6 hashes 16 bytes — a widened v4 address hashes differently
+        assert_ne!(
+            h.probe_validation_addr::<V6>(1u128),
+            h.probe_validation(1u32)
+        );
     }
 
     #[test]

@@ -1,29 +1,70 @@
-//! Ethernet II / IPv4 / TCP frame codecs.
+//! Ethernet II frame codecs for IPv4 and IPv6 probes.
 //!
-//! The simulated scanner builds genuine 54-byte TCP-SYN frames and the
-//! simulated network parses and validates them — header checksums
-//! included — so the probe path exercises the same encode/decode work a
-//! real ZMap-class scanner performs. Checksums follow RFC 1071 (Internet
-//! checksum) with the TCP pseudo-header of RFC 793.
+//! The simulated scanner builds genuine probe frames and the simulated
+//! network parses and validates them — checksums included — so the probe
+//! path exercises the same encode/decode work a real ZMap-class scanner
+//! performs, in both address families. The codec is parameterised over the
+//! [`WireFamily`]: the Ethernet and TCP layers are shared bit for bit,
+//! only the network header in the middle differs.
+//!
+//! ## Frame layouts
+//!
+//! **IPv4 TCP-SYN — 54 bytes** (unchanged from the pre-generic codec):
+//!
+//! ```text
+//! | Ethernet II (14) | IPv4 header (20, no options) | TCP header (20) |
+//! ```
+//!
+//! ethertype `0x0800`; the IPv4 header carries its own RFC 1071 checksum,
+//! and the TCP checksum covers the RFC 793 pseudo-header
+//! (src, dst, zero, protocol, TCP length).
+//!
+//! **IPv6 TCP-SYN — 74 bytes**:
+//!
+//! ```text
+//! | Ethernet II (14) | IPv6 header (40, fixed) | TCP header (20) |
+//! ```
+//!
+//! ethertype `0x86DD`; the fixed 40-byte header follows RFC 2460 —
+//! version/traffic-class/flow-label word, payload length, next header,
+//! hop limit, then the two 128-bit addresses. IPv6 deliberately has **no
+//! header checksum**; instead the TCP checksum covers the RFC 2460 §8.1
+//! pseudo-header: the 16-byte source and destination addresses, the
+//! 32-bit upper-layer packet length, three zero bytes, and the next-header
+//! value. The same pseudo-header (with next header 58) protects ICMPv6.
+//!
+//! **ICMPv6 echo — 62 bytes** ([`build_echo6`]): the 40-byte IPv6 header
+//! with next header 58, followed by the 8-byte echo header
+//! (type 128/129, code 0, checksum, identifier, sequence) — the classic
+//! v6 liveness probe for hosts that drop unsolicited TCP.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
+use tass_net::{AddrFamily, V4, V6};
 
 /// Errors while parsing a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
     /// Frame shorter than the fixed header layout requires.
     Truncated,
-    /// EtherType other than IPv4 (0x0800).
+    /// EtherType other than IPv4 (0x0800) on the v4 parse path.
     NotIpv4,
-    /// IP version field not 4 or IHL < 5.
+    /// EtherType other than IPv6 (0x86DD) on the v6 parse path.
+    NotIpv6,
+    /// IP version/length fields malformed (v4: version ≠ 4 or IHL < 5;
+    /// v6: version ≠ 6 or payload length inconsistent with the frame).
     BadIpHeader,
     /// IPv4 header checksum mismatch.
     BadIpChecksum,
     /// Layer-4 protocol other than TCP (6).
     NotTcp,
-    /// TCP checksum mismatch (over the pseudo-header).
+    /// TCP checksum mismatch (over the family's pseudo-header).
     BadTcpChecksum,
+    /// Next header other than ICMPv6 (58), or not an echo type, on the
+    /// ICMPv6 parse path.
+    NotIcmpv6,
+    /// ICMPv6 checksum mismatch (over the v6 pseudo-header).
+    BadIcmpChecksum,
 }
 
 impl fmt::Display for WireError {
@@ -31,10 +72,13 @@ impl fmt::Display for WireError {
         let s = match self {
             WireError::Truncated => "frame truncated",
             WireError::NotIpv4 => "not an IPv4 frame",
-            WireError::BadIpHeader => "malformed IPv4 header",
+            WireError::NotIpv6 => "not an IPv6 frame",
+            WireError::BadIpHeader => "malformed IP header",
             WireError::BadIpChecksum => "IPv4 checksum mismatch",
             WireError::NotTcp => "not a TCP segment",
             WireError::BadTcpChecksum => "TCP checksum mismatch",
+            WireError::NotIcmpv6 => "not an ICMPv6 echo",
+            WireError::BadIcmpChecksum => "ICMPv6 checksum mismatch",
         };
         write!(f, "{s}")
     }
@@ -54,19 +98,73 @@ pub mod tcp_flags {
     pub const FIN: u8 = 0x01;
 }
 
-/// A parsed (Ethernet+IPv4+TCP) frame, borrowing nothing: all fields copied.
+/// Frame layout constants.
+pub const ETH_HDR_LEN: usize = 14;
+/// IPv4 header length without options.
+pub const IP_HDR_LEN: usize = 20;
+/// IPv6 header length (always fixed, RFC 2460).
+pub const IPV6_HDR_LEN: usize = 40;
+/// TCP header length without options.
+pub const TCP_HDR_LEN: usize = 20;
+/// Total length of the IPv4 TCP probe frames this crate builds.
+pub const FRAME_LEN: usize = ETH_HDR_LEN + IP_HDR_LEN + TCP_HDR_LEN;
+/// Total length of the IPv6 TCP probe frames this crate builds.
+pub const FRAME_LEN_V6: usize = ETH_HDR_LEN + IPV6_HDR_LEN + TCP_HDR_LEN;
+/// ICMPv6 echo request/reply header length (no payload).
+pub const ICMP6_ECHO_LEN: usize = 8;
+/// Total length of the ICMPv6 echo frames this crate builds.
+pub const FRAME_LEN_ICMP6: usize = ETH_HDR_LEN + IPV6_HDR_LEN + ICMP6_ECHO_LEN;
+
+/// The per-family half of the codec: ethertype, network-header layout,
+/// and the pseudo-header checksum. Everything else — Ethernet framing,
+/// the TCP header, validation order — is shared, so the IPv4 byte stream
+/// is exactly the pre-generic codec's and IPv6 differs only in the
+/// 40-byte header in the middle.
+pub trait WireFamily: AddrFamily {
+    /// EtherType of the family (`0x0800` / `0x86DD`).
+    const ETHERTYPE: u16;
+    /// Total probe frame length (Ethernet + minimal IP + TCP).
+    const TCP_FRAME_LEN: usize;
+    /// The error reported when the ethertype belongs to another family.
+    const WRONG_ETHERTYPE: WireError;
+
+    /// Append the family's network header for a TCP payload of
+    /// `tcp_len` bytes (checksummed in place where the family has a
+    /// header checksum).
+    fn put_net_header(buf: &mut BytesMut, spec: &FrameSpec<Self>, tcp_len: usize);
+
+    /// Parse and validate the network header at the start of `ip`
+    /// (everything after the Ethernet header). Returns
+    /// `(header_len, ttl/hop-limit, src, dst)`.
+    fn parse_net_header(ip: &[u8]) -> Result<(usize, u8, Self::Addr, Self::Addr), WireError>;
+
+    /// Upper-layer checksum over the family's pseudo-header (RFC 793 for
+    /// v4, RFC 2460 §8.1 for v6) followed by the segment.
+    fn transport_checksum(src: Self::Addr, dst: Self::Addr, proto: u8, segment: &[u8]) -> u16;
+
+    /// The little-endian byte array of one address (`[u8; 4]` / `[u8; 16]`).
+    type AddrBytes: AsRef<[u8]> + Copy;
+
+    /// The address as little-endian bytes — the form hashed for
+    /// stateless validation state and responder ISNs, stack-allocated
+    /// (this sits on the per-probe hot path). v4 keeps the pre-generic
+    /// 4-byte form so all derived values are bit-identical.
+    fn addr_bytes_le(addr: Self::Addr) -> Self::AddrBytes;
+}
+
+/// A parsed (Ethernet+IP+TCP) frame, borrowing nothing: all fields copied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TcpFrame {
+pub struct TcpFrame<F: WireFamily = V4> {
     /// Destination MAC.
     pub eth_dst: [u8; 6],
     /// Source MAC.
     pub eth_src: [u8; 6],
-    /// IPv4 TTL.
+    /// IPv4 TTL / IPv6 hop limit.
     pub ttl: u8,
-    /// IPv4 source address (host order).
-    pub src_ip: u32,
-    /// IPv4 destination address (host order).
-    pub dst_ip: u32,
+    /// Source address (host order).
+    pub src_ip: F::Addr,
+    /// Destination address (host order).
+    pub dst_ip: F::Addr,
     /// TCP source port.
     pub src_port: u16,
     /// TCP destination port.
@@ -97,40 +195,29 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     !(sum as u16)
 }
 
-/// TCP checksum over pseudo-header + segment (RFC 793).
+/// TCP checksum over pseudo-header + segment (RFC 793). IPv4 form.
 pub fn tcp_checksum(src_ip: u32, dst_ip: u32, segment: &[u8]) -> u16 {
-    let mut pseudo = Vec::with_capacity(12 + segment.len());
-    pseudo.extend_from_slice(&src_ip.to_be_bytes());
-    pseudo.extend_from_slice(&dst_ip.to_be_bytes());
-    pseudo.push(0);
-    pseudo.push(6); // TCP
-    pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
-    pseudo.extend_from_slice(segment);
-    internet_checksum(&pseudo)
+    V4::transport_checksum(src_ip, dst_ip, 6, segment)
 }
 
-/// Frame layout constants.
-pub const ETH_HDR_LEN: usize = 14;
-/// IPv4 header length without options.
-pub const IP_HDR_LEN: usize = 20;
-/// TCP header length without options.
-pub const TCP_HDR_LEN: usize = 20;
-/// Total length of the probe frames this crate builds.
-pub const FRAME_LEN: usize = ETH_HDR_LEN + IP_HDR_LEN + TCP_HDR_LEN;
+/// TCP checksum over the IPv6 pseudo-header + segment (RFC 2460 §8.1).
+pub fn tcp_checksum_v6(src_ip: u128, dst_ip: u128, segment: &[u8]) -> u16 {
+    V6::transport_checksum(src_ip, dst_ip, 6, segment)
+}
 
 /// Parameters for building a TCP frame.
 #[derive(Debug, Clone, Copy)]
-pub struct FrameSpec {
+pub struct FrameSpec<F: WireFamily = V4> {
     /// Destination MAC (the simulated gateway).
     pub eth_dst: [u8; 6],
     /// Source MAC.
     pub eth_src: [u8; 6],
-    /// IPv4 TTL (ZMap uses 255 by default).
+    /// IPv4 TTL / IPv6 hop limit (ZMap uses 255 by default).
     pub ttl: u8,
     /// Source address (host order).
-    pub src_ip: u32,
+    pub src_ip: F::Addr,
     /// Destination address (host order).
-    pub dst_ip: u32,
+    pub dst_ip: F::Addr,
     /// Source port.
     pub src_port: u16,
     /// Destination port.
@@ -143,18 +230,19 @@ pub struct FrameSpec {
     pub flags: u8,
     /// Advertised window.
     pub window: u16,
-    /// IPv4 identification field.
+    /// IPv4 identification field; unused by IPv6 (whose header has no
+    /// identification — the flow label is built as zero).
     pub ip_id: u16,
 }
 
-impl Default for FrameSpec {
+impl<F: WireFamily> Default for FrameSpec<F> {
     fn default() -> Self {
         FrameSpec {
             eth_dst: [0x02, 0, 0, 0, 0, 0x01],
             eth_src: [0x02, 0, 0, 0, 0, 0x02],
             ttl: 255,
-            src_ip: 0,
-            dst_ip: 0,
+            src_ip: F::Addr::default(),
+            dst_ip: F::Addr::default(),
             src_port: 0,
             dst_port: 0,
             seq: 0,
@@ -166,27 +254,154 @@ impl Default for FrameSpec {
     }
 }
 
-/// Build a checksummed Ethernet+IPv4+TCP frame from a spec.
-pub fn build_frame(spec: &FrameSpec) -> Bytes {
-    let mut buf = BytesMut::with_capacity(FRAME_LEN);
+impl WireFamily for V4 {
+    const ETHERTYPE: u16 = 0x0800;
+    const TCP_FRAME_LEN: usize = FRAME_LEN;
+    const WRONG_ETHERTYPE: WireError = WireError::NotIpv4;
+
+    fn put_net_header(buf: &mut BytesMut, spec: &FrameSpec<V4>, tcp_len: usize) {
+        let ip_start = buf.len();
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(0); // DSCP/ECN
+        buf.put_u16((IP_HDR_LEN + tcp_len) as u16);
+        buf.put_u16(spec.ip_id);
+        buf.put_u16(0); // flags+fragment offset
+        buf.put_u8(spec.ttl);
+        buf.put_u8(6); // TCP
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u32(spec.src_ip);
+        buf.put_u32(spec.dst_ip);
+        let ip_csum = internet_checksum(&buf[ip_start..ip_start + IP_HDR_LEN]);
+        buf[ip_start + 10..ip_start + 12].copy_from_slice(&ip_csum.to_be_bytes());
+    }
+
+    fn parse_net_header(ip: &[u8]) -> Result<(usize, u8, u32, u32), WireError> {
+        if ip[0] >> 4 != 4 || (ip[0] & 0x0F) < 5 {
+            return Err(WireError::BadIpHeader);
+        }
+        let ihl = usize::from(ip[0] & 0x0F) * 4;
+        if ip.len() < ihl + TCP_HDR_LEN {
+            return Err(WireError::Truncated);
+        }
+        if internet_checksum(&ip[..ihl]) != 0 {
+            return Err(WireError::BadIpChecksum);
+        }
+        if ip[9] != 6 {
+            return Err(WireError::NotTcp);
+        }
+        let src = u32::from_be_bytes(ip[12..16].try_into().expect("4 bytes"));
+        let dst = u32::from_be_bytes(ip[16..20].try_into().expect("4 bytes"));
+        Ok((ihl, ip[8], src, dst))
+    }
+
+    fn transport_checksum(src: u32, dst: u32, proto: u8, segment: &[u8]) -> u16 {
+        let mut pseudo = Vec::with_capacity(12 + segment.len());
+        pseudo.extend_from_slice(&src.to_be_bytes());
+        pseudo.extend_from_slice(&dst.to_be_bytes());
+        pseudo.push(0);
+        pseudo.push(proto);
+        pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
+        pseudo.extend_from_slice(segment);
+        internet_checksum(&pseudo)
+    }
+
+    type AddrBytes = [u8; 4];
+
+    fn addr_bytes_le(addr: u32) -> [u8; 4] {
+        addr.to_le_bytes()
+    }
+}
+
+/// Append the fixed 40-byte IPv6 header — the one v6 header layout in
+/// this module, shared by the TCP codec (`next_header` 6) and the ICMPv6
+/// echo codec (`next_header` 58).
+fn put_v6_header(
+    buf: &mut BytesMut,
+    hop_limit: u8,
+    src_ip: u128,
+    dst_ip: u128,
+    next_header: u8,
+    payload_len: usize,
+) {
+    buf.put_u32(6 << 28); // version 6, traffic class 0, flow label 0
+    buf.put_u16(payload_len as u16); // payload length
+    buf.put_u8(next_header);
+    buf.put_u8(hop_limit);
+    buf.put_u128(src_ip);
+    buf.put_u128(dst_ip);
+}
+
+/// Parse and validate the fixed IPv6 header at the start of `ip`,
+/// expecting `next_header` (`wrong_next` is returned otherwise). Returns
+/// `(hop_limit, src, dst)`. IPv6 has no header checksum; the
+/// payload-length field is the only integrity cross-check the header
+/// itself offers, so the frame is held to it exactly (our frames carry
+/// no trailing padding).
+fn parse_v6_header(
+    ip: &[u8],
+    next_header: u8,
+    wrong_next: WireError,
+) -> Result<(u8, u128, u128), WireError> {
+    if ip[0] >> 4 != 6 {
+        return Err(WireError::BadIpHeader);
+    }
+    let payload_len = usize::from(u16::from_be_bytes([ip[4], ip[5]]));
+    if ip.len() != IPV6_HDR_LEN + payload_len {
+        return Err(WireError::BadIpHeader);
+    }
+    if ip[6] != next_header {
+        return Err(wrong_next);
+    }
+    let src = u128::from_be_bytes(ip[8..24].try_into().expect("16 bytes"));
+    let dst = u128::from_be_bytes(ip[24..40].try_into().expect("16 bytes"));
+    Ok((ip[7], src, dst))
+}
+
+impl WireFamily for V6 {
+    const ETHERTYPE: u16 = 0x86DD;
+    const TCP_FRAME_LEN: usize = FRAME_LEN_V6;
+    const WRONG_ETHERTYPE: WireError = WireError::NotIpv6;
+
+    fn put_net_header(buf: &mut BytesMut, spec: &FrameSpec<V6>, tcp_len: usize) {
+        put_v6_header(buf, spec.ttl, spec.src_ip, spec.dst_ip, 6, tcp_len);
+    }
+
+    fn parse_net_header(ip: &[u8]) -> Result<(usize, u8, u128, u128), WireError> {
+        let (hop, src, dst) = parse_v6_header(ip, 6, WireError::NotTcp)?;
+        Ok((IPV6_HDR_LEN, hop, src, dst))
+    }
+
+    fn transport_checksum(src: u128, dst: u128, proto: u8, segment: &[u8]) -> u16 {
+        // RFC 2460 §8.1 pseudo-header: src(16) dst(16) length(4) zero(3)
+        // next-header(1).
+        let mut pseudo = Vec::with_capacity(40 + segment.len());
+        pseudo.extend_from_slice(&src.to_be_bytes());
+        pseudo.extend_from_slice(&dst.to_be_bytes());
+        pseudo.extend_from_slice(&(segment.len() as u32).to_be_bytes());
+        pseudo.extend_from_slice(&[0, 0, 0]);
+        pseudo.push(proto);
+        pseudo.extend_from_slice(segment);
+        internet_checksum(&pseudo)
+    }
+
+    type AddrBytes = [u8; 16];
+
+    fn addr_bytes_le(addr: u128) -> [u8; 16] {
+        addr.to_le_bytes()
+    }
+}
+
+/// Build a checksummed Ethernet+IP+TCP frame from a spec, in the spec's
+/// family. The IPv4 instantiation is byte-identical to the pre-generic
+/// codec.
+pub fn build_frame<F: WireFamily>(spec: &FrameSpec<F>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(F::TCP_FRAME_LEN);
     // Ethernet
     buf.put_slice(&spec.eth_dst);
     buf.put_slice(&spec.eth_src);
-    buf.put_u16(0x0800);
-    // IPv4
-    let ip_start = buf.len();
-    buf.put_u8(0x45); // version 4, IHL 5
-    buf.put_u8(0); // DSCP/ECN
-    buf.put_u16((IP_HDR_LEN + TCP_HDR_LEN) as u16);
-    buf.put_u16(spec.ip_id);
-    buf.put_u16(0); // flags+fragment offset
-    buf.put_u8(spec.ttl);
-    buf.put_u8(6); // TCP
-    buf.put_u16(0); // checksum placeholder
-    buf.put_u32(spec.src_ip);
-    buf.put_u32(spec.dst_ip);
-    let ip_csum = internet_checksum(&buf[ip_start..ip_start + IP_HDR_LEN]);
-    buf[ip_start + 10..ip_start + 12].copy_from_slice(&ip_csum.to_be_bytes());
+    buf.put_u16(F::ETHERTYPE);
+    // IP
+    F::put_net_header(&mut buf, spec, TCP_HDR_LEN);
     // TCP
     let tcp_start = buf.len();
     buf.put_u16(spec.src_port);
@@ -198,14 +413,30 @@ pub fn build_frame(spec: &FrameSpec) -> Bytes {
     buf.put_u16(spec.window);
     buf.put_u16(0); // checksum placeholder
     buf.put_u16(0); // urgent pointer
-    let tcp_csum = tcp_checksum(spec.src_ip, spec.dst_ip, &buf[tcp_start..]);
+    let tcp_csum = F::transport_checksum(spec.src_ip, spec.dst_ip, 6, &buf[tcp_start..]);
     buf[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_csum.to_be_bytes());
     buf.freeze()
 }
 
-/// Build a TCP SYN probe (the scanner's packet).
+/// Build an IPv4 TCP SYN probe (the scanner's packet).
 pub fn build_syn(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, seq: u32) -> Bytes {
-    build_frame(&FrameSpec {
+    build_syn_for::<V4>(src_ip, dst_ip, src_port, dst_port, seq)
+}
+
+/// Build an IPv6 TCP SYN probe (74 bytes).
+pub fn build_syn_v6(src_ip: u128, dst_ip: u128, src_port: u16, dst_port: u16, seq: u32) -> Bytes {
+    build_syn_for::<V6>(src_ip, dst_ip, src_port, dst_port, seq)
+}
+
+/// Build a TCP SYN probe in any wire family.
+pub fn build_syn_for<F: WireFamily>(
+    src_ip: F::Addr,
+    dst_ip: F::Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+) -> Bytes {
+    build_frame(&FrameSpec::<F> {
         src_ip,
         dst_ip,
         src_port,
@@ -217,8 +448,8 @@ pub fn build_syn(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, seq: u3
 }
 
 /// Build a SYN-ACK answer to a parsed SYN (the responder's packet).
-pub fn build_syn_ack(probe: &TcpFrame, server_isn: u32) -> Bytes {
-    build_frame(&FrameSpec {
+pub fn build_syn_ack<F: WireFamily>(probe: &TcpFrame<F>, server_isn: u32) -> Bytes {
+    build_frame(&FrameSpec::<F> {
         eth_dst: probe.eth_src,
         eth_src: probe.eth_dst,
         src_ip: probe.dst_ip,
@@ -234,8 +465,8 @@ pub fn build_syn_ack(probe: &TcpFrame, server_isn: u32) -> Bytes {
 }
 
 /// Build a RST answer (closed port).
-pub fn build_rst(probe: &TcpFrame) -> Bytes {
-    build_frame(&FrameSpec {
+pub fn build_rst<F: WireFamily>(probe: &TcpFrame<F>) -> Bytes {
+    build_frame(&FrameSpec::<F> {
         eth_dst: probe.eth_src,
         eth_src: probe.eth_dst,
         src_ip: probe.dst_ip,
@@ -250,37 +481,34 @@ pub fn build_rst(probe: &TcpFrame) -> Bytes {
     })
 }
 
-/// Parse and validate a frame (checksums verified).
+/// Parse and validate an IPv4 frame (checksums verified).
 pub fn parse_frame(frame: &[u8]) -> Result<TcpFrame, WireError> {
-    if frame.len() < FRAME_LEN {
+    parse_frame_for::<V4>(frame)
+}
+
+/// Parse and validate an IPv6 frame (TCP checksum over the v6
+/// pseudo-header verified).
+pub fn parse_frame_v6(frame: &[u8]) -> Result<TcpFrame<V6>, WireError> {
+    parse_frame_for::<V6>(frame)
+}
+
+/// Parse and validate a frame in any wire family. A frame of the other
+/// family is rejected at the ethertype ([`WireFamily::WRONG_ETHERTYPE`]).
+pub fn parse_frame_for<F: WireFamily>(frame: &[u8]) -> Result<TcpFrame<F>, WireError> {
+    if frame.len() < F::TCP_FRAME_LEN {
         return Err(WireError::Truncated);
     }
     let eth_dst: [u8; 6] = frame[0..6].try_into().expect("6 bytes");
     let eth_src: [u8; 6] = frame[6..12].try_into().expect("6 bytes");
     let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
-    if ethertype != 0x0800 {
-        return Err(WireError::NotIpv4);
+    if ethertype != F::ETHERTYPE {
+        return Err(F::WRONG_ETHERTYPE);
     }
     let ip = &frame[ETH_HDR_LEN..];
-    if ip[0] >> 4 != 4 || (ip[0] & 0x0F) < 5 {
-        return Err(WireError::BadIpHeader);
-    }
-    let ihl = usize::from(ip[0] & 0x0F) * 4;
-    if frame.len() < ETH_HDR_LEN + ihl + TCP_HDR_LEN {
-        return Err(WireError::Truncated);
-    }
-    if internet_checksum(&ip[..ihl]) != 0 {
-        return Err(WireError::BadIpChecksum);
-    }
-    if ip[9] != 6 {
-        return Err(WireError::NotTcp);
-    }
-    let ttl = ip[8];
-    let src_ip = u32::from_be_bytes(ip[12..16].try_into().expect("4 bytes"));
-    let dst_ip = u32::from_be_bytes(ip[16..20].try_into().expect("4 bytes"));
-    let tcp = &frame[ETH_HDR_LEN + ihl..];
-    // verify TCP checksum over the whole remaining segment
-    if tcp_checksum(src_ip, dst_ip, tcp) != 0 {
+    let (hdr_len, ttl, src_ip, dst_ip) = F::parse_net_header(ip)?;
+    let tcp = &frame[ETH_HDR_LEN + hdr_len..];
+    // verify the TCP checksum over the whole remaining segment
+    if F::transport_checksum(src_ip, dst_ip, 6, tcp) != 0 {
         return Err(WireError::BadTcpChecksum);
     }
     Ok(TcpFrame {
@@ -295,6 +523,121 @@ pub fn parse_frame(frame: &[u8]) -> Result<TcpFrame, WireError> {
         ack: u32::from_be_bytes(tcp[8..12].try_into().expect("4 bytes")),
         flags: tcp[13],
         window: u16::from_be_bytes([tcp[14], tcp[15]]),
+    })
+}
+
+/// A parsed ICMPv6 echo request or reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Icmp6Echo {
+    /// Destination MAC.
+    pub eth_dst: [u8; 6],
+    /// Source MAC.
+    pub eth_src: [u8; 6],
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address (host order).
+    pub src_ip: u128,
+    /// Destination address (host order).
+    pub dst_ip: u128,
+    /// `true` for an echo reply (type 129), `false` for a request (128).
+    pub is_reply: bool,
+    /// Echo identifier.
+    pub ident: u16,
+    /// Echo sequence number.
+    pub seq: u16,
+}
+
+/// Encode an [`Icmp6Echo`] as a checksummed 62-byte frame (the type
+/// byte — 128/129 — comes from `is_reply`).
+pub fn build_echo6_frame(p: &Icmp6Echo) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_LEN_ICMP6);
+    buf.put_slice(&p.eth_dst);
+    buf.put_slice(&p.eth_src);
+    buf.put_u16(V6::ETHERTYPE);
+    put_v6_header(
+        &mut buf,
+        p.hop_limit,
+        p.src_ip,
+        p.dst_ip,
+        58,
+        ICMP6_ECHO_LEN,
+    );
+    let icmp_start = buf.len();
+    buf.put_u8(if p.is_reply { 129 } else { 128 });
+    buf.put_u8(0); // code
+    buf.put_u16(0); // checksum placeholder
+    buf.put_u16(p.ident);
+    buf.put_u16(p.seq);
+    let csum = V6::transport_checksum(p.src_ip, p.dst_ip, 58, &buf[icmp_start..]);
+    buf[icmp_start + 2..icmp_start + 4].copy_from_slice(&csum.to_be_bytes());
+    buf.freeze()
+}
+
+/// Build an ICMPv6 echo request probe (62 bytes, RFC 4443 type 128).
+pub fn build_echo6(src_ip: u128, dst_ip: u128, ident: u16, seq: u16) -> Bytes {
+    let d = FrameSpec::<V6>::default();
+    build_echo6_frame(&Icmp6Echo {
+        eth_dst: d.eth_dst,
+        eth_src: d.eth_src,
+        hop_limit: 255,
+        src_ip,
+        dst_ip,
+        is_reply: false,
+        ident,
+        seq,
+    })
+}
+
+/// Build the echo reply (type 129) answering a parsed request.
+pub fn build_echo_reply6(probe: &Icmp6Echo) -> Bytes {
+    build_echo6_frame(&Icmp6Echo {
+        eth_dst: probe.eth_src,
+        eth_src: probe.eth_dst,
+        hop_limit: 64,
+        src_ip: probe.dst_ip,
+        dst_ip: probe.src_ip,
+        is_reply: true,
+        ident: probe.ident,
+        seq: probe.seq,
+    })
+}
+
+/// Parse and validate an ICMPv6 echo frame (checksum over the v6
+/// pseudo-header with next header 58).
+pub fn parse_echo6(frame: &[u8]) -> Result<Icmp6Echo, WireError> {
+    if frame.len() < FRAME_LEN_ICMP6 {
+        return Err(WireError::Truncated);
+    }
+    let eth_dst: [u8; 6] = frame[0..6].try_into().expect("6 bytes");
+    let eth_src: [u8; 6] = frame[6..12].try_into().expect("6 bytes");
+    if u16::from_be_bytes([frame[12], frame[13]]) != V6::ETHERTYPE {
+        return Err(WireError::NotIpv6);
+    }
+    let ip = &frame[ETH_HDR_LEN..];
+    // frame.len() >= FRAME_LEN_ICMP6 and the exact payload-length check
+    // together guarantee at least ICMP6_ECHO_LEN bytes after the header
+    let (hop_limit, src_ip, dst_ip) = parse_v6_header(ip, 58, WireError::NotIcmpv6)?;
+    let icmp = &ip[IPV6_HDR_LEN..];
+    if V6::transport_checksum(src_ip, dst_ip, 58, icmp) != 0 {
+        return Err(WireError::BadIcmpChecksum);
+    }
+    let is_reply = match icmp[0] {
+        128 => false,
+        129 => true,
+        _ => return Err(WireError::NotIcmpv6),
+    };
+    if icmp[1] != 0 {
+        return Err(WireError::NotIcmpv6);
+    }
+    Ok(Icmp6Echo {
+        eth_dst,
+        eth_src,
+        hop_limit,
+        src_ip,
+        dst_ip,
+        is_reply,
+        ident: u16::from_be_bytes([icmp[4], icmp[5]]),
+        seq: u16::from_be_bytes([icmp[6], icmp[7]]),
     })
 }
 
@@ -336,6 +679,42 @@ mod tests {
     }
 
     #[test]
+    fn v6_build_parse_roundtrip() {
+        let src = (0x2001_0db8u128 << 96) | 1;
+        let dst = (0x2600u128 << 112) | 0xBEEF;
+        let syn = build_syn_v6(src, dst, 40000, 443, 0xDEADBEEF);
+        assert_eq!(syn.len(), FRAME_LEN_V6);
+        let f = parse_frame_v6(&syn).unwrap();
+        assert_eq!(f.src_ip, src);
+        assert_eq!(f.dst_ip, dst);
+        assert_eq!(f.src_port, 40000);
+        assert_eq!(f.dst_port, 443);
+        assert_eq!(f.seq, 0xDEADBEEF);
+        assert_eq!(f.flags, tcp_flags::SYN);
+        assert_eq!(f.ttl, 255, "hop limit");
+    }
+
+    #[test]
+    fn v6_layout_is_rfc2460() {
+        let syn = build_syn_v6(7, 9, 1, 2, 3);
+        // ethertype
+        assert_eq!(&syn[12..14], &[0x86, 0xDD]);
+        let ip = &syn[ETH_HDR_LEN..];
+        assert_eq!(ip[0] >> 4, 6, "version");
+        assert_eq!(
+            u16::from_be_bytes([ip[4], ip[5]]),
+            TCP_HDR_LEN as u16,
+            "payload length"
+        );
+        assert_eq!(ip[6], 6, "next header TCP");
+        assert_eq!(ip[7], 255, "hop limit");
+        assert_eq!(u128::from_be_bytes(ip[8..24].try_into().unwrap()), 7);
+        assert_eq!(u128::from_be_bytes(ip[24..40].try_into().unwrap()), 9);
+        // the TCP segment checksums to zero over the v6 pseudo-header
+        assert_eq!(tcp_checksum_v6(7, 9, &ip[IPV6_HDR_LEN..]), 0);
+    }
+
+    #[test]
     fn syn_ack_swaps_endpoints_and_acks() {
         let syn = build_syn(1, 2, 3, 4, 100);
         let probe = parse_frame(&syn).unwrap();
@@ -349,6 +728,22 @@ mod tests {
         assert_eq!(f.ack, 101);
         assert_eq!(f.flags, tcp_flags::SYN | tcp_flags::ACK);
         assert_eq!(f.eth_dst, probe.eth_src);
+    }
+
+    #[test]
+    fn v6_syn_ack_and_rst_swap_endpoints() {
+        let syn = build_syn_v6(1, 2, 3, 4, 100);
+        let probe = parse_frame_v6(&syn).unwrap();
+        let sa = build_syn_ack(&probe, 5555);
+        let f = parse_frame_v6(&sa).unwrap();
+        assert_eq!(f.src_ip, 2);
+        assert_eq!(f.dst_ip, 1);
+        assert_eq!(f.seq, 5555);
+        assert_eq!(f.ack, 101);
+        assert_eq!(f.flags, tcp_flags::SYN | tcp_flags::ACK);
+        let rst = build_rst(&probe);
+        let r = parse_frame_v6(&rst).unwrap();
+        assert_eq!(r.flags, tcp_flags::RST | tcp_flags::ACK);
     }
 
     #[test]
@@ -394,6 +789,44 @@ mod tests {
     }
 
     #[test]
+    fn v6_parse_rejects_corruption() {
+        let syn = build_syn_v6(0x0102, 0x0506, 1000, 80, 42);
+        assert_eq!(parse_frame_v6(&syn[..20]), Err(WireError::Truncated));
+        // version nibble
+        let mut bad = syn.to_vec();
+        bad[ETH_HDR_LEN] = 0x45;
+        assert_eq!(parse_frame_v6(&bad), Err(WireError::BadIpHeader));
+        // payload length inconsistent with the frame
+        let mut bad = syn.to_vec();
+        bad[ETH_HDR_LEN + 5] ^= 0x01;
+        assert_eq!(parse_frame_v6(&bad), Err(WireError::BadIpHeader));
+        // next header not TCP
+        let mut bad = syn.to_vec();
+        bad[ETH_HDR_LEN + 6] = 17; // UDP
+        assert_eq!(parse_frame_v6(&bad), Err(WireError::NotTcp));
+        // flip an address bit -> pseudo-header checksum fails
+        let mut bad = syn.to_vec();
+        bad[ETH_HDR_LEN + 20] ^= 0x01;
+        assert_eq!(parse_frame_v6(&bad), Err(WireError::BadTcpChecksum));
+        // flip a TCP field bit
+        let mut bad = syn.to_vec();
+        bad[FRAME_LEN_V6 - 3] ^= 0x01; // window low byte
+        assert_eq!(parse_frame_v6(&bad), Err(WireError::BadTcpChecksum));
+    }
+
+    #[test]
+    fn cross_family_frames_are_rejected_at_the_ethertype() {
+        let v4 = build_syn(1, 2, 3, 4, 5);
+        // a v4 frame padded to v6 length still fails the ethertype check
+        let mut padded = v4.to_vec();
+        padded.resize(FRAME_LEN_V6, 0);
+        assert_eq!(parse_frame_v6(&padded), Err(WireError::NotIpv6));
+        let v6 = build_syn_v6(1, 2, 3, 4, 5);
+        assert_eq!(parse_frame(&v6), Err(WireError::NotIpv4));
+        assert_eq!(parse_echo6(&padded), Err(WireError::NotIpv6));
+    }
+
+    #[test]
     fn ip_and_tcp_checksums_self_verify() {
         let syn = build_syn(0xAABBCCDD, 0x11223344, 55555, 7547, 7);
         let ip = &syn[ETH_HDR_LEN..ETH_HDR_LEN + IP_HDR_LEN];
@@ -407,14 +840,51 @@ mod tests {
     }
 
     #[test]
+    fn icmp6_echo_roundtrip_and_reply() {
+        let src = (0x2001_0db8u128 << 96) | 1;
+        let dst = (0x2600u128 << 112) | 7;
+        let req = build_echo6(src, dst, 0xCAFE, 3);
+        assert_eq!(req.len(), FRAME_LEN_ICMP6);
+        let p = parse_echo6(&req).unwrap();
+        assert!(!p.is_reply);
+        assert_eq!((p.src_ip, p.dst_ip), (src, dst));
+        assert_eq!((p.ident, p.seq), (0xCAFE, 3));
+        assert_eq!(p.hop_limit, 255);
+        let reply = parse_echo6(&build_echo_reply6(&p)).unwrap();
+        assert!(reply.is_reply);
+        assert_eq!((reply.src_ip, reply.dst_ip), (dst, src));
+        assert_eq!((reply.ident, reply.seq), (0xCAFE, 3));
+    }
+
+    #[test]
+    fn icmp6_parse_rejects_corruption() {
+        let req = build_echo6(5, 9, 1, 2);
+        assert_eq!(parse_echo6(&req[..30]), Err(WireError::Truncated));
+        // flip the identifier -> checksum fails
+        let mut bad = req.to_vec();
+        bad[FRAME_LEN_ICMP6 - 4] ^= 0x01;
+        assert_eq!(parse_echo6(&bad), Err(WireError::BadIcmpChecksum));
+        // next header not ICMPv6
+        let mut bad = req.to_vec();
+        bad[ETH_HDR_LEN + 6] = 6;
+        assert_eq!(parse_echo6(&bad), Err(WireError::NotIcmpv6));
+        // a TCP v6 frame is not an echo
+        let syn = build_syn_v6(5, 9, 1, 2, 3);
+        assert_eq!(parse_echo6(&syn), Err(WireError::NotIcmpv6));
+    }
+
+    #[test]
     fn error_display() {
         for e in [
             WireError::Truncated,
             WireError::NotIpv4,
+            WireError::NotIpv6,
             WireError::BadIpHeader,
             WireError::BadIpChecksum,
             WireError::NotTcp,
             WireError::BadTcpChecksum,
+            WireError::NotIcmpv6,
+            WireError::BadIcmpChecksum,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -5,7 +5,10 @@
 //! below is ~2⁸¹ addresses, so brute-force enumeration and uniform
 //! sampling are both dead on arrival — hitlist- and prefix-seeded plans
 //! are all there is. This example drives the full lifecycle against the
-//! packet-level engine every cycle, nothing analytic in the loop:
+//! packet-level engine every cycle, nothing analytic in the loop — at
+//! **wire level**: every probe is an encoded, checksum-validated 74-byte
+//! Ethernet/IPv6/TCP frame, and the v6 IANA blocklist guards every
+//! transmission (the same per-probe work a real v6 scanner performs):
 //!
 //! ```text
 //! Strategy<V6>::prepare → ProbePlan<V6> → ScanEngine::<V6>::run_plan
@@ -59,11 +62,12 @@ fn main() {
             let responder: Responder<V6> =
                 Responder::new().with_service(truth.protocol, truth.hosts.clone());
             let engine: ScanEngine<V6> = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
+            // full fidelity: real v6 frames, v6 IANA blocklist enforced
             let cfg = ScanConfig::for_port(truth.protocol.port())
                 .unlimited_rate()
                 .threads(4)
-                .blocklist(Blocklist::empty())
-                .wire_level(false);
+                .blocklist(Blocklist::iana_default())
+                .wire_level(true);
 
             let plan = prepared.plan(month);
             let report = engine
@@ -96,6 +100,8 @@ fn main() {
     println!(
         "\nThe point: over 2^81 addresses a uniform sample finds nothing, the t0\n\
          hitlist decays with churn, and the density-ranked /116 block selection\n\
-         (TASS transplanted to v6) holds its hitrate at a bounded probe budget."
+         (TASS transplanted to v6) holds its hitrate at a bounded probe budget —\n\
+         every probe above was a checksummed 74-byte v6 frame, sent only after\n\
+         clearing the IANA special-purpose blocklist."
     );
 }

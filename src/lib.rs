@@ -138,8 +138,40 @@
 //! assert!(sample.final_hitrate() < 1e-3);
 //! ```
 //!
+//! And the packet level is full-fidelity in both families: the wire
+//! codec is parameterised over the family, so `ScanEngine<V6>` encodes,
+//! transmits, parses, and checksum-validates genuine 74-byte
+//! Ethernet/IPv6/TCP frames, and the default `ScanConfig<V6>` enforces
+//! the IPv6 IANA special-purpose blocklist before every transmission:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tass::core::ProbePlan;
+//! use tass::model::{HostSet, Protocol};
+//! use tass::net::V6;
+//! use tass::scan::{Responder, ScanConfig, ScanEngine, SimNetwork};
+//!
+//! // three v6 hosts in global unicast answer HTTP
+//! let base = 0x2600u128 << 112;
+//! let hosts: Vec<u128> = vec![base + 1, base + 2, base + 3];
+//! let responder: Responder<V6> =
+//!     Responder::new().with_service(Protocol::Http, HostSet::from_addrs(hosts.clone()));
+//! let engine: ScanEngine<V6> = ScanEngine::new(Arc::new(SimNetwork::perfect(responder)));
+//!
+//! // defaults: wire_level = true, blocklist = the v6 IANA registry
+//! let cfg = ScanConfig::<V6>::for_port(80).unlimited_rate().threads(2);
+//! let targets: HostSet<V6> = hosts.into_iter().chain([1u128]).collect(); // plus ::1
+//! let report = engine
+//!     .run_plan(&ProbePlan::Addrs(targets), 0, &[], &cfg)
+//!     .unwrap();
+//! assert_eq!(report.responsive.len(), 3, "every live host found over real frames");
+//! assert_eq!(report.blocked_skipped, 1, "::1 is loopback: never probed");
+//! assert_eq!(report.validation_failures, 0);
+//! ```
+//!
 //! The full engine-driven loop (`Strategy<V6>` → `ProbePlan<V6>` →
-//! `ScanEngine::<V6>::run_plan` → `CycleOutcome`) is demonstrated in
+//! `ScanEngine::<V6>::run_plan` → `CycleOutcome`), at wire level with
+//! the v6 blocklist enforced, is demonstrated in
 //! `examples/ipv6_hitlist.rs` and exercised by `tests/ipv6_campaign.rs`;
 //! the `ipv6` exhibit prints the hitrate-vs-probes table.
 //!

@@ -1,12 +1,16 @@
 //! The IPv6 acceptance path, end to end: `Strategy<V6>` → `ProbePlan<V6>`
-//! → `ScanEngine::<V6>::run_plan`, with nonzero hitrate.
+//! → `ScanEngine::<V6>::run_plan`, at **wire level**, with nonzero
+//! hitrate.
 //!
 //! The generic address layer is only worth its type parameters if the
 //! *whole* prepare→plan→observe loop runs on v6 — seeding from a
 //! hitlist over a 2⁸⁰⁺-address seeded space, streaming typed plans
 //! through the packet-level engine, and feeding scan reports back. This
-//! suite drives exactly that, plus the engine invariants (thread-count
-//! independence, analytic agreement) at 128-bit width.
+//! suite drives exactly that with `wire_level = true`: every probe is an
+//! encoded, checksum-validated 74-byte Ethernet/IPv6/TCP frame, and the
+//! v6 IANA blocklist is enforced on every campaign. The engine
+//! invariants (thread-count independence, analytic agreement, blocklist
+//! suppression) are checked at 128-bit width.
 
 use std::sync::Arc;
 use tass::core::campaign::run_campaign_v6;
@@ -27,12 +31,13 @@ fn engine_for(truth: &tass::model::Snapshot<V6>) -> ScanEngine<V6> {
     ScanEngine::new(Arc::new(SimNetwork::perfect(responder)))
 }
 
-fn cfg() -> ScanConfig {
+fn cfg() -> ScanConfig<V6> {
+    // full fidelity: encoded/checksummed v6 frames, v6 IANA blocklist
     ScanConfig::for_port(Protocol::Http.port())
         .unlimited_rate()
         .threads(3)
-        .blocklist(Blocklist::empty())
-        .wire_level(false)
+        .blocklist(Blocklist::iana_default())
+        .wire_level(true)
 }
 
 /// Drive one strategy through the engine for every month; return the
@@ -142,6 +147,75 @@ fn v6_all_over_seeded_space_errors_before_probing() {
         .run_plan(&plan, 0, u.space().announced(), &cfg())
         .unwrap();
     assert_eq!(report.probes_sent, 1000);
+}
+
+#[test]
+fn v6_wire_and_logical_paths_agree() {
+    // the codec is a fidelity knob, not a semantics knob: the wire path
+    // (frames + checksums + stateless validation) must find exactly the
+    // hosts the logical path finds
+    let u = universe();
+    let t0 = u.snapshot(0);
+    let plan = ProbePlan::Prefixes(u.dense_blocks().to_vec());
+    let wire = engine_for(t0)
+        .run_plan(&plan, 0, u.space().announced(), &cfg())
+        .unwrap();
+    let logical = engine_for(t0)
+        .run_plan(&plan, 0, u.space().announced(), &cfg().wire_level(false))
+        .unwrap();
+    assert!(wire.probes_sent > 0);
+    assert_eq!(wire.responsive, logical.responsive);
+    assert_eq!(wire.probes_sent, logical.probes_sent);
+    assert_eq!(wire.rst_responses, logical.rst_responses);
+    assert_eq!(wire.validation_failures, 0, "self-built frames validate");
+}
+
+#[test]
+fn v6_iana_blocklist_suppresses_probes_to_reserved_space() {
+    // an engine-level guarantee: with the default v6 blocklist, probes
+    // aimed at IANA special-purpose space are counted and dropped
+    // *before* transmission, wire level or not
+    let u = universe();
+    let t0 = u.snapshot(0);
+    let live: Vec<u128> = t0.hosts.iter().take(64).collect();
+    let reserved: Vec<u128> = vec![
+        1,                           // ::1 loopback
+        0xFE80u128 << 112 | 0x99,    // link-local
+        0xFC00u128 << 112 | 7,       // unique-local
+        0xFF02u128 << 112 | 1,       // multicast
+        (0x2001_0db8u128 << 96) | 5, // documentation
+        (0x64_ff9bu128 << 96) | 2,   // 64:ff9b::/96 translation
+    ];
+    let hitlist: tass::model::HostSet<V6> = live.iter().chain(reserved.iter()).copied().collect();
+    let plan = ProbePlan::Addrs(hitlist);
+    let engine = engine_for(t0);
+    let report = engine
+        .run_plan(&plan, 0, u.space().announced(), &cfg())
+        .unwrap();
+    assert_eq!(
+        report.blocked_skipped,
+        reserved.len() as u64,
+        "every reserved target suppressed"
+    );
+    assert_eq!(report.probes_sent, live.len() as u64);
+    assert_eq!(
+        report.responsive.len(),
+        live.len(),
+        "live hosts still found"
+    );
+    // the network never saw a frame for blocked space
+    assert_eq!(engine.network().stats().frames_in, live.len() as u64);
+    // an empty blocklist would have probed them
+    let unblocked = engine_for(t0)
+        .run_plan(
+            &plan,
+            0,
+            u.space().announced(),
+            &cfg().blocklist(Blocklist::empty()),
+        )
+        .unwrap();
+    assert_eq!(unblocked.blocked_skipped, 0);
+    assert_eq!(unblocked.probes_sent, (live.len() + reserved.len()) as u64);
 }
 
 #[test]

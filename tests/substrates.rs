@@ -49,7 +49,7 @@ fn pfx2as_to_views_to_attribution() {
 
 #[test]
 fn iana_blocklist_protects_reserved_space() {
-    let bl = Blocklist::iana_default();
+    let bl: Blocklist = Blocklist::iana_default();
     let reserved = iana::reserved_set();
     // every reserved range boundary is blocked
     for e in iana::special_purpose_registry() {
