@@ -1,0 +1,91 @@
+//! Corpus I/O: the snapshot codec and the lazy month-load path.
+//!
+//! Three questions are measured:
+//!
+//! * **encode throughput** — serialising a host set to the binary
+//!   snapshot format, per family (4-byte v4 vs 16-byte v6 addresses);
+//! * **decode throughput** — parsing it back with full validation
+//!   (magic/family check, strict address ordering);
+//! * **month-load throughput** — what a replaying campaign actually
+//!   pays per month: `CorpusGroundTruth::load_snapshot` from disk
+//!   (decode + topology-agreement check) cold vs LRU-cached.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tass_model::corpus::{export_universe, CorpusGroundTruth};
+use tass_model::{GroundTruth, HostSet, Protocol, Snapshot, Universe, UniverseConfig};
+use tass_net::V6;
+
+const HOSTS: usize = 50_000;
+
+fn v4_snapshot() -> Snapshot {
+    let addrs: Vec<u32> = (0..HOSTS as u32).map(|i| i.wrapping_mul(85_733)).collect();
+    Snapshot::new(Protocol::Http, 3, HostSet::from_addrs(addrs))
+}
+
+fn v6_snapshot() -> Snapshot<V6> {
+    let addrs: Vec<u128> = (0..HOSTS as u128)
+        .map(|i| (0x2600u128 << 112) | i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    Snapshot::new(Protocol::Http, 3, HostSet::from_addrs(addrs))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_codec");
+    group.throughput(Throughput::Elements(HOSTS as u64));
+
+    let v4 = v4_snapshot();
+    group.bench_function("encode_v4_50k", |b| b.iter(|| black_box(&v4).encode()));
+    let v4_bytes = v4.encode();
+    group.bench_function("decode_v4_50k", |b| {
+        b.iter(|| Snapshot::<tass_net::V4>::decode(black_box(&v4_bytes)).expect("valid snapshot"))
+    });
+
+    let v6 = v6_snapshot();
+    group.bench_function("encode_v6_50k", |b| b.iter(|| black_box(&v6).encode()));
+    let v6_bytes = v6.encode();
+    group.bench_function("decode_v6_50k", |b| {
+        b.iter(|| Snapshot::<V6>::decode(black_box(&v6_bytes)).expect("valid snapshot"))
+    });
+
+    group.finish();
+}
+
+fn bench_month_load(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("tass-corpus-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let universe = Universe::generate(&UniverseConfig::small(0xBE9C));
+    export_universe(&universe, &dir).expect("corpus export");
+
+    let mut group = c.benchmark_group("corpus_month_load");
+    let t0_hosts = universe.snapshot(0, Protocol::Http).len() as u64;
+    group.throughput(Throughput::Elements(t0_hosts));
+
+    // capacity 1 + alternating months ⇒ every load hits the disk path
+    // (read + decode + topology check)
+    let cold = CorpusGroundTruth::with_cache_capacity(&dir, 1).expect("corpus open");
+    let mut month = 0u32;
+    group.bench_function("cold_disk_load", |b| {
+        b.iter(|| {
+            month = (month + 1) % 7;
+            cold.load_snapshot(black_box(month), Protocol::Http)
+                .expect("month loads")
+        })
+    });
+
+    // a warm cache serves pointer clones
+    let warm = CorpusGroundTruth::open(&dir).expect("corpus open");
+    warm.load_snapshot(0, Protocol::Http).expect("prime cache");
+    group.bench_function("warm_cache_load", |b| {
+        b.iter(|| {
+            warm.load_snapshot(black_box(0), Protocol::Http)
+                .expect("cached month loads")
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_codec, bench_month_load);
+criterion_main!(benches);

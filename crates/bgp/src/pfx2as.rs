@@ -150,19 +150,25 @@ pub fn read_table<R: BufRead>(reader: R) -> Result<RouteTable, Pfx2AsError> {
     Ok(RouteTable::from_announcements(read(reader)?))
 }
 
+/// One mapping line — the single place the output format lives, shared
+/// by [`write`] and [`write_table`] so reader and writers cannot diverge.
+fn write_line<W: Write>(w: &mut W, prefix: Prefix, origin: &Origin) -> io::Result<()> {
+    writeln!(
+        w,
+        "{}\t{}\t{}",
+        std::net::Ipv4Addr::from(prefix.addr()),
+        prefix.len(),
+        origin
+    )
+}
+
 /// Write announcements in pfx2as format (tab-separated, one per line).
 pub fn write<'a, W: Write, I>(mut w: W, announcements: I) -> io::Result<()>
 where
     I: IntoIterator<Item = &'a Announcement>,
 {
     for a in announcements {
-        writeln!(
-            w,
-            "{}\t{}\t{}",
-            std::net::Ipv4Addr::from(a.prefix.addr()),
-            a.prefix.len(),
-            a.origin
-        )?;
+        write_line(&mut w, a.prefix, &a.origin)?;
     }
     Ok(())
 }
@@ -174,6 +180,22 @@ where
 {
     let mut buf = Vec::new();
     write(&mut buf, announcements).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("pfx2as output is ASCII")
+}
+
+/// Write a whole [`RouteTable`] in pfx2as format (prefix order) — the
+/// inverse of [`read_table`], used by corpus exports.
+pub fn write_table<W: Write>(mut w: W, table: &RouteTable) -> io::Result<()> {
+    for (prefix, origin) in table.iter() {
+        write_line(&mut w, *prefix, origin)?;
+    }
+    Ok(())
+}
+
+/// Render a whole [`RouteTable`] to a pfx2as string.
+pub fn write_table_str(table: &RouteTable) -> String {
+    let mut buf = Vec::new();
+    write_table(&mut buf, table).expect("writing to Vec cannot fail");
     String::from_utf8(buf).expect("pfx2as output is ASCII")
 }
 
@@ -293,6 +315,17 @@ mod tests {
         let t = read_table(SAMPLE.as_bytes()).unwrap();
         assert_eq!(t.len(), 5);
         assert_eq!(t.origin_of(0x0100_0001).unwrap().primary(), 13335);
+    }
+
+    #[test]
+    fn write_table_roundtrips() {
+        let t = read_table(SAMPLE.as_bytes()).unwrap();
+        let text = write_table_str(&t);
+        let again = read_table(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), again.len());
+        for ((pa, oa), (pb, ob)) in t.iter().zip(again.iter()) {
+            assert_eq!((pa, oa), (pb, ob));
+        }
     }
 
     #[test]

@@ -18,14 +18,22 @@
 //! `CAMPAIGN_WORKERS` environment variable, default: all cores) and
 //! gathers results in input order — byte-identical to the serial path at
 //! any worker count.
+//!
+//! Nothing here reads the synthetic `Universe` concretely: every driver
+//! is generic over a [`GroundTruth`] source, so a corpus of real monthly
+//! scan snapshots ([`tass_model::corpus::CorpusGroundTruth`]) replays
+//! through the identical loop — `Universe`/`V6Universe` are simply the
+//! in-memory implementations, with unchanged behaviour (the pinned
+//! digest in `tests/matrix_parallel.rs` proves byte-identity).
 
 use crate::metrics::MonthEval;
 use crate::plan::CycleOutcome;
-use crate::strategy::{Strategy, StrategyKind};
+use crate::strategy::{FamilySpace, Strategy, StrategyKind};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use tass_model::{Protocol, Universe, V6Universe};
+use tass_model::{GroundTruth, Protocol};
+use tass_net::V6;
 
 /// The monthly series of one strategy over one protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,36 +81,41 @@ impl CampaignResult {
     }
 }
 
-/// Run one strategy's full lifecycle over all months of a universe for
-/// one protocol: prepare at t₀, then `plan → evaluate → observe` each
-/// month.
-pub fn run_campaign_strategy(
-    universe: &Universe,
-    strategy: &dyn Strategy,
+/// The family-generic campaign loop every public driver funnels into:
+/// prepare at t₀ from the source's seeding context, then
+/// `plan → evaluate → observe` for each month the source holds.
+fn drive_campaign<F, G>(
+    source: &G,
+    strategy: &dyn Strategy<F>,
     protocol: Protocol,
     seed: u64,
-) -> CampaignResult {
-    let topo = universe.topology();
-    let announced = topo.announced_space();
-    let t0 = universe.snapshot(0, protocol);
-    let mut prepared = strategy.prepare(topo, t0, seed);
-    let mut months = Vec::with_capacity(universe.months() as usize + 1);
-    for m in 0..=universe.months() {
-        let truth = universe.snapshot(m, protocol);
+) -> CampaignResult
+where
+    F: FamilySpace,
+    G: GroundTruth<F> + ?Sized,
+{
+    let space = source.topology();
+    let announced = F::announced_space(space);
+    let t0 = source.snapshot(0, protocol);
+    let mut prepared = strategy.prepare(space, &t0, seed);
+    let mut months = Vec::with_capacity(source.months() as usize + 1);
+    for m in 0..=source.months() {
+        let truth = source.snapshot(m, protocol);
         let plan = prepared.plan(m);
-        let eval = plan.evaluate(truth, m, announced);
+        let eval = plan.evaluate(&truth, m, announced);
         // materialising the cycle's responsive set is O(hosts); skip it
         // for static strategies whose observe() discards it anyway
         if prepared.wants_feedback() {
             let outcome = CycleOutcome {
                 cycle: m,
                 probes: eval.probes,
-                responsive: plan.observed(truth, m, announced),
+                responsive: plan.observed(&truth, m, announced),
             };
             prepared.observe(m, &outcome);
         }
         months.push(MonthEval { month: m, eval });
     }
+    let announced = F::wide_to_u128(announced);
     CampaignResult {
         strategy: strategy.label(),
         protocol,
@@ -116,56 +129,55 @@ pub fn run_campaign_strategy(
     }
 }
 
-/// Run one IPv6 strategy's full lifecycle over a seeded [`V6Universe`]:
-/// the same `prepare → plan → evaluate → observe` loop as
+/// Run one strategy's full lifecycle over all months of a ground-truth
+/// source for one protocol: prepare at t₀, then
+/// `plan → evaluate → observe` each month.
+///
+/// `source` is any [`GroundTruth`] — the synthetic `Universe`, a
+/// [`tass_model::corpus::CorpusGroundTruth`] replaying archived
+/// snapshots from disk, or a user-defined feed.
+pub fn run_campaign_strategy<G>(
+    source: &G,
+    strategy: &dyn Strategy,
+    protocol: Protocol,
+    seed: u64,
+) -> CampaignResult
+where
+    G: GroundTruth + ?Sized,
+{
+    drive_campaign(source, strategy, protocol, seed)
+}
+
+/// Run one IPv6 strategy's full lifecycle over a v6 [`GroundTruth`]
+/// source (e.g. the seeded `V6Universe`): the same
+/// `prepare → plan → evaluate → observe` loop as
 /// [`run_campaign_strategy`], seeded from the v6 space instead of a BGP
 /// topology. Results are directly comparable: hitrates are relative to
 /// the month's ground truth, probe costs are absolute address counts.
-pub fn run_campaign_v6(
-    universe: &V6Universe,
-    strategy: &dyn Strategy<tass_net::V6>,
-    seed: u64,
-) -> CampaignResult {
-    let announced = universe.space().announced_space();
-    let t0 = universe.snapshot(0);
-    let mut prepared = strategy.prepare(universe.space(), t0, seed);
-    let mut months = Vec::with_capacity(universe.months() as usize + 1);
-    for m in 0..=universe.months() {
-        let truth = universe.snapshot(m);
-        let plan = prepared.plan(m);
-        let eval = plan.evaluate(truth, m, announced);
-        if prepared.wants_feedback() {
-            let outcome = CycleOutcome {
-                cycle: m,
-                probes: eval.probes,
-                responsive: plan.observed(truth, m, announced),
-            };
-            prepared.observe(m, &outcome);
-        }
-        months.push(MonthEval { month: m, eval });
-    }
-    CampaignResult {
-        strategy: strategy.label(),
-        protocol: t0.protocol,
-        probes_per_cycle: months[0].eval.probes,
-        probe_space_fraction: if announced > 0 {
-            months[0].eval.probes as f64 / announced as f64
-        } else {
-            0.0
-        },
-        months,
-    }
+pub fn run_campaign_v6<G>(source: &G, strategy: &dyn Strategy<V6>, seed: u64) -> CampaignResult
+where
+    G: GroundTruth<V6> + ?Sized,
+{
+    let protocol = source
+        .protocols()
+        .first()
+        .copied()
+        .expect("a v6 ground-truth source holds at least one protocol");
+    drive_campaign(source, strategy, protocol, seed)
 }
 
-/// Run one registry strategy over all months of a universe for one
+/// Run one registry strategy over all months of a source for one
 /// protocol (convenience wrapper over [`run_campaign_strategy`]).
-pub fn run_campaign(
-    universe: &Universe,
+pub fn run_campaign<G>(
+    source: &G,
     kind: StrategyKind,
     protocol: Protocol,
     seed: u64,
-) -> CampaignResult {
-    run_campaign_strategy(universe, &*kind.strategy(), protocol, seed)
+) -> CampaignResult
+where
+    G: GroundTruth + ?Sized,
+{
+    run_campaign_strategy(source, &*kind.strategy(), protocol, seed)
 }
 
 /// A pool of campaign workers for sharding independent campaigns over
@@ -214,22 +226,27 @@ impl CampaignPool {
     }
 
     /// Run an explicit list of campaigns, one per `(strategy, protocol)`
-    /// job, returning results in job order.
+    /// job, returning results in job order. `source` is any
+    /// [`GroundTruth`] (sources are `Sync`, so one corpus or universe is
+    /// shared by every worker).
     ///
     /// Jobs are claimed dynamically (an atomic cursor, not round-robin)
     /// so uneven campaigns — a full scan next to a hitlist — balance
     /// across workers.
-    pub fn run_campaigns(
+    pub fn run_campaigns<G>(
         &self,
-        universe: &Universe,
+        source: &G,
         jobs: &[(StrategyKind, Protocol)],
         seed: u64,
-    ) -> Vec<CampaignResult> {
+    ) -> Vec<CampaignResult>
+    where
+        G: GroundTruth + ?Sized,
+    {
         let workers = self.workers.min(jobs.len());
         if workers <= 1 {
             return jobs
                 .iter()
-                .map(|&(kind, proto)| run_campaign(universe, kind, proto, seed))
+                .map(|&(kind, proto)| run_campaign(source, kind, proto, seed))
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
@@ -243,7 +260,7 @@ impl CampaignPool {
                     let Some(&(kind, proto)) = jobs.get(i) else {
                         break;
                     };
-                    let result = run_campaign(universe, kind, proto, seed);
+                    let result = run_campaign(source, kind, proto, seed);
                     if tx.send((i, result)).is_err() {
                         break;
                     }
@@ -261,19 +278,25 @@ impl CampaignPool {
         })
     }
 
-    /// Run several strategies over all four protocols on this pool;
-    /// results are ordered protocol-major, matching the serial loop.
-    pub fn run_matrix(
+    /// Run several strategies over every protocol the source holds, on
+    /// this pool; results are ordered protocol-major, matching the
+    /// serial loop (for a `Universe` that is all four paper protocols;
+    /// a corpus may carry fewer).
+    pub fn run_matrix<G>(
         &self,
-        universe: &Universe,
+        source: &G,
         kinds: &[StrategyKind],
         seed: u64,
-    ) -> Vec<CampaignResult> {
-        let jobs: Vec<(StrategyKind, Protocol)> = Protocol::ALL
-            .iter()
-            .flat_map(|&proto| kinds.iter().map(move |&kind| (kind, proto)))
+    ) -> Vec<CampaignResult>
+    where
+        G: GroundTruth + ?Sized,
+    {
+        let jobs: Vec<(StrategyKind, Protocol)> = source
+            .protocols()
+            .into_iter()
+            .flat_map(|proto| kinds.iter().map(move |&kind| (kind, proto)))
             .collect();
-        self.run_campaigns(universe, &jobs, seed)
+        self.run_campaigns(source, &jobs, seed)
     }
 }
 
@@ -283,12 +306,16 @@ impl Default for CampaignPool {
     }
 }
 
-/// Run several strategies over all four protocols, sharded over a
-/// [`CampaignPool::from_env`] worker pool (`CAMPAIGN_WORKERS` workers
-/// when set, all cores otherwise). Results are byte-identical to the
-/// serial loop at any worker count, in protocol-major input order.
-pub fn run_matrix(universe: &Universe, kinds: &[StrategyKind], seed: u64) -> Vec<CampaignResult> {
-    CampaignPool::from_env().run_matrix(universe, kinds, seed)
+/// Run several strategies over every protocol of a [`GroundTruth`]
+/// source, sharded over a [`CampaignPool::from_env`] worker pool
+/// (`CAMPAIGN_WORKERS` workers when set, all cores otherwise). Results
+/// are byte-identical to the serial loop at any worker count, in
+/// protocol-major input order.
+pub fn run_matrix<G>(source: &G, kinds: &[StrategyKind], seed: u64) -> Vec<CampaignResult>
+where
+    G: GroundTruth + ?Sized,
+{
+    CampaignPool::from_env().run_matrix(source, kinds, seed)
 }
 
 #[cfg(test)]
@@ -296,7 +323,7 @@ mod tests {
     use super::*;
     use crate::strategy::ReseedingTass;
     use tass_bgp::ViewKind;
-    use tass_model::UniverseConfig;
+    use tass_model::{Universe, UniverseConfig};
 
     fn universe() -> Universe {
         Universe::generate(&UniverseConfig::small(31))

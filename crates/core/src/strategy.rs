@@ -50,51 +50,11 @@ use tass_net::{AddrFamily, Prefix, V4, V6};
 
 pub use crate::plan::Eval;
 
-/// Binds an address family to its campaign **seeding context** — the
-/// object a [`Strategy`] ranks and selects over. IPv4 strategies seed
-/// from the BGP [`Topology`] (l/m views, announced space); IPv6
-/// strategies seed from the announced [`V6Space`] of /48–/64 operator
-/// prefixes, because there is no enumerable v6 routing view.
-///
-/// This is what lets one `Strategy` trait span both families while every
-/// pre-generic `impl Strategy for …` signature (`topo: &Topology`)
-/// continues to compile verbatim: for the default `F = V4`,
-/// `F::Space = Topology`.
-pub trait FamilySpace: AddrFamily {
-    /// The seeding context (`Topology` for v4, [`V6Space`] for v6).
-    type Space;
-
-    /// The announced prefixes of the space, sorted by address — what the
-    /// scan engine receives as the `announced` list.
-    fn announced_prefixes(space: &Self::Space) -> Vec<Prefix<Self>>;
-
-    /// Total announced address count.
-    fn announced_space(space: &Self::Space) -> Self::Wide;
-}
-
-impl FamilySpace for V4 {
-    type Space = Topology;
-
-    fn announced_prefixes(topo: &Topology) -> Vec<Prefix> {
-        topo.m_view.units().iter().map(|u| u.prefix).collect()
-    }
-
-    fn announced_space(topo: &Topology) -> u64 {
-        topo.announced_space()
-    }
-}
-
-impl FamilySpace for V6 {
-    type Space = V6Space;
-
-    fn announced_prefixes(space: &V6Space) -> Vec<Prefix<V6>> {
-        space.announced().to_vec()
-    }
-
-    fn announced_space(space: &V6Space) -> u128 {
-        space.announced_space()
-    }
-}
+/// The family → seeding-context binding. Lives in `tass_model::source`
+/// now (next to the [`tass_model::GroundTruth`] source trait that names
+/// it); re-exported here because the strategy lifecycle is where
+/// implementors meet it.
+pub use tass_model::FamilySpace;
 
 /// A scanning strategy: a recipe for seeding from a t₀ full scan,
 /// generic over the address family (default IPv4).

@@ -4,8 +4,8 @@
 //! repro [OPTIONS] [EXHIBIT ...]
 //!
 //! EXHIBIT      any of: calibration fig1 fig2 fig3 fig4 table1 sec34 fig5
-//!              fig6a fig6b efficiency ablation adaptive scan_validation
-//!              (default: all)
+//!              fig6a fig6b efficiency ablation adaptive pareto ipv6
+//!              corpus scan_validation (default: all)
 //!
 //! OPTIONS
 //!   --small          run at test scale (1K l-prefixes) instead of the

@@ -1,4 +1,4 @@
-//! `tass-select` — produce a TASS prefix selection from real scan data.
+//! `tass-select` — TASS selections and corpus replay for real scan data.
 //!
 //! ```text
 //! tass-select --pfx2as TABLE --responsive ADDRS [--phi 0.95]
@@ -9,45 +9,141 @@
 //!   --phi FLOAT         host-coverage target (default 0.95)
 //!   --view less|more    prefix granularity (default more)
 //!   --out FILE          write the whitelist there (default: stdout)
+//!
+//! tass-select replay --corpus DIR [--strategy SPEC]... [--seed N]
+//!                    [--csv FILE]
+//!
+//!   --corpus DIR        a corpus directory (corpus.manifest +
+//!                       topology.pfx2as + snapshots/, e.g. written by
+//!                       tass_model::corpus::export_universe or ingested
+//!                       from monthly scans via CorpusBuilder)
+//!   --strategy SPEC     a strategy to replay; repeatable. Specs:
+//!                       full-scan | ip-hitlist | tass:VIEW:PHI |
+//!                       random-sample:F | block24:F |
+//!                       random-prefix:VIEW:F |
+//!                       reseeding-tass:VIEW:PHI:DT |
+//!                       adaptive-tass:VIEW:PHI:EXPLORE
+//!                       (VIEW = less|more; default set: ip-hitlist +
+//!                       tass:more:0.95 + full-scan)
+//!   --seed N            campaign seed (default 1)
+//!   --csv FILE          also write per-month rows as CSV
 //! ```
 //!
-//! The output is a ZMap-compatible whitelist: one CIDR per line with a
-//! provenance header. Statistics go to stderr.
+//! Selection mode writes a ZMap-compatible whitelist (one CIDR per line
+//! with a provenance header; statistics on stderr). Replay mode runs
+//! every strategy over every protocol the corpus holds — the identical
+//! campaign lifecycle the simulation uses — and prints the
+//! hitrate/probe-cost table.
 
 use std::io::Write;
+use std::path::PathBuf;
 use tass_bgp::ViewKind;
-use tass_experiments::selectcli::{run_select, to_whitelist};
+use tass_core::strategy::StrategyKind;
+use tass_experiments::selectcli::{
+    parse_strategy, render_replay, replay_csv, run_replay, run_select, to_whitelist,
+};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        replay_main(&args[1..]);
+    } else {
+        select_main(&args);
+    }
+}
+
+fn replay_main(args: &[String]) {
+    let mut corpus: Option<PathBuf> = None;
+    let mut kinds: Vec<StrategyKind> = Vec::new();
+    let mut seed = 1u64;
+    let mut csv_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => corpus = Some(PathBuf::from(need(it.next(), "--corpus", "a directory"))),
+            "--strategy" => match parse_strategy(need(it.next(), "--strategy", "a spec")) {
+                Ok(k) => kinds.push(k),
+                Err(e) => die(&e.to_string()),
+            },
+            "--seed" => {
+                seed = need(it.next(), "--seed", "an integer")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            "--csv" => csv_path = Some(need(it.next(), "--csv", "a file path").clone()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tass-select replay --corpus DIR [--strategy SPEC]... \
+                     [--seed N] [--csv FILE]"
+                );
+                return;
+            }
+            other => die(&format!("unknown replay argument {other:?}")),
+        }
+    }
+    let corpus = corpus.unwrap_or_else(|| die("--corpus is required"));
+    if kinds.is_empty() {
+        kinds = vec![
+            StrategyKind::IpHitlist,
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+            },
+            StrategyKind::FullScan,
+        ];
+    }
+    let results = match run_replay(&corpus, &kinds, seed) {
+        Ok(r) => r,
+        Err(e) => die(&e.to_string()),
+    };
+    eprintln!(
+        "tass-select replay: {} campaigns ({} strategies x {} protocols) from {}",
+        results.len(),
+        kinds.len(),
+        results.len() / kinds.len().max(1),
+        corpus.display(),
+    );
+    print!("{}", render_replay(&results));
+    if let Some(p) = csv_path {
+        std::fs::write(&p, replay_csv(&results))
+            .unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
+    }
+}
+
+fn select_main(args: &[String]) {
     let mut pfx2as_path: Option<String> = None;
     let mut responsive_path: Option<String> = None;
     let mut phi = 0.95f64;
     let mut view = ViewKind::MoreSpecific;
     let mut out_path: Option<String> = None;
 
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--pfx2as" => pfx2as_path = args.next(),
-            "--responsive" => responsive_path = args.next(),
+            "--pfx2as" => pfx2as_path = Some(need(it.next(), "--pfx2as", "a file path").clone()),
+            "--responsive" => {
+                responsive_path = Some(need(it.next(), "--responsive", "a file path").clone())
+            }
             "--phi" => {
-                phi = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--phi needs a float"));
+                phi = need(it.next(), "--phi", "a float")
+                    .parse()
+                    .unwrap_or_else(|_| die("--phi needs a float"));
             }
             "--view" => {
-                view = match args.next().as_deref() {
-                    Some("less") => ViewKind::LessSpecific,
-                    Some("more") => ViewKind::MoreSpecific,
+                view = match need(it.next(), "--view", "less|more").as_str() {
+                    "less" => ViewKind::LessSpecific,
+                    "more" => ViewKind::MoreSpecific,
                     other => die(&format!("--view must be less|more, got {other:?}")),
                 };
             }
-            "--out" => out_path = args.next(),
+            "--out" => out_path = Some(need(it.next(), "--out", "a file path").clone()),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: tass-select --pfx2as TABLE --responsive ADDRS \
-                     [--phi 0.95] [--view less|more] [--out FILE]"
+                     [--phi 0.95] [--view less|more] [--out FILE]\n\
+                     \x20      tass-select replay --corpus DIR [--strategy SPEC]... \
+                     [--seed N] [--csv FILE]"
                 );
                 return;
             }
@@ -83,6 +179,12 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("cannot write {p}: {e}"))),
         None => print!("{whitelist}"),
     }
+}
+
+/// A flag's value, or die naming the flag — a trailing `--csv` with the
+/// value forgotten must be an error, not a silently ignored option.
+fn need<'a>(value: Option<&'a String>, flag: &str, what: &str) -> &'a String {
+    value.unwrap_or_else(|| die(&format!("{flag} needs {what}")))
 }
 
 fn die(msg: &str) -> ! {

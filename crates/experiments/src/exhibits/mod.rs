@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod adaptive;
 pub mod calibration;
+pub mod corpus;
 pub mod efficiency;
 pub mod fig1;
 pub mod fig2;
@@ -11,6 +12,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod ipv6;
+pub mod pareto;
 pub mod scan_validation;
 pub mod sec34;
 pub mod table1;
@@ -36,7 +38,9 @@ pub fn all() -> Vec<(&'static str, ExhibitFn)> {
         ("efficiency", efficiency::run as ExhibitFn),
         ("ablation", ablation::run as ExhibitFn),
         ("adaptive", adaptive::run as ExhibitFn),
+        ("pareto", pareto::run as ExhibitFn),
         ("ipv6", ipv6::run as ExhibitFn),
+        ("corpus", corpus::run as ExhibitFn),
         ("scan_validation", scan_validation::run as ExhibitFn),
     ]
 }

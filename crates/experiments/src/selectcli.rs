@@ -7,10 +7,14 @@
 //! a whitelist.
 
 use std::fmt;
+use std::path::Path;
 use tass_bgp::{pfx2as, View, ViewKind};
+use tass_core::campaign::{CampaignPool, CampaignResult};
 use tass_core::density::rank_units;
 use tass_core::plan::ProbePlan;
 use tass_core::select::{select_prefixes, Selection};
+use tass_core::strategy::{ReseedingTass, StrategyKind};
+use tass_model::corpus::{AddressListError, CorpusError, CorpusGroundTruth};
 use tass_model::HostSet;
 
 /// Errors surfaced to the CLI user.
@@ -18,59 +22,65 @@ use tass_model::HostSet;
 pub enum CliError {
     /// The pfx2as input failed to parse.
     Pfx2As(pfx2as::Pfx2AsError),
-    /// An address line failed to parse.
-    BadAddress {
-        /// 1-based line number.
-        line: usize,
-        /// The offending text.
-        text: String,
-    },
+    /// An address line failed to parse — carries the 1-based line, the
+    /// offending text, and the parse failure (`BlocklistParseError`
+    /// style).
+    BadAddress(AddressListError),
     /// φ outside `[0, 1]`.
     BadPhi(f64),
     /// The routing table parsed but is empty.
     EmptyTable,
     /// No responsive addresses were attributable to the table.
     NoResponsiveHosts,
+    /// A `--strategy` argument did not parse (see [`parse_strategy`]).
+    BadStrategy {
+        /// The argument text.
+        text: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The replay corpus failed to open or load.
+    Corpus(CorpusError),
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Pfx2As(e) => write!(f, "{e}"),
-            CliError::BadAddress { line, text } => {
-                write!(f, "address list line {line}: cannot parse {text:?}")
-            }
+            CliError::BadAddress(e) => write!(f, "{e}"),
             CliError::BadPhi(phi) => write!(f, "phi {phi} must be within [0, 1]"),
             CliError::EmptyTable => write!(f, "routing table is empty"),
             CliError::NoResponsiveHosts => {
                 write!(f, "no responsive address falls inside the routing table")
             }
+            CliError::BadStrategy { text, reason } => {
+                write!(f, "bad strategy {text:?}: {reason}")
+            }
+            CliError::Corpus(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Pfx2As(e) => Some(e),
+            CliError::BadAddress(e) => Some(e),
+            CliError::Corpus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Parse a responsive-address list: one dotted-quad per line, blank lines
 /// and `#` comments ignored.
+///
+/// This is [`tass_model::corpus::parse_address_list`] (the same reader
+/// corpus ingestion uses) with the error wrapped for the CLI: failures
+/// carry the 1-based line number, the offending text, and the underlying
+/// parse error — an IPv6 literal in the v4 list names its exact line.
 pub fn parse_address_list(text: &str) -> Result<HostSet, CliError> {
-    let mut addrs = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line = match raw.split_once('#') {
-            Some((before, _)) => before,
-            None => raw,
-        }
-        .trim();
-        if line.is_empty() {
-            continue;
-        }
-        let a: std::net::Ipv4Addr = line.parse().map_err(|_| CliError::BadAddress {
-            line: i + 1,
-            text: line.to_string(),
-        })?;
-        addrs.push(u32::from(a));
-    }
-    Ok(HostSet::from_addrs(addrs))
+    tass_model::corpus::parse_address_list(text).map_err(CliError::BadAddress)
 }
 
 /// The selection plus the numbers a CLI run reports.
@@ -126,6 +136,147 @@ impl SelectOutcome {
     pub fn probe_plan(&self) -> ProbePlan {
         ProbePlan::Prefixes(self.selection.sorted_prefixes())
     }
+}
+
+/// Parse a strategy spec from the CLI (`--strategy`): the registry's
+/// whole [`StrategyKind`] surface in a compact colon-separated form.
+///
+/// ```text
+/// full-scan                      ip-hitlist
+/// tass:<less|more>:<phi>         random-sample:<fraction>
+/// block24:<fraction>             random-prefix:<less|more>:<fraction>
+/// reseeding-tass:<less|more>:<phi>:<dt|never>
+/// adaptive-tass:<less|more>:<phi>:<explore>
+/// ```
+pub fn parse_strategy(text: &str) -> Result<StrategyKind, CliError> {
+    let bad = |reason: &str| CliError::BadStrategy {
+        text: text.to_string(),
+        reason: reason.to_string(),
+    };
+    let parts: Vec<&str> = text.split(':').collect();
+    let view = |s: &str| match s {
+        "less" => Ok(ViewKind::LessSpecific),
+        "more" => Ok(ViewKind::MoreSpecific),
+        _ => Err(bad("view must be `less` or `more`")),
+    };
+    // every numeric parameter of the registry is a fraction of hosts or
+    // space: reject NaN and out-of-range here, with the same [0, 1]
+    // contract selection mode enforces via BadPhi — a NaN phi would
+    // otherwise run and silently select nothing
+    let num = |s: &str, what: &str| {
+        let v: f64 = s
+            .parse()
+            .map_err(|_| bad(&format!("{what} must be a number")))?;
+        if !(0.0..=1.0).contains(&v) || v.is_nan() {
+            return Err(bad(&format!("{what} must be within [0, 1]")));
+        }
+        Ok(v)
+    };
+    match parts.as_slice() {
+        ["full-scan"] => Ok(StrategyKind::FullScan),
+        ["ip-hitlist"] => Ok(StrategyKind::IpHitlist),
+        ["tass", v, phi] => Ok(StrategyKind::Tass {
+            view: view(v)?,
+            phi: num(phi, "phi")?,
+        }),
+        ["random-sample", f] => Ok(StrategyKind::RandomSample {
+            fraction: num(f, "fraction")?,
+        }),
+        ["block24", f] => Ok(StrategyKind::Block24Sample {
+            fraction: num(f, "fraction")?,
+        }),
+        ["random-prefix", v, f] => Ok(StrategyKind::RandomPrefix {
+            view: view(v)?,
+            space_fraction: num(f, "fraction")?,
+        }),
+        ["reseeding-tass", v, phi, dt] => Ok(StrategyKind::ReseedingTass {
+            view: view(v)?,
+            phi: num(phi, "phi")?,
+            delta_t: if *dt == "never" {
+                ReseedingTass::NEVER
+            } else {
+                dt.parse::<u32>()
+                    .map_err(|_| bad("dt must be an integer or `never`"))?
+            },
+        }),
+        ["adaptive-tass", v, phi, explore] => Ok(StrategyKind::AdaptiveTass {
+            view: view(v)?,
+            phi: num(phi, "phi")?,
+            explore: num(explore, "explore")?,
+        }),
+        _ => Err(bad(
+            "expected full-scan | ip-hitlist | tass:VIEW:PHI | random-sample:F | \
+             block24:F | random-prefix:VIEW:F | reseeding-tass:VIEW:PHI:DT | \
+             adaptive-tass:VIEW:PHI:EXPLORE",
+        )),
+    }
+}
+
+/// Replay a corpus directory through the pooled campaign matrix: every
+/// given strategy over every protocol the corpus holds, exactly the
+/// lifecycle loop the simulation runs — the corpus is just another
+/// [`tass_model::GroundTruth`] source.
+///
+/// The corpus is [`validate`](CorpusGroundTruth::validate)d up front, so
+/// a truncated, mislabelled, or topology-disagreeing snapshot file is a
+/// typed [`CliError::Corpus`] here — never a panic inside a campaign
+/// worker thread (the campaign driver itself uses the infallible
+/// snapshot path).
+pub fn run_replay(
+    corpus_dir: &Path,
+    kinds: &[StrategyKind],
+    seed: u64,
+) -> Result<Vec<CampaignResult>, CliError> {
+    let corpus = CorpusGroundTruth::open(corpus_dir).map_err(CliError::Corpus)?;
+    corpus.validate().map_err(CliError::Corpus)?;
+    Ok(CampaignPool::from_env().run_matrix(&corpus, kinds, seed))
+}
+
+/// Render replayed campaign results as an aligned table: one row per
+/// `(protocol, strategy)` with probe cost and the hitrate at months
+/// 0/1/3/final.
+pub fn render_replay(results: &[CampaignResult]) -> String {
+    let mut t = crate::table::TextTable::new([
+        "protocol",
+        "strategy",
+        "probes/cycle",
+        "hit@0",
+        "hit@1",
+        "hit@3",
+        "hit@final",
+    ]);
+    for r in results {
+        t.row([
+            r.protocol.name().to_string(),
+            r.strategy.clone(),
+            format!("{:.0}", r.avg_probes_per_cycle()),
+            format!("{:.4}", r.hitrate(0)),
+            format!("{:.4}", r.hitrate(1)),
+            format!("{:.4}", r.hitrate(3)),
+            format!("{:.4}", r.final_hitrate()),
+        ]);
+    }
+    t.render()
+}
+
+/// Replayed results as CSV (`protocol,strategy,month,hitrate,probes`),
+/// one row per campaign month — the machine-readable companion of
+/// [`render_replay`].
+pub fn replay_csv(results: &[CampaignResult]) -> String {
+    let mut t =
+        crate::table::TextTable::new(["protocol", "strategy", "month", "hitrate", "probes"]);
+    for r in results {
+        for m in &r.months {
+            t.row([
+                r.protocol.name().to_string(),
+                r.strategy.clone(),
+                m.month.to_string(),
+                format!("{:.6}", m.eval.hitrate),
+                m.eval.probes.to_string(),
+            ]);
+        }
+    }
+    t.to_csv()
 }
 
 /// Render the selected prefixes as a ZMap-compatible whitelist (one CIDR
@@ -209,7 +360,7 @@ mod tests {
         ));
         assert!(matches!(
             run_select(TABLE, "not-an-ip\n", ViewKind::LessSpecific, 0.5),
-            Err(CliError::BadAddress { line: 1, .. })
+            Err(CliError::BadAddress(AddressListError { line: 1, .. }))
         ));
         assert!(matches!(
             run_select(TABLE, "1.2.3.4\n", ViewKind::LessSpecific, 1.5),
@@ -229,13 +380,149 @@ mod tests {
             CliError::BadPhi(2.0),
             CliError::EmptyTable,
             CliError::NoResponsiveHosts,
-            CliError::BadAddress {
-                line: 3,
+            CliError::BadStrategy {
                 text: "x".into(),
+                reason: "y".into(),
             },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn address_errors_carry_line_context() {
+        // regression: errors used to drop everything but a line number;
+        // they now carry line, text, and source in the blocklist style
+        let err = parse_address_list("1.2.3.4\n\n999.1.2.3\n").unwrap_err();
+        let CliError::BadAddress(e) = err else {
+            panic!("expected BadAddress");
+        };
+        assert_eq!(e.line, 3);
+        assert_eq!(e.text, "999.1.2.3");
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("999.1.2.3"));
+        use std::error::Error as _;
+        assert!(e.source().is_some(), "underlying NetError is chained");
+    }
+
+    #[test]
+    fn v6_line_in_v4_list_names_its_line() {
+        let err = parse_address_list("10.0.0.1\n2001:db8::5\n10.0.0.2\n").unwrap_err();
+        let CliError::BadAddress(e) = err else {
+            panic!("expected BadAddress");
+        };
+        assert_eq!(e.line, 2);
+        assert_eq!(e.text, "2001:db8::5");
+        assert!(e.to_string().contains("2001:db8::5"));
+    }
+
+    #[test]
+    fn strategy_specs_cover_the_registry() {
+        assert_eq!(parse_strategy("full-scan").unwrap(), StrategyKind::FullScan);
+        assert_eq!(
+            parse_strategy("ip-hitlist").unwrap(),
+            StrategyKind::IpHitlist
+        );
+        assert_eq!(
+            parse_strategy("tass:more:0.95").unwrap(),
+            StrategyKind::Tass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95
+            }
+        );
+        assert_eq!(
+            parse_strategy("random-sample:0.05").unwrap(),
+            StrategyKind::RandomSample { fraction: 0.05 }
+        );
+        assert_eq!(
+            parse_strategy("block24:0.01").unwrap(),
+            StrategyKind::Block24Sample { fraction: 0.01 }
+        );
+        assert_eq!(
+            parse_strategy("random-prefix:less:0.2").unwrap(),
+            StrategyKind::RandomPrefix {
+                view: ViewKind::LessSpecific,
+                space_fraction: 0.2
+            }
+        );
+        assert_eq!(
+            parse_strategy("reseeding-tass:more:0.95:3").unwrap(),
+            StrategyKind::ReseedingTass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+                delta_t: 3
+            }
+        );
+        assert_eq!(
+            parse_strategy("reseeding-tass:less:1:never").unwrap(),
+            StrategyKind::ReseedingTass {
+                view: ViewKind::LessSpecific,
+                phi: 1.0,
+                delta_t: ReseedingTass::NEVER
+            }
+        );
+        assert_eq!(
+            parse_strategy("adaptive-tass:more:0.95:0.1").unwrap(),
+            StrategyKind::AdaptiveTass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+                explore: 0.1
+            }
+        );
+        for bad in [
+            "nope",
+            "tass",
+            "tass:sideways:0.9",
+            "tass:more:phi",
+            "tass:more:NaN",
+            "tass:more:1.5",
+            "random-sample:-0.5",
+            "adaptive-tass:more:0.95:inf",
+            "reseeding-tass:more:0.9:soon",
+        ] {
+            assert!(
+                matches!(parse_strategy(bad), Err(CliError::BadStrategy { .. })),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_drives_a_corpus_end_to_end() {
+        use tass_model::{export_universe, Universe, UniverseConfig};
+        let u = Universe::generate(&UniverseConfig::small(23));
+        let dir =
+            std::env::temp_dir().join(format!("tass-selectcli-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        export_universe(&u, &dir).unwrap();
+        let kinds = [
+            StrategyKind::IpHitlist,
+            parse_strategy("tass:more:0.95").unwrap(),
+        ];
+        let replayed = run_replay(&dir, &kinds, 23).unwrap();
+        let direct = CampaignPool::from_env().run_matrix(&u, &kinds, 23);
+        assert_eq!(replayed, direct, "replay must equal the direct run");
+        let table = render_replay(&replayed);
+        assert!(table.contains("HTTP") && table.contains("ip-hitlist"));
+        let csv = replay_csv(&replayed);
+        assert!(csv.lines().count() > replayed.len(), "one line per month");
+        // a corpus that went bad after export (truncated snapshot file)
+        // is a typed error from the up-front validate, not a worker panic
+        let snap_path = dir.join("snapshots/m2-http.snap");
+        let bytes = std::fs::read(&snap_path).unwrap();
+        std::fs::write(&snap_path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(
+            run_replay(&dir, &kinds, 23),
+            Err(CliError::Corpus(
+                tass_model::corpus::CorpusError::Decode { .. }
+            ))
+        ));
+        // a missing directory is a typed error too
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(
+            run_replay(&dir, &kinds, 23),
+            Err(CliError::Corpus(_))
+        ));
     }
 
     #[test]

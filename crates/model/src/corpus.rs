@@ -1,0 +1,835 @@
+//! On-disk scan corpora: the paper's "directory of monthly snapshots",
+//! versioned and replayable.
+//!
+//! The paper's evaluation input is a corpus of real monthly full scans
+//! over a CAIDA routing table. This module gives that corpus a concrete,
+//! versioned on-disk layout and a lazy [`GroundTruth`] implementation
+//! over it, so the same campaign loop that drives the synthetic
+//! [`Universe`] replays archived data unmodified:
+//!
+//! ```text
+//! corpus-dir/
+//!   corpus.manifest       # versioned index (text, see CorpusManifest)
+//!   topology.pfx2as       # CAIDA pfx2as routing table (tass-bgp reads it)
+//!   snapshots/
+//!     m0-ftp.snap         # Snapshot::encode binary, one per (month, proto)
+//!     m0-http.snap
+//!     …
+//! ```
+//!
+//! Three ways in:
+//!
+//! * [`export_universe`] — serialise a generated [`Universe`] (the
+//!   round-trip path the `corpus` exhibit proves lossless);
+//! * [`CorpusBuilder`] — incremental ingestion of real data: a pfx2as
+//!   table plus per-month binary snapshots or **plain-text address
+//!   lists** (one address per line, the format full-scan tools emit),
+//!   parsed by [`parse_address_list`] with line-context errors;
+//! * hand-written — the manifest is plain text and the snapshot codec is
+//!   [`Snapshot::encode`]/[`Snapshot::decode`].
+//!
+//! And one way out: [`CorpusGroundTruth::open`] validates the manifest
+//! (version, completeness: every `(month, protocol)` cell present
+//! exactly once), builds the [`Topology`] from the pfx2as table, and
+//! then decodes **one month at a time on demand**, holding a small LRU
+//! of decoded months — a multi-terabyte corpus never materialises in
+//! memory. Every failure mode is a typed [`CorpusError`] on the fallible
+//! API ([`GroundTruth::load_snapshot`], [`CorpusGroundTruth::validate`]);
+//! run `validate()` before handing a corpus of unknown provenance to the
+//! campaign driver, whose convenience `snapshot()` path panics on load
+//! errors like `Universe::snapshot` always has (the `tass-select replay`
+//! CLI does exactly this, so bad corpora surface as errors, not panics).
+
+use crate::protocol::Protocol;
+use crate::snapshot::{DecodeError, HostSet, Snapshot};
+use crate::source::GroundTruth;
+use crate::topology::Topology;
+use crate::universe::Universe;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use tass_bgp::{pfx2as, RouteTable, SynthTable};
+use tass_net::{AddrFamily, NetError, V4};
+
+/// Manifest file name inside a corpus directory.
+pub const MANIFEST_FILE: &str = "corpus.manifest";
+/// Topology file name inside a corpus directory.
+pub const TOPOLOGY_FILE: &str = "topology.pfx2as";
+/// Snapshot subdirectory inside a corpus directory.
+pub const SNAPSHOT_DIR: &str = "snapshots";
+/// The on-disk layout version this build reads and writes.
+pub const CORPUS_VERSION: u32 = 1;
+
+/// How many decoded months [`CorpusGroundTruth`] retains by default.
+///
+/// A campaign walks months in order, so a handful of cached snapshots
+/// serves matrices of many strategies over the same corpus; raise it
+/// with [`CorpusGroundTruth::with_cache_capacity`] when many protocols
+/// interleave.
+pub const DEFAULT_CACHE_SNAPSHOTS: usize = 8;
+
+// ---------------------------------------------------------------- errors
+
+/// A line of a plain-text address list that did not parse, in the same
+/// line-context style as `tass_scan::BlocklistParseError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressListError {
+    /// 1-based line number of the bad entry.
+    pub line: usize,
+    /// The offending text (trimmed, comments stripped).
+    pub text: String,
+    /// Why it did not parse as an address of the list's family.
+    pub error: NetError,
+}
+
+impl fmt::Display for AddressListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "address list line {}: {:?}: {}",
+            self.line, self.text, self.error
+        )
+    }
+}
+
+impl std::error::Error for AddressListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Everything that can go wrong ingesting, validating, or replaying a
+/// corpus. Every variant is a condition real archived data exhibits;
+/// none of them panics the replay loop.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// A manifest line did not parse.
+    Manifest {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The manifest declares a layout version this build does not read.
+    UnsupportedVersion(u32),
+    /// The pfx2as topology file did not parse.
+    Pfx2As(pfx2as::Pfx2AsError),
+    /// The topology parsed but contains no announcements.
+    EmptyTopology,
+    /// A snapshot file failed to decode.
+    Decode {
+        /// The snapshot file.
+        path: PathBuf,
+        /// The codec error.
+        source: DecodeError,
+    },
+    /// A snapshot file decoded, but its header disagrees with the
+    /// manifest slot pointing at it (wrong month or protocol — a sign of
+    /// swapped or mislabelled files).
+    SnapshotHeaderMismatch {
+        /// The snapshot file.
+        path: PathBuf,
+        /// Month the manifest expects.
+        expected_month: u32,
+        /// Protocol the manifest expects.
+        expected_protocol: Protocol,
+        /// Month the file header carries.
+        found_month: u32,
+        /// Protocol the file header carries.
+        found_protocol: Protocol,
+    },
+    /// A `(month, protocol)` cell has no snapshot (in the manifest, or
+    /// asked of a source that does not reach that month).
+    MissingMonth {
+        /// The missing month.
+        month: u32,
+        /// The protocol asked for.
+        protocol: Protocol,
+    },
+    /// Two snapshots claim the same `(month, protocol)` cell.
+    DuplicateSnapshot {
+        /// The duplicated month.
+        month: u32,
+        /// The duplicated protocol.
+        protocol: Protocol,
+    },
+    /// The source has no snapshots for this protocol at all.
+    MissingProtocol {
+        /// The absent protocol.
+        protocol: Protocol,
+    },
+    /// A snapshot carries a responsive host outside the announced space
+    /// of the corpus topology — the snapshots and the routing table are
+    /// not from the same measurement.
+    TopologyMismatch {
+        /// Month of the offending snapshot.
+        month: u32,
+        /// Protocol of the offending snapshot.
+        protocol: Protocol,
+        /// The first offending address, rendered.
+        addr: String,
+    },
+    /// A plain-text address list failed to parse during ingestion.
+    AddressList(AddressListError),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, message } => {
+                write!(f, "corpus: {}: {message}", path.display())
+            }
+            CorpusError::Manifest { line, text, reason } => {
+                write!(f, "corpus manifest line {line}: {text:?}: {reason}")
+            }
+            CorpusError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "corpus: unsupported layout version {v} (this build reads {CORPUS_VERSION})"
+                )
+            }
+            CorpusError::Pfx2As(e) => write!(f, "corpus topology: {e}"),
+            CorpusError::EmptyTopology => write!(f, "corpus topology has no announcements"),
+            CorpusError::Decode { path, source } => {
+                write!(f, "corpus: {}: {source}", path.display())
+            }
+            CorpusError::SnapshotHeaderMismatch {
+                path,
+                expected_month,
+                expected_protocol,
+                found_month,
+                found_protocol,
+            } => write!(
+                f,
+                "corpus: {}: manifest says month {expected_month} {expected_protocol}, \
+                 file header says month {found_month} {found_protocol}",
+                path.display()
+            ),
+            CorpusError::MissingMonth { month, protocol } => {
+                write!(f, "corpus: no snapshot for month {month} {protocol}")
+            }
+            CorpusError::DuplicateSnapshot { month, protocol } => {
+                write!(f, "corpus: duplicate snapshot for month {month} {protocol}")
+            }
+            CorpusError::MissingProtocol { protocol } => {
+                write!(f, "corpus: no snapshots for protocol {protocol}")
+            }
+            CorpusError::TopologyMismatch {
+                month,
+                protocol,
+                addr,
+            } => write!(
+                f,
+                "corpus: month {month} {protocol} host {addr} is outside the \
+                 corpus topology's announced space"
+            ),
+            CorpusError::AddressList(e) => write!(f, "corpus: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Pfx2As(e) => Some(e),
+            CorpusError::Decode { source, .. } => Some(source),
+            CorpusError::AddressList(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> CorpusError {
+    CorpusError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    }
+}
+
+// ------------------------------------------------------- address lists
+
+/// Parse a plain-text responsive-address list of any family: one address
+/// per line, blank lines and `#` comments (whole-line or trailing)
+/// ignored — the format full-scan tools like ZMap emit.
+///
+/// Errors carry the 1-based line number, the offending text, and the
+/// parse failure, in the `BlocklistParseError` style: an IPv6 literal in
+/// an IPv4 list names exactly the line that does not belong.
+pub fn parse_address_list_family<F: AddrFamily>(
+    text: &str,
+) -> Result<HostSet<F>, AddressListError> {
+    let mut addrs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before,
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        match F::parse_addr(line) {
+            Some(a) => addrs.push(a),
+            None => {
+                return Err(AddressListError {
+                    line: i + 1,
+                    text: line.to_string(),
+                    error: NetError::ParseError(line.to_string()),
+                })
+            }
+        }
+    }
+    Ok(HostSet::from_addrs(addrs))
+}
+
+/// [`parse_address_list_family`] for the common IPv4 case.
+pub fn parse_address_list(text: &str) -> Result<HostSet, AddressListError> {
+    parse_address_list_family::<V4>(text)
+}
+
+// ------------------------------------------------------------ manifest
+
+/// The parsed corpus index: what months, protocols, and files a corpus
+/// directory holds. Serialised as a plain-text file
+/// ([`MANIFEST_FILE`]):
+///
+/// ```text
+/// tass-corpus 1
+/// months 6
+/// protocols ftp http https cwmp
+/// topology topology.pfx2as
+/// snapshot 0 ftp snapshots/m0-ftp.snap
+/// …
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusManifest {
+    /// Layout version (see [`CORPUS_VERSION`]).
+    pub version: u32,
+    /// Months after t₀ (snapshots per protocol = `months + 1`).
+    pub months: u32,
+    /// Protocols the corpus covers, in manifest order.
+    pub protocols: Vec<Protocol>,
+    /// Topology file path, relative to the corpus directory.
+    pub topology: String,
+    /// Snapshot file paths by `(month, protocol)`, relative to the
+    /// corpus directory.
+    pub snapshots: BTreeMap<(u32, Protocol), String>,
+}
+
+impl CorpusManifest {
+    /// Parse the manifest text format. Structural problems (bad
+    /// directives, duplicate cells) are [`CorpusError::Manifest`] /
+    /// [`CorpusError::DuplicateSnapshot`]; completeness is checked
+    /// separately by [`CorpusManifest::check_complete`].
+    pub fn parse(text: &str) -> Result<CorpusManifest, CorpusError> {
+        let err = |line: usize, text: &str, reason: &str| CorpusError::Manifest {
+            line,
+            text: text.to_string(),
+            reason: reason.to_string(),
+        };
+        let mut lines = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let t = raw.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            lines.push((i + 1, t));
+        }
+        let Some(&(first_no, first)) = lines.first() else {
+            return Err(err(1, "", "empty manifest"));
+        };
+        let version = match first.strip_prefix("tass-corpus ") {
+            Some(v) => v
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| err(first_no, first, "bad version number"))?,
+            None => {
+                return Err(err(
+                    first_no,
+                    first,
+                    "expected `tass-corpus <version>` header",
+                ))
+            }
+        };
+        if version != CORPUS_VERSION {
+            return Err(CorpusError::UnsupportedVersion(version));
+        }
+
+        let mut months: Option<u32> = None;
+        let mut protocols: Vec<Protocol> = Vec::new();
+        let mut topology: Option<String> = None;
+        let mut snapshots: BTreeMap<(u32, Protocol), String> = BTreeMap::new();
+        for &(no, line) in &lines[1..] {
+            let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let rest = rest.trim();
+            match directive {
+                "months" => {
+                    months = Some(rest.parse().map_err(|_| err(no, line, "bad month count"))?);
+                }
+                "protocols" => {
+                    for tag in rest.split_whitespace() {
+                        let p: Protocol =
+                            tag.parse().map_err(|_| err(no, line, "unknown protocol"))?;
+                        if protocols.contains(&p) {
+                            return Err(err(no, line, "protocol listed twice"));
+                        }
+                        protocols.push(p);
+                    }
+                }
+                "topology" => {
+                    if rest.is_empty() {
+                        return Err(err(no, line, "missing topology path"));
+                    }
+                    topology = Some(rest.to_string());
+                }
+                "snapshot" => {
+                    let fields: Vec<&str> = rest.split_whitespace().collect();
+                    let [month, proto, path] = fields.as_slice() else {
+                        return Err(err(no, line, "expected `snapshot <month> <proto> <path>`"));
+                    };
+                    let month: u32 = month.parse().map_err(|_| err(no, line, "bad month"))?;
+                    let proto: Protocol = proto
+                        .parse()
+                        .map_err(|_| err(no, line, "unknown protocol"))?;
+                    if snapshots.insert((month, proto), path.to_string()).is_some() {
+                        return Err(CorpusError::DuplicateSnapshot {
+                            month,
+                            protocol: proto,
+                        });
+                    }
+                }
+                _ => return Err(err(no, line, "unknown directive")),
+            }
+        }
+        let months = months.ok_or_else(|| err(first_no, first, "missing `months` directive"))?;
+        let topology =
+            topology.ok_or_else(|| err(first_no, first, "missing `topology` directive"))?;
+        if protocols.is_empty() {
+            return Err(err(first_no, first, "missing `protocols` directive"));
+        }
+        Ok(CorpusManifest {
+            version,
+            months,
+            protocols,
+            topology,
+            snapshots,
+        })
+    }
+
+    /// Check the month × protocol matrix is fully populated: every
+    /// `(0..=months, protocol)` cell has a snapshot entry.
+    pub fn check_complete(&self) -> Result<(), CorpusError> {
+        for &proto in &self.protocols {
+            for month in 0..=self.months {
+                if !self.snapshots.contains_key(&(month, proto)) {
+                    return Err(CorpusError::MissingMonth {
+                        month,
+                        protocol: proto,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the manifest text (inverse of [`CorpusManifest::parse`]).
+    pub fn render(&self) -> String {
+        let mut out = format!("tass-corpus {}\n", self.version);
+        out.push_str(&format!("months {}\n", self.months));
+        let tags: Vec<&str> = self.protocols.iter().map(|p| p.tag()).collect();
+        out.push_str(&format!("protocols {}\n", tags.join(" ")));
+        out.push_str(&format!("topology {}\n", self.topology));
+        for ((month, proto), path) in &self.snapshots {
+            out.push_str(&format!("snapshot {month} {} {path}\n", proto.tag()));
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------- builder
+
+/// Incremental corpus writer: create against a routing table, add one
+/// snapshot (binary or plain-text address list) per `(month, protocol)`,
+/// then [`CorpusBuilder::finish`] to validate completeness and write the
+/// manifest.
+#[derive(Debug)]
+pub struct CorpusBuilder {
+    dir: PathBuf,
+    protocols: Vec<Protocol>,
+    snapshots: BTreeMap<(u32, Protocol), String>,
+    max_month: u32,
+}
+
+impl CorpusBuilder {
+    /// Create the corpus directory (and `snapshots/` inside it) and
+    /// write the topology file from a routing table.
+    pub fn create(dir: &Path, table: &RouteTable) -> Result<CorpusBuilder, CorpusError> {
+        if table.is_empty() {
+            return Err(CorpusError::EmptyTopology);
+        }
+        let snap_dir = dir.join(SNAPSHOT_DIR);
+        fs::create_dir_all(&snap_dir).map_err(|e| io_err(&snap_dir, e))?;
+        let topo_path = dir.join(TOPOLOGY_FILE);
+        fs::write(&topo_path, pfx2as::write_table_str(table)).map_err(|e| io_err(&topo_path, e))?;
+        Ok(CorpusBuilder {
+            dir: dir.to_path_buf(),
+            protocols: Vec::new(),
+            snapshots: BTreeMap::new(),
+            max_month: 0,
+        })
+    }
+
+    /// Add one month's snapshot. The `(month, protocol)` cell must be
+    /// new; a second claim is [`CorpusError::DuplicateSnapshot`].
+    pub fn add_snapshot(&mut self, snap: &Snapshot) -> Result<(), CorpusError> {
+        let key = (snap.month, snap.protocol);
+        if self.snapshots.contains_key(&key) {
+            return Err(CorpusError::DuplicateSnapshot {
+                month: snap.month,
+                protocol: snap.protocol,
+            });
+        }
+        let rel = format!(
+            "{SNAPSHOT_DIR}/m{}-{}.snap",
+            snap.month,
+            snap.protocol.tag()
+        );
+        let path = self.dir.join(&rel);
+        fs::write(&path, snap.encode()).map_err(|e| io_err(&path, e))?;
+        if !self.protocols.contains(&snap.protocol) {
+            self.protocols.push(snap.protocol);
+        }
+        self.max_month = self.max_month.max(snap.month);
+        self.snapshots.insert(key, rel);
+        Ok(())
+    }
+
+    /// Ingest one month from a plain-text address list (see
+    /// [`parse_address_list`]).
+    pub fn add_address_list(
+        &mut self,
+        month: u32,
+        protocol: Protocol,
+        text: &str,
+    ) -> Result<(), CorpusError> {
+        let hosts = parse_address_list(text).map_err(CorpusError::AddressList)?;
+        self.add_snapshot(&Snapshot::new(protocol, month, hosts))
+    }
+
+    /// Validate completeness (every `(month, protocol)` cell filled for
+    /// every added protocol up to the highest month seen), write the
+    /// manifest, and return it.
+    pub fn finish(self) -> Result<CorpusManifest, CorpusError> {
+        if self.protocols.is_empty() {
+            return Err(CorpusError::Manifest {
+                line: 0,
+                text: String::new(),
+                reason: "corpus has no snapshots".to_string(),
+            });
+        }
+        let manifest = CorpusManifest {
+            version: CORPUS_VERSION,
+            months: self.max_month,
+            protocols: self.protocols,
+            topology: TOPOLOGY_FILE.to_string(),
+            snapshots: self.snapshots,
+        };
+        manifest.check_complete()?;
+        let path = self.dir.join(MANIFEST_FILE);
+        fs::write(&path, manifest.render()).map_err(|e| io_err(&path, e))?;
+        Ok(manifest)
+    }
+}
+
+/// Export a generated [`Universe`] to a corpus directory: its routing
+/// table as pfx2as text plus every `(month, protocol)` snapshot in the
+/// binary codec. The `corpus` exhibit and `tests/corpus.rs` prove the
+/// round-trip is lossless: replaying the directory yields byte-identical
+/// campaign results to running on the universe directly.
+pub fn export_universe(universe: &Universe, dir: &Path) -> Result<CorpusManifest, CorpusError> {
+    let mut builder = CorpusBuilder::create(dir, &universe.topology().synth.table)?;
+    for proto in Protocol::ALL {
+        for month in 0..=universe.months() {
+            builder.add_snapshot(universe.snapshot(month, proto))?;
+        }
+    }
+    builder.finish()
+}
+
+// -------------------------------------------------------------- replay
+
+/// A tiny LRU over decoded months: most-recent-first vector, which at
+/// the cache's single-digit capacities beats any map.
+#[derive(Debug)]
+struct SnapshotCache {
+    cap: usize,
+    entries: Vec<((u32, Protocol), Arc<Snapshot>)>,
+}
+
+impl SnapshotCache {
+    fn new(cap: usize) -> SnapshotCache {
+        SnapshotCache {
+            cap: cap.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: (u32, Protocol)) -> Option<Arc<Snapshot>> {
+        let i = self.entries.iter().position(|(k, _)| *k == key)?;
+        let hit = self.entries.remove(i);
+        let snap = Arc::clone(&hit.1);
+        self.entries.insert(0, hit);
+        Some(snap)
+    }
+
+    fn put(&mut self, key: (u32, Protocol), snap: Arc<Snapshot>) {
+        // two workers can miss the same month concurrently (loads happen
+        // outside the lock); drop the older copy so a duplicate key never
+        // wastes a slot
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.insert(0, (key, snap));
+        self.entries.truncate(self.cap);
+    }
+}
+
+/// A corpus directory opened for replay: the [`GroundTruth`] over real
+/// (or exported) monthly scan data.
+///
+/// Opening reads and validates the manifest and builds the [`Topology`]
+/// from the pfx2as table; snapshots are decoded **lazily**, one month at
+/// a time as the campaign loop asks for them, through a small LRU
+/// ([`DEFAULT_CACHE_SNAPSHOTS`] decoded months by default) guarded by a
+/// mutex — the type is `Sync`, so campaign pools replay one corpus from
+/// many worker threads. Each month is checked against the topology on
+/// first decode: a host outside announced space is
+/// [`CorpusError::TopologyMismatch`], because a snapshot that disagrees
+/// with its routing table would silently zero the attribution step of
+/// every strategy.
+#[derive(Debug)]
+pub struct CorpusGroundTruth {
+    dir: PathBuf,
+    manifest: CorpusManifest,
+    topology: Topology,
+    cache: Mutex<SnapshotCache>,
+}
+
+impl CorpusGroundTruth {
+    /// Open a corpus directory with the default cache capacity.
+    pub fn open(dir: &Path) -> Result<CorpusGroundTruth, CorpusError> {
+        CorpusGroundTruth::with_cache_capacity(dir, DEFAULT_CACHE_SNAPSHOTS)
+    }
+
+    /// Open a corpus directory, retaining up to `capacity` decoded
+    /// months in memory.
+    pub fn with_cache_capacity(
+        dir: &Path,
+        capacity: usize,
+    ) -> Result<CorpusGroundTruth, CorpusError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&manifest_path).map_err(|e| io_err(&manifest_path, e))?;
+        let manifest = CorpusManifest::parse(&text)?;
+        manifest.check_complete()?;
+        let topo_path = dir.join(&manifest.topology);
+        let topo_text = fs::read_to_string(&topo_path).map_err(|e| io_err(&topo_path, e))?;
+        let table = pfx2as::read_table(topo_text.as_bytes()).map_err(CorpusError::Pfx2As)?;
+        if table.is_empty() {
+            return Err(CorpusError::EmptyTopology);
+        }
+        // A corpus table carries no AS behavioural metadata (that is a
+        // synthesis concept); campaigns only consume the views.
+        let topology = Topology::build(SynthTable {
+            table,
+            ases: Vec::new(),
+            class_by_asn: BTreeMap::new(),
+        });
+        Ok(CorpusGroundTruth {
+            dir: dir.to_path_buf(),
+            manifest,
+            topology,
+            cache: Mutex::new(SnapshotCache::new(capacity)),
+        })
+    }
+
+    /// The parsed manifest.
+    pub fn manifest(&self) -> &CorpusManifest {
+        &self.manifest
+    }
+
+    /// Eagerly load and check every snapshot once (headers, codec,
+    /// topology agreement) without retaining them — a corpus lint pass
+    /// for ingestion pipelines. The lazy replay path performs the same
+    /// checks per month on first touch.
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        for &proto in &self.manifest.protocols {
+            for month in 0..=self.manifest.months {
+                self.load_from_disk(month, proto)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn load_from_disk(&self, month: u32, protocol: Protocol) -> Result<Arc<Snapshot>, CorpusError> {
+        let rel = self
+            .manifest
+            .snapshots
+            .get(&(month, protocol))
+            .ok_or(CorpusError::MissingMonth { month, protocol })?;
+        let path = self.dir.join(rel);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        let snap = Snapshot::decode(&bytes).map_err(|source| CorpusError::Decode {
+            path: path.clone(),
+            source,
+        })?;
+        if snap.month != month || snap.protocol != protocol {
+            return Err(CorpusError::SnapshotHeaderMismatch {
+                path,
+                expected_month: month,
+                expected_protocol: protocol,
+                found_month: snap.month,
+                found_protocol: snap.protocol,
+            });
+        }
+        for addr in snap.hosts.iter() {
+            if self.topology.block_of_addr(addr).is_none() {
+                return Err(CorpusError::TopologyMismatch {
+                    month,
+                    protocol,
+                    addr: std::net::Ipv4Addr::from(addr).to_string(),
+                });
+            }
+        }
+        Ok(Arc::new(snap))
+    }
+}
+
+impl GroundTruth for CorpusGroundTruth {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn months(&self) -> u32 {
+        self.manifest.months
+    }
+
+    fn protocols(&self) -> Vec<Protocol> {
+        self.manifest.protocols.clone()
+    }
+
+    fn load_snapshot(&self, month: u32, protocol: Protocol) -> Result<Arc<Snapshot>, CorpusError> {
+        if !self.manifest.protocols.contains(&protocol) {
+            return Err(CorpusError::MissingProtocol { protocol });
+        }
+        let key = (month, protocol);
+        {
+            let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+            if let Some(hit) = cache.get(key) {
+                return Ok(hit);
+            }
+        }
+        // decode outside the lock: a matrix's worker threads should
+        // overlap disk reads, not serialise on the cache mutex
+        let snap = self.load_from_disk(month, protocol)?;
+        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
+        cache.put(key, Arc::clone(&snap));
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseConfig;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tass-corpus-unit-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let u = Universe::generate(&UniverseConfig::small(11));
+        let dir = tmp("manifest");
+        let manifest = export_universe(&u, &dir).unwrap();
+        assert_eq!(manifest.version, CORPUS_VERSION);
+        assert_eq!(manifest.months, 6);
+        assert_eq!(manifest.protocols, Protocol::ALL.to_vec());
+        assert_eq!(manifest.snapshots.len(), 28);
+        let text = fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+        assert_eq!(CorpusManifest::parse(&text).unwrap(), manifest);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_then_replay_serves_identical_snapshots() {
+        let u = Universe::generate(&UniverseConfig::small(12));
+        let dir = tmp("roundtrip");
+        export_universe(&u, &dir).unwrap();
+        let corpus = CorpusGroundTruth::open(&dir).unwrap();
+        corpus.validate().unwrap();
+        assert_eq!(GroundTruth::months(&corpus), u.months());
+        for proto in Protocol::ALL {
+            for month in 0..=u.months() {
+                let replayed = corpus.load_snapshot(month, proto).unwrap();
+                assert_eq!(&*replayed, u.snapshot(month, proto));
+            }
+        }
+        // and the replayed topology carries the same views
+        assert_eq!(
+            corpus.topology.m_view.units().len(),
+            u.topology().m_view.units().len()
+        );
+        assert_eq!(
+            corpus.topology.announced_space(),
+            u.topology().announced_space()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_caches_and_evicts() {
+        let mut c = SnapshotCache::new(2);
+        let snap = |m| Arc::new(Snapshot::new(Protocol::Http, m, HostSet::default()));
+        c.put((0, Protocol::Http), snap(0));
+        c.put((1, Protocol::Http), snap(1));
+        assert!(c.get((0, Protocol::Http)).is_some(), "still cached");
+        c.put((2, Protocol::Http), snap(2)); // evicts month 1 (LRU)
+        assert!(c.get((1, Protocol::Http)).is_none(), "evicted");
+        assert!(c.get((0, Protocol::Http)).is_some());
+        assert!(c.get((2, Protocol::Http)).is_some());
+        // a racing double-insert of one key must not waste a slot
+        c.put((2, Protocol::Http), snap(2));
+        c.put((2, Protocol::Http), snap(2));
+        assert_eq!(c.entries.len(), 2, "duplicate key deduped");
+        assert!(c.get((0, Protocol::Http)).is_some(), "other key survives");
+    }
+
+    #[test]
+    fn address_list_parses_and_reports_line_context() {
+        let hs = parse_address_list("# seed\n1.2.3.4\n\n5.6.7.8 # inline\n").unwrap();
+        assert_eq!(hs.len(), 2);
+        let e = parse_address_list("1.2.3.4\nnot-an-ip\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.text, "not-an-ip");
+        assert!(e.to_string().contains("line 2"));
+        // a v6 literal in a v4 list is an error *with the line named*
+        let e = parse_address_list("1.2.3.4\n2001:db8::1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.text, "2001:db8::1");
+        // …while the v6 reader accepts it
+        let hs = parse_address_list_family::<tass_net::V6>("2001:db8::1\n").unwrap();
+        assert_eq!(hs.len(), 1);
+    }
+}

@@ -10,24 +10,37 @@
 //! responsive hosts cluster in dense blocks — the regime where
 //! topology-aware target selection is not merely cheaper but the only
 //! feasible strategy.
+//!
+//! Campaigns do not read a `Universe` directly: they read any
+//! [`GroundTruth`] source ([`source`]), of which the synthetic universes
+//! are the in-memory implementations and a [`corpus`] directory of real
+//! monthly scan snapshots (pfx2as topology + per-month binary snapshots)
+//! is the disk-backed, lazily-loaded one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod corpus;
 pub mod distr;
 pub mod population;
 pub mod protocol;
 pub mod snapshot;
+pub mod source;
 pub mod topology;
 pub mod universe;
 
 pub use churn::{default_churn, ChurnTable, ClassChurn};
+pub use corpus::{
+    export_universe, parse_address_list, parse_address_list_family, AddressListError,
+    CorpusBuilder, CorpusError, CorpusGroundTruth, CorpusManifest,
+};
 pub use population::{
     default_density, random_v6_addr_in, seed_v6_block_hosts, DensityParams, DensityTable,
     Population,
 };
 pub use protocol::Protocol;
-pub use snapshot::{HostSet, Snapshot};
+pub use snapshot::{DecodeError, HostSet, Snapshot};
+pub use source::{FamilySpace, GroundTruth};
 pub use topology::{BlockMeta, Topology};
 pub use universe::{Universe, UniverseConfig, V6Space, V6Universe, V6UniverseConfig};

@@ -59,6 +59,17 @@ impl Protocol {
         }
     }
 
+    /// Stable lowercase tag used in on-disk formats (corpus manifests)
+    /// and CLI arguments. Parse back with [`str::parse`] / `FromStr`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Protocol::Ftp => "ftp",
+            Protocol::Http => "http",
+            Protocol::Https => "https",
+            Protocol::Cwmp => "cwmp",
+        }
+    }
+
     /// Display name as used in the paper's tables and figures.
     pub fn name(&self) -> &'static str {
         match self {

@@ -143,6 +143,15 @@ impl<F: AddrFamily> Snapshot<F> {
 pub enum DecodeError {
     /// Wrong magic bytes at the start.
     BadMagic,
+    /// The input is a valid snapshot of the *other* address family
+    /// (the magic identifies the family; a v6 snapshot cannot decode as
+    /// a v4 one or vice versa).
+    WrongFamily {
+        /// Family the input encodes (`"IPv4"` / `"IPv6"`).
+        found: &'static str,
+        /// Family the decoder expected.
+        expected: &'static str,
+    },
     /// Unsupported format version.
     BadVersion(u8),
     /// Unknown protocol tag.
@@ -157,6 +166,9 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::BadMagic => write!(f, "snapshot: bad magic"),
+            DecodeError::WrongFamily { found, expected } => {
+                write!(f, "snapshot: {found} data, expected {expected}")
+            }
             DecodeError::BadVersion(v) => write!(f, "snapshot: unsupported version {v}"),
             DecodeError::BadProtocol(p) => write!(f, "snapshot: unknown protocol tag {p}"),
             DecodeError::Truncated => write!(f, "snapshot: truncated input"),
@@ -167,34 +179,66 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-const MAGIC: &[u8; 4] = b"TSS1";
+const MAGIC_V4: &[u8; 4] = b"TSS1";
+const MAGIC_V6: &[u8; 4] = b"TSS6";
 const VERSION: u8 = 1;
 
-impl Snapshot {
+/// Magic bytes for a family: `TSS1` keeps the pre-generic IPv4 format
+/// byte-identical; 128-bit snapshots are tagged `TSS6`.
+fn family_magic<F: AddrFamily>() -> &'static [u8; 4] {
+    if F::BITS == 32 {
+        MAGIC_V4
+    } else {
+        MAGIC_V6
+    }
+}
+
+impl<F: AddrFamily> Snapshot<F> {
     /// Encode to the compact binary format:
-    /// `magic(4) version(1) protocol(1) month(4 LE) count(8 LE) addrs(4·n LE)`.
+    /// `magic(4) version(1) protocol(1) month(4 LE) count(8 LE)
+    /// addrs(W·n LE)` where `W` is the family's address width in bytes
+    /// (4 for IPv4 — bit-identical to the pre-generic format — and 16
+    /// for IPv6, under the `TSS6` magic).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(18 + 4 * self.hosts.len());
-        buf.put_slice(MAGIC);
+        let width = usize::from(F::BITS / 8);
+        let mut buf = BytesMut::with_capacity(18 + width * self.hosts.len());
+        buf.put_slice(family_magic::<F>());
         buf.put_u8(VERSION);
         buf.put_u8(self.protocol.index() as u8);
         buf.put_u32_le(self.month);
         buf.put_u64_le(self.hosts.len() as u64);
         for a in self.hosts.iter() {
-            buf.put_u32_le(a);
+            buf.put_slice(&F::addr_to_u128(a).to_le_bytes()[..width]);
         }
         buf.freeze()
     }
 
     /// Decode the binary format produced by [`Snapshot::encode`].
-    pub fn decode(mut data: &[u8]) -> Result<Snapshot, DecodeError> {
+    ///
+    /// The decoder is family-checked: handing v6 bytes to a v4 decode
+    /// (or vice versa) fails with [`DecodeError::WrongFamily`] rather
+    /// than misreading addresses.
+    pub fn decode(mut data: &[u8]) -> Result<Snapshot<F>, DecodeError> {
+        let width = usize::from(F::BITS / 8);
         if data.remaining() < 18 {
             return Err(DecodeError::Truncated);
         }
         let mut magic = [0u8; 4];
         data.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(DecodeError::BadMagic);
+        if &magic != family_magic::<F>() {
+            return Err(if &magic == MAGIC_V4 {
+                DecodeError::WrongFamily {
+                    found: "IPv4",
+                    expected: F::NAME,
+                }
+            } else if &magic == MAGIC_V6 {
+                DecodeError::WrongFamily {
+                    found: "IPv6",
+                    expected: F::NAME,
+                }
+            } else {
+                DecodeError::BadMagic
+            });
         }
         let version = data.get_u8();
         if version != VERSION {
@@ -204,13 +248,16 @@ impl Snapshot {
         let protocol = Protocol::from_index(ptag as usize).ok_or(DecodeError::BadProtocol(ptag))?;
         let month = data.get_u32_le();
         let count = data.get_u64_le() as usize;
-        if data.remaining() < count * 4 {
+        let payload = count.checked_mul(width).ok_or(DecodeError::Truncated)?;
+        if data.remaining() < payload {
             return Err(DecodeError::Truncated);
         }
         let mut addrs = Vec::with_capacity(count);
-        let mut prev: Option<u32> = None;
+        let mut prev: Option<F::Addr> = None;
+        let mut raw = [0u8; 16];
         for _ in 0..count {
-            let a = data.get_u32_le();
+            data.copy_to_slice(&mut raw[..width]);
+            let a = F::addr_from_u128(u128::from_le_bytes(raw));
             if let Some(p) = prev {
                 if a <= p {
                     return Err(DecodeError::Unsorted);
@@ -292,7 +339,7 @@ mod tests {
 
     #[test]
     fn encode_decode_empty() {
-        let snap = Snapshot::new(Protocol::Ftp, 0, HostSet::default());
+        let snap: Snapshot = Snapshot::new(Protocol::Ftp, 0, HostSet::default());
         let back = Snapshot::decode(&snap.encode()).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.len(), 0);
@@ -301,16 +348,16 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(Snapshot::decode(b""), Err(DecodeError::Truncated));
+        assert_eq!(Snapshot::<V4>::decode(b""), Err(DecodeError::Truncated));
         assert_eq!(
-            Snapshot::decode(b"XXXX..............."),
+            Snapshot::<V4>::decode(b"XXXX..............."),
             Err(DecodeError::BadMagic)
         );
         // valid header but truncated payload
         let snap = Snapshot::new(Protocol::Http, 1, hs(&[1, 2, 3]));
         let bytes = snap.encode();
         let cut = &bytes[..bytes.len() - 2];
-        assert_eq!(Snapshot::decode(cut), Err(DecodeError::Truncated));
+        assert_eq!(Snapshot::<V4>::decode(cut), Err(DecodeError::Truncated));
     }
 
     #[test]
@@ -318,10 +365,16 @@ mod tests {
         let snap = Snapshot::new(Protocol::Http, 1, hs(&[1]));
         let mut bytes = snap.encode().to_vec();
         bytes[4] = 9; // version
-        assert_eq!(Snapshot::decode(&bytes), Err(DecodeError::BadVersion(9)));
+        assert_eq!(
+            Snapshot::<V4>::decode(&bytes),
+            Err(DecodeError::BadVersion(9))
+        );
         let mut bytes = snap.encode().to_vec();
         bytes[5] = 77; // protocol tag
-        assert_eq!(Snapshot::decode(&bytes), Err(DecodeError::BadProtocol(77)));
+        assert_eq!(
+            Snapshot::<V4>::decode(&bytes),
+            Err(DecodeError::BadProtocol(77))
+        );
     }
 
     #[test]
@@ -334,19 +387,70 @@ mod tests {
         bytes.swap(n - 7, n - 3);
         bytes.swap(n - 6, n - 2);
         bytes.swap(n - 5, n - 1);
-        assert_eq!(Snapshot::decode(&bytes), Err(DecodeError::Unsorted));
+        assert_eq!(Snapshot::<V4>::decode(&bytes), Err(DecodeError::Unsorted));
     }
 
     #[test]
     fn decode_error_display() {
         for e in [
             DecodeError::BadMagic,
+            DecodeError::WrongFamily {
+                found: "IPv6",
+                expected: "IPv4",
+            },
             DecodeError::BadVersion(2),
             DecodeError::BadProtocol(8),
             DecodeError::Truncated,
             DecodeError::Unsorted,
         ] {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn v6_encode_decode_roundtrip() {
+        let hosts: HostSet<tass_net::V6> =
+            HostSet::from_addrs(vec![1u128, 0x2600 << 112, u128::MAX]);
+        let snap: Snapshot<tass_net::V6> = Snapshot::new(Protocol::Http, 4, hosts);
+        let bytes = snap.encode();
+        assert_eq!(&bytes[..4], b"TSS6");
+        assert_eq!(bytes.len(), 18 + 3 * 16);
+        let back = Snapshot::<tass_net::V6>::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn cross_family_decode_is_a_typed_error() {
+        let v4 = Snapshot::new(Protocol::Ftp, 1, hs(&[9])).encode();
+        assert_eq!(
+            Snapshot::<tass_net::V6>::decode(&v4),
+            Err(DecodeError::WrongFamily {
+                found: "IPv4",
+                expected: "IPv6",
+            })
+        );
+        let v6: Snapshot<tass_net::V6> =
+            Snapshot::new(Protocol::Ftp, 1, HostSet::from_addrs(vec![9u128]));
+        assert_eq!(
+            Snapshot::<V4>::decode(&v6.encode()),
+            Err(DecodeError::WrongFamily {
+                found: "IPv6",
+                expected: "IPv4",
+            })
+        );
+    }
+
+    #[test]
+    fn v6_truncation_at_every_boundary_is_typed() {
+        let hosts: HostSet<tass_net::V6> = HostSet::from_addrs(vec![5u128, 6, 7]);
+        let snap: Snapshot<tass_net::V6> = Snapshot::new(Protocol::Cwmp, 2, hosts);
+        let bytes = snap.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Snapshot::<tass_net::V6>::decode(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
         }
     }
 }

@@ -1,0 +1,199 @@
+//! The ground-truth **source** abstraction: where campaigns get their
+//! monthly truth from.
+//!
+//! The paper evaluates its strategies against *real monthly scan corpora*
+//! (censys.io full scans over a CAIDA routing table); this repository
+//! usually evaluates them against the synthetic
+//! [`Universe`](crate::Universe). The
+//! [`GroundTruth`] trait is the seam between the two: a campaign needs a
+//! seeding context (the routing [`Topology`] for IPv4, the announced
+//! [`V6Space`] for IPv6), a month horizon, and one [`Snapshot`] per
+//! `(month, protocol)` — nothing else. Everything in
+//! `tass_core::campaign` is generic over this trait, so a directory of
+//! real scan snapshots ([`crate::corpus::CorpusGroundTruth`]) replays
+//! through the identical lifecycle loop as a generated universe, and any
+//! future data source (hitlist archives, live scan feeds) is a small
+//! `impl GroundTruth`, not a fork of the campaign code.
+//!
+//! Snapshots are handed out as [`Arc`]s through a **lazy, fallible**
+//! [`GroundTruth::load_snapshot`]: in-memory sources clone a pointer,
+//! disk-backed corpora decode months on demand (and cache a few) instead
+//! of materialising a whole multi-month series. The infallible
+//! [`GroundTruth::snapshot`] convenience mirrors the historical
+//! `Universe::snapshot` panic-on-out-of-range contract.
+//!
+//! [`FamilySpace`] (moved here from `tass-core` so the trait can name the
+//! seeding context) binds an address family to that context type: for the
+//! default `F = V4`, `F::Space = Topology`, which keeps every pre-generic
+//! `impl Strategy` signature compiling verbatim.
+
+use crate::corpus::CorpusError;
+use crate::protocol::Protocol;
+use crate::snapshot::Snapshot;
+use crate::topology::Topology;
+use crate::universe::V6Space;
+use std::sync::Arc;
+use tass_net::{AddrFamily, Prefix, V4, V6};
+
+/// Binds an address family to its campaign **seeding context** — the
+/// object a strategy ranks and selects over. IPv4 strategies seed from
+/// the BGP [`Topology`] (l/m views, announced space); IPv6 strategies
+/// seed from the announced [`V6Space`] of /48–/64 operator prefixes,
+/// because there is no enumerable v6 routing view.
+///
+/// This is what lets one `Strategy` trait span both families while every
+/// pre-generic `impl Strategy for …` signature (`topo: &Topology`)
+/// continues to compile verbatim: for the default `F = V4`,
+/// `F::Space = Topology`.
+pub trait FamilySpace: AddrFamily {
+    /// The seeding context (`Topology` for v4, [`V6Space`] for v6).
+    type Space;
+
+    /// The announced prefixes of the space, sorted by address — what the
+    /// scan engine receives as the `announced` list.
+    fn announced_prefixes(space: &Self::Space) -> Vec<Prefix<Self>>;
+
+    /// Total announced address count.
+    fn announced_space(space: &Self::Space) -> Self::Wide;
+}
+
+impl FamilySpace for V4 {
+    type Space = Topology;
+
+    fn announced_prefixes(topo: &Topology) -> Vec<Prefix> {
+        topo.m_view.units().iter().map(|u| u.prefix).collect()
+    }
+
+    fn announced_space(topo: &Topology) -> u64 {
+        topo.announced_space()
+    }
+}
+
+impl FamilySpace for V6 {
+    type Space = V6Space;
+
+    fn announced_prefixes(space: &V6Space) -> Vec<Prefix<V6>> {
+        space.announced().to_vec()
+    }
+
+    fn announced_space(space: &V6Space) -> u128 {
+        space.announced_space()
+    }
+}
+
+/// A source of campaign ground truth: a seeding context plus monthly
+/// responsive-host snapshots, generic over the address family (default
+/// IPv4).
+///
+/// Implementors: the synthetic [`Universe`](crate::Universe) and
+/// [`V6Universe`](crate::V6Universe) (everything in memory, snapshot
+/// loads are pointer clones) and the disk-backed
+/// [`CorpusGroundTruth`](crate::corpus::CorpusGroundTruth) (months are
+/// decoded lazily and LRU-cached). The campaign layer
+/// (`tass_core::campaign`) drives any of them identically — sources must
+/// be [`Sync`] because campaign matrices shard over threads.
+pub trait GroundTruth<F: FamilySpace = V4>: Sync {
+    /// The seeding context strategies rank and select over (the routing
+    /// [`Topology`] for v4 sources, the announced [`V6Space`] for v6).
+    fn topology(&self) -> &F::Space;
+
+    /// Months after the seeding month t₀ (snapshots per protocol =
+    /// `months() + 1`).
+    fn months(&self) -> u32;
+
+    /// The protocols this source has snapshots for, in stable order.
+    fn protocols(&self) -> Vec<Protocol>;
+
+    /// Load one month's ground truth — the lazy, fallible path.
+    ///
+    /// In-memory sources return a cheap [`Arc`] clone; corpora read and
+    /// decode the month from disk on first touch. Asking for a month
+    /// beyond [`GroundTruth::months`] or a protocol not in
+    /// [`GroundTruth::protocols`] is an error, never a panic.
+    fn load_snapshot(
+        &self,
+        month: u32,
+        protocol: Protocol,
+    ) -> Result<Arc<Snapshot<F>>, CorpusError>;
+
+    /// Infallible convenience over [`GroundTruth::load_snapshot`],
+    /// mirroring `Universe::snapshot`'s contract: panics when the month
+    /// is out of range, the protocol is absent, or (for disk-backed
+    /// sources) the load fails.
+    fn snapshot(&self, month: u32, protocol: Protocol) -> Arc<Snapshot<F>> {
+        self.load_snapshot(month, protocol)
+            .unwrap_or_else(|e| panic!("ground truth snapshot (month {month}, {protocol}): {e}"))
+    }
+
+    /// All snapshots of one protocol, month ascending.
+    ///
+    /// The returned `Arc`s keep **every** month of the protocol alive at
+    /// once, so on a large disk-backed corpus this materialises the whole
+    /// series in memory regardless of the source's cache size — loop over
+    /// [`GroundTruth::load_snapshot`] month by month (as the campaign
+    /// driver does) when the corpus is bigger than RAM.
+    fn series(&self, protocol: Protocol) -> Result<Vec<Arc<Snapshot<F>>>, CorpusError> {
+        (0..=self.months())
+            .map(|m| self.load_snapshot(m, protocol))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Universe, UniverseConfig, V6Universe, V6UniverseConfig};
+
+    #[test]
+    fn universe_implements_ground_truth_unchanged() {
+        let u = Universe::generate(&UniverseConfig::small(3));
+        let g: &dyn GroundTruth = &u;
+        assert_eq!(g.months(), 6);
+        assert_eq!(g.protocols(), Protocol::ALL.to_vec());
+        for proto in Protocol::ALL {
+            for m in 0..=6 {
+                // the trait's lazy path returns the very same snapshot
+                // the inherent accessor exposes
+                let via_trait = g.load_snapshot(m, proto).unwrap();
+                assert_eq!(&*via_trait, u.snapshot(m, proto));
+            }
+            let series = g.series(proto).unwrap();
+            assert_eq!(series.len(), 7);
+            assert_eq!(&*series[6], u.snapshot(6, proto));
+        }
+        assert!(std::ptr::eq(
+            GroundTruth::topology(&u),
+            u.topology() as *const _
+        ));
+    }
+
+    #[test]
+    fn universe_out_of_range_is_an_error_not_a_panic() {
+        let u = Universe::generate(&UniverseConfig::small(3));
+        let g: &dyn GroundTruth = &u;
+        assert!(matches!(
+            g.load_snapshot(7, Protocol::Http),
+            Err(CorpusError::MissingMonth {
+                month: 7,
+                protocol: Protocol::Http
+            })
+        ));
+    }
+
+    #[test]
+    fn v6_universe_implements_ground_truth() {
+        let u = V6Universe::generate(&V6UniverseConfig::small(5));
+        let g: &dyn GroundTruth<tass_net::V6> = &u;
+        assert_eq!(g.months(), 6);
+        assert_eq!(g.protocols(), vec![Protocol::Http]);
+        let t0 = g.load_snapshot(0, Protocol::Http).unwrap();
+        assert_eq!(&*t0, u.snapshot(0));
+        assert!(matches!(
+            g.load_snapshot(0, Protocol::Ftp),
+            Err(CorpusError::MissingProtocol {
+                protocol: Protocol::Ftp
+            })
+        ));
+        assert!(g.load_snapshot(9, Protocol::Http).is_err());
+    }
+}

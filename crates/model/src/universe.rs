@@ -7,12 +7,15 @@
 //! exactly reproducible.
 
 use crate::churn::{advance_month, ChurnTable};
+use crate::corpus::CorpusError;
 use crate::population::{DensityTable, Population};
 use crate::protocol::Protocol;
 use crate::snapshot::Snapshot;
+use crate::source::GroundTruth;
 use crate::topology::Topology;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use tass_bgp::synth::{self, SynthConfig};
 
 /// Configuration of a simulated universe.
@@ -63,11 +66,16 @@ impl UniverseConfig {
 }
 
 /// Topology plus all ground-truth snapshots.
+///
+/// `Universe` is the in-memory [`GroundTruth`] source: snapshots are
+/// held behind [`Arc`]s so the trait's lazy
+/// [`load_snapshot`](GroundTruth::load_snapshot) path is a pointer
+/// clone, never a copy.
 #[derive(Debug, Clone)]
 pub struct Universe {
     topology: Topology,
     /// `snapshots[month][protocol.index()]`
-    snapshots: Vec<Vec<Snapshot>>,
+    snapshots: Vec<Vec<Arc<Snapshot>>>,
     /// Final host populations (after the last month), for inspection.
     final_populations: Vec<Population>,
 }
@@ -78,7 +86,7 @@ impl Universe {
         let synth_table = synth::generate(&cfg.synth);
         let topology = Topology::build(synth_table);
 
-        let mut snapshots: Vec<Vec<Snapshot>> = (0..=cfg.months)
+        let mut snapshots: Vec<Vec<Arc<Snapshot>>> = (0..=cfg.months)
             .map(|_| Vec::with_capacity(Protocol::COUNT))
             .collect();
         let mut final_populations = Vec::with_capacity(Protocol::COUNT);
@@ -96,10 +104,14 @@ impl Universe {
                 cfg.host_scale,
                 &mut rng,
             );
-            snapshots[0].push(Snapshot::new(proto, 0, pop.host_set()));
+            snapshots[0].push(Arc::new(Snapshot::new(proto, 0, pop.host_set())));
             for month in 1..=cfg.months {
                 advance_month(&mut pop, &topology, &cfg.churn, &mut rng);
-                snapshots[month as usize].push(Snapshot::new(proto, month, pop.host_set()));
+                snapshots[month as usize].push(Arc::new(Snapshot::new(
+                    proto,
+                    month,
+                    pop.host_set(),
+                )));
             }
             final_populations.push(pop);
         }
@@ -127,12 +139,33 @@ impl Universe {
 
     /// All snapshots of one protocol, month ascending.
     pub fn series(&self, proto: Protocol) -> Vec<&Snapshot> {
-        self.snapshots.iter().map(|m| &m[proto.index()]).collect()
+        self.snapshots.iter().map(|m| &*m[proto.index()]).collect()
     }
 
     /// The population state after the final month (for inspection/tests).
     pub fn final_population(&self, proto: Protocol) -> &Population {
         &self.final_populations[proto.index()]
+    }
+}
+
+impl GroundTruth for Universe {
+    fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn months(&self) -> u32 {
+        Universe::months(self)
+    }
+
+    fn protocols(&self) -> Vec<Protocol> {
+        Protocol::ALL.to_vec()
+    }
+
+    fn load_snapshot(&self, month: u32, protocol: Protocol) -> Result<Arc<Snapshot>, CorpusError> {
+        match self.snapshots.get(month as usize) {
+            Some(by_proto) => Ok(Arc::clone(&by_proto[protocol.index()])),
+            None => Err(CorpusError::MissingMonth { month, protocol }),
+        }
     }
 }
 
@@ -240,7 +273,7 @@ struct V6Host {
 pub struct V6Universe {
     space: V6Space,
     blocks: Vec<Prefix<V6>>,
-    snapshots: Vec<Snapshot<V6>>,
+    snapshots: Vec<Arc<Snapshot<V6>>>,
 }
 
 impl V6Universe {
@@ -286,11 +319,11 @@ impl V6Universe {
 
         let space = V6Space::new(announced);
         let mut snapshots = Vec::with_capacity(cfg.months as usize + 1);
-        snapshots.push(Snapshot::new(
+        snapshots.push(Arc::new(Snapshot::new(
             cfg.protocol,
             0,
             HostSet::from_addrs(hosts.iter().map(|h| h.addr).collect()),
-        ));
+        )));
         for month in 1..=cfg.months {
             // churn: each host is replaced with probability `churn` by a
             // fresh address in the *same* dense block — v6 churn is
@@ -300,11 +333,11 @@ impl V6Universe {
                     h.addr = random_v6_addr_in(&mut rng, blocks[h.block as usize]);
                 }
             }
-            snapshots.push(Snapshot::new(
+            snapshots.push(Arc::new(Snapshot::new(
                 cfg.protocol,
                 month,
                 HostSet::from_addrs(hosts.iter().map(|h| h.addr).collect()),
-            ));
+            )));
         }
         V6Universe {
             space,
@@ -331,6 +364,34 @@ impl V6Universe {
     /// Ground truth for a month. Panics when out of range.
     pub fn snapshot(&self, month: u32) -> &Snapshot<V6> {
         &self.snapshots[month as usize]
+    }
+}
+
+impl GroundTruth<V6> for V6Universe {
+    fn topology(&self) -> &V6Space {
+        &self.space
+    }
+
+    fn months(&self) -> u32 {
+        V6Universe::months(self)
+    }
+
+    fn protocols(&self) -> Vec<Protocol> {
+        vec![self.snapshots[0].protocol]
+    }
+
+    fn load_snapshot(
+        &self,
+        month: u32,
+        protocol: Protocol,
+    ) -> Result<Arc<Snapshot<V6>>, CorpusError> {
+        if protocol != self.snapshots[0].protocol {
+            return Err(CorpusError::MissingProtocol { protocol });
+        }
+        match self.snapshots.get(month as usize) {
+            Some(s) => Ok(Arc::clone(s)),
+            None => Err(CorpusError::MissingMonth { month, protocol }),
+        }
     }
 }
 

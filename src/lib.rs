@@ -12,8 +12,11 @@
 //!   and an IPv6 instantiation; see `tass::net::family`);
 //! * [`bgp`] — routing tables, CAIDA pfx2as I/O, l/m scan views, the
 //!   synthetic RouteViews-like generator;
-//! * [`model`] — the simulated ground truth (protocol host populations and
-//!   their monthly churn) standing in for the paper's censys.io corpus;
+//! * [`model`] — the ground-truth layer: the simulated universe (protocol
+//!   host populations and their monthly churn) standing in for the paper's
+//!   censys.io corpus, the `GroundTruth` source abstraction campaigns
+//!   actually read, and the on-disk corpus format
+//!   (`tass::model::corpus`) for replaying real monthly scan data;
 //! * [`scan`] — the ZMap-style packet-level scanner simulator;
 //! * [`core`] — TASS itself: density ranking, the φ-coverage selection,
 //!   and the trait-based strategy lifecycle
@@ -102,6 +105,42 @@
 //!
 //! User-defined strategies implement the same two traits — see
 //! `examples/adaptive_strategy.rs` for a complete one.
+//!
+//! ## Replaying a corpus from disk
+//!
+//! Campaigns read any `GroundTruth` source, not the `Universe` struct:
+//! export a universe to a versioned corpus directory (pfx2as routing
+//! table + per-month binary snapshots) and the campaign loop replays it
+//! from disk, month by month, with identical results — which is exactly
+//! how archived real scan data runs through the lifecycle
+//! (`tass-select replay --corpus DIR` is this, as a CLI):
+//!
+//! ```
+//! use tass::bgp::ViewKind;
+//! use tass::core::campaign::run_campaign;
+//! use tass::core::StrategyKind;
+//! use tass::model::corpus::{export_universe, CorpusGroundTruth};
+//! use tass::model::{Protocol, Universe, UniverseConfig};
+//!
+//! let universe = Universe::generate(&UniverseConfig::small(42));
+//! let dir = std::env::temp_dir().join(format!("tass-doc-corpus-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! export_universe(&universe, &dir).unwrap();
+//!
+//! // the directory is just another ground-truth source: snapshots are
+//! // decoded lazily (with a small LRU) as the campaign walks the months
+//! let corpus = CorpusGroundTruth::open(&dir).unwrap();
+//! let kind = StrategyKind::Tass { view: ViewKind::MoreSpecific, phi: 0.95 };
+//! let replayed = run_campaign(&corpus, kind, Protocol::Http, 42);
+//! let direct = run_campaign(&universe, kind, Protocol::Http, 42);
+//! assert_eq!(replayed, direct, "the loop cannot tell disk from memory");
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
+//! Real corpora are ingested the same way: `tass::model::corpus::CorpusBuilder`
+//! takes a CAIDA pfx2as table plus per-month address lists (plain text,
+//! one address per line) or pre-encoded snapshots, validates the
+//! month × protocol matrix, and writes the manifest.
 //!
 //! ## IPv6: the same machinery at 128 bits
 //!
