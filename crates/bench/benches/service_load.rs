@@ -1,0 +1,201 @@
+//! `tassd` under load: what the HTTP control plane costs.
+//!
+//! Two layers:
+//!
+//! * **criterion micro-benches** — per-request cost of the hand-rolled
+//!   HTTP path over real loopback TCP: a `/v1/healthz` roundtrip, a
+//!   status poll of a finished campaign, and a full `POST
+//!   /v1/campaigns` submit (workers drain the queue concurrently);
+//! * **a fleet summary** — N clients × M campaigns each, recording
+//!   submissions/s, completion throughput, and p99 status-poll latency
+//!   to `BENCH_service.json` at the repo root — the perf-trajectory
+//!   file CI and future PRs compare against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use tass_model::registry::SourceRegistry;
+use tass_model::{Universe, UniverseConfig};
+use tass_service::{api, HttpClient, HttpServer, ServiceConfig, ShutdownMode, Tassd, TenantQuota};
+
+const CLIENTS: usize = 8;
+const CAMPAIGNS_PER_CLIENT: usize = 4;
+
+fn registry() -> Arc<SourceRegistry> {
+    let mut reg = SourceRegistry::new();
+    reg.insert_v4(
+        "demo",
+        Arc::new(Universe::generate(&UniverseConfig::small(7))),
+    )
+    .unwrap();
+    Arc::new(reg)
+}
+
+/// A daemon tuned for load: no artificial month delay, quotas wide open.
+fn start_daemon(workers: usize) -> (Tassd, HttpServer) {
+    let daemon = Tassd::start(
+        registry(),
+        ServiceConfig {
+            workers,
+            quota: TenantQuota {
+                max_pending: 10_000,
+                max_concurrent: 64,
+                submits_per_sec: 0.0,
+                submit_burst: 8.0,
+            },
+            month_delay: Duration::ZERO,
+            checkpoint_dir: None,
+        },
+    )
+    .expect("daemon start");
+    let server = HttpServer::bind("127.0.0.1:0", daemon.core(), api::router()).expect("bind");
+    (daemon, server)
+}
+
+fn submit(client: &mut HttpClient, tenant: &str, seed: u64) -> u64 {
+    let body =
+        format!(r#"{{"source":"demo","strategy":"ip-hitlist","protocol":"http","seed":{seed}}}"#);
+    let (status, body) = client
+        .post("/v1/campaigns", Some(tenant), &body)
+        .expect("submit");
+    assert_eq!(status, 201, "{body}");
+    let pat = r#""id":"#;
+    let rest = &body[body.find(pat).unwrap() + pat.len()..];
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Poll until done; returns every poll's latency.
+fn wait_done(client: &mut HttpClient, tenant: &str, id: u64, lat: &mut Vec<Duration>) {
+    loop {
+        let t0 = Instant::now();
+        let (status, body) = client
+            .get(&format!("/v1/campaigns/{id}"), Some(tenant))
+            .expect("poll");
+        lat.push(t0.elapsed());
+        assert_eq!(status, 200, "{body}");
+        if body.contains(r#""status":"done""#) {
+            return;
+        }
+        assert!(!body.contains(r#""status":"failed""#), "{body}");
+    }
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    let (daemon, server) = start_daemon(2);
+    let mut client = HttpClient::connect(server.addr());
+    let mut group = c.benchmark_group("service_load");
+
+    group.bench_function("healthz_roundtrip", |b| {
+        b.iter(|| {
+            let (status, _) = client.get("/v1/healthz", None).expect("healthz");
+            assert_eq!(status, 200);
+        })
+    });
+
+    let done_id = submit(&mut client, "bench", 1);
+    let mut lat = Vec::new();
+    wait_done(&mut client, "bench", done_id, &mut lat);
+    group.bench_function("status_poll_done", |b| {
+        b.iter(|| {
+            let (status, _) = client
+                .get(&format!("/v1/campaigns/{done_id}"), Some("bench"))
+                .expect("poll");
+            assert_eq!(status, 200);
+        })
+    });
+
+    let mut seed = 100;
+    group.bench_function("submit_campaign", |b| {
+        b.iter(|| {
+            seed += 1;
+            submit(&mut client, "bench", seed)
+        })
+    });
+
+    group.finish();
+    server.shutdown();
+    daemon.shutdown(ShutdownMode::Drain).expect("drain");
+}
+
+/// The fleet run: measure aggregate throughput + poll tail latency and
+/// append the sample to `BENCH_service.json`.
+fn fleet_summary() {
+    let (daemon, server) = start_daemon(4);
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            thread::spawn(move || {
+                let tenant = format!("client-{t}");
+                let mut client = HttpClient::connect(addr);
+                let mut lat = Vec::new();
+                let mut submit_ns = 0u128;
+                let ids: Vec<u64> = (0..CAMPAIGNS_PER_CLIENT)
+                    .map(|j| {
+                        let s0 = Instant::now();
+                        let id =
+                            submit(&mut client, &tenant, (t * CAMPAIGNS_PER_CLIENT + j) as u64);
+                        submit_ns += s0.elapsed().as_nanos();
+                        id
+                    })
+                    .collect();
+                for id in ids {
+                    wait_done(&mut client, &tenant, id, &mut lat);
+                }
+                (submit_ns, lat)
+            })
+        })
+        .collect();
+    let per_client: Vec<(u128, Vec<Duration>)> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall = t0.elapsed();
+
+    server.shutdown();
+    let report = daemon.shutdown(ShutdownMode::Drain).expect("drain");
+    let total = (CLIENTS * CAMPAIGNS_PER_CLIENT) as u64;
+    assert_eq!(report.completed, total, "fleet run dropped campaigns");
+
+    let submit_secs: f64 = per_client.iter().map(|(ns, _)| *ns as f64 / 1e9).sum();
+    let mut polls: Vec<Duration> = per_client.into_iter().flat_map(|(_, l)| l).collect();
+    polls.sort_unstable();
+    let p99 = polls[(polls.len() * 99 / 100).min(polls.len() - 1)];
+    let p50 = polls[polls.len() / 2];
+
+    let record = format!(
+        concat!(
+            "{{\"bench\":\"service_load\",\"clients\":{},\"campaigns_per_client\":{},",
+            "\"submissions_per_sec\":{:.1},\"completions_per_sec\":{:.1},",
+            "\"poll_p50_ms\":{:.3},\"poll_p99_ms\":{:.3},\"polls\":{},\"wall_secs\":{:.3}}}\n"
+        ),
+        CLIENTS,
+        CAMPAIGNS_PER_CLIENT,
+        total as f64 / submit_secs,
+        total as f64 / wall.as_secs_f64(),
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        polls.len(),
+        wall.as_secs_f64(),
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    std::fs::write(&path, &record).expect("write BENCH_service.json");
+    eprintln!("service_load summary → {}: {record}", path.display());
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    // run once, outside criterion's sampling loop — the fleet is the
+    // measurement, criterion just hosts it
+    fleet_summary();
+    // keep criterion happy with a registered (cheap) benchmark so the
+    // group shows up in reports
+    c.bench_function("service_load/fleet_recorded", |b| b.iter(|| 1 + 1));
+}
+
+criterion_group!(benches, bench_control_plane, bench_fleet);
+criterion_main!(benches);

@@ -56,6 +56,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` is its own serialization — the identity impls let callers
+// work with free-form JSON (`serde_json::from_str::<Value>`) the way
+// they would with serde_json's own `Value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Look up a struct field in a map value (helper for derived impls).
 pub fn value_get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, DeError> {
     match v {

@@ -29,14 +29,41 @@
 use crate::metrics::MonthEval;
 use crate::plan::CycleOutcome;
 use crate::strategy::{FamilySpace, Strategy, StrategyKind};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use tass_model::{GroundTruth, Protocol};
 use tass_net::V6;
 
-/// The monthly series of one strategy over one protocol.
+/// The stable job-level identity of a campaign: the strategy spec string
+/// (see [`StrategyKind::spec`]), the protocol, and the seed — everything
+/// needed to reproduce the run against the same source. Carried by
+/// service results so a `CampaignResult` JSON document is self-describing
+/// outside matrix order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignJob {
+    /// Compact strategy spec ([`StrategyKind::spec`] form, parseable by
+    /// [`crate::spec::parse_spec`]).
+    pub spec: String,
+    /// The protocol scanned.
+    pub protocol: Protocol,
+    /// The campaign seed.
+    pub seed: u64,
+}
+
+impl CampaignJob {
+    /// The job identity of one `(kind, protocol, seed)` campaign.
+    pub fn new(kind: StrategyKind, protocol: Protocol, seed: u64) -> CampaignJob {
+        CampaignJob {
+            spec: kind.spec(),
+            protocol,
+            seed,
+        }
+    }
+}
+
+/// The monthly series of one strategy over one protocol.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// Strategy label (see [`Strategy::label`]).
     pub strategy: String,
@@ -51,9 +78,67 @@ pub struct CampaignResult {
     pub probe_space_fraction: f64,
     /// Monthly evaluations, month 0 first.
     pub months: Vec<MonthEval>,
+    /// Job identity, when the producer stamped one (the service and the
+    /// checkpointed driver do; the batch matrix drivers leave it `None`
+    /// because their results are identified positionally and their
+    /// serialized bytes are pinned by equivalence digests).
+    pub job: Option<CampaignJob>,
+}
+
+// Hand-written serde (the only such pair in the workspace): `job` must be
+// *omitted* when `None`, not rendered as `null`, so every pre-existing
+// serialized campaign result — including the pinned FNV digest in
+// `tests/matrix_parallel.rs` — keeps its exact bytes. The field order of
+// the former derive is preserved, with `job` appended last.
+impl Serialize for CampaignResult {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("strategy".to_string(), self.strategy.to_value()),
+            ("protocol".to_string(), self.protocol.to_value()),
+            (
+                "probes_per_cycle".to_string(),
+                self.probes_per_cycle.to_value(),
+            ),
+            (
+                "probe_space_fraction".to_string(),
+                self.probe_space_fraction.to_value(),
+            ),
+            ("months".to_string(), self.months.to_value()),
+        ];
+        if let Some(job) = &self.job {
+            fields.push(("job".to_string(), job.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for CampaignResult {
+    fn from_value(v: &Value) -> Result<CampaignResult, serde::DeError> {
+        Ok(CampaignResult {
+            strategy: Deserialize::from_value(serde::value_get(v, "strategy")?)?,
+            protocol: Deserialize::from_value(serde::value_get(v, "protocol")?)?,
+            probes_per_cycle: Deserialize::from_value(serde::value_get(v, "probes_per_cycle")?)?,
+            probe_space_fraction: Deserialize::from_value(serde::value_get(
+                v,
+                "probe_space_fraction",
+            )?)?,
+            months: Deserialize::from_value(serde::value_get(v, "months")?)?,
+            job: match serde::value_get(v, "job") {
+                Ok(j) => Deserialize::from_value(j)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl CampaignResult {
+    /// This result with the given job identity stamped in (builder
+    /// style). The identity is appended to the serialized JSON; results
+    /// without one serialize exactly as before.
+    pub fn with_job(mut self, job: CampaignJob) -> CampaignResult {
+        self.job = Some(job);
+        self
+    }
     /// Hitrate at a given month; `0.0` for months the campaign never ran
     /// (empty campaigns, or a month beyond the horizon).
     pub fn hitrate(&self, month: u32) -> f64 {
@@ -81,15 +166,88 @@ impl CampaignResult {
     }
 }
 
+/// What the per-cycle control hook tells the resumable driver to do
+/// before it runs the next month.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignStep {
+    /// Run the month.
+    Continue,
+    /// Stop at this month boundary and hand back a checkpoint.
+    Suspend,
+}
+
+/// A campaign frozen at a month boundary: the registry kind, protocol
+/// and seed that *define* the campaign, plus the evaluations of every
+/// completed month. [`run_campaign_checkpointed`] resumes from this —
+/// deterministically, so an interrupted-then-resumed campaign finishes
+/// byte-identical to an uninterrupted run (strategy state is rebuilt by
+/// replaying the completed cycles' plans and outcomes; the stored
+/// evaluations are never recomputed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// The strategy registry kind.
+    pub kind: StrategyKind,
+    /// The protocol scanned.
+    pub protocol: Protocol,
+    /// The campaign seed.
+    pub seed: u64,
+    /// Evaluations of the completed months (`0..months.len()`).
+    pub months: Vec<MonthEval>,
+}
+
+impl CampaignCheckpoint {
+    /// A fresh checkpoint: nothing run yet.
+    pub fn new(kind: StrategyKind, protocol: Protocol, seed: u64) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            kind,
+            protocol,
+            seed,
+            months: Vec::new(),
+        }
+    }
+
+    /// Completed cycles (month indices `0..months_done()` are done).
+    pub fn months_done(&self) -> u32 {
+        self.months.len() as u32
+    }
+
+    /// The job identity this checkpoint defines.
+    pub fn job(&self) -> CampaignJob {
+        CampaignJob::new(self.kind, self.protocol, self.seed)
+    }
+}
+
+/// The outcome of a resumable campaign run: finished, or suspended at a
+/// month boundary with the checkpoint to resume from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignRun {
+    /// The campaign covered every month of the source.
+    Done(CampaignResult),
+    /// The control hook suspended the campaign; resume by passing the
+    /// checkpoint back to [`run_campaign_checkpointed`].
+    Suspended(CampaignCheckpoint),
+}
+
 /// The family-generic campaign loop every public driver funnels into:
 /// prepare at t₀ from the source's seeding context, then
 /// `plan → evaluate → observe` for each month the source holds.
-fn drive_campaign<F, G>(
+///
+/// `done` carries the evaluations of months already completed by an
+/// earlier (interrupted) run: the driver rebuilds the strategy's state by
+/// replaying those cycles' plans and outcomes — skipping the expensive
+/// `evaluate` step, whose numbers are already stored — and continues with
+/// the first unfinished month. `control` is consulted at each remaining
+/// month boundary; `Err` carries the completed months back out when it
+/// suspends. Both paths are byte-identical to an uninterrupted serial
+/// run (campaigns are deterministic per seed).
+fn drive_campaign_from<F, G>(
     source: &G,
     strategy: &dyn Strategy<F>,
     protocol: Protocol,
     seed: u64,
-) -> CampaignResult
+    mut months: Vec<MonthEval>,
+    control: &mut dyn FnMut(u32) -> CampaignStep,
+) -> Result<CampaignResult, Vec<MonthEval>>
 where
     F: FamilySpace,
     G: GroundTruth<F> + ?Sized,
@@ -98,8 +256,27 @@ where
     let announced = F::announced_space(space);
     let t0 = source.snapshot(0, protocol);
     let mut prepared = strategy.prepare(space, &t0, seed);
-    let mut months = Vec::with_capacity(source.months() as usize + 1);
-    for m in 0..=source.months() {
+    // fast-forward: replay the completed cycles to rebuild strategy
+    // state. plan() must run for every cycle (it advances per-cycle
+    // state such as rotating exploration windows); the observe edge only
+    // matters to feedback strategies, and the stored evaluations are
+    // trusted rather than recomputed.
+    for m in 0..months.len() as u32 {
+        let plan = prepared.plan(m);
+        if prepared.wants_feedback() {
+            let truth = source.snapshot(m, protocol);
+            let outcome = CycleOutcome {
+                cycle: m,
+                probes: months[m as usize].eval.probes,
+                responsive: plan.observed(&truth, m, announced),
+            };
+            prepared.observe(m, &outcome);
+        }
+    }
+    for m in months.len() as u32..=source.months() {
+        if control(m) == CampaignStep::Suspend {
+            return Err(months);
+        }
         let truth = source.snapshot(m, protocol);
         let plan = prepared.plan(m);
         let eval = plan.evaluate(&truth, m, announced);
@@ -116,7 +293,7 @@ where
         months.push(MonthEval { month: m, eval });
     }
     let announced = F::wide_to_u128(announced);
-    CampaignResult {
+    Ok(CampaignResult {
         strategy: strategy.label(),
         protocol,
         probes_per_cycle: months[0].eval.probes,
@@ -126,6 +303,67 @@ where
             0.0
         },
         months,
+        job: None,
+    })
+}
+
+/// The uninterruptible convenience over [`drive_campaign_from`]: fresh
+/// start, never suspends.
+fn drive_campaign<F, G>(
+    source: &G,
+    strategy: &dyn Strategy<F>,
+    protocol: Protocol,
+    seed: u64,
+) -> CampaignResult
+where
+    F: FamilySpace,
+    G: GroundTruth<F> + ?Sized,
+{
+    match drive_campaign_from(source, strategy, protocol, seed, Vec::new(), &mut |_| {
+        CampaignStep::Continue
+    }) {
+        Ok(result) => result,
+        Err(_) => unreachable!("the always-Continue control never suspends"),
+    }
+}
+
+/// Run (or resume) a registry campaign with a per-month control hook —
+/// the resident service's driver.
+///
+/// `control` is called with the month index before each month runs; it
+/// is both the progress callback and the suspension point. Returning
+/// [`CampaignStep::Suspend`] stops the campaign at that month boundary
+/// and hands back a [`CampaignCheckpoint`] holding everything completed
+/// so far; passing that checkpoint back in resumes exactly where it
+/// stopped. Because campaigns are deterministic per seed, the final
+/// [`CampaignResult`] of any suspend/resume schedule is **byte-identical**
+/// to the uninterrupted [`run_campaign`] over the same source — the done
+/// result carries the checkpoint's [`CampaignJob`] identity stamped in
+/// (the one addition over the batch drivers, which identify results
+/// positionally).
+pub fn run_campaign_checkpointed<G>(
+    source: &G,
+    checkpoint: CampaignCheckpoint,
+    control: &mut dyn FnMut(u32) -> CampaignStep,
+) -> CampaignRun
+where
+    G: GroundTruth + ?Sized,
+{
+    let CampaignCheckpoint {
+        kind,
+        protocol,
+        seed,
+        months,
+    } = checkpoint;
+    let job = CampaignJob::new(kind, protocol, seed);
+    match drive_campaign_from(source, &*kind.strategy(), protocol, seed, months, control) {
+        Ok(result) => CampaignRun::Done(result.with_job(job)),
+        Err(months) => CampaignRun::Suspended(CampaignCheckpoint {
+            kind,
+            protocol,
+            seed,
+            months,
+        }),
     }
 }
 
@@ -211,12 +449,33 @@ impl CampaignPool {
     /// variable when set to a positive integer, otherwise all available
     /// cores. This is what the free [`run_matrix`] uses, so CI can pin
     /// the whole test suite to a worker count.
+    ///
+    /// A set-but-malformed value (`CAMPAIGN_WORKERS=abc`, `=0`, `=-3`)
+    /// falls back to all cores **with a one-line stderr warning** naming
+    /// the rejected value — a misconfigured deployment should be visible,
+    /// not silently running at a different parallelism than intended.
     pub fn from_env() -> CampaignPool {
-        let workers = std::env::var("CAMPAIGN_WORKERS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&w| w > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let all_cores = || std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = match std::env::var("CAMPAIGN_WORKERS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(w) if w > 0 => w,
+                _ => {
+                    eprintln!(
+                        "tass-core: ignoring CAMPAIGN_WORKERS={v:?} \
+                         (expected a positive integer); using all cores"
+                    );
+                    all_cores()
+                }
+            },
+            Err(std::env::VarError::NotPresent) => all_cores(),
+            Err(std::env::VarError::NotUnicode(v)) => {
+                eprintln!(
+                    "tass-core: ignoring CAMPAIGN_WORKERS={v:?} \
+                     (not valid unicode); using all cores"
+                );
+                all_cores()
+            }
+        };
         CampaignPool::new(workers)
     }
 
@@ -419,6 +678,7 @@ mod tests {
             probes_per_cycle: 0,
             probe_space_fraction: 0.0,
             months: Vec::new(),
+            job: None,
         };
         assert_eq!(empty.hitrate(0), 0.0);
         assert_eq!(empty.hitrate(6), 0.0);
@@ -507,6 +767,115 @@ mod tests {
         assert!(r.months[1].eval.probes < announced / 2);
         // and the average cost stays below a monthly full scan
         assert!(r.avg_probes_per_cycle() < announced as f64 * 0.75);
+    }
+
+    #[test]
+    fn checkpointed_run_without_suspension_equals_run_campaign() {
+        let u = universe();
+        let kind = StrategyKind::ReseedingTass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+            delta_t: 3,
+        };
+        let direct = run_campaign(&u, kind, Protocol::Http, 7);
+        let CampaignRun::Done(full) = run_campaign_checkpointed(
+            &u,
+            CampaignCheckpoint::new(kind, Protocol::Http, 7),
+            &mut |_| CampaignStep::Continue,
+        ) else {
+            panic!("never suspended, must be Done");
+        };
+        // identical numbers, plus the job identity stamped in
+        assert_eq!(full.months, direct.months);
+        assert_eq!(full.probes_per_cycle, direct.probes_per_cycle);
+        assert_eq!(
+            full.job,
+            Some(CampaignJob::new(kind, Protocol::Http, 7)),
+            "checkpointed driver stamps the job identity"
+        );
+        assert_eq!(
+            full.job.as_ref().unwrap().spec,
+            "reseeding-tass:more:0.95:3"
+        );
+    }
+
+    #[test]
+    fn suspend_resume_at_every_month_is_byte_identical() {
+        // suspend at every possible month boundary, resume, and require
+        // the final serialized result to match the uninterrupted run bit
+        // for bit — for a static, a reseeding, and an adaptive strategy
+        let u = universe();
+        let kinds = [
+            StrategyKind::IpHitlist,
+            StrategyKind::RandomSample { fraction: 0.05 },
+            StrategyKind::ReseedingTass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+                delta_t: 3,
+            },
+            StrategyKind::AdaptiveTass {
+                view: ViewKind::MoreSpecific,
+                phi: 0.95,
+                explore: 0.1,
+            },
+        ];
+        for kind in kinds {
+            let job = CampaignJob::new(kind, Protocol::Cwmp, 11);
+            let oracle = run_campaign(&u, kind, Protocol::Cwmp, 11).with_job(job);
+            let oracle_bytes = serde_json::to_string(&oracle).unwrap();
+            for stop_at in 0..=u.months() {
+                let mut fired = false;
+                let run = run_campaign_checkpointed(
+                    &u,
+                    CampaignCheckpoint::new(kind, Protocol::Cwmp, 11),
+                    &mut |m| {
+                        if m == stop_at && !fired {
+                            fired = true;
+                            CampaignStep::Suspend
+                        } else {
+                            CampaignStep::Continue
+                        }
+                    },
+                );
+                let CampaignRun::Suspended(ckpt) = run else {
+                    panic!("{kind:?}: must suspend at month {stop_at}");
+                };
+                assert_eq!(ckpt.months_done(), stop_at);
+                // a checkpoint survives serialization (that is how the
+                // daemon persists it across restarts)
+                let ckpt: CampaignCheckpoint =
+                    serde_json::from_str(&serde_json::to_string(&ckpt).unwrap()).unwrap();
+                let CampaignRun::Done(resumed) =
+                    run_campaign_checkpointed(&u, ckpt, &mut |_| CampaignStep::Continue)
+                else {
+                    panic!("{kind:?}: resume must finish");
+                };
+                assert_eq!(
+                    serde_json::to_string(&resumed).unwrap(),
+                    oracle_bytes,
+                    "{kind:?} suspended at {stop_at}: resume must be byte-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn job_field_is_omitted_from_json_unless_stamped() {
+        let u = universe();
+        let r = run_campaign(&u, StrategyKind::IpHitlist, Protocol::Http, 1);
+        let bytes = serde_json::to_string(&r).unwrap();
+        assert!(
+            !bytes.contains("\"job\""),
+            "batch results must serialize without a job field: {bytes}"
+        );
+        // roundtrip both shapes
+        let back: CampaignResult = serde_json::from_str(&bytes).unwrap();
+        assert_eq!(back, r);
+        let stamped = r.with_job(CampaignJob::new(StrategyKind::IpHitlist, Protocol::Http, 1));
+        let bytes = serde_json::to_string(&stamped).unwrap();
+        assert!(bytes.contains("\"job\"") && bytes.contains("\"ip-hitlist\""));
+        let back: CampaignResult = serde_json::from_str(&bytes).unwrap();
+        assert_eq!(back, stamped);
     }
 
     #[test]

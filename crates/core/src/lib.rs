@@ -49,10 +49,12 @@ pub mod density;
 pub mod metrics;
 pub mod plan;
 pub mod select;
+pub mod spec;
 pub mod strategy;
 
 pub use campaign::{
-    run_campaign, run_campaign_strategy, run_campaign_v6, run_matrix, CampaignPool, CampaignResult,
+    run_campaign, run_campaign_checkpointed, run_campaign_strategy, run_campaign_v6, run_matrix,
+    CampaignCheckpoint, CampaignJob, CampaignPool, CampaignResult, CampaignRun, CampaignStep,
 };
 pub use cluster::{cluster_units, Cluster, ClusterConfig};
 pub use density::{
@@ -61,6 +63,7 @@ pub use density::{
 pub use metrics::{efficiency_ratio, MonthEval};
 pub use plan::{CycleOutcome, Eval, PlanStream, ProbePlan, StreamError};
 pub use select::{select_prefixes, Selection};
+pub use spec::{parse_spec, SpecError};
 pub use strategy::{
     AdaptiveTass, Block24Sample, FamilySpace, FullScan, IpHitlist, Prepared, PreparedStrategy,
     RandomPrefix, RandomSample, ReseedingTass, Strategy, StrategyKind, Tass, V6BlockTass,

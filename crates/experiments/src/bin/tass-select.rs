@@ -27,13 +27,36 @@
 //!                       tass:more:0.95 + full-scan)
 //!   --seed N            campaign seed (default 1)
 //!   --csv FILE          also write per-month rows as CSV
+//!
+//! tass-select serve [--addr HOST:PORT] [--source NAME=SPEC]...
+//!                   [--workers N] [--checkpoint-dir DIR] [--drain]
+//!                   [--max-pending N] [--max-concurrent N]
+//!                   [--rate R] [--burst B] [--month-delay-ms MS]
+//!
+//!   --addr HOST:PORT    listen address (default 127.0.0.1:7447)
+//!   --source NAME=SPEC  register a ground-truth source; repeatable.
+//!                       Specs: universe:SEED | v6:SEED | corpus:DIR
+//!                       (default: demo=universe:1)
+//!   --workers N         campaign worker threads (default: the
+//!                       CAMPAIGN_WORKERS contract, i.e. all cores)
+//!   --checkpoint-dir D  persist unfinished jobs there on shutdown and
+//!                       resume them on the next start
+//!   --drain             on shutdown, finish queued jobs instead of
+//!                       checkpointing them
+//!   --max-pending N     per-tenant queued+running ceiling (default 64)
+//!   --max-concurrent N  per-tenant running ceiling (default 4)
+//!   --rate R            per-tenant submissions/second (default: unlimited)
+//!   --burst B           submission burst size (default 8)
+//!   --month-delay-ms MS pause before each campaign month (demos/tests)
 //! ```
 //!
 //! Selection mode writes a ZMap-compatible whitelist (one CIDR per line
 //! with a provenance header; statistics on stderr). Replay mode runs
 //! every strategy over every protocol the corpus holds — the identical
 //! campaign lifecycle the simulation uses — and prints the
-//! hitrate/probe-cost table.
+//! hitrate/probe-cost table. Serve mode runs `tassd`, the resident
+//! campaign service (tenant queues, quotas, checkpointed shutdown on
+//! SIGTERM/ctrl-c) — see `tass::service` for the API.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -42,14 +65,111 @@ use tass_core::strategy::StrategyKind;
 use tass_experiments::selectcli::{
     parse_strategy, render_replay, replay_csv, run_replay, run_select, to_whitelist,
 };
+use tass_model::registry::SourceRegistry;
+use tass_service::{add_source, api, signal, HttpServer, ServiceConfig, ShutdownMode, Tassd};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("replay") {
-        replay_main(&args[1..]);
-    } else {
-        select_main(&args);
+    match args.first().map(String::as_str) {
+        Some("replay") => replay_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        _ => select_main(&args),
     }
+}
+
+fn serve_main(args: &[String]) {
+    let mut addr = "127.0.0.1:7447".to_string();
+    let mut definitions: Vec<String> = Vec::new();
+    let mut cfg = ServiceConfig::default();
+    let mut drain = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = need(it.next(), "--addr", "HOST:PORT").clone(),
+            "--source" => definitions.push(need(it.next(), "--source", "NAME=SPEC").clone()),
+            "--workers" => cfg.workers = parse_flag(it.next(), "--workers"),
+            "--checkpoint-dir" => {
+                cfg.checkpoint_dir = Some(PathBuf::from(need(
+                    it.next(),
+                    "--checkpoint-dir",
+                    "a directory",
+                )))
+            }
+            "--drain" => drain = true,
+            "--max-pending" => cfg.quota.max_pending = parse_flag(it.next(), "--max-pending"),
+            "--max-concurrent" => {
+                cfg.quota.max_concurrent = parse_flag(it.next(), "--max-concurrent")
+            }
+            "--rate" => cfg.quota.submits_per_sec = parse_flag(it.next(), "--rate"),
+            "--burst" => cfg.quota.submit_burst = parse_flag(it.next(), "--burst"),
+            "--month-delay-ms" => {
+                cfg.month_delay =
+                    std::time::Duration::from_millis(parse_flag(it.next(), "--month-delay-ms"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tass-select serve [--addr HOST:PORT] [--source NAME=SPEC]... \
+                     [--workers N] [--checkpoint-dir DIR] [--drain] [--max-pending N] \
+                     [--max-concurrent N] [--rate R] [--burst B] [--month-delay-ms MS]"
+                );
+                return;
+            }
+            other => die(&format!("unknown serve argument {other:?}")),
+        }
+    }
+    if definitions.is_empty() {
+        definitions.push("demo=universe:1".to_string());
+    }
+    let mut registry = SourceRegistry::new();
+    for definition in &definitions {
+        if let Err(e) = add_source(&mut registry, definition) {
+            die(&e);
+        }
+    }
+    // checkpointing needs a directory; without one, drain is all we can do
+    let mode = if drain || cfg.checkpoint_dir.is_none() {
+        ShutdownMode::Drain
+    } else {
+        ShutdownMode::Checkpoint
+    };
+    signal::install();
+    let daemon = Tassd::start(std::sync::Arc::new(registry), cfg)
+        .unwrap_or_else(|e| die(&format!("cannot start tassd: {e}")));
+    let server = HttpServer::bind(&addr, daemon.core(), api::router())
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    eprintln!(
+        "tassd listening on {} ({} source{})",
+        server.addr(),
+        definitions.len(),
+        if definitions.len() == 1 { "" } else { "s" },
+    );
+    while !signal::shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!(
+        "tassd: shutting down ({})",
+        if mode == ShutdownMode::Drain {
+            "draining queued jobs"
+        } else {
+            "checkpointing unfinished jobs"
+        }
+    );
+    server.shutdown();
+    match daemon.shutdown(mode) {
+        Ok(report) => eprintln!(
+            "tassd: {} campaigns completed, {} checkpointed",
+            report.completed, report.checkpointed
+        ),
+        Err(e) => die(&format!("shutdown failed: {e}")),
+    }
+}
+
+/// Parse any `FromStr` flag value, or die naming the flag.
+fn parse_flag<T: std::str::FromStr>(value: Option<&String>, flag: &str) -> T {
+    need(value, flag, "a value")
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse value")))
 }
 
 fn replay_main(args: &[String]) {
@@ -143,7 +263,9 @@ fn select_main(args: &[String]) {
                     "usage: tass-select --pfx2as TABLE --responsive ADDRS \
                      [--phi 0.95] [--view less|more] [--out FILE]\n\
                      \x20      tass-select replay --corpus DIR [--strategy SPEC]... \
-                     [--seed N] [--csv FILE]"
+                     [--seed N] [--csv FILE]\n\
+                     \x20      tass-select serve [--addr HOST:PORT] \
+                     [--source NAME=SPEC]... [--checkpoint-dir DIR] [--drain]"
                 );
                 return;
             }

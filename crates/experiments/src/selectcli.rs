@@ -13,7 +13,7 @@ use tass_core::campaign::{CampaignPool, CampaignResult};
 use tass_core::density::rank_units;
 use tass_core::plan::ProbePlan;
 use tass_core::select::{select_prefixes, Selection};
-use tass_core::strategy::{ReseedingTass, StrategyKind};
+use tass_core::strategy::StrategyKind;
 use tass_model::corpus::{AddressListError, CorpusError, CorpusGroundTruth};
 use tass_model::HostSet;
 
@@ -148,68 +148,15 @@ impl SelectOutcome {
 /// reseeding-tass:<less|more>:<phi>:<dt|never>
 /// adaptive-tass:<less|more>:<phi>:<explore>
 /// ```
+///
+/// This is [`tass_core::spec::parse_spec`] — the same parser the `tassd`
+/// service uses for submitted campaigns — with the error wrapped for the
+/// CLI. [`StrategyKind::spec`] is its exact inverse.
 pub fn parse_strategy(text: &str) -> Result<StrategyKind, CliError> {
-    let bad = |reason: &str| CliError::BadStrategy {
-        text: text.to_string(),
-        reason: reason.to_string(),
-    };
-    let parts: Vec<&str> = text.split(':').collect();
-    let view = |s: &str| match s {
-        "less" => Ok(ViewKind::LessSpecific),
-        "more" => Ok(ViewKind::MoreSpecific),
-        _ => Err(bad("view must be `less` or `more`")),
-    };
-    // every numeric parameter of the registry is a fraction of hosts or
-    // space: reject NaN and out-of-range here, with the same [0, 1]
-    // contract selection mode enforces via BadPhi — a NaN phi would
-    // otherwise run and silently select nothing
-    let num = |s: &str, what: &str| {
-        let v: f64 = s
-            .parse()
-            .map_err(|_| bad(&format!("{what} must be a number")))?;
-        if !(0.0..=1.0).contains(&v) || v.is_nan() {
-            return Err(bad(&format!("{what} must be within [0, 1]")));
-        }
-        Ok(v)
-    };
-    match parts.as_slice() {
-        ["full-scan"] => Ok(StrategyKind::FullScan),
-        ["ip-hitlist"] => Ok(StrategyKind::IpHitlist),
-        ["tass", v, phi] => Ok(StrategyKind::Tass {
-            view: view(v)?,
-            phi: num(phi, "phi")?,
-        }),
-        ["random-sample", f] => Ok(StrategyKind::RandomSample {
-            fraction: num(f, "fraction")?,
-        }),
-        ["block24", f] => Ok(StrategyKind::Block24Sample {
-            fraction: num(f, "fraction")?,
-        }),
-        ["random-prefix", v, f] => Ok(StrategyKind::RandomPrefix {
-            view: view(v)?,
-            space_fraction: num(f, "fraction")?,
-        }),
-        ["reseeding-tass", v, phi, dt] => Ok(StrategyKind::ReseedingTass {
-            view: view(v)?,
-            phi: num(phi, "phi")?,
-            delta_t: if *dt == "never" {
-                ReseedingTass::NEVER
-            } else {
-                dt.parse::<u32>()
-                    .map_err(|_| bad("dt must be an integer or `never`"))?
-            },
-        }),
-        ["adaptive-tass", v, phi, explore] => Ok(StrategyKind::AdaptiveTass {
-            view: view(v)?,
-            phi: num(phi, "phi")?,
-            explore: num(explore, "explore")?,
-        }),
-        _ => Err(bad(
-            "expected full-scan | ip-hitlist | tass:VIEW:PHI | random-sample:F | \
-             block24:F | random-prefix:VIEW:F | reseeding-tass:VIEW:PHI:DT | \
-             adaptive-tass:VIEW:PHI:EXPLORE",
-        )),
-    }
+    tass_core::spec::parse_spec(text).map_err(|e| CliError::BadStrategy {
+        text: e.text,
+        reason: e.reason,
+    })
 }
 
 /// Replay a corpus directory through the pooled campaign matrix: every
@@ -301,6 +248,7 @@ pub fn to_whitelist(outcome: &SelectOutcome) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tass_core::strategy::ReseedingTass;
 
     const TABLE: &str = "\
 10.0.0.0\t22\t64500

@@ -25,6 +25,7 @@ pub mod corpus;
 pub mod distr;
 pub mod population;
 pub mod protocol;
+pub mod registry;
 pub mod snapshot;
 pub mod source;
 pub mod topology;
@@ -40,6 +41,9 @@ pub use population::{
     Population,
 };
 pub use protocol::Protocol;
+pub use registry::{
+    RegistryError, SharedSource, SharedSourceV6, SourceEntry, SourceInfo, SourceRegistry,
+};
 pub use snapshot::{DecodeError, HostSet, Snapshot};
 pub use source::{FamilySpace, GroundTruth};
 pub use topology::{BlockMeta, Topology};

@@ -1,0 +1,348 @@
+//! tassd's JSON API: the route table and the wire error vocabulary.
+//!
+//! | Endpoint | Auth | Purpose |
+//! |---|---|---|
+//! | `GET /v1/healthz` | none | liveness + job counters |
+//! | `GET /v1/sources` | none | the source catalogue |
+//! | `POST /v1/campaigns` | `X-Api-Key` | submit a campaign |
+//! | `GET /v1/campaigns/{id}` | `X-Api-Key` | job status |
+//! | `GET /v1/campaigns/{id}/results` | `X-Api-Key` | the finished `CampaignResult` |
+//!
+//! The API key **is** the tenant identity (tassd trusts its transport;
+//! it serves labs and CI, not the internet). Every error is a typed body
+//! `{"error":{"code":…,"message":…}}`; jobs of other tenants answer
+//! `404` exactly like jobs that never existed, so the job-id space leaks
+//! nothing across tenants.
+//!
+//! The results endpoint returns the stored `CampaignResult` JSON bytes
+//! verbatim — the daemon serializes a result once, when the campaign
+//! finishes, and never re-renders it, so the HTTP body is byte-identical
+//! to `serde_json::to_string(&run_campaign(…))` run locally.
+
+use crate::httpd::{Request, Response, Router};
+use crate::service::{ResultError, ServiceCore, SubmitError, SubmitRequest};
+use serde::Value;
+use tass_core::parse_spec;
+use tass_model::Protocol;
+
+/// Render the typed error body.
+fn error_body(code: &str, message: &str) -> String {
+    let v = Value::Map(vec![(
+        "error".to_string(),
+        Value::Map(vec![
+            ("code".to_string(), Value::Str(code.to_string())),
+            ("message".to_string(), Value::Str(message.to_string())),
+        ]),
+    )]);
+    serde_json::to_string(&v).expect("error bodies always render")
+}
+
+fn err(status: u16, code: &str, message: &str) -> Response {
+    Response::json(status, error_body(code, message))
+}
+
+/// The tenant identity, from `X-Api-Key`.
+fn tenant(req: &Request) -> Result<String, Response> {
+    match req.header("x-api-key") {
+        Some(key) if !key.is_empty() => Ok(key.to_string()),
+        _ => Err(err(
+            401,
+            "missing_api_key",
+            "campaign endpoints require an X-Api-Key header naming the tenant",
+        )),
+    }
+}
+
+fn lookup<'v>(body: &'v Value, key: &str) -> Option<&'v Value> {
+    match body {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn parse_submission(body: &[u8]) -> Result<SubmitRequest, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| err(400, "bad_request", "request body must be UTF-8 JSON"))?;
+    let v: Value = serde_json::from_str(text).map_err(|e| {
+        err(
+            400,
+            "bad_request",
+            &format!("request body is not JSON: {e}"),
+        )
+    })?;
+    let field_str = |key: &str| match lookup(&v, key) {
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(Value::Null) | None => Ok(None),
+        Some(_) => Err(err(
+            400,
+            "bad_request",
+            &format!("field {key:?} must be a string"),
+        )),
+    };
+    let field_u64 = |key: &str| match lookup(&v, key) {
+        Some(Value::U64(n)) => Ok(Some(*n)),
+        Some(Value::Null) | None => Ok(None),
+        Some(_) => Err(err(
+            400,
+            "bad_request",
+            &format!("field {key:?} must be a non-negative integer"),
+        )),
+    };
+    let source = field_str("source")?
+        .ok_or_else(|| err(400, "bad_request", "field \"source\" is required"))?;
+    let strategy = field_str("strategy")?
+        .ok_or_else(|| err(400, "bad_request", "field \"strategy\" is required"))?;
+    let kind = parse_spec(&strategy).map_err(|e| err(422, "bad_strategy", &e.to_string()))?;
+    let protocol = match field_str("protocol")? {
+        None => None,
+        Some(tag) => Some(
+            tag.parse::<Protocol>()
+                .map_err(|e| err(400, "bad_protocol", &e))?,
+        ),
+    };
+    let seed = field_u64("seed")?.unwrap_or(1);
+    let months = match field_u64("months")? {
+        None => None,
+        Some(m) => Some(
+            u32::try_from(m)
+                .map_err(|_| err(400, "bad_request", "field \"months\" is too large"))?,
+        ),
+    };
+    Ok(SubmitRequest {
+        source,
+        kind,
+        protocol,
+        seed,
+        months,
+    })
+}
+
+fn submit_error(e: SubmitError) -> Response {
+    let message = e.to_string();
+    match e {
+        SubmitError::NotAccepting => err(503, "shutting_down", &message),
+        SubmitError::UnknownSource(_) => err(404, "unknown_source", &message),
+        SubmitError::UnsupportedFamily(_) => err(422, "unsupported_family", &message),
+        SubmitError::BadProtocol { .. } => err(400, "bad_protocol", &message),
+        SubmitError::BadMonths { .. } => err(400, "bad_months", &message),
+        SubmitError::RateLimited => err(429, "rate_limited", &message),
+        SubmitError::QuotaExceeded { .. } => err(429, "quota_exceeded", &message),
+    }
+}
+
+fn job_id(params_id: Option<&str>) -> Result<u64, Response> {
+    params_id
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| err(400, "bad_request", "campaign id must be an integer"))
+}
+
+/// The daemon's route table over a shared [`ServiceCore`].
+pub fn router() -> Router<ServiceCore> {
+    Router::new()
+        .route("GET", "/v1/healthz", |core: &ServiceCore, _req, _p| {
+            let stats = core.stats();
+            Response::json(200, serde_json::to_string(&stats).expect("stats render"))
+        })
+        .route("GET", "/v1/sources", |core: &ServiceCore, _req, _p| {
+            let sources = core.registry().list();
+            Response::json(
+                200,
+                serde_json::to_string(&sources).expect("sources render"),
+            )
+        })
+        .route("POST", "/v1/campaigns", |core: &ServiceCore, req, _p| {
+            let tenant = match tenant(req) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let submission = match parse_submission(&req.body) {
+                Ok(s) => s,
+                Err(resp) => return resp,
+            };
+            match core.submit(&tenant, submission) {
+                Ok(id) => Response::json(201, format!(r#"{{"id":{id},"status":"queued"}}"#)),
+                Err(e) => submit_error(e),
+            }
+        })
+        .route("GET", "/v1/campaigns/{id}", |core: &ServiceCore, req, p| {
+            let tenant = match tenant(req) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let id = match job_id(p.get("id")) {
+                Ok(id) => id,
+                Err(resp) => return resp,
+            };
+            match core.job_view(&tenant, id) {
+                Some(view) => {
+                    Response::json(200, serde_json::to_string(&view).expect("views render"))
+                }
+                None => err(
+                    404,
+                    "unknown_campaign",
+                    &format!("no campaign {id} for this tenant"),
+                ),
+            }
+        })
+        .route(
+            "GET",
+            "/v1/campaigns/{id}/results",
+            |core: &ServiceCore, req, p| {
+                let tenant = match tenant(req) {
+                    Ok(t) => t,
+                    Err(resp) => return resp,
+                };
+                let id = match job_id(p.get("id")) {
+                    Ok(id) => id,
+                    Err(resp) => return resp,
+                };
+                match core.job_result(&tenant, id) {
+                    Ok(json) => Response::json(200, json),
+                    Err(ResultError::NotFound) => err(
+                        404,
+                        "unknown_campaign",
+                        &format!("no campaign {id} for this tenant"),
+                    ),
+                    Err(ResultError::NotDone { status }) => err(
+                        409,
+                        "not_done",
+                        &format!("campaign {id} is {status}; results exist once it is done"),
+                    ),
+                }
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServiceConfig, ShutdownMode, Tassd};
+    use std::sync::Arc;
+    use tass_model::registry::SourceRegistry;
+    use tass_model::universe::{Universe, UniverseConfig};
+
+    fn request(method: &str, path: &str, key: Option<&str>, body: &str) -> Request {
+        let mut headers = Vec::new();
+        if let Some(key) = key {
+            headers.push(("x-api-key".to_string(), key.to_string()));
+        }
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn wire_errors_are_typed() {
+        let mut reg = SourceRegistry::new();
+        reg.insert_v4(
+            "demo",
+            Arc::new(Universe::generate(&UniverseConfig::small(2))),
+        )
+        .unwrap();
+        let daemon = Tassd::start(Arc::new(reg), ServiceConfig::default()).unwrap();
+        let core = daemon.core();
+        let router = router();
+        let cases: Vec<(Request, u16, &str)> = vec![
+            // no API key
+            (
+                request("POST", "/v1/campaigns", None, "{}"),
+                401,
+                "missing_api_key",
+            ),
+            // malformed JSON
+            (
+                request("POST", "/v1/campaigns", Some("t"), "{nope"),
+                400,
+                "bad_request",
+            ),
+            // missing required fields
+            (
+                request("POST", "/v1/campaigns", Some("t"), "{}"),
+                400,
+                "bad_request",
+            ),
+            // unknown source
+            (
+                request(
+                    "POST",
+                    "/v1/campaigns",
+                    Some("t"),
+                    r#"{"source":"nope","strategy":"full-scan"}"#,
+                ),
+                404,
+                "unknown_source",
+            ),
+            // malformed strategy spec
+            (
+                request(
+                    "POST",
+                    "/v1/campaigns",
+                    Some("t"),
+                    r#"{"source":"demo","strategy":"tass:sideways:0.9"}"#,
+                ),
+                422,
+                "bad_strategy",
+            ),
+            // bad protocol tag
+            (
+                request(
+                    "POST",
+                    "/v1/campaigns",
+                    Some("t"),
+                    r#"{"source":"demo","strategy":"full-scan","protocol":"gopher"}"#,
+                ),
+                400,
+                "bad_protocol",
+            ),
+            // horizon beyond the source
+            (
+                request(
+                    "POST",
+                    "/v1/campaigns",
+                    Some("t"),
+                    r#"{"source":"demo","strategy":"full-scan","months":99}"#,
+                ),
+                400,
+                "bad_months",
+            ),
+            // status of a job that does not exist
+            (
+                request("GET", "/v1/campaigns/77", Some("t"), ""),
+                404,
+                "unknown_campaign",
+            ),
+            (
+                request("GET", "/v1/campaigns/77/results", Some("t"), ""),
+                404,
+                "unknown_campaign",
+            ),
+            (
+                request("GET", "/v1/campaigns/abc", Some("t"), ""),
+                400,
+                "bad_request",
+            ),
+        ];
+        for (req, status, code) in cases {
+            let resp = router.dispatch(&*core, &req);
+            let body = String::from_utf8(resp.body.clone()).unwrap();
+            assert_eq!(
+                (resp.status, body.contains(code)),
+                (status, true),
+                "{} {} -> {body}",
+                req.method,
+                req.path
+            );
+        }
+        // unauthenticated endpoints answer without a key
+        let resp = router.dispatch(&*core, &request("GET", "/v1/healthz", None, ""));
+        assert_eq!(resp.status, 200);
+        let resp = router.dispatch(&*core, &request("GET", "/v1/sources", None, ""));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(body.contains(r#""name":"demo""#), "{body}");
+        daemon.shutdown(ShutdownMode::Drain).unwrap();
+    }
+}

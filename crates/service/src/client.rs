@@ -1,0 +1,150 @@
+//! A minimal blocking HTTP/1.1 client for tassd's API — what the
+//! integration tests, the load bench, and the CI smoke job submit
+//! campaigns with.
+//!
+//! Keep-alive with transparent reconnect: the client holds one TCP
+//! connection and re-dials once when the server has closed it between
+//! requests (idle timeout, daemon restart). Only what the JSON API
+//! needs: `Content-Length` framing, no chunked encoding, no redirects.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// The `X-Api-Key` header tassd reads the tenant identity from.
+pub const API_KEY_HEADER: &str = "X-Api-Key";
+
+/// A blocking keep-alive client bound to one server address.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl HttpClient {
+    /// A client for `addr`. Dials lazily on the first request.
+    pub fn connect(addr: SocketAddr) -> HttpClient {
+        HttpClient { addr, stream: None }
+    }
+
+    /// `GET path`, optionally authenticated. Returns `(status, body)`.
+    pub fn get(&mut self, path: &str, api_key: Option<&str>) -> io::Result<(u16, String)> {
+        self.request("GET", path, api_key, None)
+    }
+
+    /// `POST path` with a JSON body. Returns `(status, body)`.
+    pub fn post(
+        &mut self,
+        path: &str,
+        api_key: Option<&str>,
+        body: &str,
+    ) -> io::Result<(u16, String)> {
+        self.request("POST", path, api_key, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        api_key: Option<&str>,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        // one transparent retry: a keep-alive peer may have closed the
+        // cached connection since the last request
+        match self.request_once(method, path, api_key, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.stream = None;
+                self.request_once(method, path, api_key, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        api_key: Option<&str>,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: tassd\r\n");
+        if let Some(key) = api_key {
+            head.push_str(&format!("{API_KEY_HEADER}: {key}\r\n"));
+        }
+        let body = body.unwrap_or("");
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        ));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        let result = read_response(stream);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<(u16, String)> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let content_length: usize = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    String::from_utf8(body)
+        .map(|b| (status, b))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))
+}

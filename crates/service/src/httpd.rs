@@ -1,0 +1,523 @@
+//! A small threaded HTTP/1.1 server on `std::net` — just enough wire
+//! protocol for tassd's JSON API.
+//!
+//! The build environment has no async runtime and no web framework, so
+//! the daemon speaks HTTP the way ZMap speaks TCP: by hand. The shape is
+//! deliberately axum-like — a [`Router`] of `(method, path pattern)`
+//! routes over shared state, with `{param}` segments — so the API layer
+//! reads like any mainstream Rust service and could be ported to a real
+//! framework by rewriting only this module.
+//!
+//! Scope (and non-scope): HTTP/1.1 keep-alive with `Content-Length`
+//! framing only — no chunked encoding, no TLS, no HTTP/2. Header blocks
+//! are capped at 16 KiB and bodies at 4 MiB; anything malformed gets a
+//! `400` and the connection closed. Each connection runs on its own
+//! thread (the API holds locks for microseconds, so a thread per tenant
+//! connection is plenty at campaign-service scale), and both the accept
+//! loop and connection reads poll a shared stop flag so shutdown never
+//! hangs on an idle keep-alive connection.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Largest accepted request-line + header block.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+/// How long an idle keep-alive connection is kept before the server
+/// closes it.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Granularity of stop-flag polling in blocking reads/accepts.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/v1/campaigns/3`).
+    pub path: String,
+    /// Header fields, names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request body as UTF-8 (`None` if it is not valid UTF-8).
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// An HTTP response: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> io::Result<()> {
+        // one write per response: a head-then-body pair of small writes
+        // trips Nagle + delayed-ACK (~40 ms per roundtrip on loopback)
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        let mut wire = Vec::with_capacity(head.len() + self.body.len());
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(&self.body);
+        stream.write_all(&wire)?;
+        stream.flush()
+    }
+}
+
+/// Path parameters captured by `{name}` segments of the matched route.
+#[derive(Debug, Default, Clone)]
+pub struct PathParams(Vec<(String, String)>);
+
+impl PathParams {
+    /// The captured value of `{name}`, if the route declared it.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+enum Seg {
+    Lit(String),
+    Param(String),
+}
+
+type Handler<S> = Box<dyn Fn(&S, &Request, &PathParams) -> Response + Send + Sync>;
+
+struct Route<S> {
+    method: &'static str,
+    pattern: Vec<Seg>,
+    handler: Handler<S>,
+}
+
+/// A method + path-pattern dispatcher over shared state `S`.
+pub struct Router<S> {
+    routes: Vec<Route<S>>,
+}
+
+impl<S> Default for Router<S> {
+    fn default() -> Self {
+        Router { routes: Vec::new() }
+    }
+}
+
+impl<S> Router<S> {
+    /// An empty router.
+    pub fn new() -> Router<S> {
+        Router::default()
+    }
+
+    /// Register a route. Patterns are `/`-separated literals with
+    /// `{name}` parameter segments, e.g. `/v1/campaigns/{id}/results`.
+    pub fn route(
+        mut self,
+        method: &'static str,
+        pattern: &str,
+        handler: impl Fn(&S, &Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> Router<S> {
+        let pattern = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(
+                |s| match s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                    Some(name) => Seg::Param(name.to_string()),
+                    None => Seg::Lit(s.to_string()),
+                },
+            )
+            .collect();
+        self.routes.push(Route {
+            method,
+            pattern,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    fn match_path(pattern: &[Seg], path: &str) -> Option<PathParams> {
+        let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        if segs.len() != pattern.len() {
+            return None;
+        }
+        let mut params = Vec::new();
+        for (pat, seg) in pattern.iter().zip(&segs) {
+            match pat {
+                Seg::Lit(lit) if lit == seg => {}
+                Seg::Lit(_) => return None,
+                Seg::Param(name) => params.push((name.clone(), (*seg).to_string())),
+            }
+        }
+        Some(PathParams(params))
+    }
+
+    /// Dispatch one request: `404` when no pattern matches the path,
+    /// `405` when a pattern matches but not the method.
+    pub fn dispatch(&self, state: &S, req: &Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = Router::<S>::match_path(&route.pattern, &req.path) {
+                if route.method == req.method {
+                    return (route.handler)(state, req, &params);
+                }
+                path_matched = true;
+            }
+        }
+        if path_matched {
+            Response::json(
+                405,
+                r#"{"error":{"code":"method_not_allowed","message":"method not allowed for this path"}}"#,
+            )
+        } else {
+            Response::json(
+                404,
+                r#"{"error":{"code":"not_found","message":"no such endpoint"}}"#,
+            )
+        }
+    }
+}
+
+/// Read one request off a keep-alive connection.
+///
+/// `Ok(None)` means the connection ended cleanly (peer closed, idle
+/// timeout with no partial request, or the stop flag was raised between
+/// requests); `Err` means a protocol violation worth a `400`.
+fn read_request(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<Request>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut idle = Duration::ZERO;
+    // phase 1: the head, up to the blank line
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "header too large",
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated head",
+                ));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += POLL;
+                // between requests, a stop or an idle timeout ends the
+                // connection quietly; mid-request they abort it
+                if buf.is_empty() && (stop.load(Ordering::Relaxed) || idle >= IDLE_TIMEOUT) {
+                    return Ok(None);
+                }
+                if !buf.is_empty() && idle >= IDLE_TIMEOUT {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "slow request head"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request line"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    // phase 2: the body
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    let mut idle = Duration::ZERO;
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated body",
+                ))
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += POLL;
+                if idle >= IDLE_TIMEOUT {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "slow request body"));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn handle_connection<S>(
+    mut stream: TcpStream,
+    state: Arc<S>,
+    router: Arc<Router<S>>,
+    stop: Arc<AtomicBool>,
+) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    loop {
+        match read_request(&mut stream, &stop) {
+            Ok(Some(req)) => {
+                let wants_close = req
+                    .header("connection")
+                    .is_some_and(|c| c.eq_ignore_ascii_case("close"));
+                let resp = router.dispatch(&state, &req);
+                if resp.write_to(&mut stream).is_err() || wants_close {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                let _ = Response::json(
+                    400,
+                    r#"{"error":{"code":"bad_request","message":"malformed HTTP request"}}"#,
+                )
+                .write_to(&mut stream);
+                return;
+            }
+        }
+    }
+}
+
+/// A running HTTP server: the bound address and a shutdown handle.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and serve `router` over `state`
+    /// until [`HttpServer::shutdown`].
+    pub fn bind<S: Send + Sync + 'static>(
+        addr: &str,
+        state: Arc<S>,
+        router: Router<S>,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(router);
+        let accept = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("tassd-accept".to_string())
+                .spawn(move || loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((conn, _)) => {
+                            let _ = conn.set_nodelay(true);
+                            let state = Arc::clone(&state);
+                            let router = Arc::clone(&router);
+                            let stop = Arc::clone(&stop);
+                            let _ = thread::Builder::new()
+                                .name("tassd-conn".to_string())
+                                .spawn(move || handle_connection(conn, state, router, stop));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+                        Err(_) => thread::sleep(POLL),
+                    }
+                })?
+        };
+        Ok(HttpServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` port requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting; open keep-alive connections close within one poll
+    /// interval of going idle.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn router() -> Router<u32> {
+        Router::new()
+            .route("GET", "/ping", |state, _req, _p| {
+                Response::text(200, format!("pong {state}"))
+            })
+            .route("GET", "/items/{id}/detail", |_state, _req, p| {
+                Response::json(200, format!(r#"{{"id":"{}"}}"#, p.get("id").unwrap()))
+            })
+            .route("POST", "/echo", |_state, req, _p| {
+                Response::json(200, req.body.clone())
+            })
+    }
+
+    #[test]
+    fn routes_params_and_errors_over_real_tcp() {
+        let server = HttpServer::bind("127.0.0.1:0", Arc::new(7u32), router()).unwrap();
+        let mut client = HttpClient::connect(server.addr());
+        let (status, body) = client.get("/ping", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, "pong 7"));
+        let (status, body) = client.get("/items/42/detail", None).unwrap();
+        assert_eq!((status, body.as_str()), (200, r#"{"id":"42"}"#));
+        let (status, body) = client.post("/echo", None, r#"{"k":1}"#).unwrap();
+        assert_eq!((status, body.as_str()), (200, r#"{"k":1}"#));
+        // 404 vs 405 are distinguished
+        let (status, body) = client.get("/nope", None).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("not_found"));
+        let (status, body) = client.post("/ping", None, "").unwrap();
+        assert_eq!(status, 405);
+        assert!(body.contains("method_not_allowed"));
+        // many requests ride one keep-alive connection
+        for _ in 0..20 {
+            let (status, _) = client.get("/ping", None).unwrap();
+            assert_eq!(status, 200);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let server = HttpServer::bind("127.0.0.1:0", Arc::new(0u32), router()).unwrap();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"GET /ping HTTP/1.1\r\nthis header has no colon\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        let _ = raw.read_to_string(&mut resp);
+        assert!(resp.starts_with("HTTP/1.1 400"), "got {resp:?}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,964 @@
+//! The resident campaign service: tenant queues, fair dispatch, quotas,
+//! and checkpointed shutdown.
+//!
+//! [`Tassd`] owns a pool of worker threads (sized by
+//! [`tass_core::CampaignPool`], so `CAMPAIGN_WORKERS` governs the daemon
+//! exactly as it governs batch matrices) and a table of campaign jobs
+//! keyed by tenant. Submissions join their tenant's FIFO queue; workers
+//! claim across tenants **round-robin**, so one tenant flooding its
+//! queue cannot starve another — each tenant is additionally capped by a
+//! token-bucket submission rate ([`tass_scan::rate::TokenBucket`] fed
+//! wall-clock time) and a pending-jobs quota.
+//!
+//! Campaigns run through [`run_campaign_checkpointed`], which is what
+//! makes shutdown graceful in both senses:
+//!
+//! * **drain** — stop accepting, finish every queued job, exit;
+//! * **checkpoint** — stop accepting, suspend running campaigns at the
+//!   next month boundary, and persist every unfinished job (strategy
+//!   kind + seed + completed months) as one JSON file per job. A daemon
+//!   restarted over the same checkpoint directory resumes those jobs
+//!   under their original ids and produces **byte-identical** results to
+//!   an uninterrupted run — campaigns are deterministic per seed, and
+//!   the resume path replays completed cycles instead of recomputing
+//!   them.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use tass_core::{
+    run_campaign_checkpointed, CampaignCheckpoint, CampaignPool, CampaignRun, CampaignStep,
+    StrategyKind,
+};
+use tass_model::corpus::CorpusError;
+use tass_model::registry::{SharedSource, SourceEntry, SourceRegistry};
+use tass_model::snapshot::Snapshot;
+use tass_model::source::GroundTruth;
+use tass_model::topology::Topology;
+use tass_model::Protocol;
+use tass_scan::rate::TokenBucket;
+
+/// How long an idle worker sleeps on the wake condvar before re-checking
+/// the stop flags.
+const WORKER_POLL: Duration = Duration::from_millis(25);
+
+/// Per-tenant limits, enforced at submission time.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Ceiling on jobs queued or running at once (submission gets `429`
+    /// beyond it).
+    pub max_pending: usize,
+    /// Ceiling on a tenant's concurrently *running* jobs — the
+    /// dispatcher skips the tenant while at the cap, leaving workers to
+    /// other tenants.
+    pub max_concurrent: usize,
+    /// Sustained submissions per second (`0.0` disables rate limiting).
+    pub submits_per_sec: f64,
+    /// Burst size of the submission token bucket.
+    pub submit_burst: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_pending: 64,
+            max_concurrent: 4,
+            submits_per_sec: 0.0,
+            submit_burst: 8.0,
+        }
+    }
+}
+
+impl TenantQuota {
+    fn bucket(&self) -> TokenBucket {
+        if self.submits_per_sec > 0.0 {
+            TokenBucket::new(self.submits_per_sec, self.submit_burst.max(1.0))
+        } else {
+            TokenBucket::unlimited()
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Campaign worker threads; `0` defers to
+    /// [`CampaignPool::from_env`] (the `CAMPAIGN_WORKERS` contract).
+    pub workers: usize,
+    /// Limits applied to every tenant.
+    pub quota: TenantQuota,
+    /// Where checkpointed-shutdown job files live; `None` disables
+    /// persistence (drain is then the only graceful mode).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Artificial pause before each campaign month — zero in production,
+    /// nonzero in tests and demos that need to observe running campaigns
+    /// or interrupt them mid-flight.
+    pub month_delay: Duration,
+}
+
+/// A validated campaign submission.
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// Registry name of the ground-truth source.
+    pub source: String,
+    /// The strategy to run.
+    pub kind: StrategyKind,
+    /// Protocol to scan; `None` picks the source's first.
+    pub protocol: Option<Protocol>,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Optional horizon cap: run only months `0..=months` of the source.
+    pub months: Option<u32>,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The daemon is shutting down.
+    NotAccepting,
+    /// No source under that name.
+    UnknownSource(String),
+    /// The source exists but is not an IPv4 source; campaigns over it
+    /// are not yet supported.
+    UnsupportedFamily(String),
+    /// The requested protocol is not offered by the source.
+    BadProtocol {
+        /// The requested protocol.
+        protocol: Protocol,
+        /// What the source offers.
+        offered: Vec<Protocol>,
+    },
+    /// The requested month horizon exceeds the source.
+    BadMonths {
+        /// The requested horizon.
+        requested: u32,
+        /// The source's horizon.
+        max: u32,
+    },
+    /// The tenant's submission token bucket is empty.
+    RateLimited,
+    /// The tenant already has `max_pending` jobs queued or running.
+    QuotaExceeded {
+        /// Jobs currently pending for the tenant.
+        pending: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::NotAccepting => write!(f, "service is shutting down"),
+            SubmitError::UnknownSource(name) => write!(f, "no source named {name:?}"),
+            SubmitError::UnsupportedFamily(name) => write!(
+                f,
+                "source {name:?} is not an IPv4 source; v6 campaigns are not yet served"
+            ),
+            SubmitError::BadProtocol { protocol, offered } => {
+                let offered: Vec<&str> = offered.iter().map(|p| p.tag()).collect();
+                write!(
+                    f,
+                    "source does not offer {}; offered: {}",
+                    protocol.tag(),
+                    offered.join(", ")
+                )
+            }
+            SubmitError::BadMonths { requested, max } => {
+                write!(f, "months {requested} exceeds the source horizon {max}")
+            }
+            SubmitError::RateLimited => write!(f, "submission rate limit exceeded; retry later"),
+            SubmitError::QuotaExceeded { pending, max } => {
+                write!(f, "tenant has {pending} pending jobs (quota {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a result fetch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultError {
+    /// No such job for this tenant.
+    NotFound,
+    /// The job exists but has no result yet (or failed).
+    NotDone {
+        /// Current status tag (`queued` / `running` / `failed`).
+        status: String,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl JobStatus {
+    fn tag(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The tenant-visible view of one job — what `GET /v1/campaigns/{id}`
+/// serializes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobView {
+    /// Job id (unique across tenants, stable across daemon restarts).
+    pub id: u64,
+    /// `queued` / `running` / `done` / `failed`.
+    pub status: String,
+    /// Source registry name.
+    pub source: String,
+    /// Compact strategy spec (the job identity string).
+    pub strategy: String,
+    /// Protocol tag.
+    pub protocol: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Campaign cycles completed so far (a finished campaign has
+    /// `months_total + 1`: the t₀ cycle plus one per following month).
+    pub months_done: u32,
+    /// Month horizon the campaign covers.
+    pub months_total: u32,
+    /// Global completion sequence number, assigned when the job
+    /// finishes — the fairness audit trail.
+    pub completion_index: Option<u64>,
+}
+
+/// One persisted unfinished job — the checkpointed-shutdown file format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JobFile {
+    id: u64,
+    tenant: String,
+    source: String,
+    months_total: u32,
+    checkpoint: CampaignCheckpoint,
+}
+
+struct Job {
+    tenant: String,
+    source: String,
+    kind: StrategyKind,
+    protocol: Protocol,
+    seed: u64,
+    months_total: u32,
+    status: JobStatus,
+    /// Present while the job is claimable (queued or suspended); taken
+    /// by the worker for the duration of the run.
+    checkpoint: Option<CampaignCheckpoint>,
+    months_done: u32,
+    /// The byte-stable `CampaignResult` JSON, exactly as
+    /// `serde_json::to_string` rendered it.
+    result_json: Option<String>,
+    completion_index: Option<u64>,
+}
+
+struct Tenant {
+    queue: VecDeque<u64>,
+    running: usize,
+    bucket: TokenBucket,
+}
+
+#[derive(Default)]
+struct JobTable {
+    jobs: BTreeMap<u64, Job>,
+    tenants: BTreeMap<String, Tenant>,
+    /// Round-robin dispatch order over tenant names.
+    rr: VecDeque<String>,
+    next_id: u64,
+    completions: u64,
+}
+
+impl JobTable {
+    fn tenant_mut(&mut self, name: &str, quota: &TenantQuota) -> &mut Tenant {
+        if !self.tenants.contains_key(name) {
+            self.tenants.insert(
+                name.to_string(),
+                Tenant {
+                    queue: VecDeque::new(),
+                    running: 0,
+                    bucket: quota.bucket(),
+                },
+            );
+            self.rr.push_back(name.to_string());
+        }
+        self.tenants.get_mut(name).expect("inserted above")
+    }
+
+    fn queued_total(&self) -> usize {
+        self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+
+    /// Claim the next runnable job, visiting tenants round-robin so no
+    /// tenant's backlog starves the others.
+    fn claim(&mut self, quota: &TenantQuota) -> Option<(u64, CampaignCheckpoint)> {
+        for _ in 0..self.rr.len() {
+            let name = self.rr.pop_front().expect("rr nonempty in loop");
+            self.rr.push_back(name.clone());
+            let tenant = self.tenants.get_mut(&name).expect("rr names resolve");
+            if tenant.running >= quota.max_concurrent || tenant.queue.is_empty() {
+                continue;
+            }
+            let id = tenant.queue.pop_front().expect("queue nonempty");
+            tenant.running += 1;
+            let job = self.jobs.get_mut(&id).expect("queued ids resolve");
+            job.status = JobStatus::Running;
+            let checkpoint = job
+                .checkpoint
+                .take()
+                .expect("queued jobs hold a checkpoint");
+            return Some((id, checkpoint));
+        }
+        None
+    }
+}
+
+/// A [`GroundTruth`] view of a shared source with a capped month
+/// horizon — how the `months` submission field shortens a campaign
+/// without touching the source.
+struct Capped {
+    inner: SharedSource,
+    months: u32,
+}
+
+impl GroundTruth for Capped {
+    fn topology(&self) -> &Topology {
+        self.inner.topology()
+    }
+
+    fn months(&self) -> u32 {
+        self.months
+    }
+
+    fn protocols(&self) -> Vec<Protocol> {
+        self.inner.protocols()
+    }
+
+    fn load_snapshot(&self, month: u32, protocol: Protocol) -> Result<Arc<Snapshot>, CorpusError> {
+        if month > self.months {
+            return Err(CorpusError::MissingMonth { month, protocol });
+        }
+        self.inner.load_snapshot(month, protocol)
+    }
+}
+
+/// Aggregate daemon statistics (the `GET /v1/healthz` payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Seconds since the daemon started.
+    pub uptime_secs: u64,
+    /// Whether submissions are being accepted.
+    pub accepting: bool,
+    /// Jobs waiting in tenant queues.
+    pub queued: usize,
+    /// Jobs currently running on workers.
+    pub running: usize,
+    /// Jobs finished successfully.
+    pub done: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+}
+
+/// Shared daemon state: the source registry, the configuration, and the
+/// job table. HTTP handlers and workers both talk to this.
+pub struct ServiceCore {
+    registry: Arc<SourceRegistry>,
+    cfg: ServiceConfig,
+    started: Instant,
+    accepting: AtomicBool,
+    stop: AtomicBool,
+    drain: AtomicBool,
+    table: Mutex<JobTable>,
+    wake: Condvar,
+}
+
+impl ServiceCore {
+    /// The daemon's source catalogue.
+    pub fn registry(&self) -> &SourceRegistry {
+        &self.registry
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let table = self.table.lock().expect("job table lock");
+        let mut running = 0;
+        let mut done = 0;
+        let mut failed = 0;
+        for job in table.jobs.values() {
+            match job.status {
+                JobStatus::Running => running += 1,
+                JobStatus::Done => done += 1,
+                JobStatus::Failed => failed += 1,
+                JobStatus::Queued => {}
+            }
+        }
+        ServiceStats {
+            uptime_secs: self.started.elapsed().as_secs(),
+            accepting: self.accepting.load(Ordering::Relaxed),
+            queued: table.queued_total(),
+            running,
+            done,
+            failed,
+        }
+    }
+
+    /// Validate and enqueue a campaign submission for `tenant`.
+    pub fn submit(&self, tenant: &str, req: SubmitRequest) -> Result<u64, SubmitError> {
+        if !self.accepting.load(Ordering::Relaxed) {
+            return Err(SubmitError::NotAccepting);
+        }
+        let source = match self.registry.get(&req.source) {
+            None => return Err(SubmitError::UnknownSource(req.source.clone())),
+            Some(SourceEntry::V6(_)) => {
+                return Err(SubmitError::UnsupportedFamily(req.source.clone()))
+            }
+            Some(SourceEntry::V4(s)) => Arc::clone(s),
+        };
+        let offered = source.protocols();
+        let protocol = match req.protocol {
+            Some(p) if !offered.contains(&p) => {
+                return Err(SubmitError::BadProtocol {
+                    protocol: p,
+                    offered,
+                })
+            }
+            Some(p) => p,
+            None => *offered.first().expect("sources offer >=1 protocol"),
+        };
+        let months_total = match req.months {
+            Some(m) if m > source.months() => {
+                return Err(SubmitError::BadMonths {
+                    requested: m,
+                    max: source.months(),
+                })
+            }
+            Some(m) => m,
+            None => source.months(),
+        };
+        let now = self.started.elapsed().as_secs_f64();
+        let quota = self.cfg.quota.clone();
+        let mut table = self.table.lock().expect("job table lock");
+        let tenant_entry = table.tenant_mut(tenant, &quota);
+        tenant_entry.bucket.advance_to(now);
+        if !tenant_entry.bucket.try_take() {
+            return Err(SubmitError::RateLimited);
+        }
+        let pending = tenant_entry.queue.len() + tenant_entry.running;
+        if pending >= quota.max_pending {
+            return Err(SubmitError::QuotaExceeded {
+                pending,
+                max: quota.max_pending,
+            });
+        }
+        let id = table.next_id;
+        table.next_id += 1;
+        table.jobs.insert(
+            id,
+            Job {
+                tenant: tenant.to_string(),
+                source: req.source.clone(),
+                kind: req.kind,
+                protocol,
+                seed: req.seed,
+                months_total,
+                status: JobStatus::Queued,
+                checkpoint: Some(CampaignCheckpoint::new(req.kind, protocol, req.seed)),
+                months_done: 0,
+                result_json: None,
+                completion_index: None,
+            },
+        );
+        table
+            .tenants
+            .get_mut(tenant)
+            .expect("tenant created above")
+            .queue
+            .push_back(id);
+        drop(table);
+        self.wake.notify_all();
+        Ok(id)
+    }
+
+    /// The tenant-visible view of job `id` — `None` when the job does
+    /// not exist *or belongs to another tenant* (the API deliberately
+    /// does not distinguish the two).
+    pub fn job_view(&self, tenant: &str, id: u64) -> Option<JobView> {
+        let table = self.table.lock().expect("job table lock");
+        let job = table.jobs.get(&id).filter(|j| j.tenant == tenant)?;
+        Some(JobView {
+            id,
+            status: job.status.tag().to_string(),
+            source: job.source.clone(),
+            strategy: job.kind.spec(),
+            protocol: job.protocol.tag().to_string(),
+            seed: job.seed,
+            months_done: job.months_done,
+            months_total: job.months_total,
+            completion_index: job.completion_index,
+        })
+    }
+
+    /// The finished job's byte-stable result JSON.
+    pub fn job_result(&self, tenant: &str, id: u64) -> Result<String, ResultError> {
+        let table = self.table.lock().expect("job table lock");
+        match table.jobs.get(&id).filter(|j| j.tenant == tenant) {
+            None => Err(ResultError::NotFound),
+            Some(job) => match &job.result_json {
+                Some(json) => Ok(json.clone()),
+                None => Err(ResultError::NotDone {
+                    status: job.status.tag().to_string(),
+                }),
+            },
+        }
+    }
+
+    fn checkpoint_path(&self, id: u64) -> Option<PathBuf> {
+        self.cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("job-{id:08}.json")))
+    }
+
+    /// One worker's life: claim fairly, run checkpointed, repeat.
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let claimed = {
+                let mut table = self.table.lock().expect("job table lock");
+                loop {
+                    let stopping = self.stop.load(Ordering::Relaxed);
+                    if stopping && !self.drain.load(Ordering::Relaxed) {
+                        return; // checkpoint mode: leave queues in place
+                    }
+                    if stopping && table.queued_total() == 0 {
+                        return; // drain mode: everything claimable is claimed
+                    }
+                    match table.claim(&self.cfg.quota) {
+                        Some(claimed) => break claimed,
+                        None => {
+                            let (t, _timeout) = self
+                                .wake
+                                .wait_timeout(table, WORKER_POLL)
+                                .expect("job table lock");
+                            table = t;
+                        }
+                    }
+                }
+            };
+            self.run_job(claimed.0, claimed.1);
+        }
+    }
+
+    fn run_job(self: &Arc<Self>, id: u64, checkpoint: CampaignCheckpoint) {
+        let (source_name, months_total) = {
+            let table = self.table.lock().expect("job table lock");
+            let job = table.jobs.get(&id).expect("claimed ids resolve");
+            (job.source.clone(), job.months_total)
+        };
+        // sources are validated at submit time and the registry is
+        // immutable, so this lookup only fails on a checkpoint file
+        // resumed against a daemon missing the source
+        let Some(inner) = self.registry.get_v4(&source_name) else {
+            let mut table = self.table.lock().expect("job table lock");
+            self.finish(&mut table, id, None);
+            return;
+        };
+        let source = Capped {
+            inner,
+            months: months_total,
+        };
+        let delay = self.cfg.month_delay;
+        let mut control = |month: u32| {
+            {
+                let mut table = self.table.lock().expect("job table lock");
+                table
+                    .jobs
+                    .get_mut(&id)
+                    .expect("running ids resolve")
+                    .months_done = month;
+            }
+            if self.stop.load(Ordering::Relaxed) && !self.drain.load(Ordering::Relaxed) {
+                return CampaignStep::Suspend;
+            }
+            if !delay.is_zero() {
+                thread::sleep(delay);
+            }
+            CampaignStep::Continue
+        };
+        match run_campaign_checkpointed(&source, checkpoint, &mut control) {
+            CampaignRun::Done(result) => {
+                let json =
+                    serde_json::to_string(&result).expect("campaign results always serialize");
+                let mut table = self.table.lock().expect("job table lock");
+                self.finish(&mut table, id, Some(json));
+                drop(table);
+                // the job is finished; its resume file (if any) is stale
+                if let Some(path) = self.checkpoint_path(id) {
+                    let _ = std::fs::remove_file(path);
+                }
+                self.wake.notify_all();
+            }
+            CampaignRun::Suspended(cp) => {
+                let mut guard = self.table.lock().expect("job table lock");
+                let table = &mut *guard;
+                let job = table.jobs.get_mut(&id).expect("running ids resolve");
+                job.months_done = cp.months_done();
+                job.checkpoint = Some(cp);
+                job.status = JobStatus::Queued;
+                let tenant = table
+                    .tenants
+                    .get_mut(&job.tenant)
+                    .expect("job tenants resolve");
+                tenant.running -= 1;
+                // resume-first when the daemon comes back
+                tenant.queue.push_front(id);
+            }
+        }
+    }
+
+    /// Mark `id` done (with its result JSON) or failed (without).
+    fn finish(&self, table: &mut JobTable, id: u64, result_json: Option<String>) {
+        let index = table.completions;
+        table.completions += 1;
+        let job = table.jobs.get_mut(&id).expect("finished ids resolve");
+        job.status = if result_json.is_some() {
+            JobStatus::Done
+        } else {
+            JobStatus::Failed
+        };
+        job.months_done = job.months_total + 1;
+        job.result_json = result_json;
+        job.completion_index = Some(index);
+        let tenant = job.tenant.clone();
+        table
+            .tenants
+            .get_mut(&tenant)
+            .expect("job tenants resolve")
+            .running -= 1;
+    }
+}
+
+/// How [`Tassd::shutdown`] treats unfinished jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Finish every queued job, then exit.
+    Drain,
+    /// Suspend running campaigns at the next month boundary and persist
+    /// every unfinished job to the checkpoint directory.
+    Checkpoint,
+}
+
+/// What a graceful shutdown did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Jobs completed over the daemon's lifetime.
+    pub completed: u64,
+    /// Unfinished jobs written to the checkpoint directory.
+    pub checkpointed: usize,
+}
+
+/// The resident daemon: worker threads over a [`ServiceCore`].
+pub struct Tassd {
+    core: Arc<ServiceCore>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Tassd {
+    /// Start the daemon: resume any checkpointed jobs found in
+    /// `cfg.checkpoint_dir`, then spawn the campaign workers.
+    pub fn start(registry: Arc<SourceRegistry>, cfg: ServiceConfig) -> io::Result<Tassd> {
+        let pool = if cfg.workers == 0 {
+            CampaignPool::from_env()
+        } else {
+            CampaignPool::new(cfg.workers)
+        };
+        let mut table = JobTable {
+            next_id: 1,
+            ..JobTable::default()
+        };
+        if let Some(dir) = &cfg.checkpoint_dir {
+            std::fs::create_dir_all(dir)?;
+            for file in load_checkpoint_files(dir)? {
+                let tenant = table.tenant_mut(&file.tenant, &cfg.quota);
+                tenant.queue.push_back(file.id);
+                table.next_id = table.next_id.max(file.id + 1);
+                table.jobs.insert(
+                    file.id,
+                    Job {
+                        tenant: file.tenant,
+                        source: file.source,
+                        kind: file.checkpoint.kind,
+                        protocol: file.checkpoint.protocol,
+                        seed: file.checkpoint.seed,
+                        months_total: file.months_total,
+                        status: JobStatus::Queued,
+                        months_done: file.checkpoint.months_done(),
+                        checkpoint: Some(file.checkpoint),
+                        result_json: None,
+                        completion_index: None,
+                    },
+                );
+            }
+        }
+        let core = Arc::new(ServiceCore {
+            registry,
+            cfg,
+            started: Instant::now(),
+            accepting: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            table: Mutex::new(table),
+            wake: Condvar::new(),
+        });
+        let workers = (0..pool.workers())
+            .map(|i| {
+                let core = Arc::clone(&core);
+                thread::Builder::new()
+                    .name(format!("tassd-worker-{i}"))
+                    .spawn(move || core.worker_loop())
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Tassd { core, workers })
+    }
+
+    /// The shared state HTTP handlers serve from.
+    pub fn core(&self) -> Arc<ServiceCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// Gracefully stop: refuse new submissions, then drain or checkpoint
+    /// per `mode`, join the workers, and report.
+    pub fn shutdown(mut self, mode: ShutdownMode) -> io::Result<ShutdownReport> {
+        self.core.accepting.store(false, Ordering::Relaxed);
+        self.core
+            .drain
+            .store(mode == ShutdownMode::Drain, Ordering::Relaxed);
+        self.core.stop.store(true, Ordering::Relaxed);
+        self.core.wake.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let table = self.core.table.lock().expect("job table lock");
+        let mut checkpointed = 0;
+        if mode == ShutdownMode::Checkpoint {
+            if let Some(dir) = &self.core.cfg.checkpoint_dir {
+                for (id, job) in &table.jobs {
+                    let Some(checkpoint) = &job.checkpoint else {
+                        continue;
+                    };
+                    let file = JobFile {
+                        id: *id,
+                        tenant: job.tenant.clone(),
+                        source: job.source.clone(),
+                        months_total: job.months_total,
+                        checkpoint: checkpoint.clone(),
+                    };
+                    let json = serde_json::to_string(&file).expect("job files always serialize");
+                    std::fs::write(dir.join(format!("job-{id:08}.json")), json)?;
+                    checkpointed += 1;
+                }
+            }
+        }
+        Ok(ShutdownReport {
+            completed: table.completions,
+            checkpointed,
+        })
+    }
+}
+
+fn load_checkpoint_files(dir: &Path) -> io::Result<Vec<JobFile>> {
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !name.starts_with("job-") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let file: JobFile = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint file {}: {e}", path.display()),
+            )
+        })?;
+        files.push(file);
+    }
+    // deterministic resume order regardless of directory iteration order
+    files.sort_by_key(|f| f.id);
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tass_core::{run_campaign, CampaignJob};
+    use tass_model::universe::{Universe, UniverseConfig};
+
+    fn demo_registry() -> Arc<SourceRegistry> {
+        let mut reg = SourceRegistry::new();
+        reg.insert_v4(
+            "demo",
+            Arc::new(Universe::generate(&UniverseConfig::small(11))),
+        )
+        .unwrap();
+        Arc::new(reg)
+    }
+
+    fn submit(kind: StrategyKind, seed: u64) -> SubmitRequest {
+        SubmitRequest {
+            source: "demo".to_string(),
+            kind,
+            protocol: Some(Protocol::Http),
+            seed,
+            months: None,
+        }
+    }
+
+    fn wait_done(core: &ServiceCore, tenant: &str, id: u64) -> JobView {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let view = core.job_view(tenant, id).expect("job visible to owner");
+            if view.status == "done" || view.status == "failed" {
+                return view;
+            }
+            assert!(Instant::now() < deadline, "job {id} stuck: {view:?}");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn jobs_complete_with_byte_identical_results() {
+        let registry = demo_registry();
+        let daemon = Tassd::start(
+            Arc::clone(&registry),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let core = daemon.core();
+        let kind = tass_core::parse_spec("tass:more:0.95").unwrap();
+        let id = core.submit("alice", submit(kind, 7)).unwrap();
+        let view = wait_done(&core, "alice", id);
+        assert_eq!(view.status, "done");
+        assert_eq!(view.strategy, "tass:more:0.95");
+        assert_eq!(view.months_done, view.months_total + 1);
+        // over-the-table result == direct library run, byte for byte
+        let got = core.job_result("alice", id).unwrap();
+        let u = registry.get_v4("demo").unwrap();
+        let oracle = run_campaign(&*u, kind, Protocol::Http, 7).with_job(CampaignJob::new(
+            kind,
+            Protocol::Http,
+            7,
+        ));
+        assert_eq!(got, serde_json::to_string(&oracle).unwrap());
+        // other tenants cannot see the job
+        assert!(core.job_view("mallory", id).is_none());
+        assert_eq!(core.job_result("mallory", id), Err(ResultError::NotFound));
+        let report = daemon.shutdown(ShutdownMode::Drain).unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.checkpointed, 0);
+    }
+
+    #[test]
+    fn quotas_and_rates_reject_at_submit() {
+        let daemon = Tassd::start(
+            demo_registry(),
+            ServiceConfig {
+                workers: 1,
+                quota: TenantQuota {
+                    max_pending: 2,
+                    max_concurrent: 1,
+                    submits_per_sec: 0.001, // refills far slower than the test
+                    submit_burst: 3.0,
+                },
+                month_delay: Duration::from_millis(30),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let core = daemon.core();
+        let kind = StrategyKind::FullScan;
+        core.submit("bob", submit(kind, 1)).unwrap();
+        core.submit("bob", submit(kind, 2)).unwrap();
+        // third pending job exceeds max_pending
+        assert!(matches!(
+            core.submit("bob", submit(kind, 3)),
+            Err(SubmitError::QuotaExceeded { max: 2, .. })
+        ));
+        // another tenant is unaffected by bob's quota…
+        let carol_id = core.submit("carol", submit(kind, 4)).unwrap();
+        // …until the burst runs out: 3 tokens each (per-tenant buckets)
+        core.submit("carol", submit(kind, 5)).unwrap();
+        assert!(matches!(
+            core.submit("carol", submit(kind, 6)),
+            Err(SubmitError::QuotaExceeded { .. }) | Err(SubmitError::RateLimited)
+        ));
+        // typed validation errors
+        assert!(matches!(
+            core.submit(
+                "bob",
+                SubmitRequest {
+                    source: "nope".into(),
+                    ..submit(kind, 1)
+                }
+            ),
+            Err(SubmitError::UnknownSource(_))
+        ));
+        assert!(matches!(
+            core.submit(
+                "bob",
+                SubmitRequest {
+                    months: Some(99),
+                    ..submit(kind, 1)
+                }
+            ),
+            Err(SubmitError::BadMonths { requested: 99, .. })
+        ));
+        wait_done(&core, "carol", carol_id);
+        daemon.shutdown(ShutdownMode::Drain).unwrap();
+    }
+
+    #[test]
+    fn capped_months_shorten_the_campaign() {
+        let registry = demo_registry();
+        let daemon = Tassd::start(Arc::clone(&registry), ServiceConfig::default()).unwrap();
+        let core = daemon.core();
+        let id = core
+            .submit(
+                "alice",
+                SubmitRequest {
+                    months: Some(2),
+                    ..submit(StrategyKind::FullScan, 9)
+                },
+            )
+            .unwrap();
+        let view = wait_done(&core, "alice", id);
+        assert_eq!((view.months_total, view.months_done), (2, 3));
+        let got = core.job_result("alice", id).unwrap();
+        // identical to a direct run over the capped source
+        let capped = Capped {
+            inner: registry.get_v4("demo").unwrap(),
+            months: 2,
+        };
+        let oracle = run_campaign(&capped, StrategyKind::FullScan, Protocol::Http, 9)
+            .with_job(CampaignJob::new(StrategyKind::FullScan, Protocol::Http, 9));
+        assert_eq!(got, serde_json::to_string(&oracle).unwrap());
+        daemon.shutdown(ShutdownMode::Drain).unwrap();
+    }
+}

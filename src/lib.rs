@@ -21,7 +21,9 @@
 //! * [`core`] — TASS itself: density ranking, the φ-coverage selection,
 //!   and the trait-based strategy lifecycle
 //!   (`Strategy` → `PreparedStrategy` → `ProbePlan` → `CycleOutcome`);
-//! * [`experiments`] — the table/figure reproduction harness.
+//! * [`experiments`] — the table/figure reproduction harness;
+//! * [`service`] — `tassd`, the resident campaign service: tenant
+//!   queues, quotas, and checkpointed shutdown over an HTTP JSON API.
 //!
 //! ## Quickstart: the strategy lifecycle
 //!
@@ -141,6 +143,74 @@
 //! takes a CAIDA pfx2as table plus per-month address lists (plain text,
 //! one address per line) or pre-encoded snapshots, validates the
 //! month × protocol matrix, and writes the manifest.
+//!
+//! ## Running the daemon
+//!
+//! `tassd` turns campaigns into a service: tenants (identified by an
+//! `X-Api-Key` header) submit strategy specs against named sources, a
+//! fair round-robin worker pool runs them, and results are served as
+//! byte-stable JSON. Start it from the CLI and drive it with curl:
+//!
+//! ```text
+//! $ tass-select serve --addr 127.0.0.1:7447 --source demo=universe:1
+//! tassd listening on 127.0.0.1:7447 (1 source, 8 workers)
+//!
+//! $ curl -s localhost:7447/v1/sources
+//! [{"name":"demo","family":"v4","months":6,"protocols":["Ftp","Http","Https","Cwmp"]}]
+//!
+//! $ curl -s -XPOST localhost:7447/v1/campaigns -H 'X-Api-Key: alice' \
+//!     -d '{"source":"demo","strategy":"tass:more:0.95","seed":7}'
+//! {"id":1,"status":"queued"}
+//!
+//! $ curl -s localhost:7447/v1/campaigns/1 -H 'X-Api-Key: alice'
+//! {"id":1,"status":"done","source":"demo","strategy":"tass:more:0.95",...}
+//!
+//! $ curl -s localhost:7447/v1/campaigns/1/results -H 'X-Api-Key: alice'
+//! {"strategy":"TASS m-view (phi=0.95)", ...identical bytes to run_campaign...}
+//! ```
+//!
+//! `SIGTERM`/ctrl-c shuts the daemon down gracefully: with
+//! `--checkpoint-dir DIR`, unfinished campaigns are suspended at the
+//! next month boundary and persisted; a daemon restarted over the same
+//! directory resumes them under their original job ids and produces
+//! byte-identical results (`--drain` instead finishes every queued job
+//! before exiting). Quotas, submission rate limits and worker counts are
+//! CLI flags — see `tass-select serve --help`.
+//!
+//! The same daemon embeds in-process, which is how the integration tests
+//! and the `service_load` bench drive it:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tass::model::registry::SourceRegistry;
+//! use tass::model::{Universe, UniverseConfig};
+//! use tass::service::{api, HttpClient, HttpServer, ServiceConfig, ShutdownMode, Tassd};
+//!
+//! let mut registry = SourceRegistry::new();
+//! registry
+//!     .insert_v4("demo", Arc::new(Universe::generate(&UniverseConfig::small(1))))
+//!     .unwrap();
+//! let daemon = Tassd::start(Arc::new(registry), ServiceConfig::default()).unwrap();
+//! let server = HttpServer::bind("127.0.0.1:0", daemon.core(), api::router()).unwrap();
+//!
+//! let mut client = HttpClient::connect(server.addr());
+//! let (status, body) = client
+//!     .post(
+//!         "/v1/campaigns",
+//!         Some("alice"),
+//!         r#"{"source":"demo","strategy":"full-scan","seed":3}"#,
+//!     )
+//!     .unwrap();
+//! assert_eq!(status, 201);
+//! assert!(body.contains(r#""status":"queued""#));
+//! # loop {
+//! #     let (_, s) = client.get("/v1/campaigns/1", Some("alice")).unwrap();
+//! #     if s.contains(r#""status":"done""#) { break; }
+//! #     std::thread::sleep(std::time::Duration::from_millis(5));
+//! # }
+//! server.shutdown();
+//! daemon.shutdown(ShutdownMode::Drain).unwrap();
+//! ```
 //!
 //! ## IPv6: the same machinery at 128 bits
 //!
@@ -268,6 +338,7 @@ pub use tass_experiments as experiments;
 pub use tass_model as model;
 pub use tass_net as net;
 pub use tass_scan as scan;
+pub use tass_service as service;
 
 /// Workspace version (all member crates share it).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
