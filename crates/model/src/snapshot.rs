@@ -100,6 +100,22 @@ impl<F: AddrFamily> HostSet<F> {
     }
 }
 
+// Serializes as the bare sorted address sequence; `from_addrs` on the
+// way back re-establishes the sorted/deduplicated invariant, so the
+// serde form is canonical: equal sets produce byte-equal JSON.
+impl<F: AddrFamily> serde::Serialize for HostSet<F> {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.addrs)
+    }
+}
+
+impl<F: AddrFamily> serde::Deserialize for HostSet<F> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let addrs = <Vec<F::Addr> as serde::Deserialize>::from_value(v)?;
+        Ok(HostSet::from_addrs(addrs))
+    }
+}
+
 impl<F: AddrFamily> FromIterator<F::Addr> for HostSet<F> {
     fn from_iter<I: IntoIterator<Item = F::Addr>>(iter: I) -> Self {
         HostSet::from_addrs(iter.into_iter().collect())

@@ -20,6 +20,29 @@
 //!   checksum-validated by the simulated network — full fidelity;
 //! * **logical level** (`wire_level = false`): skips the codec for speed
 //!   when simulating Internet-scale campaigns; identical semantics.
+//!
+//! ## The lock-free hot path
+//!
+//! A worker thread's per-probe loop touches **no shared locks and
+//! performs no heap allocation**. Targets are consumed in batches: the
+//! worker fills a small stack array from its shard (filtering the
+//! blocklist as it goes), charges the whole batch to the token bucket in
+//! one O(1) update ([`TokenBucket::take_blocking_n`]), then probes each
+//! address. On the wire path every probe reuses one
+//! [`wire::SynTemplate`] — only the destination, source port, and
+//! sequence number are re-encoded, with incremental checksums — and
+//! replies come back in the network's inline [`Replies`](crate::Replies)
+//! storage. Fault injection is a deterministic per-address hash (see
+//! [`SimNetwork`]), and network counters are relaxed atomics, so the
+//! report — including lossy, duplicating runs — is **byte-identical at
+//! any thread count**: the shards partition the plan, and nothing about
+//! a probe's outcome depends on interleaving. Results are folded once
+//! per worker over an mpsc channel at the end.
+//!
+//! `ScanReport::duration_secs` is the token-bucket virtual time of the
+//! slowest shard **plus one round trip of the network's configured
+//! latency** when anything was sent — so an unlimited-rate scan over a
+//! 35 ms network reports 70 ms, not 0.
 
 use crate::blocklist::Blocklist;
 use crate::net::SimNetwork;
@@ -168,26 +191,28 @@ pub trait ScanFamily: WireFamily {
     /// 198.51.100.1 / 2001:db8::1).
     fn default_source_ip() -> Self::Addr;
 
-    /// Probe at wire level: encode a checksummed SYN frame, transmit it
-    /// through the simulated network (which parses and validates it),
-    /// and statelessly validate the replies, as ZMap does. Returns the
-    /// reply counters, or `None` when the network rejected the frame.
+    /// Probe at wire level: retarget the worker's reusable SYN template
+    /// (incremental checksums — no per-probe encode of the constant
+    /// bytes, no allocation), transmit it through the simulated network
+    /// (which parses and validates it), and statelessly validate the
+    /// replies, as ZMap does. Returns the reply counters, or `None` when
+    /// the network rejected the frame.
     fn wire_probe(
         network: &SimNetwork<Self>,
         cfg: &ScanConfig<Self>,
         key: SipHash24,
         addr: Self::Addr,
+        tmpl: &mut wire::SynTemplate<Self>,
     ) -> Option<WireReplies> {
         let expected_seq = key.probe_validation_addr::<Self>(addr);
         // for v4, `addr_hash64` is the address itself — the pre-generic
         // source-port derivation bit for bit
         let src_port = 32768 + (key.hash_u64(addr_hash64::<Self>(addr)) % 28232) as u16;
-        let syn =
-            wire::build_syn_for::<Self>(cfg.source_ip, addr, src_port, cfg.port, expected_seq);
-        let replies = network.transmit(&syn).ok()?;
+        tmpl.set_target(addr, src_port, expected_seq);
+        let replies = network.transmit(tmpl.frame()).ok()?;
         let mut out = WireReplies::default();
-        for reply in replies {
-            let Ok(f) = wire::parse_frame_for::<Self>(&reply) else {
+        for reply in &replies {
+            let Ok(f) = wire::parse_frame_for::<Self>(reply) else {
                 out.validation_failures += 1;
                 continue;
             };
@@ -261,10 +286,69 @@ pub struct ScanReport<F: AddrFamily = V4> {
     pub banners_grabbed: u64,
     /// A few sample banners for inspection.
     pub sample_banners: Vec<(F::Addr, String)>,
-    /// Simulated scan duration in seconds (from the token bucket clock).
+    /// Simulated scan duration in seconds: the slowest shard's token
+    /// bucket clock, plus one round trip of the network's configured
+    /// latency when any probe was sent.
     pub duration_secs: f64,
     /// Successful handshakes per probe — the paper's efficiency metric.
     pub hitrate: f64,
+}
+
+// Manual serde impls (the derive can't see through the generic): the
+// value tree is a flat map in declaration order, so a report's JSON is
+// canonical — `responsive` serializes sorted — and byte-equal reports
+// mean equal results. The fault-determinism suite pins digests of this
+// encoding across thread counts.
+impl<F: AddrFamily> serde::Serialize for ScanReport<F> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("probes_sent".to_string(), self.probes_sent.to_value()),
+            (
+                "blocked_skipped".to_string(),
+                self.blocked_skipped.to_value(),
+            ),
+            ("responses".to_string(), self.responses.to_value()),
+            ("rst_responses".to_string(), self.rst_responses.to_value()),
+            (
+                "validation_failures".to_string(),
+                self.validation_failures.to_value(),
+            ),
+            ("responsive".to_string(), self.responsive.to_value()),
+            (
+                "banners_grabbed".to_string(),
+                self.banners_grabbed.to_value(),
+            ),
+            ("sample_banners".to_string(), self.sample_banners.to_value()),
+            ("duration_secs".to_string(), self.duration_secs.to_value()),
+            ("hitrate".to_string(), self.hitrate.to_value()),
+        ])
+    }
+}
+
+impl<F: AddrFamily> serde::Deserialize for ScanReport<F> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(ScanReport {
+            probes_sent: serde::Deserialize::from_value(serde::value_get(v, "probes_sent")?)?,
+            blocked_skipped: serde::Deserialize::from_value(serde::value_get(
+                v,
+                "blocked_skipped",
+            )?)?,
+            responses: serde::Deserialize::from_value(serde::value_get(v, "responses")?)?,
+            rst_responses: serde::Deserialize::from_value(serde::value_get(v, "rst_responses")?)?,
+            validation_failures: serde::Deserialize::from_value(serde::value_get(
+                v,
+                "validation_failures",
+            )?)?,
+            responsive: serde::Deserialize::from_value(serde::value_get(v, "responsive")?)?,
+            banners_grabbed: serde::Deserialize::from_value(serde::value_get(
+                v,
+                "banners_grabbed",
+            )?)?,
+            sample_banners: serde::Deserialize::from_value(serde::value_get(v, "sample_banners")?)?,
+            duration_secs: serde::Deserialize::from_value(serde::value_get(v, "duration_secs")?)?,
+            hitrate: serde::Deserialize::from_value(serde::value_get(v, "hitrate")?)?,
+        })
+    }
 }
 
 /// The scan engine: a [`SimNetwork`] plus configuration defaults. The
@@ -380,6 +464,12 @@ impl<F: ScanFamily> ScanEngine<F> {
                 report.duration_secs = report.duration_secs.max(r.duration_secs);
                 responsive.extend(r.responsive);
             }
+            if report.probes_sent > 0 {
+                // one round trip of the configured latency: the last
+                // probe still has to reach its target and the reply has
+                // to come back before the scan can be called done
+                report.duration_secs += 2.0 * self.network.latency_ms() / 1000.0;
+            }
             report.responsive = HostSet::from_addrs(responsive);
             report.hitrate = if report.probes_sent > 0 {
                 report.responsive.len() as f64 / report.probes_sent as f64
@@ -391,12 +481,20 @@ impl<F: ScanFamily> ScanEngine<F> {
     }
 }
 
+/// Probes per token-bucket update: the worker fills a stack array of
+/// this many unblocked targets, charges them to the bucket in one O(1)
+/// batched take, then probes each.
+const PROBE_BATCH: usize = 64;
+
 /// Probe every address of a lazily streamed target shard.
+///
+/// This is the hot loop the module docs describe: batched token takes,
+/// one reusable SYN template, no locks, no per-probe allocation.
 fn scan_worker<F: ScanFamily>(
     network: &SimNetwork<F>,
     cfg: &ScanConfig<F>,
     key: SipHash24,
-    targets: impl Iterator<Item = F::Addr>,
+    mut targets: impl Iterator<Item = F::Addr>,
 ) -> WorkerResult<F> {
     let mut bucket = if cfg.rate_pps.is_finite() && cfg.rate_pps > 0.0 {
         TokenBucket::new(cfg.rate_pps / cfg.threads.max(1) as f64, 128.0)
@@ -416,49 +514,68 @@ fn scan_worker<F: ScanFamily>(
     };
     let mut seen = std::collections::HashSet::new();
     let responder = network.responder();
+    let mut tmpl = wire::SynTemplate::<F>::new(&wire::FrameSpec {
+        src_ip: cfg.source_ip,
+        dst_port: cfg.port,
+        ..wire::FrameSpec::default()
+    });
 
-    let mut probe_one = |addr: F::Addr, out: &mut WorkerResult<F>| {
-        if cfg.blocklist.is_blocked(addr) {
-            out.blocked_skipped += 1;
-            return;
-        }
-        let t = bucket.take_blocking();
-        out.probes_sent += 1;
-        out.duration_secs = t;
-
-        if cfg.wire_level {
-            // wire path: every probe is an encoded, checksum-validated
-            // frame of the family's codec; counters come from the frames
-            let Some(replies) = F::wire_probe(network, cfg, key, addr) else {
-                return; // malformed frame / transmit error: no replies
-            };
-            out.validation_failures += replies.validation_failures;
-            out.rst_responses += replies.rsts;
-            if replies.syn_acks > 0 {
-                out.responses += replies.syn_acks;
-                if seen.insert(addr) {
-                    out.responsive.push(addr);
-                }
+    let mut batch = [F::Addr::default(); PROBE_BATCH];
+    loop {
+        // fill a batch from the shard, filtering the blocklist
+        let mut n = 0;
+        while n < PROBE_BATCH {
+            let Some(addr) = targets.next() else { break };
+            if cfg.blocklist.is_blocked(addr) {
+                out.blocked_skipped += 1;
+                continue;
             }
-        } else {
-            // logical probe: same semantics (and the same fault
-            // injection) as the wire path, without the codec
-            match network.probe_logical(addr, cfg.port) {
-                Some(true) => {
-                    out.responses += 1;
+            batch[n] = addr;
+            n += 1;
+        }
+        if n == 0 {
+            break; // shard exhausted
+        }
+        // one clock update for the whole batch
+        bucket.take_blocking_n(n as u64);
+        out.probes_sent += n as u64;
+
+        for &addr in &batch[..n] {
+            if cfg.wire_level {
+                // wire path: every probe is an encoded, checksum-validated
+                // frame of the family's codec; counters come from the frames
+                let Some(replies) = F::wire_probe(network, cfg, key, addr, &mut tmpl) else {
+                    continue; // malformed frame / transmit error: no replies
+                };
+                out.validation_failures += replies.validation_failures;
+                out.rst_responses += replies.rsts;
+                if replies.syn_acks > 0 {
+                    out.responses += replies.syn_acks;
                     if seen.insert(addr) {
                         out.responsive.push(addr);
                     }
                 }
-                Some(false) => out.rst_responses += 1,
-                None => {}
+            } else {
+                // logical probe: same semantics — and, because faults are
+                // deterministic per address, the same fault outcomes — as
+                // the wire path, without the codec
+                match network.probe_logical(addr, cfg.port) {
+                    Some(reply) if reply.open => {
+                        out.responses += u64::from(reply.copies);
+                        if seen.insert(addr) {
+                            out.responsive.push(addr);
+                        }
+                    }
+                    Some(reply) => out.rst_responses += u64::from(reply.copies),
+                    None => {}
+                }
             }
         }
-    };
-
-    for addr in targets {
-        probe_one(addr, &mut out);
     }
+    // well-defined for every shard shape: the bucket clock is 0.0 for an
+    // empty or fully-blocklisted shard and the last batch's virtual send
+    // time otherwise
+    out.duration_secs = bucket.now();
 
     if cfg.banner_grab {
         for &addr in &out.responsive {
@@ -581,6 +698,47 @@ mod tests {
             "duration {}",
             report.duration_secs
         );
+    }
+
+    #[test]
+    fn latency_round_trip_is_folded_into_duration() {
+        // Regression: unlimited-rate scans used to report 0 s even though
+        // the network models 35 ms of one-way latency. One round trip
+        // (2 × latency) must show up in the aggregate duration.
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let report = engine.run(&base_cfg());
+        assert!(
+            (report.duration_secs - 0.07).abs() < 1e-12,
+            "duration {}",
+            report.duration_secs
+        );
+    }
+
+    #[test]
+    fn fully_blocked_scan_has_well_defined_duration() {
+        // Regression: WorkerResult::duration_secs was undefined for shards
+        // where every target is blocklisted (no probe ever took a token).
+        let mut cfg = base_cfg();
+        cfg.blocklist = {
+            let mut b = Blocklist::empty();
+            b.block(p("1.0.0.0/24"));
+            b
+        };
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let report = engine.run(&cfg);
+        assert_eq!(report.probes_sent, 0);
+        assert_eq!(report.blocked_skipped, 256);
+        assert_eq!(report.duration_secs, 0.0, "no probes, no elapsed time");
+        assert!(report.duration_secs.is_finite());
+    }
+
+    #[test]
+    fn empty_scan_has_zero_duration() {
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let mut cfg = base_cfg();
+        cfg.targets = Vec::new();
+        let report = engine.run(&cfg);
+        assert_eq!(report.duration_secs, 0.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! and serves protocol banners for the banner-grab phase.
 
 use crate::siphash::SipHash24;
-use crate::wire::{self, tcp_flags, TcpFrame, WireFamily};
+use crate::wire::{self, tcp_flags, FrameBuf, TcpFrame, WireFamily};
 use bytes::Bytes;
 use std::collections::BTreeMap;
 use tass_model::{HostSet, Protocol};
@@ -89,12 +89,13 @@ impl<F: AddrFamily> Responder<F> {
 }
 
 impl<F: WireFamily> Responder<F> {
-    /// Answer a parsed probe frame: SYN-ACK for open, RST+ACK from a live
-    /// host with the port closed, silence otherwise. Non-SYN segments are
-    /// ignored (the simulated hosts are stateless). The answer is built
-    /// by the probe's own wire codec, so a v6 responder emits genuine
-    /// 74-byte v6 frames.
-    pub fn respond(&self, probe: &TcpFrame<F>) -> Option<Bytes> {
+    /// Answer a parsed probe frame into stack storage: SYN-ACK for open,
+    /// RST+ACK from a live host with the port closed, silence otherwise.
+    /// Non-SYN segments are ignored (the simulated hosts are stateless).
+    /// The answer is built by the probe's own wire codec, so a v6
+    /// responder emits genuine 74-byte v6 frames. This is the hot-path
+    /// form: nothing here touches the heap.
+    pub fn respond_frame(&self, probe: &TcpFrame<F>) -> Option<FrameBuf> {
         if probe.flags & tcp_flags::SYN == 0 || probe.flags & tcp_flags::ACK != 0 {
             return None;
         }
@@ -109,12 +110,19 @@ impl<F: WireFamily> Responder<F> {
             input[addr_le.len()..addr_le.len() + 4]
                 .copy_from_slice(&u32::from(probe.dst_port).to_le_bytes());
             let isn = (self.hash().hash(&input[..addr_le.len() + 4]) & 0xFFFF_FFFF) as u32;
-            Some(wire::build_syn_ack(probe, isn))
+            Some(FrameBuf::encode(&wire::syn_ack_spec(probe, isn)))
         } else if self.is_live(probe.dst_ip) {
-            Some(wire::build_rst(probe))
+            Some(FrameBuf::encode(&wire::rst_spec(probe)))
         } else {
             None
         }
+    }
+
+    /// [`Responder::respond_frame`], copied into freshly allocated
+    /// [`Bytes`] — convenience for tests and exhibits off the hot path.
+    pub fn respond(&self, probe: &TcpFrame<F>) -> Option<Bytes> {
+        self.respond_frame(probe)
+            .map(|f| Bytes::copy_from_slice(&f))
     }
 }
 

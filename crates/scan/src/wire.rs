@@ -37,9 +37,34 @@
 //! with next header 58, followed by the 8-byte echo header
 //! (type 128/129, code 0, checksum, identifier, sequence) — the classic
 //! v6 liveness probe for hosts that drop unsolicited TCP.
+//!
+//! ## The allocation-free hot path
+//!
+//! Every codec encodes into caller-provided storage
+//! ([`encode_frame_into`]); the `Bytes`-returning builders are thin
+//! copying wrappers for tests and one-off frames. Two stack types carry
+//! frames through the per-probe hot path without touching the heap:
+//!
+//! * [`FrameBuf`] — one frame in fixed `[u8; MAX_FRAME_LEN]` storage
+//!   (74 bytes covers both families), used for responder replies;
+//! * [`SynTemplate`] — a preconstructed SYN probe whose constant bytes
+//!   are encoded **once**. Retargeting a probe
+//!   ([`SynTemplate::set_target`]) patches only the destination
+//!   address, source port, and sequence number, and updates the
+//!   checksums *incrementally*: the one's-complement sum of every
+//!   constant word is precomputed, so each probe folds in just the
+//!   handful of words that changed instead of re-summing the whole
+//!   pseudo-header and segment. In a prefix walk only those bytes
+//!   change between probes, which is exactly the trick ZMap-class
+//!   senders use to hit line rate.
+//!
+//! All checksum arithmetic is allocation-free: pseudo-headers are summed
+//! word-wise from their parts ([`WireFamily::transport_checksum`]),
+//! never materialised.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use std::fmt;
+use std::marker::PhantomData;
 use tass_net::{AddrFamily, V4, V6};
 
 /// Errors while parsing a frame.
@@ -114,6 +139,9 @@ pub const FRAME_LEN_V6: usize = ETH_HDR_LEN + IPV6_HDR_LEN + TCP_HDR_LEN;
 pub const ICMP6_ECHO_LEN: usize = 8;
 /// Total length of the ICMPv6 echo frames this crate builds.
 pub const FRAME_LEN_ICMP6: usize = ETH_HDR_LEN + IPV6_HDR_LEN + ICMP6_ECHO_LEN;
+/// The longest frame any codec in this module emits (the IPv6 TCP SYN);
+/// sizes the fixed storage of [`FrameBuf`] and [`SynTemplate`].
+pub const MAX_FRAME_LEN: usize = FRAME_LEN_V6;
 
 /// The per-family half of the codec: ethertype, network-header layout,
 /// and the pseudo-header checksum. Everything else — Ethernet framing,
@@ -127,11 +155,19 @@ pub trait WireFamily: AddrFamily {
     const TCP_FRAME_LEN: usize;
     /// The error reported when the ethertype belongs to another family.
     const WRONG_ETHERTYPE: WireError;
+    /// Network header length (20 for v4, 40 for v6).
+    const NET_HDR_LEN: usize;
+    /// Offset of the header checksum within the network header, if the
+    /// family has one (v4: 10; v6: none — RFC 2460 dropped it).
+    const NET_CSUM_OFF: Option<usize>;
+    /// Offset of the destination address within the network header
+    /// (v4: 16; v6: 24) — the one address field a probe template patches.
+    const DST_ADDR_OFF: usize;
 
-    /// Append the family's network header for a TCP payload of
-    /// `tcp_len` bytes (checksummed in place where the family has a
-    /// header checksum).
-    fn put_net_header(buf: &mut BytesMut, spec: &FrameSpec<Self>, tcp_len: usize);
+    /// Write the family's network header for a TCP payload of `tcp_len`
+    /// bytes into `out` (exactly [`Self::NET_HDR_LEN`] bytes,
+    /// checksummed in place where the family has a header checksum).
+    fn write_net_header(out: &mut [u8], spec: &FrameSpec<Self>, tcp_len: usize);
 
     /// Parse and validate the network header at the start of `ip`
     /// (everything after the Ethernet header). Returns
@@ -139,8 +175,25 @@ pub trait WireFamily: AddrFamily {
     fn parse_net_header(ip: &[u8]) -> Result<(usize, u8, Self::Addr, Self::Addr), WireError>;
 
     /// Upper-layer checksum over the family's pseudo-header (RFC 793 for
-    /// v4, RFC 2460 §8.1 for v6) followed by the segment.
-    fn transport_checksum(src: Self::Addr, dst: Self::Addr, proto: u8, segment: &[u8]) -> u16;
+    /// v4, RFC 2460 §8.1 for v6) followed by the segment. Computed
+    /// word-wise from the parts — the pseudo-header is never
+    /// materialised, so this allocates nothing.
+    fn transport_checksum(src: Self::Addr, dst: Self::Addr, proto: u8, segment: &[u8]) -> u16 {
+        checksum_finish(
+            Self::addr_csum(src)
+                + Self::addr_csum(dst)
+                + u32::from(proto)
+                + len_words(segment.len())
+                + checksum_add(segment),
+        )
+    }
+
+    /// The one's-complement word sum of an address in network byte
+    /// order — its contribution to any checksum covering it.
+    fn addr_csum(addr: Self::Addr) -> u32;
+
+    /// Write an address in network byte order at the start of `out`.
+    fn write_addr_be(out: &mut [u8], addr: Self::Addr);
 
     /// The little-endian byte array of one address (`[u8; 4]` / `[u8; 16]`).
     type AddrBytes: AsRef<[u8]> + Copy;
@@ -179,8 +232,11 @@ pub struct TcpFrame<F: WireFamily = V4> {
     pub window: u16,
 }
 
-/// RFC 1071 Internet checksum over a byte slice (odd lengths padded).
-pub fn internet_checksum(data: &[u8]) -> u16 {
+/// One's-complement sum of big-endian 16-bit words (odd lengths padded),
+/// left unfolded. The sum is associative and commutative, so partial
+/// sums over disjoint (even-offset) parts can be precomputed and added —
+/// the foundation of [`SynTemplate`]'s incremental checksums.
+fn checksum_add(data: &[u8]) -> u32 {
     let mut sum = 0u32;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
@@ -189,10 +245,28 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+/// Fold a one's-complement word sum to 16 bits and complement it.
+fn checksum_finish(mut sum: u32) -> u16 {
     while sum >> 16 != 0 {
         sum = (sum & 0xFFFF) + (sum >> 16);
     }
     !(sum as u16)
+}
+
+/// The one's-complement contribution of a length field: a 32-bit value
+/// summed as two 16-bit words (for v4's 16-bit length the high word is
+/// zero, so the formula is shared by both pseudo-headers).
+fn len_words(len: usize) -> u32 {
+    let l = len as u32;
+    (l >> 16) + (l & 0xFFFF)
+}
+
+/// RFC 1071 Internet checksum over a byte slice (odd lengths padded).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    checksum_finish(checksum_add(data))
 }
 
 /// TCP checksum over pseudo-header + segment (RFC 793). IPv4 form.
@@ -258,21 +332,23 @@ impl WireFamily for V4 {
     const ETHERTYPE: u16 = 0x0800;
     const TCP_FRAME_LEN: usize = FRAME_LEN;
     const WRONG_ETHERTYPE: WireError = WireError::NotIpv4;
+    const NET_HDR_LEN: usize = IP_HDR_LEN;
+    const NET_CSUM_OFF: Option<usize> = Some(10);
+    const DST_ADDR_OFF: usize = 16;
 
-    fn put_net_header(buf: &mut BytesMut, spec: &FrameSpec<V4>, tcp_len: usize) {
-        let ip_start = buf.len();
-        buf.put_u8(0x45); // version 4, IHL 5
-        buf.put_u8(0); // DSCP/ECN
-        buf.put_u16((IP_HDR_LEN + tcp_len) as u16);
-        buf.put_u16(spec.ip_id);
-        buf.put_u16(0); // flags+fragment offset
-        buf.put_u8(spec.ttl);
-        buf.put_u8(6); // TCP
-        buf.put_u16(0); // checksum placeholder
-        buf.put_u32(spec.src_ip);
-        buf.put_u32(spec.dst_ip);
-        let ip_csum = internet_checksum(&buf[ip_start..ip_start + IP_HDR_LEN]);
-        buf[ip_start + 10..ip_start + 12].copy_from_slice(&ip_csum.to_be_bytes());
+    fn write_net_header(out: &mut [u8], spec: &FrameSpec<V4>, tcp_len: usize) {
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = 0; // DSCP/ECN
+        out[2..4].copy_from_slice(&((IP_HDR_LEN + tcp_len) as u16).to_be_bytes());
+        out[4..6].copy_from_slice(&spec.ip_id.to_be_bytes());
+        out[6..8].copy_from_slice(&[0, 0]); // flags+fragment offset
+        out[8] = spec.ttl;
+        out[9] = 6; // TCP
+        out[10..12].copy_from_slice(&[0, 0]); // checksum placeholder
+        out[12..16].copy_from_slice(&spec.src_ip.to_be_bytes());
+        out[16..20].copy_from_slice(&spec.dst_ip.to_be_bytes());
+        let ip_csum = internet_checksum(&out[..IP_HDR_LEN]);
+        out[10..12].copy_from_slice(&ip_csum.to_be_bytes());
     }
 
     fn parse_net_header(ip: &[u8]) -> Result<(usize, u8, u32, u32), WireError> {
@@ -294,15 +370,12 @@ impl WireFamily for V4 {
         Ok((ihl, ip[8], src, dst))
     }
 
-    fn transport_checksum(src: u32, dst: u32, proto: u8, segment: &[u8]) -> u16 {
-        let mut pseudo = Vec::with_capacity(12 + segment.len());
-        pseudo.extend_from_slice(&src.to_be_bytes());
-        pseudo.extend_from_slice(&dst.to_be_bytes());
-        pseudo.push(0);
-        pseudo.push(proto);
-        pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
-        pseudo.extend_from_slice(segment);
-        internet_checksum(&pseudo)
+    fn addr_csum(addr: u32) -> u32 {
+        (addr >> 16) + (addr & 0xFFFF)
+    }
+
+    fn write_addr_be(out: &mut [u8], addr: u32) {
+        out[..4].copy_from_slice(&addr.to_be_bytes());
     }
 
     type AddrBytes = [u8; 4];
@@ -312,23 +385,23 @@ impl WireFamily for V4 {
     }
 }
 
-/// Append the fixed 40-byte IPv6 header — the one v6 header layout in
+/// Write the fixed 40-byte IPv6 header — the one v6 header layout in
 /// this module, shared by the TCP codec (`next_header` 6) and the ICMPv6
 /// echo codec (`next_header` 58).
-fn put_v6_header(
-    buf: &mut BytesMut,
+fn write_v6_header(
+    out: &mut [u8],
     hop_limit: u8,
     src_ip: u128,
     dst_ip: u128,
     next_header: u8,
     payload_len: usize,
 ) {
-    buf.put_u32(6 << 28); // version 6, traffic class 0, flow label 0
-    buf.put_u16(payload_len as u16); // payload length
-    buf.put_u8(next_header);
-    buf.put_u8(hop_limit);
-    buf.put_u128(src_ip);
-    buf.put_u128(dst_ip);
+    out[0..4].copy_from_slice(&(6u32 << 28).to_be_bytes()); // version 6, tc 0, flow 0
+    out[4..6].copy_from_slice(&(payload_len as u16).to_be_bytes());
+    out[6] = next_header;
+    out[7] = hop_limit;
+    out[8..24].copy_from_slice(&src_ip.to_be_bytes());
+    out[24..40].copy_from_slice(&dst_ip.to_be_bytes());
 }
 
 /// Parse and validate the fixed IPv6 header at the start of `ip`,
@@ -361,9 +434,12 @@ impl WireFamily for V6 {
     const ETHERTYPE: u16 = 0x86DD;
     const TCP_FRAME_LEN: usize = FRAME_LEN_V6;
     const WRONG_ETHERTYPE: WireError = WireError::NotIpv6;
+    const NET_HDR_LEN: usize = IPV6_HDR_LEN;
+    const NET_CSUM_OFF: Option<usize> = None;
+    const DST_ADDR_OFF: usize = 24;
 
-    fn put_net_header(buf: &mut BytesMut, spec: &FrameSpec<V6>, tcp_len: usize) {
-        put_v6_header(buf, spec.ttl, spec.src_ip, spec.dst_ip, 6, tcp_len);
+    fn write_net_header(out: &mut [u8], spec: &FrameSpec<V6>, tcp_len: usize) {
+        write_v6_header(out, spec.ttl, spec.src_ip, spec.dst_ip, 6, tcp_len);
     }
 
     fn parse_net_header(ip: &[u8]) -> Result<(usize, u8, u128, u128), WireError> {
@@ -371,17 +447,16 @@ impl WireFamily for V6 {
         Ok((IPV6_HDR_LEN, hop, src, dst))
     }
 
-    fn transport_checksum(src: u128, dst: u128, proto: u8, segment: &[u8]) -> u16 {
-        // RFC 2460 §8.1 pseudo-header: src(16) dst(16) length(4) zero(3)
-        // next-header(1).
-        let mut pseudo = Vec::with_capacity(40 + segment.len());
-        pseudo.extend_from_slice(&src.to_be_bytes());
-        pseudo.extend_from_slice(&dst.to_be_bytes());
-        pseudo.extend_from_slice(&(segment.len() as u32).to_be_bytes());
-        pseudo.extend_from_slice(&[0, 0, 0]);
-        pseudo.push(proto);
-        pseudo.extend_from_slice(segment);
-        internet_checksum(&pseudo)
+    fn addr_csum(addr: u128) -> u32 {
+        let mut sum = 0u32;
+        for shift in [112, 96, 80, 64, 48, 32, 16, 0] {
+            sum += ((addr >> shift) & 0xFFFF) as u32;
+        }
+        sum
+    }
+
+    fn write_addr_be(out: &mut [u8], addr: u128) {
+        out[..16].copy_from_slice(&addr.to_be_bytes());
     }
 
     type AddrBytes = [u8; 16];
@@ -391,31 +466,171 @@ impl WireFamily for V6 {
     }
 }
 
-/// Build a checksummed Ethernet+IP+TCP frame from a spec, in the spec's
-/// family. The IPv4 instantiation is byte-identical to the pre-generic
-/// codec.
-pub fn build_frame<F: WireFamily>(spec: &FrameSpec<F>) -> Bytes {
-    let mut buf = BytesMut::with_capacity(F::TCP_FRAME_LEN);
+/// Encode a checksummed Ethernet+IP+TCP frame from a spec into the
+/// start of `out` (which must hold at least
+/// [`WireFamily::TCP_FRAME_LEN`] bytes). Returns the frame length. The
+/// IPv4 byte stream is identical to the pre-generic codec's.
+pub fn encode_frame_into<F: WireFamily>(spec: &FrameSpec<F>, out: &mut [u8]) -> usize {
     // Ethernet
-    buf.put_slice(&spec.eth_dst);
-    buf.put_slice(&spec.eth_src);
-    buf.put_u16(F::ETHERTYPE);
+    out[0..6].copy_from_slice(&spec.eth_dst);
+    out[6..12].copy_from_slice(&spec.eth_src);
+    out[12..14].copy_from_slice(&F::ETHERTYPE.to_be_bytes());
     // IP
-    F::put_net_header(&mut buf, spec, TCP_HDR_LEN);
+    F::write_net_header(
+        &mut out[ETH_HDR_LEN..ETH_HDR_LEN + F::NET_HDR_LEN],
+        spec,
+        TCP_HDR_LEN,
+    );
     // TCP
-    let tcp_start = buf.len();
-    buf.put_u16(spec.src_port);
-    buf.put_u16(spec.dst_port);
-    buf.put_u32(spec.seq);
-    buf.put_u32(spec.ack);
-    buf.put_u8(0x50); // data offset 5, reserved 0
-    buf.put_u8(spec.flags);
-    buf.put_u16(spec.window);
-    buf.put_u16(0); // checksum placeholder
-    buf.put_u16(0); // urgent pointer
-    let tcp_csum = F::transport_checksum(spec.src_ip, spec.dst_ip, 6, &buf[tcp_start..]);
-    buf[tcp_start + 16..tcp_start + 18].copy_from_slice(&tcp_csum.to_be_bytes());
-    buf.freeze()
+    let t = ETH_HDR_LEN + F::NET_HDR_LEN;
+    let tcp = &mut out[t..t + TCP_HDR_LEN];
+    tcp[0..2].copy_from_slice(&spec.src_port.to_be_bytes());
+    tcp[2..4].copy_from_slice(&spec.dst_port.to_be_bytes());
+    tcp[4..8].copy_from_slice(&spec.seq.to_be_bytes());
+    tcp[8..12].copy_from_slice(&spec.ack.to_be_bytes());
+    tcp[12] = 0x50; // data offset 5, reserved 0
+    tcp[13] = spec.flags;
+    tcp[14..16].copy_from_slice(&spec.window.to_be_bytes());
+    tcp[16..18].copy_from_slice(&[0, 0]); // checksum placeholder
+    tcp[18..20].copy_from_slice(&[0, 0]); // urgent pointer
+    let tcp_csum = F::transport_checksum(spec.src_ip, spec.dst_ip, 6, &out[t..t + TCP_HDR_LEN]);
+    out[t + 16..t + 18].copy_from_slice(&tcp_csum.to_be_bytes());
+    F::TCP_FRAME_LEN
+}
+
+/// Build a checksummed Ethernet+IP+TCP frame from a spec, in the spec's
+/// family, as freshly allocated [`Bytes`]. Convenience wrapper over
+/// [`encode_frame_into`] for tests and one-off frames; the hot path
+/// uses [`SynTemplate`] / [`FrameBuf`] instead.
+pub fn build_frame<F: WireFamily>(spec: &FrameSpec<F>) -> Bytes {
+    let mut buf = [0u8; MAX_FRAME_LEN];
+    let len = encode_frame_into(spec, &mut buf);
+    Bytes::copy_from_slice(&buf[..len])
+}
+
+/// One frame in fixed stack storage: `MAX_FRAME_LEN` bytes plus a
+/// length. `Copy`, heap-free, and `Deref<Target = [u8]>` — the reply
+/// currency of the simulated network's allocation-free receive path.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameBuf {
+    buf: [u8; MAX_FRAME_LEN],
+    len: u8,
+}
+
+impl FrameBuf {
+    /// Encode `spec` into a fresh `FrameBuf`.
+    pub fn encode<F: WireFamily>(spec: &FrameSpec<F>) -> FrameBuf {
+        let mut buf = [0u8; MAX_FRAME_LEN];
+        let len = encode_frame_into(spec, &mut buf);
+        FrameBuf {
+            buf,
+            len: len as u8,
+        }
+    }
+
+    /// Copy an already-encoded frame (at most `MAX_FRAME_LEN` bytes).
+    pub fn from_slice(frame: &[u8]) -> FrameBuf {
+        let mut buf = [0u8; MAX_FRAME_LEN];
+        buf[..frame.len()].copy_from_slice(frame);
+        FrameBuf {
+            buf,
+            len: frame.len() as u8,
+        }
+    }
+
+    /// The encoded frame bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..usize::from(self.len)]
+    }
+}
+
+impl std::ops::Deref for FrameBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A reusable SYN probe frame with incremental checksum updates.
+///
+/// Constructed once per worker from the scan's fixed parameters
+/// (source address, destination port, MACs, TTL), then retargeted per
+/// probe with [`set_target`](SynTemplate::set_target), which rewrites
+/// only the destination address, source port, and sequence number and
+/// folds just those words into the precomputed constant checksum sums.
+/// The resulting bytes are identical to a full [`encode_frame_into`] of
+/// the same spec: the RFC 1071 sum is associative and commutative, and
+/// every patched field sits at an even offset, so constant-part +
+/// delta-part word sums partition the full sum exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct SynTemplate<F: WireFamily> {
+    buf: [u8; MAX_FRAME_LEN],
+    /// Word sum of the network header with the destination address and
+    /// header checksum zeroed (v4 only consults it; v6 has no header
+    /// checksum).
+    net_const_sum: u32,
+    /// Word sum of pseudo-header + TCP header with destination address,
+    /// source port, sequence number, and checksum zeroed.
+    tcp_const_sum: u32,
+    _family: PhantomData<F>,
+}
+
+impl<F: WireFamily> SynTemplate<F> {
+    /// Build the template. `spec`'s `dst_ip`, `src_port`, and `seq` are
+    /// ignored — they are per-probe and set by
+    /// [`set_target`](SynTemplate::set_target).
+    pub fn new(spec: &FrameSpec<F>) -> SynTemplate<F> {
+        let mut zeroed = *spec;
+        zeroed.dst_ip = F::Addr::default();
+        zeroed.src_port = 0;
+        zeroed.seq = 0;
+        let mut buf = [0u8; MAX_FRAME_LEN];
+        encode_frame_into(&zeroed, &mut buf);
+        let t = ETH_HDR_LEN + F::NET_HDR_LEN;
+        // zero the checksum fields so the constant sums exclude them —
+        // set_target recomputes both from the sums
+        if let Some(off) = F::NET_CSUM_OFF {
+            buf[ETH_HDR_LEN + off] = 0;
+            buf[ETH_HDR_LEN + off + 1] = 0;
+        }
+        buf[t + 16] = 0;
+        buf[t + 17] = 0;
+        // the zeroed dst/src_port/seq fields contribute 0 to both sums
+        let net_const_sum = checksum_add(&buf[ETH_HDR_LEN..t]);
+        let tcp_const_sum = F::addr_csum(spec.src_ip)
+            + 6
+            + len_words(TCP_HDR_LEN)
+            + checksum_add(&buf[t..t + TCP_HDR_LEN]);
+        SynTemplate {
+            buf,
+            net_const_sum,
+            tcp_const_sum,
+            _family: PhantomData,
+        }
+    }
+
+    /// Retarget the probe: patch destination address, source port, and
+    /// sequence number, then refresh both checksums incrementally.
+    pub fn set_target(&mut self, dst_ip: F::Addr, src_port: u16, seq: u32) {
+        let t = ETH_HDR_LEN + F::NET_HDR_LEN;
+        F::write_addr_be(&mut self.buf[ETH_HDR_LEN + F::DST_ADDR_OFF..], dst_ip);
+        self.buf[t..t + 2].copy_from_slice(&src_port.to_be_bytes());
+        self.buf[t + 4..t + 8].copy_from_slice(&seq.to_be_bytes());
+        let dst_sum = F::addr_csum(dst_ip);
+        if let Some(off) = F::NET_CSUM_OFF {
+            let csum = checksum_finish(self.net_const_sum + dst_sum);
+            self.buf[ETH_HDR_LEN + off..ETH_HDR_LEN + off + 2].copy_from_slice(&csum.to_be_bytes());
+        }
+        let delta = dst_sum + u32::from(src_port) + (seq >> 16) + (seq & 0xFFFF);
+        let tcp_csum = checksum_finish(self.tcp_const_sum + delta);
+        self.buf[t + 16..t + 18].copy_from_slice(&tcp_csum.to_be_bytes());
+    }
+
+    /// The current frame bytes ([`WireFamily::TCP_FRAME_LEN`] long).
+    pub fn frame(&self) -> &[u8] {
+        &self.buf[..F::TCP_FRAME_LEN]
+    }
 }
 
 /// Build an IPv4 TCP SYN probe (the scanner's packet).
@@ -447,9 +662,10 @@ pub fn build_syn_for<F: WireFamily>(
     })
 }
 
-/// Build a SYN-ACK answer to a parsed SYN (the responder's packet).
-pub fn build_syn_ack<F: WireFamily>(probe: &TcpFrame<F>, server_isn: u32) -> Bytes {
-    build_frame(&FrameSpec::<F> {
+/// The spec of a SYN-ACK answering a parsed SYN: endpoints swapped,
+/// `server_isn` as the sequence number, probe seq + 1 acknowledged.
+pub fn syn_ack_spec<F: WireFamily>(probe: &TcpFrame<F>, server_isn: u32) -> FrameSpec<F> {
+    FrameSpec {
         eth_dst: probe.eth_src,
         eth_src: probe.eth_dst,
         src_ip: probe.dst_ip,
@@ -461,12 +677,12 @@ pub fn build_syn_ack<F: WireFamily>(probe: &TcpFrame<F>, server_isn: u32) -> Byt
         flags: tcp_flags::SYN | tcp_flags::ACK,
         ttl: 64,
         ..FrameSpec::default()
-    })
+    }
 }
 
-/// Build a RST answer (closed port).
-pub fn build_rst<F: WireFamily>(probe: &TcpFrame<F>) -> Bytes {
-    build_frame(&FrameSpec::<F> {
+/// The spec of a RST answering a parsed SYN (closed port).
+pub fn rst_spec<F: WireFamily>(probe: &TcpFrame<F>) -> FrameSpec<F> {
+    FrameSpec {
         eth_dst: probe.eth_src,
         eth_src: probe.eth_dst,
         src_ip: probe.dst_ip,
@@ -478,7 +694,17 @@ pub fn build_rst<F: WireFamily>(probe: &TcpFrame<F>) -> Bytes {
         flags: tcp_flags::RST | tcp_flags::ACK,
         ttl: 64,
         ..FrameSpec::default()
-    })
+    }
+}
+
+/// Build a SYN-ACK answer to a parsed SYN (the responder's packet).
+pub fn build_syn_ack<F: WireFamily>(probe: &TcpFrame<F>, server_isn: u32) -> Bytes {
+    build_frame(&syn_ack_spec(probe, server_isn))
+}
+
+/// Build a RST answer (closed port).
+pub fn build_rst<F: WireFamily>(probe: &TcpFrame<F>) -> Bytes {
+    build_frame(&rst_spec(probe))
 }
 
 /// Parse and validate an IPv4 frame (checksums verified).
@@ -550,27 +776,27 @@ pub struct Icmp6Echo {
 /// Encode an [`Icmp6Echo`] as a checksummed 62-byte frame (the type
 /// byte — 128/129 — comes from `is_reply`).
 pub fn build_echo6_frame(p: &Icmp6Echo) -> Bytes {
-    let mut buf = BytesMut::with_capacity(FRAME_LEN_ICMP6);
-    buf.put_slice(&p.eth_dst);
-    buf.put_slice(&p.eth_src);
-    buf.put_u16(V6::ETHERTYPE);
-    put_v6_header(
-        &mut buf,
+    let mut buf = [0u8; FRAME_LEN_ICMP6];
+    buf[0..6].copy_from_slice(&p.eth_dst);
+    buf[6..12].copy_from_slice(&p.eth_src);
+    buf[12..14].copy_from_slice(&V6::ETHERTYPE.to_be_bytes());
+    write_v6_header(
+        &mut buf[ETH_HDR_LEN..ETH_HDR_LEN + IPV6_HDR_LEN],
         p.hop_limit,
         p.src_ip,
         p.dst_ip,
         58,
         ICMP6_ECHO_LEN,
     );
-    let icmp_start = buf.len();
-    buf.put_u8(if p.is_reply { 129 } else { 128 });
-    buf.put_u8(0); // code
-    buf.put_u16(0); // checksum placeholder
-    buf.put_u16(p.ident);
-    buf.put_u16(p.seq);
-    let csum = V6::transport_checksum(p.src_ip, p.dst_ip, 58, &buf[icmp_start..]);
-    buf[icmp_start + 2..icmp_start + 4].copy_from_slice(&csum.to_be_bytes());
-    buf.freeze()
+    let i = ETH_HDR_LEN + IPV6_HDR_LEN;
+    buf[i] = if p.is_reply { 129 } else { 128 };
+    buf[i + 1] = 0; // code
+    buf[i + 2..i + 4].copy_from_slice(&[0, 0]); // checksum placeholder
+    buf[i + 4..i + 6].copy_from_slice(&p.ident.to_be_bytes());
+    buf[i + 6..i + 8].copy_from_slice(&p.seq.to_be_bytes());
+    let csum = V6::transport_checksum(p.src_ip, p.dst_ip, 58, &buf[i..]);
+    buf[i + 2..i + 4].copy_from_slice(&csum.to_be_bytes());
+    Bytes::copy_from_slice(&buf)
 }
 
 /// Build an ICMPv6 echo request probe (62 bytes, RFC 4443 type 128).
@@ -871,6 +1097,110 @@ mod tests {
         // a TCP v6 frame is not an echo
         let syn = build_syn_v6(5, 9, 1, 2, 3);
         assert_eq!(parse_echo6(&syn), Err(WireError::NotIcmpv6));
+    }
+
+    /// The template's incrementally-checksummed frame must be
+    /// byte-identical to a full encode of the same spec, across
+    /// retargets — including checksum values that need extra folding.
+    fn assert_template_matches_full_encode<F: WireFamily>(
+        spec: &FrameSpec<F>,
+        targets: &[(F::Addr, u16, u32)],
+    ) {
+        let mut tmpl = SynTemplate::new(spec);
+        for &(dst_ip, src_port, seq) in targets {
+            tmpl.set_target(dst_ip, src_port, seq);
+            let full = build_frame(&FrameSpec {
+                dst_ip,
+                src_port,
+                seq,
+                ..*spec
+            });
+            assert_eq!(
+                tmpl.frame(),
+                &full[..],
+                "template diverged from full encode"
+            );
+        }
+    }
+
+    #[test]
+    fn v4_template_is_byte_identical_to_full_encode() {
+        let spec = FrameSpec::<V4> {
+            src_ip: 0x0A00_0001,
+            dst_port: 443,
+            ..FrameSpec::default()
+        };
+        assert_template_matches_full_encode(
+            &spec,
+            &[
+                (0xC0A8_0001, 40000, 0xDEADBEEF),
+                (0, 32768, 0),
+                (u32::MAX, 60999, u32::MAX),
+                (0xC0A8_0001, 40000, 0xDEADBEEF), // retarget back
+                (0x0808_0808, 50123, 1),
+            ],
+        );
+    }
+
+    #[test]
+    fn v6_template_is_byte_identical_to_full_encode() {
+        let spec = FrameSpec::<V6> {
+            src_ip: (0x2001_0db8u128 << 96) | 1,
+            dst_port: 443,
+            ..FrameSpec::default()
+        };
+        assert_template_matches_full_encode(
+            &spec,
+            &[
+                ((0x2600u128 << 112) | 0xBEEF, 40000, 0xDEADBEEF),
+                (0, 32768, 0),
+                (u128::MAX, 60999, u32::MAX),
+                (1, 50123, 7),
+            ],
+        );
+    }
+
+    #[test]
+    fn template_frames_parse_and_validate() {
+        let mut tmpl = SynTemplate::new(&FrameSpec::<V4> {
+            src_ip: 0x0A00_0001,
+            dst_port: 80,
+            ..FrameSpec::default()
+        });
+        tmpl.set_target(0xC0A8_0001, 40000, 77);
+        let f = parse_frame(tmpl.frame()).unwrap();
+        assert_eq!(f.dst_ip, 0xC0A8_0001);
+        assert_eq!(f.src_port, 40000);
+        assert_eq!(f.seq, 77);
+        assert_eq!(f.dst_port, 80);
+    }
+
+    #[test]
+    fn framebuf_roundtrips_both_families() {
+        let spec = FrameSpec::<V4> {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            seq: 5,
+            ..FrameSpec::default()
+        };
+        let fb = FrameBuf::encode(&spec);
+        assert_eq!(fb.len(), FRAME_LEN);
+        assert_eq!(&*fb, &build_frame(&spec)[..]);
+        let spec6 = FrameSpec::<V6> {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            seq: 5,
+            ..FrameSpec::default()
+        };
+        let fb6 = FrameBuf::encode(&spec6);
+        assert_eq!(fb6.len(), FRAME_LEN_V6);
+        assert_eq!(&*fb6, &build_frame(&spec6)[..]);
+        let copied = FrameBuf::from_slice(&fb6);
+        assert_eq!(&*copied, &*fb6);
     }
 
     #[test]
