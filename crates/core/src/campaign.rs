@@ -279,17 +279,24 @@ where
         }
         let truth = source.snapshot(m, protocol);
         let plan = prepared.plan(m);
-        let eval = plan.evaluate(&truth, m, announced);
-        // materialising the cycle's responsive set is O(hosts); skip it
-        // for static strategies whose observe() discards it anyway
-        if prepared.wants_feedback() {
+        // Static strategies discard the responsive set, so only the
+        // analytic evaluation runs. Feedback strategies need the observed
+        // view anyway — and its length *is* the responsive count for
+        // exact plans, so the view doubles as the evaluation and the
+        // cycle pays one counting sweep, not two.
+        let eval = if prepared.wants_feedback() {
+            let responsive = plan.observed(&truth, m, announced);
+            let eval = plan.evaluate_observed(&truth, &responsive, m, announced);
             let outcome = CycleOutcome {
                 cycle: m,
                 probes: eval.probes,
-                responsive: plan.observed(&truth, m, announced),
+                responsive,
             };
             prepared.observe(m, &outcome);
-        }
+            eval
+        } else {
+            plan.evaluate(&truth, m, announced)
+        };
         months.push(MonthEval { month: m, eval });
     }
     let announced = F::wide_to_u128(announced);
@@ -511,7 +518,11 @@ impl CampaignPool {
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, CampaignResult)>();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            // the calling thread is the last worker: it claims jobs from
+            // the same cursor instead of parking on the channel, so a
+            // matrix of w jobs costs w−1 thread spawns, not w, and the
+            // caller's core is never idle while campaigns remain
+            for _ in 0..workers - 1 {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 scope.spawn(move || loop {
@@ -527,6 +538,13 @@ impl CampaignPool {
             }
             drop(tx);
             let mut slots: Vec<Option<CampaignResult>> = vec![None; jobs.len()];
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(kind, proto)) = jobs.get(i) else {
+                    break;
+                };
+                slots[i] = Some(run_campaign(source, kind, proto, seed));
+            }
             for (i, result) in rx {
                 slots[i] = Some(result);
             }

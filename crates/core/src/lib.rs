@@ -58,11 +58,12 @@ pub use campaign::{
 };
 pub use cluster::{cluster_units, Cluster, ClusterConfig};
 pub use density::{
-    rank_from_counts, rank_prefix_counts, rank_prefixes, rank_units, DensityRank, PrefixStat,
+    rank_from_counts, rank_prefix_counts, rank_prefixes, rank_units, DensityCounts, DensityRank,
+    PrefixStat,
 };
 pub use metrics::{efficiency_ratio, MonthEval};
 pub use plan::{CycleOutcome, Eval, PlanStream, ProbePlan, StreamError};
-pub use select::{select_prefixes, Selection};
+pub use select::{select_prefixes, select_prefixes_budgeted, Selection};
 pub use spec::{parse_spec, SpecError};
 pub use strategy::{
     AdaptiveTass, Block24Sample, FamilySpace, FullScan, IpHitlist, Prepared, PreparedStrategy,

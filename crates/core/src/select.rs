@@ -5,7 +5,7 @@
 //! (Σ_{i=1..k} φᵢ > φ), and report the address-space cost of scanning
 //! them — the numbers behind the paper's Table 1.
 
-use crate::density::DensityRank;
+use crate::density::{DensityCounts, DensityRank, PrefixStat};
 use serde::{Deserialize, Serialize};
 use tass_net::{AddrFamily, Prefix, V4};
 
@@ -37,17 +37,29 @@ pub struct Selection<F: AddrFamily = V4> {
 ///
 /// Panics if `phi` is negative or NaN — a programming error.
 pub fn select_prefixes<F: AddrFamily>(rank: &DensityRank<F>, phi: f64) -> Selection<F> {
+    select_from_stats(&rank.stats, rank.total_hosts, rank.total_space, phi)
+}
+
+/// The cutoff itself, over a ranked stats slice — shared by
+/// [`select_prefixes`] and the budgeted path, which runs it against an
+/// in-place partial ranking without ever materialising a `DensityRank`.
+fn select_from_stats<F: AddrFamily>(
+    stats: &[PrefixStat<F>],
+    total_hosts: u64,
+    total_space: F::Wide,
+    phi: f64,
+) -> Selection<F> {
     assert!(
         phi >= 0.0 && phi.is_finite(),
         "phi must be a finite non-negative fraction"
     );
-    let total_space = F::wide_to_u128(rank.total_space);
+    let total_space = F::wide_to_u128(total_space);
     let mut prefixes = Vec::new();
     let mut cum_hosts = 0u64;
     let mut space = 0u128;
     // integer-exact cutoff: stop once cum_hosts > phi * N
-    let target = phi * rank.total_hosts as f64;
-    for s in &rank.stats {
+    let target = phi * total_hosts as f64;
+    for s in stats {
         if phi < 1.0 && cum_hosts as f64 > target {
             break;
         }
@@ -66,8 +78,8 @@ pub fn select_prefixes<F: AddrFamily>(rank: &DensityRank<F>, phi: f64) -> Select
         phi,
         prefixes,
         k,
-        achieved_coverage: if rank.total_hosts > 0 {
-            cum_hosts as f64 / rank.total_hosts as f64
+        achieved_coverage: if total_hosts > 0 {
+            cum_hosts as f64 / total_hosts as f64
         } else {
             0.0
         },
@@ -77,7 +89,63 @@ pub fn select_prefixes<F: AddrFamily>(rank: &DensityRank<F>, phi: f64) -> Select
         } else {
             0.0
         },
-        total_hosts: rank.total_hosts,
+        total_hosts,
+    }
+}
+
+/// [`select_prefixes`] over a **top-k** ranking: rank only the densest
+/// units in place ([`DensityCounts::rank_top_k_in_place`] — no clone,
+/// no allocation beyond the output), run the cutoff, and escalate `k`
+/// (doubling) in the rare case the cutoff was not reached inside the
+/// partial ranking. Returns the *identical* selection to ranking
+/// everything — the density order is strictly total, so a top-k ranking
+/// is byte-for-byte a prefix of the full one, and a cutoff that fires
+/// before rank `k` cannot see the difference. `k_hint` is the caller's
+/// guess (last cycle's k for a feedback strategy); re-ranking cost then
+/// tracks the probe budget, not the unit count.
+///
+/// `phi >= 1.0` selects every responsive unit, so it ranks fully.
+pub fn select_prefixes_budgeted<F: AddrFamily>(
+    mut counts: DensityCounts<F>,
+    phi: f64,
+    k_hint: usize,
+) -> Selection<F> {
+    let n = counts.len();
+    // A zero hint means the caller has no estimate at all (the first
+    // selection of a campaign). Coverage-level phi typically selects a
+    // large fraction of the units, so doubling up from nothing would
+    // re-rank the buffer log(n) times before reaching the cutoff — one
+    // full sort is strictly cheaper. Escalation is for *refining* a
+    // known k, not discovering one.
+    if phi >= 1.0 || n == 0 || k_hint == 0 {
+        return select_prefixes(&counts.rank(), phi);
+    }
+    // Slack above the hint matters: a stable feedback loop re-selects
+    // with last cycle's k as the hint, and termination needs the cutoff
+    // *strictly inside* the partial ranking — an exact hint would
+    // escalate (and re-rank) every single cycle at the fixpoint.
+    let mut k = (k_hint + k_hint / 8 + 8).min(n);
+    loop {
+        if 2 * k >= n {
+            // this close to n, one full sort beats partial-rank passes
+            counts.rank_top_k_in_place(n);
+            return select_from_stats(&counts.stats, counts.total_hosts, counts.total_space, phi);
+        }
+        // partial ranking in place: no clone, no allocation — escalation
+        // re-partitions the same buffer
+        counts.rank_top_k_in_place(k);
+        let sel = select_from_stats(
+            &counts.stats[..k],
+            counts.total_hosts,
+            counts.total_space,
+            phi,
+        );
+        // the cutoff fired strictly inside the partial ranking: the full
+        // sort would agree
+        if sel.k < k {
+            return sel;
+        }
+        k *= 2;
     }
 }
 
@@ -189,6 +257,47 @@ mod tests {
         for w in sorted.windows(2) {
             assert!(w[0].last() < w[1].first());
         }
+    }
+
+    #[test]
+    fn budgeted_selection_equals_full_selection() {
+        use crate::density::DensityCounts;
+        // 64 units, mixed distinct and tied densities, so escalation and
+        // tie-breaks through the partition boundary are both exercised
+        let mut t = RouteTable::new();
+        let mut addrs = Vec::new();
+        for i in 0..64u32 {
+            let base = (i + 1) << 24;
+            t.insert(Prefix::new(base, 24).unwrap(), Origin::Single(i));
+            addrs.extend((0..(1 + (i % 16)) * 4).map(|j| base + j));
+        }
+        let view = View::less_specific(&t);
+        let hosts = HostSet::from_addrs(addrs);
+        let full_rank = rank_units(&view, &hosts);
+        for phi in [0.0, 0.3, 0.5, 0.9, 0.95, 0.999, 1.0, 2.0] {
+            let want = select_prefixes(&full_rank, phi);
+            // hints below, at, and above the true k — all must agree
+            for k_hint in [
+                0usize,
+                1,
+                want.k.saturating_sub(1),
+                want.k,
+                want.k + 5,
+                1000,
+            ] {
+                let counts = DensityCounts::units(&view, &hosts);
+                let got = select_prefixes_budgeted(counts, phi, k_hint);
+                assert_eq!(got.k, want.k, "phi={phi} hint={k_hint}");
+                assert_eq!(got.prefixes, want.prefixes, "phi={phi} hint={k_hint}");
+                assert_eq!(got.achieved_coverage, want.achieved_coverage);
+                assert_eq!(got.selected_space, want.selected_space);
+                assert_eq!(got.space_fraction, want.space_fraction);
+                assert_eq!(got.total_hosts, want.total_hosts);
+            }
+        }
+        // empty ranking short-circuits
+        let empty: Selection = select_prefixes_budgeted(DensityCounts::default(), 0.9, 4);
+        assert_eq!(empty.k, 0);
     }
 
     #[test]

@@ -37,15 +37,15 @@
 //!   observed responses plus a small rotating exploration budget — no
 //!   full re-scan ever (feedback-driven; new in the trait redesign).
 
-use crate::density::rank_units;
+use crate::density::DensityCounts;
 use crate::plan::{CycleOutcome, ProbePlan};
-use crate::select::{select_prefixes, Selection};
+use crate::select::{select_prefixes_budgeted, Selection};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use tass_bgp::{View, ViewKind};
-use tass_model::{Snapshot, Topology, V6Space};
+use tass_model::{PrefixCount, Snapshot, Topology, V6Space};
 use tass_net::{AddrFamily, Prefix, V4, V6};
 
 pub use crate::plan::Eval;
@@ -273,9 +273,10 @@ fn prepare_static(
     match kind {
         StrategyKind::FullScan => (ProbePlan::All, None),
         StrategyKind::Tass { view, phi } => {
+            // count through the snapshot's memoised index, rank top-k only
             let v = view_of(topo, view);
-            let rank = rank_units(v, &t0.hosts);
-            let sel = select_prefixes(&rank, phi);
+            let counts = DensityCounts::units(v, t0);
+            let sel = select_prefixes_budgeted(counts, phi, 0);
             (ProbePlan::Prefixes(sel.sorted_prefixes()), Some(sel))
         }
         StrategyKind::IpHitlist => (ProbePlan::Addrs(t0.hosts.clone()), None),
@@ -496,13 +497,15 @@ impl Strategy for ReseedingTass {
 
     fn prepare(&self, topo: &Topology, t0: &Snapshot, _seed: u64) -> Box<dyn PreparedStrategy> {
         let view = view_of(topo, self.view).clone();
-        let rank = rank_units(&view, &t0.hosts);
-        let selection = select_prefixes(&rank, self.phi);
+        let counts = DensityCounts::units(&view, t0);
+        let selection = select_prefixes_budgeted(counts, self.phi, 0);
+        let sorted_plan = selection.sorted_prefixes();
         Box::new(ReseedingPrepared {
             view,
             phi: self.phi,
             delta_t: self.delta_t,
             selection,
+            sorted_plan,
         })
     }
 }
@@ -513,6 +516,9 @@ struct ReseedingPrepared {
     phi: f64,
     delta_t: u32,
     selection: Selection,
+    /// The selection's prefixes in address order, recomputed once per
+    /// reselection — so a cycle's plan is a memcpy, not a sort.
+    sorted_plan: Vec<Prefix>,
 }
 
 impl ReseedingPrepared {
@@ -530,15 +536,18 @@ impl PreparedStrategy for ReseedingPrepared {
             // step 1 again: the amortised full scan
             ProbePlan::All
         } else {
-            ProbePlan::Prefixes(self.selection.sorted_prefixes())
+            ProbePlan::Prefixes(self.sorted_plan.clone())
         }
     }
 
     fn observe(&mut self, cycle: u32, outcome: &CycleOutcome) {
         if self.is_reseed_cycle(cycle) {
-            // steps 2–4 from the fresh scan's responses
-            let rank = rank_units(&self.view, &outcome.responsive);
-            self.selection = select_prefixes(&rank, self.phi);
+            // steps 2–4 from the fresh scan's responses: the whole view
+            // counts in one bulk sweep over the shared snapshot, and only
+            // the ~k densest units get sorted (last cycle's k as the hint)
+            let counts = DensityCounts::units(&self.view, &outcome.responsive);
+            self.selection = select_prefixes_budgeted(counts, self.phi, self.selection.k);
+            self.sorted_plan = self.selection.sorted_prefixes();
         }
     }
 
@@ -574,7 +583,13 @@ impl Strategy for AdaptiveTass {
 
     fn prepare(&self, topo: &Topology, t0: &Snapshot, _seed: u64) -> Box<dyn PreparedStrategy> {
         let view = view_of(topo, self.view).clone();
-        let (counts, _) = view.attribute_all(t0.hosts.addrs());
+        // one bulk sweep over the sorted t₀ hosts — identical counts to
+        // attributing every host through the trie (view units are
+        // disjoint, so containment and longest-match agree), at
+        // O(units log hosts) instead of a trie walk per host
+        let mut counts = Vec::with_capacity(view.len());
+        t0.hosts
+            .count_prefixes_into(&mut view.units().iter().map(|vu| vu.prefix), &mut counts);
         let mut prepared = AdaptivePrepared {
             phi: self.phi,
             explore: self.explore,
@@ -607,18 +622,23 @@ struct AdaptivePrepared {
 }
 
 impl AdaptivePrepared {
-    /// Re-run TASS steps 2–4 over the current per-unit count estimates.
+    /// Re-run TASS steps 2–4 over the current per-unit count estimates
+    /// (top-k ranking, hinted by the current selection size).
     fn reselect(&mut self) {
-        let rank = crate::density::rank_from_counts(&self.view, &self.counts);
-        self.selection = select_prefixes(&rank, self.phi);
+        let counts = DensityCounts::from_unit_counts(&self.view, &self.counts);
+        self.selection = select_prefixes_budgeted(counts, self.phi, self.selection.k);
+        // map each selected prefix back to its unit index by binary
+        // search over the address-sorted unit array — selected prefixes
+        // *are* unit prefixes, so no longest-match trie walk is needed
+        let units = self.view.units();
         self.selected = self
             .selection
             .prefixes
             .iter()
             .map(|p| {
-                self.view
-                    .attribute(p.first())
-                    .expect("selected prefixes come from the view")
+                units
+                    .binary_search_by_key(p, |vu| vu.prefix)
+                    .expect("selected prefixes come from the view") as u32
             })
             .collect();
         self.selected.sort_unstable();
@@ -660,10 +680,17 @@ impl PreparedStrategy for AdaptivePrepared {
 
     fn observe(&mut self, _cycle: u32, outcome: &CycleOutcome) {
         // update the density estimate of every unit this cycle probed,
-        // from the cycle's own responses — no full scan anywhere
-        for &unit in &self.last_planned {
-            let prefix = self.view.units()[unit as usize].prefix;
-            self.counts[unit as usize] = outcome.responsive.count_in_prefix(prefix) as u64;
+        // from the cycle's own responses — no full scan anywhere. The
+        // planned units are ascending, so this is one bulk sweep over
+        // the responsive view, not a rank query per unit.
+        let units = self.view.units();
+        let mut probed = Vec::with_capacity(self.last_planned.len());
+        outcome.responsive.count_prefixes_into(
+            &mut self.last_planned.iter().map(|&u| units[u as usize].prefix),
+            &mut probed,
+        );
+        for (&unit, &c) in self.last_planned.iter().zip(&probed) {
+            self.counts[unit as usize] = c;
         }
         self.reselect();
     }
@@ -727,10 +754,10 @@ impl Strategy<V6> for V6BlockTass {
         t0: &Snapshot<V6>,
         _seed: u64,
     ) -> Box<dyn PreparedStrategy<V6>> {
-        let blocks = blocks_of(&t0.hosts, self.block_len);
+        let blocks = blocks_of(t0.hosts.iter(), self.block_len);
         let counts: Vec<u64> = blocks
             .iter()
-            .map(|b| t0.hosts.count_in_prefix(*b) as u64)
+            .map(|b| t0.count_in_prefix(*b) as u64)
             .collect();
         let mut prepared = V6BlockPrepared {
             phi: self.phi,
@@ -744,10 +771,11 @@ impl Strategy<V6> for V6BlockTass {
     }
 }
 
-/// The distinct `/len` blocks a host set occupies (sorted).
-fn blocks_of(hosts: &tass_model::HostSet<V6>, block_len: u8) -> Vec<Prefix<V6>> {
+/// The distinct `/len` blocks an ascending host iteration occupies
+/// (sorted) — works on owned `HostSet`s and copy-free `HostSetView`s
+/// alike.
+fn blocks_of(hosts: impl Iterator<Item = u128>, block_len: u8) -> Vec<Prefix<V6>> {
     let mut blocks: Vec<Prefix<V6>> = hosts
-        .iter()
         .map(|a| Prefix::<V6>::new_truncate(a, block_len).expect("block_len <= 128"))
         .collect();
     blocks.dedup(); // hosts are sorted, so equal blocks are adjacent
@@ -768,10 +796,11 @@ struct V6BlockPrepared {
 }
 
 impl V6BlockPrepared {
-    /// Steps 2–4 over the maintained per-block counts.
+    /// Steps 2–4 over the maintained per-block counts (top-k ranking,
+    /// hinted by the current selection size).
     fn reselect(&mut self) {
-        let rank = crate::density::rank_prefix_counts(&self.blocks, &self.counts);
-        self.selection = select_prefixes(&rank, self.phi);
+        let counts = DensityCounts::prefix_counts(&self.blocks, &self.counts);
+        self.selection = select_prefixes_budgeted(counts, self.phi, self.selection.k);
     }
 }
 
@@ -789,7 +818,7 @@ impl PreparedStrategy<V6> for V6BlockPrepared {
                 self.counts[i] = outcome.responsive.count_in_prefix(*block) as u64;
             }
         }
-        for block in blocks_of(&outcome.responsive, self.block_len) {
+        for block in blocks_of(outcome.responsive.iter(), self.block_len) {
             if let Err(i) = self.blocks.binary_search(&block) {
                 self.blocks.insert(i, block);
                 self.counts
@@ -1258,11 +1287,11 @@ mod tests {
                     "cycle {cycle} scans the selection"
                 );
             }
-            let truth = u.snapshot(cycle, Protocol::Http);
+            let truth = tass_model::GroundTruth::snapshot(&u, cycle, Protocol::Http);
             let outcome = CycleOutcome {
                 cycle,
                 probes: plan.probe_count(u.topology().announced_space()),
-                responsive: plan.observed(truth, cycle, u.topology().announced_space()),
+                responsive: plan.observed(&truth, cycle, u.topology().announced_space()),
             };
             prepared.observe(cycle, &outcome);
         }

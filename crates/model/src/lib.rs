@@ -44,7 +44,7 @@ pub use protocol::Protocol;
 pub use registry::{
     RegistryError, SharedSource, SharedSourceV6, SourceEntry, SourceInfo, SourceRegistry,
 };
-pub use snapshot::{DecodeError, HostSet, Snapshot};
+pub use snapshot::{DecodeError, HostSet, HostSetView, HostSetViewIter, PrefixCount, Snapshot};
 pub use source::{FamilySpace, GroundTruth};
 pub use topology::{BlockMeta, Topology};
 pub use universe::{Universe, UniverseConfig, V6Space, V6Universe, V6UniverseConfig};

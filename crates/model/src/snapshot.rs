@@ -1,4 +1,4 @@
-//! Monthly ground-truth snapshots.
+//! Monthly ground-truth snapshots, and the O(output) views over them.
 //!
 //! A [`Snapshot`] is what one full scan of the announced space would have
 //! produced for one protocol in one month: the sorted set of responsive
@@ -7,11 +7,84 @@
 //! sourced from the simulation, with the set operations the strategies
 //! need (membership, intersection counting) and a compact binary
 //! serialisation so generated universes can be cached on disk.
+//!
+//! # Cost model
+//!
+//! Matrix campaigns touch the same `(month, protocol)` snapshot from
+//! every strategy, repetition, and worker, so per-cycle work must be
+//! proportional to what a cycle *produces*, not to the size of the
+//! universe. Two pieces enforce that:
+//!
+//! * **The prefix-count index.** [`Snapshot::count_in_prefix`] memoises
+//!   per-prefix host counts in a lazily built, lock-guarded index that
+//!   lives inside the snapshot — and snapshots are shared as
+//!   [`Arc<Snapshot>`] by the `GroundTruth` sources — so scattered
+//!   point queries are paid for once per snapshot. The rankings
+//!   themselves take the bulk path instead:
+//!   [`PrefixCount::count_prefixes_into`] sweeps an ascending prefix
+//!   sequence (sorted view units, sorted plan prefixes) over the sorted
+//!   host list with a galloping cursor — O(Σ log gapᵢ) total, no
+//!   hashing, no lock. [`PrefixCount`] is the trait rankings are
+//!   generic over; a bare [`HostSet`] answers by binary search.
+//! * **Copy-free feedback.** A [`HostSetView`] is an `Arc<Snapshot>`
+//!   plus sorted disjoint index ranges into its host list: the per-cycle
+//!   "responsive set" of a simulated scan without cloning, sorting, or
+//!   allocating anything proportional to the host count. A full-scan
+//!   cycle is a single `(0, n)` range; a prefix-plan cycle is the
+//!   interval union of the per-prefix slices (so overlapping prefixes
+//!   have explicit set-union semantics). [`HostSetView::materialize`] is
+//!   the escape hatch back to an owned [`HostSet`], and the serde form
+//!   is byte-identical to the eager set's, so downstream digests cannot
+//!   tell the difference.
 
 use crate::protocol::Protocol;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, RwLock};
 use tass_net::{AddrFamily, Prefix, V4};
+
+/// Anything that can report how many of its member hosts a prefix
+/// covers. Density rankings are generic over this, so they can run
+/// against an owned [`HostSet`] (binary search), a shared
+/// [`Snapshot`] (memoised index), or a per-cycle [`HostSetView`]
+/// (range arithmetic) without materialising anything.
+pub trait PrefixCount<F: AddrFamily = V4> {
+    /// Count member hosts covered by `p`.
+    fn count_in_prefix(&self, p: Prefix<F>) -> usize;
+
+    /// Bulk counting: append one count per prefix to `out`, in input
+    /// order. Implementations over sorted storage override this with a
+    /// monotone sweep — a cursor remembers where the previous prefix
+    /// began, so an ascending prefix sequence (sorted view units, sorted
+    /// plan prefixes: the hot feedback-cycle case) costs short forward
+    /// gallops instead of one full-width binary search per prefix.
+    /// Out-of-order prefixes stay correct everywhere; they just pay the
+    /// full search again.
+    fn count_prefixes_into(
+        &self,
+        prefixes: &mut dyn Iterator<Item = Prefix<F>>,
+        out: &mut Vec<u64>,
+    ) {
+        for p in prefixes {
+            out.push(self.count_in_prefix(p) as u64);
+        }
+    }
+}
+
+/// `partition_point` found by exponential probing from the front of the
+/// slice: O(log d) in the distance `d` to the answer instead of O(log n)
+/// in the slice length. `pred` must be monotone (true on a prefix of the
+/// slice), exactly as for `partition_point`.
+fn gallop<T>(s: &[T], mut pred: impl FnMut(&T) -> bool) -> usize {
+    let mut hi = 1usize;
+    while hi < s.len() && pred(&s[hi]) {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    let hi = hi.min(s.len());
+    lo + s[lo..hi].partition_point(pred)
+}
 
 /// A sorted, deduplicated set of responsive addresses, generic over the
 /// address family (the default `HostSet` is IPv4, `HostSet<V6>` carries
@@ -94,6 +167,34 @@ impl<F: AddrFamily> HostSet<F> {
         self.count_in_range(p.first(), p.last())
     }
 
+    /// The [`PrefixCount::count_prefixes_into`] sweep over the sorted
+    /// address array: ascending prefixes advance a cursor by galloping,
+    /// so counting a whole sorted view costs O(Σ log gapᵢ) comparisons
+    /// total — not `k` full binary searches, and no hashing or locking.
+    pub fn count_prefixes_into(
+        &self,
+        prefixes: &mut dyn Iterator<Item = Prefix<F>>,
+        out: &mut Vec<u64>,
+    ) {
+        let addrs = &self.addrs;
+        // `addrs[..cursor]` is < the previous prefix's first address;
+        // nested prefixes (next.first inside the previous span) keep the
+        // cursor at `lo`, not `hi`, so the invariant holds under overlap.
+        let mut cursor = 0usize;
+        let mut prev_first: Option<F::Addr> = None;
+        for p in prefixes {
+            let (first, last) = (p.first(), p.last());
+            if prev_first.is_some_and(|pf| first < pf) {
+                cursor = 0;
+            }
+            let lo = cursor + gallop(&addrs[cursor..], |&a| a < first);
+            let hi = lo + gallop(&addrs[lo..], |&a| a <= last);
+            out.push((hi - lo) as u64);
+            cursor = lo;
+            prev_first = Some(first);
+        }
+    }
+
     /// Iterate members ascending.
     pub fn iter(&self) -> impl Iterator<Item = F::Addr> + '_ {
         self.addrs.iter().copied()
@@ -122,8 +223,28 @@ impl<F: AddrFamily> FromIterator<F::Addr> for HostSet<F> {
     }
 }
 
+impl<F: AddrFamily> PrefixCount<F> for HostSet<F> {
+    fn count_in_prefix(&self, p: Prefix<F>) -> usize {
+        HostSet::count_in_prefix(self, p)
+    }
+
+    fn count_prefixes_into(
+        &self,
+        prefixes: &mut dyn Iterator<Item = Prefix<F>>,
+        out: &mut Vec<u64>,
+    ) {
+        HostSet::count_prefixes_into(self, prefixes, out)
+    }
+}
+
 /// One protocol's ground truth for one month, generic over the family.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries a lazily built per-prefix host-count index so that repeated
+/// rankings against the same snapshot (every strategy × repetition ×
+/// worker of a matrix sweep shares the same `Arc<Snapshot>`) cost O(k)
+/// lookups instead of O(k log n) binary searches. The index assumes the
+/// snapshot is immutable once queried; mutating `hosts` through the
+/// public field after the first `count_in_prefix` call is a logic error.
 pub struct Snapshot<F: AddrFamily = V4> {
     /// The protocol scanned.
     pub protocol: Protocol,
@@ -131,6 +252,8 @@ pub struct Snapshot<F: AddrFamily = V4> {
     pub month: u32,
     /// The responsive hosts.
     pub hosts: HostSet<F>,
+    /// Memoised per-prefix host counts (the unit-count index).
+    prefix_counts: RwLock<HashMap<Prefix<F>, u64>>,
 }
 
 impl<F: AddrFamily> Snapshot<F> {
@@ -140,6 +263,7 @@ impl<F: AddrFamily> Snapshot<F> {
             protocol,
             month,
             hosts,
+            prefix_counts: RwLock::new(HashMap::new()),
         }
     }
 
@@ -151,6 +275,463 @@ impl<F: AddrFamily> Snapshot<F> {
     /// Is the snapshot empty?
     pub fn is_empty(&self) -> bool {
         self.hosts.is_empty()
+    }
+
+    /// Count responsive hosts covered by a prefix, memoised: the first
+    /// query per prefix pays the binary search, every later one — from
+    /// any strategy, repetition, or worker sharing this snapshot — is a
+    /// hash lookup.
+    pub fn count_in_prefix(&self, p: Prefix<F>) -> usize {
+        if let Some(&c) = self
+            .prefix_counts
+            .read()
+            .expect("prefix-count index poisoned")
+            .get(&p)
+        {
+            return c as usize;
+        }
+        let c = self.hosts.count_in_prefix(p);
+        self.prefix_counts
+            .write()
+            .expect("prefix-count index poisoned")
+            .insert(p, c as u64);
+        c
+    }
+
+    /// Bulk variant of [`Snapshot::count_in_prefix`]: one read pass over
+    /// the index for the whole prefix list, then a single write pass
+    /// filling whatever was missing — so a full ranking takes two lock
+    /// acquisitions, not two per unit.
+    pub fn prefix_counts(&self, prefixes: &[Prefix<F>]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(prefixes.len());
+        let mut missing: Vec<(usize, Prefix<F>)> = Vec::new();
+        {
+            let index = self
+                .prefix_counts
+                .read()
+                .expect("prefix-count index poisoned");
+            for (i, &p) in prefixes.iter().enumerate() {
+                match index.get(&p) {
+                    Some(&c) => out.push(c),
+                    None => {
+                        missing.push((i, p));
+                        out.push(0);
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let mut index = self
+                .prefix_counts
+                .write()
+                .expect("prefix-count index poisoned");
+            for (i, p) in missing {
+                let c = self.hosts.count_in_prefix(p) as u64;
+                index.insert(p, c);
+                out[i] = c;
+            }
+        }
+        out
+    }
+}
+
+// Manual impls: the index is a cache keyed entirely by `hosts`, so it
+// takes no part in equality, cloning carries the already-warm entries
+// over, and `Debug` reports only its size.
+impl<F: AddrFamily> Clone for Snapshot<F> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            protocol: self.protocol,
+            month: self.month,
+            hosts: self.hosts.clone(),
+            prefix_counts: RwLock::new(
+                self.prefix_counts
+                    .read()
+                    .expect("prefix-count index poisoned")
+                    .clone(),
+            ),
+        }
+    }
+}
+
+impl<F: AddrFamily> PartialEq for Snapshot<F> {
+    fn eq(&self, other: &Self) -> bool {
+        self.protocol == other.protocol && self.month == other.month && self.hosts == other.hosts
+    }
+}
+
+impl<F: AddrFamily> Eq for Snapshot<F> {}
+
+impl<F: AddrFamily> fmt::Debug for Snapshot<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("protocol", &self.protocol)
+            .field("month", &self.month)
+            .field("hosts", &self.hosts)
+            .field(
+                "indexed_prefixes",
+                &self
+                    .prefix_counts
+                    .read()
+                    .expect("prefix-count index poisoned")
+                    .len(),
+            )
+            .finish()
+    }
+}
+
+impl<F: AddrFamily> PrefixCount<F> for Snapshot<F> {
+    fn count_in_prefix(&self, p: Prefix<F>) -> usize {
+        Snapshot::count_in_prefix(self, p)
+    }
+
+    // Bulk counting bypasses the memo: a monotone sweep over the sorted
+    // host array is cheaper than one hash probe per prefix, needs no
+    // lock, and computes the identical counts.
+    fn count_prefixes_into(
+        &self,
+        prefixes: &mut dyn Iterator<Item = Prefix<F>>,
+        out: &mut Vec<u64>,
+    ) {
+        self.hosts.count_prefixes_into(prefixes, out)
+    }
+}
+
+/// A copy-free view of a subset of one snapshot's hosts: the
+/// `Arc<Snapshot>` plus sorted, disjoint, half-open index ranges into
+/// its (sorted, deduplicated) host list.
+///
+/// This is what a feedback cycle hands back as its responsive set.
+/// Building one costs O(prefixes log n) — never O(hosts) — and all the
+/// set operations the strategies use (`len`, `contains`,
+/// `count_in_prefix`, ordered iteration) work directly on the ranges.
+/// Overlapping prefixes are resolved by interval union, i.e. genuine
+/// set-union semantics. The serde form is the bare sorted address
+/// sequence, byte-identical to the eager [`HostSet`] encoding.
+#[derive(Clone)]
+pub struct HostSetView<F: AddrFamily = V4> {
+    repr: Repr<F>,
+}
+
+#[derive(Clone)]
+enum Repr<F: AddrFamily> {
+    /// Sorted, disjoint, non-empty half-open ranges into `snap.hosts`.
+    /// `cum[i]` is the total number of members in `ranges[..i]`.
+    Ranges {
+        snap: Arc<Snapshot<F>>,
+        ranges: Vec<(usize, usize)>,
+        cum: Vec<usize>,
+        len: usize,
+    },
+    /// An owned set, for views that do not subset a snapshot (address
+    /// hitlists, per-cycle samples, deserialised feedback).
+    Owned(HostSet<F>),
+}
+
+impl<F: AddrFamily> HostSetView<F> {
+    /// The full snapshot as a view — an `All`-plan cycle's responsive
+    /// set. One `Arc` clone; no host-proportional allocation.
+    pub fn full(snap: Arc<Snapshot<F>>) -> Self {
+        let n = snap.hosts.len();
+        let ranges = if n > 0 { vec![(0, n)] } else { Vec::new() };
+        HostSetView {
+            repr: Repr::Ranges {
+                snap,
+                cum: vec![0; ranges.len()],
+                len: n,
+                ranges,
+            },
+        }
+    }
+
+    /// The hosts covered by a prefix list, as the interval union of the
+    /// per-prefix slices: overlapping prefixes contribute their union,
+    /// never a double count. O(prefixes log hosts) to build; no
+    /// host-proportional allocation.
+    pub fn from_prefixes(snap: Arc<Snapshot<F>>, prefixes: &[Prefix<F>]) -> Self {
+        let addrs = snap.hosts.addrs();
+        // Plan prefixes arrive sorted on the hot path (strategies plan in
+        // address order), so the spans fall out of a galloping sweep
+        // already ordered by start and the sort below is skipped.
+        let sorted = prefixes.windows(2).all(|w| w[0] <= w[1]);
+        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(prefixes.len());
+        let mut cursor = 0usize;
+        for &p in prefixes {
+            let lo = if sorted {
+                cursor + gallop(&addrs[cursor..], |&a| a < p.first())
+            } else {
+                addrs.partition_point(|&a| a < p.first())
+            };
+            let hi = lo + gallop(&addrs[lo..], |&a| a <= p.last());
+            cursor = lo;
+            if lo < hi {
+                spans.push((lo, hi));
+            }
+        }
+        if !sorted {
+            spans.sort_unstable();
+        }
+        // Interval union: merge overlapping or adjacent spans.
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match ranges.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => ranges.push((s, e)),
+            }
+        }
+        let mut cum = Vec::with_capacity(ranges.len());
+        let mut len = 0usize;
+        for &(s, e) in &ranges {
+            cum.push(len);
+            len += e - s;
+        }
+        HostSetView {
+            repr: Repr::Ranges {
+                snap,
+                ranges,
+                cum,
+                len,
+            },
+        }
+    }
+
+    /// Wrap an owned host set (hitlist plans, per-cycle samples).
+    pub fn owned(hosts: HostSet<F>) -> Self {
+        HostSetView {
+            repr: Repr::Owned(hosts),
+        }
+    }
+
+    /// Number of hosts in the view.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Ranges { len, .. } => *len,
+            Repr::Owned(h) => h.len(),
+        }
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Does the view cover the whole underlying snapshot?
+    fn is_full_snapshot(&self) -> bool {
+        match &self.repr {
+            Repr::Ranges { snap, len, .. } => *len == snap.hosts.len(),
+            Repr::Owned(_) => false,
+        }
+    }
+
+    /// Members of `ranges[..]` with host index < `idx` (a rank query).
+    fn rank(ranges: &[(usize, usize)], cum: &[usize], idx: usize) -> usize {
+        let i = ranges.partition_point(|&(s, _)| s < idx);
+        if i == 0 {
+            return 0;
+        }
+        let (s, e) = ranges[i - 1];
+        cum[i - 1] + idx.min(e) - s
+    }
+
+    /// Membership test (binary search, then a range lookup).
+    pub fn contains(&self, addr: F::Addr) -> bool {
+        match &self.repr {
+            Repr::Ranges { snap, ranges, .. } => match snap.hosts.addrs().binary_search(&addr) {
+                Ok(idx) => {
+                    let i = ranges.partition_point(|&(s, _)| s <= idx);
+                    i > 0 && idx < ranges[i - 1].1
+                }
+                Err(_) => false,
+            },
+            Repr::Owned(h) => h.contains(addr),
+        }
+    }
+
+    /// Count how many members fall within `[first, last]` (inclusive) —
+    /// two binary searches plus two rank queries.
+    pub fn count_in_range(&self, first: F::Addr, last: F::Addr) -> usize {
+        match &self.repr {
+            Repr::Ranges {
+                snap, ranges, cum, ..
+            } => {
+                let addrs = snap.hosts.addrs();
+                let lo = addrs.partition_point(|&a| a < first);
+                let hi = addrs.partition_point(|&a| a <= last);
+                Self::rank(ranges, cum, hi) - Self::rank(ranges, cum, lo)
+            }
+            Repr::Owned(h) => h.count_in_range(first, last),
+        }
+    }
+
+    /// Count members covered by a prefix. A view over the full snapshot
+    /// delegates to the snapshot's memoised index, so full-scan feedback
+    /// cycles share ranking work across the whole matrix.
+    pub fn count_in_prefix(&self, p: Prefix<F>) -> usize {
+        if self.is_full_snapshot() {
+            if let Repr::Ranges { snap, .. } = &self.repr {
+                return snap.count_in_prefix(p);
+            }
+        }
+        self.count_in_range(p.first(), p.last())
+    }
+
+    /// Iterate members ascending.
+    pub fn iter(&self) -> HostSetViewIter<'_, F> {
+        const EMPTY_RANGES: &[(usize, usize)] = &[];
+        match &self.repr {
+            Repr::Ranges { snap, ranges, .. } => HostSetViewIter {
+                addrs: snap.hosts.addrs(),
+                ranges: ranges.iter(),
+                cur: [].iter(),
+            },
+            Repr::Owned(h) => HostSetViewIter {
+                addrs: &[],
+                ranges: EMPTY_RANGES.iter(),
+                cur: h.addrs().iter(),
+            },
+        }
+    }
+
+    /// The escape hatch: copy the view out into an owned, eagerly
+    /// materialised [`HostSet`]. O(hosts in the view) — the only
+    /// operation here that is.
+    pub fn materialize(&self) -> HostSet<F> {
+        match &self.repr {
+            Repr::Ranges {
+                snap, ranges, len, ..
+            } => {
+                let addrs = snap.hosts.addrs();
+                let mut out = Vec::with_capacity(*len);
+                for &(s, e) in ranges {
+                    out.extend_from_slice(&addrs[s..e]);
+                }
+                // Disjoint ascending ranges over a sorted unique list.
+                HostSet::from_sorted_unique(out)
+            }
+            Repr::Owned(h) => h.clone(),
+        }
+    }
+}
+
+/// Ascending iterator over a [`HostSetView`]'s members.
+pub struct HostSetViewIter<'a, F: AddrFamily> {
+    addrs: &'a [F::Addr],
+    ranges: std::slice::Iter<'a, (usize, usize)>,
+    cur: std::slice::Iter<'a, F::Addr>,
+}
+
+impl<'a, F: AddrFamily> Iterator for HostSetViewIter<'a, F> {
+    type Item = F::Addr;
+
+    fn next(&mut self) -> Option<F::Addr> {
+        loop {
+            if let Some(&a) = self.cur.next() {
+                return Some(a);
+            }
+            let &(s, e) = self.ranges.next()?;
+            self.cur = self.addrs[s..e].iter();
+        }
+    }
+}
+
+impl<F: AddrFamily> PrefixCount<F> for HostSetView<F> {
+    fn count_in_prefix(&self, p: Prefix<F>) -> usize {
+        HostSetView::count_in_prefix(self, p)
+    }
+
+    // The range-repr sweep: two galloping cursors, one over the host
+    // array and one over the view's ranges, so counting a sorted view's
+    // units against a feedback cycle's responsive view is a single
+    // coordinated pass — not two binary searches plus two rank queries
+    // per unit.
+    fn count_prefixes_into(
+        &self,
+        prefixes: &mut dyn Iterator<Item = Prefix<F>>,
+        out: &mut Vec<u64>,
+    ) {
+        match &self.repr {
+            Repr::Owned(h) => h.count_prefixes_into(prefixes, out),
+            // a full-snapshot view (an `All`-plan cycle) sweeps the host
+            // array directly — the rank arithmetic would be a no-op
+            Repr::Ranges { snap, len, .. } if *len == snap.hosts.len() => {
+                snap.hosts.count_prefixes_into(prefixes, out)
+            }
+            Repr::Ranges {
+                snap, ranges, cum, ..
+            } => {
+                let addrs = snap.hosts.addrs();
+                // count of range members with host index < `idx`, given
+                // the partition index `r` (first range with start >= idx)
+                let rank_at = |r: usize, idx: usize| -> usize {
+                    if r == 0 {
+                        return 0;
+                    }
+                    let (s, e) = ranges[r - 1];
+                    cum[r - 1] + idx.min(e) - s
+                };
+                let mut cursor = 0usize; // into addrs, as in the HostSet sweep
+                let mut rcursor = 0usize; // into ranges: starts before it are < prev lo
+                let mut prev_first: Option<F::Addr> = None;
+                for p in prefixes {
+                    let (first, last) = (p.first(), p.last());
+                    if prev_first.is_some_and(|pf| first < pf) {
+                        cursor = 0;
+                        rcursor = 0;
+                    }
+                    let lo = cursor + gallop(&addrs[cursor..], |&a| a < first);
+                    let hi = lo + gallop(&addrs[lo..], |&a| a <= last);
+                    let rlo = rcursor + gallop(&ranges[rcursor..], |&(s, _)| s < lo);
+                    let rhi = rlo + gallop(&ranges[rlo..], |&(s, _)| s < hi);
+                    out.push((rank_at(rhi, hi) - rank_at(rlo, lo)) as u64);
+                    cursor = lo;
+                    rcursor = rlo;
+                    prev_first = Some(first);
+                }
+            }
+        }
+    }
+}
+
+impl<F: AddrFamily> From<HostSet<F>> for HostSetView<F> {
+    fn from(hosts: HostSet<F>) -> Self {
+        HostSetView::owned(hosts)
+    }
+}
+
+// Views compare as the sets they denote, independent of representation.
+impl<F: AddrFamily> PartialEq for HostSetView<F> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<F: AddrFamily> Eq for HostSetView<F> {}
+
+impl<F: AddrFamily> fmt::Debug for HostSetView<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let form = match &self.repr {
+            Repr::Ranges { ranges, .. } => format!("ranges[{}]", ranges.len()),
+            Repr::Owned(_) => "owned".to_string(),
+        };
+        f.debug_struct("HostSetView")
+            .field("len", &self.len())
+            .field("repr", &form)
+            .finish()
+    }
+}
+
+// Byte-identical to `HostSet`'s serde form: the bare sorted address
+// sequence. A round trip comes back `Owned` — representation is not
+// part of the wire format.
+impl<F: AddrFamily> serde::Serialize for HostSetView<F> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.iter().map(|a| a.to_value()).collect())
+    }
+}
+
+impl<F: AddrFamily> serde::Deserialize for HostSetView<F> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(HostSetView::owned(HostSet::from_value(v)?))
     }
 }
 
@@ -282,11 +863,11 @@ impl<F: AddrFamily> Snapshot<F> {
             prev = Some(a);
             addrs.push(a);
         }
-        Ok(Snapshot {
+        Ok(Snapshot::new(
             protocol,
             month,
-            hosts: HostSet::from_sorted_unique(addrs),
-        })
+            HostSet::from_sorted_unique(addrs),
+        ))
     }
 }
 
@@ -454,6 +1035,220 @@ mod tests {
                 expected: "IPv4",
             })
         );
+    }
+
+    #[test]
+    fn snapshot_prefix_count_index_memoises() {
+        let snap = Snapshot::new(
+            Protocol::Http,
+            0,
+            hs(&[0x0A00_0001, 0x0A00_0002, 0x0A00_0100, 0x0B00_0000]),
+        );
+        let p24: tass_net::Prefix = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(snap.prefix_counts.read().unwrap().len(), 0);
+        assert_eq!(snap.count_in_prefix(p24), 2);
+        assert_eq!(snap.prefix_counts.read().unwrap().len(), 1);
+        // warm hit returns the same answer without growing the index
+        assert_eq!(snap.count_in_prefix(p24), 2);
+        assert_eq!(snap.prefix_counts.read().unwrap().len(), 1);
+        // a clone carries the warm entries
+        assert_eq!(snap.clone().prefix_counts.read().unwrap().len(), 1);
+        // equality ignores the index
+        let cold = Snapshot::new(Protocol::Http, 0, snap.hosts.clone());
+        assert_eq!(cold, snap);
+    }
+
+    #[test]
+    fn snapshot_bulk_prefix_counts_match_scalar() {
+        let snap = Snapshot::new(
+            Protocol::Http,
+            0,
+            hs(&[0x0A00_0001, 0x0A00_0002, 0x0A00_0100, 0x0B00_0000]),
+        );
+        let ps: Vec<tass_net::Prefix> = ["10.0.0.0/24", "11.0.0.0/8", "12.0.0.0/8"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        // half-warm index: mix of hits and misses in one bulk call
+        snap.count_in_prefix(ps[0]);
+        assert_eq!(snap.prefix_counts(&ps), vec![2, 1, 0]);
+        assert_eq!(snap.prefix_counts.read().unwrap().len(), 3);
+        assert_eq!(snap.prefix_counts(&ps), vec![2, 1, 0]);
+    }
+
+    fn snap_of(v: &[u32]) -> Arc<Snapshot> {
+        Arc::new(Snapshot::new(Protocol::Http, 0, hs(v)))
+    }
+
+    #[test]
+    fn full_view_is_the_whole_snapshot_without_copying() {
+        let snap = snap_of(&[1, 5, 9, 0x0A00_0000]);
+        let v = HostSetView::full(snap.clone());
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1, 5, 9, 0x0A00_0000]);
+        assert_eq!(v.materialize(), snap.hosts);
+        assert!(v.contains(5) && !v.contains(6));
+        let empty = HostSetView::full(snap_of(&[]));
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+    }
+
+    #[test]
+    fn prefix_view_unions_overlapping_prefixes() {
+        let snap = snap_of(&[
+            0x0A00_0001,
+            0x0A00_0002,
+            0x0A00_0100,
+            0x0A01_0000,
+            0x0B00_0000,
+        ]);
+        // /24 nested inside /16 plus a disjoint /8: union, not double count
+        let ps: Vec<tass_net::Prefix> = ["10.0.0.0/24", "10.0.0.0/16", "11.0.0.0/8"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let v = HostSetView::from_prefixes(snap.clone(), &ps);
+        assert_eq!(v.len(), 4);
+        assert_eq!(
+            v.materialize(),
+            hs(&[0x0A00_0001, 0x0A00_0002, 0x0A00_0100, 0x0B00_0000])
+        );
+        // identical overlapping prefixes collapse to one range
+        let twice = HostSetView::from_prefixes(snap, &[ps[0], ps[0]]);
+        assert_eq!(twice.len(), 2);
+    }
+
+    #[test]
+    fn view_range_and_prefix_counts_match_materialised() {
+        let snap = snap_of(&[0x0A00_0001, 0x0A00_0002, 0x0A00_0100, 0x0B00_0000]);
+        let ps: Vec<tass_net::Prefix> = ["10.0.0.0/24", "11.0.0.0/8"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let v = HostSetView::from_prefixes(snap, &ps);
+        let m = v.materialize();
+        for (first, last) in [
+            (0u32, u32::MAX),
+            (0x0A00_0000, 0x0A00_00FF),
+            (0x0A00_0002, 0x0B00_0000),
+            (5, 4), // empty range
+        ] {
+            assert_eq!(v.count_in_range(first, last), m.count_in_range(first, last));
+        }
+        let p8: tass_net::Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(
+            PrefixCount::count_in_prefix(&v, p8),
+            PrefixCount::count_in_prefix(&m, p8)
+        );
+    }
+
+    #[test]
+    fn full_view_prefix_count_hits_snapshot_index() {
+        let snap = snap_of(&[0x0A00_0001, 0x0B00_0000]);
+        let v = HostSetView::full(snap.clone());
+        let p8: tass_net::Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(v.count_in_prefix(p8), 1);
+        // the lookup went through (and warmed) the shared memo
+        assert_eq!(snap.prefix_counts.read().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn view_serde_is_byte_identical_to_hostset() {
+        let snap = snap_of(&[0x0A00_0001, 0x0A00_0002, 0x0B00_0000]);
+        let ps: Vec<tass_net::Prefix> =
+            ["10.0.0.0/24"].iter().map(|s| s.parse().unwrap()).collect();
+        for v in [
+            HostSetView::full(snap.clone()),
+            HostSetView::from_prefixes(snap.clone(), &ps),
+            HostSetView::owned(hs(&[7, 9])),
+            HostSetView::full(snap_of(&[])),
+        ] {
+            let eager = v.materialize();
+            assert_eq!(
+                serde_json::to_string(&v).unwrap(),
+                serde_json::to_string(&eager).unwrap()
+            );
+            // round trip preserves the set (as an owned view)
+            let back: HostSetView =
+                serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn view_equality_is_set_equality_across_reprs() {
+        let snap = snap_of(&[1, 2, 3]);
+        let full = HostSetView::full(snap.clone());
+        let owned = HostSetView::owned(hs(&[1, 2, 3]));
+        assert_eq!(full, owned);
+        assert_ne!(full, HostSetView::owned(hs(&[1, 2])));
+        let from: HostSetView = hs(&[1, 2, 3]).into();
+        assert_eq!(from, full);
+        assert!(!format!("{full:?}").is_empty());
+    }
+
+    proptest::proptest! {
+        /// Overlap semantics, pinned: for *arbitrary* prefix lists —
+        /// nested, duplicated, adjacent — the view equals the oracle
+        /// set union of the per-prefix host subsets.
+        #[test]
+        fn prefix_view_equals_oracle_union(
+            hosts in proptest::collection::vec(0u32..0x1000, 0..60),
+            specs in proptest::collection::vec((0u32..0x1000, 20u8..=32), 0..8),
+        ) {
+            let snap = Arc::new(Snapshot::new(Protocol::Http, 0, HostSet::from_addrs(hosts)));
+            let prefixes: Vec<tass_net::Prefix> = specs
+                .iter()
+                .map(|&(a, len)| tass_net::Prefix::new_truncate(a, len).unwrap())
+                .collect();
+            let view = HostSetView::from_prefixes(snap.clone(), &prefixes);
+            let oracle: HostSet = snap
+                .hosts
+                .iter()
+                .filter(|&a| prefixes.iter().any(|p| p.first() <= a && a <= p.last()))
+                .collect();
+            proptest::prop_assert_eq!(view.materialize(), oracle.clone());
+            proptest::prop_assert_eq!(view.len(), oracle.len());
+            proptest::prop_assert_eq!(
+                serde_json::to_string(&view).unwrap(),
+                serde_json::to_string(&oracle).unwrap()
+            );
+        }
+    }
+
+    proptest::proptest! {
+        /// The bulk counting sweep, pinned against the scalar oracle for
+        /// every `PrefixCount` impl: arbitrary prefix sequences (sorted
+        /// or not, nested, duplicated) must count identically through
+        /// `count_prefixes_into` on a `HostSet`, a `Snapshot`, a
+        /// ranges-repr `HostSetView`, and a full-snapshot view.
+        #[test]
+        fn bulk_count_sweep_matches_scalar_counts(
+            hosts in proptest::collection::vec(0u32..0x1000, 0..60),
+            view_specs in proptest::collection::vec((0u32..0x1000, 20u8..=32), 0..8),
+            query_specs in proptest::collection::vec((0u32..0x1000, 18u8..=32), 0..24),
+        ) {
+            let snap = Arc::new(Snapshot::new(Protocol::Http, 0, HostSet::from_addrs(hosts)));
+            let view_prefixes: Vec<tass_net::Prefix> = view_specs
+                .iter()
+                .map(|&(a, len)| tass_net::Prefix::new_truncate(a, len).unwrap())
+                .collect();
+            let queries: Vec<tass_net::Prefix> = query_specs
+                .iter()
+                .map(|&(a, len)| tass_net::Prefix::new_truncate(a, len).unwrap())
+                .collect();
+            let ranges = HostSetView::from_prefixes(snap.clone(), &view_prefixes);
+            let full = HostSetView::full(snap.clone());
+            let counters: [&dyn PrefixCount; 4] = [&snap.hosts, &*snap, &ranges, &full];
+            for c in counters {
+                let mut bulk = Vec::new();
+                c.count_prefixes_into(&mut queries.iter().copied(), &mut bulk);
+                let scalar: Vec<u64> =
+                    queries.iter().map(|&p| c.count_in_prefix(p) as u64).collect();
+                proptest::prop_assert_eq!(&bulk, &scalar);
+            }
+        }
     }
 
     #[test]

@@ -26,9 +26,12 @@
 //! A worker thread's per-probe loop touches **no shared locks and
 //! performs no heap allocation**. Targets are consumed in batches: the
 //! worker fills a small stack array from its shard (filtering the
-//! blocklist as it goes), charges the whole batch to the token bucket in
-//! one O(1) update ([`TokenBucket::take_blocking_n`]), then probes each
-//! address. On the wire path every probe reuses one
+//! blocklist as it goes), charges the whole batch to the scan's
+//! **shared** token bucket in one lock-free O(1) update
+//! ([`AtomicTokenBucket::take_n`] — a single `fetch_add`), then probes
+//! each address. One bucket serves every worker, so the aggregate send
+//! rate is `rate_pps` no matter how unevenly the plan shards: an idle
+//! worker's unused rate flows to the busy ones. On the wire path every probe reuses one
 //! [`wire::SynTemplate`] — only the destination, source port, and
 //! sequence number are re-encoded, with incremental checksums — and
 //! replies come back in the network's inline [`Replies`](crate::Replies)
@@ -46,7 +49,7 @@
 
 use crate::blocklist::Blocklist;
 use crate::net::SimNetwork;
-use crate::rate::TokenBucket;
+use crate::rate::AtomicTokenBucket;
 use crate::responder::addr_hash64;
 use crate::siphash::SipHash24;
 use crate::wire::{self, tcp_flags, WireFamily};
@@ -410,9 +413,10 @@ impl<F: ScanFamily> ScanEngine<F> {
     /// The plan is never materialised: each worker thread lazily consumes
     /// its own shard of the plan's stream
     /// ([`ProbePlan::stream_shard`], one shard per thread), permuted per
-    /// prefix by the cyclic group seeded from `cfg.seed`, and rate-limits
-    /// at `rate_pps / threads`. Together the shards cover the plan
-    /// exactly, so the responsive set is independent of the thread count.
+    /// prefix by the cyclic group seeded from `cfg.seed`, and all
+    /// workers draw from one shared token bucket at `rate_pps`.
+    /// Together the shards cover the plan exactly, so the responsive
+    /// set is independent of the thread count.
     ///
     /// Because streaming enumerates every planned address, the plan must
     /// be streamable ([`ProbePlan::check_streamable`]): an `All` or
@@ -434,6 +438,15 @@ impl<F: ScanFamily> ScanEngine<F> {
         let threads = cfg.threads.max(1);
         let (tx, rx) = mpsc::channel::<WorkerResult<F>>();
         let key = SipHash24::new(cfg.seed, cfg.seed.rotate_left(17) ^ 0xA5A5_A5A5);
+        // One bucket for the whole scan: every worker fetch_adds into it,
+        // so the aggregate rate is cfg.rate_pps regardless of how the
+        // plan's targets distribute over shards.
+        let bucket = if cfg.rate_pps.is_finite() && cfg.rate_pps > 0.0 {
+            AtomicTokenBucket::new(cfg.rate_pps, 128.0)
+        } else {
+            AtomicTokenBucket::unlimited()
+        };
+        let bucket = &bucket;
 
         Ok(std::thread::scope(|scope| {
             for t in 0..threads {
@@ -443,7 +456,7 @@ impl<F: ScanFamily> ScanEngine<F> {
                 scope.spawn(move || {
                     let targets =
                         plan.stream_shard(cycle, announced, cfg.seed, t as u64, threads as u64);
-                    let res = scan_worker(&network, &cfg, key, targets);
+                    let res = scan_worker(&network, &cfg, key, bucket, targets);
                     tx.send(res).expect("aggregator alive");
                 });
             }
@@ -494,13 +507,9 @@ fn scan_worker<F: ScanFamily>(
     network: &SimNetwork<F>,
     cfg: &ScanConfig<F>,
     key: SipHash24,
+    bucket: &AtomicTokenBucket,
     mut targets: impl Iterator<Item = F::Addr>,
 ) -> WorkerResult<F> {
-    let mut bucket = if cfg.rate_pps.is_finite() && cfg.rate_pps > 0.0 {
-        TokenBucket::new(cfg.rate_pps / cfg.threads.max(1) as f64, 128.0)
-    } else {
-        TokenBucket::unlimited()
-    };
     let mut out = WorkerResult {
         probes_sent: 0,
         blocked_skipped: 0,
@@ -536,8 +545,10 @@ fn scan_worker<F: ScanFamily>(
         if n == 0 {
             break; // shard exhausted
         }
-        // one clock update for the whole batch
-        bucket.take_blocking_n(n as u64);
+        // one shared-clock update for the whole batch; the returned send
+        // time is monotone per worker (the global token count only
+        // grows), so the last batch's time is this shard's duration
+        out.duration_secs = bucket.take_n(n as u64);
         out.probes_sent += n as u64;
 
         for &addr in &batch[..n] {
@@ -572,10 +583,9 @@ fn scan_worker<F: ScanFamily>(
             }
         }
     }
-    // well-defined for every shard shape: the bucket clock is 0.0 for an
-    // empty or fully-blocklisted shard and the last batch's virtual send
-    // time otherwise
-    out.duration_secs = bucket.now();
+    // duration_secs is well-defined for every shard shape: 0.0 for an
+    // empty or fully-blocklisted shard (no batch ever took a token) and
+    // the last batch's virtual send time otherwise
 
     if cfg.banner_grab {
         for &addr in &out.responsive {
@@ -697,6 +707,43 @@ mod tests {
             report.duration_secs > 0.1,
             "duration {}",
             report.duration_secs
+        );
+    }
+
+    #[test]
+    fn shared_bucket_keeps_unbalanced_plans_at_full_rate() {
+        // Regression: each worker used to own a private bucket at
+        // rate_pps / threads, so a plan whose unblocked targets all fell
+        // into one shard crawled at 1/threads of the configured rate
+        // while the other workers sat idle. Addrs shards stride by
+        // sorted index mod threads; blocking every address whose index
+        // is not ≡ 0 (mod 4) funnels every real probe into shard 0.
+        let base = 0x0200_0000u32;
+        let addrs: Vec<u32> = (0..4096u32).map(|i| base + i).collect();
+        let mut blocklist = Blocklist::empty();
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 4 != 0 {
+                blocklist.block(Prefix::new(a, 32).unwrap());
+            }
+        }
+        let engine = ScanEngine::new(demo_network(FaultConfig::default()));
+        let mut cfg = base_cfg();
+        cfg.rate_pps = 1000.0;
+        cfg.threads = 4;
+        cfg.blocklist = blocklist;
+        let plan = ProbePlan::Addrs(HostSet::from_addrs(addrs));
+        let report = engine.run_plan(&plan, 0, &[], &cfg).unwrap();
+        assert_eq!(report.probes_sent, 1024);
+        assert_eq!(report.blocked_skipped, 3072);
+        // 1024 probes at the full 1000 pps: (1024 − 128 burst) / 1000
+        // ≈ 0.9 s plus one 70 ms round trip. The old per-worker
+        // limiting pinned shard 0 to 250 pps — about 3.65 s.
+        let full_rate = (1024.0 - 128.0) / 1000.0 + 0.07;
+        assert!(
+            (report.duration_secs - full_rate).abs() < 1e-9,
+            "duration {} vs full-rate {}",
+            report.duration_secs,
+            full_rate
         );
     }
 

@@ -6,6 +6,8 @@
 //! allowed" is answered analytically — so simulated scan campaigns report
 //! realistic durations without sleeping.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// A token bucket: capacity `burst`, refilled at `rate` tokens/second.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TokenBucket {
@@ -105,6 +107,73 @@ impl TokenBucket {
             self.tokens = 0.0;
         }
         self.now
+    }
+}
+
+/// A lock-free token bucket shared by every worker of a scan.
+///
+/// The serial bucket's batched take has a closed form: once a bucket
+/// that starts full at `burst` has handed out `total` tokens, its
+/// virtual clock reads `max(0, (total − burst) / rate)` — the burst
+/// absorbs the first tokens for free and every later one refills at
+/// exactly `1/rate`. That form depends only on the running token count,
+/// so the shared bucket is a single `AtomicU64`: each worker
+/// `fetch_add`s its batch size and computes the batch's send time
+/// locally, with no lock and no cross-thread waiting.
+///
+/// Sharing one bucket makes the *aggregate* send rate the configured
+/// one no matter how unevenly a plan shards across workers: an idle
+/// worker's unused rate is automatically available to the busy ones.
+/// (Workers that each own a private bucket at `rate / threads` pin a
+/// lopsided plan to a fraction of the configured rate instead.)
+#[derive(Debug)]
+pub struct AtomicTokenBucket {
+    rate: f64,
+    burst: f64,
+    consumed: AtomicU64,
+}
+
+impl AtomicTokenBucket {
+    /// Create a shared bucket that starts full. `rate` must be positive;
+    /// use [`AtomicTokenBucket::unlimited`] to disable limiting.
+    pub fn new(rate: f64, burst: f64) -> AtomicTokenBucket {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(burst >= 1.0, "burst must allow at least one token");
+        AtomicTokenBucket {
+            rate,
+            burst,
+            consumed: AtomicU64::new(0),
+        }
+    }
+
+    /// A shared bucket that never limits (infinite rate).
+    pub fn unlimited() -> AtomicTokenBucket {
+        AtomicTokenBucket {
+            rate: f64::INFINITY,
+            burst: f64::INFINITY,
+            consumed: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured aggregate rate in tokens/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Take `n` tokens and return the virtual send time of the last of
+    /// them, in seconds. Equivalent to the serial bucket's
+    /// [`TokenBucket::take_blocking_n`] when called from one thread;
+    /// under concurrent callers the returned times interleave but the
+    /// global send rate still converges to `rate`. An unlimited bucket
+    /// always returns 0.0 (virtual time never advances).
+    pub fn take_n(&self, n: u64) -> f64 {
+        if !self.rate.is_finite() {
+            return 0.0;
+        }
+        // Relaxed is enough: the counter is the whole state, and each
+        // caller only needs an atomic view of its own slice of tokens.
+        let total = self.consumed.fetch_add(n, Ordering::Relaxed) + n;
+        ((total as f64 - self.burst) / self.rate).max(0.0)
     }
 }
 
@@ -224,5 +293,55 @@ mod tests {
         b.take_blocking_n(2);
         let t = b.now();
         assert_eq!(b.take_blocking_n(0), t);
+    }
+
+    #[test]
+    fn atomic_bucket_matches_serial_bucket_single_threaded() {
+        for (rate, burst, batches) in [
+            (100.0, 10.0, vec![1u64, 64, 3, 64, 64, 7]),
+            (2.0, 1.0, vec![5, 1, 1, 2]),
+            (1000.0, 128.0, vec![64, 64, 64, 64, 64]),
+        ] {
+            let shared = AtomicTokenBucket::new(rate, burst);
+            let mut serial = TokenBucket::new(rate, burst);
+            for &n in &batches {
+                let ta = shared.take_n(n);
+                let ts = serial.take_blocking_n(n);
+                assert!(
+                    (ta - ts).abs() < 1e-9,
+                    "rate {rate} burst {burst} n {n}: atomic {ta} vs serial {ts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_bucket_pools_rate_across_takers() {
+        // 1000 tokens at 100/s with burst 10: the last token goes out at
+        // (1000 − 10) / 100 = 9.9 s no matter how the takes interleave.
+        let b = AtomicTokenBucket::new(100.0, 10.0);
+        let mut last = 0.0f64;
+        for n in [400u64, 350, 250] {
+            last = last.max(b.take_n(n));
+        }
+        assert!((last - 9.9).abs() < 1e-9, "last send at {last}");
+    }
+
+    #[test]
+    fn atomic_unlimited_never_advances_time() {
+        let b = AtomicTokenBucket::unlimited();
+        assert_eq!(b.take_n(1_000_000), 0.0);
+        assert_eq!(b.take_n(1), 0.0);
+    }
+
+    #[test]
+    fn atomic_send_times_are_monotone() {
+        let b = AtomicTokenBucket::new(50.0, 4.0);
+        let mut prev = -1.0;
+        for _ in 0..100 {
+            let t = b.take_n(3);
+            assert!(t >= prev, "clock went backwards: {t} < {prev}");
+            prev = t;
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! | `POST /v1/campaigns` | `X-Api-Key` | submit a campaign |
 //! | `GET /v1/campaigns/{id}` | `X-Api-Key` | job status |
 //! | `GET /v1/campaigns/{id}/results` | `X-Api-Key` | the finished `CampaignResult` |
+//! | `GET /v1/campaigns/{id}/results?offset=&limit=` | `X-Api-Key` | a page of its months |
 //!
 //! The API key **is** the tenant identity (tassd trusts its transport;
 //! it serves labs and CI, not the internet). Every error is a typed body
@@ -17,7 +18,11 @@
 //! The results endpoint returns the stored `CampaignResult` JSON bytes
 //! verbatim — the daemon serializes a result once, when the campaign
 //! finishes, and never re-renders it, so the HTTP body is byte-identical
-//! to `serde_json::to_string(&run_campaign(…))` run locally.
+//! to `serde_json::to_string(&run_campaign(…))` run locally. With
+//! `offset`/`limit` query parameters it returns the same envelope with
+//! the `months` array sliced to the requested page, spliced from byte
+//! ranges of the stored JSON (still never re-serialised); without them
+//! the body stays bit-for-bit what it always was.
 
 use crate::httpd::{Request, Response, Router};
 use crate::service::{ResultError, ServiceCore, SubmitError, SubmitRequest};
@@ -130,6 +135,30 @@ fn submit_error(e: SubmitError) -> Response {
     }
 }
 
+/// The results page window: `offset`/`limit` query parameters, both
+/// optional. `None` means no paging was requested at all — the caller
+/// must return the stored bytes verbatim.
+fn page_window(req: &Request) -> Result<Option<(usize, Option<usize>)>, Response> {
+    let parse = |name: &str| -> Result<Option<usize>, Response> {
+        match req.query_param(name) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<usize>().map(Some).map_err(|_| {
+                err(
+                    400,
+                    "bad_request",
+                    &format!("query parameter {name:?} must be a non-negative integer"),
+                )
+            }),
+        }
+    };
+    let offset = parse("offset")?;
+    let limit = parse("limit")?;
+    Ok(match (offset, limit) {
+        (None, None) => None,
+        (offset, limit) => Some((offset.unwrap_or(0), limit)),
+    })
+}
+
 fn job_id(params_id: Option<&str>) -> Result<u64, Response> {
     params_id
         .and_then(|s| s.parse::<u64>().ok())
@@ -196,7 +225,12 @@ pub fn router() -> Router<ServiceCore> {
                     Ok(id) => id,
                     Err(resp) => return resp,
                 };
-                match core.job_result(&tenant, id) {
+                let result = match page_window(req) {
+                    Ok(None) => core.job_result(&tenant, id),
+                    Ok(Some((offset, limit))) => core.job_result_page(&tenant, id, offset, limit),
+                    Err(resp) => return resp,
+                };
+                match result {
                     Ok(json) => Response::json(200, json),
                     Err(ResultError::NotFound) => err(
                         404,
@@ -226,9 +260,11 @@ mod tests {
         if let Some(key) = key {
             headers.push(("x-api-key".to_string(), key.to_string()));
         }
+        let (path, query) = path.split_once('?').unwrap_or((path, ""));
         Request {
             method: method.to_string(),
             path: path.to_string(),
+            query: query.to_string(),
             headers,
             body: body.as_bytes().to_vec(),
         }

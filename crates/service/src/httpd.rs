@@ -41,6 +41,9 @@ pub struct Request {
     pub method: String,
     /// Decoded path without the query string (`/v1/campaigns/3`).
     pub path: String,
+    /// Raw query string without the `?` (empty when the target had
+    /// none).
+    pub query: String,
     /// Header fields, names lowercased, in arrival order.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
@@ -60,6 +63,17 @@ impl Request {
     /// The request body as UTF-8 (`None` if it is not valid UTF-8).
     pub fn body_utf8(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// First value of a `key=value` query parameter, by exact name.
+    /// A bare `key` with no `=` yields the empty string.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -301,7 +315,10 @@ fn read_request(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<
     let target = parts
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing path"))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -350,6 +367,7 @@ fn read_request(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<
     Ok(Some(Request {
         method,
         path,
+        query,
         headers,
         body,
     }))

@@ -265,7 +265,71 @@ struct Job {
     /// The byte-stable `CampaignResult` JSON, exactly as
     /// `serde_json::to_string` rendered it.
     result_json: Option<String>,
+    /// Byte spans of the stored JSON's `"months"` array, computed once
+    /// when the result is stored so paged fetches splice substrings of
+    /// `result_json` instead of re-serialising anything.
+    result_spans: Option<ResultSpans>,
     completion_index: Option<u64>,
+}
+
+/// Where the months live inside a stored result's JSON bytes.
+#[derive(Debug, Clone)]
+struct ResultSpans {
+    /// Byte index of the months array's `[`.
+    open: usize,
+    /// Byte index of the months array's `]`.
+    close: usize,
+    /// Per-month element byte range `[start, end)` inside the JSON.
+    months: Vec<(usize, usize)>,
+}
+
+/// Scan a stored result's JSON for the byte spans of its top-level
+/// `"months"` array elements. One forward pass over bytes already in
+/// memory; the daemon never re-renders a result after storing it.
+fn month_spans(json: &str) -> Option<ResultSpans> {
+    let key = "\"months\":[";
+    let open = json.find(key)? + key.len() - 1;
+    let bytes = json.as_bytes();
+    let mut months = Vec::new();
+    let mut i = open + 1;
+    let mut start = i;
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    loop {
+        let b = *bytes.get(i)?;
+        if in_str {
+            if esc {
+                esc = false;
+            } else if b == b'\\' {
+                esc = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b'{' | b'[' => depth += 1,
+                b']' if depth == 0 => {
+                    if start < i {
+                        months.push((start, i));
+                    }
+                    return Some(ResultSpans {
+                        open,
+                        close: i,
+                        months,
+                    });
+                }
+                b'}' | b']' => depth -= 1,
+                b',' if depth == 0 => {
+                    months.push((start, i));
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
 }
 
 struct Tenant {
@@ -480,6 +544,7 @@ impl ServiceCore {
                 checkpoint: Some(CampaignCheckpoint::new(req.kind, protocol, req.seed)),
                 months_done: 0,
                 result_json: None,
+                result_spans: None,
                 completion_index: None,
             },
         );
@@ -525,6 +590,47 @@ impl ServiceCore {
                 }),
             },
         }
+    }
+
+    /// A page of the finished job's result: the same envelope as
+    /// [`ServiceCore::job_result`] with the `months` array sliced to
+    /// `[offset, offset + limit)`. The body is spliced from at most
+    /// three substrings of the stored JSON — prefix through `[`, the
+    /// contiguous byte range of the selected months, and `]` through the
+    /// end — so paging never re-serialises the result. An `offset` past
+    /// the end yields the envelope with an empty months array.
+    pub fn job_result_page(
+        &self,
+        tenant: &str,
+        id: u64,
+        offset: usize,
+        limit: Option<usize>,
+    ) -> Result<String, ResultError> {
+        let table = self.table.lock().expect("job table lock");
+        let job = match table.jobs.get(&id).filter(|j| j.tenant == tenant) {
+            None => return Err(ResultError::NotFound),
+            Some(job) => job,
+        };
+        let (json, spans) = match (&job.result_json, &job.result_spans) {
+            (Some(json), Some(spans)) => (json, spans),
+            _ => {
+                return Err(ResultError::NotDone {
+                    status: job.status.tag().to_string(),
+                })
+            }
+        };
+        let end = match limit {
+            Some(l) => offset.saturating_add(l).min(spans.months.len()),
+            None => spans.months.len(),
+        };
+        let page = &spans.months[offset.min(spans.months.len())..end];
+        let mut out = String::with_capacity(json.len());
+        out.push_str(&json[..spans.open + 1]);
+        if let (Some(&(s, _)), Some(&(_, e))) = (page.first(), page.last()) {
+            out.push_str(&json[s..e]);
+        }
+        out.push_str(&json[spans.close..]);
+        Ok(out)
     }
 
     fn checkpoint_path(&self, id: u64) -> Option<PathBuf> {
@@ -641,6 +747,7 @@ impl ServiceCore {
             JobStatus::Failed
         };
         job.months_done = job.months_total + 1;
+        job.result_spans = result_json.as_deref().and_then(month_spans);
         job.result_json = result_json;
         job.completion_index = Some(index);
         let tenant = job.tenant.clone();
@@ -709,6 +816,7 @@ impl Tassd {
                         months_done: file.checkpoint.months_done(),
                         checkpoint: Some(file.checkpoint),
                         result_json: None,
+                        result_spans: None,
                         completion_index: None,
                     },
                 );
@@ -873,6 +981,70 @@ mod tests {
         let report = daemon.shutdown(ShutdownMode::Drain).unwrap();
         assert_eq!(report.completed, 1);
         assert_eq!(report.checkpointed, 0);
+    }
+
+    #[test]
+    fn result_pages_splice_the_stored_bytes() {
+        let registry = demo_registry();
+        let daemon = Tassd::start(Arc::clone(&registry), ServiceConfig::default()).unwrap();
+        let core = daemon.core();
+        let kind = tass_core::parse_spec("tass:more:0.95").unwrap();
+        let id = core.submit("alice", submit(kind, 7)).unwrap();
+        wait_done(&core, "alice", id);
+        let full = core.job_result("alice", id).unwrap();
+        let oracle: tass_core::CampaignResult = serde_json::from_str(&full).unwrap();
+        let months = oracle.months.len();
+        assert!(months >= 3, "demo source must span several months");
+        // every page is the full envelope with months sliced — exactly
+        // what re-serialising the sliced oracle would produce
+        for (offset, limit) in [
+            (0usize, None::<usize>),
+            (0, Some(1)),
+            (1, Some(2)),
+            (months - 1, Some(5)),
+            (months, Some(1)),
+            (months + 7, None),
+            (2, Some(0)),
+        ] {
+            let got = core.job_result_page("alice", id, offset, limit).unwrap();
+            let mut want = oracle.clone();
+            let end = limit.map_or(months, |l| offset.saturating_add(l).min(months));
+            want.months = oracle.months[offset.min(months)..end].to_vec();
+            assert_eq!(
+                got,
+                serde_json::to_string(&want).unwrap(),
+                "page offset={offset} limit={limit:?}"
+            );
+        }
+        // the whole-result page is byte-identical to the unpaged fetch
+        assert_eq!(core.job_result_page("alice", id, 0, None).unwrap(), full);
+        // pages honour tenancy exactly like the unpaged endpoint
+        assert_eq!(
+            core.job_result_page("mallory", id, 0, Some(1)),
+            Err(ResultError::NotFound)
+        );
+        daemon.shutdown(ShutdownMode::Drain).unwrap();
+    }
+
+    #[test]
+    fn month_span_scanner_handles_tricky_json() {
+        // nested arrays/objects and strings containing brackets, commas,
+        // and escaped quotes must not derail the element scan
+        let json = r#"{"strategy":"x","months":[{"a":[1,2],"s":"y,]\"z"},{"b":{"c":[3]}},{"d":4}],"job":{"id":1}}"#;
+        let spans = month_spans(json).unwrap();
+        assert_eq!(spans.months.len(), 3);
+        let elems: Vec<&str> = spans.months.iter().map(|&(s, e)| &json[s..e]).collect();
+        assert_eq!(elems[0], r#"{"a":[1,2],"s":"y,]\"z"}"#);
+        assert_eq!(elems[1], r#"{"b":{"c":[3]}}"#);
+        assert_eq!(elems[2], r#"{"d":4}"#);
+        assert_eq!(&json[spans.open..=spans.open], "[");
+        assert_eq!(&json[spans.close..=spans.close], "]");
+        // an empty months array has a span but no elements
+        let empty = month_spans(r#"{"months":[],"job":null}"#).unwrap();
+        assert!(empty.months.is_empty());
+        assert_eq!(empty.close, empty.open + 1);
+        // a result with no months array is not paged
+        assert!(month_spans(r#"{"strategy":"x"}"#).is_none());
     }
 
     #[test]

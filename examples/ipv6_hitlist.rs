@@ -82,7 +82,7 @@ fn main() {
                 &CycleOutcome {
                     cycle: month,
                     probes: report.probes_sent,
-                    responsive: report.responsive.clone(),
+                    responsive: report.responsive.clone().into(),
                 },
             );
         }

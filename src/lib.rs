@@ -100,7 +100,7 @@
 //! prepared.observe(0, &CycleOutcome {
 //!     cycle: 0,
 //!     probes: report.probes_sent,
-//!     responsive: report.responsive.clone(),
+//!     responsive: report.responsive.clone().into(),
 //! });
 //! assert!(report.hitrate > 0.0);
 //! ```

@@ -1,0 +1,114 @@
+//! The copy-free feedback path, end to end: the `HostSetView` a campaign
+//! hands to strategies in `CycleOutcome` must be indistinguishable on
+//! the wire from the eager `HostSet` it replaced — for every plan
+//! variant — and matrix results over the view-based path must stay
+//! byte-identical across worker counts.
+
+use std::sync::Arc;
+use tass::core::campaign::CampaignPool;
+use tass::core::{CampaignResult, FamilySpace, ProbePlan, StrategyKind};
+use tass::model::{GroundTruth, HostSet, Protocol, Snapshot, Universe, UniverseConfig};
+use tass::net::{Prefix, V4};
+
+fn universe() -> Universe {
+    Universe::generate(&UniverseConfig::small(0x5EED))
+}
+
+/// Every `ProbePlan` variant, built so each exercises its own `observed`
+/// repr: the full-snapshot view, the overlapping-prefix union, a fixed
+/// hitlist (half of it unresponsive), and a seeded random sample.
+fn plan_variants(truth: &Snapshot) -> Vec<(&'static str, ProbePlan)> {
+    let hosts = truth.hosts.addrs();
+    assert!(hosts.len() >= 16, "universe too small to exercise plans");
+    // overlapping prefixes around real hosts, so the union merge of the
+    // prefix view does real work
+    let prefixes: Vec<Prefix> = vec![
+        Prefix::new_truncate(hosts[0], 20).unwrap(),
+        Prefix::new_truncate(hosts[0], 24).unwrap(),
+        Prefix::new_truncate(hosts[hosts.len() / 2], 22).unwrap(),
+        Prefix::new_truncate(hosts[hosts.len() - 1], 24).unwrap(),
+    ];
+    let hitlist: Vec<u32> = hosts.iter().step_by(3).flat_map(|&a| [a, a ^ 1]).collect();
+    vec![
+        ("all", ProbePlan::All),
+        ("prefixes", ProbePlan::Prefixes(prefixes)),
+        ("addrs", ProbePlan::Addrs(HostSet::from_addrs(hitlist))),
+        (
+            "fresh-sample",
+            ProbePlan::FreshSample {
+                per_cycle: 4096,
+                seed: 9,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn observed_view_serde_matches_eager_hostset_for_every_plan() {
+    let u = universe();
+    let announced = <V4 as FamilySpace>::announced_space(u.topology());
+    for month in [0u32, 2] {
+        let truth: Arc<Snapshot> = GroundTruth::snapshot(&u, month, Protocol::Http);
+        for (label, plan) in plan_variants(&truth) {
+            let view = plan.observed(&truth, month, announced);
+            let eager = view.materialize();
+            assert_eq!(
+                view.len(),
+                eager.len(),
+                "{label} month {month}: view length drifted"
+            );
+            assert_eq!(
+                serde_json::to_string(&view).unwrap(),
+                serde_json::to_string(&eager).unwrap(),
+                "{label} month {month}: view must serialize exactly like the eager set"
+            );
+        }
+    }
+}
+
+fn feedback_kinds() -> Vec<StrategyKind> {
+    use tass::bgp::ViewKind;
+    use tass::core::strategy::ReseedingTass;
+    vec![
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+        },
+        StrategyKind::ReseedingTass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+            delta_t: 2,
+        },
+        StrategyKind::ReseedingTass {
+            view: ViewKind::LessSpecific,
+            phi: 1.0,
+            delta_t: ReseedingTass::NEVER,
+        },
+        StrategyKind::AdaptiveTass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.9,
+            explore: 0.05,
+        },
+    ]
+}
+
+fn to_bytes(results: &[CampaignResult]) -> String {
+    results
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("campaign results serialize"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn feedback_matrix_bytes_are_worker_count_invariant() {
+    let u = universe();
+    let kinds = feedback_kinds();
+    let one = CampaignPool::new(1).run_matrix(&u, &kinds, 6);
+    let four = CampaignPool::new(4).run_matrix(&u, &kinds, 6);
+    assert_eq!(
+        to_bytes(&one),
+        to_bytes(&four),
+        "feedback-strategy matrix must not depend on the worker count"
+    );
+}

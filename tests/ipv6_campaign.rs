@@ -58,7 +58,7 @@ fn engine_campaign(u: &V6Universe, strategy: &dyn Strategy<V6>) -> Vec<f64> {
             &CycleOutcome {
                 cycle: month,
                 probes: report.probes_sent,
-                responsive: report.responsive.clone(),
+                responsive: report.responsive.clone().into(),
             },
         );
     }

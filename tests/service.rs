@@ -188,6 +188,86 @@ fn two_tenants_quotas_and_byte_identical_results() {
     assert_eq!(report.checkpointed, 0);
 }
 
+/// Paged result fetches over real TCP: `?offset=&limit=` slices the
+/// months array out of the stored result bytes, the unpaginated fetch
+/// stays byte-identical to the library oracle, and malformed paging
+/// parameters bounce with a typed 400.
+#[test]
+fn result_pages_over_http() {
+    let spec = "tass:more:0.95";
+    let seed = 42;
+    let reg = registry();
+    let daemon = Tassd::start(
+        Arc::clone(&reg),
+        ServiceConfig {
+            workers: 1,
+            quota: TenantQuota::default(),
+            month_delay: Duration::from_millis(1),
+            checkpoint_dir: None,
+        },
+    )
+    .unwrap();
+    let server = HttpServer::bind("127.0.0.1:0", daemon.core(), api::router()).unwrap();
+    let mut client = HttpClient::connect(server.addr());
+    let id = submit(&mut client, "alice", spec, seed);
+    wait_done(&mut client, "alice", id);
+
+    let (status, full) = client
+        .get(&format!("/v1/campaigns/{id}/results"), Some("alice"))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        full,
+        oracle(&reg, spec, seed),
+        "unpaged fetch must stay byte-identical"
+    );
+
+    let result: tass::core::CampaignResult = serde_json::from_str(&full).unwrap();
+    let months = result.months.len();
+    assert!(months >= 3, "demo source must span several months");
+    for (query, offset, end) in [
+        ("offset=1&limit=2", 1usize, 3usize),
+        ("limit=1", 0, 1),
+        ("offset=2", 2, months),
+        (&format!("offset={months}&limit=4"), months, months),
+    ] {
+        let (status, got) = client
+            .get(
+                &format!("/v1/campaigns/{id}/results?{query}"),
+                Some("alice"),
+            )
+            .unwrap();
+        assert_eq!(status, 200, "{query}: {got}");
+        let mut want = result.clone();
+        want.months = result.months[offset.min(months)..end.min(months)].to_vec();
+        assert_eq!(
+            got,
+            serde_json::to_string(&want).unwrap(),
+            "page {query} must equal the re-serialised slice"
+        );
+    }
+
+    // malformed paging is a typed 400; other tenants still get a 404
+    let (status, body) = client
+        .get(
+            &format!("/v1/campaigns/{id}/results?offset=minus-one"),
+            Some("alice"),
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("bad_request"), "{body}");
+    let (status, _) = client
+        .get(
+            &format!("/v1/campaigns/{id}/results?offset=0&limit=1"),
+            Some("mallory"),
+        )
+        .unwrap();
+    assert_eq!(status, 404);
+
+    server.shutdown();
+    daemon.shutdown(ShutdownMode::Drain).unwrap();
+}
+
 /// Many concurrent tenants hammering submit + poll from their own
 /// threads: nothing is dropped, every job completes, and round-robin
 /// dispatch keeps completions interleaved across tenants rather than

@@ -175,7 +175,7 @@ impl PreparedStrategy for ShrinkingHitlistPrepared {
     }
 
     fn observe(&mut self, _cycle: u32, outcome: &CycleOutcome) {
-        self.current = outcome.responsive.clone();
+        self.current = outcome.responsive.materialize();
     }
 
     fn selection(&self) -> Option<&Selection> {
@@ -228,7 +228,7 @@ fn lifecycle_drives_packet_engine_with_real_feedback() {
             &CycleOutcome {
                 cycle,
                 probes: report.probes_sent,
-                responsive: report.responsive.clone(),
+                responsive: report.responsive.clone().into(),
             },
         );
         last_responsive = report.responsive.len();
