@@ -119,7 +119,10 @@ impl DensityCounts {
     pub fn from_unit_counts(view: &View, counts: &[u64]) -> DensityCounts {
         assert_eq!(counts.len(), view.len(), "one count per view unit");
         let total: u64 = counts.iter().sum();
-        let mut stats = Vec::new();
+        // exact-size the stats: growth-doubling here allocates ~4x the
+        // final size and lands in every campaign's prepare
+        let responsive = counts.iter().filter(|&&c| c > 0).count();
+        let mut stats = Vec::with_capacity(responsive);
         for (i, (&c, unit)) in counts.iter().zip(view.units()).enumerate() {
             if c > 0 {
                 stats.push(PrefixStat {
@@ -158,7 +161,8 @@ impl<F: AddrFamily> DensityCounts<F> {
         assert_eq!(counts.len(), units.len(), "one count per unit");
         let total: u64 = counts.iter().sum();
         let mut total_space = 0u128;
-        let mut stats = Vec::new();
+        let responsive = counts.iter().filter(|&&c| c > 0).count();
+        let mut stats = Vec::with_capacity(responsive);
         for (i, (&c, &prefix)) in counts.iter().zip(units).enumerate() {
             total_space = total_space.saturating_add(prefix.size_u128());
             if c > 0 {

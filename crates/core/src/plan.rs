@@ -61,7 +61,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use tass_model::{HostSet, HostSetView, Snapshot};
+use tass_model::{HostSet, HostSetView, PrefixCount, Snapshot};
 use tass_net::cyclic::{self, AddressIter, Cyclic};
 use tass_net::{AddrFamily, Prefix, V4};
 
@@ -152,14 +152,9 @@ impl<F: AddrFamily> ProbePlan<F> {
             ProbePlan::All => total,
             // one bulk sweep over the snapshot's sorted hosts: plan
             // prefixes arrive in address order, so each is a short
-            // forward gallop, not a full binary search or hash probe
-            ProbePlan::Prefixes(ps) => {
-                let mut counts = Vec::with_capacity(ps.len());
-                truth
-                    .hosts
-                    .count_prefixes_into(&mut ps.iter().copied(), &mut counts);
-                counts.iter().sum()
-            }
+            // forward gallop, not a full binary search or hash probe —
+            // and only the sum is wanted, so no per-prefix vector
+            ProbePlan::Prefixes(ps) => truth.hosts.count_prefixes_total(&mut ps.iter().copied()),
             ProbePlan::Addrs(a) => a.intersection_count(&truth.hosts) as u64,
             ProbePlan::FreshSample { per_cycle, seed } => {
                 // A fresh uniform sample over announced space hits each
@@ -407,7 +402,7 @@ impl<F: AddrFamily> ProbePlan<F> {
                 StreamInner::Prefixes(PrefixStream::new(ps, perm_seed, shard, total))
             }
             ProbePlan::Addrs(hs) => StreamInner::Addrs(AddrStream {
-                addrs: hs.addrs(),
+                hosts: hs,
                 idx: shard as usize,
                 stride: total as usize,
             }),
@@ -451,7 +446,7 @@ impl<F: AddrFamily> ProbePlan<F> {
         match self {
             ProbePlan::All => expand(announced),
             ProbePlan::Prefixes(ps) => expand(ps),
-            ProbePlan::Addrs(hs) => hs.addrs().to_vec(),
+            ProbePlan::Addrs(hs) => hs.to_vec(),
             ProbePlan::FreshSample { .. } => {
                 let mut out: Vec<F::Addr> = self.stream(cycle, announced, 0).collect();
                 out.sort();
@@ -620,7 +615,7 @@ impl<F: AddrFamily> Iterator for PrefixStream<'_, F> {
 
 #[derive(Debug, Clone)]
 struct AddrStream<'a, F: AddrFamily> {
-    addrs: &'a [F::Addr],
+    hosts: &'a HostSet<F>,
     idx: usize,
     stride: usize,
 }
@@ -629,7 +624,10 @@ impl<F: AddrFamily> Iterator for AddrStream<'_, F> {
     type Item = F::Addr;
 
     fn next(&mut self) -> Option<F::Addr> {
-        let out = self.addrs.get(self.idx).copied()?;
+        if self.idx >= self.hosts.len() {
+            return None;
+        }
+        let out = self.hosts.get(self.idx);
         self.idx += self.stride;
         Some(out)
     }

@@ -11,12 +11,35 @@
 //!   --out FILE          write the whitelist there (default: stdout)
 //!
 //! tass-select replay --corpus DIR [--strategy SPEC]... [--seed N]
-//!                    [--csv FILE]
+//!                    [--csv FILE] [--cache-bytes N] [--cache-snapshots N]
 //!
 //!   --corpus DIR        a corpus directory (corpus.manifest +
 //!                       topology.pfx2as + snapshots/, e.g. written by
-//!                       tass_model::corpus::export_universe or ingested
-//!                       from monthly scans via CorpusBuilder)
+//!                       tass_model::corpus::export_universe or by
+//!                       tass-select ingest from monthly scans)
+//!   --cache-bytes N     hard month-cache memory ceiling (evicts by
+//!                       resident bytes; results are identical, only
+//!                       load latency and peak memory change)
+//!   --cache-snapshots N month-cache entry cap (default 8)
+//!
+//! tass-select ingest --out DIR --caida-pfx2as FILE
+//!                    [--list MONTH:PROTOCOL:FILE]... [--v6-hitlist FILE]
+//!                    [--workers N] [--chunk-lines N]
+//!
+//!   --caida-pfx2as FILE CAIDA RouteViews pfx2as snapshot → the corpus
+//!                       topology
+//!   --list M:PROTO:FILE one monthly responsive-address list, streamed
+//!                       in parallel chunks (O(workers · chunk) memory);
+//!                       repeatable, e.g. 0:http:scan-2024-01.txt
+//!   --v6-hitlist FILE   IPv6 Hitlist responsive addresses → a TSS6
+//!                       zero-copy snapshot (DIR/v6-hitlist.snap)
+//!   --workers N         parse/sort worker threads (default 4)
+//!   --chunk-lines N     lines per streamed chunk (default 65536)
+//!
+//! tass-select migrate --corpus DIR
+//!
+//!   rewrites v1 snapshot files to the aligned zero-copy layout in
+//!   place (byte-identical replay results; safe to re-run)
 //!   --strategy SPEC     a strategy to replay; repeatable. Specs:
 //!                       full-scan | ip-hitlist | tass:VIEW:PHI |
 //!                       random-sample:F | block24:F |
@@ -32,6 +55,7 @@
 //!                   [--workers N] [--checkpoint-dir DIR] [--drain]
 //!                   [--max-pending N] [--max-concurrent N]
 //!                   [--rate R] [--burst B] [--month-delay-ms MS]
+//!                   [--cache-bytes N]
 //!
 //!   --addr HOST:PORT    listen address (default 127.0.0.1:7447)
 //!   --source NAME=SPEC  register a ground-truth source; repeatable.
@@ -48,6 +72,7 @@
 //!   --rate R            per-tenant submissions/second (default: unlimited)
 //!   --burst B           submission burst size (default 8)
 //!   --month-delay-ms MS pause before each campaign month (demos/tests)
+//!   --cache-bytes N     month-cache memory ceiling for corpus sources
 //! ```
 //!
 //! Selection mode writes a ZMap-compatible whitelist (one CIDR per line
@@ -63,17 +88,107 @@ use std::path::PathBuf;
 use tass_bgp::ViewKind;
 use tass_core::strategy::StrategyKind;
 use tass_experiments::selectcli::{
-    parse_strategy, render_replay, replay_csv, run_replay, run_select, to_whitelist,
+    parse_list_spec, parse_strategy, render_replay, replay_csv, run_ingest, run_migrate,
+    run_replay_with, run_select, to_whitelist,
 };
+use tass_model::corpus::{CorpusOptions, IngestOptions};
 use tass_model::registry::SourceRegistry;
-use tass_service::{add_source, api, signal, HttpServer, ServiceConfig, ShutdownMode, Tassd};
+use tass_service::{add_source_with, api, signal, HttpServer, ServiceConfig, ShutdownMode, Tassd};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("replay") => replay_main(&args[1..]),
         Some("serve") => serve_main(&args[1..]),
+        Some("ingest") => ingest_main(&args[1..]),
+        Some("migrate") => migrate_main(&args[1..]),
         _ => select_main(&args),
+    }
+}
+
+fn ingest_main(args: &[String]) {
+    let mut out: Option<PathBuf> = None;
+    let mut pfx2as_path: Option<String> = None;
+    let mut lists = Vec::new();
+    let mut v6_hitlist: Option<PathBuf> = None;
+    let mut opts = IngestOptions::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(need(it.next(), "--out", "a directory"))),
+            "--caida-pfx2as" => {
+                pfx2as_path = Some(need(it.next(), "--caida-pfx2as", "a file path").clone())
+            }
+            "--list" => match parse_list_spec(need(it.next(), "--list", "MONTH:PROTOCOL:FILE")) {
+                Ok(spec) => lists.push(spec),
+                Err(e) => die(&e.to_string()),
+            },
+            "--v6-hitlist" => {
+                v6_hitlist = Some(PathBuf::from(need(
+                    it.next(),
+                    "--v6-hitlist",
+                    "a file path",
+                )))
+            }
+            "--workers" => opts.workers = parse_flag(it.next(), "--workers"),
+            "--chunk-lines" => opts.chunk_lines = parse_flag(it.next(), "--chunk-lines"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tass-select ingest --out DIR --caida-pfx2as FILE \
+                     [--list MONTH:PROTOCOL:FILE]... [--v6-hitlist FILE] \
+                     [--workers N] [--chunk-lines N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown ingest argument {other:?}")),
+        }
+    }
+    let out = out.unwrap_or_else(|| die("--out is required"));
+    let pfx2as_path = pfx2as_path.unwrap_or_else(|| die("--caida-pfx2as is required"));
+    let table = std::fs::read_to_string(&pfx2as_path)
+        .unwrap_or_else(|e| die(&format!("cannot read {pfx2as_path}: {e}")));
+    let outcome = match run_ingest(&out, &table, &lists, v6_hitlist.as_deref(), &opts) {
+        Ok(o) => o,
+        Err(e) => die(&e.to_string()),
+    };
+    eprintln!(
+        "tass-select ingest: {} month list{} → {}{}{}",
+        outcome.v4_lists,
+        if outcome.v4_lists == 1 { "" } else { "s" },
+        out.display(),
+        if outcome.manifest_written {
+            " (manifest written)"
+        } else {
+            ""
+        },
+        match outcome.v6_hosts {
+            Some(n) => format!("; v6 hitlist: {n} hosts → v6-hitlist.snap"),
+            None => String::new(),
+        },
+    );
+}
+
+fn migrate_main(args: &[String]) {
+    let mut corpus: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => corpus = Some(PathBuf::from(need(it.next(), "--corpus", "a directory"))),
+            "--help" | "-h" => {
+                eprintln!("usage: tass-select migrate --corpus DIR");
+                return;
+            }
+            other => die(&format!("unknown migrate argument {other:?}")),
+        }
+    }
+    let corpus = corpus.unwrap_or_else(|| die("--corpus is required"));
+    match run_migrate(&corpus) {
+        Ok(n) => eprintln!(
+            "tass-select migrate: {n} snapshot{} rewritten to the aligned layout",
+            if n == 1 { "" } else { "s" }
+        ),
+        Err(e) => die(&e.to_string()),
     }
 }
 
@@ -82,12 +197,14 @@ fn serve_main(args: &[String]) {
     let mut definitions: Vec<String> = Vec::new();
     let mut cfg = ServiceConfig::default();
     let mut drain = false;
+    let mut cache = CorpusOptions::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--addr" => addr = need(it.next(), "--addr", "HOST:PORT").clone(),
             "--source" => definitions.push(need(it.next(), "--source", "NAME=SPEC").clone()),
+            "--cache-bytes" => cache.cache_bytes = Some(parse_flag(it.next(), "--cache-bytes")),
             "--workers" => cfg.workers = parse_flag(it.next(), "--workers"),
             "--checkpoint-dir" => {
                 cfg.checkpoint_dir = Some(PathBuf::from(need(
@@ -123,7 +240,7 @@ fn serve_main(args: &[String]) {
     }
     let mut registry = SourceRegistry::new();
     for definition in &definitions {
-        if let Err(e) = add_source(&mut registry, definition) {
+        if let Err(e) = add_source_with(&mut registry, definition, &cache) {
             die(&e);
         }
     }
@@ -177,6 +294,7 @@ fn replay_main(args: &[String]) {
     let mut kinds: Vec<StrategyKind> = Vec::new();
     let mut seed = 1u64;
     let mut csv_path: Option<String> = None;
+    let mut cache = CorpusOptions::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -192,10 +310,14 @@ fn replay_main(args: &[String]) {
                     .unwrap_or_else(|_| die("--seed needs an integer"));
             }
             "--csv" => csv_path = Some(need(it.next(), "--csv", "a file path").clone()),
+            "--cache-bytes" => cache.cache_bytes = Some(parse_flag(it.next(), "--cache-bytes")),
+            "--cache-snapshots" => {
+                cache.cache_snapshots = parse_flag(it.next(), "--cache-snapshots")
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: tass-select replay --corpus DIR [--strategy SPEC]... \
-                     [--seed N] [--csv FILE]"
+                     [--seed N] [--csv FILE] [--cache-bytes N] [--cache-snapshots N]"
                 );
                 return;
             }
@@ -213,7 +335,7 @@ fn replay_main(args: &[String]) {
             StrategyKind::FullScan,
         ];
     }
-    let results = match run_replay(&corpus, &kinds, seed) {
+    let results = match run_replay_with(&corpus, &kinds, seed, &cache) {
         Ok(r) => r,
         Err(e) => die(&e.to_string()),
     };

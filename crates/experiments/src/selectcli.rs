@@ -14,8 +14,12 @@ use tass_core::density::rank_units;
 use tass_core::plan::ProbePlan;
 use tass_core::select::{select_prefixes, Selection};
 use tass_core::strategy::StrategyKind;
-use tass_model::corpus::{AddressListError, CorpusError, CorpusGroundTruth};
-use tass_model::HostSet;
+use tass_model::corpus::{
+    migrate_corpus, stream_address_list_to_snapshot, AddressListError, CorpusBuilder, CorpusError,
+    CorpusGroundTruth, CorpusOptions, IngestOptions,
+};
+use tass_model::{HostSet, Protocol};
+use tass_net::V6;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -41,6 +45,16 @@ pub enum CliError {
     },
     /// The replay corpus failed to open or load.
     Corpus(CorpusError),
+    /// An `ingest --list MONTH:PROTOCOL:FILE` spec did not parse.
+    BadListSpec {
+        /// The argument text.
+        text: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// `ingest` was given nothing to ingest (no `--list`, no
+    /// `--v6-hitlist`).
+    NothingToIngest,
 }
 
 impl fmt::Display for CliError {
@@ -57,6 +71,12 @@ impl fmt::Display for CliError {
                 write!(f, "bad strategy {text:?}: {reason}")
             }
             CliError::Corpus(e) => write!(f, "{e}"),
+            CliError::BadListSpec { text, reason } => {
+                write!(f, "bad list spec {text:?}: {reason}")
+            }
+            CliError::NothingToIngest => {
+                write!(f, "nothing to ingest: give --list and/or --v6-hitlist")
+            }
         }
     }
 }
@@ -174,9 +194,112 @@ pub fn run_replay(
     kinds: &[StrategyKind],
     seed: u64,
 ) -> Result<Vec<CampaignResult>, CliError> {
-    let corpus = CorpusGroundTruth::open(corpus_dir).map_err(CliError::Corpus)?;
+    run_replay_with(corpus_dir, kinds, seed, &CorpusOptions::default())
+}
+
+/// [`run_replay`] with explicit month-cache options — how the CLI's
+/// `--cache-bytes` ceiling reaches the corpus (results are identical at
+/// any cache size; only load latency and peak memory change).
+pub fn run_replay_with(
+    corpus_dir: &Path,
+    kinds: &[StrategyKind],
+    seed: u64,
+    opts: &CorpusOptions,
+) -> Result<Vec<CampaignResult>, CliError> {
+    let corpus = CorpusGroundTruth::open_with(corpus_dir, opts).map_err(CliError::Corpus)?;
     corpus.validate().map_err(CliError::Corpus)?;
     Ok(CampaignPool::from_env().run_matrix(&corpus, kinds, seed))
+}
+
+/// Parse one `MONTH:PROTOCOL:FILE` ingest spec (e.g. `0:http:scan0.txt`).
+pub fn parse_list_spec(text: &str) -> Result<(u32, Protocol, std::path::PathBuf), CliError> {
+    let bad = |reason: &str| CliError::BadListSpec {
+        text: text.to_string(),
+        reason: reason.to_string(),
+    };
+    let mut it = text.splitn(3, ':');
+    let (Some(month), Some(proto), Some(file)) = (it.next(), it.next(), it.next()) else {
+        return Err(bad("expected MONTH:PROTOCOL:FILE"));
+    };
+    let month: u32 = month.parse().map_err(|_| bad("month must be an integer"))?;
+    let protocol: Protocol = proto.parse().map_err(|_| bad("unknown protocol tag"))?;
+    if file.is_empty() {
+        return Err(bad("file path is empty"));
+    }
+    Ok((month, protocol, std::path::PathBuf::from(file)))
+}
+
+/// What [`run_ingest`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// IPv4 month lists ingested into the corpus.
+    pub v4_lists: usize,
+    /// Unique addresses in the converted IPv6 hitlist, when one was given.
+    pub v6_hosts: Option<u64>,
+    /// Whether a corpus manifest was written (requires ≥ 1 v4 list).
+    pub manifest_written: bool,
+}
+
+/// Build a corpus directory from real scan data: a CAIDA RouteViews
+/// pfx2as snapshot for the topology plus monthly responsive-address
+/// lists, each ingested through the chunked parallel streaming path
+/// ([`stream_address_list_to_snapshot`]) with O(workers · chunk) peak
+/// memory. An IPv6 Hitlist file is converted the same way into a
+/// standalone `TSS6` snapshot (`v6-hitlist.snap`, stored under the HTTP
+/// protocol tag at month 0 — the hitlist is a responsive set, not a
+/// protocol census). The manifest is only written when at least one v4
+/// month list is given; a pure `--v6-hitlist` conversion leaves just
+/// the topology and the v6 snapshot.
+pub fn run_ingest(
+    out_dir: &Path,
+    pfx2as_text: &str,
+    lists: &[(u32, Protocol, std::path::PathBuf)],
+    v6_hitlist: Option<&Path>,
+    opts: &IngestOptions,
+) -> Result<IngestOutcome, CliError> {
+    if lists.is_empty() && v6_hitlist.is_none() {
+        return Err(CliError::NothingToIngest);
+    }
+    let table = pfx2as::read_table(pfx2as_text.as_bytes()).map_err(CliError::Pfx2As)?;
+    if table.is_empty() {
+        return Err(CliError::EmptyTable);
+    }
+    let mut builder = CorpusBuilder::create(out_dir, &table).map_err(CliError::Corpus)?;
+    for (month, protocol, file) in lists {
+        builder
+            .add_address_list_file(*month, *protocol, file, opts)
+            .map_err(CliError::Corpus)?;
+    }
+    let manifest_written = !lists.is_empty();
+    if manifest_written {
+        builder.finish().map_err(CliError::Corpus)?;
+    }
+    let v6_hosts = match v6_hitlist {
+        Some(file) => Some(
+            stream_address_list_to_snapshot::<V6>(
+                file,
+                &out_dir.join("v6-hitlist.snap"),
+                0,
+                Protocol::Http,
+                opts,
+            )
+            .map_err(CliError::Corpus)?,
+        ),
+        None => None,
+    };
+    Ok(IngestOutcome {
+        v4_lists: lists.len(),
+        v6_hosts,
+        manifest_written,
+    })
+}
+
+/// Upgrade a corpus directory's snapshots to the aligned zero-copy
+/// layout in place ([`migrate_corpus`]); returns how many files were
+/// rewritten. Safe to re-run — already-aligned files are skipped — and
+/// replay results are byte-identical across the migration.
+pub fn run_migrate(corpus_dir: &Path) -> Result<usize, CliError> {
+    migrate_corpus(corpus_dir).map_err(CliError::Corpus)
 }
 
 /// Render replayed campaign results as an aligned table: one row per
@@ -471,6 +594,86 @@ mod tests {
             run_replay(&dir, &kinds, 23),
             Err(CliError::Corpus(_))
         ));
+    }
+
+    #[test]
+    fn ingest_builds_a_replayable_corpus_with_a_v6_hitlist() {
+        let dir =
+            std::env::temp_dir().join(format!("tass-selectcli-ingest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // two months of "scan results" over the shared test table
+        let m0 = dir.join("m0.txt");
+        let m1 = dir.join("m1.txt");
+        std::fs::write(&m0, "10.0.1.1\n10.0.1.2\n20.0.0.7\n").unwrap();
+        std::fs::write(&m1, "10.0.1.2\n10.0.1.3\n").unwrap();
+        let v6 = dir.join("hitlist6.txt");
+        std::fs::write(&v6, "# hitlist\n2001:db8::1\n2001:db8::2\n2001:db8::1\n").unwrap();
+        let out = dir.join("corpus");
+        let lists = vec![
+            parse_list_spec(&format!("0:http:{}", m0.display())).unwrap(),
+            parse_list_spec(&format!("1:http:{}", m1.display())).unwrap(),
+        ];
+        let outcome =
+            run_ingest(&out, TABLE, &lists, Some(&v6), &IngestOptions::default()).unwrap();
+        assert_eq!(outcome.v4_lists, 2);
+        assert_eq!(outcome.v6_hosts, Some(2), "hitlist deduplicated");
+        assert!(outcome.manifest_written);
+        // the ingested corpus opens, validates, and replays
+        let replayed = run_replay(&out, &[StrategyKind::IpHitlist], 7).unwrap();
+        assert!(!replayed.is_empty());
+        // the v6 snapshot is a mapped-decodable TSS6 file
+        let bytes = std::fs::read(out.join("v6-hitlist.snap")).unwrap();
+        let snap =
+            tass_model::Snapshot::<V6>::decode_mapped(tass_model::Bytes::from(bytes)).unwrap();
+        assert_eq!(snap.hosts.len(), 2);
+        assert!(snap.hosts.is_mapped());
+        // bad specs are typed errors
+        assert!(matches!(
+            parse_list_spec("zero:http:f"),
+            Err(CliError::BadListSpec { .. })
+        ));
+        assert!(matches!(
+            parse_list_spec("0:gopher:f"),
+            Err(CliError::BadListSpec { .. })
+        ));
+        assert!(matches!(
+            run_ingest(
+                &dir.join("empty"),
+                TABLE,
+                &[],
+                None,
+                &IngestOptions::default()
+            ),
+            Err(CliError::NothingToIngest)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrate_preserves_replay_results() {
+        use tass_model::{export_universe, Universe, UniverseConfig};
+        let u = Universe::generate(&UniverseConfig::small(29));
+        let dir =
+            std::env::temp_dir().join(format!("tass-selectcli-migrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        export_universe(&u, &dir).unwrap();
+        // the export writes the aligned layout; stage a legacy corpus by
+        // downgrading every snapshot file to v1 so migrate has work to do
+        for entry in std::fs::read_dir(dir.join("snapshots")).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            let snap = tass_model::Snapshot::<tass_net::V4>::decode(&bytes).unwrap();
+            std::fs::write(&path, snap.encode()).unwrap();
+        }
+        let kinds = [parse_strategy("tass:more:0.95").unwrap()];
+        let before = run_replay(&dir, &kinds, 11).unwrap();
+        let rewritten = run_migrate(&dir).unwrap();
+        assert!(rewritten > 0, "v1 export has files to rewrite");
+        let after = run_replay(&dir, &kinds, 11).unwrap();
+        assert_eq!(before, after, "replay is byte-identical across migration");
+        assert_eq!(run_migrate(&dir).unwrap(), 0, "idempotent");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

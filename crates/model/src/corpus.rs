@@ -31,27 +31,69 @@
 //! And one way out: [`CorpusGroundTruth::open`] validates the manifest
 //! (version, completeness: every `(month, protocol)` cell present
 //! exactly once), builds the [`Topology`] from the pfx2as table, and
-//! then decodes **one month at a time on demand**, holding a small LRU
-//! of decoded months — a multi-terabyte corpus never materialises in
-//! memory. Every failure mode is a typed [`CorpusError`] on the fallible
-//! API ([`GroundTruth::load_snapshot`], [`CorpusGroundTruth::validate`]);
-//! run `validate()` before handing a corpus of unknown provenance to the
-//! campaign driver, whose convenience `snapshot()` path panics on load
-//! errors like `Universe::snapshot` always has (the `tass-select replay`
-//! CLI does exactly this, so bad corpora surface as errors, not panics).
+//! then decodes **one month at a time on demand**, holding a small
+//! bounded cache of decoded months — a multi-terabyte corpus never
+//! materialises in memory. Every failure mode is a typed [`CorpusError`]
+//! on the fallible API ([`GroundTruth::load_snapshot`],
+//! [`CorpusGroundTruth::validate`]); run `validate()` before handing a
+//! corpus of unknown provenance to the campaign driver, whose
+//! convenience `snapshot()` path panics on load errors like
+//! `Universe::snapshot` always has (the `tass-select replay` CLI does
+//! exactly this, so bad corpora surface as errors, not panics).
+//!
+//! # Cost model at routed-v4 scale
+//!
+//! The replay path is engineered so that a month load costs O(header) +
+//! one sequential validation pass, and a cache hit costs no exclusive
+//! lock at all:
+//!
+//! * **Mapped month loads.** [`Snapshot::decode_mapped`] serves the
+//!   sorted fixed-width LE address section of a snapshot file *in
+//!   place* — no per-host `Vec` rebuild. The topology agreement check
+//!   is a monotone counting sweep over the (sorted, disjoint) scan
+//!   units of the corpus topology: hosts covered == hosts total ⇔
+//!   every host is attributable, so the common all-good case costs
+//!   O(units · log gap) instead of one trie walk per host. Only on a
+//!   mismatch does a second pass name the first offending address.
+//! * **Read-optimized month cache.** Decoded months sit in a small
+//!   vector behind a reader/writer lock with per-entry atomic
+//!   recency stamps: a cache hit takes the shared side and bumps a
+//!   stamp — workers replaying the same months never serialise on an
+//!   exclusive lock. Eviction (least-recently-touched) happens only on
+//!   miss, under the writer side, bounded by **both** an entry count
+//!   and an optional byte ceiling ([`CorpusOptions::cache_bytes`] —
+//!   mapped months are charged their whole file buffer, which is what
+//!   eviction actually frees).
+//! * **Streamed ingestion.** [`CorpusBuilder::add_address_list_file`]
+//!   parses address lists in fixed-size chunks on worker threads,
+//!   spills sorted runs, and k-way merges them straight into the
+//!   aligned snapshot format — O(workers · chunk) peak memory however
+//!   large the input, with deterministic (lowest-line-wins) errors.
+//!   [`migrate_corpus`] upgrades a v1 corpus to the aligned layout in
+//!   place; both formats stay readable either way.
+//!
+//! Put together, replay peak RSS is bounded by the cache ceiling plus a
+//! per-worker transient: `cache_bytes + workers × 2 × max_snapshot_bytes`
+//! (each worker may hold one month being decoded plus one being handed
+//! out) plus allocator slack. The `corpus_scale` bench asserts this
+//! budget against `/proc` RSS on a routed-v4-scale corpus every run.
 
 use crate::protocol::Protocol;
-use crate::snapshot::{DecodeError, HostSet, Snapshot};
+use crate::snapshot::{DecodeError, HostSet, PrefixCount, Snapshot};
 use crate::source::GroundTruth;
 use crate::topology::Topology;
 use crate::universe::Universe;
+use bytes::Bytes;
 use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
 use tass_bgp::{pfx2as, RouteTable, SynthTable};
-use tass_net::{AddrFamily, NetError, V4};
+use tass_net::{AddrFamily, NetError, V4, V6};
 
 /// Manifest file name inside a corpus directory.
 pub const MANIFEST_FILE: &str = "corpus.manifest";
@@ -182,6 +224,15 @@ pub enum CorpusError {
     },
     /// A plain-text address list failed to parse during ingestion.
     AddressList(AddressListError),
+    /// A plain-text address-list *file* failed to parse during
+    /// ingestion — the path makes multi-file ingest failures
+    /// attributable to the input that carried the bad line.
+    AddressListFile {
+        /// The input file.
+        path: PathBuf,
+        /// The line-context parse failure inside it.
+        source: AddressListError,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -235,6 +286,9 @@ impl fmt::Display for CorpusError {
                  corpus topology's announced space"
             ),
             CorpusError::AddressList(e) => write!(f, "corpus: {e}"),
+            CorpusError::AddressListFile { path, source } => {
+                write!(f, "corpus: {}: {source}", path.display())
+            }
         }
     }
 }
@@ -245,6 +299,7 @@ impl std::error::Error for CorpusError {
             CorpusError::Pfx2As(e) => Some(e),
             CorpusError::Decode { source, .. } => Some(source),
             CorpusError::AddressList(e) => Some(e),
+            CorpusError::AddressListFile { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -270,7 +325,20 @@ pub fn parse_address_list_family<F: AddrFamily>(
     text: &str,
 ) -> Result<HostSet<F>, AddressListError> {
     let mut addrs = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
+    parse_list_chunk::<F>(text, 0, &mut addrs)?;
+    Ok(HostSet::from_addrs(addrs))
+}
+
+/// The one shared line grammar: parse every line of `chunk` (blank
+/// lines and `#` comments ignored, whole-line or trailing) into
+/// `addrs`, numbering errors from `base_line` — so the one-shot text
+/// parser and the chunked streaming ingester cannot drift apart.
+fn parse_list_chunk<F: AddrFamily>(
+    chunk: &str,
+    base_line: usize,
+    addrs: &mut Vec<F::Addr>,
+) -> Result<(), AddressListError> {
+    for (i, raw) in chunk.lines().enumerate() {
         let line = match raw.split_once('#') {
             Some((before, _)) => before,
             None => raw,
@@ -283,19 +351,269 @@ pub fn parse_address_list_family<F: AddrFamily>(
             Some(a) => addrs.push(a),
             None => {
                 return Err(AddressListError {
-                    line: i + 1,
+                    line: base_line + i + 1,
                     text: line.to_string(),
                     error: NetError::ParseError(line.to_string()),
                 })
             }
         }
     }
-    Ok(HostSet::from_addrs(addrs))
+    Ok(())
 }
 
 /// [`parse_address_list_family`] for the common IPv4 case.
 pub fn parse_address_list(text: &str) -> Result<HostSet, AddressListError> {
     parse_address_list_family::<V4>(text)
+}
+
+// -------------------------------------------------- streamed ingestion
+
+/// Tuning for the chunked streaming ingestion path
+/// ([`CorpusBuilder::add_address_list_file`],
+/// [`stream_address_list_to_snapshot`]).
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Parser worker threads. Chunks are dealt round-robin, so peak
+    /// memory is O(`workers` · `chunk_lines`).
+    pub workers: usize,
+    /// Input lines per chunk handed to a worker.
+    pub chunk_lines: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            workers: 4,
+            chunk_lines: 64 * 1024,
+        }
+    }
+}
+
+/// Ingest a plain-text address list **file** into one aligned snapshot
+/// file with bounded memory: the input is read in fixed-size line
+/// chunks, parsed and sorted on `opts.workers` threads, spilled as
+/// sorted runs, and k-way merged (deduplicating) straight into the
+/// [`Snapshot::encode_aligned`] layout. Peak memory is
+/// O(workers · chunk), however large the input.
+///
+/// The produced set is exactly what [`parse_address_list_family`] over
+/// the whole text would build (same line grammar, same sort + dedup);
+/// parse failures are deterministic — the lowest offending line wins,
+/// wrapped in [`CorpusError::AddressListFile`] naming `input`.
+pub fn stream_address_list_to_snapshot<F: AddrFamily>(
+    input: &Path,
+    out: &Path,
+    month: u32,
+    protocol: Protocol,
+    opts: &IngestOptions,
+) -> Result<u64, CorpusError> {
+    let width = usize::from(F::BITS / 8);
+    let in_file = fs::File::open(input).map_err(|e| io_err(input, e))?;
+    let mut reader = BufReader::new(in_file);
+    let run_dir = out.with_extension("ingest-tmp");
+    let _ = fs::remove_dir_all(&run_dir);
+    fs::create_dir_all(&run_dir).map_err(|e| io_err(&run_dir, e))?;
+    let workers = opts.workers.max(1);
+    let chunk_lines = opts.chunk_lines.max(1);
+
+    // Parse + sort + spill phase: chunks dealt round-robin onto one
+    // bounded channel per worker (a receiver has a single consumer);
+    // each worker spills one sorted, deduplicated run file per chunk.
+    type RunList = Vec<(usize, PathBuf, usize)>;
+    let spilled: Result<(RunList, Option<AddressListError>), CorpusError> =
+        std::thread::scope(|s| {
+            let mut senders = Vec::with_capacity(workers);
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = mpsc::sync_channel::<(usize, usize, String)>(1);
+                senders.push(tx);
+                let run_dir = &run_dir;
+                handles.push(s.spawn(move || {
+                    let mut runs: RunList = Vec::new();
+                    let mut first_err: Option<AddressListError> = None;
+                    let mut addrs: Vec<F::Addr> = Vec::new();
+                    for (seq, base_line, text) in rx {
+                        if first_err.is_some() {
+                            continue; // drain; the ingest already failed
+                        }
+                        addrs.clear();
+                        if let Err(e) = parse_list_chunk::<F>(&text, base_line, &mut addrs) {
+                            first_err = Some(e);
+                            continue;
+                        }
+                        addrs.sort_unstable();
+                        addrs.dedup();
+                        let path = run_dir.join(format!("run-{seq}.tmp"));
+                        let file = fs::File::create(&path).map_err(|e| io_err(&path, e))?;
+                        let mut w = BufWriter::new(file);
+                        for &a in &addrs {
+                            w.write_all(&F::addr_to_u128(a).to_le_bytes()[..width])
+                                .map_err(|e| io_err(&path, e))?;
+                        }
+                        w.flush().map_err(|e| io_err(&path, e))?;
+                        runs.push((seq, path, addrs.len()));
+                    }
+                    Ok::<_, CorpusError>((runs, first_err))
+                }));
+            }
+            let mut chunk = String::new();
+            let mut line = String::new();
+            let (mut seq, mut line_no, mut in_chunk) = (0usize, 0usize, 0usize);
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line).map_err(|e| io_err(input, e))?;
+                if n > 0 {
+                    chunk.push_str(&line);
+                    in_chunk += 1;
+                }
+                if in_chunk == chunk_lines || (n == 0 && in_chunk > 0) {
+                    // a worker that already failed drains without
+                    // parsing, so a closed channel cannot happen here
+                    let msg = (seq, line_no, std::mem::take(&mut chunk));
+                    let _ = senders[seq % workers].send(msg);
+                    seq += 1;
+                    line_no += in_chunk;
+                    in_chunk = 0;
+                }
+                if n == 0 {
+                    break;
+                }
+            }
+            drop(senders);
+            let mut runs: RunList = Vec::new();
+            let mut parse_err: Option<AddressListError> = None;
+            for h in handles {
+                let (r, e) = h.join().expect("ingest worker panicked")?;
+                runs.extend(r);
+                // deterministic failure: the lowest line number wins,
+                // whatever worker happened to hit it
+                if let Some(e) = e {
+                    if parse_err.as_ref().is_none_or(|p| e.line < p.line) {
+                        parse_err = Some(e);
+                    }
+                }
+            }
+            Ok((runs, parse_err))
+        });
+    let (mut runs, parse_err) = match spilled {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = fs::remove_dir_all(&run_dir);
+            return Err(e);
+        }
+    };
+    if let Some(source) = parse_err {
+        let _ = fs::remove_dir_all(&run_dir);
+        return Err(CorpusError::AddressListFile {
+            path: input.to_path_buf(),
+            source,
+        });
+    }
+    runs.sort_unstable_by_key(|&(seq, _, _)| seq);
+
+    // Merge phase: k-way heap merge of the sorted runs, deduplicating,
+    // streamed straight into the aligned layout with a placeholder
+    // count that is patched once the merge is done.
+    let merge = || -> Result<u64, CorpusError> {
+        let tmp_out = out.with_extension("snap-ingest.tmp");
+        let out_file = fs::File::create(&tmp_out).map_err(|e| io_err(&tmp_out, e))?;
+        let mut w = BufWriter::new(out_file);
+        w.write_all(&crate::snapshot::aligned_header::<F>(protocol, month, 0))
+            .map_err(|e| io_err(&tmp_out, e))?;
+        let mut readers = Vec::with_capacity(runs.len());
+        for (_, path, count) in &runs {
+            let f = fs::File::open(path).map_err(|e| io_err(path, e))?;
+            readers.push((BufReader::new(f), *count, path.clone()));
+        }
+        let next = |i: usize,
+                    readers: &mut Vec<(BufReader<fs::File>, usize, PathBuf)>|
+         -> Result<Option<u128>, CorpusError> {
+            let (r, remaining, path) = &mut readers[i];
+            if *remaining == 0 {
+                return Ok(None);
+            }
+            *remaining -= 1;
+            let mut raw = [0u8; 16];
+            r.read_exact(&mut raw[..width])
+                .map_err(|e| io_err(path, e))?;
+            Ok(Some(u128::from_le_bytes(raw)))
+        };
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u128, usize)>> = BinaryHeap::new();
+        for i in 0..readers.len() {
+            if let Some(v) = next(i, &mut readers)? {
+                heap.push(std::cmp::Reverse((v, i)));
+            }
+        }
+        let mut count = 0u64;
+        let mut prev: Option<u128> = None;
+        while let Some(std::cmp::Reverse((v, i))) = heap.pop() {
+            if prev != Some(v) {
+                w.write_all(&v.to_le_bytes()[..width])
+                    .map_err(|e| io_err(&tmp_out, e))?;
+                count += 1;
+                prev = Some(v);
+            }
+            if let Some(nv) = next(i, &mut readers)? {
+                heap.push(std::cmp::Reverse((nv, i)));
+            }
+        }
+        w.flush().map_err(|e| io_err(&tmp_out, e))?;
+        let mut f = w
+            .into_inner()
+            .map_err(|e| io_err(&tmp_out, e.into_error()))?;
+        f.seek(SeekFrom::Start(0))
+            .map_err(|e| io_err(&tmp_out, e))?;
+        f.write_all(&crate::snapshot::aligned_header::<F>(
+            protocol, month, count,
+        ))
+        .map_err(|e| io_err(&tmp_out, e))?;
+        drop(f);
+        fs::rename(&tmp_out, out).map_err(|e| io_err(out, e))?;
+        Ok(count)
+    };
+    let result = merge();
+    let _ = fs::remove_dir_all(&run_dir);
+    result
+}
+
+/// Upgrade every snapshot file of a corpus directory to the aligned
+/// layout ([`Snapshot::encode_aligned`]) in place, via a temp file and
+/// rename per snapshot. Already-aligned files are left untouched;
+/// returns how many were rewritten. Replay results are byte-identical
+/// across the migration — both layouts encode the same sorted address
+/// section, the aligned one just serves it without a decode copy.
+pub fn migrate_corpus(dir: &Path) -> Result<usize, CorpusError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let text = fs::read_to_string(&manifest_path).map_err(|e| io_err(&manifest_path, e))?;
+    let manifest = CorpusManifest::parse(&text)?;
+    manifest.check_complete()?;
+    fn rewrite<F: AddrFamily>(path: &Path, bytes: &[u8]) -> Result<(), CorpusError> {
+        let snap = Snapshot::<F>::decode(bytes).map_err(|source| CorpusError::Decode {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let tmp = path.with_extension("snap-migrate.tmp");
+        fs::write(&tmp, snap.encode_aligned()).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+        Ok(())
+    }
+    let mut rewritten = 0usize;
+    for rel in manifest.snapshots.values() {
+        let path = dir.join(rel);
+        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+        if bytes.get(4) == Some(&crate::snapshot::VERSION_ALIGNED) {
+            continue;
+        }
+        // The magic names the family; dispatch so each file decodes
+        // under the width it was written with.
+        if bytes.starts_with(b"TSS6") {
+            rewrite::<V6>(&path, &bytes)?;
+        } else {
+            rewrite::<V4>(&path, &bytes)?;
+        }
+        rewritten += 1;
+    }
+    Ok(rewritten)
 }
 
 // ------------------------------------------------------------ manifest
@@ -506,7 +824,9 @@ impl CorpusBuilder {
             snap.protocol.tag()
         );
         let path = self.dir.join(&rel);
-        fs::write(&path, snap.encode()).map_err(|e| io_err(&path, e))?;
+        // new corpora are written in the aligned v2 layout; readers
+        // accept both, and `migrate_corpus` upgrades old directories
+        fs::write(&path, snap.encode_aligned()).map_err(|e| io_err(&path, e))?;
         if !self.protocols.contains(&snap.protocol) {
             self.protocols.push(snap.protocol);
         }
@@ -525,6 +845,34 @@ impl CorpusBuilder {
     ) -> Result<(), CorpusError> {
         let hosts = parse_address_list(text).map_err(CorpusError::AddressList)?;
         self.add_snapshot(&Snapshot::new(protocol, month, hosts))
+    }
+
+    /// Ingest one month from a plain-text address-list **file** through
+    /// the chunked streaming path
+    /// ([`stream_address_list_to_snapshot`]): O(workers · chunk) peak
+    /// memory however large the list, written directly in the aligned
+    /// snapshot layout. Produces the identical host set to reading the
+    /// whole file through [`CorpusBuilder::add_address_list`].
+    pub fn add_address_list_file(
+        &mut self,
+        month: u32,
+        protocol: Protocol,
+        input: &Path,
+        opts: &IngestOptions,
+    ) -> Result<(), CorpusError> {
+        let key = (month, protocol);
+        if self.snapshots.contains_key(&key) {
+            return Err(CorpusError::DuplicateSnapshot { month, protocol });
+        }
+        let rel = format!("{SNAPSHOT_DIR}/m{month}-{}.snap", protocol.tag());
+        let path = self.dir.join(&rel);
+        stream_address_list_to_snapshot::<V4>(input, &path, month, protocol, opts)?;
+        if !self.protocols.contains(&protocol) {
+            self.protocols.push(protocol);
+        }
+        self.max_month = self.max_month.max(month);
+        self.snapshots.insert(key, rel);
+        Ok(())
     }
 
     /// Validate completeness (every `(month, protocol)` cell filled for
@@ -569,37 +917,105 @@ pub fn export_universe(universe: &Universe, dir: &Path) -> Result<CorpusManifest
 
 // -------------------------------------------------------------- replay
 
-/// A tiny LRU over decoded months: most-recent-first vector, which at
-/// the cache's single-digit capacities beats any map.
+/// How a [`CorpusGroundTruth`] bounds its decoded-month cache.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// Maximum decoded months retained (at least 1 is always kept so
+    /// the month being replayed cannot thrash).
+    pub cache_snapshots: usize,
+    /// Optional hard ceiling on resident snapshot bytes
+    /// ([`Snapshot::resident_bytes`] — for mapped months, the shared
+    /// file buffer). Eviction drops least-recently-touched months
+    /// until the total fits; a single month larger than the ceiling
+    /// still stays resident while it is being served.
+    pub cache_bytes: Option<usize>,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        CorpusOptions {
+            cache_snapshots: DEFAULT_CACHE_SNAPSHOTS,
+            cache_bytes: None,
+        }
+    }
+}
+
+/// One cached month: the decoded snapshot, its byte charge, and an
+/// atomic recency stamp (bumped on hit without any exclusive lock).
+#[derive(Debug)]
+struct CacheEntry {
+    key: (u32, Protocol),
+    snap: Arc<Snapshot>,
+    bytes: usize,
+    touched: AtomicU64,
+}
+
+/// The decoded-month cache: a small vector behind a reader/writer lock.
+/// Hits take the shared side (linear scan at single-digit sizes beats
+/// any map) and bump the entry's recency stamp with a relaxed store —
+/// replay workers sharing warm months never serialise. Only a miss
+/// takes the writer side, inserting and evicting
+/// least-recently-touched entries down to both budgets.
 #[derive(Debug)]
 struct SnapshotCache {
-    cap: usize,
-    entries: Vec<((u32, Protocol), Arc<Snapshot>)>,
+    max_entries: usize,
+    max_bytes: Option<usize>,
+    clock: AtomicU64,
+    entries: RwLock<Vec<CacheEntry>>,
 }
 
 impl SnapshotCache {
-    fn new(cap: usize) -> SnapshotCache {
+    fn new(max_entries: usize, max_bytes: Option<usize>) -> SnapshotCache {
         SnapshotCache {
-            cap: cap.max(1),
-            entries: Vec::new(),
+            max_entries: max_entries.max(1),
+            max_bytes,
+            clock: AtomicU64::new(0),
+            entries: RwLock::new(Vec::new()),
         }
     }
 
-    fn get(&mut self, key: (u32, Protocol)) -> Option<Arc<Snapshot>> {
-        let i = self.entries.iter().position(|(k, _)| *k == key)?;
-        let hit = self.entries.remove(i);
-        let snap = Arc::clone(&hit.1);
-        self.entries.insert(0, hit);
-        Some(snap)
+    fn get(&self, key: (u32, Protocol)) -> Option<Arc<Snapshot>> {
+        let entries = self.entries.read().expect("snapshot cache poisoned");
+        let e = entries.iter().find(|e| e.key == key)?;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        e.touched.store(stamp, Ordering::Relaxed);
+        Some(Arc::clone(&e.snap))
     }
 
-    fn put(&mut self, key: (u32, Protocol), snap: Arc<Snapshot>) {
+    fn put(&self, key: (u32, Protocol), snap: Arc<Snapshot>) {
+        let bytes = snap.resident_bytes();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.write().expect("snapshot cache poisoned");
         // two workers can miss the same month concurrently (loads happen
         // outside the lock); drop the older copy so a duplicate key never
         // wastes a slot
-        self.entries.retain(|(k, _)| *k != key);
-        self.entries.insert(0, (key, snap));
-        self.entries.truncate(self.cap);
+        entries.retain(|e| e.key != key);
+        entries.push(CacheEntry {
+            key,
+            snap,
+            bytes,
+            touched: AtomicU64::new(stamp),
+        });
+        loop {
+            let total: usize = entries.iter().map(|e| e.bytes).sum();
+            let over =
+                entries.len() > self.max_entries || self.max_bytes.is_some_and(|cap| total > cap);
+            if !over || entries.len() <= 1 {
+                break;
+            }
+            let coldest = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.touched.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .expect("non-empty cache");
+            entries.remove(coldest);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.read().expect("snapshot cache poisoned").len()
     }
 }
 
@@ -607,12 +1023,14 @@ impl SnapshotCache {
 /// (or exported) monthly scan data.
 ///
 /// Opening reads and validates the manifest and builds the [`Topology`]
-/// from the pfx2as table; snapshots are decoded **lazily**, one month at
-/// a time as the campaign loop asks for them, through a small LRU
-/// ([`DEFAULT_CACHE_SNAPSHOTS`] decoded months by default) guarded by a
-/// mutex — the type is `Sync`, so campaign pools replay one corpus from
-/// many worker threads. Each month is checked against the topology on
-/// first decode: a host outside announced space is
+/// from the pfx2as table; snapshots are decoded **lazily**, one month
+/// at a time as the campaign loop asks for them — mapped in place
+/// ([`Snapshot::decode_mapped`]) and retained in a small read-optimized
+/// cache bounded by entry count and an optional byte ceiling
+/// ([`CorpusOptions`]). The type is `Sync`, so campaign pools replay
+/// one corpus from many worker threads, and warm months are served
+/// without any exclusive lock. Each month is checked against the
+/// topology on first decode: a host outside announced space is
 /// [`CorpusError::TopologyMismatch`], because a snapshot that disagrees
 /// with its routing table would silently zero the attribution step of
 /// every strategy.
@@ -621,21 +1039,32 @@ pub struct CorpusGroundTruth {
     dir: PathBuf,
     manifest: CorpusManifest,
     topology: Topology,
-    cache: Mutex<SnapshotCache>,
+    cache: SnapshotCache,
 }
 
 impl CorpusGroundTruth {
-    /// Open a corpus directory with the default cache capacity.
+    /// Open a corpus directory with the default cache bounds.
     pub fn open(dir: &Path) -> Result<CorpusGroundTruth, CorpusError> {
-        CorpusGroundTruth::with_cache_capacity(dir, DEFAULT_CACHE_SNAPSHOTS)
+        CorpusGroundTruth::open_with(dir, &CorpusOptions::default())
     }
 
     /// Open a corpus directory, retaining up to `capacity` decoded
-    /// months in memory.
+    /// months in memory (no byte ceiling).
     pub fn with_cache_capacity(
         dir: &Path,
         capacity: usize,
     ) -> Result<CorpusGroundTruth, CorpusError> {
+        CorpusGroundTruth::open_with(
+            dir,
+            &CorpusOptions {
+                cache_snapshots: capacity,
+                cache_bytes: None,
+            },
+        )
+    }
+
+    /// Open a corpus directory with explicit cache bounds.
+    pub fn open_with(dir: &Path, opts: &CorpusOptions) -> Result<CorpusGroundTruth, CorpusError> {
         let manifest_path = dir.join(MANIFEST_FILE);
         let text = fs::read_to_string(&manifest_path).map_err(|e| io_err(&manifest_path, e))?;
         let manifest = CorpusManifest::parse(&text)?;
@@ -657,7 +1086,7 @@ impl CorpusGroundTruth {
             dir: dir.to_path_buf(),
             manifest,
             topology,
-            cache: Mutex::new(SnapshotCache::new(capacity)),
+            cache: SnapshotCache::new(opts.cache_snapshots, opts.cache_bytes),
         })
     }
 
@@ -686,8 +1115,8 @@ impl CorpusGroundTruth {
             .get(&(month, protocol))
             .ok_or(CorpusError::MissingMonth { month, protocol })?;
         let path = self.dir.join(rel);
-        let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
-        let snap = Snapshot::decode(&bytes).map_err(|source| CorpusError::Decode {
+        let bytes = Bytes::from(fs::read(&path).map_err(|e| io_err(&path, e))?);
+        let snap = Snapshot::decode_mapped(bytes).map_err(|source| CorpusError::Decode {
             path: path.clone(),
             source,
         })?;
@@ -700,13 +1129,23 @@ impl CorpusGroundTruth {
                 found_protocol: snap.protocol,
             });
         }
-        for addr in snap.hosts.iter() {
-            if self.topology.block_of_addr(addr).is_none() {
-                return Err(CorpusError::TopologyMismatch {
-                    month,
-                    protocol,
-                    addr: std::net::Ipv4Addr::from(addr).to_string(),
-                });
+        // Topology agreement as a counting sweep: the scan units
+        // partition announced space into sorted disjoint prefixes, so
+        // hosts covered == hosts total ⇔ every host is attributable —
+        // O(units · log gap) for the common all-good case instead of a
+        // trie walk per host. Only a mismatch pays a naming pass.
+        let units = self.topology.m_view.units();
+        let covered =
+            PrefixCount::count_prefixes_total(&snap.hosts, &mut units.iter().map(|u| u.prefix));
+        if covered as usize != snap.hosts.len() {
+            for addr in snap.hosts.iter() {
+                if self.topology.block_of_addr(addr).is_none() {
+                    return Err(CorpusError::TopologyMismatch {
+                        month,
+                        protocol,
+                        addr: std::net::Ipv4Addr::from(addr).to_string(),
+                    });
+                }
             }
         }
         Ok(Arc::new(snap))
@@ -731,17 +1170,13 @@ impl GroundTruth for CorpusGroundTruth {
             return Err(CorpusError::MissingProtocol { protocol });
         }
         let key = (month, protocol);
-        {
-            let mut cache = self.cache.lock().expect("snapshot cache poisoned");
-            if let Some(hit) = cache.get(key) {
-                return Ok(hit);
-            }
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit);
         }
-        // decode outside the lock: a matrix's worker threads should
-        // overlap disk reads, not serialise on the cache mutex
+        // load outside any lock: a matrix's worker threads should
+        // overlap disk reads, not serialise on the cache
         let snap = self.load_from_disk(month, protocol)?;
-        let mut cache = self.cache.lock().expect("snapshot cache poisoned");
-        cache.put(key, Arc::clone(&snap));
+        self.cache.put(key, Arc::clone(&snap));
         Ok(snap)
     }
 }
@@ -799,21 +1234,128 @@ mod tests {
     }
 
     #[test]
-    fn lru_caches_and_evicts() {
-        let mut c = SnapshotCache::new(2);
+    fn cache_retains_and_evicts_least_recently_touched() {
+        let c = SnapshotCache::new(2, None);
         let snap = |m| Arc::new(Snapshot::new(Protocol::Http, m, HostSet::default()));
         c.put((0, Protocol::Http), snap(0));
         c.put((1, Protocol::Http), snap(1));
         assert!(c.get((0, Protocol::Http)).is_some(), "still cached");
-        c.put((2, Protocol::Http), snap(2)); // evicts month 1 (LRU)
+        c.put((2, Protocol::Http), snap(2)); // evicts month 1 (least recent)
         assert!(c.get((1, Protocol::Http)).is_none(), "evicted");
         assert!(c.get((0, Protocol::Http)).is_some());
         assert!(c.get((2, Protocol::Http)).is_some());
         // a racing double-insert of one key must not waste a slot
         c.put((2, Protocol::Http), snap(2));
         c.put((2, Protocol::Http), snap(2));
-        assert_eq!(c.entries.len(), 2, "duplicate key deduped");
+        assert_eq!(c.len(), 2, "duplicate key deduped");
         assert!(c.get((0, Protocol::Http)).is_some(), "other key survives");
+    }
+
+    #[test]
+    fn cache_byte_ceiling_evicts_by_bytes_not_count() {
+        // each owned snapshot charges 4 bytes per host
+        let snap = |m, hosts: &[u32]| {
+            Arc::new(Snapshot::new(
+                Protocol::Http,
+                m,
+                HostSet::from_addrs(hosts.to_vec()),
+            ))
+        };
+        let c = SnapshotCache::new(100, Some(30));
+        c.put((0, Protocol::Http), snap(0, &[1, 2, 3])); // 12 bytes
+        c.put((1, Protocol::Http), snap(1, &[4, 5, 6])); // 24 total
+        assert_eq!(c.len(), 2);
+        c.put((2, Protocol::Http), snap(2, &[7, 8, 9])); // 36 > 30: evict
+        assert_eq!(c.len(), 2, "byte ceiling forced an eviction");
+        assert!(c.get((0, Protocol::Http)).is_none(), "coldest went first");
+        assert!(c.get((2, Protocol::Http)).is_some());
+        // one month larger than the whole ceiling still stays resident
+        let big: Vec<u32> = (0..100).collect();
+        c.put((3, Protocol::Http), snap(3, &big));
+        assert_eq!(c.len(), 1, "oversized month kept, everything else out");
+        assert!(c.get((3, Protocol::Http)).is_some());
+    }
+
+    #[test]
+    fn streamed_ingestion_matches_one_shot_builder() {
+        let dir = tmp("stream-eq");
+        fs::create_dir_all(&dir).unwrap();
+        let text = "# head\n10.0.0.2\n10.0.0.1\n\n10.0.0.2 # dup\n10.0.9.9\n";
+        let input = dir.join("list.txt");
+        fs::write(&input, text).unwrap();
+        let out = dir.join("m0-http.snap");
+        for chunk_lines in [1usize, 2, 1024] {
+            let opts = IngestOptions {
+                workers: 3,
+                chunk_lines,
+            };
+            let n = stream_address_list_to_snapshot::<V4>(&input, &out, 0, Protocol::Http, &opts)
+                .unwrap();
+            assert_eq!(n, 3);
+            let streamed = Snapshot::decode(&fs::read(&out).unwrap()).unwrap();
+            let oneshot = Snapshot::new(Protocol::Http, 0, parse_address_list(text).unwrap());
+            assert_eq!(streamed, oneshot, "chunk_lines={chunk_lines}");
+            // and the mapped reader serves the same set
+            let mapped =
+                Snapshot::<V4>::decode_mapped(Bytes::from(fs::read(&out).unwrap())).unwrap();
+            assert_eq!(mapped, oneshot);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_ingestion_reports_lowest_bad_line_with_path() {
+        let dir = tmp("stream-err");
+        fs::create_dir_all(&dir).unwrap();
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("10.0.0.{i}\n"));
+        }
+        text.insert_str(18, "bogus-one\n"); // after two 9-byte lines: line 3
+        text.push_str("bogus-two\n");
+        let input = dir.join("list.txt");
+        fs::write(&input, &text).unwrap();
+        let out = dir.join("m0-http.snap");
+        let opts = IngestOptions {
+            workers: 4,
+            chunk_lines: 2,
+        };
+        let e = stream_address_list_to_snapshot::<V4>(&input, &out, 0, Protocol::Http, &opts)
+            .unwrap_err();
+        match e {
+            CorpusError::AddressListFile { path, source } => {
+                assert_eq!(path, input);
+                assert_eq!(source.line, 3, "lowest bad line wins");
+                assert_eq!(source.text, "bogus-one");
+            }
+            other => panic!("expected AddressListFile, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrate_rewrites_v1_to_aligned_once() {
+        let u = Universe::generate(&UniverseConfig::small(13));
+        let dir = tmp("migrate");
+        export_universe(&u, &dir).unwrap();
+        // the export writes the aligned layout already; stage a legacy
+        // corpus by downgrading every snapshot file to v1
+        for entry in fs::read_dir(dir.join(SNAPSHOT_DIR)).unwrap() {
+            let path = entry.unwrap().path();
+            let snap = Snapshot::<V4>::decode(&fs::read(&path).unwrap()).unwrap();
+            fs::write(&path, snap.encode()).unwrap();
+        }
+        let before = CorpusGroundTruth::open(&dir).unwrap();
+        let snap_before = before.load_snapshot(0, Protocol::Http).unwrap();
+        let n = migrate_corpus(&dir).unwrap();
+        assert_eq!(n, 28, "every v1 snapshot rewritten");
+        assert_eq!(migrate_corpus(&dir).unwrap(), 0, "second run is a no-op");
+        let after = CorpusGroundTruth::open(&dir).unwrap();
+        after.validate().unwrap();
+        let snap_after = after.load_snapshot(0, Protocol::Http).unwrap();
+        assert_eq!(&*snap_after, &*snap_before);
+        assert!(snap_after.hosts.is_mapped());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,10 +31,12 @@ pub mod source;
 pub mod topology;
 pub mod universe;
 
+pub use bytes::Bytes;
 pub use churn::{default_churn, ChurnTable, ClassChurn};
 pub use corpus::{
-    export_universe, parse_address_list, parse_address_list_family, AddressListError,
-    CorpusBuilder, CorpusError, CorpusGroundTruth, CorpusManifest,
+    export_universe, migrate_corpus, parse_address_list, parse_address_list_family,
+    stream_address_list_to_snapshot, AddressListError, CorpusBuilder, CorpusError,
+    CorpusGroundTruth, CorpusManifest, CorpusOptions, IngestOptions,
 };
 pub use population::{
     default_density, random_v6_addr_in, seed_v6_block_hosts, DensityParams, DensityTable,

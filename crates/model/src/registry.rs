@@ -16,7 +16,7 @@
 //! an `Arc`): a resident service re-resolving names mid-campaign would
 //! otherwise race its own reconfiguration.
 
-use crate::corpus::{CorpusError, CorpusGroundTruth};
+use crate::corpus::{CorpusError, CorpusGroundTruth, CorpusOptions};
 use crate::protocol::Protocol;
 use crate::source::GroundTruth;
 use serde::{Deserialize, Serialize};
@@ -163,11 +163,23 @@ impl SourceRegistry {
     /// eagerly (a service should refuse to start on a corrupt corpus, not
     /// fail campaigns later), and register it under `name`.
     pub fn open_corpus(&mut self, name: &str, dir: &Path) -> Result<(), RegistryError> {
+        self.open_corpus_with(name, dir, &CorpusOptions::default())
+    }
+
+    /// [`SourceRegistry::open_corpus`] with explicit cache options —
+    /// how a service passes its `--cache-bytes` ceiling down to the
+    /// month cache.
+    pub fn open_corpus_with(
+        &mut self,
+        name: &str,
+        dir: &Path,
+        opts: &CorpusOptions,
+    ) -> Result<(), RegistryError> {
         let wrap = |source: CorpusError| RegistryError::Corpus {
             name: name.to_string(),
             source,
         };
-        let corpus = CorpusGroundTruth::open(dir).map_err(wrap)?;
+        let corpus = CorpusGroundTruth::open_with(dir, opts).map_err(wrap)?;
         corpus.validate().map_err(wrap)?;
         self.insert_v4(name, Arc::new(corpus))
     }

@@ -36,9 +36,17 @@
 //!   the escape hatch back to an owned [`HostSet`], and the serde form
 //!   is byte-identical to the eager set's, so downstream digests cannot
 //!   tell the difference.
+//! * **Mapped decode.** [`Snapshot::decode_mapped`] validates a
+//!   snapshot buffer in one sequential pass and then serves the
+//!   address section *in place*: the [`HostSet`] decodes fixed-width
+//!   LE addresses on access instead of rebuilding a `Vec`, so loading
+//!   a month costs O(header) + one scan and its resident memory is the
+//!   shared file buffer ([`Snapshot::resident_bytes`]). Everything
+//!   above runs unchanged over either representation because every set
+//!   operation goes through rank-indexed accessors.
 
 use crate::protocol::Protocol;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, RwLock};
@@ -70,6 +78,18 @@ pub trait PrefixCount<F: AddrFamily = V4> {
             out.push(self.count_in_prefix(p) as u64);
         }
     }
+
+    /// Sum of the per-prefix counts, with no output allocation: the
+    /// same monotone sweep as [`PrefixCount::count_prefixes_into`], but
+    /// the sink is an accumulator. This is what a plan-evaluation loop
+    /// wants — it only ever summed the vector anyway.
+    fn count_prefixes_total(&self, prefixes: &mut dyn Iterator<Item = Prefix<F>>) -> u64 {
+        let mut total = 0u64;
+        for p in prefixes {
+            total += self.count_in_prefix(p) as u64;
+        }
+        total
+    }
 }
 
 /// `partition_point` found by exponential probing from the front of the
@@ -86,15 +106,56 @@ fn gallop<T>(s: &[T], mut pred: impl FnMut(&T) -> bool) -> usize {
     lo + s[lo..hi].partition_point(pred)
 }
 
+/// The address section of a mapped snapshot: the whole read buffer plus
+/// the byte offset and element count of the sorted fixed-width LE
+/// address section inside it. Element `i` is decoded on access from
+/// `W` little-endian bytes at `off + i·W` — no per-host `Vec` is ever
+/// rebuilt, and clones share the buffer.
+#[derive(Clone)]
+struct MappedAddrs<F: AddrFamily> {
+    buf: Bytes,
+    off: usize,
+    count: usize,
+    _family: std::marker::PhantomData<fn() -> F>,
+}
+
+impl<F: AddrFamily> MappedAddrs<F> {
+    #[inline]
+    fn get(&self, i: usize) -> F::Addr {
+        debug_assert!(i < self.count);
+        let w = usize::from(F::BITS / 8);
+        let p = self.off + i * w;
+        let mut raw = [0u8; 16];
+        raw[..w].copy_from_slice(&self.buf[p..p + w]);
+        F::addr_from_u128(u128::from_le_bytes(raw))
+    }
+}
+
+/// How a [`HostSet`] stores its sorted addresses: an owned `Vec`, or a
+/// section of a decoded snapshot buffer read in place.
+#[derive(Clone)]
+enum SetRepr<F: AddrFamily> {
+    Owned(Vec<F::Addr>),
+    Mapped(MappedAddrs<F>),
+}
+
 /// A sorted, deduplicated set of responsive addresses, generic over the
 /// address family (the default `HostSet` is IPv4, `HostSet<V6>` carries
 /// `u128` addresses).
 ///
 /// This is the "host set" unit of the whole evaluation: hitrates are
 /// ratios of intersections of these sets.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The storage is either an owned `Vec` or a *mapped* section of a
+/// snapshot file buffer ([`Snapshot::decode_mapped`]): sorted
+/// fixed-width little-endian addresses decoded on access. All set
+/// operations go through rank-indexed accessors ([`HostSet::get`],
+/// [`HostSet::lower_bound`], [`HostSet::upper_bound`]), so they cost
+/// the same O(log n) searches over either representation and a corpus
+/// replay never pays an O(hosts) decode per month load.
+#[derive(Clone)]
 pub struct HostSet<F: AddrFamily = V4> {
-    addrs: Vec<F::Addr>,
+    repr: SetRepr<F>,
 }
 
 impl<F: AddrFamily> HostSet<F> {
@@ -102,7 +163,9 @@ impl<F: AddrFamily> HostSet<F> {
     pub fn from_addrs(mut addrs: Vec<F::Addr>) -> Self {
         addrs.sort_unstable();
         addrs.dedup();
-        HostSet { addrs }
+        HostSet {
+            repr: SetRepr::Owned(addrs),
+        }
     }
 
     /// Build from a list that is already sorted and unique.
@@ -113,35 +176,127 @@ impl<F: AddrFamily> HostSet<F> {
             addrs.windows(2).all(|w| w[0] < w[1]),
             "addrs not sorted/unique"
         );
-        HostSet { addrs }
+        HostSet {
+            repr: SetRepr::Owned(addrs),
+        }
     }
 
-    /// The addresses, sorted ascending.
-    pub fn addrs(&self) -> &[F::Addr] {
-        &self.addrs
+    /// Wrap a validated mapped address section (callers guarantee the
+    /// section is in bounds, strictly ascending, fixed-width LE).
+    fn from_mapped(buf: Bytes, off: usize, count: usize) -> Self {
+        HostSet {
+            repr: SetRepr::Mapped(MappedAddrs {
+                buf,
+                off,
+                count,
+                _family: std::marker::PhantomData,
+            }),
+        }
+    }
+
+    /// The address at rank `i` (ascending). Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> F::Addr {
+        match &self.repr {
+            SetRepr::Owned(v) => v[i],
+            SetRepr::Mapped(m) => m.get(i),
+        }
+    }
+
+    /// Copy the members out into a fresh ascending `Vec`. O(n) — the
+    /// escape hatch for callers that genuinely need a slice.
+    pub fn to_vec(&self) -> Vec<F::Addr> {
+        match &self.repr {
+            SetRepr::Owned(v) => v.clone(),
+            SetRepr::Mapped(m) => (0..m.count).map(|i| m.get(i)).collect(),
+        }
+    }
+
+    /// Is this set a mapped section of a snapshot buffer (as opposed to
+    /// an owned `Vec`)?
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, SetRepr::Mapped(_))
+    }
+
+    /// Bytes of memory this set keeps resident: the `Vec` storage for
+    /// owned sets, the whole shared file buffer for mapped ones (the
+    /// buffer is what an eviction actually frees).
+    pub fn resident_bytes(&self) -> usize {
+        match &self.repr {
+            SetRepr::Owned(v) => v.len() * usize::from(F::BITS / 8),
+            SetRepr::Mapped(m) => m.buf.len(),
+        }
     }
 
     /// Number of hosts.
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        match &self.repr {
+            SetRepr::Owned(v) => v.len(),
+            SetRepr::Mapped(m) => m.count,
+        }
     }
 
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.len() == 0
+    }
+
+    /// First rank whose address is `>= addr` (a `partition_point` over
+    /// ranks; O(log n) either representation).
+    pub fn lower_bound(&self, addr: F::Addr) -> usize {
+        self.partition_in(0, self.len(), |a| a < addr)
+    }
+
+    /// First rank whose address is `> addr`.
+    pub fn upper_bound(&self, addr: F::Addr) -> usize {
+        self.partition_in(0, self.len(), |a| a <= addr)
+    }
+
+    /// Binary search over ranks `[lo, hi)`: first rank where `pred`
+    /// turns false. `pred` must be monotone over the ascending members.
+    #[inline]
+    fn partition_in(
+        &self,
+        mut lo: usize,
+        mut hi: usize,
+        mut pred: impl FnMut(F::Addr) -> bool,
+    ) -> usize {
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.get(mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// [`gallop`] over ranks, starting at `base`: first rank `>= base`
+    /// where `pred` turns false, found by exponential probing — O(log d)
+    /// in the distance `d`, not O(log n).
+    pub(crate) fn gallop_from(&self, base: usize, mut pred: impl FnMut(F::Addr) -> bool) -> usize {
+        let len = self.len() - base;
+        let mut hi = 1usize;
+        while hi < len && pred(self.get(base + hi)) {
+            hi <<= 1;
+        }
+        let lo = hi >> 1;
+        let hi = hi.min(len);
+        self.partition_in(base + lo, base + hi, pred)
     }
 
     /// Membership test (binary search).
     pub fn contains(&self, addr: F::Addr) -> bool {
-        self.addrs.binary_search(&addr).is_ok()
+        let i = self.lower_bound(addr);
+        i < self.len() && self.get(i) == addr
     }
 
     /// Size of the intersection with another host set (linear merge).
     pub fn intersection_count(&self, other: &HostSet<F>) -> usize {
         let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
-        let (a, b) = (&self.addrs, &other.addrs);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
+        while i < self.len() && j < other.len() {
+            match self.get(i).cmp(&other.get(j)) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
@@ -157,9 +312,7 @@ impl<F: AddrFamily> HostSet<F> {
     /// Count how many members fall within `[first, last]` (inclusive).
     /// O(log n) — used to count hosts per prefix.
     pub fn count_in_range(&self, first: F::Addr, last: F::Addr) -> usize {
-        let lo = self.addrs.partition_point(|&a| a < first);
-        let hi = self.addrs.partition_point(|&a| a <= last);
-        hi - lo
+        self.upper_bound(last) - self.lower_bound(first)
     }
 
     /// Count members covered by a prefix.
@@ -167,17 +320,19 @@ impl<F: AddrFamily> HostSet<F> {
         self.count_in_range(p.first(), p.last())
     }
 
-    /// The [`PrefixCount::count_prefixes_into`] sweep over the sorted
-    /// address array: ascending prefixes advance a cursor by galloping,
-    /// so counting a whole sorted view costs O(Σ log gapᵢ) comparisons
-    /// total — not `k` full binary searches, and no hashing or locking.
-    pub fn count_prefixes_into(
+    /// The shared monotone counting sweep: ascending prefixes advance a
+    /// cursor by galloping, so counting a whole sorted view costs
+    /// O(Σ log gapᵢ) comparisons total — not `k` full binary searches,
+    /// and no hashing or locking. Each prefix's count goes to `sink`,
+    /// so bulk counting ([`PrefixCount::count_prefixes_into`]) and
+    /// allocation-free totalling
+    /// ([`PrefixCount::count_prefixes_total`]) share one body.
+    fn sweep_prefix_counts(
         &self,
         prefixes: &mut dyn Iterator<Item = Prefix<F>>,
-        out: &mut Vec<u64>,
+        sink: &mut dyn FnMut(u64),
     ) {
-        let addrs = &self.addrs;
-        // `addrs[..cursor]` is < the previous prefix's first address;
+        // ranks `[..cursor]` are < the previous prefix's first address;
         // nested prefixes (next.first inside the previous span) keep the
         // cursor at `lo`, not `hi`, so the invariant holds under overlap.
         let mut cursor = 0usize;
@@ -187,26 +342,71 @@ impl<F: AddrFamily> HostSet<F> {
             if prev_first.is_some_and(|pf| first < pf) {
                 cursor = 0;
             }
-            let lo = cursor + gallop(&addrs[cursor..], |&a| a < first);
-            let hi = lo + gallop(&addrs[lo..], |&a| a <= last);
-            out.push((hi - lo) as u64);
+            let lo = self.gallop_from(cursor, |a| a < first);
+            let hi = self.gallop_from(lo, |a| a <= last);
+            sink((hi - lo) as u64);
             cursor = lo;
             prev_first = Some(first);
         }
     }
 
+    /// Bulk counting into an output vector; see
+    /// [`PrefixCount::count_prefixes_into`].
+    pub fn count_prefixes_into(
+        &self,
+        prefixes: &mut dyn Iterator<Item = Prefix<F>>,
+        out: &mut Vec<u64>,
+    ) {
+        self.sweep_prefix_counts(prefixes, &mut |c| out.push(c));
+    }
+
     /// Iterate members ascending.
     pub fn iter(&self) -> impl Iterator<Item = F::Addr> + '_ {
-        self.addrs.iter().copied()
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl<F: AddrFamily> Default for HostSet<F> {
+    fn default() -> Self {
+        HostSet {
+            repr: SetRepr::Owned(Vec::new()),
+        }
+    }
+}
+
+// Sets compare as sets, independent of representation (a mapped month
+// equals its eagerly decoded twin).
+impl<F: AddrFamily> PartialEq for HostSet<F> {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.repr, &other.repr) {
+            (SetRepr::Owned(a), SetRepr::Owned(b)) => a == b,
+            _ => self.len() == other.len() && self.iter().eq(other.iter()),
+        }
+    }
+}
+
+impl<F: AddrFamily> Eq for HostSet<F> {}
+
+impl<F: AddrFamily> fmt::Debug for HostSet<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let repr = match &self.repr {
+            SetRepr::Owned(_) => "owned",
+            SetRepr::Mapped(_) => "mapped",
+        };
+        f.debug_struct("HostSet")
+            .field("len", &self.len())
+            .field("repr", &repr)
+            .finish()
     }
 }
 
 // Serializes as the bare sorted address sequence; `from_addrs` on the
 // way back re-establishes the sorted/deduplicated invariant, so the
-// serde form is canonical: equal sets produce byte-equal JSON.
+// serde form is canonical: equal sets produce byte-equal JSON whatever
+// the representation.
 impl<F: AddrFamily> serde::Serialize for HostSet<F> {
     fn to_value(&self) -> serde::Value {
-        serde::Serialize::to_value(&self.addrs)
+        serde::Value::Seq(self.iter().map(|a| a.to_value()).collect())
     }
 }
 
@@ -234,6 +434,12 @@ impl<F: AddrFamily> PrefixCount<F> for HostSet<F> {
         out: &mut Vec<u64>,
     ) {
         HostSet::count_prefixes_into(self, prefixes, out)
+    }
+
+    fn count_prefixes_total(&self, prefixes: &mut dyn Iterator<Item = Prefix<F>>) -> u64 {
+        let mut total = 0u64;
+        self.sweep_prefix_counts(prefixes, &mut |c| total += c);
+        total
     }
 }
 
@@ -275,6 +481,14 @@ impl<F: AddrFamily> Snapshot<F> {
     /// Is the snapshot empty?
     pub fn is_empty(&self) -> bool {
         self.hosts.is_empty()
+    }
+
+    /// Bytes of memory this snapshot keeps resident (the host storage —
+    /// owned `Vec` or shared file buffer; the lazily built prefix-count
+    /// memo is not charged). This is what a byte-budgeted month cache
+    /// accounts evictions in.
+    pub fn resident_bytes(&self) -> usize {
+        self.hosts.resident_bytes()
     }
 
     /// Count responsive hosts covered by a prefix, memoised: the first
@@ -395,6 +609,10 @@ impl<F: AddrFamily> PrefixCount<F> for Snapshot<F> {
     ) {
         self.hosts.count_prefixes_into(prefixes, out)
     }
+
+    fn count_prefixes_total(&self, prefixes: &mut dyn Iterator<Item = Prefix<F>>) -> u64 {
+        PrefixCount::count_prefixes_total(&self.hosts, prefixes)
+    }
 }
 
 /// A copy-free view of a subset of one snapshot's hosts: the
@@ -449,7 +667,7 @@ impl<F: AddrFamily> HostSetView<F> {
     /// never a double count. O(prefixes log hosts) to build; no
     /// host-proportional allocation.
     pub fn from_prefixes(snap: Arc<Snapshot<F>>, prefixes: &[Prefix<F>]) -> Self {
-        let addrs = snap.hosts.addrs();
+        let hosts = &snap.hosts;
         // Plan prefixes arrive sorted on the hot path (strategies plan in
         // address order), so the spans fall out of a galloping sweep
         // already ordered by start and the sort below is skipped.
@@ -458,11 +676,11 @@ impl<F: AddrFamily> HostSetView<F> {
         let mut cursor = 0usize;
         for &p in prefixes {
             let lo = if sorted {
-                cursor + gallop(&addrs[cursor..], |&a| a < p.first())
+                hosts.gallop_from(cursor, |a| a < p.first())
             } else {
-                addrs.partition_point(|&a| a < p.first())
+                hosts.lower_bound(p.first())
             };
-            let hi = lo + gallop(&addrs[lo..], |&a| a <= p.last());
+            let hi = hosts.gallop_from(lo, |a| a <= p.last());
             cursor = lo;
             if lo < hi {
                 spans.push((lo, hi));
@@ -536,13 +754,14 @@ impl<F: AddrFamily> HostSetView<F> {
     /// Membership test (binary search, then a range lookup).
     pub fn contains(&self, addr: F::Addr) -> bool {
         match &self.repr {
-            Repr::Ranges { snap, ranges, .. } => match snap.hosts.addrs().binary_search(&addr) {
-                Ok(idx) => {
-                    let i = ranges.partition_point(|&(s, _)| s <= idx);
-                    i > 0 && idx < ranges[i - 1].1
+            Repr::Ranges { snap, ranges, .. } => {
+                let idx = snap.hosts.lower_bound(addr);
+                if idx >= snap.hosts.len() || snap.hosts.get(idx) != addr {
+                    return false;
                 }
-                Err(_) => false,
-            },
+                let i = ranges.partition_point(|&(s, _)| s <= idx);
+                i > 0 && idx < ranges[i - 1].1
+            }
             Repr::Owned(h) => h.contains(addr),
         }
     }
@@ -554,9 +773,8 @@ impl<F: AddrFamily> HostSetView<F> {
             Repr::Ranges {
                 snap, ranges, cum, ..
             } => {
-                let addrs = snap.hosts.addrs();
-                let lo = addrs.partition_point(|&a| a < first);
-                let hi = addrs.partition_point(|&a| a <= last);
+                let lo = snap.hosts.lower_bound(first);
+                let hi = snap.hosts.upper_bound(last);
                 Self::rank(ranges, cum, hi) - Self::rank(ranges, cum, lo)
             }
             Repr::Owned(h) => h.count_in_range(first, last),
@@ -580,14 +798,14 @@ impl<F: AddrFamily> HostSetView<F> {
         const EMPTY_RANGES: &[(usize, usize)] = &[];
         match &self.repr {
             Repr::Ranges { snap, ranges, .. } => HostSetViewIter {
-                addrs: snap.hosts.addrs(),
+                hosts: &snap.hosts,
                 ranges: ranges.iter(),
-                cur: [].iter(),
+                cur: 0..0,
             },
             Repr::Owned(h) => HostSetViewIter {
-                addrs: &[],
+                hosts: h,
                 ranges: EMPTY_RANGES.iter(),
-                cur: h.addrs().iter(),
+                cur: 0..h.len(),
             },
         }
     }
@@ -600,10 +818,10 @@ impl<F: AddrFamily> HostSetView<F> {
             Repr::Ranges {
                 snap, ranges, len, ..
             } => {
-                let addrs = snap.hosts.addrs();
+                let hosts = &snap.hosts;
                 let mut out = Vec::with_capacity(*len);
                 for &(s, e) in ranges {
-                    out.extend_from_slice(&addrs[s..e]);
+                    out.extend((s..e).map(|i| hosts.get(i)));
                 }
                 // Disjoint ascending ranges over a sorted unique list.
                 HostSet::from_sorted_unique(out)
@@ -613,11 +831,13 @@ impl<F: AddrFamily> HostSetView<F> {
     }
 }
 
-/// Ascending iterator over a [`HostSetView`]'s members.
+/// Ascending iterator over a [`HostSetView`]'s members: a cursor of
+/// rank ranges into the underlying host set, decoded on access (so it
+/// runs unchanged off mapped snapshot bytes).
 pub struct HostSetViewIter<'a, F: AddrFamily> {
-    addrs: &'a [F::Addr],
+    hosts: &'a HostSet<F>,
     ranges: std::slice::Iter<'a, (usize, usize)>,
-    cur: std::slice::Iter<'a, F::Addr>,
+    cur: std::ops::Range<usize>,
 }
 
 impl<'a, F: AddrFamily> Iterator for HostSetViewIter<'a, F> {
@@ -625,41 +845,38 @@ impl<'a, F: AddrFamily> Iterator for HostSetViewIter<'a, F> {
 
     fn next(&mut self) -> Option<F::Addr> {
         loop {
-            if let Some(&a) = self.cur.next() {
-                return Some(a);
+            if let Some(i) = self.cur.next() {
+                return Some(self.hosts.get(i));
             }
             let &(s, e) = self.ranges.next()?;
-            self.cur = self.addrs[s..e].iter();
+            self.cur = s..e;
         }
     }
 }
 
-impl<F: AddrFamily> PrefixCount<F> for HostSetView<F> {
-    fn count_in_prefix(&self, p: Prefix<F>) -> usize {
-        HostSetView::count_in_prefix(self, p)
-    }
-
-    // The range-repr sweep: two galloping cursors, one over the host
-    // array and one over the view's ranges, so counting a sorted view's
-    // units against a feedback cycle's responsive view is a single
-    // coordinated pass — not two binary searches plus two rank queries
-    // per unit.
-    fn count_prefixes_into(
+impl<F: AddrFamily> HostSetView<F> {
+    /// The range-repr sweep: two galloping cursors, one over the host
+    /// ranks and one over the view's ranges, so counting a sorted view's
+    /// units against a feedback cycle's responsive view is a single
+    /// coordinated pass — not two binary searches plus two rank queries
+    /// per unit. Counts go to `sink`, shared by the bulk and the
+    /// allocation-free total paths.
+    fn sweep_prefix_counts(
         &self,
         prefixes: &mut dyn Iterator<Item = Prefix<F>>,
-        out: &mut Vec<u64>,
+        sink: &mut dyn FnMut(u64),
     ) {
         match &self.repr {
-            Repr::Owned(h) => h.count_prefixes_into(prefixes, out),
+            Repr::Owned(h) => h.sweep_prefix_counts(prefixes, sink),
             // a full-snapshot view (an `All`-plan cycle) sweeps the host
             // array directly — the rank arithmetic would be a no-op
             Repr::Ranges { snap, len, .. } if *len == snap.hosts.len() => {
-                snap.hosts.count_prefixes_into(prefixes, out)
+                snap.hosts.sweep_prefix_counts(prefixes, sink)
             }
             Repr::Ranges {
                 snap, ranges, cum, ..
             } => {
-                let addrs = snap.hosts.addrs();
+                let hosts = &snap.hosts;
                 // count of range members with host index < `idx`, given
                 // the partition index `r` (first range with start >= idx)
                 let rank_at = |r: usize, idx: usize| -> usize {
@@ -669,7 +886,7 @@ impl<F: AddrFamily> PrefixCount<F> for HostSetView<F> {
                     let (s, e) = ranges[r - 1];
                     cum[r - 1] + idx.min(e) - s
                 };
-                let mut cursor = 0usize; // into addrs, as in the HostSet sweep
+                let mut cursor = 0usize; // into host ranks, as in the HostSet sweep
                 let mut rcursor = 0usize; // into ranges: starts before it are < prev lo
                 let mut prev_first: Option<F::Addr> = None;
                 for p in prefixes {
@@ -678,17 +895,37 @@ impl<F: AddrFamily> PrefixCount<F> for HostSetView<F> {
                         cursor = 0;
                         rcursor = 0;
                     }
-                    let lo = cursor + gallop(&addrs[cursor..], |&a| a < first);
-                    let hi = lo + gallop(&addrs[lo..], |&a| a <= last);
+                    let lo = hosts.gallop_from(cursor, |a| a < first);
+                    let hi = hosts.gallop_from(lo, |a| a <= last);
                     let rlo = rcursor + gallop(&ranges[rcursor..], |&(s, _)| s < lo);
                     let rhi = rlo + gallop(&ranges[rlo..], |&(s, _)| s < hi);
-                    out.push((rank_at(rhi, hi) - rank_at(rlo, lo)) as u64);
+                    sink((rank_at(rhi, hi) - rank_at(rlo, lo)) as u64);
                     cursor = lo;
                     rcursor = rlo;
                     prev_first = Some(first);
                 }
             }
         }
+    }
+}
+
+impl<F: AddrFamily> PrefixCount<F> for HostSetView<F> {
+    fn count_in_prefix(&self, p: Prefix<F>) -> usize {
+        HostSetView::count_in_prefix(self, p)
+    }
+
+    fn count_prefixes_into(
+        &self,
+        prefixes: &mut dyn Iterator<Item = Prefix<F>>,
+        out: &mut Vec<u64>,
+    ) {
+        self.sweep_prefix_counts(prefixes, &mut |c| out.push(c));
+    }
+
+    fn count_prefixes_total(&self, prefixes: &mut dyn Iterator<Item = Prefix<F>>) -> u64 {
+        let mut total = 0u64;
+        self.sweep_prefix_counts(prefixes, &mut |c| total += c);
+        total
     }
 }
 
@@ -757,6 +994,9 @@ pub enum DecodeError {
     Truncated,
     /// Addresses not strictly ascending (corrupt payload).
     Unsorted,
+    /// A v2 header declares a section offset that cannot hold a header
+    /// (the offset must be at least the fixed header length).
+    BadSection(u32),
 }
 
 impl fmt::Display for DecodeError {
@@ -770,6 +1010,9 @@ impl fmt::Display for DecodeError {
             DecodeError::BadProtocol(p) => write!(f, "snapshot: unknown protocol tag {p}"),
             DecodeError::Truncated => write!(f, "snapshot: truncated input"),
             DecodeError::Unsorted => write!(f, "snapshot: addresses not sorted"),
+            DecodeError::BadSection(off) => {
+                write!(f, "snapshot: bad address-section offset {off}")
+            }
         }
     }
 }
@@ -779,6 +1022,20 @@ impl std::error::Error for DecodeError {}
 const MAGIC_V4: &[u8; 4] = b"TSS1";
 const MAGIC_V6: &[u8; 4] = b"TSS6";
 const VERSION: u8 = 1;
+/// Format version with an explicit, aligned address section
+/// ([`Snapshot::encode_aligned`]) — the form [`Snapshot::decode_mapped`]
+/// serves without rebuilding a `Vec`.
+pub(crate) const VERSION_ALIGNED: u8 = 2;
+/// Byte length of the fixed v1 header (also the v1 address-section
+/// offset): magic(4) version(1) protocol(1) month(4) count(8).
+const HEADER_V1_LEN: usize = 18;
+/// Byte length of the v2 fixed header: the v1 fields plus the
+/// `section_off` u32.
+const HEADER_V2_LEN: usize = 22;
+/// Where v2 writers place the address section: the first 64-byte
+/// boundary after the header, so fixed-width reads never straddle a
+/// cache line more than the address width forces.
+const SECTION_ALIGN: usize = 64;
 
 /// Magic bytes for a family: `TSS1` keeps the pre-generic IPv4 format
 /// byte-identical; 128-bit snapshots are tagged `TSS6`.
@@ -788,6 +1045,91 @@ fn family_magic<F: AddrFamily>() -> &'static [u8; 4] {
     } else {
         MAGIC_V6
     }
+}
+
+/// The fixed 64-byte v2 header, as [`Snapshot::encode_aligned`] writes
+/// it. Streaming writers emit this with a placeholder count and patch
+/// it once the merged address count is known.
+pub(crate) fn aligned_header<F: AddrFamily>(
+    protocol: Protocol,
+    month: u32,
+    count: u64,
+) -> [u8; SECTION_ALIGN] {
+    let mut h = [0u8; SECTION_ALIGN];
+    h[..4].copy_from_slice(family_magic::<F>());
+    h[4] = VERSION_ALIGNED;
+    h[5] = protocol.index() as u8;
+    h[6..10].copy_from_slice(&month.to_le_bytes());
+    h[10..18].copy_from_slice(&count.to_le_bytes());
+    h[18..22].copy_from_slice(&(SECTION_ALIGN as u32).to_le_bytes());
+    h
+}
+
+/// A parsed snapshot header: everything before the address section.
+struct SnapHeader {
+    protocol: Protocol,
+    month: u32,
+    count: usize,
+    /// Byte offset of the first address (18 for v1; `section_off` for v2).
+    section_off: usize,
+}
+
+/// Parse and bounds-check a snapshot header, either version. On
+/// success the address section `[section_off, section_off + count·W)`
+/// is guaranteed in bounds — address *content* (strict ascent) is the
+/// caller's validation pass.
+fn parse_header<F: AddrFamily>(data: &[u8]) -> Result<SnapHeader, DecodeError> {
+    let width = usize::from(F::BITS / 8);
+    if data.len() < HEADER_V1_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let magic: &[u8; 4] = data[..4].try_into().expect("4-byte slice");
+    if magic != family_magic::<F>() {
+        return Err(if magic == MAGIC_V4 {
+            DecodeError::WrongFamily {
+                found: "IPv4",
+                expected: F::NAME,
+            }
+        } else if magic == MAGIC_V6 {
+            DecodeError::WrongFamily {
+                found: "IPv6",
+                expected: F::NAME,
+            }
+        } else {
+            DecodeError::BadMagic
+        });
+    }
+    let version = data[4];
+    if version != VERSION && version != VERSION_ALIGNED {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let ptag = data[5];
+    let protocol = Protocol::from_index(ptag as usize).ok_or(DecodeError::BadProtocol(ptag))?;
+    let month = u32::from_le_bytes(data[6..10].try_into().expect("4-byte slice"));
+    let count64 = u64::from_le_bytes(data[10..18].try_into().expect("8-byte slice"));
+    let count = usize::try_from(count64).map_err(|_| DecodeError::Truncated)?;
+    let section_off = if version == VERSION {
+        HEADER_V1_LEN
+    } else {
+        if data.len() < HEADER_V2_LEN {
+            return Err(DecodeError::Truncated);
+        }
+        let off = u32::from_le_bytes(data[18..22].try_into().expect("4-byte slice"));
+        if (off as usize) < HEADER_V2_LEN {
+            return Err(DecodeError::BadSection(off));
+        }
+        off as usize
+    };
+    let payload = count.checked_mul(width).ok_or(DecodeError::Truncated)?;
+    if section_off > data.len() || data.len() - section_off < payload {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(SnapHeader {
+        protocol,
+        month,
+        count,
+        section_off,
+    })
 }
 
 impl<F: AddrFamily> Snapshot<F> {
@@ -810,50 +1152,41 @@ impl<F: AddrFamily> Snapshot<F> {
         buf.freeze()
     }
 
-    /// Decode the binary format produced by [`Snapshot::encode`].
+    /// Encode to the v2 *aligned* binary format:
+    /// `magic(4) version=2(1) protocol(1) month(4 LE) count(8 LE)
+    /// section_off(4 LE) pad` with the sorted fixed-width LE address
+    /// section starting at `section_off` (the first 64-byte boundary).
+    /// This is the form [`Snapshot::decode_mapped`] can serve without
+    /// rebuilding a `Vec`; [`Snapshot::decode`] reads it too.
+    pub fn encode_aligned(&self) -> Bytes {
+        let width = usize::from(F::BITS / 8);
+        let mut buf = BytesMut::with_capacity(SECTION_ALIGN + width * self.hosts.len());
+        buf.put_slice(&aligned_header::<F>(
+            self.protocol,
+            self.month,
+            self.hosts.len() as u64,
+        ));
+        for a in self.hosts.iter() {
+            buf.put_slice(&F::addr_to_u128(a).to_le_bytes()[..width]);
+        }
+        buf.freeze()
+    }
+
+    /// Decode the binary format produced by [`Snapshot::encode`] or
+    /// [`Snapshot::encode_aligned`] into an owned snapshot.
     ///
     /// The decoder is family-checked: handing v6 bytes to a v4 decode
     /// (or vice versa) fails with [`DecodeError::WrongFamily`] rather
     /// than misreading addresses.
-    pub fn decode(mut data: &[u8]) -> Result<Snapshot<F>, DecodeError> {
+    pub fn decode(data: &[u8]) -> Result<Snapshot<F>, DecodeError> {
         let width = usize::from(F::BITS / 8);
-        if data.remaining() < 18 {
-            return Err(DecodeError::Truncated);
-        }
-        let mut magic = [0u8; 4];
-        data.copy_to_slice(&mut magic);
-        if &magic != family_magic::<F>() {
-            return Err(if &magic == MAGIC_V4 {
-                DecodeError::WrongFamily {
-                    found: "IPv4",
-                    expected: F::NAME,
-                }
-            } else if &magic == MAGIC_V6 {
-                DecodeError::WrongFamily {
-                    found: "IPv6",
-                    expected: F::NAME,
-                }
-            } else {
-                DecodeError::BadMagic
-            });
-        }
-        let version = data.get_u8();
-        if version != VERSION {
-            return Err(DecodeError::BadVersion(version));
-        }
-        let ptag = data.get_u8();
-        let protocol = Protocol::from_index(ptag as usize).ok_or(DecodeError::BadProtocol(ptag))?;
-        let month = data.get_u32_le();
-        let count = data.get_u64_le() as usize;
-        let payload = count.checked_mul(width).ok_or(DecodeError::Truncated)?;
-        if data.remaining() < payload {
-            return Err(DecodeError::Truncated);
-        }
-        let mut addrs = Vec::with_capacity(count);
+        let h = parse_header::<F>(data)?;
+        let mut addrs = Vec::with_capacity(h.count);
         let mut prev: Option<F::Addr> = None;
         let mut raw = [0u8; 16];
-        for _ in 0..count {
-            data.copy_to_slice(&mut raw[..width]);
+        for i in 0..h.count {
+            let p = h.section_off + i * width;
+            raw[..width].copy_from_slice(&data[p..p + width]);
             let a = F::addr_from_u128(u128::from_le_bytes(raw));
             if let Some(p) = prev {
                 if a <= p {
@@ -864,9 +1197,40 @@ impl<F: AddrFamily> Snapshot<F> {
             addrs.push(a);
         }
         Ok(Snapshot::new(
-            protocol,
-            month,
+            h.protocol,
+            h.month,
             HostSet::from_sorted_unique(addrs),
+        ))
+    }
+
+    /// Decode a snapshot buffer *in place*: parse and bounds-check the
+    /// header, make one strict-ascent validation pass over the address
+    /// section, and hand back a snapshot whose host set reads the
+    /// section directly out of `buf` — no per-host `Vec` rebuild, so
+    /// the decode cost is O(header) + one sequential scan, and the
+    /// returned snapshot's memory *is* the (shared) file buffer.
+    /// Either format version works; v1's section simply starts at
+    /// byte 18.
+    pub fn decode_mapped(buf: Bytes) -> Result<Snapshot<F>, DecodeError> {
+        let width = usize::from(F::BITS / 8);
+        let h = parse_header::<F>(&buf)?;
+        let mut prev: Option<u128> = None;
+        let mut raw = [0u8; 16];
+        for i in 0..h.count {
+            let p = h.section_off + i * width;
+            raw[..width].copy_from_slice(&buf[p..p + width]);
+            let a = u128::from_le_bytes(raw);
+            if let Some(pv) = prev {
+                if a <= pv {
+                    return Err(DecodeError::Unsorted);
+                }
+            }
+            prev = Some(a);
+        }
+        Ok(Snapshot::new(
+            h.protocol,
+            h.month,
+            HostSet::from_mapped(buf, h.section_off, h.count),
         ))
     }
 }
@@ -882,9 +1246,12 @@ mod tests {
     #[test]
     fn from_addrs_sorts_and_dedups() {
         let s = hs(&[5, 1, 3, 3, 1]);
-        assert_eq!(s.addrs(), &[1, 3, 5]);
+        assert_eq!(s.to_vec(), vec![1, 3, 5]);
+        assert_eq!(s.get(0), 1);
+        assert_eq!(s.get(2), 5);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
+        assert!(!s.is_mapped());
         assert!(HostSet::<tass_net::V4>::default().is_empty());
     }
 
@@ -995,13 +1362,113 @@ mod tests {
                 found: "IPv6",
                 expected: "IPv4",
             },
-            DecodeError::BadVersion(2),
+            DecodeError::BadVersion(9),
             DecodeError::BadProtocol(8),
             DecodeError::Truncated,
             DecodeError::Unsorted,
+            DecodeError::BadSection(4),
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn aligned_encode_roundtrips_both_decoders() {
+        let snap = Snapshot::new(Protocol::Https, 3, hs(&[1, 7, 0xFFFF_FFFF]));
+        let aligned = snap.encode_aligned();
+        assert_eq!(aligned[4], 2); // version byte
+        assert_eq!(aligned.len(), 64 + 4 * 3);
+        let owned = Snapshot::decode(&aligned).unwrap();
+        assert_eq!(owned, snap);
+        let mapped = Snapshot::decode_mapped(aligned).unwrap();
+        assert_eq!(mapped, snap);
+        assert!(mapped.hosts.is_mapped());
+    }
+
+    #[test]
+    fn mapped_decode_serves_v1_and_matches_owned_ops() {
+        let snap = Snapshot::new(
+            Protocol::Http,
+            2,
+            hs(&[0x0A00_0001, 0x0A00_0002, 0x0A00_0100, 0x0B00_0000]),
+        );
+        let mapped = Snapshot::decode_mapped(snap.encode()).unwrap();
+        assert_eq!(mapped, snap);
+        assert!(mapped.hosts.is_mapped());
+        assert_eq!(mapped.hosts.to_vec(), snap.hosts.to_vec());
+        assert!(mapped.hosts.contains(0x0A00_0100));
+        assert!(!mapped.hosts.contains(0x0A00_0003));
+        let p24: tass_net::Prefix = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(mapped.hosts.count_in_prefix(p24), 2);
+        assert_eq!(mapped.hosts.intersection_count(&snap.hosts), 4);
+        // serde form is representation-independent
+        assert_eq!(
+            serde_json::to_string(&mapped.hosts).unwrap(),
+            serde_json::to_string(&snap.hosts).unwrap()
+        );
+        // views run off the mapped bytes
+        let arc = Arc::new(mapped);
+        let v = HostSetView::from_prefixes(arc.clone(), &[p24]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![0x0A00_0001, 0x0A00_0002]);
+    }
+
+    #[test]
+    fn mapped_resident_bytes_is_the_buffer() {
+        let snap = Snapshot::new(Protocol::Http, 0, hs(&[1, 2, 3]));
+        assert_eq!(snap.resident_bytes(), 12);
+        let bytes = snap.encode_aligned();
+        let total = bytes.len();
+        let mapped = Snapshot::<V4>::decode_mapped(bytes).unwrap();
+        assert_eq!(mapped.resident_bytes(), total);
+    }
+
+    #[test]
+    fn aligned_truncation_at_every_boundary_is_typed() {
+        let snap = Snapshot::new(Protocol::Cwmp, 2, hs(&[5, 6, 7]));
+        let bytes = snap.encode_aligned();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Snapshot::<V4>::decode(&bytes[..cut]),
+                Err(DecodeError::Truncated),
+                "cut at {cut}"
+            );
+            let buf = Bytes::from(bytes[..cut].to_vec());
+            assert_eq!(
+                Snapshot::<V4>::decode_mapped(buf).map(|s| s.month),
+                Err(DecodeError::Truncated),
+                "mapped cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_section_offset_is_typed() {
+        let snap = Snapshot::new(Protocol::Http, 1, hs(&[1, 2]));
+        let mut bytes = snap.encode_aligned().to_vec();
+        bytes[18..22].copy_from_slice(&4u32.to_le_bytes());
+        assert_eq!(
+            Snapshot::<V4>::decode(&bytes),
+            Err(DecodeError::BadSection(4))
+        );
+        // an offset past the end of the buffer is a truncation
+        let mut bytes = snap.encode_aligned().to_vec();
+        bytes[18..22].copy_from_slice(&10_000u32.to_le_bytes());
+        assert_eq!(Snapshot::<V4>::decode(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn mapped_decode_rejects_unsorted_payload() {
+        let snap = Snapshot::new(Protocol::Http, 1, hs(&[1, 2]));
+        let mut bytes = snap.encode_aligned().to_vec();
+        let n = bytes.len();
+        for i in 0..4 {
+            bytes.swap(n - 8 + i, n - 4 + i);
+        }
+        assert_eq!(
+            Snapshot::<V4>::decode_mapped(Bytes::from(bytes)).map(|s| s.month),
+            Err(DecodeError::Unsorted)
+        );
     }
 
     #[test]

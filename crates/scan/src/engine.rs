@@ -34,8 +34,11 @@
 //! worker's unused rate flows to the busy ones. On the wire path every probe reuses one
 //! [`wire::SynTemplate`] — only the destination, source port, and
 //! sequence number are re-encoded, with incremental checksums — and
-//! replies come back in the network's inline [`Replies`](crate::Replies)
-//! storage. Fault injection is a deterministic per-address hash (see
+//! replies come back in the network's inline [`Replies`]
+//! storage. Sends and drains are batched separately: the worker
+//! transmits the whole 64-probe batch first (replies park in their
+//! inline buffers) and then validates the batch in send order, so the
+//! template stays hot through the send burst. Fault injection is a deterministic per-address hash (see
 //! [`SimNetwork`]), and network counters are relaxed atomics, so the
 //! report — including lossy, duplicating runs — is **byte-identical at
 //! any thread count**: the shards partition the plan, and nothing about
@@ -48,7 +51,7 @@
 //! 35 ms network reports 70 ms, not 0.
 
 use crate::blocklist::Blocklist;
-use crate::net::SimNetwork;
+use crate::net::{Replies, SimNetwork};
 use crate::rate::AtomicTokenBucket;
 use crate::responder::addr_hash64;
 use crate::siphash::SipHash24;
@@ -79,6 +82,12 @@ pub struct ScanConfig<F: ScanFamily = V4> {
     pub banner_grab: bool,
     /// Build/parse real frames (slower, full fidelity).
     pub wire_level: bool,
+    /// Wire path only: send the whole probe batch before draining its
+    /// replies (the default), instead of alternating send and validate
+    /// per probe. Outcomes are identical either way — the interleaved
+    /// mode exists so the drain benchmark can compare both on the same
+    /// machine in the same run.
+    pub drain_batched: bool,
     /// Scanner source address.
     pub source_ip: F::Addr,
     /// Seed for permutation and validation keys.
@@ -95,6 +104,7 @@ impl<F: ScanFamily> Default for ScanConfig<F> {
             blocklist: Blocklist::iana_default(),
             banner_grab: false,
             wire_level: true,
+            drain_batched: true,
             source_ip: F::default_source_ip(),
             seed: 0x5CAA_77E5,
         }
@@ -163,6 +173,14 @@ impl<F: ScanFamily> ScanConfig<F> {
         self
     }
 
+    /// Choose between batched (default) and per-probe interleaved
+    /// response draining on the wire path. Reports are identical; only
+    /// the send/validate schedule differs.
+    pub fn drain_batched(mut self, yes: bool) -> Self {
+        self.drain_batched = yes;
+        self
+    }
+
     /// Set the scanner source address.
     pub fn source_ip(mut self, ip: F::Addr) -> Self {
         self.source_ip = ip;
@@ -194,27 +212,42 @@ pub trait ScanFamily: WireFamily {
     /// 198.51.100.1 / 2001:db8::1).
     fn default_source_ip() -> Self::Addr;
 
-    /// Probe at wire level: retarget the worker's reusable SYN template
-    /// (incremental checksums — no per-probe encode of the constant
-    /// bytes, no allocation), transmit it through the simulated network
-    /// (which parses and validates it), and statelessly validate the
-    /// replies, as ZMap does. Returns the reply counters, or `None` when
-    /// the network rejected the frame.
-    fn wire_probe(
+    /// Send phase of a wire-level probe: retarget the worker's reusable
+    /// SYN template (incremental checksums — no per-probe encode of the
+    /// constant bytes, no allocation) and transmit it through the
+    /// simulated network (which parses and validates it). Returns the
+    /// raw inline reply frames plus the (source port, expected sequence)
+    /// pair [`ScanFamily::wire_drain`] needs to validate them, or `None`
+    /// when the network rejected the frame.
+    fn wire_send(
         network: &SimNetwork<Self>,
-        cfg: &ScanConfig<Self>,
         key: SipHash24,
         addr: Self::Addr,
         tmpl: &mut wire::SynTemplate<Self>,
-    ) -> Option<WireReplies> {
+    ) -> Option<(Replies, u16, u32)> {
         let expected_seq = key.probe_validation_addr::<Self>(addr);
         // for v4, `addr_hash64` is the address itself — the pre-generic
         // source-port derivation bit for bit
         let src_port = 32768 + (key.hash_u64(addr_hash64::<Self>(addr)) % 28232) as u16;
         tmpl.set_target(addr, src_port, expected_seq);
         let replies = network.transmit(tmpl.frame()).ok()?;
+        Some((replies, src_port, expected_seq))
+    }
+
+    /// Drain phase of a wire-level probe: statelessly validate the reply
+    /// frames one send produced, as ZMap does. Replies carry everything
+    /// the validation needs (the keyed sequence echo), so draining is
+    /// decoupled from sending — the engine sends a whole probe batch and
+    /// then drains it, like a ring of in-flight probes.
+    fn wire_drain(
+        cfg: &ScanConfig<Self>,
+        addr: Self::Addr,
+        src_port: u16,
+        expected_seq: u32,
+        replies: &Replies,
+    ) -> WireReplies {
         let mut out = WireReplies::default();
-        for reply in &replies {
+        for reply in replies.iter() {
             let Ok(f) = wire::parse_frame_for::<Self>(reply) else {
                 out.validation_failures += 1;
                 continue;
@@ -235,7 +268,28 @@ pub trait ScanFamily: WireFamily {
                 out.syn_acks += 1;
             }
         }
-        Some(out)
+        out
+    }
+
+    /// One whole wire-level probe: [`ScanFamily::wire_send`] followed
+    /// immediately by [`ScanFamily::wire_drain`]. The engine's hot loop
+    /// batches the two phases instead; this is the convenient form for
+    /// tests and one-off probes.
+    fn wire_probe(
+        network: &SimNetwork<Self>,
+        cfg: &ScanConfig<Self>,
+        key: SipHash24,
+        addr: Self::Addr,
+        tmpl: &mut wire::SynTemplate<Self>,
+    ) -> Option<WireReplies> {
+        let (replies, src_port, expected_seq) = Self::wire_send(network, key, addr, tmpl)?;
+        Some(Self::wire_drain(
+            cfg,
+            addr,
+            src_port,
+            expected_seq,
+            &replies,
+        ))
     }
 }
 
@@ -530,6 +584,10 @@ fn scan_worker<F: ScanFamily>(
     });
 
     let mut batch = [F::Addr::default(); PROBE_BATCH];
+    // in-flight ring for the batched wire drain, allocated once per
+    // worker: each batch writes entries [0..n] before reading them, so
+    // no per-batch re-initialisation is needed
+    let mut pending: [(u16, u32, Option<Replies>); PROBE_BATCH] = [(0, 0, None); PROBE_BATCH];
     loop {
         // fill a batch from the shard, filtering the blocklist
         let mut n = 0;
@@ -551,25 +609,58 @@ fn scan_worker<F: ScanFamily>(
         out.duration_secs = bucket.take_n(n as u64);
         out.probes_sent += n as u64;
 
-        for &addr in &batch[..n] {
-            if cfg.wire_level {
-                // wire path: every probe is an encoded, checksum-validated
-                // frame of the family's codec; counters come from the frames
-                let Some(replies) = F::wire_probe(network, cfg, key, addr, &mut tmpl) else {
-                    continue; // malformed frame / transmit error: no replies
+        if cfg.wire_level && cfg.drain_batched {
+            // wire path: every probe is an encoded, checksum-validated
+            // frame of the family's codec; counters come from the frames.
+            // Send the whole batch first — replies park in their inline
+            // stack buffers, like a ring of in-flight probes — then
+            // drain it in send order. Reply outcomes are deterministic
+            // per address, so the split changes nothing observable; it
+            // keeps the SYN template hot through the send burst instead
+            // of alternating encode and validate per probe.
+            for (i, &addr) in batch[..n].iter().enumerate() {
+                pending[i] = match F::wire_send(network, key, addr, &mut tmpl) {
+                    Some((replies, src_port, seq)) => (src_port, seq, Some(replies)),
+                    // malformed frame / transmit error: no replies
+                    None => (0, 0, None),
                 };
-                out.validation_failures += replies.validation_failures;
-                out.rst_responses += replies.rsts;
-                if replies.syn_acks > 0 {
-                    out.responses += replies.syn_acks;
+            }
+            for (i, &addr) in batch[..n].iter().enumerate() {
+                let (src_port, seq, Some(replies)) = &pending[i] else {
+                    continue;
+                };
+                let counted = F::wire_drain(cfg, addr, *src_port, *seq, replies);
+                out.validation_failures += counted.validation_failures;
+                out.rst_responses += counted.rsts;
+                if counted.syn_acks > 0 {
+                    out.responses += counted.syn_acks;
                     if seen.insert(addr) {
                         out.responsive.push(addr);
                     }
                 }
-            } else {
-                // logical probe: same semantics — and, because faults are
-                // deterministic per address, the same fault outcomes — as
-                // the wire path, without the codec
+            }
+        } else if cfg.wire_level {
+            // interleaved drain: validate each probe's replies before
+            // sending the next — the pre-batching schedule, kept for the
+            // drain benchmark's same-machine comparison
+            for &addr in &batch[..n] {
+                let Some(counted) = F::wire_probe(network, cfg, key, addr, &mut tmpl) else {
+                    continue;
+                };
+                out.validation_failures += counted.validation_failures;
+                out.rst_responses += counted.rsts;
+                if counted.syn_acks > 0 {
+                    out.responses += counted.syn_acks;
+                    if seen.insert(addr) {
+                        out.responsive.push(addr);
+                    }
+                }
+            }
+        } else {
+            // logical probe: same semantics — and, because faults are
+            // deterministic per address, the same fault outcomes — as
+            // the wire path, without the codec
+            for &addr in &batch[..n] {
                 match network.probe_logical(addr, cfg.port) {
                     Some(reply) if reply.open => {
                         out.responses += u64::from(reply.copies);

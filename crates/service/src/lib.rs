@@ -48,4 +48,4 @@ pub use service::{
     JobView, ServiceConfig, ServiceCore, ServiceStats, ShutdownMode, ShutdownReport, SubmitError,
     SubmitRequest, Tassd, TenantQuota,
 };
-pub use sources::add_source;
+pub use sources::{add_source, add_source_with};

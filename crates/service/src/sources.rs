@@ -9,11 +9,23 @@
 
 use std::path::Path;
 use std::sync::Arc;
+use tass_model::corpus::CorpusOptions;
 use tass_model::registry::SourceRegistry;
 use tass_model::universe::{Universe, UniverseConfig, V6Universe, V6UniverseConfig};
 
 /// Parse one `NAME=SPEC` definition and register it.
 pub fn add_source(registry: &mut SourceRegistry, definition: &str) -> Result<(), String> {
+    add_source_with(registry, definition, &CorpusOptions::default())
+}
+
+/// [`add_source`] with explicit corpus cache options — how
+/// `tass-select serve --cache-bytes` bounds the month cache of every
+/// corpus source it registers (universe sources ignore the options).
+pub fn add_source_with(
+    registry: &mut SourceRegistry,
+    definition: &str,
+    corpus_opts: &CorpusOptions,
+) -> Result<(), String> {
     let (name, spec) = definition
         .split_once('=')
         .ok_or_else(|| format!("source {definition:?} must be NAME=SPEC"))?;
@@ -34,7 +46,7 @@ pub fn add_source(registry: &mut SourceRegistry, definition: &str) -> Result<(),
             registry.insert_v6(name, Arc::new(u)).map_err(|e| err(&e))
         }
         Some(("corpus", dir)) => registry
-            .open_corpus(name, Path::new(dir))
+            .open_corpus_with(name, Path::new(dir), corpus_opts)
             .map_err(|e| err(&e)),
         _ => Err(format!(
             "source {name:?}: spec {spec:?} must be universe:SEED | v6:SEED | corpus:DIR"

@@ -54,7 +54,7 @@ impl Strategy for EwmaTass {
     fn prepare(&self, topo: &Topology, t0: &Snapshot, _seed: u64) -> Box<dyn PreparedStrategy> {
         // seed the estimates from the t₀ full scan (steps 1–2 of §3.1)
         let view = topo.m_view.clone();
-        let (counts, _) = view.attribute_all(t0.hosts.addrs());
+        let (counts, _) = view.attribute_all(&t0.hosts.to_vec());
         let estimates: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
         let rank = rank_units(&view, &t0.hosts);
         let selection = select_prefixes(&rank, self.phi);

@@ -139,10 +139,42 @@
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
 //!
-//! Real corpora are ingested the same way: `tass::model::corpus::CorpusBuilder`
-//! takes a CAIDA pfx2as table plus per-month address lists (plain text,
-//! one address per line) or pre-encoded snapshots, validates the
-//! month × protocol matrix, and writes the manifest.
+//! ### From CAIDA data to a replayed campaign
+//!
+//! Real corpora follow the same path, end to end from public data:
+//!
+//! ```text
+//! # 1. ingest: a CAIDA RouteViews pfx2as snapshot becomes the corpus
+//! #    topology; each monthly full-scan address list (plain text, one
+//! #    address per line — what ZMap emits) becomes one snapshot.
+//! #    Lists are parsed in parallel fixed-size chunks and k-way merged,
+//! #    so peak memory is O(workers · chunk), not O(corpus).
+//! $ tass-select ingest --out ./corpus \
+//!     --caida-pfx2as routeviews-rv2-20240101.pfx2as \
+//!     --list 0:http:scan-2024-01.txt \
+//!     --list 1:http:scan-2024-02.txt \
+//!     --workers 4 --chunk-lines 65536
+//!
+//! # 2. (corpora written before the aligned layout) upgrade in place;
+//! #    replay results are byte-identical before and after
+//! $ tass-select migrate --corpus ./corpus
+//!
+//! # 3. replay: campaigns stream months from disk through a bounded
+//! #    cache — the ceiling caps resident snapshot memory however
+//! #    large the corpus is
+//! $ tass-select replay --corpus ./corpus --strategy tass:more:0.95 \
+//!     --cache-bytes 268435456
+//! ```
+//!
+//! Snapshots use a zero-copy layout: the sorted address section is
+//! 64-byte aligned in the file, so a month load is a header check plus
+//! one validation sweep over a mapped buffer — no per-host rebuild. At
+//! routed-v4 scale (a synthetic corpus announcing 2.8 B addresses, see
+//! `BENCH_corpus_scale.json`) that makes cold month loads ~10× faster
+//! than the decode-to-`Vec` path, and bounded replay holds RSS under
+//! `cache_bytes` plus a per-worker transient. The underlying API is
+//! `tass::model::corpus::CorpusBuilder`, which validates the
+//! month × protocol matrix and writes the manifest.
 //!
 //! ## Running the daemon
 //!

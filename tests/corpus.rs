@@ -23,8 +23,9 @@ use tass::bgp::{pfx2as, ViewKind};
 use tass::core::campaign::{CampaignPool, CampaignResult};
 use tass::core::strategy::StrategyKind;
 use tass::model::corpus::{
-    export_universe, parse_address_list_family, CorpusBuilder, CorpusError, CorpusGroundTruth,
-    CorpusManifest, MANIFEST_FILE,
+    export_universe, migrate_corpus, parse_address_list_family, stream_address_list_to_snapshot,
+    CorpusBuilder, CorpusError, CorpusGroundTruth, CorpusManifest, CorpusOptions, IngestOptions,
+    MANIFEST_FILE,
 };
 use tass::model::snapshot::DecodeError;
 use tass::model::{GroundTruth, HostSet, Protocol, Snapshot, Universe, UniverseConfig};
@@ -364,7 +365,154 @@ fn address_list_ingestion_round_trips() {
     assert_eq!(GroundTruth::months(&corpus), 2);
     assert_eq!(corpus.protocols(), vec![Protocol::Http]);
     let t0 = corpus.load_snapshot(0, Protocol::Http).unwrap();
-    assert_eq!(t0.hosts.addrs(), &[0x0A00_0001, 0x0A00_0002]);
+    assert_eq!(t0.hosts.to_vec(), vec![0x0A00_0001, 0x0A00_0002]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------- bounded cache / mapped decode
+
+#[test]
+fn byte_ceiling_eviction_is_invisible_to_replay_at_any_worker_count() {
+    // a byte ceiling that holds ~2 of the 28 snapshots forces constant
+    // eviction; replay must stay byte-identical to the direct run from
+    // serial through 8 concurrent workers
+    let u = universe();
+    let dir = tmp("ceiling");
+    export_universe(&u, &dir).unwrap();
+    let max_snap_bytes = (0..=u.months())
+        .flat_map(|m| Protocol::ALL.iter().map(move |&p| (m, p)))
+        .map(|(m, p)| u.snapshot(m, p).len() * 4 + 64)
+        .max()
+        .unwrap();
+    let opts = CorpusOptions {
+        cache_snapshots: usize::MAX,
+        cache_bytes: Some(2 * max_snap_bytes),
+    };
+    let kinds = [
+        StrategyKind::IpHitlist,
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+        },
+        StrategyKind::ReseedingTass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+            delta_t: 2,
+        },
+    ];
+    let direct = CampaignPool::serial().run_matrix(&u, &kinds, 11);
+    for workers in [1usize, 4, 8] {
+        let corpus = CorpusGroundTruth::open_with(&dir, &opts).unwrap();
+        let replayed = CampaignPool::new(workers).run_matrix(&corpus, &kinds, 11);
+        assert_eq!(
+            to_json(&direct),
+            to_json(&replayed),
+            "{workers} workers under a {}-byte ceiling",
+            2 * max_snap_bytes
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn migrated_corpus_replays_byte_identically_to_the_legacy_layout() {
+    // write the corpus, downgrade every snapshot file to the v1 layout,
+    // replay, migrate in place, replay again: both replays must be
+    // byte-identical to the direct run, and the migrated files must be
+    // mapped (zero-copy) where the legacy ones were not
+    let u = universe();
+    let dir = tmp("migrate");
+    export_universe(&u, &dir).unwrap();
+    let snap_dir = dir.join("snapshots");
+    let mut files = 0usize;
+    for entry in fs::read_dir(&snap_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = fs::read(&path).unwrap();
+        let snap: Snapshot = Snapshot::decode(&bytes).unwrap();
+        let legacy = snap.encode(); // v1 re-encode
+        assert_eq!(legacy[4], 1);
+        fs::write(&path, legacy).unwrap();
+        files += 1;
+    }
+    let kinds = [
+        StrategyKind::FullScan,
+        StrategyKind::Tass {
+            view: ViewKind::MoreSpecific,
+            phi: 0.95,
+        },
+    ];
+    let direct = CampaignPool::serial().run_matrix(&u, &kinds, 5);
+
+    let legacy = CorpusGroundTruth::open(&dir).unwrap();
+    let legacy_snap = legacy.load_snapshot(0, Protocol::Http).unwrap();
+    let legacy_run = CampaignPool::serial().run_matrix(&legacy, &kinds, 5);
+    assert_eq!(to_json(&direct), to_json(&legacy_run));
+
+    assert_eq!(migrate_corpus(&dir).unwrap(), files);
+    assert_eq!(migrate_corpus(&dir).unwrap(), 0, "second pass is a no-op");
+
+    for entry in fs::read_dir(&snap_dir).unwrap() {
+        let bytes = fs::read(entry.unwrap().path()).unwrap();
+        assert_eq!(bytes[4], 2, "migration rewrites to the aligned layout");
+    }
+    let migrated = CorpusGroundTruth::open(&dir).unwrap();
+    let snap = migrated.load_snapshot(0, Protocol::Http).unwrap();
+    assert!(snap.hosts.is_mapped(), "migrated months serve mapped views");
+    assert_eq!(*snap, *legacy_snap, "same decoded content");
+    let migrated_run = CampaignPool::serial().run_matrix(&migrated, &kinds, 5);
+    assert_eq!(to_json(&direct), to_json(&migrated_run));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_mapped_section_is_a_typed_error_naming_the_file() {
+    // v2 aligned files fail decode with typed errors that carry the
+    // offending path: truncation inside the address section, a section
+    // offset pointing into the header, and one past the end of the file
+    let u = universe();
+    let dir = tmp("mapped-corrupt");
+    export_universe(&u, &dir).unwrap();
+    let path = dir.join("snapshots/m2-http.snap");
+    let pristine = fs::read(&path).unwrap();
+    assert_eq!(pristine[4], 2, "export writes the aligned layout");
+
+    // cut mid-section
+    fs::write(&path, &pristine[..pristine.len() - 2]).unwrap();
+    let corpus = CorpusGroundTruth::open(&dir).unwrap();
+    let err = corpus.load_snapshot(2, Protocol::Http).unwrap_err();
+    let CorpusError::Decode {
+        path: ref err_path,
+        source: DecodeError::Truncated,
+    } = err
+    else {
+        panic!("expected Decode/Truncated, got {err:?}");
+    };
+    assert!(err_path.ends_with("snapshots/m2-http.snap"));
+    assert!(err.to_string().contains("m2-http.snap"), "{err}");
+
+    // section offset inside the header
+    let mut bad = pristine.clone();
+    bad[18..22].copy_from_slice(&8u32.to_le_bytes());
+    fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        corpus.load_snapshot(2, Protocol::Http),
+        Err(CorpusError::Decode {
+            source: DecodeError::BadSection(8),
+            ..
+        })
+    ));
+
+    // section offset past the end of the file
+    let mut bad = pristine.clone();
+    bad[18..22].copy_from_slice(&(pristine.len() as u32 + 64).to_le_bytes());
+    fs::write(&path, &bad).unwrap();
+    assert!(matches!(
+        corpus.load_snapshot(2, Protocol::Http),
+        Err(CorpusError::Decode {
+            source: DecodeError::Truncated,
+            ..
+        })
+    ));
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -456,6 +604,7 @@ proptest! {
                 | DecodeError::WrongFamily { .. }
                 | DecodeError::BadVersion(_)
                 | DecodeError::BadProtocol(_)
+                | DecodeError::BadSection(_)
                 | DecodeError::Truncated
                 | DecodeError::Unsorted,
             ) => {}
@@ -473,5 +622,48 @@ proptest! {
             .collect();
         let parsed = parse_address_list_family::<V6>(&text).unwrap();
         prop_assert_eq!(parsed, hosts);
+    }
+
+    /// Chunked streaming ingestion is observationally identical to the
+    /// one-shot parser for any input shape — duplicates across chunk
+    /// boundaries, comments, blank lines — at any worker count and any
+    /// chunk size (including chunks of one line, the worst case for the
+    /// spill-and-merge path).
+    #[test]
+    fn chunked_ingestion_matches_the_one_shot_parser(
+        addrs in proptest::collection::vec(any::<u32>(), 0..120),
+        workers in 1usize..5,
+        chunk_lines in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut text = String::new();
+        for (i, a) in addrs.iter().enumerate() {
+            // deterministic junk interleaved with the addresses
+            if (seed >> (i % 48)) & 1 == 1 {
+                text.push_str("# comment\n\n");
+            }
+            text.push_str(&format!("{}\n", std::net::Ipv4Addr::from(*a)));
+            if (seed >> (i % 37)) & 2 == 2 {
+                // duplicate the line so dedup crosses chunk boundaries
+                text.push_str(&format!("{}\n", std::net::Ipv4Addr::from(*a)));
+            }
+        }
+        let dir = tmp(&format!("chunked-{workers}-{chunk_lines}-{seed:x}"));
+        fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("list.txt");
+        fs::write(&input, &text).unwrap();
+        let out = dir.join("m0-http.snap");
+        let opts = IngestOptions { workers, chunk_lines };
+        let count =
+            stream_address_list_to_snapshot::<tass::net::V4>(&input, &out, 3, Protocol::Http, &opts)
+                .unwrap();
+
+        let want = parse_address_list_family::<tass::net::V4>(&text).unwrap();
+        prop_assert_eq!(count, want.len() as u64);
+        let bytes = fs::read(&out).unwrap();
+        let snap: Snapshot = Snapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(&snap.hosts, &want);
+        prop_assert_eq!((snap.month, snap.protocol), (3, Protocol::Http));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -18,7 +18,7 @@ fn universe() -> Universe {
 /// repr: the full-snapshot view, the overlapping-prefix union, a fixed
 /// hitlist (half of it unresponsive), and a seeded random sample.
 fn plan_variants(truth: &Snapshot) -> Vec<(&'static str, ProbePlan)> {
-    let hosts = truth.hosts.addrs();
+    let hosts = truth.hosts.to_vec();
     assert!(hosts.len() >= 16, "universe too small to exercise plans");
     // overlapping prefixes around real hosts, so the union merge of the
     // prefix view does real work

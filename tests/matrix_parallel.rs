@@ -203,8 +203,8 @@ fn streaming_run_plan_matches_materialised_plans_probe_for_probe() {
                 "{plan:?} x{threads}: every materialised target is probed exactly once"
             );
             assert_eq!(
-                report.responsive.addrs(),
-                expected.as_slice(),
+                report.responsive.to_vec(),
+                expected,
                 "{plan:?} x{threads}: responsive set matches the oracle"
             );
         }
