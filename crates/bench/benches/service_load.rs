@@ -6,22 +6,44 @@
 //!   HTTP path over real loopback TCP: a `/v1/healthz` roundtrip, a
 //!   status poll of a finished campaign, and a full `POST
 //!   /v1/campaigns` submit (workers drain the queue concurrently);
-//! * **a fleet summary** — N clients × M campaigns each, recording
-//!   submissions/s, completion throughput, and p99 status-poll latency
-//!   to `BENCH_service.json` at the repo root — the perf-trajectory
-//!   file CI and future PRs compare against.
+//! * **a concurrent-connection sweep** — 16/64/256/1024 keep-alive
+//!   clients, each submitting a burst of campaigns and then polling
+//!   status under load, plus a row where slowloris-style connections
+//!   drip bytes alongside the pollers. Each row records submissions/s,
+//!   completion throughput, and p50/p99 status-poll latency to
+//!   `BENCH_service.json` at the repo root, after a pinned row holding
+//!   the thread-per-connection baseline this sweep replaced — the
+//!   perf-trajectory file CI and future PRs compare against.
+//!
+//! `SERVICE_BENCH_QUICK=1` shrinks the sweep for CI smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::Write as _;
+use std::net::TcpStream;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 use tass_model::registry::SourceRegistry;
 use tass_model::{Universe, UniverseConfig};
-use tass_service::{api, HttpClient, HttpServer, ServiceConfig, ShutdownMode, Tassd, TenantQuota};
+use tass_service::{
+    api, HttpClient, HttpServer, HttpdConfig, ServiceConfig, ShutdownMode, Tassd, TenantQuota,
+};
 
-const CLIENTS: usize = 8;
-const CAMPAIGNS_PER_CLIENT: usize = 4;
+/// The measured row the thread-per-connection server last recorded
+/// (PR 8, 8 clients × 4 campaigns) — pinned so the trajectory file
+/// always carries the before/after comparison.
+const PINNED_BEFORE: &str = concat!(
+    "{\"bench\":\"service_load\",\"row\":\"threaded-baseline\",",
+    "\"clients\":8,\"campaigns_per_client\":4,\"slow_clients\":0,",
+    "\"submissions_per_sec\":117.1,\"completions_per_sec\":421.1,",
+    "\"poll_p50_ms\":0.063,\"poll_p99_ms\":2.080,\"polls\":1883,\"wall_secs\":0.076}"
+);
+
+fn quick() -> bool {
+    std::env::var_os("SERVICE_BENCH_QUICK").is_some()
+}
 
 fn registry() -> Arc<SourceRegistry> {
     let mut reg = SourceRegistry::new();
@@ -50,7 +72,15 @@ fn start_daemon(workers: usize) -> (Tassd, HttpServer) {
         },
     )
     .expect("daemon start");
-    let server = HttpServer::bind("127.0.0.1:0", daemon.core(), api::router()).expect("bind");
+    // a long keep-alive: at 1024 clients on few cores a connection can
+    // legitimately sit idle for many seconds between its turns, and the
+    // sweep asserts zero reconnects
+    let http = HttpdConfig {
+        keep_alive: Duration::from_secs(300),
+        ..HttpdConfig::default()
+    };
+    let server =
+        HttpServer::bind_with("127.0.0.1:0", daemon.core(), api::router(), http).expect("bind");
     (daemon, server)
 }
 
@@ -70,19 +100,18 @@ fn submit(client: &mut HttpClient, tenant: &str, seed: u64) -> u64 {
         .unwrap()
 }
 
-/// Poll until done; returns every poll's latency.
-fn wait_done(client: &mut HttpClient, tenant: &str, id: u64, lat: &mut Vec<Duration>) {
+/// Poll until done, without recording latencies.
+fn wait_done(client: &mut HttpClient, tenant: &str, id: u64) {
     loop {
-        let t0 = Instant::now();
         let (status, body) = client
             .get(&format!("/v1/campaigns/{id}"), Some(tenant))
             .expect("poll");
-        lat.push(t0.elapsed());
         assert_eq!(status, 200, "{body}");
         if body.contains(r#""status":"done""#) {
             return;
         }
         assert!(!body.contains(r#""status":"failed""#), "{body}");
+        thread::sleep(Duration::from_millis(1));
     }
 }
 
@@ -99,8 +128,7 @@ fn bench_control_plane(c: &mut Criterion) {
     });
 
     let done_id = submit(&mut client, "bench", 1);
-    let mut lat = Vec::new();
-    wait_done(&mut client, "bench", done_id, &mut lat);
+    wait_done(&mut client, "bench", done_id);
     group.bench_function("status_poll_done", |b| {
         b.iter(|| {
             let (status, _) = client
@@ -123,78 +151,203 @@ fn bench_control_plane(c: &mut Criterion) {
     daemon.shutdown(ShutdownMode::Drain).expect("drain");
 }
 
-/// The fleet run: measure aggregate throughput + poll tail latency and
-/// append the sample to `BENCH_service.json`.
-fn fleet_summary() {
-    let (daemon, server) = start_daemon(4);
+/// One sweep row's measurements.
+struct Row {
+    clients: usize,
+    campaigns_per_client: usize,
+    slow_clients: usize,
+    submissions_per_sec: f64,
+    completions_per_sec: f64,
+    poll_p50: Duration,
+    poll_p99: Duration,
+    polls: usize,
+    wall: Duration,
+}
+
+impl Row {
+    fn render(&self, label: &str) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"service_load\",\"row\":\"{}\",",
+                "\"clients\":{},\"campaigns_per_client\":{},\"slow_clients\":{},",
+                "\"submissions_per_sec\":{:.1},\"completions_per_sec\":{:.1},",
+                "\"poll_p50_ms\":{:.3},\"poll_p99_ms\":{:.3},\"polls\":{},\"wall_secs\":{:.3}}}"
+            ),
+            label,
+            self.clients,
+            self.campaigns_per_client,
+            self.slow_clients,
+            self.submissions_per_sec,
+            self.completions_per_sec,
+            self.poll_p50.as_secs_f64() * 1e3,
+            self.poll_p99.as_secs_f64() * 1e3,
+            self.polls,
+            self.wall.as_secs_f64(),
+        )
+    }
+}
+
+/// Keep connections dripping request bytes (one byte per 20 ms) until
+/// told to stop — the slow-client mix the event loop must shrug off.
+fn slowloris(addr: std::net::SocketAddr, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        let Ok(mut raw) = TcpStream::connect(addr) else {
+            return;
+        };
+        let request = b"GET /v1/healthz HTTP/1.1\r\nHost: tassd\r\n\r\n";
+        for byte in request {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if raw.write_all(std::slice::from_ref(byte)).is_err() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        // response (or reap) ends this connection; dial the next
+        let mut sink = [0u8; 1024];
+        use std::io::Read as _;
+        let _ = raw.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = raw.read(&mut sink);
+    }
+}
+
+/// One row of the sweep: `clients` keep-alive connections submit a
+/// burst of campaigns, wait for them, then hammer status polls (with
+/// `slow_clients` slowloris connections dripping alongside).
+fn sweep_row(
+    clients: usize,
+    campaigns_per_client: usize,
+    polls_per_client: usize,
+    slow_clients: usize,
+) -> Row {
+    let (daemon, server) = start_daemon(2);
     let addr = server.addr();
 
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..CLIENTS)
+    let stop_slow = Arc::new(AtomicBool::new(false));
+    let slow_handles: Vec<_> = (0..slow_clients)
+        .map(|_| {
+            let stop = Arc::clone(&stop_slow);
+            thread::spawn(move || slowloris(addr, stop))
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
         .map(|t| {
+            let barrier = Arc::clone(&barrier);
             thread::spawn(move || {
                 let tenant = format!("client-{t}");
                 let mut client = HttpClient::connect(addr);
-                let mut lat = Vec::new();
-                let mut submit_ns = 0u128;
-                let ids: Vec<u64> = (0..CAMPAIGNS_PER_CLIENT)
-                    .map(|j| {
-                        let s0 = Instant::now();
-                        let id =
-                            submit(&mut client, &tenant, (t * CAMPAIGNS_PER_CLIENT + j) as u64);
-                        submit_ns += s0.elapsed().as_nanos();
-                        id
-                    })
+                barrier.wait();
+                let ids: Vec<u64> = (0..campaigns_per_client)
+                    .map(|j| submit(&mut client, &tenant, (t * campaigns_per_client + j) as u64))
                     .collect();
-                for id in ids {
-                    wait_done(&mut client, &tenant, id, &mut lat);
+                let submitted = Instant::now();
+                for &id in &ids {
+                    wait_done(&mut client, &tenant, id);
                 }
-                (submit_ns, lat)
+                let done = Instant::now();
+                // poll phase: status requests under full connection load
+                let mut lat = Vec::with_capacity(polls_per_client);
+                for _ in 0..polls_per_client {
+                    let p0 = Instant::now();
+                    let (status, _) = client
+                        .get(&format!("/v1/campaigns/{}", ids[0]), Some(&tenant))
+                        .expect("poll");
+                    lat.push(p0.elapsed());
+                    assert_eq!(status, 200);
+                    thread::sleep(Duration::from_millis(1));
+                }
+                assert_eq!(client.reconnects(), 0, "keep-alive must hold");
+                (submitted, done, lat)
             })
         })
         .collect();
-    let per_client: Vec<(u128, Vec<Duration>)> =
+
+    let t0 = Instant::now();
+    barrier.wait();
+    let results: Vec<(Instant, Instant, Vec<Duration>)> =
         handles.into_iter().map(|h| h.join().unwrap()).collect();
     let wall = t0.elapsed();
+    stop_slow.store(true, Ordering::Relaxed);
 
     server.shutdown();
     let report = daemon.shutdown(ShutdownMode::Drain).expect("drain");
-    let total = (CLIENTS * CAMPAIGNS_PER_CLIENT) as u64;
-    assert_eq!(report.completed, total, "fleet run dropped campaigns");
+    for h in slow_handles {
+        let _ = h.join();
+    }
+    let total = (clients * campaigns_per_client) as u64;
+    assert_eq!(report.completed, total, "sweep row dropped campaigns");
 
-    let submit_secs: f64 = per_client.iter().map(|(ns, _)| *ns as f64 / 1e9).sum();
-    let mut polls: Vec<Duration> = per_client.into_iter().flat_map(|(_, l)| l).collect();
+    let submit_wall = results
+        .iter()
+        .map(|(s, _, _)| s.duration_since(t0))
+        .max()
+        .expect("clients > 0");
+    let done_wall = results
+        .iter()
+        .map(|(_, d, _)| d.duration_since(t0))
+        .max()
+        .expect("clients > 0");
+    let mut polls: Vec<Duration> = results.into_iter().flat_map(|(_, _, l)| l).collect();
     polls.sort_unstable();
-    let p99 = polls[(polls.len() * 99 / 100).min(polls.len() - 1)];
-    let p50 = polls[polls.len() / 2];
+    Row {
+        clients,
+        campaigns_per_client,
+        slow_clients,
+        submissions_per_sec: total as f64 / submit_wall.as_secs_f64(),
+        completions_per_sec: total as f64 / done_wall.as_secs_f64(),
+        poll_p50: polls[polls.len() / 2],
+        poll_p99: polls[(polls.len() * 99 / 100).min(polls.len() - 1)],
+        polls: polls.len(),
+        wall,
+    }
+}
 
-    let record = format!(
-        concat!(
-            "{{\"bench\":\"service_load\",\"clients\":{},\"campaigns_per_client\":{},",
-            "\"submissions_per_sec\":{:.1},\"completions_per_sec\":{:.1},",
-            "\"poll_p50_ms\":{:.3},\"poll_p99_ms\":{:.3},\"polls\":{},\"wall_secs\":{:.3}}}\n"
-        ),
-        CLIENTS,
-        CAMPAIGNS_PER_CLIENT,
-        total as f64 / submit_secs,
-        total as f64 / wall.as_secs_f64(),
-        p50.as_secs_f64() * 1e3,
-        p99.as_secs_f64() * 1e3,
-        polls.len(),
-        wall.as_secs_f64(),
-    );
+/// The sweep: run every row, then write the pinned baseline plus one
+/// line per row to `BENCH_service.json`.
+fn connection_sweep() {
+    let (counts, polls): (&[usize], usize) = if quick() {
+        (&[16, 64], 10)
+    } else {
+        (&[16, 64, 256, 1024], 50)
+    };
+    let mut lines = vec![PINNED_BEFORE.to_string()];
+    for &clients in counts {
+        // a roughly constant total campaign load across rows, so rows
+        // differ in connection count, not campaign work
+        let per_client = (256 / clients).max(1);
+        let row = sweep_row(clients, per_client, polls, 0);
+        eprintln!("service_load sweep: {}", row.render("epoll"));
+        lines.push(row.render("epoll"));
+    }
+    // the slow-client mix at the headline connection count
+    let mix_clients = if quick() { 64 } else { 256 };
+    let slow = if quick() { 4 } else { 32 };
+    let row = sweep_row(mix_clients, (256 / mix_clients).max(1), polls, slow);
+    eprintln!("service_load sweep: {}", row.render("epoll-slow-mix"));
+    lines.push(row.render("epoll-slow-mix"));
+
+    // quick mode exists for CI smoke coverage: the row assertions (zero
+    // reconnects, no dropped campaigns) are the check, and a truncated
+    // sweep must not clobber the checked-in full trajectory file
+    if quick() {
+        eprintln!("service_load sweep: quick mode, BENCH_service.json left untouched");
+        return;
+    }
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
-    std::fs::write(&path, &record).expect("write BENCH_service.json");
-    eprintln!("service_load summary → {}: {record}", path.display());
+    std::fs::write(&path, lines.join("\n") + "\n").expect("write BENCH_service.json");
+    eprintln!("service_load sweep → {}", path.display());
 }
 
 fn bench_fleet(c: &mut Criterion) {
-    // run once, outside criterion's sampling loop — the fleet is the
+    // run once, outside criterion's sampling loop — the sweep is the
     // measurement, criterion just hosts it
-    fleet_summary();
+    connection_sweep();
     // keep criterion happy with a registered (cheap) benchmark so the
     // group shows up in reports
-    c.bench_function("service_load/fleet_recorded", |b| b.iter(|| 1 + 1));
+    c.bench_function("service_load/sweep_recorded", |b| b.iter(|| 1 + 1));
 }
 
 criterion_group!(benches, bench_control_plane, bench_fleet);

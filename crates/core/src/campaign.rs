@@ -33,7 +33,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use tass_model::{GroundTruth, Protocol};
-use tass_net::V6;
+use tass_net::{AddrFamily, V4, V6};
 
 /// The stable job-level identity of a campaign: the strategy spec string
 /// (see [`StrategyKind::spec`]), the protocol, and the seed — everything
@@ -246,7 +246,7 @@ fn drive_campaign_from<F, G>(
     protocol: Protocol,
     seed: u64,
     mut months: Vec<MonthEval>,
-    control: &mut dyn FnMut(u32) -> CampaignStep,
+    control: &mut dyn FnMut(u32, &[MonthEval]) -> CampaignStep,
 ) -> Result<CampaignResult, Vec<MonthEval>>
 where
     F: FamilySpace,
@@ -274,7 +274,7 @@ where
         }
     }
     for m in months.len() as u32..=source.months() {
-        if control(m) == CampaignStep::Suspend {
+        if control(m, &months) == CampaignStep::Suspend {
             return Err(months);
         }
         let truth = source.snapshot(m, protocol);
@@ -299,9 +299,26 @@ where
         };
         months.push(MonthEval { month: m, eval });
     }
-    let announced = F::wide_to_u128(announced);
-    Ok(CampaignResult {
-        strategy: strategy.label(),
+    Ok(assemble_result(
+        strategy.label(),
+        protocol,
+        F::wide_to_u128(announced),
+        months,
+    ))
+}
+
+/// The result envelope a completed month series determines. Every
+/// driver funnels its finished months through this one constructor, so
+/// any two producers handed the same label, protocol, announced count
+/// and month series serialize to the same bytes.
+fn assemble_result(
+    strategy: String,
+    protocol: Protocol,
+    announced: u128,
+    months: Vec<MonthEval>,
+) -> CampaignResult {
+    CampaignResult {
+        strategy,
         protocol,
         probes_per_cycle: months[0].eval.probes,
         probe_space_fraction: if announced > 0 {
@@ -311,7 +328,38 @@ where
         },
         months,
         job: None,
-    })
+    }
+}
+
+/// The [`CampaignResult`] a campaign's *completed* months already
+/// determine — the envelope of an in-flight campaign, as if the months
+/// done so far were its whole horizon. `None` until the t₀ cycle has
+/// completed (the envelope's probe-cost fields are defined by month 0).
+///
+/// Because this goes through the same constructor as the finished
+/// result, its serialized prefix (everything before the `months` array
+/// elements) and suffix (everything after them) are **byte-identical**
+/// to the final result's — which is what lets the service stream a
+/// running campaign's result incrementally and still deliver exactly
+/// the bytes [`run_campaign_checkpointed`] will store at completion.
+pub fn partial_result<G>(
+    source: &G,
+    kind: StrategyKind,
+    protocol: Protocol,
+    seed: u64,
+    months: Vec<MonthEval>,
+) -> Option<CampaignResult>
+where
+    G: GroundTruth + ?Sized,
+{
+    if months.is_empty() {
+        return None;
+    }
+    let announced = V4::wide_to_u128(V4::announced_space(source.topology()));
+    Some(
+        assemble_result(kind.strategy().label(), protocol, announced, months)
+            .with_job(CampaignJob::new(kind, protocol, seed)),
+    )
 }
 
 /// The uninterruptible convenience over [`drive_campaign_from`]: fresh
@@ -326,7 +374,7 @@ where
     F: FamilySpace,
     G: GroundTruth<F> + ?Sized,
 {
-    match drive_campaign_from(source, strategy, protocol, seed, Vec::new(), &mut |_| {
+    match drive_campaign_from(source, strategy, protocol, seed, Vec::new(), &mut |_, _| {
         CampaignStep::Continue
     }) {
         Ok(result) => result,
@@ -337,8 +385,10 @@ where
 /// Run (or resume) a registry campaign with a per-month control hook —
 /// the resident service's driver.
 ///
-/// `control` is called with the month index before each month runs; it
-/// is both the progress callback and the suspension point. Returning
+/// `control` is called before each month runs with the month index and
+/// the evaluations of every month completed so far; it is the progress
+/// callback (the service publishes completed months to streaming result
+/// fetches from this edge) and the suspension point. Returning
 /// [`CampaignStep::Suspend`] stops the campaign at that month boundary
 /// and hands back a [`CampaignCheckpoint`] holding everything completed
 /// so far; passing that checkpoint back in resumes exactly where it
@@ -351,7 +401,7 @@ where
 pub fn run_campaign_checkpointed<G>(
     source: &G,
     checkpoint: CampaignCheckpoint,
-    control: &mut dyn FnMut(u32) -> CampaignStep,
+    control: &mut dyn FnMut(u32, &[MonthEval]) -> CampaignStep,
 ) -> CampaignRun
 where
     G: GroundTruth + ?Sized,
@@ -799,7 +849,7 @@ mod tests {
         let CampaignRun::Done(full) = run_campaign_checkpointed(
             &u,
             CampaignCheckpoint::new(kind, Protocol::Http, 7),
-            &mut |_| CampaignStep::Continue,
+            &mut |_, _| CampaignStep::Continue,
         ) else {
             panic!("never suspended, must be Done");
         };
@@ -846,7 +896,7 @@ mod tests {
                 let run = run_campaign_checkpointed(
                     &u,
                     CampaignCheckpoint::new(kind, Protocol::Cwmp, 11),
-                    &mut |m| {
+                    &mut |m, _| {
                         if m == stop_at && !fired {
                             fired = true;
                             CampaignStep::Suspend
@@ -864,7 +914,7 @@ mod tests {
                 let ckpt: CampaignCheckpoint =
                     serde_json::from_str(&serde_json::to_string(&ckpt).unwrap()).unwrap();
                 let CampaignRun::Done(resumed) =
-                    run_campaign_checkpointed(&u, ckpt, &mut |_| CampaignStep::Continue)
+                    run_campaign_checkpointed(&u, ckpt, &mut |_, _| CampaignStep::Continue)
                 else {
                     panic!("{kind:?}: resume must finish");
                 };

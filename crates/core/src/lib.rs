@@ -53,8 +53,9 @@ pub mod spec;
 pub mod strategy;
 
 pub use campaign::{
-    run_campaign, run_campaign_checkpointed, run_campaign_strategy, run_campaign_v6, run_matrix,
-    CampaignCheckpoint, CampaignJob, CampaignPool, CampaignResult, CampaignRun, CampaignStep,
+    partial_result, run_campaign, run_campaign_checkpointed, run_campaign_strategy,
+    run_campaign_v6, run_matrix, CampaignCheckpoint, CampaignJob, CampaignPool, CampaignResult,
+    CampaignRun, CampaignStep,
 };
 pub use cluster::{cluster_units, Cluster, ClusterConfig};
 pub use density::{

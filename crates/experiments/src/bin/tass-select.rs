@@ -55,7 +55,8 @@
 //!                   [--workers N] [--checkpoint-dir DIR] [--drain]
 //!                   [--max-pending N] [--max-concurrent N]
 //!                   [--rate R] [--burst B] [--month-delay-ms MS]
-//!                   [--cache-bytes N]
+//!                   [--cache-bytes N] [--http-loops N]
+//!                   [--keep-alive-secs S]
 //!
 //!   --addr HOST:PORT    listen address (default 127.0.0.1:7447)
 //!   --source NAME=SPEC  register a ground-truth source; repeatable.
@@ -73,6 +74,9 @@
 //!   --burst B           submission burst size (default 8)
 //!   --month-delay-ms MS pause before each campaign month (demos/tests)
 //!   --cache-bytes N     month-cache memory ceiling for corpus sources
+//!   --http-loops N      HTTP event-loop threads (default: one per
+//!                       core, capped at 4)
+//!   --keep-alive-secs S idle-connection reap timeout (default 10)
 //! ```
 //!
 //! Selection mode writes a ZMap-compatible whitelist (one CIDR per line
@@ -93,7 +97,9 @@ use tass_experiments::selectcli::{
 };
 use tass_model::corpus::{CorpusOptions, IngestOptions};
 use tass_model::registry::SourceRegistry;
-use tass_service::{add_source_with, api, signal, HttpServer, ServiceConfig, ShutdownMode, Tassd};
+use tass_service::{
+    add_source_with, api, signal, HttpServer, HttpdConfig, ServiceConfig, ShutdownMode, Tassd,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -196,6 +202,7 @@ fn serve_main(args: &[String]) {
     let mut addr = "127.0.0.1:7447".to_string();
     let mut definitions: Vec<String> = Vec::new();
     let mut cfg = ServiceConfig::default();
+    let mut http = HttpdConfig::default();
     let mut drain = false;
     let mut cache = CorpusOptions::default();
 
@@ -224,11 +231,17 @@ fn serve_main(args: &[String]) {
                 cfg.month_delay =
                     std::time::Duration::from_millis(parse_flag(it.next(), "--month-delay-ms"))
             }
+            "--http-loops" => http.event_loops = parse_flag(it.next(), "--http-loops"),
+            "--keep-alive-secs" => {
+                http.keep_alive =
+                    std::time::Duration::from_secs(parse_flag(it.next(), "--keep-alive-secs"))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: tass-select serve [--addr HOST:PORT] [--source NAME=SPEC]... \
                      [--workers N] [--checkpoint-dir DIR] [--drain] [--max-pending N] \
-                     [--max-concurrent N] [--rate R] [--burst B] [--month-delay-ms MS]"
+                     [--max-concurrent N] [--rate R] [--burst B] [--month-delay-ms MS] \
+                     [--http-loops N] [--keep-alive-secs S]"
                 );
                 return;
             }
@@ -253,7 +266,7 @@ fn serve_main(args: &[String]) {
     signal::install();
     let daemon = Tassd::start(std::sync::Arc::new(registry), cfg)
         .unwrap_or_else(|e| die(&format!("cannot start tassd: {e}")));
-    let server = HttpServer::bind(&addr, daemon.core(), api::router())
+    let server = HttpServer::bind_with(&addr, daemon.core(), api::router(), http)
         .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
     eprintln!(
         "tassd listening on {} ({} source{})",

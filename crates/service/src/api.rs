@@ -8,6 +8,7 @@
 //! | `GET /v1/campaigns/{id}` | `X-Api-Key` | job status |
 //! | `GET /v1/campaigns/{id}/results` | `X-Api-Key` | the finished `CampaignResult` |
 //! | `GET /v1/campaigns/{id}/results?offset=&limit=` | `X-Api-Key` | a page of its months |
+//! | `GET /v1/campaigns/{id}/results/stream` | `X-Api-Key` | the result as chunked transfer encoding, months arriving as the campaign completes them |
 //!
 //! The API key **is** the tenant identity (tassd trusts its transport;
 //! it serves labs and CI, not the internet). Every error is a typed body
@@ -23,9 +24,18 @@
 //! the `months` array sliced to the requested page, spliced from byte
 //! ranges of the stored JSON (still never re-serialised); without them
 //! the body stays bit-for-bit what it always was.
+//!
+//! The `/results/stream` variant serves the same result as chunked
+//! transfer encoding **without waiting for the campaign to finish**:
+//! each month's element is emitted as the campaign completes it, and
+//! the concatenated chunks are byte-identical to the unpaginated body.
+//! A campaign that fails mid-stream aborts the chunked body (the
+//! connection closes without the terminal chunk, so clients see the
+//! truncation); a campaign already failed at request time answers a
+//! plain `409`.
 
-use crate::httpd::{Request, Response, Router};
-use crate::service::{ResultError, ServiceCore, SubmitError, SubmitRequest};
+use crate::httpd::{Request, Response, Router, StreamChunk};
+use crate::service::{ResultError, ServiceCore, StreamPiece, SubmitError, SubmitRequest};
 use serde::Value;
 use tass_core::parse_spec;
 use tass_model::Protocol;
@@ -243,6 +253,52 @@ pub fn router() -> Router<ServiceCore> {
                         &format!("campaign {id} is {status}; results exist once it is done"),
                     ),
                 }
+            },
+        )
+        .route(
+            "GET",
+            "/v1/campaigns/{id}/results/stream",
+            |core: &ServiceCore, req, p| {
+                let tenant = match tenant(req) {
+                    Ok(t) => t,
+                    Err(resp) => return resp,
+                };
+                let id = match job_id(p.get("id")) {
+                    Ok(id) => id,
+                    Err(resp) => return resp,
+                };
+                // resolve existence and terminal failure *before*
+                // committing to a 200 chunked response
+                match core.job_view(&tenant, id) {
+                    None => {
+                        return err(
+                            404,
+                            "unknown_campaign",
+                            &format!("no campaign {id} for this tenant"),
+                        )
+                    }
+                    Some(view) if view.status == "failed" => {
+                        return err(
+                            409,
+                            "not_done",
+                            &format!("campaign {id} is failed; it will never have results"),
+                        )
+                    }
+                    Some(_) => {}
+                }
+                let core = core.arc();
+                let mut piece = 0u64;
+                Response::stream(200, "application/json", move || {
+                    match core.result_stream_piece(&tenant, id, piece) {
+                        Ok(StreamPiece::Pending) => StreamChunk::Pending,
+                        Ok(StreamPiece::Data(data)) => {
+                            piece += 1;
+                            StreamChunk::Data(data.into_bytes())
+                        }
+                        Ok(StreamPiece::End) => StreamChunk::End,
+                        Ok(StreamPiece::Gone) | Err(_) => StreamChunk::Abort,
+                    }
+                })
             },
         )
 }

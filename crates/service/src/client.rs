@@ -4,8 +4,12 @@
 //!
 //! Keep-alive with transparent reconnect: the client holds one TCP
 //! connection and re-dials once when the server has closed it between
-//! requests (idle timeout, daemon restart). Only what the JSON API
-//! needs: `Content-Length` framing, no chunked encoding, no redirects.
+//! requests (idle timeout, daemon restart); [`HttpClient::reconnects`]
+//! exposes the re-dial count so the load bench can prove it measured
+//! the server, not connection setup. One response buffer is reused
+//! across requests, so polling in a loop allocates only the returned
+//! body. Understands `Content-Length` framing and chunked transfer
+//! encoding (the result-streaming endpoint); no redirects.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -19,12 +23,27 @@ pub const API_KEY_HEADER: &str = "X-Api-Key";
 pub struct HttpClient {
     addr: SocketAddr,
     stream: Option<TcpStream>,
+    /// Reusable response buffer (cleared, not freed, per request).
+    buf: Vec<u8>,
+    dials: u64,
 }
 
 impl HttpClient {
     /// A client for `addr`. Dials lazily on the first request.
     pub fn connect(addr: SocketAddr) -> HttpClient {
-        HttpClient { addr, stream: None }
+        HttpClient {
+            addr,
+            stream: None,
+            buf: Vec::with_capacity(4096),
+            dials: 0,
+        }
+    }
+
+    /// How many times the client had to re-dial after its first
+    /// connection — `0` means every request so far rode one keep-alive
+    /// connection.
+    pub fn reconnects(&self) -> u64 {
+        self.dials.saturating_sub(1)
     }
 
     /// `GET path`, optionally authenticated. Returns `(status, body)`.
@@ -40,6 +59,36 @@ impl HttpClient {
         body: &str,
     ) -> io::Result<(u16, String)> {
         self.request("POST", path, api_key, Some(body))
+    }
+
+    /// `GET path` expecting a chunked streaming response: `on_chunk` is
+    /// called with each decoded chunk as it arrives, and the full
+    /// concatenated body comes back with the status. A non-chunked
+    /// response (an error body, say) is returned whole without calling
+    /// `on_chunk`. A stream the server aborts (connection closed before
+    /// the terminal chunk) is an `UnexpectedEof` error, so truncation
+    /// is never mistaken for completion.
+    pub fn get_stream(
+        &mut self,
+        path: &str,
+        api_key: Option<&str>,
+        mut on_chunk: impl FnMut(&[u8]),
+    ) -> io::Result<(u16, Vec<u8>)> {
+        let reused = self.stream.is_some();
+        let mut delivered = false;
+        match self.stream_once(path, api_key, &mut on_chunk, &mut delivered) {
+            Ok(resp) => Ok(resp),
+            // retry only when nothing reached the caller yet and the
+            // failure could be a stale keep-alive connection
+            Err(_) if reused && !delivered => {
+                self.stream = None;
+                self.stream_once(path, api_key, &mut on_chunk, &mut delivered)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
     }
 
     fn request(
@@ -60,6 +109,38 @@ impl HttpClient {
         }
     }
 
+    fn connected(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+            self.dials += 1;
+        }
+        Ok(self.stream.as_mut().expect("connected above"))
+    }
+
+    fn send_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        api_key: Option<&str>,
+        body: &str,
+    ) -> io::Result<()> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: tassd\r\n");
+        if let Some(key) = api_key {
+            head.push_str(&format!("{API_KEY_HEADER}: {key}\r\n"));
+        }
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        ));
+        let stream = self.connected()?;
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+
     fn request_once(
         &mut self,
         method: &str,
@@ -67,51 +148,129 @@ impl HttpClient {
         api_key: Option<&str>,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
-        if self.stream.is_none() {
-            let stream = TcpStream::connect(self.addr)?;
-            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-            stream.set_nodelay(true)?;
-            self.stream = Some(stream);
-        }
-        let stream = self.stream.as_mut().expect("connected above");
-        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: tassd\r\n");
-        if let Some(key) = api_key {
-            head.push_str(&format!("{API_KEY_HEADER}: {key}\r\n"));
-        }
-        let body = body.unwrap_or("");
-        head.push_str(&format!(
-            "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        ));
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(body.as_bytes())?;
-        stream.flush()?;
-        let result = read_response(stream);
+        self.send_request(method, path, api_key, body.unwrap_or(""))?;
+        self.buf.clear();
+        let stream = self.stream.as_mut().expect("sent above");
+        let result = (|| {
+            let head = read_head(stream, &mut self.buf)?;
+            if head.chunked {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected chunked response; use get_stream",
+                ));
+            }
+            let body =
+                read_sized_body(stream, &mut self.buf, head.body_start, head.content_length)?;
+            String::from_utf8(body.to_vec())
+                .map(|b| (head.status, b))
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))
+        })();
         if result.is_err() {
             self.stream = None;
         }
         result
     }
+
+    fn stream_once(
+        &mut self,
+        path: &str,
+        api_key: Option<&str>,
+        on_chunk: &mut impl FnMut(&[u8]),
+        delivered: &mut bool,
+    ) -> io::Result<(u16, Vec<u8>)> {
+        self.send_request("GET", path, api_key, "")?;
+        self.buf.clear();
+        let stream = self.stream.as_mut().expect("sent above");
+        let head = match read_head(stream, &mut self.buf) {
+            Ok(head) => head,
+            Err(e) => {
+                self.stream = None;
+                return Err(e);
+            }
+        };
+        if !head.chunked {
+            let body = match read_sized_body(
+                stream,
+                &mut self.buf,
+                head.body_start,
+                head.content_length,
+            ) {
+                Ok(body) => body.to_vec(),
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            };
+            return Ok((head.status, body));
+        }
+        // decode chunks in place: `pos` walks the reused buffer as reads
+        // append to it
+        let mut body = Vec::with_capacity(4096);
+        let mut pos = head.body_start;
+        loop {
+            let size = match read_chunk_size(stream, &mut self.buf, &mut pos) {
+                Ok(size) => size,
+                Err(e) => {
+                    self.stream = None;
+                    return Err(e);
+                }
+            };
+            if size == 0 {
+                // terminal chunk: consume the trailing CRLF
+                if let Err(e) = read_exact_at(stream, &mut self.buf, pos + 2) {
+                    self.stream = None;
+                    return Err(e);
+                }
+                return Ok((head.status, body));
+            }
+            if let Err(e) = read_exact_at(stream, &mut self.buf, pos + size + 2) {
+                self.stream = None;
+                return Err(e);
+            }
+            let data = &self.buf[pos..pos + size];
+            on_chunk(data);
+            *delivered = true;
+            body.extend_from_slice(data);
+            pos += size + 2;
+        }
+    }
 }
 
-fn read_response(stream: &mut TcpStream) -> io::Result<(u16, String)> {
-    let mut buf: Vec<u8> = Vec::new();
+/// The response head, parsed off the shared buffer.
+struct Head {
+    status: u16,
+    content_length: usize,
+    chunked: bool,
+    /// Index of the first body byte in the buffer.
+    body_start: usize,
+}
+
+fn read_more(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<()> {
     let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-            break pos;
-        }
+    loop {
         match stream.read(&mut chunk) {
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
-                    "connection closed before response head",
+                    "connection closed mid-response",
                 ))
             }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return Ok(());
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
+    }
+}
+
+fn read_head(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Head> {
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        read_more(stream, buf)?;
     };
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
@@ -124,27 +283,60 @@ fn read_response(stream: &mut TcpStream) -> io::Result<(u16, String)> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    let content_length: usize = lines
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse().ok())
-        .unwrap_or(0);
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
-                ))
-            }
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    for (name, value) in lines.filter_map(|l| l.split_once(':')) {
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            chunked = value.eq_ignore_ascii_case("chunked");
         }
     }
-    body.truncate(content_length);
-    String::from_utf8(body)
-        .map(|b| (status, b))
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))
+    Ok(Head {
+        status,
+        content_length,
+        chunked,
+        body_start: head_end + 4,
+    })
+}
+
+/// Grow the buffer until it holds at least `until` bytes.
+fn read_exact_at(stream: &mut TcpStream, buf: &mut Vec<u8>, until: usize) -> io::Result<()> {
+    while buf.len() < until {
+        read_more(stream, buf)?;
+    }
+    Ok(())
+}
+
+fn read_sized_body<'b>(
+    stream: &mut TcpStream,
+    buf: &'b mut Vec<u8>,
+    body_start: usize,
+    content_length: usize,
+) -> io::Result<&'b [u8]> {
+    read_exact_at(stream, buf, body_start + content_length)?;
+    Ok(&buf[body_start..body_start + content_length])
+}
+
+/// Parse the next `<hex-size>\r\n` chunk header at `*pos`, advancing
+/// `*pos` past it (chunk extensions after `;` are ignored).
+fn read_chunk_size(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    pos: &mut usize,
+) -> io::Result<usize> {
+    let line_end = loop {
+        if let Some(rel) = buf[*pos..].windows(2).position(|w| w == b"\r\n") {
+            break *pos + rel;
+        }
+        read_more(stream, buf)?;
+    };
+    let line = std::str::from_utf8(&buf[*pos..line_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 chunk header"))?;
+    let digits = line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(digits, 16)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad chunk size"))?;
+    *pos = line_end + 2;
+    Ok(size)
 }

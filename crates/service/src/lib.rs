@@ -13,8 +13,10 @@
 //!   and resume byte-identical after restart, via
 //!   [`tass_core::run_campaign_checkpointed`]);
 //! * [`api`] — the JSON HTTP surface (`/v1/campaigns`, `/v1/sources`,
-//!   `/v1/healthz`) with a typed error vocabulary;
-//! * [`httpd`] — a hand-rolled threaded HTTP/1.1 server on `std::net`
+//!   `/v1/healthz`, and the chunked `/v1/campaigns/{id}/results/stream`)
+//!   with a typed error vocabulary;
+//! * [`httpd`] — a hand-rolled non-blocking HTTP/1.1 server: a small
+//!   pool of epoll event loops driving per-connection state machines
 //!   (the build environment has no async stack; the router is shaped
 //!   like axum's so the API layer would port directly);
 //! * [`client`] — the minimal blocking client the tests, the load bench
@@ -31,8 +33,9 @@
 //! seed) so a client can re-derive any result offline.
 
 #![warn(missing_docs)]
-// `signal` registers handlers through the C `signal` symbol; everything
-// else in the crate is safe code.
+// `signal` registers handlers through the C `signal` symbol and
+// `httpd::sys` wraps the three epoll syscalls; everything else in the
+// crate is safe code.
 #![deny(unsafe_code)]
 
 pub mod api;
@@ -43,9 +46,9 @@ pub mod signal;
 pub mod sources;
 
 pub use client::HttpClient;
-pub use httpd::{HttpServer, Router};
+pub use httpd::{HttpServer, HttpdConfig, Router, StreamChunk};
 pub use service::{
-    JobView, ServiceConfig, ServiceCore, ServiceStats, ShutdownMode, ShutdownReport, SubmitError,
-    SubmitRequest, Tassd, TenantQuota,
+    JobView, ServiceConfig, ServiceCore, ServiceStats, ShutdownMode, ShutdownReport, StreamPiece,
+    SubmitError, SubmitRequest, Tassd, TenantQuota,
 };
 pub use sources::{add_source, add_source_with};

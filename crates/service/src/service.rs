@@ -29,12 +29,12 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 use tass_core::{
-    run_campaign_checkpointed, CampaignCheckpoint, CampaignPool, CampaignRun, CampaignStep,
-    StrategyKind,
+    partial_result, run_campaign_checkpointed, CampaignCheckpoint, CampaignPool, CampaignRun,
+    CampaignStep, MonthEval, StrategyKind,
 };
 use tass_model::corpus::CorpusError;
 use tass_model::registry::{SharedSource, SourceEntry, SourceRegistry};
@@ -195,6 +195,24 @@ pub enum ResultError {
     },
 }
 
+/// One piece of a streamed result fetch
+/// ([`ServiceCore::result_stream_piece`]). Pieces concatenate to the
+/// exact bytes of the unpaginated result body: piece 0 is the envelope
+/// prefix through the months array's `[`, pieces `1..=months` are the
+/// month elements (each after the first carrying its leading comma),
+/// and the final piece is `]` through the end of the envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamPiece {
+    /// Not computed yet — the campaign hasn't reached this month.
+    Pending,
+    /// The piece's bytes.
+    Data(String),
+    /// Every piece has been served; the stream is complete.
+    End,
+    /// The job failed: the stream can never complete.
+    Gone,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum JobStatus {
     Queued,
@@ -269,7 +287,23 @@ struct Job {
     /// when the result is stored so paged fetches splice substrings of
     /// `result_json` instead of re-serialising anything.
     result_spans: Option<ResultSpans>,
+    /// Result pieces published incrementally while the job runs (the
+    /// streaming endpoint's source until `result_json` lands); dropped
+    /// when the job finishes.
+    stream: Option<StreamParts>,
     completion_index: Option<u64>,
+}
+
+/// The pieces of a running job's result published so far: rendered by
+/// the campaign control hook with the same serializer that renders the
+/// final stored result, so every streamed byte is identical to the byte
+/// the finished job will serve from `result_json`.
+struct StreamParts {
+    /// Envelope bytes through the months array's `[`.
+    prefix: String,
+    /// Serialized month elements, in month order; every element after
+    /// the first carries its leading comma.
+    entries: Vec<String>,
 }
 
 /// Where the months live inside a stored result's JSON bytes.
@@ -441,6 +475,10 @@ pub struct ServiceStats {
 /// Shared daemon state: the source registry, the configuration, and the
 /// job table. HTTP handlers and workers both talk to this.
 pub struct ServiceCore {
+    /// Self-reference, set by [`Tassd::start`]'s `Arc::new_cyclic` — how
+    /// handlers holding only `&ServiceCore` mint the owning handle a
+    /// streaming response's `'static` chunk source must capture.
+    me: Weak<ServiceCore>,
     registry: Arc<SourceRegistry>,
     cfg: ServiceConfig,
     started: Instant,
@@ -455,6 +493,13 @@ impl ServiceCore {
     /// The daemon's source catalogue.
     pub fn registry(&self) -> &SourceRegistry {
         &self.registry
+    }
+
+    /// An owning handle to this core. A `ServiceCore` is only ever
+    /// reachable through an `Arc`, so the upgrade cannot fail while a
+    /// caller holds `&self`.
+    pub fn arc(&self) -> Arc<ServiceCore> {
+        self.me.upgrade().expect("core is reachable only via Arc")
     }
 
     /// Aggregate statistics.
@@ -545,6 +590,7 @@ impl ServiceCore {
                 months_done: 0,
                 result_json: None,
                 result_spans: None,
+                stream: None,
                 completion_index: None,
             },
         );
@@ -633,6 +679,62 @@ impl ServiceCore {
         Ok(out)
     }
 
+    /// Piece `piece` of job `id`'s result stream — the streaming
+    /// endpoint's pull source.
+    ///
+    /// While the job runs, pieces come from the stream parts the
+    /// campaign control hook publishes at each month boundary (a piece
+    /// the campaign hasn't reached yet is [`StreamPiece::Pending`]).
+    /// Once the job finishes, pieces are spliced from the stored
+    /// `result_json` by the same spans that serve paged fetches. The two
+    /// sources are byte-identical piece for piece, so a stream that
+    /// starts against a running job and finishes against the stored
+    /// result still concatenates to exactly the unpaginated body.
+    pub fn result_stream_piece(
+        &self,
+        tenant: &str,
+        id: u64,
+        piece: u64,
+    ) -> Result<StreamPiece, ResultError> {
+        let table = self.table.lock().expect("job table lock");
+        let job = table
+            .jobs
+            .get(&id)
+            .filter(|j| j.tenant == tenant)
+            .ok_or(ResultError::NotFound)?;
+        if let (Some(json), Some(spans)) = (&job.result_json, &job.result_spans) {
+            let elems = spans.months.len() as u64;
+            return Ok(match piece {
+                0 => StreamPiece::Data(json[..=spans.open].to_string()),
+                p if p <= elems => {
+                    let p = p as usize;
+                    // element p-1, plus its leading comma for p >= 2
+                    let start = if p == 1 {
+                        spans.months[0].0
+                    } else {
+                        spans.months[p - 2].1
+                    };
+                    StreamPiece::Data(json[start..spans.months[p - 1].1].to_string())
+                }
+                p if p == elems + 1 => StreamPiece::Data(json[spans.close..].to_string()),
+                _ => StreamPiece::End,
+            });
+        }
+        if job.status == JobStatus::Failed {
+            return Ok(StreamPiece::Gone);
+        }
+        let Some(parts) = &job.stream else {
+            return Ok(StreamPiece::Pending);
+        };
+        Ok(match piece {
+            0 => StreamPiece::Data(parts.prefix.clone()),
+            p if (p as usize) <= parts.entries.len() => {
+                StreamPiece::Data(parts.entries[p as usize - 1].clone())
+            }
+            _ => StreamPiece::Pending,
+        })
+    }
+
     fn checkpoint_path(&self, id: u64) -> Option<PathBuf> {
         self.cfg
             .checkpoint_dir
@@ -687,15 +789,42 @@ impl ServiceCore {
             inner,
             months: months_total,
         };
+        let (kind, protocol, seed) = (checkpoint.kind, checkpoint.protocol, checkpoint.seed);
         let delay = self.cfg.month_delay;
-        let mut control = |month: u32| {
+        let mut control = |month: u32, done: &[MonthEval]| {
             {
                 let mut table = self.table.lock().expect("job table lock");
-                table
-                    .jobs
-                    .get_mut(&id)
-                    .expect("running ids resolve")
-                    .months_done = month;
+                let job = table.jobs.get_mut(&id).expect("running ids resolve");
+                job.months_done = month;
+                if !done.is_empty() {
+                    if job.stream.is_none() {
+                        // One-time per job: render the envelope prefix
+                        // from the first completed month. partial_result
+                        // routes through the same constructor as the
+                        // final result, so these bytes match the stored
+                        // result's prefix exactly.
+                        let partial =
+                            partial_result(&source, kind, protocol, seed, done[..1].to_vec())
+                                .expect("done is non-empty");
+                        let json = serde_json::to_string(&partial)
+                            .expect("campaign results always serialize");
+                        let spans = month_spans(&json).expect("results carry a months array");
+                        job.stream = Some(StreamParts {
+                            prefix: json[..=spans.open].to_string(),
+                            entries: Vec::new(),
+                        });
+                    }
+                    let parts = job.stream.as_mut().expect("set above");
+                    for (i, eval) in done.iter().enumerate().skip(parts.entries.len()) {
+                        let element =
+                            serde_json::to_string(eval).expect("month evals always serialize");
+                        parts.entries.push(if i == 0 {
+                            element
+                        } else {
+                            format!(",{element}")
+                        });
+                    }
+                }
             }
             if self.stop.load(Ordering::Relaxed) && !self.drain.load(Ordering::Relaxed) {
                 return CampaignStep::Suspend;
@@ -749,6 +878,8 @@ impl ServiceCore {
         job.months_done = job.months_total + 1;
         job.result_spans = result_json.as_deref().and_then(month_spans);
         job.result_json = result_json;
+        // in-flight streams switch to splicing the stored bytes
+        job.stream = None;
         job.completion_index = Some(index);
         let tenant = job.tenant.clone();
         table
@@ -817,12 +948,14 @@ impl Tassd {
                         checkpoint: Some(file.checkpoint),
                         result_json: None,
                         result_spans: None,
+                        stream: None,
                         completion_index: None,
                     },
                 );
             }
         }
-        let core = Arc::new(ServiceCore {
+        let core = Arc::new_cyclic(|me| ServiceCore {
+            me: me.clone(),
             registry,
             cfg,
             started: Instant::now(),

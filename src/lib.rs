@@ -201,6 +201,26 @@
 //! {"strategy":"TASS m-view (phi=0.95)", ...identical bytes to run_campaign...}
 //! ```
 //!
+//! For long campaigns you don't have to wait: the **streaming** endpoint
+//! serves the same results body as a chunked response while the campaign
+//! runs, one chunk per completed month. The concatenated chunks are
+//! byte-identical to the unpaginated body above — stream a running
+//! campaign and you watch the months land as the workers finish them:
+//!
+//! ```text
+//! $ curl -sN localhost:7447/v1/campaigns/1/results/stream -H 'X-Api-Key: alice'
+//! {"strategy":"TASS m-view (phi=0.95)",...,"months":[   ← immediately
+//! {"month":0,"eval":{...}}                               ← as month 0 completes
+//! ,{"month":1,"eval":{...}}                              ← as month 1 completes
+//! ...
+//! ],...,"job":{...}}                                     ← at completion
+//! ```
+//!
+//! (`-N` turns off curl's buffering so the chunks display as they
+//! arrive; if the campaign fails mid-run the server aborts the chunked
+//! stream without a terminal chunk, which curl reports as a transfer
+//! error rather than silently truncated JSON.)
+//!
 //! `SIGTERM`/ctrl-c shuts the daemon down gracefully: with
 //! `--checkpoint-dir DIR`, unfinished campaigns are suspended at the
 //! next month boundary and persisted; a daemon restarted over the same
